@@ -1,0 +1,257 @@
+// Repository-root benchmarks: one benchmark per figure of the paper's
+// evaluation (see DESIGN.md §4 for the index), each running a
+// reduced-repetition version of the same experiment code cmd/fedbench uses
+// at full scale, plus protocol micro-benchmarks and the secure-aggregation
+// overhead ablation (A-SECAGG).
+//
+// Accuracy benchmarks report the headline method's error via
+// b.ReportMetric (NRMSE or RMSE per the figure's y-axis), so `go test
+// -bench=.` doubles as a quick reproduction check.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/secagg"
+	"repro/internal/workload"
+)
+
+// benchFigure runs one registered experiment per iteration and reports the
+// named series' sweep-averaged y value as a metric.
+func benchFigure(b *testing.B, id, series string, opts experiments.Options) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i) + 1
+		result, err := experiments.Run(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = seriesMeanY(b, result, series)
+	}
+	unit := "nrmse"
+	if !strings.Contains(result0YLabel(id), "NRMSE") {
+		unit = "rmse"
+	}
+	b.ReportMetric(last, unit)
+}
+
+// result0YLabel returns the y-label a figure reports, without re-running it.
+func result0YLabel(id string) string {
+	switch id {
+	case "3a", "3b", "4a", "4c", "tdp":
+		return "RMSE"
+	case "4b":
+		return "bit mean"
+	default:
+		return "NRMSE"
+	}
+}
+
+func seriesMeanY(b *testing.B, f *experiments.FigureResult, name string) float64 {
+	b.Helper()
+	for _, s := range f.Series {
+		if s.Method != name {
+			continue
+		}
+		var sum float64
+		for _, p := range s.Points {
+			switch {
+			case strings.Contains(f.YLabel, "NRMSE"):
+				sum += p.Summary.NRMSE
+			default:
+				sum += p.Summary.RMSE
+			}
+		}
+		return sum / float64(len(s.Points))
+	}
+	b.Fatalf("figure %s has no series %q", f.ID, name)
+	return 0
+}
+
+func BenchmarkFig1aMeanVsMu(b *testing.B) {
+	benchFigure(b, "1a", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig1bVarianceVsMu(b *testing.B) {
+	benchFigure(b, "1b", "adaptive", experiments.Options{Reps: 3, N: 20000})
+}
+
+func BenchmarkFig1cMeanVsBitDepth(b *testing.B) {
+	benchFigure(b, "1c", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig2aMeanVsN(b *testing.B) {
+	benchFigure(b, "2a", "adaptive(α=0.5)", experiments.Options{Reps: 5})
+}
+
+func BenchmarkFig2bVarianceVsN(b *testing.B) {
+	benchFigure(b, "2b", "adaptive", experiments.Options{Reps: 3})
+}
+
+func BenchmarkFig2cMeanVsBitDepth(b *testing.B) {
+	benchFigure(b, "2c", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig3aDPHighPrivacy(b *testing.B) {
+	benchFigure(b, "3a", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig3bDPModerate(b *testing.B) {
+	benchFigure(b, "3b", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig4aSquashThreshold(b *testing.B) {
+	benchFigure(b, "4a", "adaptive+squash", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkFig4bBitMeanHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("4b", experiments.Options{Reps: 5, N: 4000, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4cDPBitDepth(b *testing.B) {
+	benchFigure(b, "4c", "adaptive(α=0.5)+squash", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkTextDPAlternatives(b *testing.B) {
+	benchFigure(b, "tdp", "laplace", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkAblationPoisoning(b *testing.B) {
+	benchFigure(b, "pois", "bitpush-local", experiments.Options{Reps: 5, N: 2000})
+}
+
+func BenchmarkAblationCaching(b *testing.B) {
+	benchFigure(b, "cache", "adaptive(α=0.5)", experiments.Options{Reps: 8})
+}
+
+func BenchmarkAblationBSend(b *testing.B) {
+	benchFigure(b, "bsend", "weighted(γ=1)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkAblationSampleThreshold(b *testing.B) {
+	benchFigure(b, "stdp", "no-noise", experiments.Options{Reps: 5})
+}
+
+func BenchmarkSensitivityDelta(b *testing.B) {
+	benchFigure(b, "delta", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+func BenchmarkSensitivityGamma(b *testing.B) {
+	benchFigure(b, "gamma", "adaptive(α=0.5)", experiments.Options{Reps: 5, N: 4000})
+}
+
+// --- Protocol micro-benchmarks ---
+
+func benchValues(n, bits int) []uint64 {
+	vals := workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(1), n)
+	return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+}
+
+func BenchmarkCoreRun10K(b *testing.B) {
+	values := benchValues(10000, 12)
+	probs, err := core.GeometricProbs(12, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Bits: 12, Probs: probs}
+	r := frand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, values, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreAdaptive10K(b *testing.B) {
+	values := benchValues(10000, 12)
+	cfg := core.AdaptiveConfig{Bits: 12}
+	r := frand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAdaptive(cfg, values, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreRunWithRR10K(b *testing.B) {
+	values := benchValues(10000, 12)
+	probs, err := core.GeometricProbs(12, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := ldp.NewRandomizedResponse(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Bits: 12, Probs: probs, RR: rr, SquashMultiple: 2}
+	r := frand.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, values, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSecAgg compares summing bit-report vectors in the clear
+// against the full masked protocol with Shamir-backed dropout recovery
+// (A-SECAGG in DESIGN.md).
+func BenchmarkAblationSecAgg(b *testing.B) {
+	const clients, vecLen = 64, 16
+	inputs := make([][]uint64, clients)
+	r := frand.New(5)
+	for i := range inputs {
+		inputs[i] = make([]uint64, vecLen)
+		for k := range inputs[i] {
+			inputs[i][k] = r.Uint64n(2)
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sum := make([]uint64, vecLen)
+			for _, in := range inputs {
+				for k, v := range in {
+					sum[k] += v
+				}
+			}
+		}
+	})
+	b.Run("masked", func(b *testing.B) {
+		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen, Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SumUints(inputs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("masked-dropouts", func(b *testing.B) {
+		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dropouts := []int{3, 17, 42}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SumUints(inputs, dropouts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

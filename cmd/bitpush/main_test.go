@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frand"
+)
+
+func TestReadValues(t *testing.T) {
+	in := strings.NewReader("1\n2.5\n\n# comment\n  7  \n-3\n")
+	got, err := readValues(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 7, -3}
+	if len(got) != len(want) {
+		t.Fatalf("readValues = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("readValues[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadValuesBadInput(t *testing.T) {
+	if _, err := readValues(strings.NewReader("1\nnope\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestReadValuesEmpty(t *testing.T) {
+	got, err := readValues(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestEstimateMeanMethods(t *testing.T) {
+	values := make([]uint64, 2000)
+	for i := range values {
+		values[i] = uint64(i % 256)
+	}
+	for _, method := range []string{"adaptive", "weighted", "uniform"} {
+		est, err := estimateMean(method, 1, 8, nil, 2, values, newTestRNG())
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		// True mean is 127.5; one protocol round over 2000 clients should
+		// be in the right region for every method.
+		if est < 100 || est > 155 {
+			t.Errorf("%s estimate %v, want ~127.5", method, est)
+		}
+	}
+	if _, err := estimateMean("nope", 1, 8, nil, 2, values, newTestRNG()); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func newTestRNG() *frand.RNG { return frand.New(7) }

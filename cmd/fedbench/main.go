@@ -1,0 +1,92 @@
+// Command fedbench regenerates the paper's evaluation: every figure
+// (1a-4c) plus the text-claim and ablation experiments, as aligned tables
+// on stdout and optionally CSV files.
+//
+// Usage:
+//
+//	fedbench -all                      # every registered experiment
+//	fedbench -fig 1a -fig 3b           # specific figures
+//	fedbench -all -reps 20 -seed 7     # faster, still deterministic
+//	fedbench -all -csv results/        # also write one CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string { return fmt.Sprint(*f) }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure id to run (repeatable); see -list")
+	all := flag.Bool("all", false, "run every registered experiment")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	reps := flag.Int("reps", 100, "repetitions per point (paper uses 100)")
+	n := flag.Int("n", 0, "override the default client population size")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-6s %s\n", id, experiments.Registry[id].Description)
+		}
+		return
+	}
+	if *all {
+		figs = experiments.IDs()
+	}
+	if len(figs) == 0 {
+		fmt.Fprintln(os.Stderr, "fedbench: nothing to run; use -all, -fig <id> or -list")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Reps: *reps, N: *n, Seed: *seed}
+	for _, id := range figs {
+		start := time.Now()
+		result, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := result.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%d reps, %.1fs)\n\n", opts.Reps, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, result); err != nil {
+				fmt.Fprintf(os.Stderr, "fedbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, result *experiments.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "fig"+result.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := result.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,217 @@
+// Command fednum-client simulates a fleet of devices against a running
+// fednumd server: it creates an aggregation session, has every simulated
+// client fetch its single-bit task and submit its (optionally ε-LDP
+// randomized) report, finalizes the session, and prints the estimate next
+// to the fleet's exact mean.
+//
+//	fednum-client -server http://127.0.0.1:8377 -clients 10000 \
+//	    -workload 'normal(500,80)' -bits 12 -eps 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/quantile"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+var workloadRe = regexp.MustCompile(`^(\w+)\(([-\d.]+)(?:,([-\d.]+))?\)$`)
+
+// parseWorkload converts a spec like "normal(500,80)", "uniform(0,100)",
+// "exponential(40)" or "census" into a generator.
+func parseWorkload(spec string) (workload.Generator, error) {
+	if spec == "census" {
+		return workload.CensusAges{}, nil
+	}
+	m := workloadRe.FindStringSubmatch(spec)
+	if m == nil {
+		return nil, fmt.Errorf("unrecognized workload %q", spec)
+	}
+	a, err := strconv.ParseFloat(m[2], 64)
+	if err != nil {
+		return nil, err
+	}
+	var b float64
+	if m[3] != "" {
+		if b, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, err
+		}
+	}
+	switch m[1] {
+	case "normal":
+		return workload.Normal{Mu: a, Sigma: b}, nil
+	case "uniform":
+		return workload.Uniform{Lo: a, Hi: b}, nil
+	case "exponential":
+		return workload.Exponential{Mean: a}, nil
+	case "lognormal":
+		return workload.LogNormal{Mu: a, Sigma: b}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", m[1])
+	}
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8377", "fednumd base URL")
+	clients := flag.Int("clients", 10000, "number of simulated devices")
+	spec := flag.String("workload", "normal(500,80)", "value distribution: normal(mu,sigma), uniform(lo,hi), exponential(mean), lognormal(mu,sigma), census")
+	feature := flag.String("feature", "metric", "feature name")
+	bits := flag.Int("bits", 12, "protocol bit depth")
+	gamma := flag.Float64("gamma", 1, "bit-sampling exponent, p_j ∝ 2^(γj)")
+	eps := flag.Float64("eps", 0, "ε for client-side randomized response (0 = off)")
+	squash := flag.Float64("squash", 0, "absolute bit-squashing threshold")
+	minCohort := flag.Int("min-cohort", 0, "minimum accepted reports before finalize")
+	adaptive := flag.Bool("adaptive", false, "run the two-round adaptive protocol (Algorithm 2) instead of one weighted round")
+	quantileQ := flag.Float64("quantile", 0, "estimate this quantile via a threshold session instead of the mean (e.g. 0.5 for the median)")
+	gridK := flag.Int("grid", 32, "threshold-grid size for -quantile sessions")
+	parallel := flag.Int("parallel", 32, "concurrent clients")
+	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "fleet seed")
+	flag.Parse()
+
+	gen, err := parseWorkload(*spec)
+	if err != nil {
+		log.Fatalf("fednum-client: %v", err)
+	}
+	root := frand.New(*seed)
+	values := fixedpoint.MustCodec(*bits, 0, 1).EncodeAll(gen.Sample(root, *clients))
+	truth := fixedpoint.Mean(values)
+
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: *server}
+	if *quantileQ > 0 {
+		runQuantile(ctx, admin, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
+		return
+	}
+	if *adaptive {
+		runAdaptive(ctx, admin, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
+		return
+	}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: *feature, Bits: *bits, Gamma: *gamma,
+		Epsilon: *eps, SquashThreshold: *squash, MinCohort: *minCohort,
+	})
+	if err != nil {
+		log.Fatalf("fednum-client: create session: %v", err)
+	}
+	log.Printf("session %s: %d clients, workload %s, b=%d, ε=%g", session, *clients, gen.Name(), *bits, *eps)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *parallel)
+	var mu sync.Mutex
+	failed := 0
+	for i, v := range values {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, v uint64, rng *frand.RNG) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p := &transport.Participant{
+				BaseURL:  *server,
+				ClientID: fmt.Sprintf("dev-%d", i),
+				RNG:      rng,
+			}
+			if err := p.Participate(ctx, session, v); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(i, v, root.Split())
+	}
+	wg.Wait()
+
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		log.Fatalf("fednum-client: finalize: %v", err)
+	}
+	fmt.Printf("reports:   %d accepted, %d failed, %.1fs\n", res.Reports, failed, time.Since(start).Seconds())
+	fmt.Printf("estimate:  %.4f\n", res.Estimate)
+	fmt.Printf("exact:     %.4f\n", truth)
+	if truth != 0 {
+		fmt.Printf("rel.error: %.3f%%\n", 100*(res.Estimate-truth)/truth)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runQuantile estimates a quantile through a threshold session: every
+// client discloses one comparison bit against its assigned grid threshold.
+func runQuantile(ctx context.Context, admin *transport.Admin, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
+	grid, err := quantile.UniformGrid(bits, gridK)
+	if err != nil {
+		log.Fatalf("fednum-client: %v", err)
+	}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: feature, Bits: bits, Thresholds: grid, Epsilon: eps,
+	})
+	if err != nil {
+		log.Fatalf("fednum-client: create threshold session: %v", err)
+	}
+	start := time.Now()
+	for i, v := range values {
+		p := &transport.Participant{
+			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
+		}
+		if err := p.Participate(ctx, session, v); err != nil {
+			log.Fatalf("fednum-client: client %d: %v", i, err)
+		}
+	}
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		log.Fatalf("fednum-client: finalize: %v", err)
+	}
+	est, err := transport.TailQuantile(res, q)
+	if err != nil {
+		log.Fatalf("fednum-client: %v", err)
+	}
+	sorted := append([]uint64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	exact := sorted[int(q*float64(len(sorted)-1))]
+	fmt.Printf("reports:   %d, %.1fs\n", res.Reports, time.Since(start).Seconds())
+	fmt.Printf("q=%.2f quantile estimate: %d (grid step %d)\n", q, est, grid[1]-grid[0])
+	fmt.Printf("exact:                    %d\n", exact)
+}
+
+// runAdaptive drives the two-round Algorithm 2 campaign over HTTP.
+func runAdaptive(ctx context.Context, admin *transport.Admin, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
+	devices := make([]transport.Device, len(values))
+	for i, v := range values {
+		devices[i] = transport.Device{
+			Participant: transport.Participant{
+				BaseURL:  server,
+				ClientID: fmt.Sprintf("dev-%d", i),
+				RNG:      root.Split(),
+			},
+			Value: v,
+		}
+	}
+	start := time.Now()
+	out, err := transport.RunAdaptiveCampaign(ctx, admin, transport.AdaptiveSpec{
+		Feature: feature, Bits: bits, Gamma: gamma,
+		Epsilon: eps, SquashThreshold: squash, MinCohort: minCohort,
+	}, devices, root)
+	if err != nil {
+		log.Fatalf("fednum-client: adaptive campaign: %v", err)
+	}
+	fmt.Printf("rounds:    %d + %d reports (%d devices participated), %.1fs\n",
+		out.Round1.Reports, out.Round2.Reports, out.Participated, time.Since(start).Seconds())
+	fmt.Printf("estimate:  %.4f\n", out.Estimate)
+	fmt.Printf("exact:     %.4f\n", truth)
+	if truth != 0 {
+		fmt.Printf("rel.error: %.3f%%\n", 100*(out.Estimate-truth)/truth)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+)
+
+func TestParseWorkload(t *testing.T) {
+	cases := []struct {
+		spec    string
+		name    string
+		wantErr bool
+	}{
+		{"normal(500,80)", "normal(mu=500,sigma=80)", false},
+		{"uniform(0,100)", "uniform[0,100)", false},
+		{"exponential(40)", "exponential(mean=40)", false},
+		{"lognormal(2,0.5)", "lognormal(mu=2,sigma=0.5)", false},
+		{"census", "census-ages", false},
+		{"normal(-3,1)", "normal(mu=-3,sigma=1)", false},
+		{"triangle(1,2)", "", true},
+		{"normal", "", true},
+		{"normal(a,b)", "", true},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		gen, err := parseWorkload(c.spec)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseWorkload(%q) err = %v, wantErr %v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err == nil && gen.Name() != c.name {
+			t.Errorf("parseWorkload(%q).Name() = %q, want %q", c.spec, gen.Name(), c.name)
+		}
+	}
+}
+
+func TestParsedWorkloadSamples(t *testing.T) {
+	gen, err := parseWorkload("normal(100,10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := gen.Sample(frand.New(1), 10000)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-100) > 1 {
+		t.Fatalf("parsed workload mean %v, want ~100", mean)
+	}
+}

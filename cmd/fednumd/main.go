@@ -1,0 +1,29 @@
+// Command fednumd runs the standalone aggregation server: an HTTP service
+// that creates bit-pushing sessions, hands out single-bit tasks, ingests
+// randomized-response-protected reports and serves the aggregates. It is
+// the deployable counterpart of the paper's Federated Analytics stack
+// (§4.3); pair it with cmd/fednum-client.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "task-assignment seed")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           transport.NewServer(*seed),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("fednumd: aggregation server listening on http://%s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go implementation of "Private and
+// Efficient Federated Numerical Aggregation" (Cormode, Markov, Srinivas;
+// EDBT 2024): the bit-pushing protocols for federated mean and variance
+// estimation in which each client discloses at most one bit per private
+// value, together with every baseline and substrate the paper evaluates
+// against.
+//
+// The library lives under internal/ (one package per subsystem — see
+// DESIGN.md for the inventory), the binaries under cmd/, runnable examples
+// under examples/, and the repository-root benchmarks in bench_test.go
+// regenerate reduced-scale versions of every figure in the paper's
+// evaluation.
+package repro

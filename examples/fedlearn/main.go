@@ -1,0 +1,72 @@
+// Federated learning with one-bit gradients: the application the paper
+// motivates ("federated learning computes sample means for gradient
+// updates", §1). Every training round, each client discloses a single
+// randomized bit of one coordinate of its gradient; the server
+// reconstructs the mean gradient with bit-pushing and steps the model.
+//
+// The example also runs the §3.4 feature-normalization recipe — per-feature
+// means and variances estimated with bit-pushing, applied client-side —
+// and compares against the exact-gradient baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fedlearn"
+	"repro/internal/frand"
+)
+
+func main() {
+	rng := frand.New(2024)
+
+	// Synthetic fleet: 20,000 clients each holding one example of
+	// y = 2·x0 - 1.5·x1 + 0.5·x2 + 0.7, with badly scaled features.
+	trueW := []float64{2, -1.5, 0.5}
+	const trueB = 0.7
+	data := make([]fedlearn.Example, 20000)
+	scales := []float64{1, 10, 0.2}
+	for i := range data {
+		x := make([]float64, 3)
+		y := trueB
+		for k := range x {
+			x[k] = rng.Normal(0, scales[k])
+			y += trueW[k] * x[k] / scales[k]
+		}
+		data[i] = fedlearn.Example{X: x, Y: y + rng.Normal(0, 0.1)}
+	}
+
+	// Step 1 (§3.4): feature normalization from bit-pushed statistics.
+	stats, err := fedlearn.EstimateFeatureStats(3, 12, 64, data, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bit-pushed feature stats: means %.3v, stds %.3v\n", stats.Mean, stats.Std)
+	normalized := stats.Standardize(data)
+
+	// Step 2: federated training, one disclosed bit per client per round.
+	cfg := fedlearn.Config{Dim: 3, Rounds: 80, Seed: 7}
+	model, err := fedlearn.Train(cfg, normalized, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := fedlearn.TrainExact(cfg, normalized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter %d rounds (each client disclosed %d bits total):\n",
+		cfg.Rounds, model.BitsPerClient)
+	fmt.Printf("  bit-pushed MSE: %.5f\n", model.LossHistory[len(model.LossHistory)-1])
+	fmt.Printf("  exact-gradient MSE: %.5f\n", exact.LossHistory[len(exact.LossHistory)-1])
+
+	// Step 3: the same training under ε=2 local DP on every gradient bit.
+	dpModel, err := fedlearn.Train(fedlearn.Config{Dim: 3, Rounds: 80, Eps: 2, Seed: 8}, normalized, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ε=2 LDP MSE:    %.5f\n", dpModel.LossHistory[len(dpModel.LossHistory)-1])
+
+	fmt.Println("\nlearned weights (normalized feature space):")
+	fmt.Printf("  bit-pushed: %.3v  intercept %.3f\n", model.Weights, model.Intercept)
+	fmt.Printf("  exact:      %.3v  intercept %.3f\n", exact.Weights, exact.Intercept)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+// AdaptiveConfig parametrizes two-round adaptive bit-pushing (Algorithm 2).
+type AdaptiveConfig struct {
+	// Bits is the bit depth b.
+	Bits int
+	// Gamma shapes the data-independent round-1 allocation
+	// p1[j] ∝ (2^j)^Gamma. Zero means the paper's default 0.5.
+	Gamma float64
+	// Alpha shapes the learned round-2 allocation
+	// p2[j] ∝ (4^j · m_j (1-m_j))^Alpha. Zero means the default 0.5;
+	// the evaluation also runs Alpha = 1.
+	Alpha float64
+	// Delta is the fraction of clients spent on round 1. Zero means the
+	// paper's analysis-guided default 1/3.
+	Delta float64
+	// RR optionally applies ε-LDP randomized response to every bit.
+	RR *ldp.RandomizedResponse
+	// Randomness selects central (default) or local bit selection.
+	Randomness RandomnessMode
+	// SquashThreshold zeroes small-magnitude bit means both when learning
+	// round-2 weights and in the final estimate (§3.3).
+	SquashThreshold float64
+	// SquashMultiple is the per-bit noise-scaled squash threshold of
+	// Config.SquashMultiple, applied in both rounds and the pooled result.
+	SquashMultiple float64
+	// NoCache disables pooling of round-1 reports into the final estimate,
+	// the §3.2 "caching" ablation. By default both rounds' reports are
+	// combined, per Algorithm 2's final aggregation step.
+	NoCache bool
+}
+
+func (c *AdaptiveConfig) gamma() float64 {
+	if c.Gamma == 0 {
+		return 0.5
+	}
+	return c.Gamma
+}
+
+func (c *AdaptiveConfig) alpha() float64 {
+	if c.Alpha == 0 {
+		return 0.5
+	}
+	return c.Alpha
+}
+
+func (c *AdaptiveConfig) delta() float64 {
+	if c.Delta == 0 {
+		return 1.0 / 3.0
+	}
+	return c.Delta
+}
+
+func (c *AdaptiveConfig) validate() error {
+	if err := checkBits(c.Bits); err != nil {
+		return err
+	}
+	if g := c.gamma(); math.IsNaN(g) || math.IsInf(g, 0) {
+		return fmt.Errorf("%w: Gamma=%v", ErrInput, c.Gamma)
+	}
+	if a := c.alpha(); !(a > 0) || math.IsInf(a, 0) {
+		return fmt.Errorf("%w: Alpha=%v", ErrInput, c.Alpha)
+	}
+	if d := c.delta(); !(d > 0 && d < 1) {
+		return fmt.Errorf("%w: Delta=%v (need 0 < δ < 1)", ErrInput, c.Delta)
+	}
+	if c.SquashThreshold < 0 || math.IsNaN(c.SquashThreshold) {
+		return fmt.Errorf("%w: SquashThreshold=%v", ErrInput, c.SquashThreshold)
+	}
+	if c.SquashMultiple < 0 || math.IsNaN(c.SquashMultiple) {
+		return fmt.Errorf("%w: SquashMultiple=%v", ErrInput, c.SquashMultiple)
+	}
+	return nil
+}
+
+// LearnedProbs computes the round-2 allocation of Algorithm 2 from a
+// round-1 aggregate: p2[j] ∝ (4^j · m_j (1-m_j))^alpha.
+//
+// Edge handling matters for correctness:
+//
+//   - A bit is declared DEAD (zero probability, later discarded from the
+//     estimate) only when round 1 observed it confidently — at least 16
+//     reports with a mean of zero, or squashed under DP. Under-sampled
+//     bits keep a pseudo-count prior of 1/2, so a large bit depth cannot
+//     silently drop an active low bit the geometric round-1 allocation
+//     barely touched.
+//   - A SATURATED bit (mean clamped at 1) carries its full weight 2^j in
+//     the estimate even though it has no variance; its mean is smoothed to
+//     1 - 1/(count+1) so it retains a sliver of round-2 probability and is
+//     never confused with a dead bit.
+//
+// With this smoothing, a zero entry in the returned allocation identifies
+// exactly the bits judged dead.
+func LearnedProbs(round1 *Result, alpha float64) ([]float64, error) {
+	learned := make([]float64, len(round1.BitMeans))
+	for j, raw := range round1.BitMeans {
+		count := round1.Counts[j]
+		m := math.Max(0, math.Min(1, raw))
+		switch {
+		case count < deadConfidence:
+			// Too few reports to trust the mean — or a squash decision
+			// made from them. Blend toward the uninformative prior so the
+			// bit stays sampled in round 2.
+			m = (m*float64(count) + 0.5) / (float64(count) + 1)
+		case round1.Squashed[j]:
+			m = 0
+		case m == 1:
+			m = 1 - 1/float64(count+1)
+		}
+		learned[j] = m
+	}
+	return WeightedProbs(learned, alpha)
+}
+
+// deadConfidence is the minimum number of round-1 reports before a bit may
+// be declared dead.
+const deadConfidence = 16
+
+// confidentlyDead reports whether round 1 established that bit j carries
+// no signal: enough reports, and a mean of zero (exact without DP, or
+// squashed below the noise threshold with DP).
+func confidentlyDead(round1 *Result, j int) bool {
+	if round1.Counts[j] < deadConfidence {
+		return false
+	}
+	return round1.Squashed[j] || round1.BitMeans[j] <= 0
+}
+
+// LearnedProbsDP computes the round-2 allocation for the differentially
+// private protocol: p_j ∝ 2^j restricted to bits round 1 did not judge
+// dead. Under randomized response the per-report variance is the constant
+// exp(ε)/(exp(ε)-1)² regardless of the bit mean (§3.3), so the §3.3
+// optimal allocation p_j ∝ 2^j applies — the variance-weighted learning of
+// LearnedProbs "holds no advantage here" (§4.2). What the first round DOES
+// contribute under DP is the set of live bits: concentrating the 2^j
+// allocation on them is what keeps the adaptive method flat as the bit
+// depth grows (Figure 4c).
+func LearnedProbsDP(round1 *Result) ([]float64, error) {
+	probs := make([]float64, len(round1.BitMeans))
+	any := false
+	for j := range probs {
+		if !confidentlyDead(round1, j) {
+			probs[j] = math.Ldexp(1, j)
+			any = true
+		}
+	}
+	if !any {
+		return UniformProbs(len(probs))
+	}
+	return Normalize(probs)
+}
+
+// PoolAdaptive pools the two rounds of an adaptive run and discards the
+// bits the learned allocation judged dead (zero entries of probs2) —
+// §4.1: "The adaptive approach ... is able to identify the redundant bits
+// in the first round, and discards them in round two." Re-thresholding
+// those bits' pooled round-1 noise instead would let occasional large
+// noise excursions on high-order bits back into the estimate.
+func PoolAdaptive(cfg Config, probs2 []float64, parts ...*Result) (*Result, error) {
+	pooled, err := Pool(cfg, parts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(probs2) != cfg.Bits {
+		return nil, fmt.Errorf("%w: %d round-2 probabilities for %d bits", ErrProbs, len(probs2), cfg.Bits)
+	}
+	for j, p := range probs2 {
+		if p == 0 {
+			pooled.Squashed[j] = true
+		}
+	}
+	recomputeEstimate(pooled)
+	return pooled, nil
+}
+
+// AdaptiveResult extends Result with the per-round detail of Algorithm 2.
+type AdaptiveResult struct {
+	Result
+	// Round1 and Round2 are the per-round aggregates.
+	Round1, Round2 *Result
+	// Probs1 and Probs2 are the allocations used in each round.
+	Probs1, Probs2 []float64
+}
+
+// RunAdaptive executes two-round adaptive bit-pushing (Algorithm 2) over
+// the encoded client values:
+//
+//	round 1: a δ fraction of clients report under p1[j] ∝ (2^j)^γ;
+//	round 2: the rest report under p2[j] ∝ (4^j m1_j (1-m1_j))^α, where
+//	         m1 are the round-1 bit-mean estimates;
+//	final:   reports from both rounds are pooled (unless NoCache) and the
+//	         mean is reconstructed from the combined bit means.
+//
+// Bits the first round reveals as unused (mean 0, or squashed under DP)
+// receive zero round-2 probability — "unused bits ... do not need to be
+// sampled" (§1.1) — which is what makes the adaptive protocol oblivious to
+// overestimated bit depths (Figures 1c, 2c, 4c).
+func RunAdaptive(cfg AdaptiveConfig, values []uint64, r *frand.RNG) (*AdaptiveResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(values)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: adaptive bit-pushing needs at least 2 clients, got %d", ErrInput, n)
+	}
+	n1 := int(math.Round(cfg.delta() * float64(n)))
+	if n1 < 1 {
+		n1 = 1
+	}
+	if n1 >= n {
+		n1 = n - 1
+	}
+	// Random split of the population into the two rounds.
+	perm := r.Perm(n)
+	round1 := make([]uint64, n1)
+	round2 := make([]uint64, n-n1)
+	for i, idx := range perm {
+		if i < n1 {
+			round1[i] = values[idx]
+		} else {
+			round2[i-n1] = values[idx]
+		}
+	}
+
+	probs1, err := GeometricProbs(cfg.Bits, cfg.gamma())
+	if err != nil {
+		return nil, err
+	}
+	cfg1 := Config{
+		Bits: cfg.Bits, Probs: probs1, RR: cfg.RR,
+		Randomness: cfg.Randomness, SquashThreshold: cfg.SquashThreshold,
+		SquashMultiple: cfg.SquashMultiple,
+	}
+	res1, err := Run(cfg1, round1, r)
+	if err != nil {
+		return nil, err
+	}
+
+	var probs2 []float64
+	if cfg.RR != nil {
+		probs2, err = LearnedProbsDP(res1)
+	} else {
+		probs2, err = LearnedProbs(res1, cfg.alpha())
+	}
+	if err != nil {
+		return nil, err
+	}
+	cfg2 := cfg1
+	cfg2.Probs = probs2
+	res2, err := Run(cfg2, round2, r)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &AdaptiveResult{Round1: res1, Round2: res2, Probs1: probs1, Probs2: probs2}
+	if cfg.NoCache {
+		out.Result = *res2
+		return out, nil
+	}
+	pooled, err := PoolAdaptive(cfg1, probs2, res1, res2)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = *pooled
+	return out, nil
+}

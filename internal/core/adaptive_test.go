@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+)
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	cfg := AdaptiveConfig{Bits: 8}
+	if cfg.gamma() != 0.5 || cfg.alpha() != 0.5 || math.Abs(cfg.delta()-1.0/3) > 1e-12 {
+		t.Fatalf("defaults: gamma=%v alpha=%v delta=%v", cfg.gamma(), cfg.alpha(), cfg.delta())
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	values := []uint64{1, 2, 3, 4}
+	cases := []AdaptiveConfig{
+		{Bits: 0},
+		{Bits: 8, Alpha: -1},
+		{Bits: 8, Delta: 1.5},
+		{Bits: 8, Delta: -0.1},
+		{Bits: 8, Gamma: math.NaN()},
+		{Bits: 8, SquashThreshold: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := RunAdaptive(cfg, values, frand.New(1)); err == nil {
+			t.Errorf("case %d: invalid adaptive config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := RunAdaptive(AdaptiveConfig{Bits: 8}, []uint64{1}, frand.New(1)); !errors.Is(err, ErrInput) {
+		t.Errorf("single client err = %v", err)
+	}
+}
+
+func TestAdaptiveUnbiased(t *testing.T) {
+	values := encodeNormal(t, 700, 100, 6000, 12, 30)
+	truth := fixedpoint.Mean(values)
+	cfg := AdaptiveConfig{Bits: 12}
+	r := frand.New(31)
+	var s stats.Stream
+	for rep := 0; rep < 300; rep++ {
+		res, err := RunAdaptive(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Estimate)
+	}
+	if math.Abs(s.Mean()-truth) > 3.5*s.StdErr() {
+		t.Fatalf("adaptive mean %v vs truth %v (se %v): biased", s.Mean(), truth, s.StdErr())
+	}
+}
+
+func TestAdaptiveSplitsPopulation(t *testing.T) {
+	values := make([]uint64, 900)
+	cfg := AdaptiveConfig{Bits: 8, Delta: 1.0 / 3}
+	res, err := RunAdaptive(cfg, values, frand.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Round1.Reports != 300 {
+		t.Errorf("round-1 reports = %d, want 300", res.Round1.Reports)
+	}
+	if res.Round2.Reports != 600 {
+		t.Errorf("round-2 reports = %d, want 600", res.Round2.Reports)
+	}
+	if res.Reports != 900 {
+		t.Errorf("pooled reports = %d, want 900", res.Reports)
+	}
+}
+
+func TestAdaptiveDropsUnusedHighBits(t *testing.T) {
+	// Values fit in 7 bits; protocol runs at 20. Round 2 must give zero
+	// probability to the bits round 1 saw as empty.
+	values := encodeNormal(t, 64, 10, 20000, 20, 33)
+	cfg := AdaptiveConfig{Bits: 20}
+	res, err := RunAdaptive(cfg, values, frand.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 10; j < 20; j++ {
+		if res.Probs2[j] != 0 {
+			t.Errorf("round-2 prob for empty bit %d = %v, want 0", j, res.Probs2[j])
+		}
+	}
+	active := 0.0
+	for j := 0; j < 8; j++ {
+		active += res.Probs2[j]
+	}
+	if math.Abs(active-1) > 1e-9 {
+		t.Errorf("round-2 mass on active bits = %v, want 1", active)
+	}
+}
+
+func TestAdaptiveObliviousToBitDepth(t *testing.T) {
+	// Figures 1c/2c: one-round methods degrade as the assumed bit depth
+	// grows, the adaptive method barely moves.
+	mkValues := func(bits int, seed uint64) []uint64 {
+		return encodeNormal(t, 800, 100, 10000, bits, seed)
+	}
+	truthFor := fixedpoint.Mean
+	rmseAdaptive := func(bits int) float64 {
+		values := mkValues(bits, 35)
+		r := frand.New(36)
+		var ests []float64
+		for rep := 0; rep < 60; rep++ {
+			res, err := RunAdaptive(AdaptiveConfig{Bits: bits}, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.NRMSE(ests, truthFor(values))
+	}
+	rmseWeighted := func(bits int) float64 {
+		values := mkValues(bits, 35)
+		p, _ := GeometricProbs(bits, 1)
+		r := frand.New(37)
+		var ests []float64
+		for rep := 0; rep < 60; rep++ {
+			res, err := Run(Config{Bits: bits, Probs: p}, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.NRMSE(ests, truthFor(values))
+	}
+	a12, a24 := rmseAdaptive(12), rmseAdaptive(24)
+	w12, w24 := rmseWeighted(12), rmseWeighted(24)
+	if w24 < 2*w12 {
+		t.Fatalf("weighted method unexpectedly insensitive to bit depth: %v -> %v", w12, w24)
+	}
+	if a24 > 3*a12 {
+		t.Fatalf("adaptive method degraded with depth: %v -> %v", a12, a24)
+	}
+	if a24 >= w24 {
+		t.Fatalf("at depth 24 adaptive %v not below weighted %v", a24, w24)
+	}
+}
+
+func TestAdaptiveCachingPoolsBothRounds(t *testing.T) {
+	values := encodeNormal(t, 200, 30, 3000, 10, 38)
+	r := frand.New(39)
+	res, err := RunAdaptive(AdaptiveConfig{Bits: 10}, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10; j++ {
+		if res.Counts[j] != res.Round1.Counts[j]+res.Round2.Counts[j] {
+			t.Fatalf("pooled count[%d] = %d, rounds %d+%d", j, res.Counts[j], res.Round1.Counts[j], res.Round2.Counts[j])
+		}
+	}
+}
+
+func TestAdaptiveNoCacheUsesRoundTwoOnly(t *testing.T) {
+	values := encodeNormal(t, 200, 30, 3000, 10, 40)
+	r := frand.New(41)
+	res, err := RunAdaptive(AdaptiveConfig{Bits: 10, NoCache: true}, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports != res.Round2.Reports {
+		t.Fatalf("NoCache pooled %d reports, round 2 had %d", res.Reports, res.Round2.Reports)
+	}
+	if res.Estimate != res.Round2.Estimate {
+		t.Fatalf("NoCache estimate %v != round-2 estimate %v", res.Estimate, res.Round2.Estimate)
+	}
+}
+
+func TestAdaptiveCachingImprovesAccuracy(t *testing.T) {
+	// §3.2: pooling both rounds' reports "should only improve the observed
+	// accuracy". The effect is cleanest when every bit is active (a
+	// full-range uniform population), so pooling strictly increases every
+	// per-bit report count; there the pooled estimator's variance is a
+	// (1-δ) fraction of the round-2-only one.
+	r := frand.New(43)
+	values := make([]uint64, 4000)
+	for i := range values {
+		values[i] = r.Uint64n(1 << 12)
+	}
+	truth := fixedpoint.Mean(values)
+	rmse := func(noCache bool) float64 {
+		var ests []float64
+		for rep := 0; rep < 300; rep++ {
+			res, err := RunAdaptive(AdaptiveConfig{Bits: 12, NoCache: noCache}, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.RMSE(ests, truth)
+	}
+	withCache, without := rmse(false), rmse(true)
+	if withCache >= without {
+		t.Fatalf("caching RMSE %v not below no-cache RMSE %v", withCache, without)
+	}
+}
+
+func TestAdaptiveWithDPAndSquashing(t *testing.T) {
+	rr, _ := ldp.NewRandomizedResponse(2)
+	values := encodeNormal(t, 600, 100, 30000, 18, 44)
+	truth := fixedpoint.Mean(values)
+	thr := SquashFromNoise(rr, len(values)/18, 2)
+	cfg := AdaptiveConfig{Bits: 18, RR: rr, SquashThreshold: thr}
+	r := frand.New(45)
+	var ests []float64
+	for rep := 0; rep < 40; rep++ {
+		res, err := RunAdaptive(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, res.Estimate)
+	}
+	if nrmse := stats.NRMSE(ests, truth); nrmse > 0.2 {
+		t.Fatalf("DP adaptive NRMSE %v too large", nrmse)
+	}
+}
+
+func TestAdaptiveBeatsSingleRoundOnNarrowRange(t *testing.T) {
+	// The headline claim: when values occupy a narrow unknown range inside
+	// a wide bit budget, adaptive wins (§5, "bit-pushing greatly
+	// outperforms prior techniques when aggregated values are in a narrow
+	// range unknown in advance").
+	values := encodeNormal(t, 3000, 50, 10000, 16, 46)
+	truth := fixedpoint.Mean(values)
+	r := frand.New(47)
+	var adaptiveEsts, weightedEsts []float64
+	p, _ := GeometricProbs(16, 1)
+	for rep := 0; rep < 80; rep++ {
+		ar, err := RunAdaptive(AdaptiveConfig{Bits: 16}, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveEsts = append(adaptiveEsts, ar.Estimate)
+		wr, err := Run(Config{Bits: 16, Probs: p}, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weightedEsts = append(weightedEsts, wr.Estimate)
+	}
+	ae, we := stats.RMSE(adaptiveEsts, truth), stats.RMSE(weightedEsts, truth)
+	if ae >= we {
+		t.Fatalf("adaptive RMSE %v not below weighted RMSE %v", ae, we)
+	}
+}
+
+func TestAdaptiveConstantPopulation(t *testing.T) {
+	// Constant data: round-1 means are all 0/1, round 2 falls back to a
+	// uniform allocation and the estimate is still sane.
+	values := make([]uint64, 1000)
+	for i := range values {
+		values[i] = 5
+	}
+	res, err := RunAdaptive(AdaptiveConfig{Bits: 8}, values, frand.New(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Estimate-5) > 1e-9 {
+		t.Fatalf("constant population estimate %v, want 5", res.Estimate)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	values := encodeNormal(t, 100, 20, 2000, 10, 49)
+	a, err := RunAdaptive(AdaptiveConfig{Bits: 10}, values, frand.New(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptive(AdaptiveConfig{Bits: 10}, values, frand.New(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatal("adaptive run not deterministic for fixed seed")
+	}
+}
+
+func TestAdaptiveTinyPopulations(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10} {
+		values := make([]uint64, n)
+		for i := range values {
+			values[i] = uint64(i % 4)
+		}
+		if _, err := RunAdaptive(AdaptiveConfig{Bits: 4}, values, frand.New(51)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

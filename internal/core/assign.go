@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/frand"
+)
+
+// RandomnessMode selects who decides which bit a client reports (§3.1,
+// "Local vs. central randomness").
+type RandomnessMode int
+
+const (
+	// CentralRandomness has the server partition clients across bits so
+	// that exactly round(n·p_j) clients report bit j — the quasi-Monte
+	// Carlo sampling the paper adopts by default. It reduces the variance
+	// of report counts and blunts poisoning: a malicious client cannot
+	// choose to report the most significant bit.
+	CentralRandomness RandomnessMode = iota
+	// LocalRandomness has each client draw its own bit index from p. The
+	// paper notes this "is more vulnerable to clients who may try to
+	// poison the response by distorting the reported values of high-order
+	// bits"; the poisoning ablation quantifies that.
+	LocalRandomness
+)
+
+// String implements fmt.Stringer.
+func (m RandomnessMode) String() string {
+	switch m {
+	case CentralRandomness:
+		return "central"
+	case LocalRandomness:
+		return "local"
+	default:
+		return fmt.Sprintf("RandomnessMode(%d)", int(m))
+	}
+}
+
+// Allocate converts a probability vector into exact per-bit report counts
+// summing to n, using largest-remainder rounding so counts match n·p_j to
+// within one report. probs must be normalized (Normalize).
+func Allocate(probs []float64, n int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrInput, n)
+	}
+	probs, err := Normalize(probs)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(probs))
+	type rem struct {
+		j    int
+		frac float64
+	}
+	rems := make([]rem, len(probs))
+	assigned := 0
+	for j, p := range probs {
+		exact := p * float64(n)
+		counts[j] = int(exact)
+		assigned += counts[j]
+		rems[j] = rem{j: j, frac: exact - float64(counts[j])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].j > rems[b].j // deterministic tie-break toward high bits
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].j]++
+		assigned++
+	}
+	return counts, nil
+}
+
+// Assign maps each of n clients to the bit index it must report, realizing
+// the Allocate counts with a seeded Fisher–Yates shuffle (central
+// randomness / QMC). The returned slice has length n; entry i is client
+// i's bit index.
+func Assign(counts []int, r *frand.RNG) []int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	assignment := make([]int, n)
+	i := 0
+	for j, c := range counts {
+		for k := 0; k < c; k++ {
+			assignment[i] = j
+			i++
+		}
+	}
+	r.ShuffleInts(assignment)
+	return assignment
+}
+
+// AssignLocal draws one bit index per client independently from probs
+// (local randomness). probs must be normalized.
+func AssignLocal(probs []float64, n int, r *frand.RNG) []int {
+	cdf := make([]float64, len(probs))
+	acc := 0.0
+	for j, p := range probs {
+		acc += p
+		cdf[j] = acc
+	}
+	assignment := make([]int, n)
+	for i := range assignment {
+		u := r.Float64()
+		j := sort.SearchFloat64s(cdf, u)
+		if j >= len(cdf) {
+			j = len(cdf) - 1
+		}
+		assignment[i] = j
+	}
+	return assignment
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+)
+
+func TestAllocateExactSum(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 9999} {
+		p, _ := GeometricProbs(8, 0.5)
+		counts, err := Allocate(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count %d", c)
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("n=%d: counts sum to %d", n, total)
+		}
+	}
+}
+
+func TestAllocateWithinOneOfExact(t *testing.T) {
+	p, _ := GeometricProbs(10, 1)
+	n := 12345
+	counts, err := Allocate(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range counts {
+		exact := p[j] * float64(n)
+		if math.Abs(float64(c)-exact) >= 1 {
+			t.Fatalf("count[%d] = %d, exact %v: off by >= 1", j, c, exact)
+		}
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate([]float64{0.5, 0.5}, -1); !errors.Is(err, ErrInput) {
+		t.Errorf("negative n err = %v", err)
+	}
+	if _, err := Allocate([]float64{-1, 2}, 10); !errors.Is(err, ErrProbs) {
+		t.Errorf("bad probs err = %v", err)
+	}
+}
+
+func TestAllocateUnnormalizedInput(t *testing.T) {
+	// Allocate normalizes internally: weights {1, 3} over 100 clients.
+	counts, err := Allocate([]float64{1, 3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 25 || counts[1] != 75 {
+		t.Fatalf("counts = %v, want [25 75]", counts)
+	}
+}
+
+func TestAssignRealizesCounts(t *testing.T) {
+	counts := []int{3, 0, 5, 2}
+	assignment := Assign(counts, frand.New(1))
+	if len(assignment) != 10 {
+		t.Fatalf("assignment length %d", len(assignment))
+	}
+	got := make([]int, 4)
+	for _, j := range assignment {
+		got[j]++
+	}
+	for j := range counts {
+		if got[j] != counts[j] {
+			t.Fatalf("bit %d assigned %d times, want %d", j, got[j], counts[j])
+		}
+	}
+}
+
+func TestAssignShuffles(t *testing.T) {
+	counts := []int{500, 500}
+	assignment := Assign(counts, frand.New(2))
+	// If unshuffled, the first 500 entries would all be bit 0. Count runs.
+	runs := 1
+	for i := 1; i < len(assignment); i++ {
+		if assignment[i] != assignment[i-1] {
+			runs++
+		}
+	}
+	if runs < 100 {
+		t.Fatalf("assignment barely shuffled: %d runs", runs)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	counts := []int{10, 20, 30}
+	a := Assign(counts, frand.New(7))
+	b := Assign(counts, frand.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Assign not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestAssignLocalDistribution(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.3, 0.4}
+	n := 100000
+	assignment := AssignLocal(p, n, frand.New(3))
+	counts := make([]int, 4)
+	for _, j := range assignment {
+		counts[j]++
+	}
+	for j := range p {
+		got := float64(counts[j]) / float64(n)
+		if math.Abs(got-p[j]) > 0.01 {
+			t.Fatalf("local assignment freq[%d] = %v, want %v", j, got, p[j])
+		}
+	}
+}
+
+func TestAssignLocalHigherCountVarianceThanCentral(t *testing.T) {
+	// The QMC motivation: central assignment has (near-)zero variance in
+	// per-bit report counts, local assignment has binomial variance.
+	p, _ := UniformProbs(4)
+	n := 1000
+	var centralVar, localVar float64
+	const reps = 200
+	for rep := 0; rep < reps; rep++ {
+		counts, _ := Allocate(p, n)
+		central := Assign(counts, frand.New(uint64(rep)))
+		local := AssignLocal(p, n, frand.New(uint64(rep)+10000))
+		cc := make([]float64, 4)
+		lc := make([]float64, 4)
+		for _, j := range central {
+			cc[j]++
+		}
+		for _, j := range local {
+			lc[j]++
+		}
+		d := cc[0] - 250
+		centralVar += d * d
+		d = lc[0] - 250
+		localVar += d * d
+	}
+	if centralVar >= localVar/10 {
+		t.Fatalf("central count variance %v not far below local %v", centralVar/reps, localVar/reps)
+	}
+}
+
+func TestRandomnessModeString(t *testing.T) {
+	if CentralRandomness.String() != "central" || LocalRandomness.String() != "local" {
+		t.Error("RandomnessMode strings wrong")
+	}
+	if RandomnessMode(9).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+// Config parametrizes one round of basic bit-pushing (Algorithm 1).
+type Config struct {
+	// Bits is the bit depth b; clients report binary digits of their value
+	// at indices [0, Bits).
+	Bits int
+	// Probs is the bit-sampling probability vector p (length Bits, sums to
+	// 1). See UniformProbs, GeometricProbs, WeightedProbs.
+	Probs []float64
+	// RR, when non-nil, applies ε-LDP randomized response to every
+	// reported bit; the aggregator unbiases the resulting means (§3.3).
+	RR *ldp.RandomizedResponse
+	// BSend is the number of bits each client reports (Corollary 3.2).
+	// Zero means 1, the paper's default and privacy stance.
+	BSend int
+	// Randomness selects central (QMC, default) or local bit selection.
+	Randomness RandomnessMode
+	// SquashThreshold, when positive, zeroes any bit mean whose magnitude
+	// falls below it before the final estimate ("bit squashing", §3.3).
+	SquashThreshold float64
+	// SquashMultiple, when positive and RR is set, squashes each bit whose
+	// mean magnitude falls below SquashMultiple times that bit's own
+	// expected DP-noise standard deviation (which depends on how many
+	// reports the bit received). This is the Figure 4a x-axis — "the
+	// threshold for bit squashing as a multiple of the expected amount of
+	// DP noise" — calibrated per bit rather than globally, so sparsely
+	// sampled bits are held to a proportionally looser threshold.
+	SquashMultiple float64
+}
+
+func (c *Config) bsend() int {
+	if c.BSend == 0 {
+		return 1
+	}
+	return c.BSend
+}
+
+func (c *Config) validate() error {
+	if err := checkBits(c.Bits); err != nil {
+		return err
+	}
+	if len(c.Probs) != c.Bits {
+		return fmt.Errorf("%w: %d probabilities for %d bits", ErrProbs, len(c.Probs), c.Bits)
+	}
+	if _, err := Normalize(c.Probs); err != nil {
+		return err
+	}
+	if b := c.bsend(); b < 1 || b > c.Bits {
+		return fmt.Errorf("%w: BSend=%d with %d bits", ErrInput, c.BSend, c.Bits)
+	}
+	if c.SquashThreshold < 0 || math.IsNaN(c.SquashThreshold) {
+		return fmt.Errorf("%w: SquashThreshold=%v", ErrInput, c.SquashThreshold)
+	}
+	if c.SquashMultiple < 0 || math.IsNaN(c.SquashMultiple) {
+		return fmt.Errorf("%w: SquashMultiple=%v", ErrInput, c.SquashMultiple)
+	}
+	return nil
+}
+
+// Report is one client's disclosure: the index of the sampled bit and the
+// (possibly randomized-response perturbed) bit value. This is the entire
+// private payload a client transmits — the paper's "at most one bit per
+// value" tenet.
+type Report struct {
+	Bit   int
+	Value uint64
+}
+
+// Result holds the aggregator's view after one or more pooled rounds.
+type Result struct {
+	// Estimate is the estimated mean in encoded (integer) units, after
+	// unbiasing and squashing.
+	Estimate float64
+	// BitMeans are the per-bit unbiased mean estimates m_j, before
+	// squashing. Under DP noise they may fall outside [0, 1] (Figure 4b).
+	BitMeans []float64
+	// Counts are the number of reports received per bit.
+	Counts []int
+	// Sums are the raw (pre-unbiasing) sums of reported bit values.
+	Sums []float64
+	// Squashed flags bits whose means were zeroed by the squash threshold.
+	Squashed []bool
+	// Reports is the total number of bit reports aggregated.
+	Reports int
+}
+
+// HighestActiveBit returns the largest bit index whose mean survived
+// squashing and is non-zero, or -1 if none. This is the aggregator's
+// estimate of b_max, used for upper-bound tracking (§3.2, §4.3).
+func (r *Result) HighestActiveBit() int {
+	for j := len(r.BitMeans) - 1; j >= 0; j-- {
+		if !r.Squashed[j] && r.BitMeans[j] > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// UpperBound returns 2^(HighestActiveBit+1) - 1, an upper bound on the
+// magnitude the aggregated values appear to use. §1.1: "our method can
+// report an upper bound on the aggregated samples, and flag when this
+// bound changes significantly over time."
+func (r *Result) UpperBound() uint64 {
+	h := r.HighestActiveBit()
+	if h < 0 {
+		return 0
+	}
+	return 1<<uint(h+1) - 1
+}
+
+// MakeReports runs the client side of Algorithm 1: assign each of the n
+// clients to bit indices per cfg.Probs and cfg.Randomness, read the bits of
+// their private values, and apply randomized response when configured.
+// With BSend > 1 each client contributes BSend reports drawn by repeating
+// the assignment process.
+func MakeReports(cfg Config, values []uint64, r *frand.RNG) ([]Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(values)
+	reports := make([]Report, 0, n*cfg.bsend())
+	probs, err := Normalize(cfg.Probs)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < cfg.bsend(); pass++ {
+		var assignment []int
+		switch cfg.Randomness {
+		case LocalRandomness:
+			assignment = AssignLocal(probs, n, r)
+		default:
+			counts, err := Allocate(probs, n)
+			if err != nil {
+				return nil, err
+			}
+			assignment = Assign(counts, r)
+		}
+		for i, j := range assignment {
+			bit := (values[i] >> uint(j)) & 1
+			if cfg.RR != nil {
+				bit = cfg.RR.Apply(bit, r)
+			}
+			reports = append(reports, Report{Bit: j, Value: bit})
+		}
+	}
+	return reports, nil
+}
+
+// Aggregate runs the server side of Algorithm 1 over a batch of reports:
+// per-bit sums and counts, unbiased means, squashing, and the weighted
+// reconstruction r = Σ_j 2^j · m_j.
+func Aggregate(cfg Config, reports []Report) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		BitMeans: make([]float64, cfg.Bits),
+		Counts:   make([]int, cfg.Bits),
+		Sums:     make([]float64, cfg.Bits),
+		Squashed: make([]bool, cfg.Bits),
+	}
+	for _, rep := range reports {
+		if rep.Bit < 0 || rep.Bit >= cfg.Bits {
+			return nil, fmt.Errorf("%w: report for bit %d outside [0,%d)", ErrInput, rep.Bit, cfg.Bits)
+		}
+		if rep.Value > 1 {
+			return nil, fmt.Errorf("%w: report value %d is not a bit", ErrInput, rep.Value)
+		}
+		res.Sums[rep.Bit] += float64(rep.Value)
+		res.Counts[rep.Bit]++
+		res.Reports++
+	}
+	finalize(cfg, res)
+	return res, nil
+}
+
+// finalize computes unbiased means, applies squashing and reconstructs the
+// estimate from the (possibly squashed) means.
+func finalize(cfg Config, res *Result) {
+	// The noise-scaled squash test runs once per bit, so an escaped noise
+	// excursion anywhere among b bits corrupts the estimate by 2^j times
+	// its magnitude. Correct for the implicit max over b tests with the
+	// Gaussian maximal-inequality term sqrt(2 ln b) added to the caller's
+	// multiple; without it, a 2σ threshold at b=24 lets some vacuous bit
+	// through in roughly half of all runs.
+	bonferroni := math.Sqrt(2 * math.Log(float64(cfg.Bits)))
+	for j := 0; j < cfg.Bits; j++ {
+		res.Squashed[j] = false
+		if res.Counts[j] == 0 {
+			res.BitMeans[j] = 0
+			continue
+		}
+		m := res.Sums[j] / float64(res.Counts[j])
+		if cfg.RR != nil {
+			m = cfg.RR.UnbiasMean(m)
+		}
+		res.BitMeans[j] = m
+		thr := cfg.SquashThreshold
+		if cfg.SquashMultiple > 0 && cfg.RR != nil {
+			thr = math.Max(thr, (cfg.SquashMultiple+bonferroni)*cfg.RR.NoiseStdForMean(res.Counts[j]))
+		}
+		if thr > 0 && math.Abs(m) < thr {
+			res.Squashed[j] = true
+		}
+	}
+	recomputeEstimate(res)
+}
+
+// recomputeEstimate rebuilds the mean reconstruction r = Σ_j 2^j · m_j
+// from the current bit means, skipping squashed bits.
+func recomputeEstimate(res *Result) {
+	res.Estimate = 0
+	for j, m := range res.BitMeans {
+		if res.Squashed[j] {
+			continue
+		}
+		res.Estimate += math.Ldexp(m, j)
+	}
+}
+
+// Pool combines the raw sums and counts of several per-round aggregates —
+// the "caching" of §3.2 — and recomputes unbiased means, squashing and the
+// estimate under cfg. All parts must have cfg.Bits bit positions.
+func Pool(cfg Config, parts ...*Result) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pooled := &Result{
+		BitMeans: make([]float64, cfg.Bits),
+		Counts:   make([]int, cfg.Bits),
+		Sums:     make([]float64, cfg.Bits),
+		Squashed: make([]bool, cfg.Bits),
+	}
+	for _, part := range parts {
+		if len(part.Sums) != cfg.Bits || len(part.Counts) != cfg.Bits {
+			return nil, fmt.Errorf("%w: pooling result with %d bits into %d", ErrInput, len(part.Sums), cfg.Bits)
+		}
+		for j := 0; j < cfg.Bits; j++ {
+			pooled.Sums[j] += part.Sums[j]
+			pooled.Counts[j] += part.Counts[j]
+		}
+		pooled.Reports += part.Reports
+	}
+	finalize(cfg, pooled)
+	return pooled, nil
+}
+
+// Run executes one full round of basic bit-pushing over the encoded client
+// values and returns the aggregate result. It is the reference entry point
+// for Algorithm 1; the federated package drives the same MakeReports /
+// Aggregate pair across a transport instead.
+func Run(cfg Config, values []uint64, r *frand.RNG) (*Result, error) {
+	reports, err := MakeReports(cfg, values, r)
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(cfg, reports)
+}
+
+// SquashFromNoise converts a squash level expressed as a multiple of the
+// expected DP noise (the x-axis of Figure 4a) into an absolute bit-mean
+// threshold: multiple × the std of a bit mean aggregated from
+// reportsPerBit unbiased randomized-response reports. A nil rr or
+// non-positive multiple disables squashing (returns 0).
+func SquashFromNoise(rr *ldp.RandomizedResponse, reportsPerBit int, multiple float64) float64 {
+	if rr == nil || multiple <= 0 || reportsPerBit <= 0 {
+		return 0
+	}
+	return multiple * rr.NoiseStdForMean(reportsPerBit)
+}

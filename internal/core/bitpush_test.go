@@ -1,0 +1,378 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// encodeNormal draws a Normal population and encodes it at the given depth.
+func encodeNormal(t *testing.T, mu, sigma float64, n, bits int, seed uint64) []uint64 {
+	t.Helper()
+	vals := workload.Normal{Mu: mu, Sigma: sigma}.Sample(frand.New(seed), n)
+	return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+}
+
+func TestConfigValidation(t *testing.T) {
+	p, _ := UniformProbs(8)
+	cases := []Config{
+		{Bits: 0, Probs: p},
+		{Bits: 8, Probs: p[:4]},
+		{Bits: 8, Probs: make([]float64, 8)}, // all-zero probs
+		{Bits: 8, Probs: p, BSend: 9},
+		{Bits: 8, Probs: p, BSend: -1},
+		{Bits: 8, Probs: p, SquashThreshold: -0.1},
+		{Bits: 8, Probs: p, SquashThreshold: math.NaN()},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg, []uint64{1}, frand.New(1)); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAggregateExactRecovery(t *testing.T) {
+	// If every client reports every bit, the reconstruction is exact: the
+	// linear-decomposition identity of §3.1 at the protocol level.
+	values := []uint64{3, 9, 250, 17, 88, 255, 128, 0}
+	bits := 8
+	p, _ := UniformProbs(bits)
+	cfg := Config{Bits: bits, Probs: p}
+	var reports []Report
+	for _, v := range values {
+		for j := 0; j < bits; j++ {
+			reports = append(reports, Report{Bit: j, Value: (v >> uint(j)) & 1})
+		}
+	}
+	res, err := Aggregate(cfg, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fixedpoint.Mean(values)
+	if math.Abs(res.Estimate-want) > 1e-9 {
+		t.Fatalf("full-census estimate %v, want %v", res.Estimate, want)
+	}
+	if res.Reports != len(reports) {
+		t.Errorf("Reports = %d", res.Reports)
+	}
+}
+
+func TestAggregateRejectsBadReports(t *testing.T) {
+	p, _ := UniformProbs(4)
+	cfg := Config{Bits: 4, Probs: p}
+	if _, err := Aggregate(cfg, []Report{{Bit: 4, Value: 0}}); !errors.Is(err, ErrInput) {
+		t.Errorf("out-of-range bit err = %v", err)
+	}
+	if _, err := Aggregate(cfg, []Report{{Bit: -1, Value: 0}}); !errors.Is(err, ErrInput) {
+		t.Errorf("negative bit err = %v", err)
+	}
+	if _, err := Aggregate(cfg, []Report{{Bit: 0, Value: 2}}); !errors.Is(err, ErrInput) {
+		t.Errorf("non-bit value err = %v", err)
+	}
+}
+
+func TestRunUnbiased(t *testing.T) {
+	// Lemma 3.1: the estimator is unbiased. Average many independent runs
+	// against the exact mean of a fixed population.
+	values := encodeNormal(t, 1000, 100, 5000, 12, 1)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(12, 1)
+	cfg := Config{Bits: 12, Probs: p}
+	r := frand.New(2)
+	var s stats.Stream
+	for rep := 0; rep < 400; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Estimate)
+	}
+	if math.Abs(s.Mean()-truth) > 3*s.StdErr()+1e-9 {
+		t.Fatalf("mean of estimates %v vs truth %v (3·se = %v): biased", s.Mean(), truth, 3*s.StdErr())
+	}
+}
+
+func TestRunVarianceMatchesLemma31(t *testing.T) {
+	// Empirical variance across runs must be close to (and, because QMC
+	// samples without replacement from a finite population, not exceed)
+	// the Lemma 3.1 prediction (1/n) Σ 4^j m_j(1-m_j)/p_j.
+	values := encodeNormal(t, 400, 80, 2000, 10, 3)
+	bitMeans := fixedpoint.BitMeans(values, 10)
+	p, _ := GeometricProbs(10, 1)
+	predicted := PredictedVariance(bitMeans, p, len(values))
+	cfg := Config{Bits: 10, Probs: p}
+	r := frand.New(4)
+	var s stats.Stream
+	for rep := 0; rep < 1500; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Estimate)
+	}
+	got := s.Variance()
+	if got > 1.15*predicted {
+		t.Fatalf("empirical variance %v exceeds Lemma 3.1 bound %v", got, predicted)
+	}
+	if got < 0.4*predicted {
+		t.Fatalf("empirical variance %v implausibly far below prediction %v", got, predicted)
+	}
+}
+
+func TestOptimalProbsReduceEmpiricalError(t *testing.T) {
+	// Using the optimal allocation must beat uniform on real runs.
+	values := encodeNormal(t, 900, 60, 4000, 12, 5)
+	truth := fixedpoint.Mean(values)
+	bitMeans := fixedpoint.BitMeans(values, 12)
+	opt, _ := OptimalProbs(bitMeans)
+	uni, _ := UniformProbs(12)
+	r := frand.New(6)
+	errFor := func(p []float64) float64 {
+		cfg := Config{Bits: 12, Probs: p}
+		var ests []float64
+		for rep := 0; rep < 150; rep++ {
+			res, err := Run(cfg, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.RMSE(ests, truth)
+	}
+	if eOpt, eUni := errFor(opt), errFor(uni); eOpt >= eUni {
+		t.Fatalf("optimal RMSE %v not below uniform RMSE %v", eOpt, eUni)
+	}
+}
+
+func TestBSendReducesVariance(t *testing.T) {
+	// Corollary 3.2: sending more bits per client shrinks variance.
+	values := encodeNormal(t, 500, 90, 2000, 10, 7)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(10, 1)
+	r := frand.New(8)
+	errFor := func(bsend int) float64 {
+		cfg := Config{Bits: 10, Probs: p, BSend: bsend}
+		var ests []float64
+		for rep := 0; rep < 200; rep++ {
+			res, err := Run(cfg, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.RMSE(ests, truth)
+	}
+	e1, e4 := errFor(1), errFor(4)
+	if e4 >= e1 {
+		t.Fatalf("BSend=4 RMSE %v not below BSend=1 RMSE %v", e4, e1)
+	}
+}
+
+func TestBSendReportCount(t *testing.T) {
+	values := make([]uint64, 100)
+	p, _ := UniformProbs(8)
+	reports, err := MakeReports(Config{Bits: 8, Probs: p, BSend: 3}, values, frand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 300 {
+		t.Fatalf("BSend=3 produced %d reports, want 300", len(reports))
+	}
+}
+
+func TestRandomizedResponseIntegrationUnbiased(t *testing.T) {
+	rr, _ := ldp.NewRandomizedResponse(1.5)
+	values := encodeNormal(t, 600, 100, 20000, 10, 10)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(10, 1)
+	cfg := Config{Bits: 10, Probs: p, RR: rr}
+	r := frand.New(11)
+	var s stats.Stream
+	for rep := 0; rep < 300; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Estimate)
+	}
+	if math.Abs(s.Mean()-truth) > 3.5*s.StdErr() {
+		t.Fatalf("DP estimate mean %v vs truth %v (se %v): biased", s.Mean(), truth, s.StdErr())
+	}
+}
+
+func TestRandomizedResponseIncreasesError(t *testing.T) {
+	values := encodeNormal(t, 600, 100, 5000, 10, 12)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(10, 1)
+	r := frand.New(13)
+	errFor := func(rr *ldp.RandomizedResponse) float64 {
+		cfg := Config{Bits: 10, Probs: p, RR: rr}
+		var ests []float64
+		for rep := 0; rep < 100; rep++ {
+			res, err := Run(cfg, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.RMSE(ests, truth)
+	}
+	rr, _ := ldp.NewRandomizedResponse(1)
+	plain, private := errFor(nil), errFor(rr)
+	if private <= 2*plain {
+		t.Fatalf("eps=1 RMSE %v not well above noise-free RMSE %v", private, plain)
+	}
+}
+
+func TestSquashingZeroesNoiseBits(t *testing.T) {
+	// Values fit in 6 bits but the protocol runs at 16 bits with DP noise;
+	// squashing must flag the vacuous high bits.
+	rr, _ := ldp.NewRandomizedResponse(2)
+	values := encodeNormal(t, 40, 5, 30000, 16, 14)
+	p, _ := GeometricProbs(16, 0.5)
+	thr := SquashFromNoise(rr, len(values)/16, 3)
+	cfg := Config{Bits: 16, Probs: p, RR: rr, SquashThreshold: thr}
+	res, err := Run(cfg, values, frand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 10; j < 16; j++ {
+		if !res.Squashed[j] {
+			t.Errorf("vacuous bit %d not squashed (mean %v, thr %v)", j, res.BitMeans[j], thr)
+		}
+	}
+	for j := 2; j <= 5; j++ {
+		if res.Squashed[j] {
+			t.Errorf("active bit %d squashed (mean %v)", j, res.BitMeans[j])
+		}
+	}
+}
+
+func TestSquashingImprovesDPAccuracy(t *testing.T) {
+	// Figure 4a/4c: with many vacuous high bits under DP, squashing cuts
+	// the error dramatically.
+	rr, _ := ldp.NewRandomizedResponse(2)
+	values := encodeNormal(t, 800, 100, 20000, 20, 16)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(20, 0.5)
+	r := frand.New(17)
+	errFor := func(thr float64) float64 {
+		cfg := Config{Bits: 20, Probs: p, RR: rr, SquashThreshold: thr}
+		var ests []float64
+		for rep := 0; rep < 60; rep++ {
+			res, err := Run(cfg, values, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests = append(ests, res.Estimate)
+		}
+		return stats.RMSE(ests, truth)
+	}
+	noSquash := errFor(0)
+	squash := errFor(0.05)
+	if squash >= noSquash/2 {
+		t.Fatalf("squash RMSE %v not well below unsquashed %v", squash, noSquash)
+	}
+}
+
+func TestHighestActiveBitAndUpperBound(t *testing.T) {
+	res := &Result{
+		BitMeans: []float64{0.5, 0, 0.25, 0.01, 0},
+		Squashed: []bool{false, false, false, true, false},
+	}
+	if got := res.HighestActiveBit(); got != 2 {
+		t.Fatalf("HighestActiveBit = %d, want 2", got)
+	}
+	if got := res.UpperBound(); got != 7 {
+		t.Fatalf("UpperBound = %d, want 7", got)
+	}
+	empty := &Result{BitMeans: []float64{0, 0}, Squashed: []bool{false, false}}
+	if empty.HighestActiveBit() != -1 || empty.UpperBound() != 0 {
+		t.Error("all-zero result should report no active bit")
+	}
+}
+
+func TestLocalRandomnessAlsoUnbiased(t *testing.T) {
+	values := encodeNormal(t, 300, 50, 5000, 10, 18)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(10, 1)
+	cfg := Config{Bits: 10, Probs: p, Randomness: LocalRandomness}
+	r := frand.New(19)
+	var s stats.Stream
+	for rep := 0; rep < 300; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Estimate)
+	}
+	if math.Abs(s.Mean()-truth) > 3.5*s.StdErr() {
+		t.Fatalf("local-randomness mean %v vs truth %v: biased", s.Mean(), truth)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	values := encodeNormal(t, 100, 10, 1000, 8, 20)
+	p, _ := GeometricProbs(8, 0.5)
+	cfg := Config{Bits: 8, Probs: p}
+	a, err := Run(cfg, values, frand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, values, frand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatalf("non-deterministic: %v vs %v", a.Estimate, b.Estimate)
+	}
+}
+
+func TestRunEmptyPopulation(t *testing.T) {
+	p, _ := UniformProbs(4)
+	res, err := Run(Config{Bits: 4, Probs: p}, nil, frand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || res.Reports != 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func TestCountsMatchAllocation(t *testing.T) {
+	values := make([]uint64, 1000)
+	p, _ := GeometricProbs(6, 1)
+	counts, _ := Allocate(p, 1000)
+	res, err := Run(Config{Bits: 6, Probs: p}, values, frand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range counts {
+		if res.Counts[j] != counts[j] {
+			t.Fatalf("bit %d received %d reports, want %d", j, res.Counts[j], counts[j])
+		}
+	}
+}
+
+func TestSquashFromNoise(t *testing.T) {
+	rr, _ := ldp.NewRandomizedResponse(2)
+	if got := SquashFromNoise(nil, 100, 1); got != 0 {
+		t.Errorf("nil rr: %v", got)
+	}
+	if got := SquashFromNoise(rr, 100, 0); got != 0 {
+		t.Errorf("zero multiple: %v", got)
+	}
+	if got := SquashFromNoise(rr, 0, 1); got != 0 {
+		t.Errorf("zero reports: %v", got)
+	}
+	want := 2 * rr.NoiseStdForMean(400)
+	if got := SquashFromNoise(rr, 400, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SquashFromNoise = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// BoundTracker watches the upper bound reported by successive aggregation
+// rounds and flags significant movement. §1.1: for high-skew quantities
+// "our method can report an upper bound on the aggregated samples, and
+// flag when this bound changes significantly over time, indicating a
+// heavy-tail and/or non-stationary distribution."
+//
+// The tracker compares each round's highest active bit against the highest
+// seen over a trailing window; a jump of Tolerance or more bits in either
+// direction raises a flag. The zero value is not valid; use NewBoundTracker.
+type BoundTracker struct {
+	window    int
+	tolerance int
+	history   []int // ring buffer of recent highest-active-bit values
+	pos       int
+	filled    bool
+	flags     int
+	rounds    int
+}
+
+// NewBoundTracker returns a tracker comparing each observation against the
+// preceding `window` rounds and flagging moves of at least `tolerance`
+// bits (each bit is a 2x change in magnitude). It panics on non-positive
+// parameters, a configuration error.
+func NewBoundTracker(window, tolerance int) *BoundTracker {
+	if window < 1 || tolerance < 1 {
+		panic(fmt.Sprintf("core: NewBoundTracker(%d, %d): parameters must be positive", window, tolerance))
+	}
+	return &BoundTracker{
+		window:    window,
+		tolerance: tolerance,
+		history:   make([]int, window),
+	}
+}
+
+// Observe records one round's result and reports whether the round's
+// upper bound moved significantly relative to the trailing window. The
+// first `window` observations establish a baseline and never flag.
+func (t *BoundTracker) Observe(res *Result) bool {
+	return t.ObserveBit(res.HighestActiveBit())
+}
+
+// ObserveBit is Observe for a raw highest-active-bit value (useful when a
+// deployment computes b_max elsewhere).
+func (t *BoundTracker) ObserveBit(highest int) bool {
+	t.rounds++
+	flagged := false
+	if t.filled {
+		lo, hi := t.history[0], t.history[0]
+		for _, h := range t.history[1:] {
+			if h < lo {
+				lo = h
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		if highest >= hi+t.tolerance || highest <= lo-t.tolerance {
+			flagged = true
+			t.flags++
+		}
+	}
+	t.history[t.pos] = highest
+	t.pos++
+	if t.pos == t.window {
+		t.pos = 0
+		t.filled = true
+	}
+	return flagged
+}
+
+// Flags returns the number of flagged rounds so far.
+func (t *BoundTracker) Flags() int { return t.flags }
+
+// Rounds returns the number of observed rounds.
+func (t *BoundTracker) Rounds() int { return t.rounds }
+
+// IsolatedActiveBits returns the indices of active bits separated from the
+// next active bit below them by more than `gap` inactive positions. Binary
+// expansions of real value distributions have contiguously decaying bit
+// means, so an isolated active high bit — for example, mean 0.02 at bit 15
+// above a dense region ending at bit 4 — is the §5 poisoning signature: a
+// byzantine cohort deterministically asserting the most significant bit.
+// (A population genuinely concentrated near an isolated power of two also
+// triggers this; treat it as an advisory, not proof.)
+//
+// A bit counts as active when it received reports, survived squashing, and
+// its mean clears `floor` (use a small constant like 0.01 to ignore
+// numerically trivial means).
+func (r *Result) IsolatedActiveBits(gap int, floor float64) []int {
+	if gap < 1 {
+		gap = 1
+	}
+	last := -1
+	var isolated []int
+	for j := range r.BitMeans {
+		active := r.Counts[j] > 0 && !r.Squashed[j] && r.BitMeans[j] > floor
+		if !active {
+			continue
+		}
+		if last >= 0 && j-last > gap {
+			isolated = append(isolated, j)
+		}
+		last = j
+	}
+	return isolated
+}

@@ -1,0 +1,158 @@
+package core
+
+import "testing"
+
+func TestIsolatedActiveBits(t *testing.T) {
+	res := &Result{
+		// Dense region bits 0-4, dead 5-14, poisoned bit 15.
+		BitMeans: []float64{0.5, 0.4, 0.3, 0.3, 0.2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0.02},
+		Counts:   []int{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9},
+		Squashed: make([]bool, 16),
+	}
+	got := res.IsolatedActiveBits(3, 0.01)
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("IsolatedActiveBits = %v, want [15]", got)
+	}
+}
+
+func TestIsolatedActiveBitsContiguousClean(t *testing.T) {
+	res := &Result{
+		BitMeans: []float64{0.5, 0.5, 0.4, 0.6, 0.9, 0.3, 0, 0},
+		Counts:   []int{5, 5, 5, 5, 5, 5, 5, 5},
+		Squashed: make([]bool, 8),
+	}
+	if got := res.IsolatedActiveBits(3, 0.01); len(got) != 0 {
+		t.Fatalf("contiguous means flagged: %v", got)
+	}
+}
+
+func TestIsolatedActiveBitsRespectsSquashAndFloor(t *testing.T) {
+	res := &Result{
+		BitMeans: []float64{0.5, 0, 0, 0, 0, 0, 0.3, 0.005},
+		Counts:   []int{5, 5, 5, 5, 5, 5, 5, 5},
+		Squashed: []bool{false, false, false, false, false, false, true, false},
+	}
+	// Bit 6 is squashed, bit 7 below the floor: nothing isolated.
+	if got := res.IsolatedActiveBits(3, 0.01); len(got) != 0 {
+		t.Fatalf("squashed/floored bits flagged: %v", got)
+	}
+	// Unsquash bit 6: isolated above the gap from bit 0.
+	res.Squashed[6] = false
+	if got := res.IsolatedActiveBits(3, 0.01); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("IsolatedActiveBits = %v, want [6]", got)
+	}
+}
+
+func TestIsolatedActiveBitsGapClamped(t *testing.T) {
+	res := &Result{
+		BitMeans: []float64{0.5, 0, 0.5},
+		Counts:   []int{5, 5, 5},
+		Squashed: make([]bool, 3),
+	}
+	// gap < 1 clamps to 1: bit 2 is 2 positions above bit 0 -> isolated.
+	if got := res.IsolatedActiveBits(0, 0.01); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("IsolatedActiveBits = %v, want [2]", got)
+	}
+}
+
+func TestNewBoundTrackerPanics(t *testing.T) {
+	for _, c := range []struct{ w, tol int }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBoundTracker(%d,%d) did not panic", c.w, c.tol)
+				}
+			}()
+			NewBoundTracker(c.w, c.tol)
+		}()
+	}
+}
+
+func TestBoundTrackerBaselineNeverFlags(t *testing.T) {
+	tr := NewBoundTracker(3, 1)
+	for i := 0; i < 3; i++ {
+		if tr.ObserveBit(10 + i*5) {
+			t.Fatalf("flagged during baseline window at round %d", i)
+		}
+	}
+}
+
+func TestBoundTrackerFlagsJumpUp(t *testing.T) {
+	tr := NewBoundTracker(3, 2)
+	for i := 0; i < 3; i++ {
+		tr.ObserveBit(8)
+	}
+	if tr.ObserveBit(9) {
+		t.Fatal("within-tolerance move flagged")
+	}
+	if !tr.ObserveBit(12) {
+		t.Fatal("jump of 4 bits over window max not flagged")
+	}
+	if tr.Flags() != 1 {
+		t.Fatalf("Flags = %d", tr.Flags())
+	}
+}
+
+func TestBoundTrackerFlagsDropDown(t *testing.T) {
+	tr := NewBoundTracker(2, 3)
+	tr.ObserveBit(20)
+	tr.ObserveBit(20)
+	if !tr.ObserveBit(10) {
+		t.Fatal("large drop not flagged")
+	}
+}
+
+func TestBoundTrackerStableStreamNeverFlags(t *testing.T) {
+	tr := NewBoundTracker(5, 2)
+	for i := 0; i < 100; i++ {
+		if tr.ObserveBit(7 + i%2) {
+			t.Fatalf("stable stream flagged at round %d", i)
+		}
+	}
+	if tr.Rounds() != 100 {
+		t.Fatalf("Rounds = %d", tr.Rounds())
+	}
+}
+
+func TestBoundTrackerHeavyTailScenario(t *testing.T) {
+	// A metric that normally uses ~8 bits suddenly sees an order-of-
+	// magnitude outlier burst (b_max jumps to 15): must flag.
+	tr := NewBoundTracker(4, 3)
+	for i := 0; i < 10; i++ {
+		tr.ObserveBit(8)
+	}
+	if !tr.ObserveBit(15) {
+		t.Fatal("heavy-tail burst not flagged")
+	}
+}
+
+func TestBoundTrackerObserveResult(t *testing.T) {
+	tr := NewBoundTracker(1, 1)
+	res := &Result{
+		BitMeans: []float64{0.2, 0.4, 0},
+		Squashed: []bool{false, false, false},
+	}
+	tr.Observe(res) // baseline: highest active bit = 1
+	res2 := &Result{
+		BitMeans: []float64{0.2, 0.4, 0.5},
+		Squashed: []bool{false, false, false},
+	}
+	if !tr.Observe(res2) {
+		t.Fatal("bit growth via Observe not flagged")
+	}
+}
+
+func TestBoundTrackerWindowSlides(t *testing.T) {
+	// After the window slides past old small values, a previously large
+	// value becomes the baseline and no longer flags.
+	tr := NewBoundTracker(2, 2)
+	tr.ObserveBit(5)
+	tr.ObserveBit(5)
+	if !tr.ObserveBit(9) {
+		t.Fatal("first jump not flagged")
+	}
+	tr.ObserveBit(9)
+	if tr.ObserveBit(9) {
+		t.Fatal("steady state after window slide still flagged")
+	}
+}

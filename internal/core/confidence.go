@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ldp"
+)
+
+// PluginVariance estimates the sampling variance of a Result's mean
+// estimate by plugging the estimated bit means into the Lemma 3.1 formula:
+//
+//	V[X̂] = Σ_j 4^j · v_j / c_j,
+//
+// where c_j is bit j's report count and v_j is the per-report variance —
+// m_j(1-m_j) without DP, or the mean-independent exp(ε)/(exp(ε)-1)² under
+// randomized response (§3.3). Squashed bits contribute nothing (their
+// means are treated as known zeros). Bits with no reports contribute
+// nothing either; callers who care should check Counts.
+func PluginVariance(res *Result, rr *ldp.RandomizedResponse) float64 {
+	var v float64
+	for j, m := range res.BitMeans {
+		if res.Squashed[j] || res.Counts[j] == 0 {
+			continue
+		}
+		var perReport float64
+		if rr != nil {
+			perReport = rr.ReportVariance()
+		} else {
+			mc := math.Max(0, math.Min(1, m))
+			perReport = mc * (1 - mc)
+		}
+		v += math.Ldexp(perReport/float64(res.Counts[j]), 2*j)
+	}
+	return v
+}
+
+// Interval is a symmetric confidence interval around an estimate.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// ConfidenceInterval returns the plug-in normal-approximation interval
+// Estimate ± z·√(PluginVariance) for the mean estimate. z = 1.96 gives a
+// nominal 95% interval; the approximation leans on the CLT across many
+// independent bit reports, which holds in the cohort sizes the protocol
+// targets (§4.3: "10s of thousands of devices").
+func ConfidenceInterval(res *Result, rr *ldp.RandomizedResponse, z float64) (Interval, error) {
+	if !(z > 0) || math.IsInf(z, 0) {
+		return Interval{}, fmt.Errorf("%w: z=%v", ErrInput, z)
+	}
+	sd := math.Sqrt(PluginVariance(res, rr))
+	return Interval{Lo: res.Estimate - z*sd, Hi: res.Estimate + z*sd}, nil
+}
+
+// Width returns the interval's width.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }

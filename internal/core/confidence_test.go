@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+func TestPluginVarianceMatchesEmpirical(t *testing.T) {
+	values := encodeNormal(t, 500, 80, 5000, 12, 80)
+	p, _ := GeometricProbs(12, 1)
+	cfg := Config{Bits: 12, Probs: p}
+	r := frand.New(81)
+	var plugins, ests []float64
+	for rep := 0; rep < 400; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plugins = append(plugins, PluginVariance(res, nil))
+		ests = append(ests, res.Estimate)
+	}
+	var mean, ss float64
+	for _, e := range ests {
+		mean += e
+	}
+	mean /= float64(len(ests))
+	for _, e := range ests {
+		ss += (e - mean) * (e - mean)
+	}
+	empirical := ss / float64(len(ests))
+	var pluginMean float64
+	for _, v := range plugins {
+		pluginMean += v
+	}
+	pluginMean /= float64(len(plugins))
+	// Plug-in variance should be close to (and, due to the without-
+	// replacement QMC assignment, at least as large as most of) the
+	// empirical estimator variance.
+	if pluginMean < 0.5*empirical || pluginMean > 2.5*empirical {
+		t.Fatalf("plugin variance %v vs empirical %v", pluginMean, empirical)
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	values := encodeNormal(t, 500, 80, 5000, 12, 82)
+	truth := fixedpoint.Mean(values)
+	p, _ := GeometricProbs(12, 1)
+	cfg := Config{Bits: 12, Probs: p}
+	r := frand.New(83)
+	covered := 0
+	const reps = 300
+	for rep := 0; rep < reps; rep++ {
+		res, err := Run(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := ConfidenceInterval(res, nil, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(truth) {
+			covered++
+		}
+	}
+	// Nominal 95%; the finite-population correction makes plug-in
+	// intervals conservative, so coverage should be at least ~92%.
+	if rate := float64(covered) / reps; rate < 0.92 {
+		t.Fatalf("95%% interval covered truth %v of the time", rate)
+	}
+}
+
+func TestConfidenceIntervalWiderUnderDP(t *testing.T) {
+	values := encodeNormal(t, 500, 80, 10000, 12, 84)
+	p, _ := GeometricProbs(12, 1)
+	rr, _ := ldp.NewRandomizedResponse(1)
+	r := frand.New(85)
+	plain, err := Run(Config{Bits: 12, Probs: p}, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := Run(Config{Bits: 12, Probs: p, RR: rr}, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivPlain, _ := ConfidenceInterval(plain, nil, 1.96)
+	ivDP, _ := ConfidenceInterval(private, rr, 1.96)
+	if ivDP.Width() <= 2*ivPlain.Width() {
+		t.Fatalf("DP interval width %v not well above plain %v", ivDP.Width(), ivPlain.Width())
+	}
+}
+
+func TestConfidenceIntervalValidation(t *testing.T) {
+	res := &Result{BitMeans: []float64{0.5}, Counts: []int{10}, Squashed: []bool{false}}
+	for _, z := range []float64{0, -1, math.Inf(1)} {
+		if _, err := ConfidenceInterval(res, nil, z); !errors.Is(err, ErrInput) {
+			t.Errorf("z=%v: %v", z, err)
+		}
+	}
+}
+
+func TestPluginVarianceSkipsSquashedAndEmpty(t *testing.T) {
+	res := &Result{
+		BitMeans: []float64{0.5, 0.5, 0.5},
+		Counts:   []int{100, 0, 100},
+		Squashed: []bool{false, false, true},
+	}
+	// Only bit 0 contributes: 4^0 * 0.25/100.
+	if got, want := PluginVariance(res, nil), 0.0025; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PluginVariance = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5}
+	if iv.Width() != 3 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(5.1) || iv.Contains(1.9) {
+		t.Error("Contains wrong")
+	}
+}

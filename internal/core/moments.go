@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+)
+
+// This file implements the §3.4 extensions: "Other functions, e.g., higher
+// moments, products and geometric means, can also be approximated via
+// bit-pushing". Each reduces to mean estimation of a locally derived
+// value, keeping the one-bit-per-client disclosure.
+
+// MomentConfig parametrizes higher-moment estimation.
+type MomentConfig struct {
+	// Bits is the bit depth of the raw values.
+	Bits int
+	// MeanFraction is the client split used by central moments (phase 1
+	// estimates the mean, phase 2 reports powers of deviations). Zero
+	// means 1/2.
+	MeanFraction float64
+	// Adaptive carries the shared protocol knobs; its Bits is ignored.
+	Adaptive AdaptiveConfig
+}
+
+func (c *MomentConfig) meanFraction() float64 {
+	if c.MeanFraction == 0 {
+		return 0.5
+	}
+	return c.MeanFraction
+}
+
+// powBits returns the bit depth for k-th powers, capped at the exact-float
+// maximum. Values whose powers exceed it are clipped, the §4.3
+// winsorization applied to the derived quantity.
+func powBits(bits, k int) int {
+	pb := bits * k
+	if pb > maxBits {
+		pb = maxBits
+	}
+	return pb
+}
+
+// powCapped returns x^k clipped to the given bit depth, without overflow.
+func powCapped(x uint64, k, bits int) uint64 {
+	max := uint64(1)<<uint(bits) - 1
+	acc := uint64(1)
+	for i := 0; i < k; i++ {
+		if x != 0 && acc > max/x {
+			return max
+		}
+		acc *= x
+		if acc > max {
+			return max
+		}
+	}
+	return acc
+}
+
+// EstimateRawMoment estimates E[X^k] with one bit per client: every client
+// locally raises its value to the k-th power and the population bit-pushes
+// the result at depth min(k·Bits, 52).
+func EstimateRawMoment(cfg MomentConfig, k int, values []uint64, r *frand.RNG) (float64, error) {
+	if err := checkBits(cfg.Bits); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("%w: moment order %d", ErrInput, k)
+	}
+	if len(values) < 2 {
+		return 0, fmt.Errorf("%w: raw moment needs at least 2 clients", ErrInput)
+	}
+	pb := powBits(cfg.Bits, k)
+	powered := make([]uint64, len(values))
+	for i, v := range values {
+		powered[i] = powCapped(v, k, pb)
+	}
+	acfg := cfg.Adaptive
+	acfg.Bits = pb
+	res, err := RunAdaptive(acfg, powered, r)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// EstimateCentralMoment estimates E[(X - E[X])^k] with one bit per client.
+// A MeanFraction split of clients first estimates the mean; the rest
+// report bits of (x - μ̂)^k.
+//
+// Odd moments are signed. Encoding them around a 2^(kb) offset would make
+// the estimator's error scale with the offset's magnitude instead of the
+// moment's, so the signed case is decomposed into two non-negative means
+// on disjoint halves of the reporting cohort:
+//
+//	E[d^k] = E[max(d,0)^k] - E[max(-d,0)^k],
+//
+// each of which bit-pushing estimates with error proportional to its own
+// (small) magnitude.
+//
+// For k = 2 this coincides with CenteredVariance (Lemma 3.5's recommended
+// form); k = 3 and 4 feed Skewness and Kurtosis.
+func EstimateCentralMoment(cfg MomentConfig, k int, values []uint64, r *frand.RNG) (float64, error) {
+	if err := checkBits(cfg.Bits); err != nil {
+		return 0, err
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("%w: moment order %d", ErrInput, k)
+	}
+	if f := cfg.meanFraction(); !(f > 0 && f < 1) {
+		return 0, fmt.Errorf("%w: MeanFraction=%v", ErrInput, cfg.MeanFraction)
+	}
+	n := len(values)
+	if n < 4 {
+		return 0, fmt.Errorf("%w: central moment needs at least 4 clients, got %d", ErrInput, n)
+	}
+	n1 := int(math.Round(cfg.meanFraction() * float64(n)))
+	if n1 < 2 {
+		n1 = 2
+	}
+	if n1 > n-2 {
+		n1 = n - 2
+	}
+	perm := r.Perm(n)
+	phase1 := make([]uint64, n1)
+	phase2 := make([]uint64, n-n1)
+	for i, idx := range perm {
+		if i < n1 {
+			phase1[i] = values[idx]
+		} else {
+			phase2[i-n1] = values[idx]
+		}
+	}
+
+	acfg := cfg.Adaptive
+	acfg.Bits = cfg.Bits
+	meanRes, err := RunAdaptive(acfg, phase1, r)
+	if err != nil {
+		return 0, err
+	}
+	mu := meanRes.Estimate
+
+	pb := powBits(cfg.Bits, k)
+	acfg.Bits = pb
+	if k%2 == 0 {
+		encoded := make([]uint64, len(phase2))
+		for i, v := range phase2 {
+			d := math.Pow(float64(v)-mu, float64(k))
+			encoded[i] = clampToBits(d, pb)
+		}
+		devRes, err := RunAdaptive(acfg, encoded, r)
+		if err != nil {
+			return 0, err
+		}
+		return devRes.Estimate, nil
+	}
+	// Signed (odd) case: split the reporting cohort and estimate the
+	// positive and negative parts separately.
+	half := len(phase2) / 2
+	if half < 2 {
+		return 0, fmt.Errorf("%w: odd central moment needs at least 8 clients, got %d", ErrInput, n)
+	}
+	pos := make([]uint64, half)
+	for i, v := range phase2[:half] {
+		if d := float64(v) - mu; d > 0 {
+			pos[i] = clampToBits(math.Pow(d, float64(k)), pb)
+		}
+	}
+	neg := make([]uint64, len(phase2)-half)
+	for i, v := range phase2[half:] {
+		if d := mu - float64(v); d > 0 {
+			neg[i] = clampToBits(math.Pow(d, float64(k)), pb)
+		}
+	}
+	posRes, err := RunAdaptive(acfg, pos, r)
+	if err != nil {
+		return 0, err
+	}
+	negRes, err := RunAdaptive(acfg, neg, r)
+	if err != nil {
+		return 0, err
+	}
+	return posRes.Estimate - negRes.Estimate, nil
+}
+
+// EstimateSkewness estimates the population skewness m3 / m2^(3/2): three
+// disjoint client cohorts estimate the mean, the variance and the third
+// central moment, each with one bit per client.
+func EstimateSkewness(cfg MomentConfig, values []uint64, r *frand.RNG) (float64, error) {
+	m2, m3, err := centralPair(cfg, values, r)
+	if err != nil {
+		return 0, err
+	}
+	if m2 <= 0 {
+		return 0, fmt.Errorf("%w: non-positive variance estimate %v", ErrInput, m2)
+	}
+	return m3 / math.Pow(m2, 1.5), nil
+}
+
+// EstimateKurtosis estimates the population kurtosis m4 / m2^2 (3 for a
+// Normal distribution).
+func EstimateKurtosis(cfg MomentConfig, values []uint64, r *frand.RNG) (float64, error) {
+	if err := checkBits(cfg.Bits); err != nil {
+		return 0, err
+	}
+	if len(values) < 8 {
+		return 0, fmt.Errorf("%w: kurtosis needs at least 8 clients", ErrInput)
+	}
+	half := len(values) / 2
+	perm := r.Perm(len(values))
+	a := make([]uint64, half)
+	b := make([]uint64, len(values)-half)
+	for i, idx := range perm {
+		if i < half {
+			a[i] = values[idx]
+		} else {
+			b[i-half] = values[idx]
+		}
+	}
+	m2, err := EstimateCentralMoment(cfg, 2, a, r)
+	if err != nil {
+		return 0, err
+	}
+	m4, err := EstimateCentralMoment(cfg, 4, b, r)
+	if err != nil {
+		return 0, err
+	}
+	if m2 <= 0 {
+		return 0, fmt.Errorf("%w: non-positive variance estimate %v", ErrInput, m2)
+	}
+	return m4 / (m2 * m2), nil
+}
+
+// centralPair estimates (m2, m3) on disjoint halves.
+func centralPair(cfg MomentConfig, values []uint64, r *frand.RNG) (m2, m3 float64, err error) {
+	if err := checkBits(cfg.Bits); err != nil {
+		return 0, 0, err
+	}
+	if len(values) < 8 {
+		return 0, 0, fmt.Errorf("%w: skewness needs at least 8 clients", ErrInput)
+	}
+	half := len(values) / 2
+	perm := r.Perm(len(values))
+	a := make([]uint64, half)
+	b := make([]uint64, len(values)-half)
+	for i, idx := range perm {
+		if i < half {
+			a[i] = values[idx]
+		} else {
+			b[i-half] = values[idx]
+		}
+	}
+	if m2, err = EstimateCentralMoment(cfg, 2, a, r); err != nil {
+		return 0, 0, err
+	}
+	if m3, err = EstimateCentralMoment(cfg, 3, b, r); err != nil {
+		return 0, 0, err
+	}
+	return m2, m3, nil
+}
+
+// GeoConfig parametrizes geometric-mean / log-product estimation.
+type GeoConfig struct {
+	// FracBits is the fixed-point resolution of the log transform: logs
+	// are encoded with 2^FracBits steps per unit. Zero means 10
+	// (~0.001 resolution).
+	FracBits int
+	// MaxLog bounds the encodable natural log; values above exp(MaxLog)
+	// clip. Zero means 48 (values up to ~7·10^20).
+	MaxLog float64
+	// Adaptive carries the shared protocol knobs; its Bits is ignored.
+	Adaptive AdaptiveConfig
+}
+
+func (c *GeoConfig) fracBits() int {
+	if c.FracBits == 0 {
+		return 10
+	}
+	return c.FracBits
+}
+
+func (c *GeoConfig) maxLog() float64 {
+	if c.MaxLog == 0 {
+		return 48
+	}
+	return c.MaxLog
+}
+
+// EstimateLogMean estimates E[ln X] over strictly positive values with one
+// bit per client: each client encodes ln(x) as a fixed-point value and the
+// population bit-pushes it. Values below 1 clip to ln = 0 (the codec's
+// domain is non-negative); the count of such values is returned so callers
+// can judge the clipping.
+func EstimateLogMean(cfg GeoConfig, values []float64, r *frand.RNG) (logMean float64, clipped int, err error) {
+	frac := cfg.fracBits()
+	intBits := fixedpoint.HighestBit(uint64(math.Ceil(cfg.maxLog()))) + 1
+	bits := frac + intBits
+	if bits > maxBits {
+		return 0, 0, fmt.Errorf("%w: FracBits=%d with MaxLog=%v exceeds %d bits", ErrInput, frac, cfg.maxLog(), maxBits)
+	}
+	if len(values) < 2 {
+		return 0, 0, fmt.Errorf("%w: log mean needs at least 2 clients", ErrInput)
+	}
+	codec, err := fixedpoint.NewCodec(bits, 0, math.Ldexp(1, frac))
+	if err != nil {
+		return 0, 0, err
+	}
+	encoded := make([]uint64, len(values))
+	for i, v := range values {
+		l := 0.0
+		if v > 1 {
+			l = math.Log(v)
+		}
+		if v <= 1 || l > cfg.maxLog() {
+			clipped++
+		}
+		encoded[i] = codec.Encode(l)
+	}
+	acfg := cfg.Adaptive
+	acfg.Bits = bits
+	res, err := RunAdaptive(acfg, encoded, r)
+	if err != nil {
+		return 0, clipped, err
+	}
+	return codec.DecodeMean(res.Estimate), clipped, nil
+}
+
+// EstimateGeometricMean estimates (Π x_i)^(1/n) = exp(E[ln X]).
+func EstimateGeometricMean(cfg GeoConfig, values []float64, r *frand.RNG) (float64, error) {
+	logMean, _, err := EstimateLogMean(cfg, values, r)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(logMean), nil
+}
+
+// EstimateLogProduct estimates ln(Π x_i) = n · E[ln X]. The product itself
+// overflows float64 for large cohorts, so the log is the useful form.
+func EstimateLogProduct(cfg GeoConfig, values []float64, r *frand.RNG) (float64, error) {
+	logMean, _, err := EstimateLogMean(cfg, values, r)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(values)) * logMean, nil
+}

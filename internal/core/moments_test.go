@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestPowCapped(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		k    int
+		bits int
+		want uint64
+	}{
+		{0, 3, 8, 0},
+		{1, 5, 8, 1},
+		{3, 2, 8, 9},
+		{3, 3, 8, 27},
+		{4, 4, 8, 255},              // 256 clips
+		{2, 10, 8, 255},             // 1024 clips
+		{1 << 20, 3, 52, 1<<52 - 1}, // overflow-guarded clip
+		{7, 1, 8, 7},
+	}
+	for _, c := range cases {
+		if got := powCapped(c.x, c.k, c.bits); got != c.want {
+			t.Errorf("powCapped(%d,%d,%d) = %d, want %d", c.x, c.k, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestPowBits(t *testing.T) {
+	if powBits(8, 2) != 16 || powBits(20, 3) != 52 || powBits(10, 1) != 10 {
+		t.Error("powBits wrong")
+	}
+}
+
+func TestEstimateRawMomentValidation(t *testing.T) {
+	values := []uint64{1, 2, 3}
+	r := frand.New(1)
+	if _, err := EstimateRawMoment(MomentConfig{Bits: 0}, 2, values, r); !errors.Is(err, ErrBits) {
+		t.Errorf("bits=0: %v", err)
+	}
+	if _, err := EstimateRawMoment(MomentConfig{Bits: 8}, 0, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := EstimateRawMoment(MomentConfig{Bits: 8}, 2, values[:1], r); !errors.Is(err, ErrInput) {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestEstimateRawMomentSecond(t *testing.T) {
+	vals := workload.Normal{Mu: 120, Sigma: 20}.Sample(frand.New(2), 50000)
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(vals)
+	var truth float64
+	for _, v := range values {
+		truth += float64(v) * float64(v)
+	}
+	truth /= float64(len(values))
+	r := frand.New(3)
+	var ests []float64
+	for rep := 0; rep < 20; rep++ {
+		m, err := EstimateRawMoment(MomentConfig{Bits: 8}, 2, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, m)
+	}
+	if nrmse := stats.NRMSE(ests, truth); nrmse > 0.05 {
+		t.Fatalf("E[X^2] NRMSE %v (truth %v)", nrmse, truth)
+	}
+}
+
+func TestRawMomentOrderOneIsMean(t *testing.T) {
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 60}.Sample(frand.New(4), 20000))
+	truth := fixedpoint.Mean(values)
+	r := frand.New(5)
+	var ests []float64
+	for rep := 0; rep < 20; rep++ {
+		m, err := EstimateRawMoment(MomentConfig{Bits: 10}, 1, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, m)
+	}
+	if nrmse := stats.NRMSE(ests, truth); nrmse > 0.03 {
+		t.Fatalf("E[X] via raw moment NRMSE %v", nrmse)
+	}
+}
+
+func exactCentral(values []uint64, k int) float64 {
+	mu := fixedpoint.Mean(values)
+	var s float64
+	for _, v := range values {
+		s += math.Pow(float64(v)-mu, float64(k))
+	}
+	return s / float64(len(values))
+}
+
+func TestEstimateCentralMomentSecondMatchesVariance(t *testing.T) {
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(6), 50000))
+	truth := fixedpoint.Variance(values)
+	r := frand.New(7)
+	var ests []float64
+	for rep := 0; rep < 15; rep++ {
+		m, err := EstimateCentralMoment(MomentConfig{Bits: 10}, 2, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, m)
+	}
+	if nrmse := stats.NRMSE(ests, truth); nrmse > 0.1 {
+		t.Fatalf("m2 NRMSE %v", nrmse)
+	}
+}
+
+func TestEstimateCentralMomentThirdSigned(t *testing.T) {
+	// A right-skewed distribution has positive third central moment; the
+	// signed offset encoding must preserve the sign and magnitude.
+	vals := workload.Exponential{Mean: 60}.Sample(frand.New(8), 100000)
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(vals)
+	truth := exactCentral(values, 3)
+	r := frand.New(9)
+	var ests []float64
+	for rep := 0; rep < 15; rep++ {
+		m, err := EstimateCentralMoment(MomentConfig{Bits: 10}, 3, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, m)
+	}
+	mean := stats.Mean(ests)
+	if mean <= 0 {
+		t.Fatalf("third central moment estimate %v not positive for right-skewed data (truth %v)", mean, truth)
+	}
+	if math.Abs(mean-truth) > 0.35*truth {
+		t.Fatalf("m3 estimate %v, truth %v", mean, truth)
+	}
+}
+
+func TestEstimateCentralMomentSymmetricThirdNearZero(t *testing.T) {
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 50}.Sample(frand.New(10), 100000))
+	r := frand.New(11)
+	var ests []float64
+	for rep := 0; rep < 10; rep++ {
+		m, err := EstimateCentralMoment(MomentConfig{Bits: 10}, 3, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, m)
+	}
+	// σ^3 = 125000; a symmetric distribution's m3 must be small vs that.
+	if m := math.Abs(stats.Mean(ests)); m > 30000 {
+		t.Fatalf("symmetric m3 estimate %v too far from 0", m)
+	}
+}
+
+func TestEstimateSkewness(t *testing.T) {
+	// Exponential distribution has skewness 2; clipping at 2^10 softens it
+	// slightly. Accept the right ballpark and the right sign.
+	vals := workload.Exponential{Mean: 80}.Sample(frand.New(12), 200000)
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(vals)
+	r := frand.New(13)
+	var ests []float64
+	for rep := 0; rep < 10; rep++ {
+		s, err := EstimateSkewness(MomentConfig{Bits: 10}, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, s)
+	}
+	mean := stats.Mean(ests)
+	if mean < 1 || mean > 3 {
+		t.Fatalf("exponential skewness estimate %v, want ~2", mean)
+	}
+}
+
+func TestEstimateKurtosisNormal(t *testing.T) {
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 60}.Sample(frand.New(14), 200000))
+	r := frand.New(15)
+	var ests []float64
+	for rep := 0; rep < 10; rep++ {
+		k, err := EstimateKurtosis(MomentConfig{Bits: 10}, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, k)
+	}
+	mean := stats.Mean(ests)
+	if mean < 2.3 || mean > 3.7 {
+		t.Fatalf("normal kurtosis estimate %v, want ~3", mean)
+	}
+}
+
+func TestSkewnessKurtosisValidation(t *testing.T) {
+	r := frand.New(16)
+	small := []uint64{1, 2, 3}
+	if _, err := EstimateSkewness(MomentConfig{Bits: 8}, small, r); !errors.Is(err, ErrInput) {
+		t.Errorf("skewness small n: %v", err)
+	}
+	if _, err := EstimateKurtosis(MomentConfig{Bits: 8}, small, r); !errors.Is(err, ErrInput) {
+		t.Errorf("kurtosis small n: %v", err)
+	}
+}
+
+func TestEstimateLogMean(t *testing.T) {
+	vals := workload.LogNormal{Mu: 4, Sigma: 0.5}.Sample(frand.New(17), 50000)
+	var truth float64
+	counted := 0
+	for _, v := range vals {
+		if v > 1 {
+			truth += math.Log(v)
+			counted++
+		}
+	}
+	truth /= float64(len(vals))
+	r := frand.New(18)
+	var ests []float64
+	for rep := 0; rep < 15; rep++ {
+		lm, clipped, err := EstimateLogMean(GeoConfig{}, vals, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clipped > len(vals)/100 {
+			t.Fatalf("clipped %d of %d lognormal values", clipped, len(vals))
+		}
+		ests = append(ests, lm)
+	}
+	if nrmse := stats.NRMSE(ests, truth); nrmse > 0.02 {
+		t.Fatalf("log mean NRMSE %v (truth %v)", nrmse, truth)
+	}
+}
+
+func TestEstimateGeometricMean(t *testing.T) {
+	vals := workload.LogNormal{Mu: 3, Sigma: 0.4}.Sample(frand.New(19), 50000)
+	// Geometric mean of LogNormal(3, .4) concentrates near e^3 ≈ 20.1.
+	r := frand.New(20)
+	var ests []float64
+	for rep := 0; rep < 15; rep++ {
+		g, err := EstimateGeometricMean(GeoConfig{}, vals, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, g)
+	}
+	mean := stats.Mean(ests)
+	if mean < 18 || mean > 22.5 {
+		t.Fatalf("geometric mean estimate %v, want ~20.1", mean)
+	}
+}
+
+func TestEstimateLogProduct(t *testing.T) {
+	// 5000 clients all holding 8: ln(8^5000) = 5000 ln 8 ≈ 10397.
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = 8
+	}
+	r := frand.New(21)
+	var ests []float64
+	for rep := 0; rep < 20; rep++ {
+		lp, err := EstimateLogProduct(GeoConfig{}, vals, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, lp)
+	}
+	want := 5000 * math.Log(8)
+	if nrmse := stats.NRMSE(ests, want); nrmse > 0.02 {
+		t.Fatalf("log product NRMSE %v (want ~%v)", nrmse, want)
+	}
+}
+
+func TestLogMeanValidation(t *testing.T) {
+	r := frand.New(22)
+	if _, _, err := EstimateLogMean(GeoConfig{FracBits: 50, MaxLog: 60}, []float64{2, 3}, r); !errors.Is(err, ErrInput) {
+		t.Errorf("oversized config: %v", err)
+	}
+	if _, _, err := EstimateLogMean(GeoConfig{}, []float64{2}, r); !errors.Is(err, ErrInput) {
+		t.Errorf("n=1: %v", err)
+	}
+}
+
+func TestLogMeanClippingCounted(t *testing.T) {
+	r := frand.New(23)
+	vals := []float64{0.5, -3, 2, 4, 8, 16}
+	_, clipped, err := EstimateLogMean(GeoConfig{}, vals, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped != 2 {
+		t.Fatalf("clipped = %d, want 2 (values <= 1)", clipped)
+	}
+}

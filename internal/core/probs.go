@@ -1,0 +1,157 @@
+// Package core implements bit-pushing, the paper's primary contribution:
+// numerical aggregation protocols in which each client discloses at most
+// one bit of each private value. It provides the basic single-round
+// estimator (Algorithm 1), weighted and optimal bit-sampling probability
+// vectors (§3.1), the two-round adaptive protocol (Algorithm 2) with
+// report pooling ("caching", §3.2), randomized-response integration and
+// bit squashing for differential privacy (§3.3), variance estimation
+// (§3.4), and the upper-bound tracking used to flag heavy-tailed or
+// non-stationary metrics (§1.1, §4.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the probability-vector constructors and protocols.
+var (
+	ErrBits  = errors.New("core: invalid bit depth")
+	ErrProbs = errors.New("core: invalid probability vector")
+	ErrInput = errors.New("core: invalid input")
+)
+
+// maxBits bounds supported bit depths; weights 4^j must stay exactly
+// representable in float64.
+const maxBits = 52
+
+func checkBits(b int) error {
+	if b < 1 || b > maxBits {
+		return fmt.Errorf("%w: %d (want 1..%d)", ErrBits, b, maxBits)
+	}
+	return nil
+}
+
+// UniformProbs returns p_j = 1/b for all j: every bit equally likely to be
+// sampled. §3.1 shows this choice is suboptimal — variance grows as
+// b·4^b/n — but it is the natural strawman.
+func UniformProbs(bits int) ([]float64, error) {
+	if err := checkBits(bits); err != nil {
+		return nil, err
+	}
+	p := make([]float64, bits)
+	for j := range p {
+		p[j] = 1 / float64(bits)
+	}
+	return p, nil
+}
+
+// GeometricProbs returns p_j ∝ (2^j)^gamma, the weighted allocation of
+// §3.1 ("p_j ∝ c^j = 2^{αj}"). gamma = 1 yields the p_j ∝ 2^j allocation
+// that is optimal under the pessimistic β_j = 4^j/4 bound; gamma = 0.5 is
+// the paper's round-1 default (Algorithm 2 computes p1[j] = (2^j)^γ).
+func GeometricProbs(bits int, gamma float64) ([]float64, error) {
+	if err := checkBits(bits); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(gamma) || math.IsInf(gamma, 0) {
+		return nil, fmt.Errorf("%w: gamma=%v", ErrProbs, gamma)
+	}
+	p := make([]float64, bits)
+	for j := range p {
+		p[j] = math.Pow(2, gamma*float64(j))
+	}
+	return Normalize(p)
+}
+
+// OptimalProbs returns the variance-minimizing allocation of Lemma 3.3:
+// p_j ∝ √β_j with β_j = 4^j · m_j (1 - m_j) computed from the bit means
+// m_j. Bits whose mean is 0 or 1 contribute no variance and receive
+// probability 0. If every β_j is zero (constant data) the allocation falls
+// back to uniform so the protocol still collects reports.
+func OptimalProbs(bitMeans []float64) ([]float64, error) {
+	if err := checkBits(len(bitMeans)); err != nil {
+		return nil, err
+	}
+	return WeightedProbs(bitMeans, 0.5)
+}
+
+// WeightedProbs generalizes OptimalProbs with the paper's α exponent
+// (Algorithm 2 line 6): p_j ∝ (4^j · m_j (1 - m_j))^α. α = 0.5 is the
+// analytically optimal √β_j choice; α = 1 weights aggressively toward
+// high-variance bits. Means are clamped to [0, 1] first, so noisy
+// (post-DP) estimates outside the unit interval behave like saturated bits.
+func WeightedProbs(bitMeans []float64, alpha float64) ([]float64, error) {
+	if err := checkBits(len(bitMeans)); err != nil {
+		return nil, err
+	}
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("%w: alpha=%v", ErrProbs, alpha)
+	}
+	p := make([]float64, len(bitMeans))
+	var total float64
+	for j, m := range bitMeans {
+		if math.IsNaN(m) {
+			return nil, fmt.Errorf("%w: bit mean %d is NaN", ErrProbs, j)
+		}
+		m = math.Max(0, math.Min(1, m))
+		beta := math.Ldexp(m*(1-m), 2*j) // 4^j m (1-m)
+		p[j] = math.Pow(beta, alpha)
+		total += p[j]
+	}
+	if total == 0 {
+		// Constant data: every bit mean is 0 or 1. Fall back to uniform.
+		return UniformProbs(len(bitMeans))
+	}
+	for j := range p {
+		p[j] /= total
+	}
+	return p, nil
+}
+
+// Normalize validates that p has no negative, NaN or infinite entries and
+// at least one positive entry, and returns a fresh L1-normalized copy.
+func Normalize(p []float64) ([]float64, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrProbs)
+	}
+	var total float64
+	for j, v := range p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: p[%d]=%v", ErrProbs, j, v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: all-zero", ErrProbs)
+	}
+	out := make([]float64, len(p))
+	for j, v := range p {
+		out[j] = v / total
+	}
+	return out, nil
+}
+
+// PredictedVariance evaluates the Lemma 3.1 variance formula
+// (1/n) Σ_j 4^j m_j (1 - m_j) / p_j for a candidate allocation, used by
+// tests and by callers comparing allocations analytically. Bits with
+// p_j = 0 contribute +Inf unless their β_j is zero too.
+func PredictedVariance(bitMeans, probs []float64, n int) float64 {
+	if len(bitMeans) != len(probs) || n <= 0 {
+		return math.Inf(1)
+	}
+	var v float64
+	for j := range bitMeans {
+		m := math.Max(0, math.Min(1, bitMeans[j]))
+		beta := math.Ldexp(m*(1-m), 2*j)
+		if beta == 0 {
+			continue
+		}
+		if probs[j] <= 0 {
+			return math.Inf(1)
+		}
+		v += beta / probs[j]
+	}
+	return v / float64(n)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frand"
+)
+
+func sumsToOne(t *testing.T, p []float64) {
+	t.Helper()
+	var s float64
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative probability %v in %v", v, p)
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v: %v", s, p)
+	}
+}
+
+func TestUniformProbs(t *testing.T) {
+	p, err := UniformProbs(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	for _, v := range p {
+		if v != 0.125 {
+			t.Fatalf("uniform prob %v, want 0.125", v)
+		}
+	}
+	if _, err := UniformProbs(0); !errors.Is(err, ErrBits) {
+		t.Errorf("UniformProbs(0) err = %v", err)
+	}
+	if _, err := UniformProbs(maxBits + 1); !errors.Is(err, ErrBits) {
+		t.Errorf("UniformProbs(53) err = %v", err)
+	}
+}
+
+func TestGeometricProbs(t *testing.T) {
+	p, err := GeometricProbs(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	// p_j ∝ 2^j: ratios must double.
+	for j := 1; j < 4; j++ {
+		if math.Abs(p[j]/p[j-1]-2) > 1e-9 {
+			t.Fatalf("gamma=1 ratio p[%d]/p[%d] = %v, want 2", j, j-1, p[j]/p[j-1])
+		}
+	}
+	// Closed form: p_j = 2^j/(2^b - 1).
+	for j := range p {
+		want := math.Ldexp(1, j) / 15
+		if math.Abs(p[j]-want) > 1e-12 {
+			t.Fatalf("p[%d] = %v, want %v", j, p[j], want)
+		}
+	}
+}
+
+func TestGeometricProbsGammaHalf(t *testing.T) {
+	p, err := GeometricProbs(6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	for j := 1; j < 6; j++ {
+		if math.Abs(p[j]/p[j-1]-math.Sqrt2) > 1e-9 {
+			t.Fatalf("gamma=0.5 ratio = %v, want sqrt(2)", p[j]/p[j-1])
+		}
+	}
+}
+
+func TestGeometricProbsGammaZeroIsUniform(t *testing.T) {
+	p, err := GeometricProbs(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if math.Abs(v-0.2) > 1e-12 {
+			t.Fatalf("gamma=0 prob %v, want 0.2", v)
+		}
+	}
+}
+
+func TestGeometricProbsRejectsNaN(t *testing.T) {
+	if _, err := GeometricProbs(4, math.NaN()); !errors.Is(err, ErrProbs) {
+		t.Errorf("NaN gamma err = %v", err)
+	}
+	if _, err := GeometricProbs(4, math.Inf(1)); !errors.Is(err, ErrProbs) {
+		t.Errorf("Inf gamma err = %v", err)
+	}
+}
+
+func TestWeightedProbsZeroesUnusedBits(t *testing.T) {
+	means := []float64{0.5, 0, 0.25, 1, 0.5}
+	p, err := WeightedProbs(means, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	if p[1] != 0 || p[3] != 0 {
+		t.Fatalf("bits with mean 0 or 1 not zeroed: %v", p)
+	}
+	if p[0] <= 0 || p[2] <= 0 || p[4] <= 0 {
+		t.Fatalf("active bits zeroed: %v", p)
+	}
+}
+
+func TestWeightedProbsConstantDataFallsBackToUniform(t *testing.T) {
+	p, err := WeightedProbs([]float64{0, 1, 0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("fallback not uniform: %v", p)
+		}
+	}
+}
+
+func TestWeightedProbsClampsNoisyMeans(t *testing.T) {
+	// DP noise can push means outside [0,1]; these must behave like
+	// saturated bits (zero weight), not NaN.
+	p, err := WeightedProbs([]float64{-0.3, 0.5, 1.7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	if p[0] != 0 || p[2] != 0 {
+		t.Fatalf("out-of-range means not clamped to zero weight: %v", p)
+	}
+}
+
+func TestWeightedProbsValidation(t *testing.T) {
+	if _, err := WeightedProbs([]float64{0.5}, 0); !errors.Is(err, ErrProbs) {
+		t.Errorf("alpha=0 err = %v", err)
+	}
+	if _, err := WeightedProbs([]float64{math.NaN()}, 1); !errors.Is(err, ErrProbs) {
+		t.Errorf("NaN mean err = %v", err)
+	}
+	if _, err := WeightedProbs(nil, 1); !errors.Is(err, ErrBits) {
+		t.Errorf("empty means err = %v", err)
+	}
+}
+
+func TestOptimalProbsMatchesLemma33(t *testing.T) {
+	// p_j must be proportional to sqrt(beta_j) with beta_j = 4^j m(1-m).
+	means := []float64{0.5, 0.25, 0.1, 0.5}
+	p, err := OptimalProbs(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumsToOne(t, p)
+	var norm float64
+	betas := make([]float64, len(means))
+	for j, m := range means {
+		betas[j] = math.Ldexp(m*(1-m), 2*j)
+		norm += math.Sqrt(betas[j])
+	}
+	for j := range p {
+		want := math.Sqrt(betas[j]) / norm
+		if math.Abs(p[j]-want) > 1e-12 {
+			t.Fatalf("p[%d] = %v, want %v", j, p[j], want)
+		}
+	}
+}
+
+func TestOptimalProbsMinimizeVariance(t *testing.T) {
+	// Lemma 3.3: the sqrt-beta allocation is the global minimum of the
+	// Lemma 3.1 variance. Perturbing it in any sampled direction (staying
+	// in the simplex) must not reduce predicted variance.
+	means := []float64{0.5, 0.3, 0.45, 0.2, 0.5, 0.35}
+	opt, err := OptimalProbs(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PredictedVariance(means, opt, 1000)
+	r := frand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		perturbed := make([]float64, len(opt))
+		for j := range perturbed {
+			perturbed[j] = opt[j] * math.Exp(0.2*(r.Float64()-0.5))
+		}
+		norm, err := Normalize(perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := PredictedVariance(means, norm, 1000); v < base-1e-9 {
+			t.Fatalf("perturbed allocation %v has lower variance %v < %v", norm, v, base)
+		}
+	}
+}
+
+func TestOptimalBeatsUniformAndGeometric(t *testing.T) {
+	means := []float64{0.5, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01}
+	opt, _ := OptimalProbs(means)
+	uni, _ := UniformProbs(len(means))
+	geo, _ := GeometricProbs(len(means), 1)
+	vOpt := PredictedVariance(means, opt, 1000)
+	vUni := PredictedVariance(means, uni, 1000)
+	vGeo := PredictedVariance(means, geo, 1000)
+	if vOpt > vUni || vOpt > vGeo {
+		t.Fatalf("optimal %v not <= uniform %v and geometric %v", vOpt, vUni, vGeo)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p, err := Normalize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Fatalf("Normalize = %v", p)
+	}
+	for _, bad := range [][]float64{nil, {}, {0, 0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := Normalize(bad); !errors.Is(err, ErrProbs) {
+			t.Errorf("Normalize(%v) err = %v", bad, err)
+		}
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	in := []float64{2, 2}
+	if _, err := Normalize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 2 || in[1] != 2 {
+		t.Fatal("Normalize mutated its input")
+	}
+}
+
+func TestPredictedVariance(t *testing.T) {
+	// Single bit with mean 0.5, p=1, n=100: variance = 0.25/100.
+	if v := PredictedVariance([]float64{0.5}, []float64{1}, 100); math.Abs(v-0.0025) > 1e-12 {
+		t.Fatalf("PredictedVariance = %v, want 0.0025", v)
+	}
+	// Zero-probability bit with nonzero beta: infinite.
+	if v := PredictedVariance([]float64{0.5, 0.5}, []float64{1, 0}, 100); !math.IsInf(v, 1) {
+		t.Fatalf("expected +Inf, got %v", v)
+	}
+	// Zero-probability bit with zero beta: fine.
+	if v := PredictedVariance([]float64{0.5, 0}, []float64{1, 0}, 100); math.IsInf(v, 1) {
+		t.Fatal("zero-beta bit should not cost infinity")
+	}
+	// Mismatched lengths or bad n: infinite.
+	if v := PredictedVariance([]float64{0.5}, []float64{1, 0}, 100); !math.IsInf(v, 1) {
+		t.Fatal("length mismatch should be +Inf")
+	}
+	if v := PredictedVariance([]float64{0.5}, []float64{1}, 0); !math.IsInf(v, 1) {
+		t.Fatal("n=0 should be +Inf")
+	}
+}
+
+func TestWeightedProbsAlphaOneSharper(t *testing.T) {
+	// alpha=1 must concentrate more mass on the highest-variance bit than
+	// alpha=0.5.
+	means := []float64{0.5, 0.5, 0.5, 0.5}
+	half, _ := WeightedProbs(means, 0.5)
+	one, _ := WeightedProbs(means, 1)
+	if one[3] <= half[3] {
+		t.Fatalf("alpha=1 top-bit mass %v not above alpha=0.5 mass %v", one[3], half[3])
+	}
+}
+
+func TestProbsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > maxBits {
+			return true
+		}
+		means := make([]float64, len(raw))
+		for i, b := range raw {
+			means[i] = float64(b) / 255
+		}
+		p, err := WeightedProbs(means, 0.5)
+		if err != nil {
+			return false
+		}
+		var s float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

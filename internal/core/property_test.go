@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frand"
+)
+
+// TestPropertyFullCensusExact: when every client reports every bit, the
+// reconstruction is exact for any population — the protocol-level form of
+// the linear decomposition identity.
+func TestPropertyFullCensusExact(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const bits = 16
+		p, err := UniformProbs(bits)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Bits: bits, Probs: p}
+		var reports []Report
+		var exact float64
+		for _, v := range raw {
+			for j := 0; j < bits; j++ {
+				reports = append(reports, Report{Bit: j, Value: uint64(v>>uint(j)) & 1})
+			}
+			exact += float64(v)
+		}
+		exact /= float64(len(raw))
+		res, err := Aggregate(cfg, reports)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Estimate-exact) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPoolEquivalentToConcat: pooling per-round aggregates must
+// equal aggregating the concatenated report streams.
+func TestPropertyPoolEquivalentToConcat(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		const bits, n = 8, 400
+		r := frand.New(seed)
+		p, err := GeometricProbs(bits, 1)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Bits: bits, Probs: p}
+		reports := make([]Report, n)
+		for i := range reports {
+			reports[i] = Report{Bit: r.Intn(bits), Value: r.Uint64n(2)}
+		}
+		cut := 1 + int(split)%(n-1)
+		a, err := Aggregate(cfg, reports[:cut])
+		if err != nil {
+			return false
+		}
+		b, err := Aggregate(cfg, reports[cut:])
+		if err != nil {
+			return false
+		}
+		pooled, err := Pool(cfg, a, b)
+		if err != nil {
+			return false
+		}
+		whole, err := Aggregate(cfg, reports)
+		if err != nil {
+			return false
+		}
+		if pooled.Reports != whole.Reports {
+			return false
+		}
+		return math.Abs(pooled.Estimate-whole.Estimate) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAllocateAssignConsistent: for any probability shape and
+// population size, Allocate sums to n and Assign realizes it exactly.
+func TestPropertyAllocateAssignConsistent(t *testing.T) {
+	f := func(seed uint64, rawBits, rawN uint8) bool {
+		bits := 1 + int(rawBits)%16
+		n := int(rawN)
+		r := frand.New(seed)
+		weights := make([]float64, bits)
+		for j := range weights {
+			weights[j] = r.Float64() + 1e-6
+		}
+		counts, err := Allocate(weights, n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		if total != n {
+			return false
+		}
+		assignment := Assign(counts, r)
+		realized := make([]int, bits)
+		for _, j := range assignment {
+			realized[j]++
+		}
+		for j := range counts {
+			if realized[j] != counts[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEstimateWithinDomain: any mix of valid reports yields an
+// estimate inside [0, 2^bits) scaled by the worst-case unbiasing factor —
+// without DP, strictly within the value domain.
+func TestPropertyEstimateWithinDomain(t *testing.T) {
+	f := func(seed uint64) bool {
+		const bits = 10
+		r := frand.New(seed)
+		p, err := GeometricProbs(bits, 0.5)
+		if err != nil {
+			return false
+		}
+		reports := make([]Report, 200)
+		for i := range reports {
+			reports[i] = Report{Bit: r.Intn(bits), Value: r.Uint64n(2)}
+		}
+		res, err := Aggregate(Config{Bits: bits, Probs: p}, reports)
+		if err != nil {
+			return false
+		}
+		return res.Estimate >= 0 && res.Estimate < float64(uint64(1)<<bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+)
+
+// VarianceMethod selects which decomposition of §3.4 (Lemma 3.5) estimates
+// the population variance.
+type VarianceMethod int
+
+const (
+	// CenteredVariance estimates V[X] = E[(X - E[X])^2]: a first phase
+	// estimates the mean, then the remaining clients bit-push their
+	// squared deviations from it. Lemma 3.5 shows its estimation variance
+	// is proportional to (σ² + x̄²/n)²/n — the recommended form.
+	CenteredVariance VarianceMethod = iota
+	// MomentVariance estimates V[X] = E[X²] - (E[X])² by bit-pushing the
+	// values and their squares on disjoint halves of the population. Its
+	// estimation variance is proportional to (σ² + x̄²)²/n, worse when the
+	// mean is large relative to the spread.
+	MomentVariance
+)
+
+// String implements fmt.Stringer.
+func (m VarianceMethod) String() string {
+	switch m {
+	case CenteredVariance:
+		return "centered"
+	case MomentVariance:
+		return "moment"
+	default:
+		return fmt.Sprintf("VarianceMethod(%d)", int(m))
+	}
+}
+
+// VarianceConfig parametrizes bit-pushing variance estimation. The
+// underlying mean estimations reuse the adaptive protocol, which is what
+// the paper's Figures 1b and 2b evaluate.
+type VarianceConfig struct {
+	// Bits is the bit depth of the raw values; squared quantities use
+	// 2*Bits (capped at the representable maximum).
+	Bits int
+	// Method selects the Lemma 3.5 decomposition. The zero value is
+	// CenteredVariance.
+	Method VarianceMethod
+	// MeanFraction is the fraction of clients used to estimate the mean
+	// (centered) or the first moment (moment-based). Zero means 1/2.
+	MeanFraction float64
+	// Adaptive carries the protocol knobs shared with mean estimation.
+	// Its Bits field is ignored; this config's bit depths are used.
+	Adaptive AdaptiveConfig
+	// SingleRoundGamma, when positive, replaces the two-round adaptive
+	// inner protocol with the single-round weighted one (p_j ∝ 2^{γj}),
+	// so the evaluation can compare the paper's "weighted" method on
+	// variance estimation (Figures 1b, 2b).
+	SingleRoundGamma float64
+}
+
+// runMean executes the configured inner mean-estimation protocol at the
+// given bit depth.
+func (c *VarianceConfig) runMean(bits int, values []uint64, r *frand.RNG) (float64, error) {
+	if c.SingleRoundGamma > 0 {
+		probs, err := GeometricProbs(bits, c.SingleRoundGamma)
+		if err != nil {
+			return 0, err
+		}
+		res, err := Run(Config{
+			Bits:            bits,
+			Probs:           probs,
+			RR:              c.Adaptive.RR,
+			Randomness:      c.Adaptive.Randomness,
+			SquashThreshold: c.Adaptive.SquashThreshold,
+		}, values, r)
+		if err != nil {
+			return 0, err
+		}
+		return res.Estimate, nil
+	}
+	acfg := c.Adaptive
+	acfg.Bits = bits
+	res, err := RunAdaptive(acfg, values, r)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+func (c *VarianceConfig) meanFraction() float64 {
+	if c.MeanFraction == 0 {
+		return 0.5
+	}
+	return c.MeanFraction
+}
+
+// squaredBits returns the bit depth used for squared quantities.
+func (c *VarianceConfig) squaredBits() int {
+	sb := 2 * c.Bits
+	if sb > maxBits {
+		sb = maxBits
+	}
+	return sb
+}
+
+// EstimateVariance estimates the population variance of the encoded values
+// with at most one transmitted bit per client: each client participates in
+// exactly one of the two phases.
+func EstimateVariance(cfg VarianceConfig, values []uint64, r *frand.RNG) (float64, error) {
+	if err := checkBits(cfg.Bits); err != nil {
+		return 0, err
+	}
+	if f := cfg.meanFraction(); !(f > 0 && f < 1) {
+		return 0, fmt.Errorf("%w: MeanFraction=%v", ErrInput, cfg.MeanFraction)
+	}
+	n := len(values)
+	if n < 4 {
+		return 0, fmt.Errorf("%w: variance estimation needs at least 4 clients, got %d", ErrInput, n)
+	}
+	n1 := int(math.Round(cfg.meanFraction() * float64(n)))
+	if n1 < 2 {
+		n1 = 2
+	}
+	if n1 > n-2 {
+		n1 = n - 2
+	}
+	perm := r.Perm(n)
+	phase1 := make([]uint64, n1)
+	phase2 := make([]uint64, n-n1)
+	for i, idx := range perm {
+		if i < n1 {
+			phase1[i] = values[idx]
+		} else {
+			phase2[i-n1] = values[idx]
+		}
+	}
+
+	switch cfg.Method {
+	case MomentVariance:
+		// E[X] from phase 1 at depth b; E[X²] from phase 2 at depth 2b.
+		mean, err := cfg.runMean(cfg.Bits, phase1, r)
+		if err != nil {
+			return 0, err
+		}
+		sqValues := make([]uint64, len(phase2))
+		for i, v := range phase2 {
+			sqValues[i] = squareCapped(v, cfg.squaredBits())
+		}
+		meanSq, err := cfg.runMean(cfg.squaredBits(), sqValues, r)
+		if err != nil {
+			return 0, err
+		}
+		return meanSq - mean*mean, nil
+
+	case CenteredVariance:
+		// Phase 1 estimates the mean; phase 2 bit-pushes squared
+		// deviations from that broadcast estimate.
+		mu, err := cfg.runMean(cfg.Bits, phase1, r)
+		if err != nil {
+			return 0, err
+		}
+		devValues := make([]uint64, len(phase2))
+		for i, v := range phase2 {
+			d := float64(v) - mu
+			devValues[i] = clampToBits(d*d, cfg.squaredBits())
+		}
+		return cfg.runMean(cfg.squaredBits(), devValues, r)
+
+	default:
+		return 0, fmt.Errorf("%w: unknown variance method %d", ErrInput, cfg.Method)
+	}
+}
+
+// squareCapped squares v, clipping to the given bit depth.
+func squareCapped(v uint64, bits int) uint64 {
+	max := uint64(1)<<uint(bits) - 1
+	if v > 0 && v > max/v {
+		return max
+	}
+	sq := v * v
+	if sq > max {
+		return max
+	}
+	return sq
+}
+
+// clampToBits rounds a non-negative float into [0, 2^bits - 1].
+func clampToBits(x float64, bits int) uint64 {
+	if math.IsNaN(x) || x <= 0 {
+		return 0
+	}
+	max := float64(uint64(1)<<uint(bits) - 1)
+	r := math.Round(x)
+	if r >= max {
+		return uint64(max)
+	}
+	return uint64(r)
+}

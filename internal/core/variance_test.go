@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestVarianceMethodString(t *testing.T) {
+	if CenteredVariance.String() != "centered" || MomentVariance.String() != "moment" {
+		t.Error("VarianceMethod strings wrong")
+	}
+	if VarianceMethod(7).String() == "" {
+		t.Error("unknown method should stringify")
+	}
+}
+
+func TestEstimateVarianceValidation(t *testing.T) {
+	values := []uint64{1, 2, 3, 4, 5}
+	if _, err := EstimateVariance(VarianceConfig{Bits: 0}, values, frand.New(1)); !errors.Is(err, ErrBits) {
+		t.Errorf("bits=0 err = %v", err)
+	}
+	if _, err := EstimateVariance(VarianceConfig{Bits: 8, MeanFraction: 1.5}, values, frand.New(1)); !errors.Is(err, ErrInput) {
+		t.Errorf("fraction=1.5 err = %v", err)
+	}
+	if _, err := EstimateVariance(VarianceConfig{Bits: 8}, values[:3], frand.New(1)); !errors.Is(err, ErrInput) {
+		t.Errorf("too few clients err = %v", err)
+	}
+	if _, err := EstimateVariance(VarianceConfig{Bits: 8, Method: VarianceMethod(9)}, values, frand.New(1)); !errors.Is(err, ErrInput) {
+		t.Errorf("unknown method err = %v", err)
+	}
+}
+
+func varianceNRMSE(t *testing.T, method VarianceMethod, mu, sigma float64, n, bits, reps int, seed uint64) float64 {
+	t.Helper()
+	vals := workload.Normal{Mu: mu, Sigma: sigma}.Sample(frand.New(seed), n)
+	values := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+	truth := fixedpoint.Variance(values)
+	cfg := VarianceConfig{Bits: bits, Method: method}
+	r := frand.New(seed + 1)
+	var ests []float64
+	for rep := 0; rep < reps; rep++ {
+		v, err := EstimateVariance(cfg, values, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, v)
+	}
+	return stats.NRMSE(ests, truth)
+}
+
+func TestCenteredVarianceAccurate(t *testing.T) {
+	// 100K clients as in Figure 1b; the paper reports errors in the 1-2%
+	// range for the adaptive approach.
+	nrmse := varianceNRMSE(t, CenteredVariance, 1000, 100, 100000, 12, 15, 60)
+	if nrmse > 0.1 {
+		t.Fatalf("centered variance NRMSE %v too large", nrmse)
+	}
+}
+
+func TestMomentVarianceWorks(t *testing.T) {
+	nrmse := varianceNRMSE(t, MomentVariance, 300, 100, 100000, 10, 15, 61)
+	if nrmse > 0.35 {
+		t.Fatalf("moment variance NRMSE %v too large", nrmse)
+	}
+}
+
+func TestCenteredBeatsMomentAtLargeMean(t *testing.T) {
+	// Lemma 3.5: centered estimation variance ∝ (σ² + x̄²/n)²/n versus
+	// moment-based (σ² + x̄²)²/n — the gap widens as the mean dominates
+	// the spread.
+	const mu, sigma, n, bits, reps = 3000, 100, 50000, 12, 25
+	centered := varianceNRMSE(t, CenteredVariance, mu, sigma, n, bits, reps, 62)
+	moment := varianceNRMSE(t, MomentVariance, mu, sigma, n, bits, reps, 62)
+	if centered >= moment {
+		t.Fatalf("centered NRMSE %v not below moment NRMSE %v at large mean", centered, moment)
+	}
+}
+
+func TestVarianceDeterministic(t *testing.T) {
+	vals := workload.Normal{Mu: 100, Sigma: 20}.Sample(frand.New(63), 2000)
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(vals)
+	cfg := VarianceConfig{Bits: 8}
+	a, err := EstimateVariance(cfg, values, frand.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateVariance(cfg, values, frand.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic variance: %v vs %v", a, b)
+	}
+}
+
+func TestSquareCapped(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		bits int
+		want uint64
+	}{
+		{0, 8, 0},
+		{3, 8, 9},
+		{15, 8, 225},
+		{16, 8, 255},             // 256 overflows 8 bits -> clipped to 255
+		{1 << 30, 40, 1<<40 - 1}, // (2^30)^2 = 2^60 clips to 2^40-1
+	}
+	for _, c := range cases {
+		if got := squareCapped(c.v, c.bits); got != c.want {
+			t.Errorf("squareCapped(%d, %d) = %d, want %d", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestSquareCappedNoOverflow(t *testing.T) {
+	// v*v would overflow uint64; the guard must clip instead of wrapping.
+	if got := squareCapped(1<<33, 52); got != 1<<52-1 {
+		t.Fatalf("squareCapped(2^33, 52) = %d, want 2^52-1", got)
+	}
+}
+
+func TestClampToBits(t *testing.T) {
+	if clampToBits(-5, 8) != 0 {
+		t.Error("negative should clamp to 0")
+	}
+	if clampToBits(math.NaN(), 8) != 0 {
+		t.Error("NaN should clamp to 0")
+	}
+	if clampToBits(300, 8) != 255 {
+		t.Error("overflow should clamp to max")
+	}
+	if clampToBits(42.4, 8) != 42 {
+		t.Error("should round")
+	}
+	if clampToBits(42.6, 8) != 43 {
+		t.Error("should round up")
+	}
+}
+
+func TestVarianceConstantPopulation(t *testing.T) {
+	values := make([]uint64, 1000)
+	for i := range values {
+		values[i] = 9
+	}
+	v, err := EstimateVariance(VarianceConfig{Bits: 8}, values, frand.New(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 1e-9 {
+		t.Fatalf("constant population variance estimate %v, want 0", v)
+	}
+}

@@ -1,0 +1,186 @@
+// Package distdp implements the distributed differential-privacy
+// components of §3.3: Bernoulli noise addition for binary histograms
+// (after Balcer and Cheu) and sample-and-threshold privacy (after
+// Bharadwaj and Cormode), plus the central-model count thresholding the
+// deployment applies inside the aggregation enclave (§4.3, "achieving a
+// central differential privacy guarantee by having the enclave apply
+// thresholding to the reported bit counts").
+//
+// The data gathered by bit-pushing is "essentially a collection of binary
+// histograms (counts of 0 and 1 bits for each bit index)" (§3.3); both
+// mechanisms operate on such count vectors.
+package distdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+)
+
+// Errors returned by the constructors.
+var (
+	ErrParam = errors.New("distdp: invalid parameter")
+)
+
+// BernoulliNoise adds distributed binomial noise to counts: each of the n
+// participating clients contributes one extra Bernoulli(Q) increment, so a
+// true count c becomes c + Binomial(n, Q). The aggregate noise concentrates
+// like Gaussian noise with variance nQ(1-Q), giving an (ε, δ)-DP guarantee
+// in the distributed model while each client adds only a single biased
+// coin (§3.3, "each client add only a small amount of noise").
+type BernoulliNoise struct {
+	Q float64 // per-client noise probability in (0, 1)
+	N int     // number of noise-contributing clients
+}
+
+// NewBernoulliNoise validates and returns the mechanism.
+func NewBernoulliNoise(q float64, n int) (*BernoulliNoise, error) {
+	if !(q > 0 && q < 1) {
+		return nil, fmt.Errorf("%w: q=%v", ErrParam, q)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrParam, n)
+	}
+	return &BernoulliNoise{Q: q, N: n}, nil
+}
+
+// QForPrivacy returns a per-client noise probability calibrated so the
+// aggregate binomial noise masks a single contribution with (ε, δ)-DP,
+// using the standard Gaussian-mechanism calibration σ² ≥ 2 ln(1.25/δ)/ε²
+// applied to the binomial's variance nq(1-q) ≈ nq. The result is clamped
+// to (0, 1/2].
+func QForPrivacy(eps, delta float64, n int) (float64, error) {
+	if !(eps > 0) || !(delta > 0 && delta < 1) || n < 1 {
+		return 0, fmt.Errorf("%w: eps=%v delta=%v n=%d", ErrParam, eps, delta, n)
+	}
+	sigma2 := 2 * math.Log(1.25/delta) / (eps * eps)
+	q := sigma2 / float64(n)
+	if q > 0.5 {
+		q = 0.5
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	return q, nil
+}
+
+// Perturb adds the distributed noise to a true count: each of the N clients
+// flips one Q-coin.
+func (b *BernoulliNoise) Perturb(count uint64, r *frand.RNG) uint64 {
+	extra := uint64(0)
+	for i := 0; i < b.N; i++ {
+		if r.Bernoulli(b.Q) {
+			extra++
+		}
+	}
+	return count + extra
+}
+
+// Unbias removes the expected noise N*Q from a perturbed count, flooring at
+// zero on the natural scale.
+func (b *BernoulliNoise) Unbias(noisy uint64) float64 {
+	return float64(noisy) - float64(b.N)*b.Q
+}
+
+// NoiseStd returns the standard deviation of the added noise.
+func (b *BernoulliNoise) NoiseStd() float64 {
+	return math.Sqrt(float64(b.N) * b.Q * (1 - b.Q))
+}
+
+// SampleThreshold implements sample-and-threshold DP: every unit of count
+// is retained independently with probability Gamma, then any count below
+// Tau is removed entirely. Bharadwaj and Cormode show that random sampling
+// plus small-count removal yields (ε, δ)-DP for histograms (§3.3), and the
+// deployment found the introduced error "negligible ... compared to the
+// non-thresholded sample" (§4.3).
+type SampleThreshold struct {
+	Gamma float64 // sampling rate in (0, 1]
+	Tau   uint64  // counts strictly below Tau are zeroed
+}
+
+// NewSampleThreshold validates and returns the mechanism.
+func NewSampleThreshold(gamma float64, tau uint64) (*SampleThreshold, error) {
+	if !(gamma > 0 && gamma <= 1) {
+		return nil, fmt.Errorf("%w: gamma=%v", ErrParam, gamma)
+	}
+	return &SampleThreshold{Gamma: gamma, Tau: tau}, nil
+}
+
+// TauForPrivacy returns a removal threshold calibrated for (ε, δ)-DP at
+// sampling rate gamma, following the sample-and-threshold analysis: a
+// count that survives sampling must be large enough that its presence or
+// absence cannot be attributed to one client, which holds once
+// τ ≥ 1 + ln(1/δ)/ε scaled by the retained fraction.
+func TauForPrivacy(eps, delta, gamma float64) (uint64, error) {
+	if !(eps > 0) || !(delta > 0 && delta < 1) || !(gamma > 0 && gamma <= 1) {
+		return 0, fmt.Errorf("%w: eps=%v delta=%v gamma=%v", ErrParam, eps, delta, gamma)
+	}
+	tau := (1 + math.Log(1/delta)/eps) * gamma
+	return uint64(math.Ceil(tau)) + 1, nil
+}
+
+// Apply samples each count binomially at rate Gamma and zeroes counts below
+// Tau. The returned slice is freshly allocated.
+func (s *SampleThreshold) Apply(counts []uint64, r *frand.RNG) []uint64 {
+	out := make([]uint64, len(counts))
+	for i, c := range counts {
+		kept := binomial(c, s.Gamma, r)
+		if kept < s.Tau {
+			kept = 0
+		}
+		out[i] = kept
+	}
+	return out
+}
+
+// Unbias rescales a sampled count back to the population scale.
+func (s *SampleThreshold) Unbias(sampled uint64) float64 {
+	return float64(sampled) / s.Gamma
+}
+
+// binomial draws Binomial(n, p). For large n it uses a normal
+// approximation; exact coin flips below the cutoff keep small counts exact,
+// which matters for the thresholding behaviour.
+func binomial(n uint64, p float64, r *frand.RNG) uint64 {
+	if p >= 1 {
+		return n
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	const exactCutoff = 256
+	if n <= exactCutoff {
+		var k uint64
+		for i := uint64(0); i < n; i++ {
+			if r.Bernoulli(p) {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	std := math.Sqrt(float64(n) * p * (1 - p))
+	draw := math.Round(r.Normal(mean, std))
+	if draw < 0 {
+		return 0
+	}
+	if draw > float64(n) {
+		return n
+	}
+	return uint64(draw)
+}
+
+// ThresholdCounts zeroes every count strictly below tau, the central-model
+// post-processing the deployment's enclave applies (§4.3). Post-processing
+// preserves any DP guarantee already in place.
+func ThresholdCounts(counts []uint64, tau uint64) []uint64 {
+	out := make([]uint64, len(counts))
+	for i, c := range counts {
+		if c >= tau {
+			out[i] = c
+		}
+	}
+	return out
+}

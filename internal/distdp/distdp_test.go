@@ -1,0 +1,205 @@
+package distdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+	"repro/internal/stats"
+)
+
+func TestNewBernoulliNoiseValidation(t *testing.T) {
+	cases := []struct {
+		q float64
+		n int
+	}{{0, 10}, {1, 10}, {-0.1, 10}, {0.5, 0}}
+	for _, c := range cases {
+		if _, err := NewBernoulliNoise(c.q, c.n); !errors.Is(err, ErrParam) {
+			t.Errorf("NewBernoulliNoise(%v,%d): err = %v", c.q, c.n, err)
+		}
+	}
+}
+
+func TestBernoulliNoiseUnbiased(t *testing.T) {
+	b, err := NewBernoulliNoise(0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(1)
+	var s stats.Stream
+	for i := 0; i < 2000; i++ {
+		s.Add(b.Unbias(b.Perturb(500, r)))
+	}
+	if math.Abs(s.Mean()-500) > 1.5 {
+		t.Fatalf("unbiased mean %v, want ~500", s.Mean())
+	}
+}
+
+func TestBernoulliNoiseStd(t *testing.T) {
+	b, _ := NewBernoulliNoise(0.2, 400)
+	r := frand.New(2)
+	var s stats.Stream
+	for i := 0; i < 5000; i++ {
+		s.Add(float64(b.Perturb(0, r)))
+	}
+	if math.Abs(s.StdDev()-b.NoiseStd()) > 0.05*b.NoiseStd() {
+		t.Fatalf("empirical noise std %v, analytic %v", s.StdDev(), b.NoiseStd())
+	}
+}
+
+func TestQForPrivacy(t *testing.T) {
+	q, err := QForPrivacy(1, 1e-6, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q <= 0 || q > 0.5 {
+		t.Fatalf("q = %v out of (0, 0.5]", q)
+	}
+	// Stricter privacy (smaller eps) needs more noise.
+	q2, _ := QForPrivacy(0.1, 1e-6, 10000)
+	if q2 <= q {
+		t.Fatalf("q(eps=0.1)=%v not above q(eps=1)=%v", q2, q)
+	}
+	// Larger cohorts need smaller per-client noise.
+	q3, _ := QForPrivacy(1, 1e-6, 1000000)
+	if q3 >= q {
+		t.Fatalf("q(n=1e6)=%v not below q(n=1e4)=%v", q3, q)
+	}
+}
+
+func TestQForPrivacyValidation(t *testing.T) {
+	for _, c := range []struct {
+		eps, delta float64
+		n          int
+	}{{0, 0.1, 10}, {1, 0, 10}, {1, 1, 10}, {1, 0.1, 0}} {
+		if _, err := QForPrivacy(c.eps, c.delta, c.n); !errors.Is(err, ErrParam) {
+			t.Errorf("QForPrivacy(%v,%v,%d): err = %v", c.eps, c.delta, c.n, err)
+		}
+	}
+}
+
+func TestNewSampleThresholdValidation(t *testing.T) {
+	for _, g := range []float64{0, -1, 1.1} {
+		if _, err := NewSampleThreshold(g, 1); !errors.Is(err, ErrParam) {
+			t.Errorf("gamma=%v: err = %v", g, err)
+		}
+	}
+}
+
+func TestSampleThresholdUnbiasedAboveThreshold(t *testing.T) {
+	st, err := NewSampleThreshold(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(3)
+	var s stats.Stream
+	for i := 0; i < 3000; i++ {
+		out := st.Apply([]uint64{10000}, r)
+		s.Add(st.Unbias(out[0]))
+	}
+	if math.Abs(s.Mean()-10000) > 30 {
+		t.Fatalf("unbiased sampled count %v, want ~10000", s.Mean())
+	}
+}
+
+func TestSampleThresholdRemovesSmallCounts(t *testing.T) {
+	st, _ := NewSampleThreshold(1, 5)
+	r := frand.New(4)
+	out := st.Apply([]uint64{0, 1, 4, 5, 100}, r)
+	want := []uint64{0, 0, 0, 5, 100}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Apply[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSampleThresholdGammaOne(t *testing.T) {
+	st, _ := NewSampleThreshold(1, 0)
+	r := frand.New(5)
+	in := []uint64{7, 300, 0}
+	out := st.Apply(in, r)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("gamma=1 changed counts: %v -> %v", in, out)
+		}
+	}
+}
+
+func TestTauForPrivacy(t *testing.T) {
+	tau, err := TauForPrivacy(1, 1e-6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 2 {
+		t.Fatalf("tau = %d implausibly small", tau)
+	}
+	tighter, _ := TauForPrivacy(0.1, 1e-6, 0.5)
+	if tighter <= tau {
+		t.Fatalf("tau(eps=0.1)=%d not above tau(eps=1)=%d", tighter, tau)
+	}
+	if _, err := TauForPrivacy(0, 0.1, 0.5); !errors.Is(err, ErrParam) {
+		t.Errorf("TauForPrivacy eps=0: err = %v", err)
+	}
+}
+
+func TestBinomialSmallExact(t *testing.T) {
+	r := frand.New(6)
+	var s stats.Stream
+	for i := 0; i < 20000; i++ {
+		s.Add(float64(binomial(100, 0.3, r)))
+	}
+	if math.Abs(s.Mean()-30) > 0.3 {
+		t.Fatalf("binomial(100,0.3) mean %v, want ~30", s.Mean())
+	}
+	if math.Abs(s.Variance()-21) > 1.5 {
+		t.Fatalf("binomial variance %v, want ~21", s.Variance())
+	}
+}
+
+func TestBinomialLargeApprox(t *testing.T) {
+	r := frand.New(7)
+	var s stats.Stream
+	for i := 0; i < 5000; i++ {
+		v := binomial(100000, 0.25, r)
+		if v > 100000 {
+			t.Fatalf("binomial exceeded n: %d", v)
+		}
+		s.Add(float64(v))
+	}
+	if math.Abs(s.Mean()-25000) > 20 {
+		t.Fatalf("binomial(1e5,0.25) mean %v", s.Mean())
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := frand.New(8)
+	if binomial(10, 0, r) != 0 {
+		t.Error("p=0 should give 0")
+	}
+	if binomial(10, 1, r) != 10 {
+		t.Error("p=1 should give n")
+	}
+	if binomial(0, 0.5, r) != 0 {
+		t.Error("n=0 should give 0")
+	}
+}
+
+func TestThresholdCounts(t *testing.T) {
+	out := ThresholdCounts([]uint64{0, 2, 5, 6, 100}, 6)
+	want := []uint64{0, 0, 0, 6, 100}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("ThresholdCounts[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestThresholdCountsDoesNotMutate(t *testing.T) {
+	in := []uint64{1, 2, 3}
+	ThresholdCounts(in, 10)
+	if in[0] != 1 || in[1] != 2 || in[2] != 3 {
+		t.Error("ThresholdCounts mutated input")
+	}
+}

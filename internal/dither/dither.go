@@ -1,0 +1,129 @@
+// Package dither implements the subtractive dithering one-bit estimator of
+// Ben-Basat, Mitzenmacher and Vargaftik, the paper's strongest prior
+// baseline (§2): "When we evaluated in our setting several approaches that
+// were described in [3], subtractive dithering was a clear frontrunner."
+//
+// For a value x scaled into [0, 1], the client draws h uniform in [0, 1]
+// (shared randomness, so the server knows h) and sends the single bit
+// b = 1{x >= h}. The server's per-report estimate is b + h - 1/2, which is
+// unbiased with constant variance on [0, 1]. To compare under local DP the
+// bit is additionally passed through randomized response and the estimate
+// is unbiased at the server (§2, §4.2).
+//
+// Like the other scale-and-estimate baselines, dithering needs an a-priori
+// bound on the values: with bit depth b the bound is 2^b, and its error
+// scales with the bound (paper §2, "the variance of their estimates scales
+// with (H-L)^2") — the behaviour Figures 1c, 2c and 4c exhibit.
+package dither
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+// ErrBound reports a non-positive scaling bound.
+var ErrBound = errors.New("dither: bound must be positive")
+
+// Dithering estimates a population mean from one subtractive-dithering bit
+// per client.
+type Dithering struct {
+	// Bound is the assumed upper bound H on values; inputs are scaled by
+	// 1/Bound into [0, 1] and clamped.
+	Bound float64
+	// RR, when non-nil, applies randomized response to each bit for an
+	// ε-LDP guarantee, with server-side unbiasing.
+	RR *ldp.RandomizedResponse
+}
+
+// New returns a plain (non-private) subtractive dithering estimator for
+// values in [0, bound].
+func New(bound float64) (*Dithering, error) {
+	if !(bound > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBound, bound)
+	}
+	return &Dithering{Bound: bound}, nil
+}
+
+// NewLDP returns a dithering estimator whose bit is protected with ε-LDP
+// randomized response.
+func NewLDP(bound, eps float64) (*Dithering, error) {
+	d, err := New(bound)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := ldp.NewRandomizedResponse(eps)
+	if err != nil {
+		return nil, err
+	}
+	d.RR = rr
+	return d, nil
+}
+
+// Report produces one client report: the (possibly randomized-response
+// protected) threshold bit and the public dither value h.
+func (d *Dithering) Report(x float64, r *frand.RNG) (bit uint64, h float64) {
+	scaled := x / d.Bound
+	if scaled < 0 {
+		scaled = 0
+	}
+	if scaled > 1 {
+		scaled = 1
+	}
+	h = r.Float64()
+	if scaled >= h {
+		bit = 1
+	}
+	if d.RR != nil {
+		bit = d.RR.Apply(bit, r)
+	}
+	return bit, h
+}
+
+// Estimate converts one report into an unbiased per-client estimate on the
+// original scale.
+func (d *Dithering) Estimate(bit uint64, h float64) float64 {
+	b := float64(bit)
+	if d.RR != nil {
+		b = d.RR.UnbiasMean(b)
+	}
+	return (b + h - 0.5) * d.Bound
+}
+
+// EstimateMean gathers one report per value and returns the mean of the
+// per-client estimates.
+func (d *Dithering) EstimateMean(values []float64, r *frand.RNG) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		bit, h := d.Report(v, r)
+		sum += d.Estimate(bit, h)
+	}
+	return sum / float64(len(values))
+}
+
+// EstimateVariance estimates the population variance by dithering both the
+// values (scaled by Bound) and their squares (scaled by Bound^2) on
+// independent halves of the population, then combining via
+// Var[X] = E[X^2] - E[X]^2. This mirrors how the paper's Figure 1b applies
+// the baseline to variance estimation, where "the dithering approach is
+// orders of magnitude worse, due to its inability to adapt to the scale of
+// the input values".
+func (d *Dithering) EstimateVariance(values []float64, r *frand.RNG) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	half := len(values) / 2
+	meanEst := d.EstimateMean(values[:half], r)
+	sq := &Dithering{Bound: d.Bound * d.Bound, RR: d.RR}
+	squares := make([]float64, len(values)-half)
+	for i, v := range values[half:] {
+		squares[i] = v * v
+	}
+	meanSqEst := sq.EstimateMean(squares, r)
+	return meanSqEst - meanEst*meanEst
+}

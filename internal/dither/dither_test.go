@@ -1,0 +1,177 @@
+package dither
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, b := range []float64{0, -5} {
+		if _, err := New(b); !errors.Is(err, ErrBound) {
+			t.Errorf("New(%v): err = %v, want ErrBound", b, err)
+		}
+	}
+	if _, err := NewLDP(0, 1); !errors.Is(err, ErrBound) {
+		t.Errorf("NewLDP bad bound: err = %v", err)
+	}
+	if _, err := NewLDP(1, 0); err == nil {
+		t.Error("NewLDP eps=0 accepted")
+	}
+}
+
+func TestReportBitThreshold(t *testing.T) {
+	d, _ := New(1)
+	r := frand.New(1)
+	// x = 1 always exceeds h in [0,1): bit must always be 1.
+	for i := 0; i < 1000; i++ {
+		if bit, _ := d.Report(1, r); bit != 1 {
+			t.Fatal("x=1 produced bit 0")
+		}
+	}
+	// x = 0 ties h only when h == 0 (measure zero): expect all zeros.
+	for i := 0; i < 1000; i++ {
+		if bit, h := d.Report(0, r); bit != 0 && h != 0 {
+			t.Fatal("x=0 produced bit 1 for positive h")
+		}
+	}
+}
+
+func TestPerReportUnbiased(t *testing.T) {
+	d, _ := New(1)
+	r := frand.New(2)
+	for _, x := range []float64{0.1, 0.33, 0.5, 0.77, 0.95} {
+		var s stats.Stream
+		for i := 0; i < 200000; i++ {
+			bit, h := d.Report(x, r)
+			s.Add(d.Estimate(bit, h))
+		}
+		if math.Abs(s.Mean()-x) > 0.005 {
+			t.Errorf("x=%v: per-report estimate mean %v", x, s.Mean())
+		}
+	}
+}
+
+func TestPerReportVarianceBounded(t *testing.T) {
+	// On [0,1] each report's variance is bounded by a constant (<= 1/4+1/12
+	// style bounds; empirically around 0.08 at x=0.5).
+	d, _ := New(1)
+	r := frand.New(3)
+	var s stats.Stream
+	for i := 0; i < 100000; i++ {
+		bit, h := d.Report(0.5, r)
+		s.Add(d.Estimate(bit, h))
+	}
+	if s.Variance() > 0.25 {
+		t.Fatalf("per-report variance %v exceeds constant bound", s.Variance())
+	}
+}
+
+func TestEstimateMeanScaled(t *testing.T) {
+	d, _ := New(1 << 10)
+	r := frand.New(4)
+	vals := workload.Normal{Mu: 400, Sigma: 50}.Sample(r, 50000)
+	var truth stats.Stream
+	truth.AddAll(vals)
+	est := d.EstimateMean(vals, r)
+	if math.Abs(est-truth.Mean()) > 6 {
+		t.Fatalf("estimate %v, truth %v", est, truth.Mean())
+	}
+}
+
+func TestErrorGrowsWithBound(t *testing.T) {
+	// The defining weakness: with the same data, a looser bound gives a
+	// worse estimate (variance scales with the bound squared).
+	r := frand.New(5)
+	vals := workload.Normal{Mu: 500, Sigma: 100}.Sample(r, 10000)
+	var truth stats.Stream
+	truth.AddAll(vals)
+	errAt := func(bound float64) float64 {
+		d, _ := New(bound)
+		rr := frand.New(99)
+		var ests []float64
+		for rep := 0; rep < 30; rep++ {
+			ests = append(ests, d.EstimateMean(vals, rr))
+		}
+		return stats.RMSE(ests, truth.Mean())
+	}
+	tight, loose := errAt(1<<10), errAt(1<<16)
+	if loose < 4*tight {
+		t.Fatalf("loose-bound RMSE %v not much worse than tight-bound %v", loose, tight)
+	}
+}
+
+func TestLDPUnbiased(t *testing.T) {
+	d, err := NewLDP(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(6)
+	var s stats.Stream
+	for i := 0; i < 300000; i++ {
+		bit, h := d.Report(0.4, r)
+		s.Add(d.Estimate(bit, h))
+	}
+	if math.Abs(s.Mean()-0.4) > 0.01 {
+		t.Fatalf("LDP per-report mean %v, want ~0.4", s.Mean())
+	}
+}
+
+func TestLDPNoisier(t *testing.T) {
+	r := frand.New(7)
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = 0.6
+	}
+	plain, _ := New(1)
+	private, _ := NewLDP(1, 0.5)
+	var plainErrs, privErrs []float64
+	for rep := 0; rep < 50; rep++ {
+		plainErrs = append(plainErrs, plain.EstimateMean(vals, r))
+		privErrs = append(privErrs, private.EstimateMean(vals, r))
+	}
+	if stats.RMSE(privErrs, 0.6) <= stats.RMSE(plainErrs, 0.6) {
+		t.Fatal("LDP dithering not noisier than plain dithering")
+	}
+}
+
+func TestEstimateVarianceRoughly(t *testing.T) {
+	r := frand.New(8)
+	vals := workload.Normal{Mu: 200, Sigma: 40}.Sample(r, 200000)
+	var truth stats.Stream
+	truth.AddAll(vals)
+	d, _ := New(1 << 9)
+	est := d.EstimateVariance(vals, r)
+	// Dithering variance estimation is very noisy (the paper's point);
+	// only require the right order of magnitude.
+	if est < truth.Variance()/4 || est > truth.Variance()*4 {
+		t.Fatalf("variance estimate %v, truth %v", est, truth.Variance())
+	}
+}
+
+func TestEstimateMeanEmpty(t *testing.T) {
+	d, _ := New(1)
+	if d.EstimateMean(nil, frand.New(1)) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+	if d.EstimateVariance([]float64{1}, frand.New(1)) != 0 {
+		t.Error("single-value variance should be 0")
+	}
+}
+
+func TestClamping(t *testing.T) {
+	d, _ := New(10)
+	r := frand.New(9)
+	var s stats.Stream
+	for i := 0; i < 100000; i++ {
+		bit, h := d.Report(1e9, r) // clamps to 10
+		s.Add(d.Estimate(bit, h))
+	}
+	if math.Abs(s.Mean()-10) > 0.2 {
+		t.Fatalf("clamped estimate mean %v, want ~10", s.Mean())
+	}
+}

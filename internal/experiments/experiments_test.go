@@ -1,0 +1,475 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick returns reduced-repetition options for test runs.
+func quick(reps int, n int) Options {
+	return Options{Reps: reps, N: n, Seed: 7}
+}
+
+// meanY averages a series' plotted values across the sweep.
+func meanY(ylabel string, s Series) float64 {
+	var sum float64
+	for _, p := range s.Points {
+		sum += yValue(ylabel, p)
+	}
+	return sum / float64(len(s.Points))
+}
+
+// byName finds a series by method name.
+func byName(t *testing.T, f *FigureResult, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Method == name {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q (have %v)", f.ID, name, names(f))
+	return Series{}
+}
+
+func names(f *FigureResult) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Method
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4a", "4b", "4c", "bsend", "cache", "delta", "gamma", "pois", "stdp", "tdp"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("9z", Options{}); !errors.Is(err, ErrUnknownFigure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	f, err := Fig1a(quick(15, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 5 {
+		t.Fatalf("series = %v", names(f))
+	}
+	adaptive := byName(t, f, "adaptive(α=0.5)")
+	dith := byName(t, f, "dithering")
+	if a, d := meanY(f.YLabel, adaptive), meanY(f.YLabel, dith); a >= d {
+		t.Fatalf("adaptive mean NRMSE %v not below dithering %v", a, d)
+	}
+	// NRMSE broadly decreases as the mean grows (normalizer outpaces error).
+	for _, s := range f.Series {
+		first, last := yValue(f.YLabel, s.Points[0]), yValue(f.YLabel, s.Points[len(s.Points)-1])
+		if last > first*2 {
+			t.Errorf("%s: NRMSE grew from %v to %v across μ sweep", s.Method, first, last)
+		}
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	f, err := Fig1b(quick(6, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the dithering approach is orders of magnitude worse" at variance.
+	adaptive := byName(t, f, "adaptive")
+	dith := byName(t, f, "dithering")
+	if a, d := meanY(f.YLabel, adaptive), meanY(f.YLabel, dith); a*5 >= d {
+		t.Fatalf("dithering variance NRMSE %v not far above adaptive %v", d, a)
+	}
+}
+
+func TestFig1cShape(t *testing.T) {
+	f, err := Fig1c(quick(15, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-round methods grow with bit depth; adaptive stays flat
+	// ("largely oblivious to the increase in bit depth").
+	for _, name := range []string{"dithering", "weighted(γ=1)"} {
+		s := byName(t, f, name)
+		lo, hi := yValue(f.YLabel, s.Points[0]), yValue(f.YLabel, s.Points[len(s.Points)-1])
+		if hi < 3*lo {
+			t.Errorf("%s: error did not grow with depth (%v -> %v)", name, lo, hi)
+		}
+	}
+	s := byName(t, f, "adaptive(α=0.5)")
+	lo, hi := yValue(f.YLabel, s.Points[0]), yValue(f.YLabel, s.Points[len(s.Points)-1])
+	if hi > 3*lo {
+		t.Errorf("adaptive grew with depth (%v -> %v)", lo, hi)
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	f, err := Fig2a(Options{Reps: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error decreases with n, broadly like 1/sqrt(n): from n=1000 to
+	// n=100000 expect roughly a 10x drop; allow wide slack.
+	for _, s := range f.Series {
+		first := yValue(f.YLabel, s.Points[0])
+		last := yValue(f.YLabel, s.Points[len(s.Points)-1])
+		if last > first/2 {
+			t.Errorf("%s: NRMSE %v at n=1K -> %v at n=100K: no 1/sqrt(n) trend", s.Method, first, last)
+		}
+	}
+	// At the largest cohort (100K) the adaptive error must be well below
+	// 1% — the regime the paper calls "comfortably below 1%".
+	adaptive := byName(t, f, "adaptive(α=0.5)")
+	last := adaptive.Points[len(adaptive.Points)-1]
+	if last.Summary.NRMSE > 0.01 {
+		t.Errorf("adaptive NRMSE %v at n=%v, want < 1%%", last.Summary.NRMSE, last.X)
+	}
+}
+
+func TestFig2bRuns(t *testing.T) {
+	f, err := Fig2b(Options{Reps: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := byName(t, f, "adaptive")
+	dith := byName(t, f, "dithering")
+	if a, d := meanY(f.YLabel, adaptive), meanY(f.YLabel, dith); a >= d {
+		t.Fatalf("adaptive variance error %v not below dithering %v", a, d)
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	f, err := Fig2c(quick(12, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := byName(t, f, "adaptive(α=0.5)")
+	dith := byName(t, f, "dithering")
+	// At the largest depth the adaptive method must dominate.
+	last := len(adaptive.Points) - 1
+	if a, d := yValue(f.YLabel, adaptive.Points[last]), yValue(f.YLabel, dith.Points[last]); a >= d {
+		t.Fatalf("at b=24 adaptive %v not below dithering %v", a, d)
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	f, err := Fig3a(quick(10, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMSE decreases as ε grows for every method.
+	for _, s := range f.Series {
+		first := yValue(f.YLabel, s.Points[0])
+		last := yValue(f.YLabel, s.Points[len(s.Points)-1])
+		if last >= first {
+			t.Errorf("%s: RMSE did not fall from ε=0.1 (%v) to ε=0.9 (%v)", s.Method, first, last)
+		}
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	f, err := Fig3b(quick(10, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			y := yValue(f.YLabel, p)
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				t.Errorf("%s: non-finite RMSE at ε=%v", s.Method, p.X)
+			}
+		}
+	}
+}
+
+func TestFig4aSquashingHelps(t *testing.T) {
+	f, err := Fig4a(quick(10, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4a: moderate thresholds improve accuracy by a large factor
+	// over no squashing. The adaptive method gains the most (its learned
+	// allocation concentrates reports on the surviving bits); the
+	// single-round weighted method still improves clearly.
+	factors := map[string]float64{"weighted(γ=1)+squash": 2, "adaptive+squash": 5}
+	for _, s := range f.Series {
+		atZero := yValue(f.YLabel, s.Points[0])
+		var best float64 = math.Inf(1)
+		for _, p := range s.Points[1:] {
+			best = math.Min(best, yValue(f.YLabel, p))
+		}
+		if best*factors[s.Method] >= atZero {
+			t.Errorf("%s: best squashed RMSE %v not %gx below unsquashed %v",
+				s.Method, best, factors[s.Method], atZero)
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	f, err := Fig4b(quick(10, 8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.Points) != 16 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Dense region: bits around 8-9 of Normal(800,100) have substantial
+	// means; bits 12+ are noise near zero.
+	means := make([]float64, 16)
+	for j, p := range s.Points {
+		means[j] = yValue(f.YLabel, p)
+	}
+	if means[9] < 0.3 {
+		t.Errorf("active bit 9 mean %v too small", means[9])
+	}
+	for j := 12; j < 16; j++ {
+		if math.Abs(means[j]) > 0.05 {
+			t.Errorf("vacuous bit %d mean %v not near zero", j, means[j])
+		}
+	}
+}
+
+func TestFig4cAdaptiveSquashFlat(t *testing.T) {
+	f, err := Fig4c(quick(10, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	squash := byName(t, f, "adaptive(α=0.5)+squash")
+	lo := yValue(f.YLabel, squash.Points[0])
+	hi := yValue(f.YLabel, squash.Points[len(squash.Points)-1])
+	if hi > 3*lo {
+		t.Errorf("adaptive+squash grew with depth under DP: %v -> %v", lo, hi)
+	}
+	dith := byName(t, f, "dithering")
+	dlo := yValue(f.YLabel, dith.Points[0])
+	dhi := yValue(f.YLabel, dith.Points[len(dith.Points)-1])
+	if dhi < 3*dlo {
+		t.Errorf("dithering did not grow with depth under DP: %v -> %v", dlo, dhi)
+	}
+}
+
+func TestTextDPBaselinesWorse(t *testing.T) {
+	f, err := FigTextDP(quick(10, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap := meanY(f.YLabel, byName(t, f, "laplace"))
+	best := math.Min(meanY(f.YLabel, byName(t, f, "weighted(γ=1)")),
+		meanY(f.YLabel, byName(t, f, "piecewise")))
+	// "errors 2-3 times larger in all cases"; require a clear gap on the
+	// sweep average under reduced repetitions.
+	if lap < 1.5*best {
+		t.Errorf("laplace RMSE %v not well above best one-bit method %v", lap, best)
+	}
+	// Duchi randomized rounding loses to the piecewise mechanism most
+	// clearly at the largest ε (the Wang et al. headline result).
+	duchi := byName(t, f, "duchi")
+	piece := byName(t, f, "piecewise")
+	last := len(duchi.Points) - 1
+	if d, p := yValue(f.YLabel, duchi.Points[last]), yValue(f.YLabel, piece.Points[last]); d < 1.3*p {
+		t.Errorf("at ε=4 duchi RMSE %v not well above piecewise %v", d, p)
+	}
+}
+
+func TestPoisoningCentralSafer(t *testing.T) {
+	f, err := FigPoisoning(quick(8, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central := byName(t, f, "bitpush-central")
+	local := byName(t, f, "bitpush-local")
+	last := len(central.Points) - 1
+	c := yValue(f.YLabel, central.Points[last])
+	l := yValue(f.YLabel, local.Points[last])
+	if l <= c {
+		t.Fatalf("at 10%% byzantine, local error %v not above central %v", l, c)
+	}
+	// With no adversaries the two modes are comparable.
+	c0, l0 := yValue(f.YLabel, central.Points[0]), yValue(f.YLabel, local.Points[0])
+	if c0 > 5*l0 || l0 > 5*c0 {
+		t.Errorf("clean-population errors diverge: central %v local %v", c0, l0)
+	}
+}
+
+func TestDeltaSweepShallowOptimum(t *testing.T) {
+	f, err := FigDeltaSweep(quick(20, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	// The paper's guided δ=1/3 must not be much worse than the best
+	// sampled δ, and the extreme δ=0.9 (starved round 2) must be worse
+	// than the recommendation.
+	var atThird, best, atNine float64
+	best = math.Inf(1)
+	for _, p := range s.Points {
+		y := yValue(f.YLabel, p)
+		best = math.Min(best, y)
+		if math.Abs(p.X-1.0/3) < 1e-9 {
+			atThird = y
+		}
+		if p.X == 0.9 {
+			atNine = y
+		}
+	}
+	if atThird > 1.8*best {
+		t.Errorf("δ=1/3 NRMSE %v far above best %v", atThird, best)
+	}
+	if atNine < 1.3*atThird {
+		t.Errorf("δ=0.9 NRMSE %v not clearly worse than δ=1/3 %v", atNine, atThird)
+	}
+}
+
+func TestGammaSweepShapes(t *testing.T) {
+	f, err := FigGammaSweep(quick(15, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := byName(t, f, "weighted")
+	adaptive := byName(t, f, "adaptive(α=0.5)")
+	// At b=16 with only ~10 active bits, larger γ starves the active bits
+	// (their share of reports shrinks like 2^{j-b}), so the one-round
+	// method degrades as γ grows — the fixed-depth cross-section of the
+	// Figure 1c story. Without DP the vacuous bits report exact zeros, so
+	// uniform sampling is actually the strongest fixed allocation here.
+	var atZero, atTop float64
+	for _, p := range weighted.Points {
+		y := yValue(f.YLabel, p)
+		if p.X == 0 {
+			atZero = y
+		}
+		if p.X == 1.5 {
+			atTop = y
+		}
+	}
+	if atTop < 2*atZero {
+		t.Errorf("weighted γ=1.5 NRMSE %v not well above γ=0 %v", atTop, atZero)
+	}
+	// The adaptive protocol is far less sensitive to γ than the one-round
+	// method: its worst-to-best ratio across the sweep must be smaller.
+	ratio := func(s Series) float64 {
+		lo, hi := math.Inf(1), 0.0
+		for _, p := range s.Points {
+			y := yValue(f.YLabel, p)
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+		return hi / lo
+	}
+	if ratio(adaptive) >= ratio(weighted) {
+		t.Errorf("adaptive γ-sensitivity %v not below weighted %v", ratio(adaptive), ratio(weighted))
+	}
+}
+
+func TestSampleThresholdNegligibleNoise(t *testing.T) {
+	f, err := FigSampleThreshold(Options{Reps: 25, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := byName(t, f, "no-noise")
+	noisy := f.Series[1] // the sample+threshold series, name carries τ
+	if noisy.Method == plain.Method {
+		t.Fatal("series mislabeled")
+	}
+	// §4.3: "a negligible amount of noise compared to the non-thresholded
+	// sample" — at deployment scale ("10s of thousands" of devices). At
+	// the largest cohort every bit's tallies clear the removal threshold
+	// and only the γ=0.8 sampling penalty (~12%) remains; small cohorts
+	// legitimately degrade, which is why deployments enforce minimum
+	// cohort sizes.
+	last := len(plain.Points) - 1
+	p := yValue(f.YLabel, plain.Points[last])
+	n := yValue(f.YLabel, noisy.Points[last])
+	if n > 1.4*p {
+		t.Fatalf("at n=%v sample+threshold NRMSE %v vs plain %v: not negligible", plain.Points[last].X, n, p)
+	}
+	if n < p/2 {
+		t.Fatalf("sample+threshold NRMSE %v implausibly below plain %v", n, p)
+	}
+}
+
+func TestCachingFigure(t *testing.T) {
+	f, err := FigCaching(Options{Reps: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := meanY(f.YLabel, byName(t, f, "adaptive(α=0.5)"))
+	nocache := meanY(f.YLabel, byName(t, f, "adaptive(α=0.5)-nocache"))
+	if cached >= nocache {
+		t.Fatalf("cached NRMSE %v not below no-cache %v", cached, nocache)
+	}
+}
+
+func TestBSendFigure(t *testing.T) {
+	f, err := FigBSend(quick(15, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	first := yValue(f.YLabel, s.Points[0])
+	last := yValue(f.YLabel, s.Points[len(s.Points)-1])
+	// Corollary 3.2: b_send=8 should cut error roughly by sqrt(8)≈2.8x.
+	if last > first/1.7 {
+		t.Fatalf("b_send sweep error %v -> %v: no 1/sqrt(b_send) trend", first, last)
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	f, err := Fig1a(quick(3, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table bytes.Buffer
+	if err := f.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	if !strings.Contains(out, "1a") || !strings.Contains(out, "dithering") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+	var csv bytes.Buffer
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// Header + 5 methods x 7 points.
+	if len(lines) != 1+5*7 {
+		t.Errorf("csv has %d lines, want %d", len(lines), 1+5*7)
+	}
+	if !strings.HasPrefix(lines[0], "figure,method,x,y") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestRunByIDDeterministic(t *testing.T) {
+	a, err := Run("1a", quick(3, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("1a", quick(3, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for pi := range a.Series[si].Points {
+			if a.Series[si].Points[pi].Summary.RMSE != b.Series[si].Points[pi].Summary.RMSE {
+				t.Fatalf("figure 1a not deterministic at series %d point %d", si, pi)
+			}
+		}
+	}
+}

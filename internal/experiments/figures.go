@@ -1,0 +1,454 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure is a registered experiment regenerating one paper figure.
+type Figure struct {
+	ID          string
+	Description string
+	Run         func(Options) (*FigureResult, error)
+}
+
+// Registry lists every reproducible figure and ablation, keyed by id.
+var Registry = map[string]Figure{
+	"1a":    {"1a", "mean NRMSE vs distribution mean (Normal, σ=100, n=10K)", Fig1a},
+	"1b":    {"1b", "variance NRMSE vs distribution mean (Normal, σ=100, n=100K)", Fig1b},
+	"1c":    {"1c", "mean NRMSE vs bit depth (Normal(1000,100), n=10K)", Fig1c},
+	"2a":    {"2a", "mean NRMSE vs number of clients (census ages)", Fig2a},
+	"2b":    {"2b", "variance NRMSE vs number of clients (census ages)", Fig2b},
+	"2c":    {"2c", "mean NRMSE vs bit depth (census ages, n=10K)", Fig2c},
+	"3a":    {"3a", "mean RMSE vs ε, high-privacy regime ε<1 (census ages)", Fig3a},
+	"3b":    {"3b", "mean RMSE vs ε, moderate regime ε≥1 (census ages)", Fig3b},
+	"4a":    {"4a", "RMSE vs bit-squashing threshold multiple (ε=2)", Fig4a},
+	"4b":    {"4b", "noisy per-bit means under ε=2 with squash threshold 0.05", Fig4b},
+	"4c":    {"4c", "RMSE vs bit depth under DP ε=2 with squashing", Fig4c},
+	"tdp":   {"tdp", "§4 text: Laplace and randomized rounding 2-3x worse under DP", FigTextDP},
+	"pois":  {"pois", "§5 ablation: poisoning impact, local vs central randomness", FigPoisoning},
+	"stdp":  {"stdp", "§4.3: sample-and-threshold distributed DP adds negligible noise", FigSampleThreshold},
+	"cache": {"cache", "§3.2 ablation: adaptive caching (pooled rounds) vs round-2 only", FigCaching},
+	"bsend": {"bsend", "Corollary 3.2 ablation: bits sent per client", FigBSend},
+	"delta": {"delta", "§3.2 sensitivity: adaptive round-1 fraction δ", FigDeltaSweep},
+	"gamma": {"gamma", "§3.1 sensitivity: round-1 shaping exponent γ", FigGammaSweep},
+}
+
+// IDs returns the registry keys in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one registered figure by id.
+func Run(id string, opts Options) (*FigureResult, error) {
+	fig, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownFigure, id, IDs())
+	}
+	return fig.Run(opts)
+}
+
+// normalPop builds a population generator drawing Normal(mu(x), sigma) at
+// a fixed bit depth.
+func normalPop(mu func(x float64) float64, sigma float64, bits, n int) population {
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+	return func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		vals := workload.Normal{Mu: mu(x), Sigma: sigma}.Sample(r, n)
+		return codec.EncodeAll(vals), bits
+	}
+}
+
+// censusPop builds a census-age population generator at a fixed size.
+func censusPop(bits int, n func(x float64) int) population {
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+	return func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		vals := workload.CensusAges{}.Sample(r, n(x))
+		return codec.EncodeAll(vals), bits
+	}
+}
+
+// standardMethods is the noise-free method set of Figures 1 and 2.
+func standardMethods() []Method {
+	return []Method{
+		Dithering{},
+		Weighted{Gamma: 0.5},
+		Weighted{Gamma: 1},
+		Adaptive{Alpha: 0.5},
+		Adaptive{Alpha: 1},
+	}
+}
+
+// Fig1a regenerates Figure 1a: mean estimation accuracy as the Normal
+// mean μ varies, with σ = 100 and 10K clients at 13-bit depth.
+func Fig1a(opts Options) (*FigureResult, error) {
+	xs := []float64{100, 200, 400, 800, 1600, 3200, 6400}
+	n := opts.n(10000)
+	series, err := runMeanSweep(xs, normalPop(func(x float64) float64 { return x }, 100, 13, n), standardMethods(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "1a", Title: fmt.Sprintf("mean estimation, Normal(μ,100), n=%d, b=13", n),
+		XLabel: "mu", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// Fig1b regenerates Figure 1b: variance estimation with a 100K cohort.
+func Fig1b(opts Options) (*FigureResult, error) {
+	xs := []float64{100, 200, 400, 800, 1600, 3200, 6400}
+	n := opts.n(100000)
+	methods := []VarEstimator{
+		DitherVariance{},
+		BPVariance{Method: core.CenteredVariance, SingleRoundGamma: 0.5},
+		BPVariance{Method: core.CenteredVariance, SingleRoundGamma: 1},
+		BPVariance{Method: core.CenteredVariance},
+	}
+	series, err := runVarianceSweep(xs, normalPop(func(x float64) float64 { return x }, 100, 13, n), methods, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "1b", Title: fmt.Sprintf("variance estimation, Normal(μ,100), n=%d, b=13", n),
+		XLabel: "mu", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// Fig1c regenerates Figure 1c: mean estimation as the assumed bit depth
+// grows past what the data needs.
+func Fig1c(opts Options) (*FigureResult, error) {
+	xs := []float64{11, 12, 14, 16, 20, 24}
+	n := opts.n(10000)
+	pop := func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		bits := int(x)
+		vals := workload.Normal{Mu: 1000, Sigma: 100}.Sample(r, n)
+		return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals), bits
+	}
+	series, err := runMeanSweep(xs, pop, standardMethods(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "1c", Title: fmt.Sprintf("mean estimation vs bit depth, Normal(1000,100), n=%d", n),
+		XLabel: "bit depth", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// Fig2a regenerates Figure 2a: census-age mean accuracy as the cohort
+// size grows.
+func Fig2a(opts Options) (*FigureResult, error) {
+	xs := []float64{1000, 2000, 5000, 10000, 20000, 50000, 100000}
+	series, err := runMeanSweep(xs, censusPop(8, func(x float64) int { return int(x) }), standardMethods(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "2a", Title: "mean estimation, census ages, b=8",
+		XLabel: "clients", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// Fig2b regenerates Figure 2b: census-age variance accuracy vs cohort size.
+func Fig2b(opts Options) (*FigureResult, error) {
+	xs := []float64{1000, 2000, 5000, 10000, 20000, 50000, 100000}
+	methods := []VarEstimator{
+		DitherVariance{},
+		BPVariance{Method: core.CenteredVariance, SingleRoundGamma: 0.5},
+		BPVariance{Method: core.CenteredVariance, SingleRoundGamma: 1},
+		BPVariance{Method: core.CenteredVariance},
+	}
+	series, err := runVarianceSweep(xs, censusPop(8, func(x float64) int { return int(x) }), methods, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "2b", Title: "variance estimation, census ages, b=8",
+		XLabel: "clients", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// Fig2c regenerates Figure 2c: census-age mean accuracy vs bit depth.
+func Fig2c(opts Options) (*FigureResult, error) {
+	xs := []float64{8, 10, 12, 16, 20, 24}
+	n := opts.n(10000)
+	pop := func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		bits := int(x)
+		vals := workload.CensusAges{}.Sample(r, n)
+		return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals), bits
+	}
+	series, err := runMeanSweep(xs, pop, standardMethods(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "2c", Title: fmt.Sprintf("mean estimation vs bit depth, census ages, n=%d", n),
+		XLabel: "bit depth", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// dpMethodSet builds the Figure 3 method set at a given ε.
+func dpMethodSet(eps float64) []Method {
+	return []Method{
+		Dithering{Eps: eps},
+		PiecewiseMethod{Eps: eps},
+		Weighted{Gamma: 0.5, Eps: eps},
+		Weighted{Gamma: 1, Eps: eps},
+		Adaptive{Eps: eps},
+	}
+}
+
+// runEpsSweep runs an ε sweep where methods are rebuilt per x from the
+// factory. runSweep keeps methods fixed across xs, so each x runs as its
+// own one-point sweep.
+func runEpsSweep(xs []float64, pop population, names []string, factory func(eps float64) []Method, opts Options) ([]Series, error) {
+	series := make([]Series, len(names))
+	for i, name := range names {
+		series[i] = Series{Method: name}
+	}
+	for _, eps := range xs {
+		sub, err := runMeanSweep([]float64{eps}, pop, factory(eps), Options{
+			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(eps*1000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			series[i].Points = append(series[i].Points, sub[i].Points[0])
+		}
+	}
+	return series, nil
+}
+
+// Fig3a regenerates Figure 3a: DP mean estimation in the high-privacy
+// regime (ε < 1) on census ages.
+func Fig3a(opts Options) (*FigureResult, error) {
+	return dpFigure("3a", []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9}, opts)
+}
+
+// Fig3b regenerates Figure 3b: the moderate-privacy regime (ε ≥ 1).
+func Fig3b(opts Options) (*FigureResult, error) {
+	return dpFigure("3b", []float64{1, 1.5, 2, 3, 4, 5}, opts)
+}
+
+func dpFigure(id string, xs []float64, opts Options) (*FigureResult, error) {
+	n := opts.n(10000)
+	names := make([]string, 0, 5)
+	for _, m := range dpMethodSet(1) {
+		names = append(names, m.Name())
+	}
+	series, err := runEpsSweep(xs, censusPop(8, func(float64) int { return n }), names, dpMethodSet, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: id, Title: fmt.Sprintf("DP mean estimation, census ages, n=%d, b=8", n),
+		XLabel: "epsilon", YLabel: "RMSE", Series: series,
+	}, nil
+}
+
+// Fig4a regenerates Figure 4a: accuracy as the bit-squashing threshold
+// (expressed as a multiple of the expected DP noise) varies, at ε = 2 on
+// synthetic data with vacuous high bits.
+func Fig4a(opts Options) (*FigureResult, error) {
+	xs := []float64{0, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 3, 5}
+	n := opts.n(10000)
+	const eps, bits = 2.0, 16
+	pop := normalPop(func(float64) float64 { return 800 }, 100, bits, n)
+	names := []string{"weighted(γ=1)+squash", "adaptive+squash"}
+	series := make([]Series, len(names))
+	for i, name := range names {
+		series[i] = Series{Method: name}
+	}
+	for _, mult := range xs {
+		methods := []Method{
+			Weighted{Gamma: 1, Eps: eps, SquashMultiple: mult},
+			Adaptive{Eps: eps, SquashMultiple: mult},
+		}
+		sub, err := runMeanSweep([]float64{mult}, pop, methods, Options{
+			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(mult*1000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			series[i].Points = append(series[i].Points, sub[i].Points[0])
+		}
+	}
+	return &FigureResult{
+		ID: "4a", Title: fmt.Sprintf("bit squashing threshold sweep, Normal(800,100), ε=%g, b=%d, n=%d", eps, bits, n),
+		XLabel: "threshold multiple", YLabel: "RMSE", Series: series,
+	}, nil
+}
+
+// Fig4b regenerates Figure 4b: the per-bit noisy means under ε = 2, the
+// picture motivating squashing — a dense region over the active bits and
+// symmetric noise (some means outside [0,1]) above them.
+func Fig4b(opts Options) (*FigureResult, error) {
+	const bits, eps = 16, 2.0
+	n := opts.n(10000)
+	rr, err := ldp.NewRandomizedResponse(eps)
+	if err != nil {
+		return nil, err
+	}
+	probs, err := core.GeometricProbs(bits, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+	root := frand.New(opts.Seed)
+	reps := opts.reps()
+	perBit := make([][]float64, bits)
+	var trueMeans []float64
+	for rep := 0; rep < reps; rep++ {
+		r := root.Split()
+		values := codec.EncodeAll(workload.Normal{Mu: 800, Sigma: 100}.Sample(r, n))
+		if rep == 0 {
+			trueMeans = fixedpoint.BitMeans(values, bits)
+		}
+		res, err := core.Run(core.Config{Bits: bits, Probs: probs, RR: rr}, values, r)
+		if err != nil {
+			return nil, err
+		}
+		for j, m := range res.BitMeans {
+			perBit[j] = append(perBit[j], m)
+		}
+	}
+	series := Series{Method: "noisy bit mean"}
+	for j := 0; j < bits; j++ {
+		series.Points = append(series.Points, Point{
+			X:       float64(j),
+			Summary: stats.Summarize(perBit[j], trueMeans[j]),
+		})
+	}
+	return &FigureResult{
+		ID: "4b", Title: fmt.Sprintf("estimated bit means under ε=%g (squash threshold 0.05), Normal(800,100), b=%d", eps, bits),
+		XLabel: "bit index", YLabel: "bit mean", Series: []Series{series},
+	}, nil
+}
+
+// Fig4c regenerates Figure 4c: DP accuracy vs bit depth at ε = 2, where
+// squashing keeps the adaptive method flat while every bound-scaled method
+// grows with the (noisy) magnitude.
+func Fig4c(opts Options) (*FigureResult, error) {
+	xs := []float64{11, 12, 14, 16, 20, 24}
+	n := opts.n(10000)
+	const eps = 2.0
+	pop := func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		bits := int(x)
+		vals := workload.Normal{Mu: 800, Sigma: 100}.Sample(r, n)
+		return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals), bits
+	}
+	methods := []Method{
+		Dithering{Eps: eps},
+		PiecewiseMethod{Eps: eps},
+		Weighted{Gamma: 1, Eps: eps},
+		Adaptive{Eps: eps},
+		Adaptive{Eps: eps, SquashMultiple: 2},
+	}
+	series, err := runMeanSweep(xs, pop, methods, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "4c", Title: fmt.Sprintf("DP mean estimation vs bit depth, ε=%g, Normal(800,100), n=%d", eps, n),
+		XLabel: "bit depth", YLabel: "RMSE", Series: series,
+	}, nil
+}
+
+// FigTextDP reproduces the §4 text claim that the omitted DP baselines
+// (Laplace noise and Duchi et al. randomized rounding) trail the plotted
+// methods by 2-3x.
+func FigTextDP(opts Options) (*FigureResult, error) {
+	xs := []float64{0.5, 1, 2, 4}
+	n := opts.n(10000)
+	factory := func(eps float64) []Method {
+		return []Method{
+			LaplaceMethod{Eps: eps},
+			DuchiMethod{Eps: eps},
+			PiecewiseMethod{Eps: eps},
+			Weighted{Gamma: 1, Eps: eps},
+			Adaptive{Eps: eps},
+		}
+	}
+	names := make([]string, 0, 5)
+	for _, m := range factory(1) {
+		names = append(names, m.Name())
+	}
+	series, err := runEpsSweep(xs, censusPop(8, func(float64) int { return n }), names, factory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "tdp", Title: fmt.Sprintf("omitted DP baselines, census ages, n=%d, b=8", n),
+		XLabel: "epsilon", YLabel: "RMSE", Series: series,
+	}, nil
+}
+
+// FigBSend sweeps the number of bits each client sends (Corollary 3.2).
+func FigBSend(opts Options) (*FigureResult, error) {
+	xs := []float64{1, 2, 4, 8}
+	n := opts.n(10000)
+	const bits = 12
+	pop := normalPop(func(float64) float64 { return 1000 }, 100, bits, n)
+	series := []Series{{Method: "weighted(γ=1)"}}
+	for _, bsend := range xs {
+		b := int(bsend)
+		fn := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
+			probs, err := core.GeometricProbs(bits, 1)
+			if err != nil {
+				return 0, err
+			}
+			res, err := core.Run(core.Config{Bits: bits, Probs: probs, BSend: b}, values, r)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate, nil
+		}
+		sub, err := runSweep([]float64{bsend}, pop, []string{"weighted(γ=1)"}, []estimate{fn}, fixedpoint.Mean, Options{
+			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(bsend),
+		})
+		if err != nil {
+			return nil, err
+		}
+		series[0].Points = append(series[0].Points, sub[0].Points[0])
+	}
+	return &FigureResult{
+		ID: "bsend", Title: fmt.Sprintf("bits sent per client, Normal(1000,100), n=%d, b=%d", n, bits),
+		XLabel: "b_send", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// FigCaching compares pooled (cached) adaptive aggregation against using
+// round-2 reports only, across cohort sizes, on a full-range uniform
+// population where every bit is active.
+func FigCaching(opts Options) (*FigureResult, error) {
+	xs := []float64{1000, 3000, 10000, 30000}
+	const bits = 12
+	pop := func(x float64, _ int, r *frand.RNG) ([]uint64, int) {
+		values := make([]uint64, int(x))
+		for i := range values {
+			values[i] = r.Uint64n(1 << bits)
+		}
+		return values, bits
+	}
+	methods := []Method{Adaptive{}, Adaptive{NoCache: true}}
+	series, err := runMeanSweep(xs, pop, methods, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID: "cache", Title: "adaptive caching ablation, Uniform[0,4096), b=12",
+		XLabel: "clients", YLabel: "NRMSE", Series: series,
+	}, nil
+}

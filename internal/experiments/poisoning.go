@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/federated"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FigPoisoning quantifies the §5 poisoning discussion: byzantine clients
+// always claim the most significant bit is set. Under local randomness
+// they choose that bit themselves every round; under central randomness
+// the server only accepts their fabricated value when it happens to assign
+// them the target bit, cutting the bias by the bit's sampling probability.
+func FigPoisoning(opts Options) (*FigureResult, error) {
+	xs := []float64{0, 0.01, 0.02, 0.05, 0.1}
+	n := opts.n(5000)
+	const bits = 12
+	const featureName = "metric"
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+
+	runMode := func(mode core.RandomnessMode) (Series, error) {
+		s := Series{Method: "bitpush-" + mode.String()}
+		root := frand.New(opts.Seed + uint64(mode))
+		for _, frac := range xs {
+			var errsShifted []float64
+			var truthSum float64
+			reps := opts.reps()
+			for rep := 0; rep < reps; rep++ {
+				r := root.Split()
+				honest := codec.EncodeAll(workload.Normal{Mu: 500, Sigma: 80}.Sample(r, n))
+				truth := fixedpoint.Mean(honest)
+				clients := federated.NewPopulation(featureName, honest)
+				evil := int(frac * float64(n))
+				for i := 0; i < evil; i++ {
+					clients = append(clients, &federated.ByzantineClient{
+						Name: fmt.Sprintf("evil-%d", i), TargetBit: bits - 1,
+					})
+				}
+				co, err := federated.NewCoordinator(federated.Config{
+					Bits: bits, Randomness: mode, Seed: r.Uint64(),
+				})
+				if err != nil {
+					return s, err
+				}
+				res, err := co.EstimateMeanSingleRound(clients, featureName, 0.5)
+				if err != nil {
+					return s, err
+				}
+				truthSum += truth
+				errsShifted = append(errsShifted, res.Estimate-truth)
+			}
+			meanTruth := truthSum / float64(reps)
+			for i := range errsShifted {
+				errsShifted[i] += meanTruth
+			}
+			s.Points = append(s.Points, Point{X: frac, Summary: stats.Summarize(errsShifted, meanTruth)})
+		}
+		return s, nil
+	}
+
+	local, err := runMode(core.LocalRandomness)
+	if err != nil {
+		return nil, err
+	}
+	central, err := runMode(core.CentralRandomness)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "pois",
+		Title:  fmt.Sprintf("poisoning: byzantine fraction vs error, Normal(500,80), n=%d, b=%d, γ=0.5", n, bits),
+		XLabel: "byzantine fraction", YLabel: "NRMSE", Series: []Series{central, local},
+	}, nil
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/stats"
+)
+
+// ErrUnknownFigure reports a figure id outside the registry.
+var ErrUnknownFigure = errors.New("experiments: unknown figure")
+
+// Options tunes an experiment run.
+type Options struct {
+	// Reps is the number of independent repetitions per point. Zero means
+	// 100, the paper's setting. Benchmarks use small values.
+	Reps int
+	// N overrides the default client population size (0 keeps each
+	// figure's paper default, typically 10000).
+	N int
+	// Seed makes the whole figure reproducible.
+	Seed uint64
+}
+
+func (o Options) reps() int {
+	if o.Reps <= 0 {
+		return 100
+	}
+	return o.Reps
+}
+
+func (o Options) n(def int) int {
+	if o.N <= 0 {
+		return def
+	}
+	return o.N
+}
+
+// Point is one x-position of one series.
+type Point struct {
+	X       float64
+	Summary stats.ErrorSummary
+}
+
+// Series is one method's curve across the sweep.
+type Series struct {
+	Method string
+	Points []Point
+}
+
+// FigureResult is a regenerated figure: the paper's plotted series as data.
+type FigureResult struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// population produces encoded values and their bit depth for one sweep
+// position and repetition.
+type population func(x float64, rep int, r *frand.RNG) (values []uint64, bits int)
+
+// estimate runs one method once.
+type estimate func(values []uint64, bits int, r *frand.RNG) (float64, error)
+
+// runSweep executes the generic figure loop: for every x and repetition,
+// draw a fresh population, compute its empirical ground truth, run every
+// method, and summarize errors per (method, x).
+//
+// Because each repetition redraws the population, errors are measured
+// against that repetition's own empirical truth (the paper's protocol) and
+// the summary normalizes by the mean truth across repetitions.
+func runSweep(xs []float64, pop population, names []string, run []estimate, truthFn func([]uint64) float64, opts Options) ([]Series, error) {
+	series := make([]Series, len(run))
+	for m := range series {
+		series[m] = Series{Method: names[m], Points: make([]Point, 0, len(xs))}
+	}
+	root := frand.New(opts.Seed)
+	for _, x := range xs {
+		errsPerMethod := make([][]float64, len(run))
+		var truthSum float64
+		reps := opts.reps()
+		for rep := 0; rep < reps; rep++ {
+			r := root.Split()
+			values, bits := pop(x, rep, r)
+			truth := truthFn(values)
+			truthSum += truth
+			for m, f := range run {
+				est, err := f(values, bits, r)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: method %s at x=%v: %w", names[m], x, err)
+				}
+				errsPerMethod[m] = append(errsPerMethod[m], est-truth)
+			}
+		}
+		meanTruth := truthSum / float64(reps)
+		for m := range run {
+			// Re-center the errors onto the mean truth so stats.Summarize
+			// yields the same RMSE/NRMSE as a per-repetition-truth
+			// computation.
+			shifted := make([]float64, len(errsPerMethod[m]))
+			for i, e := range errsPerMethod[m] {
+				shifted[i] = meanTruth + e
+			}
+			series[m].Points = append(series[m].Points, Point{
+				X:       x,
+				Summary: stats.Summarize(shifted, meanTruth),
+			})
+		}
+	}
+	return series, nil
+}
+
+// runMeanSweep adapts Method implementations to runSweep with the exact
+// mean as ground truth.
+func runMeanSweep(xs []float64, pop population, methods []Method, opts Options) ([]Series, error) {
+	names := make([]string, len(methods))
+	fns := make([]estimate, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name()
+		fns[i] = m.EstimateMean
+	}
+	return runSweep(xs, pop, names, fns, fixedpoint.Mean, opts)
+}
+
+// runVarianceSweep adapts VarEstimator implementations with the exact
+// population variance as ground truth.
+func runVarianceSweep(xs []float64, pop population, methods []VarEstimator, opts Options) ([]Series, error) {
+	names := make([]string, len(methods))
+	fns := make([]estimate, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name()
+		fns[i] = m.EstimateVariance
+	}
+	return runSweep(xs, pop, names, fns, fixedpoint.Variance, opts)
+}
+
+// WriteTable renders the figure as an aligned text table.
+func (f *FigureResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s", f.XLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  %-22s", s.Method); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "   [%s]\n", f.YLabel); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].Points {
+		if _, err := fmt.Fprintf(w, "%-14g", f.Series[0].Points[i].X); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			p := s.Points[i]
+			if _, err := fmt.Fprintf(w, "  %-22s", fmt.Sprintf("%.4g ±%.2g", yValue(f.YLabel, p), yErr(f.YLabel, p))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// yErr returns the standard error on the same scale as yValue.
+func yErr(ylabel string, p Point) float64 {
+	if strings.Contains(ylabel, "NRMSE") && p.Summary.Truth != 0 {
+		return p.Summary.StdErr / math.Abs(p.Summary.Truth)
+	}
+	return p.Summary.StdErr
+}
+
+// WriteCSV renders the figure as CSV rows (figure, method, x, y, stderr).
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,method,x,y,stderr,rmse,nrmse,bias,reps"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d\n",
+				f.ID, csvEscape(s.Method), p.X, yValue(f.YLabel, p), p.Summary.StdErr,
+				p.Summary.RMSE, p.Summary.NRMSE, p.Summary.Bias, p.Summary.Reps); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// yValue picks the plotted quantity: figures labelled NRMSE plot the
+// normalized error (Figures 1–2), "bit mean" figures plot the mean
+// estimated value itself (Figure 4b), and the rest plot the raw RMSE
+// (Figures 3–4).
+func yValue(ylabel string, p Point) float64 {
+	switch {
+	case strings.Contains(ylabel, "NRMSE"):
+		return p.Summary.NRMSE
+	case strings.Contains(ylabel, "bit mean"):
+		return p.Summary.Truth + p.Summary.Bias
+	default:
+		return p.Summary.RMSE
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

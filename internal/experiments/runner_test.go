@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/stats"
+)
+
+func TestRunSweepPropagatesMethodErrors(t *testing.T) {
+	boom := errors.New("boom")
+	pop := func(float64, int, *frand.RNG) ([]uint64, int) { return []uint64{1, 2}, 4 }
+	fail := func([]uint64, int, *frand.RNG) (float64, error) { return 0, boom }
+	_, err := runSweep([]float64{1}, pop, []string{"failing"}, []estimate{fail}, fixedpoint.Mean, Options{Reps: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "failing") {
+		t.Errorf("error %q does not name the method", err)
+	}
+}
+
+func TestWriteTableEmptyFigure(t *testing.T) {
+	f := &FigureResult{ID: "x", Title: "empty", XLabel: "x", YLabel: "NRMSE"}
+	var buf bytes.Buffer
+	if err := f.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("table output %q", buf.String())
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`with"quote`: `"with""quote"`,
+		"with\nnl":   "\"with\nnl\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestYValueAndErrSelection(t *testing.T) {
+	p := Point{Summary: stats.ErrorSummary{RMSE: 10, NRMSE: 0.1, Truth: 100, Bias: -2, StdErr: 1}}
+	if yValue("NRMSE", p) != 0.1 {
+		t.Error("NRMSE label should plot NRMSE")
+	}
+	if yValue("RMSE", p) != 10 {
+		t.Error("RMSE label should plot RMSE")
+	}
+	if yValue("bit mean", p) != 98 {
+		t.Error("bit-mean label should plot Truth+Bias")
+	}
+	if yErr("NRMSE", p) != 0.01 {
+		t.Errorf("yErr NRMSE = %v, want 0.01", yErr("NRMSE", p))
+	}
+	if yErr("RMSE", p) != 1 {
+		t.Error("yErr RMSE should be raw StdErr")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.reps() != 100 {
+		t.Errorf("default reps = %d", o.reps())
+	}
+	if o.n(1234) != 1234 {
+		t.Errorf("default n = %d", o.n(1234))
+	}
+	o = Options{Reps: 7, N: 50}
+	if o.reps() != 7 || o.n(1234) != 50 {
+		t.Error("overrides ignored")
+	}
+}

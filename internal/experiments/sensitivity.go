@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+)
+
+// FigDeltaSweep sweeps the adaptive round-1 fraction δ. §3.2: "Naively, we
+// might choose δ = 1/2 to balance accuracy of learned β'_j s and accuracy
+// of reported results ... Our full analysis guides the choice of δ as 1/3,
+// and we will try different settings for both these choices in our
+// empirical evaluations." The sweep shows a shallow optimum around small
+// δ: too little round-1 budget mislearns the weights, too much starves
+// round 2.
+func FigDeltaSweep(opts Options) (*FigureResult, error) {
+	xs := []float64{0.1, 0.2, 1.0 / 3, 0.5, 0.7, 0.9}
+	n := opts.n(10000)
+	const bits = 16
+	pop := normalPop(func(float64) float64 { return 800 }, 100, bits, n)
+	series := []Series{{Method: "adaptive(α=0.5)"}}
+	for _, delta := range xs {
+		d := delta
+		fn := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
+			res, err := core.RunAdaptive(core.AdaptiveConfig{Bits: bits, Delta: d}, values, r)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate, nil
+		}
+		sub, err := runSweep([]float64{delta}, pop, []string{series[0].Method}, []estimate{fn}, fixedpoint.Mean, Options{
+			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(delta*1000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		series[0].Points = append(series[0].Points, sub[0].Points[0])
+	}
+	return &FigureResult{
+		ID: "delta", Title: fmt.Sprintf("adaptive round-1 fraction δ sweep, Normal(800,100), n=%d, b=%d", n, bits),
+		XLabel: "delta", YLabel: "NRMSE", Series: series,
+	}, nil
+}
+
+// FigGammaSweep sweeps the round-1 shaping exponent γ of p1[j] ∝ (2^j)^γ
+// (§3.1's "p_j ∝ c^j = 2^{αj}" family), for both the single-round weighted
+// method and as the adaptive protocol's first round. γ=0 is uniform
+// sampling, γ=1 the pessimistic-optimal 2^j allocation; the paper defaults
+// to γ=0.5 for round 1.
+func FigGammaSweep(opts Options) (*FigureResult, error) {
+	xs := []float64{0, 0.25, 0.5, 0.75, 1, 1.5}
+	n := opts.n(10000)
+	const bits = 16
+	pop := normalPop(func(float64) float64 { return 800 }, 100, bits, n)
+	series := []Series{{Method: "weighted"}, {Method: "adaptive(α=0.5)"}}
+	for _, gamma := range xs {
+		g := gamma
+		weighted := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
+			probs, err := core.GeometricProbs(bits, g)
+			if err != nil {
+				return 0, err
+			}
+			res, err := core.Run(core.Config{Bits: bits, Probs: probs}, values, r)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate, nil
+		}
+		adaptive := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
+			cfg := core.AdaptiveConfig{Bits: bits, Gamma: g}
+			if g == 0 {
+				// AdaptiveConfig treats Gamma=0 as "use the default"; a
+				// tiny positive value selects a near-uniform round 1.
+				cfg.Gamma = 1e-9
+			}
+			res, err := core.RunAdaptive(cfg, values, r)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate, nil
+		}
+		sub, err := runSweep([]float64{gamma}, pop,
+			[]string{series[0].Method, series[1].Method},
+			[]estimate{weighted, adaptive}, fixedpoint.Mean, Options{
+				Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(gamma*1000),
+			})
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			series[i].Points = append(series[i].Points, sub[i].Points[0])
+		}
+	}
+	return &FigureResult{
+		ID: "gamma", Title: fmt.Sprintf("round-1 shaping exponent γ sweep, Normal(800,100), n=%d, b=%d", n, bits),
+		XLabel: "gamma", YLabel: "NRMSE", Series: series,
+	}, nil
+}

@@ -1,0 +1,52 @@
+package federated
+
+import (
+	"math"
+)
+
+// SelectionChiSquare measures how far the round's per-bit report counts
+// deviate from the expected n·p_j allocation, as a chi-square statistic
+// with len(probs)-1 degrees of freedom.
+//
+// Under central randomness the counts are exact by construction and the
+// statistic is ~0. Under local randomness honest clients produce
+// multinomial counts (statistic ≈ dof in expectation), while the §5
+// adversary — clients that "pick the most significant bit and
+// deterministically send a 1" — inflates the target bit's count and the
+// statistic with it. This gives the server a detector for bit-selection
+// poisoning that needs no knowledge of the data.
+func (r *RoundResult) SelectionChiSquare() (stat float64, dof int) {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	for j, p := range r.Probs {
+		expected := p * float64(total)
+		if expected < 1e-12 {
+			// A zero-probability bit with reports is itself maximal
+			// evidence of tampering.
+			if r.Counts[j] > 0 {
+				stat = math.Inf(1)
+			}
+			continue
+		}
+		d := float64(r.Counts[j]) - expected
+		stat += d * d / expected
+	}
+	return stat, len(r.Probs) - 1
+}
+
+// SelectionAnomalous reports whether the round's bit-selection counts are
+// implausible for honest multinomial sampling: the chi-square statistic
+// exceeds its mean by z standard deviations (mean dof, variance 2·dof for
+// large dof). z = 5 keeps false positives negligible across daily rounds.
+func (r *RoundResult) SelectionAnomalous(z float64) bool {
+	stat, dof := r.SelectionChiSquare()
+	if dof <= 0 {
+		return false
+	}
+	return stat > float64(dof)+z*math.Sqrt(2*float64(dof))
+}

@@ -1,0 +1,108 @@
+package federated
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSelectionChiSquareCentralNearZero(t *testing.T) {
+	clients, _ := population(t, 5000, 10, 90)
+	co, err := NewCoordinator(Config{Bits: 10, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.EstimateMeanSingleRound(clients, feature, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, dof := res.SelectionChiSquare()
+	if dof != 9 {
+		t.Fatalf("dof = %d", dof)
+	}
+	// QMC allocation: counts exact to within rounding.
+	if stat > 1 {
+		t.Fatalf("central-randomness chi-square %v, want ~0", stat)
+	}
+	if res.SelectionAnomalous(5) {
+		t.Fatal("clean central round flagged")
+	}
+}
+
+func TestSelectionChiSquareHonestLocalInRange(t *testing.T) {
+	clients, _ := population(t, 10000, 10, 92)
+	flagged := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		co, err := NewCoordinator(Config{Bits: 10, Randomness: core.LocalRandomness, Seed: 93 + seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.EstimateMeanSingleRound(clients, feature, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SelectionAnomalous(5) {
+			flagged++
+		}
+	}
+	if flagged > 1 {
+		t.Fatalf("honest local rounds flagged %d of 20 times", flagged)
+	}
+}
+
+func TestSelectionChiSquareDetectsPoisoning(t *testing.T) {
+	clients, _ := population(t, 10000, 12, 94)
+	// 5% byzantine clients always report the top bit. (At ~3% the count
+	// skew sits at the z=5 detection boundary for this cohort size; the
+	// detector's power grows with both the byzantine fraction and n.)
+	for i := 0; i < 500; i++ {
+		clients = append(clients, &ByzantineClient{Name: "evil", TargetBit: 11})
+	}
+	detected := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		co, err := NewCoordinator(Config{Bits: 12, Randomness: core.LocalRandomness, Seed: 95 + seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.EstimateMeanSingleRound(clients, feature, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SelectionAnomalous(5) {
+			detected++
+		}
+	}
+	if detected < 9 {
+		t.Fatalf("3%% local poisoning detected in only %d of 10 rounds", detected)
+	}
+}
+
+func TestSelectionChiSquareZeroProbBit(t *testing.T) {
+	// Reports on a zero-probability bit are maximal evidence.
+	res := &RoundResult{
+		Result: core.Result{Counts: []int{10, 0, 5}},
+		Probs:  []float64{0.5, 0.5, 0},
+	}
+	stat, _ := res.SelectionChiSquare()
+	if !math.IsInf(stat, 1) {
+		t.Fatalf("stat = %v, want +Inf", stat)
+	}
+	if !res.SelectionAnomalous(5) {
+		t.Fatal("zero-prob-bit reports not flagged")
+	}
+}
+
+func TestSelectionChiSquareEmptyRound(t *testing.T) {
+	res := &RoundResult{
+		Result: core.Result{Counts: []int{0, 0}},
+		Probs:  []float64{0.5, 0.5},
+	}
+	stat, dof := res.SelectionChiSquare()
+	if stat != 0 || dof != 0 {
+		t.Fatalf("empty round stat=%v dof=%d", stat, dof)
+	}
+	if res.SelectionAnomalous(5) {
+		t.Fatal("empty round flagged")
+	}
+}

@@ -1,0 +1,69 @@
+package federated
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoFeatures reports an empty campaign.
+var ErrNoFeatures = errors.New("federated: campaign has no features")
+
+// FeatureResult is one feature's outcome within a campaign.
+type FeatureResult struct {
+	Feature string
+	Mean    *MeanResult
+	// Err records a per-feature failure (e.g. cohort below minimum);
+	// other features still complete.
+	Err error
+}
+
+// CampaignResult maps feature names to their outcomes, preserving the
+// requested order in Order.
+type CampaignResult struct {
+	Order   []string
+	Results map[string]*FeatureResult
+}
+
+// Succeeded returns the number of features that produced an estimate.
+func (c *CampaignResult) Succeeded() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RunCampaign estimates the mean of several features over the same
+// population, one adaptive two-round protocol per feature. Deployments
+// monitor many device-health metrics at once (§4.3); each feature costs
+// every participating client one disclosed bit, so the ledger (when
+// configured) arbitrates how many features a client can serve before its
+// budget runs out — privacy metering composing across features (§1.1).
+//
+// A feature that fails (for example, dropping below the minimum cohort
+// once budgets are exhausted) is recorded in its FeatureResult.Err; the
+// campaign continues with the remaining features and only reports an
+// error if every feature failed.
+func (co *Coordinator) RunCampaign(clients []Client, features []string) (*CampaignResult, error) {
+	if len(features) == 0 {
+		return nil, ErrNoFeatures
+	}
+	seen := make(map[string]bool, len(features))
+	out := &CampaignResult{Results: make(map[string]*FeatureResult, len(features))}
+	for _, f := range features {
+		if seen[f] {
+			return nil, fmt.Errorf("federated: duplicate feature %q in campaign", f)
+		}
+		seen[f] = true
+		out.Order = append(out.Order, f)
+		fr := &FeatureResult{Feature: f}
+		fr.Mean, fr.Err = co.EstimateMean(clients, f)
+		out.Results[f] = fr
+	}
+	if out.Succeeded() == 0 {
+		return out, fmt.Errorf("federated: every feature in the campaign failed; first: %w", out.Results[features[0]].Err)
+	}
+	return out, nil
+}

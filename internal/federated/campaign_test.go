@@ -1,0 +1,140 @@
+package federated
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/meter"
+	"repro/internal/workload"
+)
+
+// multiFeaturePopulation builds clients each holding values for several
+// features.
+func multiFeaturePopulation(t *testing.T, n int, features map[string]workload.Generator, bits int, seed uint64) ([]Client, map[string]float64) {
+	t.Helper()
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+	r := frand.New(seed)
+	perFeature := make(map[string][]uint64, len(features))
+	truths := make(map[string]float64, len(features))
+	for name, gen := range features {
+		encoded := codec.EncodeAll(gen.Sample(r, n))
+		perFeature[name] = encoded
+		truths[name] = fixedpoint.Mean(encoded)
+	}
+	clients := make([]Client, n)
+	for i := 0; i < n; i++ {
+		vals := make(map[string][]uint64, len(features))
+		for name := range features {
+			vals[name] = []uint64{perFeature[name][i]}
+		}
+		clients[i] = &SimClient{Name: fmt.Sprintf("client-%d", i), Values: vals}
+	}
+	return clients, truths
+}
+
+func TestCampaignEstimatesAllFeatures(t *testing.T) {
+	features := map[string]workload.Generator{
+		"latency": workload.Normal{Mu: 800, Sigma: 90},
+		"memory":  workload.Normal{Mu: 300, Sigma: 40},
+		"battery": workload.Uniform{Lo: 0, Hi: 1000},
+	}
+	clients, truths := multiFeaturePopulation(t, 8000, features, 12, 1)
+	co, err := NewCoordinator(Config{Bits: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.RunCampaign(clients, []string{"latency", "memory", "battery"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded() != 3 {
+		t.Fatalf("succeeded = %d", res.Succeeded())
+	}
+	for name, truth := range truths {
+		fr := res.Results[name]
+		if fr.Err != nil {
+			t.Fatalf("%s: %v", name, fr.Err)
+		}
+		if nrmse := math.Abs(fr.Mean.Estimate-truth) / truth; nrmse > 0.06 {
+			t.Errorf("%s estimate %v vs truth %v", name, fr.Mean.Estimate, truth)
+		}
+	}
+	if len(res.Order) != 3 || res.Order[0] != "latency" {
+		t.Errorf("order = %v", res.Order)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	co, err := NewCoordinator(Config{Bits: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.RunCampaign(nil, nil); !errors.Is(err, ErrNoFeatures) {
+		t.Errorf("empty campaign: %v", err)
+	}
+	clients := []Client{&SimClient{Name: "a"}, &SimClient{Name: "b"}}
+	if _, err := co.RunCampaign(clients, []string{"f", "f"}); err == nil {
+		t.Error("duplicate feature accepted")
+	}
+}
+
+func TestCampaignBudgetComposesAcrossFeatures(t *testing.T) {
+	features := map[string]workload.Generator{
+		"a": workload.Normal{Mu: 100, Sigma: 10},
+		"b": workload.Normal{Mu: 200, Sigma: 20},
+		"c": workload.Normal{Mu: 300, Sigma: 30},
+	}
+	clients, _ := multiFeaturePopulation(t, 500, features, 10, 4)
+	rr, err := ldp.NewRandomizedResponse(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget allows ε=2 total at ε=1 per collection: feature three must be
+	// denied for every client and fail on the cohort floor.
+	ledger := meter.NewLedger(meter.Policy{MaxBitsPerValue: 1, MaxEpsilon: 2})
+	co, err := NewCoordinator(Config{
+		Bits: 10, RR: rr, Ledger: ledger, MinCohort: 50, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.RunCampaign(clients, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded() != 2 {
+		t.Fatalf("succeeded = %d, want 2", res.Succeeded())
+	}
+	if res.Results["c"].Err == nil {
+		t.Fatal("third feature succeeded despite exhausted budgets")
+	}
+	if !errors.Is(res.Results["c"].Err, ErrCohort) {
+		t.Errorf("third feature error = %v, want ErrCohort", res.Results["c"].Err)
+	}
+	if got := ledger.EpsilonSpent("client-0"); got != 2 {
+		t.Errorf("client-0 spent ε=%v, want 2", got)
+	}
+}
+
+func TestCampaignAllFeaturesFail(t *testing.T) {
+	clients := []Client{
+		&SimClient{Name: "a", Values: map[string][]uint64{"x": {1}}},
+		&SimClient{Name: "b", Values: map[string][]uint64{"x": {2}}},
+	}
+	co, err := NewCoordinator(Config{Bits: 8, MinCohort: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.RunCampaign(clients, []string{"x"})
+	if err == nil {
+		t.Fatal("campaign with universally failing feature returned nil error")
+	}
+	if res == nil || res.Results["x"].Err == nil {
+		t.Fatal("per-feature error not recorded")
+	}
+}

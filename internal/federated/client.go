@@ -1,0 +1,122 @@
+// Package federated orchestrates bit-pushing across a population of
+// clients the way the paper's deployment does (§4.3): cohort selection,
+// per-round bit assignment, dropout and straggler tolerance, auto-adjusted
+// sampling under dropout, minimum cohort sizes, privacy metering, and the
+// multiple-values-per-client semantics the deployment settled on.
+package federated
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frand"
+)
+
+// Client is a federated participant. Implementations hold private data and
+// answer bit requests; only single bits ever cross this interface, which is
+// the protocol's privacy boundary.
+type Client interface {
+	// ID identifies the client for metering and deduplication.
+	ID() string
+	// Report produces the client's report for a feature when asked to
+	// disclose bit `bit`. ok=false means the client has no value for the
+	// feature (it abstains). Honest clients answer the assigned bit;
+	// byzantine ones may return a different bit index or a fabricated
+	// value — the coordinator decides what to accept.
+	Report(feature string, bit int, r *frand.RNG) (rep core.Report, ok bool)
+}
+
+// MultiValueMode selects how a client with several local observations of a
+// feature answers a single-value query (§4.3, "Aggregating multiple local
+// values per feature").
+type MultiValueMode int
+
+const (
+	// SampleOne reports a uniformly sampled local value — the semantics
+	// the deployment adopted ("in our setting, it is appropriate to
+	// aggregate a single value per client" with sampling-defined ground
+	// truth).
+	SampleOne MultiValueMode = iota
+	// LocalMean locally aggregates to the mean of the client's values
+	// before bit extraction.
+	LocalMean
+)
+
+// String implements fmt.Stringer.
+func (m MultiValueMode) String() string {
+	switch m {
+	case SampleOne:
+		return "sample-one"
+	case LocalMean:
+		return "local-mean"
+	default:
+		return fmt.Sprintf("MultiValueMode(%d)", int(m))
+	}
+}
+
+// SimClient is an honest in-process client holding encoded values for one
+// or more features.
+type SimClient struct {
+	Name string
+	// Values maps feature name to the client's local observations.
+	Values map[string][]uint64
+	// Mode selects multi-value semantics; zero value is SampleOne.
+	Mode MultiValueMode
+}
+
+// ID implements Client.
+func (c *SimClient) ID() string { return c.Name }
+
+// Report implements Client: it resolves the feature to a single local
+// value per Mode and discloses the requested bit.
+func (c *SimClient) Report(feature string, bit int, r *frand.RNG) (core.Report, bool) {
+	vals := c.Values[feature]
+	if len(vals) == 0 {
+		return core.Report{}, false
+	}
+	var v uint64
+	switch c.Mode {
+	case LocalMean:
+		var sum uint64
+		for _, x := range vals {
+			sum += x
+		}
+		v = sum / uint64(len(vals))
+	default:
+		v = vals[r.Intn(len(vals))]
+	}
+	return core.Report{Bit: bit, Value: (v >> uint(bit)) & 1}, true
+}
+
+// ByzantineClient models the poisoning adversary of §5: it ignores the
+// assigned bit and always claims the most significant bit is set, trying
+// to bias the estimate upward. Under central randomness the coordinator
+// rejects the off-assignment report; under local randomness it cannot.
+type ByzantineClient struct {
+	Name string
+	// TargetBit is the bit the adversary always claims to report (usually
+	// Bits-1, the most significant).
+	TargetBit int
+}
+
+// ID implements Client.
+func (c *ByzantineClient) ID() string { return c.Name }
+
+// Report implements Client, returning a fabricated one at TargetBit
+// regardless of the assignment.
+func (c *ByzantineClient) Report(string, int, *frand.RNG) (core.Report, bool) {
+	return core.Report{Bit: c.TargetBit, Value: 1}, true
+}
+
+// NewPopulation wraps encoded per-client values of a single feature into
+// SimClients, a convenience for experiments.
+func NewPopulation(feature string, values []uint64) []Client {
+	clients := make([]Client, len(values))
+	for i, v := range values {
+		clients[i] = &SimClient{
+			Name:   fmt.Sprintf("client-%d", i),
+			Values: map[string][]uint64{feature: {v}},
+		}
+	}
+	return clients
+}

@@ -1,0 +1,345 @@
+package federated
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/meter"
+)
+
+// Errors returned by the coordinator.
+var (
+	ErrConfig = errors.New("federated: invalid configuration")
+	ErrCohort = errors.New("federated: cohort below minimum size")
+)
+
+// Config parametrizes a Coordinator.
+type Config struct {
+	// Bits is the protocol bit depth.
+	Bits int
+	// MinCohort aborts a round that gathers fewer accepted reports,
+	// enforcing the privacy floor of §4.3 ("enforce a minimum cohort size
+	// for privacy"). Zero disables the check.
+	MinCohort int
+	// DropoutRate is the simulated probability that an invited client
+	// never responds (§4.3, "client devices can drop out at any point").
+	DropoutRate float64
+	// StragglerRate and RoundDeadline simulate the §4.3 latency model:
+	// a StragglerRate fraction of responding clients take StragglerDelay
+	// (simulated minutes) instead of the ~1-minute baseline, and the
+	// round stops waiting at RoundDeadline — late reports are discarded,
+	// not blocked on ("It does not require all devices to be available at
+	// query time"). A zero RoundDeadline waits for everyone.
+	StragglerRate  float64
+	StragglerDelay float64
+	RoundDeadline  float64
+	// RR optionally applies ε-LDP randomized response to each bit. In a
+	// deployment the client SDK applies this transform before transmission
+	// (see internal/transport, where it runs on the client); the in-process
+	// coordinator applies it at report production, which is statistically
+	// identical.
+	RR *ldp.RandomizedResponse
+	// SquashThreshold zeroes small-magnitude bit means (§3.3).
+	SquashThreshold float64
+	// Randomness selects central (default, poisoning-resistant) or local
+	// bit selection.
+	Randomness core.RandomnessMode
+	// Gamma, Alpha, Delta are the Algorithm 2 knobs; zero values select
+	// the paper defaults (0.5, 0.5, 1/3).
+	Gamma, Alpha, Delta float64
+	// AutoAdjust, with TargetReports > 0, inflates the number of invited
+	// clients by the observed dropout rate so the round still lands near
+	// TargetReports accepted reports (§4.3, "the bit sampling
+	// probabilities were auto-adjusted based on the dropout rate").
+	AutoAdjust bool
+	// TargetReports is the desired number of accepted reports per round;
+	// 0 invites every available client.
+	TargetReports int
+	// Ledger, when non-nil, meters each client's disclosure and skips
+	// clients whose budget is exhausted.
+	Ledger *meter.Ledger
+	// Seed makes the coordinator deterministic.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Bits < 1 {
+		return fmt.Errorf("%w: Bits=%d", ErrConfig, c.Bits)
+	}
+	if c.DropoutRate < 0 || c.DropoutRate >= 1 || math.IsNaN(c.DropoutRate) {
+		return fmt.Errorf("%w: DropoutRate=%v", ErrConfig, c.DropoutRate)
+	}
+	if c.MinCohort < 0 || c.TargetReports < 0 {
+		return fmt.Errorf("%w: MinCohort=%d TargetReports=%d", ErrConfig, c.MinCohort, c.TargetReports)
+	}
+	if c.StragglerRate < 0 || c.StragglerRate >= 1 || math.IsNaN(c.StragglerRate) {
+		return fmt.Errorf("%w: StragglerRate=%v", ErrConfig, c.StragglerRate)
+	}
+	if c.StragglerDelay < 0 || c.RoundDeadline < 0 {
+		return fmt.Errorf("%w: StragglerDelay=%v RoundDeadline=%v", ErrConfig, c.StragglerDelay, c.RoundDeadline)
+	}
+	return nil
+}
+
+// Stats summarizes client participation in one round.
+type Stats struct {
+	Invited    int // clients the round reached out to
+	Dropped    int // invited clients that never responded
+	Stragglers int // reports that missed the round deadline and were cut
+	Abstained  int // responded but held no value for the feature
+	Rejected   int // reports discarded for answering an unassigned bit
+	Denied     int // clients skipped because their privacy budget ran out
+	Accepted   int // reports that entered the aggregate
+	// Latency is the simulated wall-clock the round took: the deadline
+	// when stragglers were cut, otherwise the slowest accepted report.
+	Latency float64
+}
+
+// RoundResult is one round's aggregate plus participation detail.
+type RoundResult struct {
+	core.Result
+	Stats Stats
+	Probs []float64
+}
+
+// MeanResult is the outcome of a two-round adaptive estimation.
+type MeanResult struct {
+	core.Result
+	Round1, Round2 *RoundResult
+}
+
+// Coordinator drives bit-pushing rounds over a client population. It is
+// not safe for concurrent use; run one estimation at a time.
+type Coordinator struct {
+	cfg Config
+	rng *frand.RNG
+	// dropoutEWMA tracks the observed dropout rate for auto-adjustment.
+	dropoutEWMA float64
+	haveEWMA    bool
+}
+
+// NewCoordinator validates the configuration and returns a coordinator.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, rng: frand.New(cfg.Seed)}, nil
+}
+
+// ObservedDropout returns the coordinator's running dropout estimate.
+func (co *Coordinator) ObservedDropout() float64 { return co.dropoutEWMA }
+
+// coreConfig builds the aggregation config for a given allocation.
+func (co *Coordinator) coreConfig(probs []float64) core.Config {
+	return core.Config{
+		Bits:            co.cfg.Bits,
+		Probs:           probs,
+		RR:              co.cfg.RR,
+		Randomness:      co.cfg.Randomness,
+		SquashThreshold: co.cfg.SquashThreshold,
+	}
+}
+
+// RunRound executes one bit-pushing round over the given clients with the
+// given allocation: cohort selection, assignment, collection with dropout
+// and metering, and aggregation.
+func (co *Coordinator) RunRound(clients []Client, feature string, probs []float64) (*RoundResult, error) {
+	cfg := co.coreConfig(probs)
+	invited := co.selectCohort(clients)
+	stats := Stats{Invited: len(invited)}
+
+	// Assign bits to the invited cohort.
+	var assignment []int
+	normalized, err := core.Normalize(probs)
+	if err != nil {
+		return nil, err
+	}
+	if co.cfg.Randomness == core.LocalRandomness {
+		assignment = core.AssignLocal(normalized, len(invited), co.rng)
+	} else {
+		counts, err := core.Allocate(normalized, len(invited))
+		if err != nil {
+			return nil, err
+		}
+		assignment = core.Assign(counts, co.rng)
+	}
+
+	reports := make([]core.Report, 0, len(invited))
+	for i, cl := range invited {
+		if co.rng.Bernoulli(co.cfg.DropoutRate) {
+			stats.Dropped++
+			continue
+		}
+		// Simulated response latency: an exponential ~1-minute baseline,
+		// with stragglers shifted by StragglerDelay. Reports landing past
+		// the round deadline are cut, not waited for.
+		latency := co.rng.Exponential(1)
+		if co.cfg.StragglerRate > 0 && co.rng.Bernoulli(co.cfg.StragglerRate) {
+			latency += co.cfg.StragglerDelay
+		}
+		if co.cfg.RoundDeadline > 0 && latency > co.cfg.RoundDeadline {
+			stats.Stragglers++
+			continue
+		}
+		if latency > stats.Latency {
+			stats.Latency = latency
+		}
+		if co.cfg.Ledger != nil {
+			eps := 0.0
+			if co.cfg.RR != nil {
+				eps = co.cfg.RR.Eps
+			}
+			if err := co.cfg.Ledger.Charge(cl.ID(), feature, 1, eps); err != nil {
+				stats.Denied++
+				continue
+			}
+		}
+		rep, ok := cl.Report(feature, assignment[i], co.rng)
+		if !ok {
+			stats.Abstained++
+			continue
+		}
+		// Central randomness: the server knows which bit it assigned and
+		// discards off-assignment reports — the §5 poisoning defence.
+		if co.cfg.Randomness != core.LocalRandomness && rep.Bit != assignment[i] {
+			stats.Rejected++
+			continue
+		}
+		if co.cfg.RR != nil {
+			rep.Value = co.cfg.RR.Apply(rep.Value, co.rng)
+		}
+		reports = append(reports, rep)
+	}
+	stats.Accepted = len(reports)
+
+	// Update the dropout estimate for auto-adjustment.
+	if stats.Invited > 0 {
+		observed := float64(stats.Dropped) / float64(stats.Invited)
+		if co.haveEWMA {
+			co.dropoutEWMA = 0.7*co.dropoutEWMA + 0.3*observed
+		} else {
+			co.dropoutEWMA = observed
+			co.haveEWMA = true
+		}
+	}
+
+	if co.cfg.MinCohort > 0 && stats.Accepted < co.cfg.MinCohort {
+		return nil, fmt.Errorf("%w: %d accepted reports, need %d", ErrCohort, stats.Accepted, co.cfg.MinCohort)
+	}
+	res, err := core.Aggregate(cfg, reports)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundResult{Result: *res, Stats: stats, Probs: normalized}, nil
+}
+
+// selectCohort picks which clients to invite. With TargetReports set it
+// invites a random subset sized to land near the target after expected
+// dropout (inflating by the observed rate when AutoAdjust is on).
+func (co *Coordinator) selectCohort(clients []Client) []Client {
+	if co.cfg.TargetReports <= 0 || co.cfg.TargetReports >= len(clients) {
+		return clients
+	}
+	want := float64(co.cfg.TargetReports)
+	drop := 0.0
+	if co.cfg.AutoAdjust {
+		drop = co.dropoutEWMA
+	}
+	inviteN := int(math.Ceil(want / math.Max(1e-9, 1-drop)))
+	if inviteN > len(clients) {
+		inviteN = len(clients)
+	}
+	perm := co.rng.Perm(len(clients))
+	invited := make([]Client, inviteN)
+	for i := 0; i < inviteN; i++ {
+		invited[i] = clients[perm[i]]
+	}
+	return invited
+}
+
+// EstimateMean runs the full two-round adaptive protocol (Algorithm 2)
+// over the population: a δ fraction of clients in round 1 under the
+// geometric allocation, the rest in round 2 under the learned allocation,
+// with both rounds' reports pooled.
+func (co *Coordinator) EstimateMean(clients []Client, feature string) (*MeanResult, error) {
+	if err := co.cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 clients", ErrConfig)
+	}
+	delta := co.cfg.Delta
+	if delta == 0 {
+		delta = 1.0 / 3.0
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("%w: Delta=%v", ErrConfig, co.cfg.Delta)
+	}
+	gamma := co.cfg.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	alpha := co.cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+
+	n1 := int(math.Round(delta * float64(len(clients))))
+	if n1 < 1 {
+		n1 = 1
+	}
+	if n1 >= len(clients) {
+		n1 = len(clients) - 1
+	}
+	perm := co.rng.Perm(len(clients))
+	round1Clients := make([]Client, n1)
+	round2Clients := make([]Client, len(clients)-n1)
+	for i, idx := range perm {
+		if i < n1 {
+			round1Clients[i] = clients[idx]
+		} else {
+			round2Clients[i-n1] = clients[idx]
+		}
+	}
+
+	probs1, err := core.GeometricProbs(co.cfg.Bits, gamma)
+	if err != nil {
+		return nil, err
+	}
+	res1, err := co.RunRound(round1Clients, feature, probs1)
+	if err != nil {
+		return nil, err
+	}
+	var probs2 []float64
+	if co.cfg.RR != nil {
+		probs2, err = core.LearnedProbsDP(&res1.Result)
+	} else {
+		probs2, err = core.LearnedProbs(&res1.Result, alpha)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res2, err := co.RunRound(round2Clients, feature, probs2)
+	if err != nil {
+		return nil, err
+	}
+	pooled, err := core.PoolAdaptive(co.coreConfig(probs1), probs2, &res1.Result, &res2.Result)
+	if err != nil {
+		return nil, err
+	}
+	return &MeanResult{Result: *pooled, Round1: res1, Round2: res2}, nil
+}
+
+// EstimateMeanSingleRound runs one weighted round (p_j ∝ 2^{γj}) over the
+// whole population, the paper's "weighted" method.
+func (co *Coordinator) EstimateMeanSingleRound(clients []Client, feature string, gamma float64) (*RoundResult, error) {
+	probs, err := core.GeometricProbs(co.cfg.Bits, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return co.RunRound(clients, feature, probs)
+}

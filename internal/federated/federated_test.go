@@ -1,0 +1,356 @@
+package federated
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/meter"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+const feature = "latency_ms"
+
+func population(t *testing.T, n, bits int, seed uint64) ([]Client, float64) {
+	t.Helper()
+	vals := workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(seed), n)
+	encoded := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+	return NewPopulation(feature, encoded), fixedpoint.Mean(encoded)
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Bits: 0},
+		{Bits: 8, DropoutRate: 1},
+		{Bits: 8, DropoutRate: -0.5},
+		{Bits: 8, MinCohort: -1},
+		{Bits: 8, TargetReports: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewCoordinator(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestSimClientSampleOne(t *testing.T) {
+	c := &SimClient{Name: "c", Values: map[string][]uint64{feature: {0b101}}}
+	r := frand.New(1)
+	rep, ok := c.Report(feature, 2, r)
+	if !ok || rep.Bit != 2 || rep.Value != 1 {
+		t.Fatalf("Report = %+v, %v", rep, ok)
+	}
+	rep, _ = c.Report(feature, 1, r)
+	if rep.Value != 0 {
+		t.Fatalf("bit 1 of 0b101 reported as %d", rep.Value)
+	}
+	if _, ok := c.Report("unknown", 0, r); ok {
+		t.Fatal("client reported on a feature it lacks")
+	}
+}
+
+func TestSimClientLocalMean(t *testing.T) {
+	c := &SimClient{
+		Name:   "c",
+		Values: map[string][]uint64{feature: {4, 6, 8}},
+		Mode:   LocalMean,
+	}
+	// Local mean = 6 = 0b110.
+	r := frand.New(2)
+	rep, _ := c.Report(feature, 1, r)
+	if rep.Value != 1 {
+		t.Fatalf("bit 1 of local mean 6 = %d", rep.Value)
+	}
+	rep, _ = c.Report(feature, 0, r)
+	if rep.Value != 0 {
+		t.Fatalf("bit 0 of local mean 6 = %d", rep.Value)
+	}
+}
+
+func TestMultiValueModeString(t *testing.T) {
+	if SampleOne.String() != "sample-one" || LocalMean.String() != "local-mean" {
+		t.Error("mode strings wrong")
+	}
+	if MultiValueMode(5).String() == "" {
+		t.Error("unknown mode should stringify")
+	}
+}
+
+func TestSingleRoundEstimate(t *testing.T) {
+	clients, truth := population(t, 10000, 12, 3)
+	co, err := NewCoordinator(Config{Bits: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.EstimateMeanSingleRound(clients, feature, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Fatalf("single-round estimate %v vs truth %v (nrmse %v)", res.Estimate, truth, nrmse)
+	}
+	if res.Stats.Accepted != 10000 {
+		t.Errorf("accepted %d reports", res.Stats.Accepted)
+	}
+}
+
+func TestAdaptiveEstimate(t *testing.T) {
+	clients, truth := population(t, 10000, 16, 5)
+	co, err := NewCoordinator(Config{Bits: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.EstimateMean(clients, feature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Fatalf("adaptive estimate %v vs truth %v", res.Estimate, truth)
+	}
+	if res.Round1.Stats.Invited+res.Round2.Stats.Invited != 10000 {
+		t.Errorf("rounds invited %d + %d clients", res.Round1.Stats.Invited, res.Round2.Stats.Invited)
+	}
+	// Round 2 must concentrate on the active bits (values < 1024).
+	for j := 11; j < 16; j++ {
+		if res.Round2.Probs[j] != 0 {
+			t.Errorf("round-2 prob for vacuous bit %d = %v", j, res.Round2.Probs[j])
+		}
+	}
+}
+
+func TestDropoutToleratedAndTracked(t *testing.T) {
+	clients, truth := population(t, 20000, 12, 7)
+	co, err := NewCoordinator(Config{Bits: 12, DropoutRate: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.EstimateMean(clients, feature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Fatalf("estimate under 30%% dropout: %v vs %v", res.Estimate, truth)
+	}
+	if d := co.ObservedDropout(); math.Abs(d-0.3) > 0.05 {
+		t.Errorf("observed dropout %v, want ~0.3", d)
+	}
+	dropped := res.Round1.Stats.Dropped + res.Round2.Stats.Dropped
+	if dropped < 5000 || dropped > 7000 {
+		t.Errorf("dropped %d of 20000, want ~6000", dropped)
+	}
+}
+
+func TestMinCohortEnforced(t *testing.T) {
+	clients, _ := population(t, 50, 8, 9)
+	co, err := NewCoordinator(Config{Bits: 8, MinCohort: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.EstimateMeanSingleRound(clients, feature, 1); !errors.Is(err, ErrCohort) {
+		t.Fatalf("err = %v, want ErrCohort", err)
+	}
+}
+
+func TestAutoAdjustHitsTargetUnderDropout(t *testing.T) {
+	clients, _ := population(t, 50000, 10, 11)
+	co, err := NewCoordinator(Config{
+		Bits: 10, DropoutRate: 0.4, TargetReports: 5000, AutoAdjust: true, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(10, 1)
+	// Round 1 establishes the dropout estimate; later rounds must land
+	// near the target.
+	if _, err := co.RunRound(clients, feature, probs); err != nil {
+		t.Fatal(err)
+	}
+	var accepted stats.Stream
+	for i := 0; i < 10; i++ {
+		res, err := co.RunRound(clients, feature, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted.Add(float64(res.Stats.Accepted))
+	}
+	if math.Abs(accepted.Mean()-5000) > 300 {
+		t.Fatalf("auto-adjusted rounds accepted %v reports on average, want ~5000", accepted.Mean())
+	}
+}
+
+func TestNoAutoAdjustFallsShort(t *testing.T) {
+	clients, _ := population(t, 50000, 10, 13)
+	co, err := NewCoordinator(Config{
+		Bits: 10, DropoutRate: 0.4, TargetReports: 5000, AutoAdjust: false, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(10, 1)
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accepted > 3500 {
+		t.Fatalf("without auto-adjust accepted %d, expected ~3000 (40%% dropout)", res.Stats.Accepted)
+	}
+}
+
+func TestCentralRandomnessRejectsPoisoning(t *testing.T) {
+	clients, truth := population(t, 5000, 12, 15)
+	// 5% byzantine clients targeting the top bit.
+	for i := 0; i < 250; i++ {
+		clients = append(clients, &ByzantineClient{Name: "evil", TargetBit: 11})
+	}
+	co, err := NewCoordinator(Config{Bits: 12, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(12, 1)
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rejected == 0 {
+		t.Fatal("no byzantine reports rejected under central randomness")
+	}
+	// Poisoning impact must stay modest.
+	if bias := (res.Estimate - truth) / truth; bias > 0.25 {
+		t.Fatalf("estimate %v inflated %v%% despite central randomness", res.Estimate, 100*bias)
+	}
+}
+
+func TestLocalRandomnessVulnerableToPoisoning(t *testing.T) {
+	clients, truth := population(t, 5000, 12, 17)
+	for i := 0; i < 250; i++ {
+		clients = append(clients, &ByzantineClient{Name: "evil", TargetBit: 11})
+	}
+	// Under central randomness an adversary only reaches the target bit
+	// when the server assigns it (probability p_max); under local
+	// randomness it reaches it every time. With γ=0.5 the top bit's
+	// sampling probability is ~0.29, so the expected bias ratio is ~3.4x.
+	mkBias := func(mode core.RandomnessMode, seed uint64) float64 {
+		co, err := NewCoordinator(Config{Bits: 12, Randomness: mode, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs, _ := core.GeometricProbs(12, 0.5)
+		res, err := co.RunRound(clients, feature, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Estimate - truth
+	}
+	var local, central float64
+	for s := uint64(0); s < 5; s++ {
+		local += mkBias(core.LocalRandomness, 100+s)
+		central += mkBias(core.CentralRandomness, 200+s)
+	}
+	if local <= 2*math.Abs(central) {
+		t.Fatalf("local-randomness poisoning bias %v not well above central %v", local/5, central/5)
+	}
+}
+
+func TestLedgerMetersAndDenies(t *testing.T) {
+	clients, _ := population(t, 100, 8, 18)
+	ledger := meter.NewLedger(meter.Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 2})
+	rr, _ := ldp.NewRandomizedResponse(1)
+	co, err := NewCoordinator(Config{Bits: 8, RR: rr, Ledger: ledger, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(8, 1)
+	// Two rounds exhaust the 2-bit per-feature budget; a third is denied.
+	for i := 0; i < 2; i++ {
+		res, err := co.RunRound(clients, feature, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Denied != 0 {
+			t.Fatalf("round %d denied %d", i, res.Stats.Denied)
+		}
+	}
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Denied != 100 || res.Stats.Accepted != 0 {
+		t.Fatalf("budget exhaustion: denied=%d accepted=%d", res.Stats.Denied, res.Stats.Accepted)
+	}
+	if got := ledger.BitsDisclosed("client-0", feature); got != 2 {
+		t.Errorf("client-0 disclosed %d bits", got)
+	}
+	if got := ledger.EpsilonSpent("client-0"); math.Abs(got-2) > 1e-12 {
+		t.Errorf("client-0 eps spent %v", got)
+	}
+}
+
+func TestAbstainingClients(t *testing.T) {
+	clients := []Client{
+		&SimClient{Name: "a", Values: map[string][]uint64{feature: {5}}},
+		&SimClient{Name: "b", Values: map[string][]uint64{"other": {5}}},
+	}
+	co, err := NewCoordinator(Config{Bits: 4, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.UniformProbs(4)
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Abstained != 1 || res.Stats.Accepted != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+func TestDPFederatedEndToEnd(t *testing.T) {
+	clients, truth := population(t, 30000, 12, 21)
+	rr, _ := ldp.NewRandomizedResponse(2)
+	co, err := NewCoordinator(Config{
+		Bits: 12, RR: rr, SquashThreshold: 0.05, DropoutRate: 0.1, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.EstimateMean(clients, feature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.15 {
+		t.Fatalf("DP federated estimate %v vs truth %v (nrmse %v)", res.Estimate, truth, nrmse)
+	}
+}
+
+func TestCoordinatorDeterministic(t *testing.T) {
+	clients, _ := population(t, 2000, 10, 23)
+	run := func() float64 {
+		co, err := NewCoordinator(Config{Bits: 10, DropoutRate: 0.2, Seed: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.EstimateMean(clients, feature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Estimate
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("coordinator not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateMeanTooFewClients(t *testing.T) {
+	co, err := NewCoordinator(Config{Bits: 8, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.EstimateMean([]Client{&SimClient{Name: "x"}}, feature); !errors.Is(err, ErrConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}

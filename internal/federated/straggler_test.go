@@ -1,0 +1,96 @@
+package federated
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestStragglerConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Bits: 8, StragglerRate: 1},
+		{Bits: 8, StragglerRate: -0.1},
+		{Bits: 8, StragglerDelay: -1},
+		{Bits: 8, RoundDeadline: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewCoordinator(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestDeadlineCutsStragglers(t *testing.T) {
+	clients, truth := population(t, 20000, 10, 70)
+	co, err := NewCoordinator(Config{
+		Bits: 10, StragglerRate: 0.2, StragglerDelay: 30, RoundDeadline: 10, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(10, 1)
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~20% of clients are stragglers shifted 30 simulated minutes; the
+	// 10-minute deadline must cut nearly all of them.
+	if res.Stats.Stragglers < 3500 || res.Stats.Stragglers > 4500 {
+		t.Errorf("stragglers = %d, want ~4000", res.Stats.Stragglers)
+	}
+	if res.Stats.Latency <= 0 || res.Stats.Latency > 10 {
+		t.Errorf("round latency %v, want within the 10-minute deadline", res.Stats.Latency)
+	}
+	// The estimate still holds on the surviving ~80%.
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Errorf("estimate %v vs truth %v under straggler cuts", res.Estimate, truth)
+	}
+}
+
+func TestNoDeadlineWaitsForStragglers(t *testing.T) {
+	clients, _ := population(t, 5000, 10, 72)
+	co, err := NewCoordinator(Config{
+		Bits: 10, StragglerRate: 0.1, StragglerDelay: 60, Seed: 73,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, _ := core.GeometricProbs(10, 1)
+	res, err := co.RunRound(clients, feature, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stragglers != 0 {
+		t.Errorf("stragglers cut without a deadline: %d", res.Stats.Stragglers)
+	}
+	// The round's latency is set by the slowest straggler (60+ minutes).
+	if res.Stats.Latency < 60 {
+		t.Errorf("round latency %v, expected straggler-dominated (>60)", res.Stats.Latency)
+	}
+	if res.Stats.Accepted != 5000 {
+		t.Errorf("accepted %d", res.Stats.Accepted)
+	}
+}
+
+func TestDeadlineShortensRounds(t *testing.T) {
+	clients, _ := population(t, 5000, 10, 74)
+	probs, _ := core.GeometricProbs(10, 1)
+	run := func(deadline float64) float64 {
+		co, err := NewCoordinator(Config{
+			Bits: 10, StragglerRate: 0.1, StragglerDelay: 60, RoundDeadline: deadline, Seed: 75,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := co.RunRound(clients, feature, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Latency
+	}
+	if with, without := run(8), run(0); with >= without {
+		t.Errorf("deadline latency %v not below open-ended %v", with, without)
+	}
+}

@@ -1,0 +1,27 @@
+package fedlearn_test
+
+import (
+	"fmt"
+
+	"repro/internal/fedlearn"
+	"repro/internal/frand"
+)
+
+// Training a one-dimensional model where every client discloses a single
+// gradient bit per round.
+func ExampleTrain() {
+	r := frand.New(5)
+	data := make([]fedlearn.Example, 8000)
+	for i := range data {
+		x := r.Normal(0, 1)
+		data[i] = fedlearn.Example{X: []float64{x}, Y: 3*x + 1}
+	}
+	model, _ := fedlearn.Train(fedlearn.Config{Dim: 1, Rounds: 60}, data, r)
+	fmt.Printf("weight within 0.1 of 3: %v\n", model.Weights[0] > 2.9 && model.Weights[0] < 3.1)
+	fmt.Printf("intercept within 0.1 of 1: %v\n", model.Intercept > 0.9 && model.Intercept < 1.1)
+	fmt.Printf("bits disclosed per client: %d\n", model.BitsPerClient)
+	// Output:
+	// weight within 0.1 of 3: true
+	// intercept within 0.1 of 1: true
+	// bits disclosed per client: 60
+}

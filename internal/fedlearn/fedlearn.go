@@ -1,0 +1,379 @@
+// Package fedlearn uses bit-pushing as the aggregation subroutine of
+// federated learning, the application the paper motivates throughout
+// (§1: "federated learning computes sample means for gradient updates";
+// §3: "Bit-pushing can be used as a subroutine in many applications
+// including federated learning").
+//
+// The package trains a linear model by federated gradient descent where
+// each round's mean gradient is estimated one bit per client: the server
+// partitions the cohort across gradient coordinates, and every client
+// discloses a single binary digit of its clipped, fixed-point-encoded
+// gradient coordinate — optionally through randomized response. It also
+// implements the §3.4 feature-normalization recipe: per-feature means and
+// variances estimated with bit-pushing, used to standardize features
+// client-side before training.
+package fedlearn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/quantile"
+)
+
+// Errors returned by the trainer.
+var (
+	ErrConfig = errors.New("fedlearn: invalid configuration")
+	ErrData   = errors.New("fedlearn: invalid data")
+)
+
+// Example is one client's private training example.
+type Example struct {
+	X []float64 // features
+	Y float64   // target
+}
+
+// Config parametrizes federated linear-regression training.
+type Config struct {
+	// Dim is the feature dimension (the model learns Dim weights plus an
+	// intercept).
+	Dim int
+	// Bits is the fixed-point depth for gradient coordinates. Zero means 12.
+	Bits int
+	// Clip bounds each gradient coordinate to [-Clip, Clip] before
+	// encoding (the §4.3 winsorization applied to gradients). Zero means 8.
+	Clip float64
+	// LR is the learning rate. Zero means 0.1.
+	LR float64
+	// Rounds is the number of gradient steps. Zero means 50.
+	Rounds int
+	// Eps, when positive, applies ε-LDP randomized response to every
+	// disclosed gradient bit.
+	Eps float64
+	// Seed drives all protocol randomness.
+	Seed uint64
+}
+
+func (c *Config) bits() int {
+	if c.Bits == 0 {
+		return 12
+	}
+	return c.Bits
+}
+
+func (c *Config) clip() float64 {
+	if c.Clip == 0 {
+		return 8
+	}
+	return c.Clip
+}
+
+func (c *Config) lr() float64 {
+	if c.LR == 0 {
+		return 0.1
+	}
+	return c.LR
+}
+
+func (c *Config) rounds() int {
+	if c.Rounds == 0 {
+		return 50
+	}
+	return c.Rounds
+}
+
+func (c *Config) validate(n int) error {
+	if c.Dim < 1 {
+		return fmt.Errorf("%w: Dim=%d", ErrConfig, c.Dim)
+	}
+	if b := c.bits(); b < 2 || b > 32 {
+		return fmt.Errorf("%w: Bits=%d", ErrConfig, c.Bits)
+	}
+	if !(c.clip() > 0) || !(c.lr() > 0) || c.rounds() < 1 {
+		return fmt.Errorf("%w: Clip=%v LR=%v Rounds=%d", ErrConfig, c.Clip, c.LR, c.Rounds)
+	}
+	if c.Eps < 0 {
+		return fmt.Errorf("%w: Eps=%v", ErrConfig, c.Eps)
+	}
+	// Every round partitions the cohort across 2·(Dim+1) coordinate
+	// sign-parts.
+	if n < 8*(c.Dim+1) {
+		return fmt.Errorf("%w: %d clients cannot cover %d gradient coordinates", ErrData, n, c.Dim+1)
+	}
+	return nil
+}
+
+// Model is a trained linear model.
+type Model struct {
+	Weights   []float64
+	Intercept float64
+	// LossHistory records the exact population MSE after each round
+	// (computable in simulation; a deployment would estimate it too).
+	LossHistory []float64
+	// BitsPerClient is the total number of bits each client disclosed
+	// about its gradients over the whole training run (one per round).
+	BitsPerClient int
+}
+
+// Predict evaluates the model on features x.
+func (m *Model) Predict(x []float64) float64 {
+	var y float64
+	for i, w := range m.Weights {
+		y += w * x[i]
+	}
+	return y + m.Intercept
+}
+
+// MSE returns the model's mean squared error on a dataset.
+func (m *Model) MSE(data []Example) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, ex := range data {
+		d := m.Predict(ex.X) - ex.Y
+		s += d * d
+	}
+	return s / float64(len(data))
+}
+
+// Train runs federated gradient descent: each round, every client
+// computes its local gradient of the squared loss at the broadcast model,
+// is assigned ONE coordinate by the server, and discloses ONE bit of that
+// coordinate's clipped fixed-point encoding. The server reconstructs the
+// mean gradient per coordinate from the bit reports and steps the model.
+func Train(cfg Config, data []Example, r *frand.RNG) (*Model, error) {
+	if err := cfg.validate(len(data)); err != nil {
+		return nil, err
+	}
+	for i, ex := range data {
+		if len(ex.X) != cfg.Dim {
+			return nil, fmt.Errorf("%w: example %d has %d features, want %d", ErrData, i, len(ex.X), cfg.Dim)
+		}
+	}
+	var rr *ldp.RandomizedResponse
+	if cfg.Eps > 0 {
+		var err error
+		if rr, err = ldp.NewRandomizedResponse(cfg.Eps); err != nil {
+			return nil, err
+		}
+	}
+	coords := cfg.Dim + 1 // weights + intercept
+	clip := cfg.clip()
+	// Signed gradient coordinates are estimated by positive/negative part
+	// decomposition: E[g] = E[max(g,0)] - E[max(-g,0)], each part a
+	// non-negative quantity in [0, Clip]. Offset-encoding the signed value
+	// instead would make the estimator's error scale with the encoding
+	// offset rather than the (typically small) gradient magnitude.
+	codec, err := fixedpoint.NewCodec(cfg.bits(), 0, math.Ldexp(1, cfg.bits())/clip)
+	if err != nil {
+		return nil, err
+	}
+	probs, err := core.GeometricProbs(cfg.bits(), 1)
+	if err != nil {
+		return nil, err
+	}
+	protoCfg := core.Config{Bits: cfg.bits(), Probs: probs, RR: rr}
+
+	model := &Model{Weights: make([]float64, cfg.Dim)}
+	grad := make([]float64, coords)
+	for round := 0; round < cfg.rounds(); round++ {
+		// Server-side: partition clients across (coordinate, sign-part).
+		assignment := r.Perm(len(data))
+		per := len(data) / (2 * coords)
+		for k := 0; k < coords; k++ {
+			parts := [2]float64{}
+			for side := 0; side < 2; side++ {
+				cohort := make([]uint64, per)
+				for idx := 0; idx < per; idx++ {
+					ex := data[assignment[(2*k+side)*per+idx]]
+					g := clientGradient(model, ex, k)
+					if side == 1 {
+						g = -g
+					}
+					cohort[idx] = codec.Encode(math.Max(0, g))
+				}
+				res, err := core.Run(protoCfg, cohort, r)
+				if err != nil {
+					return nil, err
+				}
+				parts[side] = codec.DecodeMean(res.Estimate)
+			}
+			grad[k] = parts[0] - parts[1]
+		}
+		for k := 0; k < cfg.Dim; k++ {
+			model.Weights[k] -= cfg.lr() * grad[k]
+		}
+		model.Intercept -= cfg.lr() * grad[coords-1]
+		model.LossHistory = append(model.LossHistory, model.MSE(data))
+		model.BitsPerClient++
+	}
+	return model, nil
+}
+
+// clientGradient computes coordinate k of one client's squared-loss
+// gradient at the current model: residual times feature (or 1 for the
+// intercept). This runs on the client; only one bit of its encoding ever
+// leaves the device.
+func clientGradient(m *Model, ex Example, k int) float64 {
+	residual := m.Predict(ex.X) - ex.Y
+	if k == len(m.Weights) {
+		return residual
+	}
+	return residual * ex.X[k]
+}
+
+// TrainExact is the non-private baseline: full-gradient descent with the
+// same schedule, as if every client shipped its entire gradient.
+func TrainExact(cfg Config, data []Example) (*Model, error) {
+	if err := cfg.validate(len(data)); err != nil {
+		return nil, err
+	}
+	coords := cfg.Dim + 1
+	model := &Model{Weights: make([]float64, cfg.Dim)}
+	grad := make([]float64, coords)
+	for round := 0; round < cfg.rounds(); round++ {
+		for k := range grad {
+			grad[k] = 0
+		}
+		for _, ex := range data {
+			for k := 0; k < coords; k++ {
+				grad[k] += clientGradient(model, ex, k)
+			}
+		}
+		for k := range grad {
+			grad[k] /= float64(len(data))
+		}
+		for k := 0; k < cfg.Dim; k++ {
+			model.Weights[k] -= cfg.lr() * grad[k]
+		}
+		model.Intercept -= cfg.lr() * grad[coords-1]
+		model.LossHistory = append(model.LossHistory, model.MSE(data))
+	}
+	return model, nil
+}
+
+// FeatureStats holds per-feature standardization parameters.
+type FeatureStats struct {
+	Mean []float64
+	Std  []float64
+}
+
+// EstimateFeatureStats runs the §3.4 feature-normalization recipe: the
+// mean and variance of every feature estimated with bit-pushing (each
+// participating client discloses one bit per feature statistic). Features
+// are assumed to lie within [-bound, bound].
+func EstimateFeatureStats(dim, bits int, bound float64, data []Example, r *frand.RNG) (*FeatureStats, error) {
+	if dim < 1 || bits < 2 || bits > 26 || !(bound > 0) {
+		return nil, fmt.Errorf("%w: dim=%d bits=%d bound=%v", ErrConfig, dim, bits, bound)
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: need at least 8 examples", ErrData)
+	}
+	// Parts and squared deviations are non-negative; signed features are
+	// handled by positive/negative decomposition so estimation error
+	// scales with the feature's magnitude, not an encoding offset.
+	//
+	// `bound` only caps the domain. Each feature's own magnitude is first
+	// located with a one-bit threshold probe (the §2 "zoom in on the
+	// range where the data truly lies"), and its codecs are scaled to
+	// that magnitude — a globally scaled codec would quantize a
+	// small-variance feature's squared deviations to zero.
+	globalScale := math.Ldexp(1, bits) / bound
+	globalCodec, err := fixedpoint.NewCodec(bits, 0, globalScale)
+	if err != nil {
+		return nil, err
+	}
+	for i, ex := range data {
+		if len(ex.X) != dim {
+			return nil, fmt.Errorf("%w: example %d has %d features", ErrData, i, len(ex.X))
+		}
+	}
+	stats := &FeatureStats{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for k := 0; k < dim; k++ {
+		// Disjoint cohorts: magnitude probe, positive part, negative
+		// part, squared deviations.
+		perm := r.Perm(len(data))
+		quarter := len(data) / 4
+
+		probe := make([]uint64, quarter)
+		for i := 0; i < quarter; i++ {
+			probe[i] = globalCodec.Encode(math.Abs(data[perm[i]].X[k]))
+		}
+		clipBits, err := quantile.AdaptiveClipBits(quantile.Config{Bits: bits}, 0.99, probe, r)
+		if err != nil {
+			return nil, err
+		}
+		boundK := math.Ldexp(1, clipBits) / globalScale // feature magnitude cap
+		scale := math.Ldexp(1, bits) / boundK
+		codec, err := fixedpoint.NewCodec(bits, 0, scale)
+		if err != nil {
+			return nil, err
+		}
+		sqCodec, err := fixedpoint.NewCodec(bits, 0, math.Ldexp(1, bits)/(4*boundK*boundK))
+		if err != nil {
+			return nil, err
+		}
+		meanOf := func(xs []float64) (float64, error) {
+			encoded := make([]uint64, len(xs))
+			for i, v := range xs {
+				encoded[i] = codec.Encode(v)
+			}
+			res, err := core.RunAdaptive(core.AdaptiveConfig{Bits: bits}, encoded, r)
+			if err != nil {
+				return 0, err
+			}
+			return codec.DecodeMean(res.Estimate), nil
+		}
+		pos := make([]float64, quarter)
+		neg := make([]float64, quarter)
+		for i := 0; i < quarter; i++ {
+			pos[i] = math.Max(0, data[perm[quarter+i]].X[k])
+			neg[i] = math.Max(0, -data[perm[2*quarter+i]].X[k])
+		}
+		posMean, err := meanOf(pos)
+		if err != nil {
+			return nil, err
+		}
+		negMean, err := meanOf(neg)
+		if err != nil {
+			return nil, err
+		}
+		stats.Mean[k] = posMean - negMean
+
+		devs := make([]uint64, len(data)-3*quarter)
+		for i := range devs {
+			d := data[perm[3*quarter+i]].X[k] - stats.Mean[k]
+			devs[i] = sqCodec.Encode(d * d)
+		}
+		res, err := core.RunAdaptive(core.AdaptiveConfig{Bits: bits}, devs, r)
+		if err != nil {
+			return nil, err
+		}
+		stats.Std[k] = math.Sqrt(math.Max(0, sqCodec.DecodeMean(res.Estimate)))
+	}
+	return stats, nil
+}
+
+// Standardize returns a copy of the dataset with features centered and
+// scaled by the estimated statistics (client-side preprocessing).
+func (s *FeatureStats) Standardize(data []Example) []Example {
+	out := make([]Example, len(data))
+	for i, ex := range data {
+		x := make([]float64, len(ex.X))
+		for k := range x {
+			sd := s.Std[k]
+			if sd <= 1e-12 {
+				sd = 1
+			}
+			x[k] = (ex.X[k] - s.Mean[k]) / sd
+		}
+		out[i] = Example{X: x, Y: ex.Y}
+	}
+	return out
+}

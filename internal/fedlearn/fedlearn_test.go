@@ -1,0 +1,213 @@
+package fedlearn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+)
+
+// synthetic builds n examples of y = w·x + b + noise.
+func synthetic(n int, w []float64, b, noise float64, seed uint64) []Example {
+	r := frand.New(seed)
+	out := make([]Example, n)
+	for i := range out {
+		x := make([]float64, len(w))
+		y := b
+		for k := range x {
+			x[k] = r.Normal(0, 1)
+			y += w[k] * x[k]
+		}
+		out[i] = Example{X: x, Y: y + r.Normal(0, noise)}
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	data := synthetic(100, []float64{1}, 0, 0.1, 1)
+	r := frand.New(2)
+	cases := []Config{
+		{Dim: 0},
+		{Dim: 1, Bits: 1},
+		{Dim: 1, Bits: 40},
+		{Dim: 1, Clip: -1},
+		{Dim: 1, LR: -0.1},
+		{Dim: 1, Rounds: -1},
+		{Dim: 1, Eps: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := Train(cfg, data, r); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	// Too few clients for the coordinate partition.
+	if _, err := Train(Config{Dim: 50}, data, r); !errors.Is(err, ErrData) {
+		t.Errorf("undersized cohort: %v", err)
+	}
+	// Dimension mismatch in the data.
+	bad := append([]Example{}, data...)
+	bad[3] = Example{X: []float64{1, 2}, Y: 0}
+	if _, err := Train(Config{Dim: 1}, bad, r); !errors.Is(err, ErrData) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+}
+
+func TestTrainConvergesToTruth(t *testing.T) {
+	trueW := []float64{2, -1.5, 0.5}
+	data := synthetic(12000, trueW, 0.7, 0.1, 3)
+	model, err := Train(Config{Dim: 3, Rounds: 80, Seed: 4}, data, frand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range trueW {
+		if math.Abs(model.Weights[k]-w) > 0.15 {
+			t.Errorf("weight %d = %v, want ~%v", k, model.Weights[k], w)
+		}
+	}
+	if math.Abs(model.Intercept-0.7) > 0.15 {
+		t.Errorf("intercept = %v, want ~0.7", model.Intercept)
+	}
+	if model.BitsPerClient != 80 {
+		t.Errorf("BitsPerClient = %d, want 80 (one per round)", model.BitsPerClient)
+	}
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	data := synthetic(8000, []float64{1, 1}, 0, 0.2, 5)
+	model, err := Train(Config{Dim: 2, Rounds: 40}, data, frand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := model.LossHistory[0], model.LossHistory[len(model.LossHistory)-1]
+	if last > first/5 {
+		t.Fatalf("loss went %v -> %v: no convergence", first, last)
+	}
+}
+
+func TestTrainTracksExactBaseline(t *testing.T) {
+	data := synthetic(16000, []float64{1.2, -0.8}, 0.3, 0.15, 7)
+	cfg := Config{Dim: 2, Rounds: 60}
+	private, err := Train(cfg, data, frand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := TrainExact(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLoss := private.LossHistory[len(private.LossHistory)-1]
+	eLoss := exact.LossHistory[len(exact.LossHistory)-1]
+	// One bit per client per round costs accuracy; the final loss should
+	// still be within a modest factor of the exact-gradient baseline's.
+	if pLoss > 5*eLoss+0.05 {
+		t.Fatalf("bit-pushed training loss %v vs exact %v", pLoss, eLoss)
+	}
+}
+
+func TestTrainWithDPStillLearns(t *testing.T) {
+	data := synthetic(30000, []float64{1.5}, 0, 0.1, 9)
+	model, err := Train(Config{Dim: 1, Rounds: 60, Eps: 2, Seed: 10}, data, frand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.Weights[0]-1.5) > 0.4 {
+		t.Errorf("DP-trained weight %v, want ~1.5", model.Weights[0])
+	}
+	first, last := model.LossHistory[0], model.LossHistory[len(model.LossHistory)-1]
+	if last > first/2 {
+		t.Fatalf("DP loss went %v -> %v", first, last)
+	}
+}
+
+func TestModelPredictAndMSE(t *testing.T) {
+	m := &Model{Weights: []float64{2, 3}, Intercept: 1}
+	if got := m.Predict([]float64{1, 1}); got != 6 {
+		t.Errorf("Predict = %v", got)
+	}
+	data := []Example{{X: []float64{1, 1}, Y: 6}, {X: []float64{0, 0}, Y: 2}}
+	if got := m.MSE(data); got != 0.5 {
+		t.Errorf("MSE = %v, want 0.5", got)
+	}
+	if m.MSE(nil) != 0 {
+		t.Error("empty MSE should be 0")
+	}
+}
+
+func TestEstimateFeatureStats(t *testing.T) {
+	r := frand.New(11)
+	data := make([]Example, 40000)
+	for i := range data {
+		data[i] = Example{X: []float64{r.Normal(3, 2), r.Normal(-1, 0.5)}, Y: 0}
+	}
+	stats, err := EstimateFeatureStats(2, 12, 16, data, frand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.Mean[0]-3) > 0.15 || math.Abs(stats.Mean[1]+1) > 0.1 {
+		t.Errorf("means = %v", stats.Mean)
+	}
+	if math.Abs(stats.Std[0]-2) > 0.2 || math.Abs(stats.Std[1]-0.5) > 0.1 {
+		t.Errorf("stds = %v", stats.Std)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	stats := &FeatureStats{Mean: []float64{10, 0}, Std: []float64{2, 0}}
+	data := []Example{{X: []float64{14, 5}, Y: 3}}
+	out := stats.Standardize(data)
+	if out[0].X[0] != 2 {
+		t.Errorf("standardized x0 = %v, want 2", out[0].X[0])
+	}
+	// Zero std falls back to no scaling.
+	if out[0].X[1] != 5 {
+		t.Errorf("zero-std feature = %v, want 5", out[0].X[1])
+	}
+	if out[0].Y != 3 {
+		t.Error("target modified")
+	}
+	// Original untouched.
+	if data[0].X[0] != 14 {
+		t.Error("Standardize mutated input")
+	}
+}
+
+func TestNormalizationImprovesConditioning(t *testing.T) {
+	// Badly scaled features (std 100 vs 0.1) stall plain GD at a fixed
+	// learning rate; standardizing with bit-pushed stats fixes it.
+	r := frand.New(13)
+	data := make([]Example, 16000)
+	for i := range data {
+		x := []float64{r.Normal(0, 100), r.Normal(0, 0.1)}
+		data[i] = Example{X: x, Y: 0.02*x[0] + 8*x[1]}
+	}
+	stats, err := EstimateFeatureStats(2, 12, 512, data, frand.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized := stats.Standardize(data)
+	cfg := Config{Dim: 2, Rounds: 60, LR: 0.1, Clip: 16}
+	rawModel, err := Train(Config{Dim: 2, Rounds: 60, LR: 0.1, Clip: 16}, data, frand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normModel, err := Train(cfg, normalized, frand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLoss := rawModel.LossHistory[len(rawModel.LossHistory)-1]
+	normLoss := normModel.LossHistory[len(normModel.LossHistory)-1]
+	if normLoss*2 >= rawLoss {
+		t.Fatalf("normalized training loss %v not well below raw %v", normLoss, rawLoss)
+	}
+}
+
+func TestEstimateFeatureStatsValidation(t *testing.T) {
+	r := frand.New(16)
+	if _, err := EstimateFeatureStats(0, 12, 1, nil, r); !errors.Is(err, ErrConfig) {
+		t.Errorf("dim=0: %v", err)
+	}
+	if _, err := EstimateFeatureStats(1, 12, 1, []Example{{X: []float64{1}}}, r); !errors.Is(err, ErrData) {
+		t.Errorf("tiny data: %v", err)
+	}
+}

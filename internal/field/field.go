@@ -1,0 +1,116 @@
+// Package field implements arithmetic in the prime field GF(p) with
+// p = 2^61 - 1 (a Mersenne prime), the algebra underlying the Shamir
+// secret sharing and additive masking used by the secure-aggregation
+// substrate (paper §3.3, "Secure aggregation").
+//
+// Elements are represented as uint64 values in [0, p). All operations are
+// constant-time with respect to branching on secret values except where
+// noted; this repository's secure aggregation is a protocol simulation, not
+// a hardened implementation (see DESIGN.md §2).
+package field
+
+import "math/bits"
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = 1<<61 - 1
+
+// Element is a field element in [0, P).
+type Element = uint64
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) Element {
+	// Fold the top bits: x = lo + hi*2^61 ≡ lo + hi (mod 2^61-1).
+	x = (x & P) + (x >> 61)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// Add returns a + b mod P. Inputs must already be reduced.
+func Add(a, b Element) Element {
+	s := a + b // < 2^62, no overflow
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a - b mod P. Inputs must already be reduced.
+func Sub(a, b Element) Element {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a * b mod P using 128-bit multiplication and Mersenne folding.
+func Mul(a, b Element) Element {
+	hi, lo := bits.Mul64(a, b)
+	// product = hi*2^64 + lo, with hi < 2^58 because a, b < 2^61.
+	// Split at bit 61: product = (lo & P) + ((hi<<3 | lo>>61)) * 2^61.
+	low := lo & P
+	high := hi<<3 | lo>>61
+	s := low + (high & P) + (high >> 61)
+	s = (s & P) + (s >> 61)
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Element, e uint64) Element {
+	result := Element(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a via Fermat's little theorem
+// (a^(P-2)). It panics on a == 0, which has no inverse.
+func Inv(a Element) Element {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	return Pow(a, P-2)
+}
+
+// Div returns a / b mod P. It panics on b == 0.
+func Div(a, b Element) Element {
+	return Mul(a, Inv(b))
+}
+
+// AddVec adds b into a element-wise. The slices must have equal length.
+func AddVec(a, b []Element) {
+	if len(a) != len(b) {
+		panic("field: AddVec length mismatch")
+	}
+	for i := range a {
+		a[i] = Add(a[i], b[i])
+	}
+}
+
+// SubVec subtracts b from a element-wise. The slices must have equal length.
+func SubVec(a, b []Element) {
+	if len(a) != len(b) {
+		panic("field: SubVec length mismatch")
+	}
+	for i := range a {
+		a[i] = Sub(a[i], b[i])
+	}
+}

@@ -1,0 +1,223 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frand"
+)
+
+var bigP = new(big.Int).SetUint64(P)
+
+func bigMod(x uint64) *big.Int {
+	return new(big.Int).Mod(new(big.Int).SetUint64(x), bigP)
+}
+
+func TestReduce(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{1<<64 - 1, (1<<64 - 1) % P},
+	}
+	for _, c := range cases {
+		if got := Reduce(c.in); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReduceMatchesBig(t *testing.T) {
+	f := func(x uint64) bool {
+		return Reduce(x) == bigMod(x).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubMatchBig(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		sum := new(big.Int).Add(bigMod(a), bigMod(b))
+		sum.Mod(sum, bigP)
+		if Add(a, b) != sum.Uint64() {
+			return false
+		}
+		diff := new(big.Int).Sub(bigMod(a), bigMod(b))
+		diff.Mod(diff, bigP)
+		return Sub(a, b) == diff.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		prod := new(big.Int).Mul(bigMod(a), bigMod(b))
+		prod.Mod(prod, bigP)
+		return Mul(a, b) == prod.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, P - 1, 0},
+		{1, P - 1, P - 1},
+		{P - 1, P - 1, 1}, // (-1)^2 = 1
+		{2, P - 1, P - 2}, // 2*(-1) = -2
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if Neg(0) != 0 {
+		t.Error("Neg(0) != 0")
+	}
+	f := func(x uint64) bool {
+		a := Reduce(x)
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow(2, 61); got != 1 { // 2^61 mod (2^61-1) = 1
+		t.Errorf("Pow(2,61) = %d, want 1", got)
+	}
+	if got := Pow(3, 0); got != 1 {
+		t.Errorf("Pow(3,0) = %d, want 1", got)
+	}
+	if got := Pow(0, 5); got != 0 {
+		t.Errorf("Pow(0,5) = %d, want 0", got)
+	}
+	if got := Pow(7, 1); got != 7 {
+		t.Errorf("Pow(7,1) = %d, want 7", got)
+	}
+}
+
+func TestFermat(t *testing.T) {
+	// a^(P-1) == 1 for a != 0 (Fermat's little theorem).
+	r := frand.New(1)
+	for i := 0; i < 20; i++ {
+		a := Reduce(r.Uint64())
+		if a == 0 {
+			continue
+		}
+		if Pow(a, P-1) != 1 {
+			t.Fatalf("a^(P-1) != 1 for a = %d", a)
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	r := frand.New(2)
+	for i := 0; i < 50; i++ {
+		a := Reduce(r.Uint64())
+		if a == 0 {
+			continue
+		}
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a = %d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDiv(t *testing.T) {
+	if got := Div(10, 2); got != 5 {
+		t.Errorf("Div(10,2) = %d, want 5", got)
+	}
+	f := func(x, y uint64) bool {
+		a, b := Reduce(x), Reduce(y)
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a := []Element{1, 2, P - 1}
+	b := []Element{5, P - 1, 1}
+	AddVec(a, b)
+	want := []Element{6, 1, 0}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("AddVec[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+	SubVec(a, b)
+	want = []Element{1, 2, P - 1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("SubVec[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { AddVec([]Element{1}, []Element{1, 2}) },
+		func() { SubVec([]Element{1, 2}, []Element{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on length mismatch")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAssociativityDistributivity(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		a, b, c := Reduce(x), Reduce(y), Reduce(z)
+		if Add(Add(a, b), c) != Add(a, Add(b, c)) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Reduce(0x123456789abcdef), Reduce(0xfedcba987654321)
+	var sink Element
+	for i := 0; i < b.N; i++ {
+		sink = Mul(x, sink^y)
+	}
+	_ = sink
+}

@@ -1,0 +1,214 @@
+// Package fixedpoint converts real-valued client data to the b-bit integer
+// and fixed-point representations that the bit-pushing protocols operate on.
+//
+// The paper (§3.1) works with b-bit integers and fixed-point values: each
+// value is expanded in binary, individual binary digits are sampled, and the
+// mean is reconstructed from per-bit means through the linear decomposition
+// x = Σ_j 2^j · x^(j). This package provides the codec (quantization with
+// clipping / winsorization, §4.3), signed offset encoding, and bit-level
+// accessors used by the rest of the repository.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxBits is the largest supported bit depth. Values are held in uint64 and
+// estimator weights 4^j must stay within float64's exact-integer range, so
+// depths above 52 would silently lose precision in the variance analysis.
+const MaxBits = 52
+
+// ErrBitDepth reports a bit depth outside [1, MaxBits].
+var ErrBitDepth = errors.New("fixedpoint: bit depth out of range")
+
+// Codec maps real values to non-negative b-bit fixed-point integers and
+// back. The zero Codec is not valid; use NewCodec.
+type Codec struct {
+	bits   int
+	scale  float64 // multiplied in before rounding: integer = round(value*scale) - offsetInt
+	offset float64 // subtracted from values before scaling (signed support)
+	maxInt uint64  // 2^bits - 1
+}
+
+// NewCodec returns a codec quantizing values from [offset, offset + 2^bits/scale)
+// into b-bit integers. scale must be positive and finite.
+//
+// With offset = 0 and scale = 1 the codec is the identity on integers in
+// [0, 2^bits), matching the paper's integer setting. A fractional quantity
+// in [0, 1) can use scale = 2^bits to get a fixed-point expansion.
+func NewCodec(bits int, offset, scale float64) (*Codec, error) {
+	if bits < 1 || bits > MaxBits {
+		return nil, fmt.Errorf("%w: %d (want 1..%d)", ErrBitDepth, bits, MaxBits)
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("fixedpoint: scale must be positive and finite, got %v", scale)
+	}
+	return &Codec{
+		bits:   bits,
+		scale:  scale,
+		offset: offset,
+		maxInt: uint64(1)<<uint(bits) - 1,
+	}, nil
+}
+
+// MustCodec is NewCodec that panics on error, for static configuration.
+func MustCodec(bits int, offset, scale float64) *Codec {
+	c, err := NewCodec(bits, offset, scale)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Bits returns the configured bit depth b.
+func (c *Codec) Bits() int { return c.bits }
+
+// MaxValue returns the largest encodable integer, 2^b - 1.
+func (c *Codec) MaxValue() uint64 { return c.maxInt }
+
+// Encode quantizes a real value to its b-bit fixed-point representation,
+// clipping to [0, 2^b-1]. Clipping implements the winsorization the paper
+// deploys for heavy-tailed metrics (§4.3): "large values are truncated to
+// 2^b − 1". NaN encodes to 0.
+func (c *Codec) Encode(value float64) uint64 {
+	v := (value - c.offset) * c.scale
+	if math.IsNaN(v) || v <= 0 {
+		return 0
+	}
+	r := math.Round(v)
+	if r >= float64(c.maxInt) {
+		return c.maxInt
+	}
+	return uint64(r)
+}
+
+// Clipped reports whether encoding value would clip at either end of the
+// representable range.
+func (c *Codec) Clipped(value float64) bool {
+	v := (value - c.offset) * c.scale
+	return v < 0 || math.Round(v) > float64(c.maxInt)
+}
+
+// Decode maps a b-bit integer back to the real value it represents
+// (the centre of its quantization cell).
+func (c *Codec) Decode(x uint64) float64 {
+	return float64(x)/c.scale + c.offset
+}
+
+// DecodeMean maps an estimated mean in integer units back to real units.
+// Unlike Decode it accepts fractional means (the output of bit-pushing).
+func (c *Codec) DecodeMean(m float64) float64 {
+	return m/c.scale + c.offset
+}
+
+// EncodeAll encodes a batch of values.
+func (c *Codec) EncodeAll(values []float64) []uint64 {
+	out := make([]uint64, len(values))
+	for i, v := range values {
+		out[i] = c.Encode(v)
+	}
+	return out
+}
+
+// Bit returns bit j (0 = least significant) of x. It panics if j is
+// negative, a programmer error.
+func Bit(x uint64, j int) uint64 {
+	if j < 0 {
+		panic("fixedpoint: negative bit index")
+	}
+	if j >= 64 {
+		return 0
+	}
+	return (x >> uint(j)) & 1
+}
+
+// Bits decomposes x into its lowest b binary digits, least significant
+// first, satisfying x mod 2^b == Σ_j 2^j · out[j].
+func Bits(x uint64, b int) []uint64 {
+	out := make([]uint64, b)
+	for j := 0; j < b; j++ {
+		out[j] = Bit(x, j)
+	}
+	return out
+}
+
+// FromBits reassembles an integer from its binary digits (least significant
+// first), the linear decomposition of §3.1.
+func FromBits(bits []uint64) uint64 {
+	var x uint64
+	for j, bit := range bits {
+		if bit > 1 {
+			panic("fixedpoint: FromBits digit out of {0,1}")
+		}
+		x |= bit << uint(j)
+	}
+	return x
+}
+
+// HighestBit returns the index of the highest set bit of x, or -1 for 0.
+// The paper calls this b_max when applied to the data maximum (§3.2).
+func HighestBit(x uint64) int {
+	h := -1
+	for x != 0 {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// BitMeans returns, for each bit position j in [0, b), the fraction of
+// values with bit j set: the ground-truth bit means x̄^(j) of Lemma 3.1.
+func BitMeans(values []uint64, b int) []float64 {
+	counts := make([]float64, b)
+	for _, v := range values {
+		for j := 0; j < b; j++ {
+			counts[j] += float64((v >> uint(j)) & 1)
+		}
+	}
+	if len(values) > 0 {
+		n := float64(len(values))
+		for j := range counts {
+			counts[j] /= n
+		}
+	}
+	return counts
+}
+
+// MeanFromBitMeans reconstructs the mean from per-bit means via the linear
+// decomposition x̄ = Σ_j 2^j · x̄^(j) (equation (1) of the paper).
+func MeanFromBitMeans(means []float64) float64 {
+	var m float64
+	for j, bm := range means {
+		m += math.Ldexp(bm, j) // bm * 2^j
+	}
+	return m
+}
+
+// Mean returns the exact mean of encoded values, the ground truth the
+// estimators are compared against.
+func Mean(values []uint64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += float64(v)
+	}
+	return sum / float64(len(values))
+}
+
+// Variance returns the exact population variance of encoded values.
+func Variance(values []uint64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := float64(v) - m
+		ss += d * d
+	}
+	return ss / float64(len(values))
+}

@@ -1,0 +1,260 @@
+package fixedpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCodecValidation(t *testing.T) {
+	cases := []struct {
+		bits          int
+		offset, scale float64
+		wantErr       bool
+	}{
+		{8, 0, 1, false},
+		{1, 0, 1, false},
+		{MaxBits, 0, 1, false},
+		{0, 0, 1, true},
+		{-1, 0, 1, true},
+		{MaxBits + 1, 0, 1, true},
+		{8, 0, 0, true},
+		{8, 0, -2, true},
+		{8, 0, math.Inf(1), true},
+		{8, 0, math.NaN(), true},
+	}
+	for _, c := range cases {
+		_, err := NewCodec(c.bits, c.offset, c.scale)
+		if (err != nil) != c.wantErr {
+			t.Errorf("NewCodec(%d,%v,%v) err = %v, wantErr %v", c.bits, c.offset, c.scale, err, c.wantErr)
+		}
+	}
+}
+
+func TestErrBitDepthWrapped(t *testing.T) {
+	_, err := NewCodec(0, 0, 1)
+	if !errors.Is(err, ErrBitDepth) {
+		t.Fatalf("error %v does not wrap ErrBitDepth", err)
+	}
+}
+
+func TestMustCodecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCodec(0,...) did not panic")
+		}
+	}()
+	MustCodec(0, 0, 1)
+}
+
+func TestEncodeIdentityOnIntegers(t *testing.T) {
+	c := MustCodec(10, 0, 1)
+	for _, v := range []uint64{0, 1, 2, 511, 1022, 1023} {
+		if got := c.Encode(float64(v)); got != v {
+			t.Errorf("Encode(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestEncodeClipping(t *testing.T) {
+	c := MustCodec(8, 0, 1)
+	if got := c.Encode(-5); got != 0 {
+		t.Errorf("Encode(-5) = %d, want 0", got)
+	}
+	if got := c.Encode(300); got != 255 {
+		t.Errorf("Encode(300) = %d, want 255", got)
+	}
+	if got := c.Encode(math.NaN()); got != 0 {
+		t.Errorf("Encode(NaN) = %d, want 0", got)
+	}
+	if got := c.Encode(math.Inf(1)); got != 255 {
+		t.Errorf("Encode(+Inf) = %d, want 255", got)
+	}
+}
+
+func TestClipped(t *testing.T) {
+	c := MustCodec(8, 0, 1)
+	if c.Clipped(100) {
+		t.Error("Clipped(100) = true for in-range value")
+	}
+	if !c.Clipped(-1) || !c.Clipped(256) {
+		t.Error("Clipped missed out-of-range values")
+	}
+}
+
+func TestOffsetScaleRoundTrip(t *testing.T) {
+	// Signed values in [-100, 100) at resolution 200/1024.
+	c := MustCodec(10, -100, 1024.0/200.0)
+	for _, v := range []float64{-100, -50.3, 0, 0.2, 42, 99.8} {
+		enc := c.Encode(v)
+		dec := c.Decode(enc)
+		if math.Abs(dec-v) > 200.0/1024.0 {
+			t.Errorf("round trip %v -> %d -> %v beyond one quantization step", v, enc, dec)
+		}
+	}
+}
+
+func TestDecodeMeanFractional(t *testing.T) {
+	c := MustCodec(8, 10, 2)
+	// integer mean 37.5 corresponds to real 37.5/2 + 10 = 28.75
+	if got := c.DecodeMean(37.5); math.Abs(got-28.75) > 1e-12 {
+		t.Errorf("DecodeMean(37.5) = %v, want 28.75", got)
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	c := MustCodec(4, 0, 1)
+	got := c.EncodeAll([]float64{0, 1, 20, -3})
+	want := []uint64{0, 1, 15, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("EncodeAll[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := uint64(0b1011010)
+	wantBits := []uint64{0, 1, 0, 1, 1, 0, 1, 0}
+	for j, w := range wantBits {
+		if got := Bit(x, j); got != w {
+			t.Errorf("Bit(%b, %d) = %d, want %d", x, j, got, w)
+		}
+	}
+	if Bit(x, 64) != 0 || Bit(x, 100) != 0 {
+		t.Error("Bit beyond word width should be 0")
+	}
+}
+
+func TestBitPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(x,-1) did not panic")
+		}
+	}()
+	Bit(1, -1)
+}
+
+func TestBitsFromBitsRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		x &= (1 << 52) - 1
+		return FromBits(Bits(x, 52)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromBitsRejectsNonBinary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromBits with digit 2 did not panic")
+		}
+	}()
+	FromBits([]uint64{0, 2})
+}
+
+func TestLinearDecomposition(t *testing.T) {
+	// x = Σ 2^j x^(j): the core identity of §3.1.
+	f := func(x uint32) bool {
+		v := uint64(x)
+		var sum uint64
+		for j, bit := range Bits(v, 32) {
+			sum += bit << uint(j)
+		}
+		return sum == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHighestBit(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{
+		{0, -1}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {255, 7}, {256, 8}, {1 << 51, 51},
+	}
+	for _, c := range cases {
+		if got := HighestBit(c.x); got != c.want {
+			t.Errorf("HighestBit(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBitMeansKnown(t *testing.T) {
+	// values: 0b01, 0b11, 0b10, 0b00 -> bit0 mean 0.5, bit1 mean 0.5
+	values := []uint64{1, 3, 2, 0}
+	means := BitMeans(values, 2)
+	if means[0] != 0.5 || means[1] != 0.5 {
+		t.Fatalf("BitMeans = %v, want [0.5 0.5]", means)
+	}
+}
+
+func TestBitMeansEmpty(t *testing.T) {
+	means := BitMeans(nil, 4)
+	for j, m := range means {
+		if m != 0 {
+			t.Errorf("BitMeans(nil)[%d] = %v", j, m)
+		}
+	}
+}
+
+func TestMeanFromBitMeansConsistency(t *testing.T) {
+	// Exact mean must equal mean reconstructed from exact bit means
+	// (linearity of expectation, equation (1)).
+	values := []uint64{3, 9, 250, 17, 88, 1023, 512, 0}
+	exact := Mean(values)
+	recon := MeanFromBitMeans(BitMeans(values, 10))
+	if math.Abs(exact-recon) > 1e-9 {
+		t.Fatalf("mean %v != bit-mean reconstruction %v", exact, recon)
+	}
+}
+
+func TestMeanFromBitMeansProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]uint64, len(raw))
+		for i, v := range raw {
+			values[i] = uint64(v)
+		}
+		exact := Mean(values)
+		recon := MeanFromBitMeans(BitMeans(values, 16))
+		return math.Abs(exact-recon) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	values := []uint64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(values); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(values); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+}
+
+func TestMeanVarianceEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("Mean/Variance of empty slice should be 0")
+	}
+}
+
+func TestEncodeScaleFixedPointFraction(t *testing.T) {
+	// A value in [0,1) with scale 2^10 becomes a 10-bit fixed-point number.
+	c := MustCodec(10, 0, 1024)
+	enc := c.Encode(0.5)
+	if enc != 512 {
+		t.Fatalf("Encode(0.5) = %d, want 512", enc)
+	}
+	if got := c.Decode(enc); got != 0.5 {
+		t.Fatalf("Decode(512) = %v, want 0.5", got)
+	}
+}

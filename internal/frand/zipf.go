@@ -1,0 +1,68 @@
+package frand
+
+import "math"
+
+// Zipf draws variates from a Zipf-Mandelbrot distribution over {0, 1, ..., imax}
+// where value k has probability proportional to ((v + k)^s)^-1 with s > 1 and
+// v >= 1. It uses the rejection-inversion method of Hörmann and Derflinger,
+// giving O(1) expected time per draw without tabulating the distribution.
+//
+// The evaluation harness uses Zipf draws to model the heavy-tailed device
+// metrics discussed in the paper's deployment section (§4.3), where a few
+// clients report values orders of magnitude above the mode.
+type Zipf struct {
+	r                *RNG
+	s                float64
+	v                float64
+	imax             float64
+	oneMinusS        float64
+	oneOverOneMinusS float64
+	hImaxHalf        float64
+	hX0              float64
+	sCut             float64
+}
+
+// NewZipf returns a Zipf variate generator. It panics if s <= 1, v < 1, or
+// imax == 0, which are outside the method's domain.
+func NewZipf(r *RNG, s, v float64, imax uint64) *Zipf {
+	if s <= 1 || v < 1 || imax == 0 {
+		panic("frand: NewZipf requires s > 1, v >= 1, imax > 0")
+	}
+	z := &Zipf{
+		r:    r,
+		s:    s,
+		v:    v,
+		imax: float64(imax),
+	}
+	z.oneMinusS = 1 - s
+	z.oneOverOneMinusS = 1 / z.oneMinusS
+	z.hImaxHalf = z.h(z.imax + 0.5)
+	z.hX0 = z.h(0.5) - math.Exp(math.Log(v)*(-s)) - z.hImaxHalf
+	z.sCut = 1 - z.hInv(z.h(1.5)-math.Exp(math.Log(v+1)*(-s)))
+	return z
+}
+
+// h is the antiderivative of the density envelope.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusS*math.Log(z.v+x)) * z.oneOverOneMinusS
+}
+
+// hInv is the inverse of h.
+func (z *Zipf) hInv(x float64) float64 {
+	return math.Exp(z.oneOverOneMinusS*math.Log(z.oneMinusS*x)) - z.v
+}
+
+// Uint64 returns the next Zipf-distributed variate in [0, imax].
+func (z *Zipf) Uint64() uint64 {
+	for {
+		ur := z.hImaxHalf + z.r.Float64()*z.hX0
+		x := z.hInv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.sCut {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.s) {
+			return uint64(k)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"repro/internal/frand"
+	"repro/internal/histogram"
+)
+
+// Estimating a distribution's shape with one membership bit per client:
+// each client answers yes/no about one server-chosen bucket.
+func ExampleEstimate() {
+	r := frand.New(21)
+	values := make([]uint64, 32000)
+	for i := range values {
+		values[i] = 64 + r.Uint64n(64) // everything in bucket 1 of 4
+	}
+	buckets, _ := histogram.UniformBuckets(8, 4)
+	res, _ := histogram.Estimate(histogram.Config{Buckets: buckets}, values, r)
+	top := res.TopK(1)[0]
+	fmt.Printf("modal bucket %d covers [%d, %d) with frequency %.2f\n",
+		top.Bucket, buckets.Edges[top.Bucket], buckets.Edges[top.Bucket+1], top.Freq)
+	// Output:
+	// modal bucket 1 covers [64, 128) with frequency 1.00
+}

@@ -1,0 +1,244 @@
+// Package histogram estimates value distributions federatedly with one
+// bit per client. §3.3 observes that "the data gathered in bit-pushing
+// protocols is essentially a collection of binary histograms ... for which
+// accurate protocols exist under distributed privacy"; this package makes
+// that object first-class: the server assigns each client one bucket, the
+// client answers the single membership bit 1{x ∈ bucket} (optionally
+// through randomized response), and the server reconstructs bucket
+// frequencies, from which means, quantiles and top-k modes follow.
+//
+// The one-bit membership design trades accuracy for the same minimal
+// disclosure as bit-pushing: a client never reveals its bucket, only a
+// (possibly randomized) yes/no about one server-chosen bucket.
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/distdp"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+// Errors returned by the package.
+var (
+	ErrEdges = errors.New("histogram: invalid bucket edges")
+	ErrInput = errors.New("histogram: invalid input")
+)
+
+// Buckets defines K buckets over a value domain: bucket i covers
+// [Edges[i], Edges[i+1]).
+type Buckets struct {
+	// Edges has K+1 strictly ascending entries.
+	Edges []uint64
+}
+
+// NewBuckets validates edges and returns the bucket layout.
+func NewBuckets(edges []uint64) (*Buckets, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 edges, got %d", ErrEdges, len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("%w: edges not strictly ascending at %d", ErrEdges, i)
+		}
+	}
+	return &Buckets{Edges: append([]uint64(nil), edges...)}, nil
+}
+
+// UniformBuckets returns k equal-width buckets over [0, 2^bits).
+func UniformBuckets(bits, k int) (*Buckets, error) {
+	if bits < 1 || bits > 52 || k < 1 || uint64(k) > uint64(1)<<uint(bits) {
+		return nil, fmt.Errorf("%w: bits=%d k=%d", ErrEdges, bits, k)
+	}
+	max := uint64(1) << uint(bits)
+	edges := make([]uint64, k+1)
+	for i := range edges {
+		edges[i] = uint64(math.Round(float64(i) / float64(k) * float64(max)))
+	}
+	return NewBuckets(edges)
+}
+
+// K returns the number of buckets.
+func (b *Buckets) K() int { return len(b.Edges) - 1 }
+
+// Index returns the bucket containing v, or -1 if v is outside the domain.
+func (b *Buckets) Index(v uint64) int {
+	if v < b.Edges[0] || v >= b.Edges[len(b.Edges)-1] {
+		return -1
+	}
+	// Find the first edge strictly greater than v; v's bucket precedes it.
+	i := sort.Search(len(b.Edges), func(i int) bool { return b.Edges[i] > v })
+	return i - 1
+}
+
+// Midpoint returns the representative value of bucket i.
+func (b *Buckets) Midpoint(i int) float64 {
+	return (float64(b.Edges[i]) + float64(b.Edges[i+1])) / 2
+}
+
+// Config parametrizes a federated histogram round.
+type Config struct {
+	// Buckets is the layout; required.
+	Buckets *Buckets
+	// RR optionally applies ε-LDP randomized response to each membership
+	// bit.
+	RR *ldp.RandomizedResponse
+	// SampleThreshold optionally applies the Bharadwaj–Cormode mechanism
+	// to the raw per-bucket tallies before unbiasing, the distributed-DP
+	// path of §3.3. It operates on the counts of positive answers.
+	SampleThreshold *distdp.SampleThreshold
+	// MinPerBucket is the smallest cohort slice per bucket; estimation
+	// fails rather than run below it. Zero means 16.
+	MinPerBucket int
+}
+
+func (c *Config) minPerBucket() int {
+	if c.MinPerBucket == 0 {
+		return 16
+	}
+	return c.MinPerBucket
+}
+
+// Result is an estimated histogram.
+type Result struct {
+	Buckets *Buckets
+	// Freqs are the estimated bucket frequencies: unbiased, clamped to
+	// [0, 1] and renormalized to sum to 1 when the raw total is positive.
+	Freqs []float64
+	// RawFreqs are the unbiased estimates before projection.
+	RawFreqs []float64
+	// PerBucket is the number of clients asked about each bucket.
+	PerBucket int
+}
+
+// Estimate runs one federated histogram round: clients are partitioned
+// evenly across buckets (central randomness), each answers its single
+// membership bit, and per-bucket frequencies are unbiased and projected
+// onto the probability simplex.
+func Estimate(cfg Config, values []uint64, r *frand.RNG) (*Result, error) {
+	if cfg.Buckets == nil {
+		return nil, fmt.Errorf("%w: nil buckets", ErrInput)
+	}
+	if cfg.MinPerBucket < 0 {
+		return nil, fmt.Errorf("%w: MinPerBucket=%d", ErrInput, cfg.MinPerBucket)
+	}
+	k := cfg.Buckets.K()
+	per := len(values) / k
+	if per < cfg.minPerBucket() {
+		return nil, fmt.Errorf("%w: %d clients across %d buckets leaves %d per bucket (min %d)",
+			ErrInput, len(values), k, per, cfg.minPerBucket())
+	}
+	perm := r.Perm(len(values))
+	ones := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < per; j++ {
+			v := values[perm[i*per+j]]
+			bit := uint64(0)
+			if cfg.Buckets.Index(v) == i {
+				bit = 1
+			}
+			if cfg.RR != nil {
+				bit = cfg.RR.Apply(bit, r)
+			}
+			ones[i] += bit
+		}
+	}
+	if cfg.SampleThreshold != nil {
+		ones = cfg.SampleThreshold.Apply(ones, r)
+	}
+	res := &Result{
+		Buckets:   cfg.Buckets,
+		Freqs:     make([]float64, k),
+		RawFreqs:  make([]float64, k),
+		PerBucket: per,
+	}
+	for i := 0; i < k; i++ {
+		count := float64(per)
+		m := float64(ones[i])
+		if cfg.SampleThreshold != nil {
+			m = cfg.SampleThreshold.Unbias(ones[i])
+		}
+		m /= count
+		if cfg.RR != nil {
+			m = cfg.RR.UnbiasMean(m)
+		}
+		res.RawFreqs[i] = m
+	}
+	// Project: clamp to [0,1] and renormalize.
+	total := 0.0
+	for i, m := range res.RawFreqs {
+		m = math.Max(0, math.Min(1, m))
+		res.Freqs[i] = m
+		total += m
+	}
+	if total > 0 {
+		for i := range res.Freqs {
+			res.Freqs[i] /= total
+		}
+	}
+	return res, nil
+}
+
+// Mean estimates the population mean from bucket midpoints.
+func (r *Result) Mean() float64 {
+	var m float64
+	for i, f := range r.Freqs {
+		m += f * r.Buckets.Midpoint(i)
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile (q in (0,1)) by accumulating bucket
+// frequencies and interpolating within the crossing bucket.
+func (r *Result) Quantile(q float64) (float64, error) {
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("%w: q=%v", ErrInput, q)
+	}
+	acc := 0.0
+	for i, f := range r.Freqs {
+		if acc+f >= q {
+			frac := 0.0
+			if f > 0 {
+				frac = (q - acc) / f
+			}
+			lo, hi := float64(r.Buckets.Edges[i]), float64(r.Buckets.Edges[i+1])
+			return lo + frac*(hi-lo), nil
+		}
+		acc += f
+	}
+	return float64(r.Buckets.Edges[len(r.Buckets.Edges)-1]), nil
+}
+
+// Mode is one entry of TopK.
+type Mode struct {
+	Bucket int
+	Freq   float64
+}
+
+// TopK returns the k most frequent buckets, descending by estimated
+// frequency (ties broken by bucket index). With SampleThreshold in the
+// pipeline, rare buckets are suppressed entirely — the behaviour that
+// yields the histogram DP guarantee of [5].
+func (r *Result) TopK(k int) []Mode {
+	if k < 1 {
+		return nil
+	}
+	modes := make([]Mode, len(r.Freqs))
+	for i, f := range r.Freqs {
+		modes[i] = Mode{Bucket: i, Freq: f}
+	}
+	sort.Slice(modes, func(a, b int) bool {
+		if modes[a].Freq != modes[b].Freq {
+			return modes[a].Freq > modes[b].Freq
+		}
+		return modes[a].Bucket < modes[b].Bucket
+	})
+	if k > len(modes) {
+		k = len(modes)
+	}
+	return modes[:k]
+}

@@ -1,0 +1,244 @@
+package histogram
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/distdp"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/workload"
+)
+
+func TestNewBucketsValidation(t *testing.T) {
+	for _, edges := range [][]uint64{nil, {1}, {1, 1}, {2, 1}, {0, 5, 5}} {
+		if _, err := NewBuckets(edges); !errors.Is(err, ErrEdges) {
+			t.Errorf("NewBuckets(%v) err = %v", edges, err)
+		}
+	}
+	b, err := NewBuckets([]uint64{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.K() != 2 {
+		t.Errorf("K = %d", b.K())
+	}
+}
+
+func TestUniformBuckets(t *testing.T) {
+	b, err := UniformBuckets(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 64, 128, 192, 256}
+	for i := range want {
+		if b.Edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", b.Edges, want)
+		}
+	}
+	if _, err := UniformBuckets(0, 4); !errors.Is(err, ErrEdges) {
+		t.Errorf("bits=0: %v", err)
+	}
+	if _, err := UniformBuckets(2, 10); !errors.Is(err, ErrEdges) {
+		t.Errorf("k>domain: %v", err)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	b, _ := NewBuckets([]uint64{10, 20, 30, 40})
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{9, -1}, {10, 0}, {19, 0}, {20, 1}, {29, 1}, {30, 2}, {39, 2}, {40, -1}, {100, -1},
+	}
+	for _, c := range cases {
+		if got := b.Index(c.v); got != c.want {
+			t.Errorf("Index(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	b, _ := NewBuckets([]uint64{0, 10, 30})
+	if b.Midpoint(0) != 5 || b.Midpoint(1) != 20 {
+		t.Errorf("midpoints %v %v", b.Midpoint(0), b.Midpoint(1))
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	values := make([]uint64, 100)
+	r := frand.New(1)
+	if _, err := Estimate(Config{}, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("nil buckets: %v", err)
+	}
+	b, _ := UniformBuckets(8, 16)
+	if _, err := Estimate(Config{Buckets: b}, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("undersized cohort: %v", err)
+	}
+	if _, err := Estimate(Config{Buckets: b, MinPerBucket: -1}, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("negative min: %v", err)
+	}
+}
+
+func TestEstimateMatchesEmpirical(t *testing.T) {
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 128, Sigma: 30}.Sample(frand.New(2), 64000))
+	b, _ := UniformBuckets(8, 8)
+	res, err := Estimate(Config{Buckets: b}, values, frand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical frequencies.
+	exact := make([]float64, b.K())
+	for _, v := range values {
+		if i := b.Index(v); i >= 0 {
+			exact[i]++
+		}
+	}
+	for i := range exact {
+		exact[i] /= float64(len(values))
+	}
+	for i := range exact {
+		if math.Abs(res.Freqs[i]-exact[i]) > 0.02 {
+			t.Errorf("bucket %d freq %v, exact %v", i, res.Freqs[i], exact[i])
+		}
+	}
+	// Frequencies sum to 1.
+	var sum float64
+	for _, f := range res.Freqs {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+}
+
+func TestEstimateUnderLDP(t *testing.T) {
+	rr, _ := ldp.NewRandomizedResponse(2)
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 100, Sigma: 25}.Sample(frand.New(4), 80000))
+	b, _ := UniformBuckets(8, 8)
+	res, err := Estimate(Config{Buckets: b, RR: rr}, values, frand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The modal bucket (values 64..128 wait: mu=100 → bucket [96,128) = 3)
+	// must dominate despite the noise.
+	top := res.TopK(1)
+	if top[0].Bucket != 3 && top[0].Bucket != 2 {
+		t.Errorf("modal bucket %d with freq %v, want 2 or 3 (freqs %v)",
+			top[0].Bucket, top[0].Freq, res.Freqs)
+	}
+}
+
+func TestEstimateMeanAndQuantile(t *testing.T) {
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 90}.Sample(frand.New(6), 64000))
+	b, _ := UniformBuckets(10, 32)
+	res, err := Estimate(Config{Buckets: b}, values, frand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Mean(); math.Abs(m-500) > 25 {
+		t.Errorf("histogram mean %v, want ~500", m)
+	}
+	med, err := res.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-500) > 35 {
+		t.Errorf("histogram median %v, want ~500", med)
+	}
+	p90, err := res.Quantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500 + 1.2816*90
+	if math.Abs(p90-want) > 45 {
+		t.Errorf("histogram p90 %v, want ~%v", p90, want)
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	b, _ := UniformBuckets(4, 2)
+	res := &Result{Buckets: b, Freqs: []float64{0.5, 0.5}}
+	if _, err := res.Quantile(0); !errors.Is(err, ErrInput) {
+		t.Errorf("q=0: %v", err)
+	}
+	if _, err := res.Quantile(1.2); !errors.Is(err, ErrInput) {
+		t.Errorf("q=1.2: %v", err)
+	}
+}
+
+func TestSampleThresholdSuppressesRareBuckets(t *testing.T) {
+	// 95% of mass in bucket 0, traces elsewhere; sample-and-threshold must
+	// zero the rare buckets — the [5] histogram-DP behaviour protecting
+	// small groups.
+	r := frand.New(8)
+	values := make([]uint64, 32000)
+	for i := range values {
+		if r.Bernoulli(0.95) {
+			values[i] = r.Uint64n(32) // bucket 0
+		} else {
+			values[i] = 32 + r.Uint64n(224)
+		}
+	}
+	st, err := distdp.NewSampleThreshold(0.8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := UniformBuckets(8, 8)
+	res, err := Estimate(Config{Buckets: b, SampleThreshold: st}, values, frand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Freqs[0] < 0.9 {
+		t.Errorf("dominant bucket freq %v, want ~0.95", res.Freqs[0])
+	}
+	suppressed := 0
+	for _, f := range res.Freqs[1:] {
+		if f == 0 {
+			suppressed++
+		}
+	}
+	if suppressed < 5 {
+		t.Errorf("only %d of 7 rare buckets suppressed (freqs %v)", suppressed, res.Freqs)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	b, _ := UniformBuckets(4, 4)
+	res := &Result{Buckets: b, Freqs: []float64{0.1, 0.4, 0.4, 0.1}}
+	top := res.TopK(2)
+	if len(top) != 2 || top[0].Bucket != 1 || top[1].Bucket != 2 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := res.TopK(10); len(got) != 4 {
+		t.Errorf("TopK(10) length %d", len(got))
+	}
+	if res.TopK(0) != nil {
+		t.Error("TopK(0) should be nil")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 100, Sigma: 20}.Sample(frand.New(10), 8000))
+	b, _ := UniformBuckets(8, 8)
+	a, err := Estimate(Config{Buckets: b}, values, frand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Estimate(Config{Buckets: b}, values, frand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Freqs {
+		if a.Freqs[i] != c.Freqs[i] {
+			t.Fatal("histogram not deterministic")
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package integration holds cross-module end-to-end tests: pipelines that
+// chain the probe/clip, aggregation, privacy, metering, secure-aggregation
+// and transport layers the way a deployment would. The package has no
+// library code; see the _test files.
+package integration

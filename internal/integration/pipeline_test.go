@@ -1,0 +1,270 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distdp"
+	"repro/internal/federated"
+	"repro/internal/field"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/meter"
+	"repro/internal/quantile"
+	"repro/internal/secagg"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+// TestProbeClipThenAdaptiveMean chains the §4.3 bit-depth pipeline: a
+// probe cohort answers power-of-two threshold bits to pick the clipping
+// depth, then the remaining clients run adaptive bit-pushing at that
+// depth. The data lives in ~10 bits of a 24-bit domain; the probe must
+// recover that, and the clipped pipeline must beat a single wide-depth
+// weighted round.
+func TestProbeClipThenAdaptiveMean(t *testing.T) {
+	const domainBits = 24
+	r := frand.New(1)
+	vals := workload.Normal{Mu: 700, Sigma: 90}.Sample(r, 30000)
+	wide := fixedpoint.MustCodec(domainBits, 0, 1).EncodeAll(vals)
+	truth := fixedpoint.Mean(wide)
+
+	probeN := len(wide) / 10
+	bits, err := quantile.AdaptiveClipBits(quantile.Config{Bits: domainBits}, 0.999, wide[:probeN], r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits < 10 || bits > 12 {
+		t.Fatalf("probe chose %d bits, want 10-12", bits)
+	}
+
+	clipped := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals[probeN:])
+	var pipeline, naive []float64
+	probsWide, err := core.GeometricProbs(domainBits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 40; rep++ {
+		res, err := core.RunAdaptive(core.AdaptiveConfig{Bits: bits}, clipped, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipeline = append(pipeline, res.Estimate)
+		nres, err := core.Run(core.Config{Bits: domainBits, Probs: probsWide}, wide[probeN:], r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive = append(naive, nres.Estimate)
+	}
+	pe := stats.RMSE(pipeline, truth)
+	ne := stats.RMSE(naive, truth)
+	if pe*3 >= ne {
+		t.Fatalf("probe+clip pipeline RMSE %v not well below naive wide-depth %v", pe, ne)
+	}
+}
+
+// TestSecureMeteredDPPipeline runs the full privacy stack at once: clients
+// apply ε-LDP randomized response locally, the ledger meters every
+// disclosure, reports travel as masked secure-aggregation vectors with
+// dropouts, the unmasked tallies pass through central count thresholding,
+// and the final estimate still lands near the truth.
+func TestSecureMeteredDPPipeline(t *testing.T) {
+	const (
+		numClients = 96
+		bits       = 8
+		eps        = 4.0
+	)
+	r := frand.New(2)
+	values := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(
+		workload.Normal{Mu: 120, Sigma: 25}.Sample(r, numClients))
+
+	rr, err := ldp.NewRandomizedResponse(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := meter.NewLedger(meter.DefaultPolicy)
+
+	// Server-side assignment (central randomness).
+	probs, err := core.GeometricProbs(bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := core.Allocate(probs, numClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := core.Assign(counts, r)
+
+	proto, err := secagg.New(secagg.Config{
+		NumClients: numClients, Threshold: numClients / 2, VecLen: 2 * bits, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dropped := map[int]bool{7: true, 31: true}
+	masked := make(map[int][]field.Element)
+	for i, v := range values {
+		if dropped[i] {
+			continue
+		}
+		clientID := fmt.Sprintf("c%d", i)
+		if err := ledger.Charge(clientID, "metric", 1, eps); err != nil {
+			t.Fatalf("ledger rejected first disclosure: %v", err)
+		}
+		j := assignment[i]
+		bit := rr.Apply((v>>uint(j))&1, r) // client-side LDP
+		vec := make([]field.Element, 2*bits)
+		vec[2*j] = bit
+		vec[2*j+1] = 1
+		m, err := proto.MaskedInput(i, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked[i] = m
+	}
+
+	sums, err := proto.Aggregate(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Central thresholding (the enclave step): tiny tallies removed.
+	tallies := make([]uint64, 2*bits)
+	copy(tallies, sums)
+	tallies = distdp.ThresholdCounts(tallies, 2)
+
+	var reports []core.Report
+	for j := 0; j < bits; j++ {
+		ones, total := tallies[2*j], tallies[2*j+1]
+		for k := uint64(0); k < total; k++ {
+			bit := uint64(0)
+			if k < ones {
+				bit = 1
+			}
+			reports = append(reports, core.Report{Bit: j, Value: bit})
+		}
+	}
+	res, err := core.Aggregate(core.Config{Bits: bits, Probs: probs, RR: rr}, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := fixedpoint.Mean(values)
+	if math.Abs(res.Estimate-truth)/truth > 0.35 {
+		t.Fatalf("full-stack estimate %v vs truth %v", res.Estimate, truth)
+	}
+	// Metering: every surviving client charged exactly once.
+	if got := ledger.EpsilonSpent("c0"); got != eps {
+		t.Errorf("client c0 spent ε=%v, want %v", got, eps)
+	}
+	if got := ledger.BitsDisclosed("c0", "metric"); got != 1 {
+		t.Errorf("client c0 disclosed %d bits, want 1", got)
+	}
+}
+
+// TestInProcessMatchesHTTP compares the in-process federated coordinator
+// and the HTTP campaign on the same population: both unbiased, both
+// within a few percent of the truth, proving the transport introduces no
+// statistical distortion.
+func TestInProcessMatchesHTTP(t *testing.T) {
+	const bits = 12
+	values := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(4), 4000))
+	truth := fixedpoint.Mean(values)
+
+	// In-process coordinator.
+	co, err := federated.NewCoordinator(federated.Config{Bits: bits, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := co.EstimateMean(federated.NewPopulation("m", values), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// HTTP campaign.
+	srv := httptest.NewServer(transport.NewServer(6))
+	defer srv.Close()
+	admin := &transport.Admin{BaseURL: srv.URL}
+	root := frand.New(7)
+	devices := make([]transport.Device, len(values))
+	for i, v := range values {
+		devices[i] = transport.Device{
+			Participant: transport.Participant{
+				BaseURL: srv.URL, ClientID: fmt.Sprintf("d%d", i), RNG: root.Split(),
+			},
+			Value: v,
+		}
+	}
+	campaign, err := transport.RunAdaptiveCampaign(context.Background(), admin,
+		transport.AdaptiveSpec{Feature: "m", Bits: bits}, devices, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, est := range map[string]float64{"in-process": inproc.Estimate, "http": campaign.Estimate} {
+		if math.Abs(est-truth)/truth > 0.05 {
+			t.Errorf("%s estimate %v vs truth %v", name, est, truth)
+		}
+	}
+}
+
+// TestTransportSessionAgainstDistDP exercises the remaining §3.3 combo: a
+// plain HTTP session whose finalized tallies pass through the
+// sample-and-threshold mechanism server-side, with the estimate surviving.
+func TestTransportSessionAgainstDistDP(t *testing.T) {
+	const bits = 8
+	srv := httptest.NewServer(transport.NewServer(8))
+	defer srv.Close()
+	admin := &transport.Admin{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	values := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(
+		workload.CensusAges{}.Sample(frand.New(9), 20000))
+	truth := fixedpoint.Mean(values)
+
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "age", Bits: bits, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := frand.New(10)
+	for i, v := range values {
+		p := &transport.Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("c%d", i), RNG: root.Split()}
+		if err := p.Participate(ctx, id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-side distributed DP on the per-bit binary histograms.
+	st, err := distdp.NewSampleThreshold(0.8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]uint64, bits)
+	zeros := make([]uint64, bits)
+	for j := 0; j < bits; j++ {
+		ones[j] = uint64(res.Sums[j])
+		zeros[j] = uint64(res.Counts[j]) - ones[j]
+	}
+	onesS := st.Apply(ones, root)
+	zerosS := st.Apply(zeros, root)
+	var est float64
+	for j := 0; j < bits; j++ {
+		if total := onesS[j] + zerosS[j]; total > 0 {
+			est += math.Ldexp(float64(onesS[j])/float64(total), j)
+		}
+	}
+	if math.Abs(est-truth)/truth > 0.1 {
+		t.Fatalf("dist-DP over HTTP estimate %v vs truth %v", est, truth)
+	}
+}

@@ -1,0 +1,224 @@
+// Package ldp implements the local differential privacy mechanisms the
+// paper builds on and compares against (§2, §3.3, §4.2): binary randomized
+// response (the privacy layer of bit-pushing), the Laplace mechanism, Duchi
+// et al.'s randomized rounding, and the piecewise mechanism of Wang et al.
+//
+// All mechanisms provide ε-LDP: for any two inputs, the probability of any
+// given output differs by at most a factor of exp(ε).
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+)
+
+// ErrEpsilon reports a non-positive privacy parameter.
+var ErrEpsilon = errors.New("ldp: epsilon must be positive")
+
+// RandomizedResponse masks a single bit: with probability P the true bit is
+// reported, otherwise its complement (Warner 1965). With
+// P = exp(ε)/(1+exp(ε)) the mechanism is ε-LDP (§3.3).
+type RandomizedResponse struct {
+	Eps float64 // privacy parameter ε > 0
+	P   float64 // probability of reporting truthfully, in (1/2, 1)
+}
+
+// NewRandomizedResponse returns the ε-LDP randomized response mechanism.
+func NewRandomizedResponse(eps float64) (*RandomizedResponse, error) {
+	if !(eps > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, eps)
+	}
+	e := math.Exp(eps)
+	return &RandomizedResponse{Eps: eps, P: e / (1 + e)}, nil
+}
+
+// Apply perturbs one bit.
+func (rr *RandomizedResponse) Apply(bit uint64, r *frand.RNG) uint64 {
+	if bit > 1 {
+		panic("ldp: randomized response input not a bit")
+	}
+	if r.Bernoulli(rr.P) {
+		return bit
+	}
+	return 1 - bit
+}
+
+// UnbiasMean converts a mean of perturbed bits into an unbiased estimate of
+// the mean of the true bits: (m - (1-p)) / (2p - 1) (§3.3).
+func (rr *RandomizedResponse) UnbiasMean(m float64) float64 {
+	return (m - (1 - rr.P)) / (2*rr.P - 1)
+}
+
+// BiasMean is the inverse of UnbiasMean: the expected perturbed mean for a
+// given true bit mean.
+func (rr *RandomizedResponse) BiasMean(m float64) float64 {
+	return m*(2*rr.P-1) + (1 - rr.P)
+}
+
+// ReportVariance is the variance of a single unbiased report,
+// exp(ε)/(exp(ε)-1)^2, which is independent of the true bit mean (§3.3).
+func (rr *RandomizedResponse) ReportVariance() float64 {
+	e := math.Exp(rr.Eps)
+	return e / ((e - 1) * (e - 1))
+}
+
+// NoiseStdForMean returns the standard deviation of DP noise on the
+// estimated mean of a single bit aggregated over k unbiased reports. The
+// bit-squashing heuristic (§3.3) thresholds bit means against a multiple of
+// this quantity.
+func (rr *RandomizedResponse) NoiseStdForMean(k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(rr.ReportVariance() / float64(k))
+}
+
+// Laplace is the classic ε-DP Laplace mechanism on a bounded interval.
+// The paper's evaluation reports it as uniformly worse than the one-bit
+// methods ("errors 2-3 times larger in all cases"); it is included as the
+// omitted baseline.
+type Laplace struct {
+	Eps    float64
+	Lo, Hi float64 // value bounds; sensitivity is Hi - Lo
+}
+
+// NewLaplace returns a Laplace mechanism for values in [lo, hi].
+func NewLaplace(eps, lo, hi float64) (*Laplace, error) {
+	if !(eps > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, eps)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("ldp: invalid bounds [%v, %v]", lo, hi)
+	}
+	return &Laplace{Eps: eps, Lo: lo, Hi: hi}, nil
+}
+
+// Perturb clamps x to the bounds and adds Laplace((hi-lo)/ε) noise.
+func (l *Laplace) Perturb(x float64, r *frand.RNG) float64 {
+	x = math.Max(l.Lo, math.Min(l.Hi, x))
+	return x + r.Laplace(0, (l.Hi-l.Lo)/l.Eps)
+}
+
+// EstimateMean perturbs every value and returns the mean of the noisy
+// reports, which is unbiased for the clamped population mean.
+func (l *Laplace) EstimateMean(values []float64, r *frand.RNG) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += l.Perturb(v, r)
+	}
+	return sum / float64(len(values))
+}
+
+// Duchi implements the one-bit mechanism of Duchi, Jordan and Wainwright:
+// the input is scaled to [0,1], randomly rounded to a bit with probability
+// equal to its value, and the bit is passed through randomized response (§2).
+type Duchi struct {
+	RR     RandomizedResponse
+	Lo, Hi float64
+}
+
+// NewDuchi returns the Duchi et al. mechanism for values in [lo, hi].
+func NewDuchi(eps, lo, hi float64) (*Duchi, error) {
+	rr, err := NewRandomizedResponse(eps)
+	if err != nil {
+		return nil, err
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("ldp: invalid bounds [%v, %v]", lo, hi)
+	}
+	return &Duchi{RR: *rr, Lo: lo, Hi: hi}, nil
+}
+
+// Perturb returns the single private bit for value x.
+func (d *Duchi) Perturb(x float64, r *frand.RNG) uint64 {
+	scaled := (x - d.Lo) / (d.Hi - d.Lo)
+	scaled = math.Max(0, math.Min(1, scaled))
+	bit := uint64(0)
+	if r.Bernoulli(scaled) { // randomized rounding
+		bit = 1
+	}
+	return d.RR.Apply(bit, r)
+}
+
+// EstimateMean gathers one perturbed bit per value and returns the unbiased
+// mean estimate scaled back to [lo, hi].
+func (d *Duchi) EstimateMean(values []float64, r *frand.RNG) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var ones float64
+	for _, v := range values {
+		ones += float64(d.Perturb(v, r))
+	}
+	m := d.RR.UnbiasMean(ones / float64(len(values)))
+	return d.Lo + m*(d.Hi-d.Lo)
+}
+
+// Piecewise implements the piecewise-constant mechanism of Wang et al.
+// (ICDE 2019): for input x in [-1, 1] it outputs a value in [-C, C] whose
+// density is high on a window around x and low elsewhere, giving an
+// unbiased ε-LDP estimate with lower variance than randomized rounding for
+// moderate ε (§2, §4.2).
+type Piecewise struct {
+	Eps    float64
+	Lo, Hi float64
+	c      float64 // output range bound C
+}
+
+// NewPiecewise returns the piecewise mechanism for values in [lo, hi].
+func NewPiecewise(eps, lo, hi float64) (*Piecewise, error) {
+	if !(eps > 0) {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, eps)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("ldp: invalid bounds [%v, %v]", lo, hi)
+	}
+	e2 := math.Exp(eps / 2)
+	return &Piecewise{Eps: eps, Lo: lo, Hi: hi, c: (e2 + 1) / (e2 - 1)}, nil
+}
+
+// C returns the output range bound.
+func (p *Piecewise) C() float64 { return p.c }
+
+// Perturb maps x to [-1,1], samples the piecewise output, and returns it
+// (still in [-C, C] on the normalized scale).
+func (p *Piecewise) Perturb(x float64, r *frand.RNG) float64 {
+	t := 2*(x-p.Lo)/(p.Hi-p.Lo) - 1
+	t = math.Max(-1, math.Min(1, t))
+	e2 := math.Exp(p.Eps / 2)
+	l := (p.c+1)/2*t - (p.c-1)/2
+	rt := l + p.c - 1
+	if r.Bernoulli(e2 / (e2 + 1)) {
+		// High-density window [l, r].
+		return l + (rt-l)*r.Float64()
+	}
+	// Low-density tails [-C, l) ∪ (r, C], chosen proportional to length.
+	leftLen := l + p.c
+	rightLen := p.c - rt
+	u := r.Float64() * (leftLen + rightLen)
+	if u < leftLen {
+		return -p.c + u
+	}
+	return rt + (u - leftLen)
+}
+
+// EstimateMean perturbs every value and returns the mean estimate scaled
+// back to [lo, hi]. The piecewise output is already unbiased on the
+// normalized scale.
+func (p *Piecewise) EstimateMean(values []float64, r *frand.RNG) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += p.Perturb(v, r)
+	}
+	t := sum / float64(len(values))
+	return p.Lo + (t+1)/2*(p.Hi-p.Lo)
+}

@@ -1,0 +1,311 @@
+package ldp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+)
+
+func TestNewRandomizedResponseValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN()} {
+		if _, err := NewRandomizedResponse(eps); !errors.Is(err, ErrEpsilon) {
+			t.Errorf("eps=%v: err = %v, want ErrEpsilon", eps, err)
+		}
+	}
+}
+
+func TestRandomizedResponseTruthProbability(t *testing.T) {
+	rr, err := NewRandomizedResponse(math.Log(3)) // p should be 3/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rr.P-0.75) > 1e-12 {
+		t.Fatalf("P = %v, want 0.75", rr.P)
+	}
+}
+
+func TestRandomizedResponseLDPRatio(t *testing.T) {
+	// P(report 1 | bit 1) / P(report 1 | bit 0) must equal exp(eps).
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 5} {
+		rr, _ := NewRandomizedResponse(eps)
+		ratio := rr.P / (1 - rr.P)
+		if math.Abs(ratio-math.Exp(eps)) > 1e-9*math.Exp(eps) {
+			t.Errorf("eps=%v: likelihood ratio %v, want %v", eps, ratio, math.Exp(eps))
+		}
+	}
+}
+
+func TestRandomizedResponseEmpiricalFlipRate(t *testing.T) {
+	rr, _ := NewRandomizedResponse(1)
+	r := frand.New(1)
+	const n = 200000
+	kept := 0
+	for i := 0; i < n; i++ {
+		if rr.Apply(1, r) == 1 {
+			kept++
+		}
+	}
+	got := float64(kept) / n
+	if math.Abs(got-rr.P) > 0.005 {
+		t.Fatalf("empirical truth rate %v, want %v", got, rr.P)
+	}
+}
+
+func TestRandomizedResponsePanicsOnNonBit(t *testing.T) {
+	rr, _ := NewRandomizedResponse(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply(2) did not panic")
+		}
+	}()
+	rr.Apply(2, frand.New(1))
+}
+
+func TestUnbiasMeanInvertsBias(t *testing.T) {
+	rr, _ := NewRandomizedResponse(0.7)
+	for _, m := range []float64{0, 0.2, 0.5, 0.9, 1} {
+		got := rr.UnbiasMean(rr.BiasMean(m))
+		if math.Abs(got-m) > 1e-12 {
+			t.Errorf("unbias(bias(%v)) = %v", m, got)
+		}
+	}
+}
+
+func TestUnbiasMeanEmpirical(t *testing.T) {
+	rr, _ := NewRandomizedResponse(1.5)
+	r := frand.New(2)
+	const n = 300000
+	trueMean := 0.3
+	var reported float64
+	for i := 0; i < n; i++ {
+		bit := uint64(0)
+		if r.Bernoulli(trueMean) {
+			bit = 1
+		}
+		reported += float64(rr.Apply(bit, r))
+	}
+	est := rr.UnbiasMean(reported / n)
+	if math.Abs(est-trueMean) > 0.01 {
+		t.Fatalf("unbiased estimate %v, want ~%v", est, trueMean)
+	}
+}
+
+func TestReportVariance(t *testing.T) {
+	// Empirical variance of the unbiased single-bit estimator must match
+	// exp(eps)/(exp(eps)-1)^2 when the true bit is constant.
+	rr, _ := NewRandomizedResponse(1)
+	r := frand.New(3)
+	const n = 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		rep := rr.UnbiasMean(float64(rr.Apply(0, r)))
+		sum += rep
+		sumSq += rep * rep
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	want := rr.ReportVariance()
+	if math.Abs(variance-want) > 0.05*want {
+		t.Fatalf("empirical report variance %v, want ~%v", variance, want)
+	}
+}
+
+func TestNoiseStdForMean(t *testing.T) {
+	rr, _ := NewRandomizedResponse(2)
+	v := rr.ReportVariance()
+	if got := rr.NoiseStdForMean(100); math.Abs(got-math.Sqrt(v/100)) > 1e-12 {
+		t.Errorf("NoiseStdForMean(100) = %v", got)
+	}
+	if !math.IsInf(rr.NoiseStdForMean(0), 1) {
+		t.Error("NoiseStdForMean(0) should be +Inf")
+	}
+}
+
+func TestLaplaceValidation(t *testing.T) {
+	if _, err := NewLaplace(0, 0, 1); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("eps=0: err = %v", err)
+	}
+	if _, err := NewLaplace(1, 1, 1); err == nil {
+		t.Error("equal bounds accepted")
+	}
+}
+
+func TestLaplaceUnbiased(t *testing.T) {
+	l, err := NewLaplace(1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(4)
+	values := make([]float64, 50000)
+	for i := range values {
+		values[i] = 400
+	}
+	// Average several repetitions: a single sample mean of Laplace(0,1000)
+	// noise over 50k reports still has std ~6.3, so one run is too noisy
+	// for a tight assertion.
+	var est float64
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		est += l.EstimateMean(values, r)
+	}
+	est /= reps
+	if math.Abs(est-400) > 8 {
+		t.Fatalf("laplace mean estimate %v, want ~400", est)
+	}
+}
+
+func TestLaplaceClampsInput(t *testing.T) {
+	l, _ := NewLaplace(10, 0, 10)
+	r := frand.New(5)
+	// A wildly out-of-range value must be clamped before noising, bounding
+	// its influence (sensitivity control).
+	var s float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s += l.Perturb(1e9, r)
+	}
+	if got := s / n; math.Abs(got-10) > 0.5 {
+		t.Fatalf("clamped perturbation mean %v, want ~10", got)
+	}
+}
+
+func TestDuchiUnbiased(t *testing.T) {
+	d, err := NewDuchi(2, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(6)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = 37
+	}
+	est := d.EstimateMean(values, r)
+	if math.Abs(est-37) > 1.5 {
+		t.Fatalf("duchi estimate %v, want ~37", est)
+	}
+}
+
+func TestDuchiOutputIsBit(t *testing.T) {
+	d, _ := NewDuchi(1, 0, 1)
+	r := frand.New(7)
+	for i := 0; i < 1000; i++ {
+		if b := d.Perturb(r.Float64(), r); b > 1 {
+			t.Fatalf("Duchi emitted non-bit %d", b)
+		}
+	}
+}
+
+func TestDuchiClampsOutOfRange(t *testing.T) {
+	d, _ := NewDuchi(5, 0, 10)
+	r := frand.New(8)
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += int(d.Perturb(-50, r))
+	}
+	// Clamped to 0: rounding bit always 0; reported 1s only from RR flips,
+	// with rate 1-P.
+	got := float64(ones) / n
+	want := 1 - d.RR.P
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("clamped-input one-rate %v, want ~%v", got, want)
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(0, 0, 1); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("eps=0: err = %v", err)
+	}
+	if _, err := NewPiecewise(1, 2, 2); err == nil {
+		t.Error("equal bounds accepted")
+	}
+}
+
+func TestPiecewiseOutputRange(t *testing.T) {
+	p, err := NewPiecewise(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(9)
+	for i := 0; i < 10000; i++ {
+		out := p.Perturb(r.Float64(), r)
+		if out < -p.C()-1e-9 || out > p.C()+1e-9 {
+			t.Fatalf("piecewise output %v outside [-C, C], C=%v", out, p.C())
+		}
+	}
+}
+
+func TestPiecewiseUnbiased(t *testing.T) {
+	p, err := NewPiecewise(1.5, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(10)
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = 130
+	}
+	est := p.EstimateMean(values, r)
+	if math.Abs(est-130) > 2 {
+		t.Fatalf("piecewise estimate %v, want ~130", est)
+	}
+}
+
+func TestPiecewiseWindowConcentration(t *testing.T) {
+	// Most probability mass must sit in the high-density window around the
+	// input: for eps=4 the window captures e^2/(e^2+1) ≈ 88% of outputs.
+	p, _ := NewPiecewise(4, -1, 1)
+	r := frand.New(11)
+	x := 0.5
+	e2 := math.Exp(2.0)
+	l := (p.C()+1)/2*x - (p.C()-1)/2
+	rt := l + p.C() - 1
+	in := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		out := p.Perturb(x, r)
+		if out >= l && out <= rt {
+			in++
+		}
+	}
+	got := float64(in) / n
+	want := e2 / (e2 + 1)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("window mass %v, want ~%v", got, want)
+	}
+}
+
+func TestPiecewiseVarianceBeatsDuchiAtModerateEps(t *testing.T) {
+	// Wang et al.'s headline: piecewise beats randomized rounding for
+	// moderate-to-large eps. Compare empirical squared errors at eps=3.
+	const eps, truth, n, reps = 3.0, 0.42, 5000, 40
+	r := frand.New(12)
+	var pwErr, duErr float64
+	pw, _ := NewPiecewise(eps, 0, 1)
+	du, _ := NewDuchi(eps, 0, 1)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = truth
+	}
+	for rep := 0; rep < reps; rep++ {
+		e1 := pw.EstimateMean(values, r) - truth
+		e2 := du.EstimateMean(values, r) - truth
+		pwErr += e1 * e1
+		duErr += e2 * e2
+	}
+	if pwErr >= duErr {
+		t.Fatalf("piecewise MSE %v not below duchi MSE %v at eps=%v", pwErr/reps, duErr/reps, eps)
+	}
+}
+
+func TestEstimateMeanEmptyInputs(t *testing.T) {
+	l, _ := NewLaplace(1, 0, 1)
+	d, _ := NewDuchi(1, 0, 1)
+	p, _ := NewPiecewise(1, 0, 1)
+	r := frand.New(13)
+	if l.EstimateMean(nil, r) != 0 || d.EstimateMean(nil, r) != 0 || p.EstimateMean(nil, r) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+}

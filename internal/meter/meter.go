@@ -1,0 +1,155 @@
+// Package meter implements privacy metering: a per-client ledger of how
+// many private bits and how much privacy budget (ε) have been disclosed
+// per feature. The paper proposes metering private data "not at the value
+// level ... but at the bit level" so platforms can surface disclosure
+// limits as user-facing controls (§1.1, "Privacy metering"); the paper
+// deliberately leaves deployment of metering out of scope, so this package
+// is the repository's implementation of that sketched design.
+package meter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by Charge.
+var (
+	ErrBitBudget = errors.New("meter: bit budget exhausted")
+	ErrEpsBudget = errors.New("meter: epsilon budget exhausted")
+	ErrCharge    = errors.New("meter: invalid charge")
+)
+
+// Policy caps what one client may disclose.
+type Policy struct {
+	// MaxBitsPerValue caps bits disclosed about any single private value.
+	// The paper's protocols use 1: "For each private value, at most one
+	// bit is used."
+	MaxBitsPerValue int
+	// MaxBitsPerFeature caps total bits disclosed about one feature across
+	// all collection rounds; 0 means unlimited.
+	MaxBitsPerFeature int
+	// MaxEpsilon caps total ε spent (basic sequential composition) across
+	// all features; 0 means unlimited.
+	MaxEpsilon float64
+}
+
+// DefaultPolicy is the paper's stance: one bit per value, at most 16 bits
+// per feature over a metric's lifetime, total ε of 8 under composition.
+var DefaultPolicy = Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 16, MaxEpsilon: 8}
+
+// Ledger tracks disclosures for a population of clients. It is safe for
+// concurrent use by the aggregation server.
+type Ledger struct {
+	policy Policy
+
+	mu      sync.Mutex
+	clients map[string]*clientAccount
+}
+
+type clientAccount struct {
+	bitsPerFeature map[string]int
+	epsSpent       float64
+}
+
+// NewLedger returns a ledger enforcing the given policy.
+func NewLedger(policy Policy) *Ledger {
+	return &Ledger{policy: policy, clients: make(map[string]*clientAccount)}
+}
+
+// Charge records that client is about to disclose `bits` bits about one
+// value of `feature` under privacy parameter eps (eps 0 for mechanisms
+// without a DP layer). It returns an error — and records nothing — if the
+// disclosure would exceed the policy.
+func (l *Ledger) Charge(client, feature string, bits int, eps float64) error {
+	if bits < 0 || eps < 0 {
+		return fmt.Errorf("%w: bits=%d eps=%v", ErrCharge, bits, eps)
+	}
+	if l.policy.MaxBitsPerValue > 0 && bits > l.policy.MaxBitsPerValue {
+		return fmt.Errorf("%w: %d bits for one value exceeds per-value cap %d",
+			ErrBitBudget, bits, l.policy.MaxBitsPerValue)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	acct := l.clients[client]
+	if acct == nil {
+		acct = &clientAccount{bitsPerFeature: make(map[string]int)}
+		l.clients[client] = acct
+	}
+	if l.policy.MaxBitsPerFeature > 0 && acct.bitsPerFeature[feature]+bits > l.policy.MaxBitsPerFeature {
+		return fmt.Errorf("%w: client %q feature %q at %d bits, charge of %d exceeds cap %d",
+			ErrBitBudget, client, feature, acct.bitsPerFeature[feature], bits, l.policy.MaxBitsPerFeature)
+	}
+	if l.policy.MaxEpsilon > 0 && acct.epsSpent+eps > l.policy.MaxEpsilon {
+		return fmt.Errorf("%w: client %q at ε=%.3f, charge of %.3f exceeds cap %.3f",
+			ErrEpsBudget, client, acct.epsSpent, eps, l.policy.MaxEpsilon)
+	}
+	acct.bitsPerFeature[feature] += bits
+	acct.epsSpent += eps
+	return nil
+}
+
+// BitsDisclosed returns the bits disclosed by client about feature.
+func (l *Ledger) BitsDisclosed(client, feature string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if acct := l.clients[client]; acct != nil {
+		return acct.bitsPerFeature[feature]
+	}
+	return 0
+}
+
+// EpsilonSpent returns client's total ε under basic composition.
+func (l *Ledger) EpsilonSpent(client string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if acct := l.clients[client]; acct != nil {
+		return acct.epsSpent
+	}
+	return 0
+}
+
+// RemainingEpsilon returns the ε budget left for client, or +Inf semantics
+// via ok=false when the policy does not cap ε.
+func (l *Ledger) RemainingEpsilon(client string) (remaining float64, ok bool) {
+	if l.policy.MaxEpsilon <= 0 {
+		return 0, false
+	}
+	return l.policy.MaxEpsilon - l.EpsilonSpent(client), true
+}
+
+// Entry is one row of a ledger snapshot.
+type Entry struct {
+	Client   string
+	Feature  string
+	Bits     int
+	Epsilon  float64 // total ε for the client (repeated across its rows)
+	Features int     // number of features the client disclosed about
+}
+
+// Snapshot returns the ledger contents sorted by client then feature, for
+// audit surfaces and tests.
+func (l *Ledger) Snapshot() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for client, acct := range l.clients {
+		for feature, bits := range acct.bitsPerFeature {
+			out = append(out, Entry{
+				Client:   client,
+				Feature:  feature,
+				Bits:     bits,
+				Epsilon:  acct.epsSpent,
+				Features: len(acct.bitsPerFeature),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}

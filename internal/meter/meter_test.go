@@ -1,0 +1,156 @@
+package meter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestChargeAndQuery(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 4, MaxEpsilon: 2})
+	if err := l.Charge("c1", "latency", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("c1", "latency", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.BitsDisclosed("c1", "latency"); got != 2 {
+		t.Errorf("BitsDisclosed = %d, want 2", got)
+	}
+	if got := l.EpsilonSpent("c1"); got != 1 {
+		t.Errorf("EpsilonSpent = %v, want 1", got)
+	}
+	rem, ok := l.RemainingEpsilon("c1")
+	if !ok || rem != 1 {
+		t.Errorf("RemainingEpsilon = %v, %v", rem, ok)
+	}
+}
+
+func TestPerValueCap(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1})
+	if err := l.Charge("c1", "f", 2, 0); !errors.Is(err, ErrBitBudget) {
+		t.Fatalf("2-bit charge err = %v, want ErrBitBudget", err)
+	}
+	// Failed charge must not be recorded.
+	if l.BitsDisclosed("c1", "f") != 0 {
+		t.Error("failed charge was recorded")
+	}
+}
+
+func TestPerFeatureCap(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 2})
+	for i := 0; i < 2; i++ {
+		if err := l.Charge("c1", "f", 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Charge("c1", "f", 1, 0); !errors.Is(err, ErrBitBudget) {
+		t.Fatalf("over-cap charge err = %v", err)
+	}
+	// Other features remain chargeable.
+	if err := l.Charge("c1", "g", 1, 0); err != nil {
+		t.Fatalf("independent feature blocked: %v", err)
+	}
+	// Other clients remain chargeable.
+	if err := l.Charge("c2", "f", 1, 0); err != nil {
+		t.Fatalf("independent client blocked: %v", err)
+	}
+}
+
+func TestEpsilonCapComposesAcrossFeatures(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1, MaxEpsilon: 1.0})
+	if err := l.Charge("c1", "f", 1, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("c1", "g", 1, 0.6); !errors.Is(err, ErrEpsBudget) {
+		t.Fatalf("composition over cap err = %v", err)
+	}
+	if err := l.Charge("c1", "g", 1, 0.4); err != nil {
+		t.Fatalf("within-budget charge blocked: %v", err)
+	}
+}
+
+func TestUnlimitedPolicies(t *testing.T) {
+	l := NewLedger(Policy{}) // all zero: unlimited
+	for i := 0; i < 100; i++ {
+		if err := l.Charge("c", "f", 5, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := l.RemainingEpsilon("c"); ok {
+		t.Error("RemainingEpsilon should report no cap")
+	}
+}
+
+func TestInvalidCharge(t *testing.T) {
+	l := NewLedger(DefaultPolicy)
+	if err := l.Charge("c", "f", -1, 0); !errors.Is(err, ErrCharge) {
+		t.Errorf("negative bits err = %v", err)
+	}
+	if err := l.Charge("c", "f", 1, -0.1); !errors.Is(err, ErrCharge) {
+		t.Errorf("negative eps err = %v", err)
+	}
+}
+
+func TestUnknownClientQueries(t *testing.T) {
+	l := NewLedger(DefaultPolicy)
+	if l.BitsDisclosed("nobody", "f") != 0 || l.EpsilonSpent("nobody") != 0 {
+		t.Error("unknown client should read as zero")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1})
+	_ = l.Charge("b", "y", 1, 0.1)
+	_ = l.Charge("a", "z", 1, 0.2)
+	_ = l.Charge("a", "x", 1, 0.2)
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	if snap[0].Client != "a" || snap[0].Feature != "x" ||
+		snap[1].Client != "a" || snap[1].Feature != "z" ||
+		snap[2].Client != "b" || snap[2].Feature != "y" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	if snap[0].Epsilon != 0.4 || snap[0].Features != 2 {
+		t.Errorf("client a totals wrong: %+v", snap[0])
+	}
+}
+
+func TestDefaultPolicyOneBitPerValue(t *testing.T) {
+	l := NewLedger(DefaultPolicy)
+	if err := l.Charge("c", "f", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("c", "f", 2, 0.5); !errors.Is(err, ErrBitBudget) {
+		t.Fatalf("default policy allowed 2 bits per value: %v", err)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	l := NewLedger(Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 1000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				client := fmt.Sprintf("c%d", g%4)
+				if err := l.Charge(client, "f", 1, 0.001); err != nil {
+					t.Errorf("concurrent charge failed: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for g := 0; g < 4; g++ {
+		total += l.BitsDisclosed(fmt.Sprintf("c%d", g), "f")
+	}
+	if total != 800 {
+		t.Fatalf("total bits %d, want 800", total)
+	}
+}

@@ -1,0 +1,25 @@
+package quantile_test
+
+import (
+	"fmt"
+
+	"repro/internal/frand"
+	"repro/internal/quantile"
+	"repro/internal/workload"
+)
+
+// Locating the median with one disclosed bit per client: a binary search
+// over the domain, each round spending a fresh cohort slice.
+func ExampleEstimateMedian() {
+	r := frand.New(3)
+	gen := workload.Normal{Mu: 500, Sigma: 80}
+	values := make([]uint64, 20000)
+	for i, v := range gen.Sample(r, len(values)) {
+		values[i] = uint64(v)
+	}
+	res, _ := quantile.EstimateMedian(quantile.Config{Bits: 10}, values, r)
+	fmt.Printf("median within 2%% of 500: %v (%d rounds, %d clients per round)\n",
+		res.Quantile > 490 && res.Quantile < 510, res.Rounds, res.PerRound)
+	// Output:
+	// median within 2% of 500: true (10 rounds, 2000 clients per round)
+}

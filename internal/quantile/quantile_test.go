@@ -1,0 +1,311 @@
+package quantile
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func normalValues(n, bits int, mu, sigma float64, seed uint64) []uint64 {
+	vals := workload.Normal{Mu: mu, Sigma: sigma}.Sample(frand.New(seed), n)
+	return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+}
+
+func exactQuantile(values []uint64, q float64) uint64 {
+	sorted := append([]uint64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func TestConfigValidation(t *testing.T) {
+	values := make([]uint64, 100)
+	r := frand.New(1)
+	if _, err := EstimateCDF(Config{Bits: 0}, []uint64{1}, values, r); !errors.Is(err, ErrConfig) {
+		t.Errorf("bits=0: %v", err)
+	}
+	if _, err := EstimateCDF(Config{Bits: 60}, []uint64{1}, values, r); !errors.Is(err, ErrConfig) {
+		t.Errorf("bits=60: %v", err)
+	}
+	if _, err := EstimateCDF(Config{Bits: 8, MinPerThreshold: -1}, []uint64{1}, values, r); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative min: %v", err)
+	}
+}
+
+func TestUniformGrid(t *testing.T) {
+	grid, err := UniformGrid(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{32, 96, 160, 224}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("grid = %v, want %v", grid, want)
+		}
+	}
+	if _, err := UniformGrid(0, 4); !errors.Is(err, ErrConfig) {
+		t.Errorf("bits=0: %v", err)
+	}
+	if _, err := UniformGrid(2, 8); err == nil {
+		t.Error("k > domain accepted")
+	}
+}
+
+func TestEstimateCDFValidation(t *testing.T) {
+	values := make([]uint64, 100)
+	r := frand.New(2)
+	if _, err := EstimateCDF(Config{Bits: 8}, nil, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("no thresholds: %v", err)
+	}
+	if _, err := EstimateCDF(Config{Bits: 8}, []uint64{5, 5}, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("duplicate thresholds: %v", err)
+	}
+	// 100 clients across 16 thresholds leaves 6 < 16 per query.
+	grid, _ := UniformGrid(8, 16)
+	if _, err := EstimateCDF(Config{Bits: 8}, grid, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("undersized cohort: %v", err)
+	}
+}
+
+func TestEstimateCDFShape(t *testing.T) {
+	values := normalValues(40000, 10, 500, 80, 3)
+	grid, _ := UniformGrid(10, 32)
+	cdf, err := EstimateCDF(Config{Bits: 10}, grid, values, frand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone non-increasing, in [0,1].
+	for i := range cdf.Tail {
+		if cdf.Tail[i] < 0 || cdf.Tail[i] > 1 {
+			t.Fatalf("tail[%d] = %v outside [0,1]", i, cdf.Tail[i])
+		}
+		if i > 0 && cdf.Tail[i] > cdf.Tail[i-1] {
+			t.Fatalf("tail not monotone at %d: %v > %v", i, cdf.Tail[i], cdf.Tail[i-1])
+		}
+	}
+	// Tail near 1 below the distribution, near 0 above it.
+	if cdf.Tail[0] < 0.95 {
+		t.Errorf("tail at t=%d is %v, want ~1", cdf.Thresholds[0], cdf.Tail[0])
+	}
+	last := len(cdf.Tail) - 1
+	if cdf.Tail[last] > 0.05 {
+		t.Errorf("tail at t=%d is %v, want ~0", cdf.Thresholds[last], cdf.Tail[last])
+	}
+	// Around the mean the tail should cross 1/2.
+	for i, thr := range cdf.Thresholds {
+		if thr >= 500 {
+			if math.Abs(cdf.Tail[i]-0.5) > 0.15 {
+				t.Errorf("tail just above mean = %v, want ~0.5", cdf.Tail[i])
+			}
+			break
+		}
+	}
+}
+
+func TestCDFQuantileAccuracy(t *testing.T) {
+	values := normalValues(60000, 10, 500, 80, 5)
+	grid, _ := UniformGrid(10, 64)
+	var errsMedian, errsP90 []float64
+	for rep := uint64(0); rep < 15; rep++ {
+		cdf, err := EstimateCDF(Config{Bits: 10}, grid, values, frand.New(100+rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		med, err := cdf.Quantile(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p90, err := cdf.Quantile(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errsMedian = append(errsMedian, float64(med))
+		errsP90 = append(errsP90, float64(p90))
+	}
+	trueMed := float64(exactQuantile(values, 0.5))
+	trueP90 := float64(exactQuantile(values, 0.9))
+	// Grid resolution is 16; accept error within a couple of grid steps.
+	if rmse := stats.RMSE(errsMedian, trueMed); rmse > 40 {
+		t.Errorf("median RMSE %v (truth %v)", rmse, trueMed)
+	}
+	if rmse := stats.RMSE(errsP90, trueP90); rmse > 40 {
+		t.Errorf("p90 RMSE %v (truth %v)", rmse, trueP90)
+	}
+}
+
+func TestCDFQuantileValidation(t *testing.T) {
+	c := &CDF{Thresholds: []uint64{1, 2}, Tail: []float64{1, 0}}
+	if _, err := c.Quantile(0); !errors.Is(err, ErrInput) {
+		t.Errorf("q=0: %v", err)
+	}
+	if _, err := c.Quantile(1); !errors.Is(err, ErrInput) {
+		t.Errorf("q=1: %v", err)
+	}
+}
+
+func TestBinarySearchMedian(t *testing.T) {
+	values := normalValues(50000, 10, 500, 80, 6)
+	trueMed := exactQuantile(values, 0.5)
+	var ests []float64
+	for rep := uint64(0); rep < 15; rep++ {
+		res, err := EstimateMedian(Config{Bits: 10}, values, frand.New(200+rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != 10 {
+			t.Fatalf("rounds = %d, want 10", res.Rounds)
+		}
+		ests = append(ests, float64(res.Quantile))
+	}
+	if rmse := stats.RMSE(ests, float64(trueMed)); rmse > 25 {
+		t.Errorf("binary-search median RMSE %v (truth %d)", rmse, trueMed)
+	}
+}
+
+func TestBinarySearchTailQuantile(t *testing.T) {
+	values := normalValues(50000, 10, 400, 60, 7)
+	trueP95 := exactQuantile(values, 0.95)
+	var ests []float64
+	for rep := uint64(0); rep < 15; rep++ {
+		res, err := EstimateQuantile(Config{Bits: 10}, 0.95, values, frand.New(300+rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, float64(res.Quantile))
+	}
+	if rmse := stats.RMSE(ests, float64(trueP95)); rmse > 30 {
+		t.Errorf("p95 RMSE %v (truth %d)", rmse, trueP95)
+	}
+}
+
+func TestBinarySearchUnderLDP(t *testing.T) {
+	rr, err := ldp.NewRandomizedResponse(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := normalValues(100000, 10, 500, 80, 8)
+	trueMed := exactQuantile(values, 0.5)
+	var ests []float64
+	for rep := uint64(0); rep < 15; rep++ {
+		res, err := EstimateMedian(Config{Bits: 10, RR: rr}, values, frand.New(400+rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests = append(ests, float64(res.Quantile))
+	}
+	if rmse := stats.RMSE(ests, float64(trueMed)); rmse > 60 {
+		t.Errorf("LDP median RMSE %v (truth %d)", rmse, trueMed)
+	}
+}
+
+func TestBinarySearchTrace(t *testing.T) {
+	values := normalValues(20000, 8, 100, 20, 9)
+	res, err := EstimateMedian(Config{Bits: 8}, values, frand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 || len(res.Trace) > 8 {
+		t.Fatalf("trace length %d", len(res.Trace))
+	}
+	// First probe must be the domain midpoint.
+	if res.Trace[0].Threshold != 128 {
+		t.Errorf("first threshold = %d, want 128", res.Trace[0].Threshold)
+	}
+	if res.PerRound != 20000/8 {
+		t.Errorf("PerRound = %d", res.PerRound)
+	}
+}
+
+func TestBinarySearchValidation(t *testing.T) {
+	values := make([]uint64, 100)
+	r := frand.New(11)
+	if _, err := EstimateQuantile(Config{Bits: 8}, 1.5, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("q=1.5: %v", err)
+	}
+	// 100 clients over 8 rounds leaves 12 < 16 per round.
+	if _, err := EstimateQuantile(Config{Bits: 8}, 0.5, values, r); !errors.Is(err, ErrInput) {
+		t.Errorf("undersized cohort: %v", err)
+	}
+}
+
+func TestTrimmedMeanFromCDF(t *testing.T) {
+	values := normalValues(40000, 10, 500, 80, 12)
+	grid, _ := UniformGrid(10, 64)
+	cdf, err := EstimateCDF(Config{Bits: 10}, grid, values, frand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := TrimmedMeanFromCDF(cdf, 0.05, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("clip range [%d, %d] degenerate", lo, hi)
+	}
+	trueLo, trueHi := exactQuantile(values, 0.05), exactQuantile(values, 0.95)
+	if math.Abs(float64(lo)-float64(trueLo)) > 50 || math.Abs(float64(hi)-float64(trueHi)) > 50 {
+		t.Errorf("clip range [%d,%d], exact [%d,%d]", lo, hi, trueLo, trueHi)
+	}
+	if _, _, err := TrimmedMeanFromCDF(cdf, 0.9, 0.1); !errors.Is(err, ErrInput) {
+		t.Errorf("inverted range: %v", err)
+	}
+	// Degenerate-but-valid endpoints.
+	if lo0, _, err := TrimmedMeanFromCDF(cdf, 0, 0.95); err != nil || lo0 != 0 {
+		t.Errorf("qLo=0: lo=%d err=%v", lo0, err)
+	}
+}
+
+func TestAdaptiveClipBits(t *testing.T) {
+	// Values fit comfortably in 9 bits although the domain allows 20:
+	// the probe must choose a clip depth near 9-10, not 20.
+	vals := workload.Normal{Mu: 300, Sigma: 40}.Sample(frand.New(14), 20000)
+	probe := fixedpoint.MustCodec(20, 0, 1).EncodeAll(vals)
+	bits, err := AdaptiveClipBits(Config{Bits: 20}, 0.99, probe, frand.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits < 9 || bits > 11 {
+		t.Fatalf("AdaptiveClipBits = %d, want 9-11", bits)
+	}
+}
+
+func TestSkewedDataMedianVsMean(t *testing.T) {
+	// The §4.3 motivation: for heavy-tailed data the median is stable
+	// where the mean is not. Check the estimated median sits far below
+	// the (outlier-driven) mean.
+	vals := workload.DeviceMetric{OutlierMax: 1 << 20}.Sample(frand.New(16), 60000)
+	values := fixedpoint.MustCodec(20, 0, 1).EncodeAll(vals)
+	res, err := EstimateMedian(Config{Bits: 20}, values, frand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := fixedpoint.Mean(values)
+	if float64(res.Quantile) > mean/10 {
+		t.Fatalf("median %d not far below outlier-driven mean %v", res.Quantile, mean)
+	}
+	if res.Quantile > 3 {
+		t.Fatalf("median %d, exact is 0 or 1", res.Quantile)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	values := normalValues(20000, 10, 500, 80, 18)
+	a, err := EstimateMedian(Config{Bits: 10}, values, frand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateMedian(Config{Bits: 10}, values, frand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Quantile != b.Quantile {
+		t.Fatal("median search not deterministic")
+	}
+}

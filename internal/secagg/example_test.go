@@ -1,0 +1,25 @@
+package secagg_test
+
+import (
+	"fmt"
+
+	"repro/internal/secagg"
+)
+
+// Five clients sum their vectors without revealing any individual input;
+// client 2 drops out mid-round and the Shamir recovery removes its
+// orphaned masks.
+func ExampleProtocol_SumUints() {
+	p, _ := secagg.New(secagg.Config{NumClients: 5, Threshold: 3, VecLen: 2, Seed: 1})
+	inputs := [][]uint64{
+		{1, 10},
+		{2, 20},
+		{3, 30}, // drops out
+		{4, 40},
+		{5, 50},
+	}
+	sums, _ := p.SumUints(inputs, []int{2})
+	fmt.Println(sums)
+	// Output:
+	// [12 120]
+}

@@ -1,0 +1,64 @@
+package secagg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frand"
+)
+
+// TestPropertySumsExactUnderAnyConfig drives randomized configurations,
+// inputs and dropout sets through the full protocol and checks the
+// invariant: the unmasked sum equals the survivors' exact sum.
+func TestPropertySumsExactUnderAnyConfig(t *testing.T) {
+	f := func(seed uint64, rawN, rawT, rawV, rawDrop uint8) bool {
+		n := 2 + int(rawN)%10     // 2..11 clients
+		vecLen := 1 + int(rawV)%5 // 1..5 elements
+		r := frand.New(seed)
+		// Threshold within [1, n]; dropouts leave at least threshold
+		// survivors.
+		threshold := 1 + int(rawT)%n
+		maxDrop := n - threshold
+		nDrop := int(rawDrop) % (maxDrop + 1)
+
+		p, err := New(Config{NumClients: n, Threshold: threshold, VecLen: vecLen, Seed: seed})
+		if err != nil {
+			return false
+		}
+		inputs := make([][]uint64, n)
+		for i := range inputs {
+			inputs[i] = make([]uint64, vecLen)
+			for k := range inputs[i] {
+				inputs[i][k] = r.Uint64n(1 << 20)
+			}
+		}
+		perm := r.Perm(n)
+		dropouts := perm[:nDrop]
+		dropped := make(map[int]bool, nDrop)
+		for _, d := range dropouts {
+			dropped[d] = true
+		}
+		got, err := p.SumUints(inputs, dropouts)
+		if err != nil {
+			return false
+		}
+		want := make([]uint64, vecLen)
+		for i, in := range inputs {
+			if dropped[i] {
+				continue
+			}
+			for k, v := range in {
+				want[k] += v
+			}
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package secagg simulates a Bonawitz-style secure-aggregation protocol:
+// clients submit additively masked vectors and the server learns only their
+// sum. The paper (§3.3) uses secure aggregation so that the server "knows
+// the sum of the input values, without revealing anything further about the
+// inputs of individual clients"; bit-pushing layers on top by aggregating
+// per-bit sums and counts.
+//
+// Protocol shape. Each pair of clients (i, j) holds a shared pairwise seed;
+// client i < j adds PRG(s_ij) to its vector and client j subtracts it, so
+// pairwise masks cancel in the sum. Each client also adds a self mask
+// PRG(b_i). On completion the server unmasks: for every surviving client it
+// reconstructs b_i from Shamir shares held by other clients and subtracts
+// the self mask; for every dropped client it reconstructs that client's
+// pairwise seeds and cancels the orphaned pairwise masks — exactly the
+// double-masking recovery of Bonawitz et al. (CCS 2017).
+//
+// Simulation caveats (see DESIGN.md §2): key agreement is replaced by a
+// trusted dealer that hands both endpoints the same random pairwise seed,
+// and the PRG is the deterministic frand generator rather than AES-CTR.
+// Both substitutions preserve the aggregation and dropout-recovery
+// behaviour the experiments exercise; neither is cryptographically hardened.
+package secagg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/frand"
+	"repro/internal/shamir"
+)
+
+// Errors returned by the protocol.
+var (
+	ErrConfig    = errors.New("secagg: invalid configuration")
+	ErrSurvivors = errors.New("secagg: fewer survivors than recovery threshold")
+	ErrInput     = errors.New("secagg: bad input")
+)
+
+// Config parametrizes a secure-aggregation session.
+type Config struct {
+	NumClients int    // total enrolled clients, >= 2
+	Threshold  int    // Shamir threshold for seed recovery, in [1, NumClients]
+	VecLen     int    // length of the aggregated vectors, >= 1
+	Seed       uint64 // determinism seed for the dealer
+}
+
+// Protocol is one configured secure-aggregation session. It plays the
+// trusted dealer (setup), the clients (masking), and the server (unmasking);
+// tests exercise each role separately.
+type Protocol struct {
+	cfg     Config
+	clients []*client
+}
+
+// client holds one participant's secret state.
+type client struct {
+	id        int
+	selfSeed  uint64
+	pairSeeds map[int]uint64 // peer id -> seed shared with that peer
+	// Shares this client holds of OTHER clients' secrets, indexed by owner.
+	heldSelfShares map[int]shamir.Share
+	heldPairShares map[int]map[int]shamir.Share // owner -> peer -> share of s_{owner,peer}
+}
+
+// New runs the (simulated) setup phase: pairwise seed agreement, self-seed
+// generation, and Shamir distribution of both kinds of seeds.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.NumClients < 2 {
+		return nil, fmt.Errorf("%w: NumClients=%d (need >= 2)", ErrConfig, cfg.NumClients)
+	}
+	if cfg.Threshold < 1 || cfg.Threshold > cfg.NumClients {
+		return nil, fmt.Errorf("%w: Threshold=%d with %d clients", ErrConfig, cfg.Threshold, cfg.NumClients)
+	}
+	if cfg.VecLen < 1 {
+		return nil, fmt.Errorf("%w: VecLen=%d", ErrConfig, cfg.VecLen)
+	}
+	dealer := frand.New(cfg.Seed)
+	n := cfg.NumClients
+	p := &Protocol{cfg: cfg, clients: make([]*client, n)}
+	for i := range p.clients {
+		p.clients[i] = &client{
+			id:             i,
+			selfSeed:       dealer.Uint64(),
+			pairSeeds:      make(map[int]uint64, n-1),
+			heldSelfShares: make(map[int]shamir.Share, n-1),
+			heldPairShares: make(map[int]map[int]shamir.Share, n-1),
+		}
+	}
+	// Pairwise seed agreement (dealer-simulated key agreement).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := dealer.Uint64()
+			p.clients[i].pairSeeds[j] = s
+			p.clients[j].pairSeeds[i] = s
+		}
+	}
+	// Share distribution: every client splits its self seed and each of its
+	// pairwise seeds among all n clients (holding its own share too, which
+	// the server never requests for the owner itself).
+	for _, owner := range p.clients {
+		shares, err := shamir.Split(field.Reduce(owner.selfSeed), cfg.Threshold, n, dealer)
+		if err != nil {
+			return nil, err
+		}
+		for i, sh := range shares {
+			p.clients[i].heldSelfShares[owner.id] = sh
+		}
+		for peer, seed := range owner.pairSeeds {
+			shares, err := shamir.Split(field.Reduce(seed), cfg.Threshold, n, dealer)
+			if err != nil {
+				return nil, err
+			}
+			for i, sh := range shares {
+				m := p.clients[i].heldPairShares[owner.id]
+				if m == nil {
+					m = make(map[int]shamir.Share)
+					p.clients[i].heldPairShares[owner.id] = m
+				}
+				m[peer] = sh
+			}
+		}
+	}
+	return p, nil
+}
+
+// Config returns the session configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// expand expands a seed into VecLen field elements. Seeds are reduced into
+// the field at sharing time, so recovery reconstructs the identical stream.
+func (p *Protocol) expand(seed uint64) []field.Element {
+	r := frand.New(field.Reduce(seed))
+	out := make([]field.Element, p.cfg.VecLen)
+	for i := range out {
+		out[i] = r.Uint64n(field.P)
+	}
+	return out
+}
+
+// MaskedInput computes client id's masked submission for the given input
+// vector. Inputs must already be field elements (callers encode counts or
+// fixed-point values, which are far below the 2^61-1 modulus).
+func (p *Protocol) MaskedInput(id int, input []field.Element) ([]field.Element, error) {
+	if id < 0 || id >= p.cfg.NumClients {
+		return nil, fmt.Errorf("%w: client id %d", ErrInput, id)
+	}
+	if len(input) != p.cfg.VecLen {
+		return nil, fmt.Errorf("%w: vector length %d, want %d", ErrInput, len(input), p.cfg.VecLen)
+	}
+	c := p.clients[id]
+	out := make([]field.Element, p.cfg.VecLen)
+	for i, v := range input {
+		if v >= field.P {
+			return nil, fmt.Errorf("%w: element %d out of field range", ErrInput, i)
+		}
+		out[i] = v
+	}
+	field.AddVec(out, p.expand(c.selfSeed))
+	for peer, seed := range c.pairSeeds {
+		mask := p.expand(seed)
+		if c.id < peer {
+			field.AddVec(out, mask)
+		} else {
+			field.SubVec(out, mask)
+		}
+	}
+	return out, nil
+}
+
+// Aggregate plays the server: given masked submissions from the surviving
+// clients (keyed by client id), it recovers the necessary seeds from the
+// survivors' shares and returns the sum of the survivors' original inputs.
+//
+// Dropped clients are precisely the enrolled ids absent from masked.
+func (p *Protocol) Aggregate(masked map[int][]field.Element) ([]field.Element, error) {
+	if len(masked) < p.cfg.Threshold {
+		return nil, fmt.Errorf("%w: %d survivors, threshold %d", ErrSurvivors, len(masked), p.cfg.Threshold)
+	}
+	survivors := make([]int, 0, len(masked))
+	for id, vec := range masked {
+		if id < 0 || id >= p.cfg.NumClients {
+			return nil, fmt.Errorf("%w: unknown client id %d", ErrInput, id)
+		}
+		if len(vec) != p.cfg.VecLen {
+			return nil, fmt.Errorf("%w: client %d vector length %d", ErrInput, id, len(vec))
+		}
+		survivors = append(survivors, id)
+	}
+	sort.Ints(survivors)
+	surviving := make(map[int]bool, len(survivors))
+	for _, id := range survivors {
+		surviving[id] = true
+	}
+
+	sum := make([]field.Element, p.cfg.VecLen)
+	for _, id := range survivors {
+		field.AddVec(sum, masked[id])
+	}
+	// Remove self masks of survivors: reconstruct b_i from shares held by
+	// OTHER surviving clients.
+	for _, id := range survivors {
+		seed, err := p.recoverSelfSeed(id, survivors)
+		if err != nil {
+			return nil, err
+		}
+		field.SubVec(sum, p.expand(seed))
+	}
+	// Cancel orphaned pairwise masks of dropped clients.
+	for d := 0; d < p.cfg.NumClients; d++ {
+		if surviving[d] {
+			continue
+		}
+		for _, j := range survivors {
+			seed, err := p.recoverPairSeed(d, j, survivors)
+			if err != nil {
+				return nil, err
+			}
+			mask := p.expand(seed)
+			if j < d {
+				// Survivor j added +PRG(s_jd); remove it.
+				field.SubVec(sum, mask)
+			} else {
+				// Survivor j subtracted PRG(s_dj); add it back.
+				field.AddVec(sum, mask)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// recoverSelfSeed reconstructs client owner's self seed from shares held by
+// surviving clients other than the owner.
+func (p *Protocol) recoverSelfSeed(owner int, survivors []int) (field.Element, error) {
+	shares := make([]shamir.Share, 0, len(survivors))
+	for _, id := range survivors {
+		if id == owner {
+			continue
+		}
+		if sh, ok := p.clients[id].heldSelfShares[owner]; ok {
+			shares = append(shares, sh)
+		}
+	}
+	// The owner's own share is admissible too (the owner is alive).
+	if sh, ok := p.clients[owner].heldSelfShares[owner]; ok {
+		shares = append(shares, sh)
+	}
+	s, err := shamir.Reconstruct(shares, p.cfg.Threshold)
+	if err != nil {
+		return 0, fmt.Errorf("secagg: recovering self seed of client %d: %w", owner, err)
+	}
+	return s, nil
+}
+
+// recoverPairSeed reconstructs the pairwise seed s_{owner,peer} of a dropped
+// owner from shares held by survivors.
+func (p *Protocol) recoverPairSeed(owner, peer int, survivors []int) (field.Element, error) {
+	shares := make([]shamir.Share, 0, len(survivors))
+	for _, id := range survivors {
+		if m, ok := p.clients[id].heldPairShares[owner]; ok {
+			if sh, ok := m[peer]; ok {
+				shares = append(shares, sh)
+			}
+		}
+	}
+	s, err := shamir.Reconstruct(shares, p.cfg.Threshold)
+	if err != nil {
+		return 0, fmt.Errorf("secagg: recovering pair seed (%d,%d): %w", owner, peer, err)
+	}
+	return s, nil
+}
+
+// SumUints aggregates plain uint64 inputs (e.g. bit counts) through the
+// protocol: it masks each survivor's vector, aggregates, and returns the
+// sums as uint64. dropouts lists enrolled clients that never submit.
+// inputs must have one vector per enrolled client; vectors of dropped
+// clients are ignored.
+func (p *Protocol) SumUints(inputs [][]uint64, dropouts []int) ([]uint64, error) {
+	if len(inputs) != p.cfg.NumClients {
+		return nil, fmt.Errorf("%w: %d input vectors for %d clients", ErrInput, len(inputs), p.cfg.NumClients)
+	}
+	dropped := make(map[int]bool, len(dropouts))
+	for _, d := range dropouts {
+		if d < 0 || d >= p.cfg.NumClients {
+			return nil, fmt.Errorf("%w: dropout id %d", ErrInput, d)
+		}
+		dropped[d] = true
+	}
+	masked := make(map[int][]field.Element, p.cfg.NumClients-len(dropped))
+	for id, in := range inputs {
+		if dropped[id] {
+			continue
+		}
+		vec := make([]field.Element, len(in))
+		for i, v := range in {
+			vec[i] = field.Reduce(v)
+		}
+		m, err := p.MaskedInput(id, vec)
+		if err != nil {
+			return nil, err
+		}
+		masked[id] = m
+	}
+	sum, err := p.Aggregate(masked)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(sum))
+	copy(out, sum)
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package secagg
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/frand"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{NumClients: 1, Threshold: 1, VecLen: 1},
+		{NumClients: 3, Threshold: 0, VecLen: 1},
+		{NumClients: 3, Threshold: 4, VecLen: 1},
+		{NumClients: 3, Threshold: 2, VecLen: 0},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("New(%+v) err = %v, want ErrConfig", cfg, err)
+		}
+	}
+}
+
+func TestSumNoDropouts(t *testing.T) {
+	p, err := New(Config{NumClients: 5, Threshold: 3, VecLen: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]uint64{
+		{1, 0, 1, 0},
+		{0, 1, 1, 0},
+		{1, 1, 0, 0},
+		{0, 0, 0, 1},
+		{1, 0, 1, 1},
+	}
+	got, err := p.SumUints(inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 2, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum[%d] = %d, want %d (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSumWithDropouts(t *testing.T) {
+	p, err := New(Config{NumClients: 6, Threshold: 3, VecLen: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]uint64{
+		{10, 0, 0},
+		{0, 10, 0},
+		{0, 0, 10},
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 3, 3},
+	}
+	// Clients 1 and 4 drop out mid-round.
+	got, err := p.SumUints(inputs, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{14, 4, 14}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum[%d] = %d, want %d (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSumAllButThresholdDrop(t *testing.T) {
+	p, err := New(Config{NumClients: 5, Threshold: 2, VecLen: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]uint64{{1}, {2}, {3}, {4}, {5}}
+	got, err := p.SumUints(inputs, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 { // clients 1 and 3 survive: 2 + 4
+		t.Fatalf("sum = %d, want 6", got[0])
+	}
+}
+
+func TestTooManyDropouts(t *testing.T) {
+	p, err := New(Config{NumClients: 4, Threshold: 3, VecLen: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]uint64{{1}, {2}, {3}, {4}}
+	_, err = p.SumUints(inputs, []int{0, 1})
+	if !errors.Is(err, ErrSurvivors) {
+		t.Fatalf("err = %v, want ErrSurvivors", err)
+	}
+}
+
+func TestMaskedInputHidesValue(t *testing.T) {
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]field.Element, 8) // all zeros
+	masked, err := p.MaskedInput(0, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range masked {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("masked zero vector still mostly zero: %v", masked)
+	}
+}
+
+func TestMaskedInputsDifferAcrossClients(t *testing.T) {
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []field.Element{7, 7, 7, 7}
+	a, _ := p.MaskedInput(0, in)
+	b, _ := p.MaskedInput(1, in)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("two clients produced identical masked vectors for same input")
+	}
+}
+
+func TestMaskedInputValidation(t *testing.T) {
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.MaskedInput(-1, []field.Element{1, 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("negative id: err = %v", err)
+	}
+	if _, err := p.MaskedInput(3, []field.Element{1, 2}); !errors.Is(err, ErrInput) {
+		t.Errorf("id out of range: err = %v", err)
+	}
+	if _, err := p.MaskedInput(0, []field.Element{1}); !errors.Is(err, ErrInput) {
+		t.Errorf("short vector: err = %v", err)
+	}
+	if _, err := p.MaskedInput(0, []field.Element{field.P, 0}); !errors.Is(err, ErrInput) {
+		t.Errorf("out-of-field element: err = %v", err)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	p, err := New(Config{NumClients: 3, Threshold: 1, VecLen: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Aggregate(map[int][]field.Element{9: {1, 2}}); !errors.Is(err, ErrInput) {
+		t.Errorf("unknown id: err = %v", err)
+	}
+	if _, err := p.Aggregate(map[int][]field.Element{0: {1}}); !errors.Is(err, ErrInput) {
+		t.Errorf("short vector: err = %v", err)
+	}
+}
+
+func TestSumUintsValidation(t *testing.T) {
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SumUints([][]uint64{{1}}, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("wrong input count: err = %v", err)
+	}
+	if _, err := p.SumUints([][]uint64{{1}, {2}, {3}}, []int{7}); !errors.Is(err, ErrInput) {
+		t.Errorf("bad dropout id: err = %v", err)
+	}
+}
+
+func TestPairwiseMasksCancelExactly(t *testing.T) {
+	// With self-seeds forced out of the picture by aggregating through the
+	// full protocol, the sum of many random inputs must be exact — no noise.
+	p, err := New(Config{NumClients: 10, Threshold: 5, VecLen: 6, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := frand.New(11)
+	inputs := make([][]uint64, 10)
+	want := make([]uint64, 6)
+	for i := range inputs {
+		inputs[i] = make([]uint64, 6)
+		for k := range inputs[i] {
+			inputs[i][k] = r.Uint64n(1000)
+			want[k] += inputs[i][k]
+		}
+	}
+	got, err := p.SumUints(inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("sum[%d] = %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	mk := func() []uint64 {
+		p, err := New(Config{NumClients: 4, Threshold: 2, VecLen: 2, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.SumUints([][]uint64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic result at %d", i)
+		}
+	}
+	if a[0] != 11 || a[1] != 14 {
+		t.Fatalf("sum = %v, want [11 14]", a)
+	}
+}
+
+func TestBitCountAggregation(t *testing.T) {
+	// The bit-pushing use case: vector = (bit value, 1) per report, server
+	// learns per-bit sum and count only.
+	p, err := New(Config{NumClients: 8, Threshold: 4, VecLen: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]uint64, 8)
+	ones := 0
+	for i := range inputs {
+		bit := uint64(i % 2)
+		ones += int(bit)
+		inputs[i] = []uint64{bit, 1}
+	}
+	got, err := p.SumUints(inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != uint64(ones) || got[1] != 8 {
+		t.Fatalf("got sum=%d count=%d, want %d and 8", got[0], got[1], ones)
+	}
+}

@@ -1,0 +1,91 @@
+// Package shamir implements Shamir's t-of-n secret sharing over the prime
+// field of package field. The secure-aggregation substrate uses it to let a
+// server recover the masking seeds of clients that drop out mid-round
+// (paper §3.3 / §4.3, robustness to intermittent connectivity).
+package shamir
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/frand"
+)
+
+// Share is one point (X, Y) on the sharing polynomial. X is never zero;
+// the secret is the polynomial's value at zero.
+type Share struct {
+	X field.Element
+	Y field.Element
+}
+
+// Errors returned by Split and Reconstruct.
+var (
+	ErrThreshold = errors.New("shamir: invalid threshold")
+	ErrTooFew    = errors.New("shamir: not enough shares")
+	ErrDuplicate = errors.New("shamir: duplicate share X coordinate")
+)
+
+// Split shares secret into n shares such that any t of them reconstruct it
+// and fewer than t reveal nothing. Shares are evaluated at X = 1..n.
+// Requires 1 <= t <= n.
+func Split(secret field.Element, t, n int, r *frand.RNG) ([]Share, error) {
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("%w: t=%d n=%d", ErrThreshold, t, n)
+	}
+	// Random polynomial of degree t-1 with constant term = secret.
+	coeffs := make([]field.Element, t)
+	coeffs[0] = field.Reduce(secret)
+	for i := 1; i < t; i++ {
+		coeffs[i] = field.Reduce(r.Uint64())
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		x := field.Element(i + 1)
+		shares[i] = Share{X: x, Y: eval(coeffs, x)}
+	}
+	return shares, nil
+}
+
+// eval evaluates the polynomial with the given coefficients (constant term
+// first) at x by Horner's rule.
+func eval(coeffs []field.Element, x field.Element) field.Element {
+	var y field.Element
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = field.Add(field.Mul(y, x), coeffs[i])
+	}
+	return y
+}
+
+// Reconstruct recovers the secret from at least t shares by Lagrange
+// interpolation at zero. Extra shares beyond the first t are ignored.
+func Reconstruct(shares []Share, t int) (field.Element, error) {
+	if t < 1 {
+		return 0, fmt.Errorf("%w: t=%d", ErrThreshold, t)
+	}
+	if len(shares) < t {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrTooFew, len(shares), t)
+	}
+	pts := shares[:t]
+	seen := make(map[field.Element]bool, t)
+	for _, s := range pts {
+		if seen[s.X] {
+			return 0, fmt.Errorf("%w: x=%d", ErrDuplicate, s.X)
+		}
+		seen[s.X] = true
+	}
+	// secret = Σ_i y_i Π_{j≠i} x_j / (x_j - x_i)
+	var secret field.Element
+	for i, si := range pts {
+		num, den := field.Element(1), field.Element(1)
+		for j, sj := range pts {
+			if i == j {
+				continue
+			}
+			num = field.Mul(num, sj.X)
+			den = field.Mul(den, field.Sub(sj.X, si.X))
+		}
+		secret = field.Add(secret, field.Mul(si.Y, field.Div(num, den)))
+	}
+	return secret, nil
+}

@@ -1,0 +1,273 @@
+// Package stats provides the statistical machinery of the evaluation
+// harness: streaming moments, percentiles, histograms, and the error
+// metrics (RMSE, normalized RMSE, standard error) the paper reports.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Stream accumulates count, mean and variance online using Welford's
+// algorithm. The zero value is an empty stream ready for use.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a new observation into the stream.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddAll folds every value in xs into the stream.
+func (s *Stream) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (dividing by n).
+func (s *Stream) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1).
+func (s *Stream) SampleVariance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean, the paper's error bars.
+func (s *Stream) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.SampleVariance() / float64(s.n))
+}
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Merge folds another stream into s (parallel-Welford combination).
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	mean := s.mean + d*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// Percentile returns the q-quantile of xs (q in [0,1]) by linear
+// interpolation between order statistics. It panics on an empty slice or a
+// q outside [0,1], both programmer errors.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Percentile quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RMSE returns sqrt(mean((estimates - truth)^2)), the paper's root mean
+// squared error over repeated runs.
+func RMSE(estimates []float64, truth float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, e := range estimates {
+		d := e - truth
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(estimates)))
+}
+
+// NRMSE returns RMSE divided by |truth|, the normalized error of §4. For
+// truth == 0 it returns the unnormalized RMSE, the only sensible fallback.
+func NRMSE(estimates []float64, truth float64) float64 {
+	r := RMSE(estimates, truth)
+	if truth == 0 {
+		return r
+	}
+	return r / math.Abs(truth)
+}
+
+// ErrorSummary holds the accuracy of one experimental configuration over
+// repeated independent runs, as plotted in Figures 1–4.
+type ErrorSummary struct {
+	Reps   int     // number of repetitions
+	Truth  float64 // ground-truth value being estimated
+	RMSE   float64
+	NRMSE  float64
+	StdErr float64 // standard error of the squared errors' mean, scaled to the RMSE curve
+	Bias   float64 // mean(estimate) - truth
+}
+
+// Summarize computes the error summary for a set of repeated estimates of
+// the same ground truth.
+func Summarize(estimates []float64, truth float64) ErrorSummary {
+	s := ErrorSummary{Reps: len(estimates), Truth: truth}
+	if len(estimates) == 0 {
+		return s
+	}
+	var errStream Stream
+	var meanStream Stream
+	for _, e := range estimates {
+		d := e - truth
+		errStream.Add(d * d)
+		meanStream.Add(e)
+	}
+	s.RMSE = math.Sqrt(errStream.Mean())
+	if truth != 0 {
+		s.NRMSE = s.RMSE / math.Abs(truth)
+	} else {
+		s.NRMSE = s.RMSE
+	}
+	// Delta-method propagation of the standard error of the mean squared
+	// error through sqrt: se(sqrt(m)) ≈ se(m) / (2 sqrt(m)).
+	if s.RMSE > 0 {
+		s.StdErr = errStream.StdErr() / (2 * s.RMSE)
+	}
+	s.Bias = meanStream.Mean() - truth
+	return s
+}
+
+// Histogram bins values into k equal-width buckets over [lo, hi]. Values
+// outside the range are clamped into the end buckets, mirroring how the
+// paper's Figure 4b shows noisy bit means escaping [0, 1].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with k buckets over [lo, hi]. It panics
+// if k < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, k int) *Histogram {
+	if k < 1 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k)}
+}
+
+// Add places x into its bucket, clamping out-of-range values.
+func (h *Histogram) Add(x float64) {
+	k := len(h.Counts)
+	pos := (x - h.Lo) / (h.Hi - h.Lo) * float64(k)
+	i := int(math.Floor(pos))
+	if i < 0 {
+		i = 0
+	}
+	if i >= k {
+		i = k - 1
+	}
+	h.Counts[i]++
+}
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Total returns the number of values added.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

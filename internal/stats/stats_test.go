@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Variance() != 4 {
+		t.Errorf("Variance = %v, want 4", s.Variance())
+	}
+	if s.StdDev() != 2 {
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty stream should report zeros")
+	}
+}
+
+func TestStreamSampleVariance(t *testing.T) {
+	var s Stream
+	s.AddAll([]float64{1, 2, 3})
+	if !almostEqual(s.SampleVariance(), 1, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 1", s.SampleVariance())
+	}
+	var one Stream
+	one.Add(5)
+	if one.SampleVariance() != 0 {
+		t.Error("single-element sample variance should be 0")
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var s Stream
+		for i, v := range raw {
+			xs[i] = float64(v)
+			s.Add(xs[i])
+		}
+		return almostEqual(s.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(s.Variance(), Variance(xs), math.Max(1e-6, 1e-9*s.Variance()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamMerge(t *testing.T) {
+	r := frand.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+	}
+	var whole, a, b Stream
+	whole.AddAll(xs)
+	a.AddAll(xs[:300])
+	b.AddAll(xs[300:])
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged variance %v != %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestStreamMergeEmptyCases(t *testing.T) {
+	var empty, full Stream
+	full.AddAll([]float64{1, 2, 3})
+	cp := full
+	full.Merge(&empty)
+	if full != cp {
+		t.Error("merging empty changed the stream")
+	}
+	empty.Merge(&full)
+	if empty.N() != 3 || empty.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.9, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	// errors: 1, -1, 3 -> mean square (1+1+9)/3
+	got := RMSE([]float64{11, 9, 13}, 10)
+	want := math.Sqrt(11.0 / 3.0)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if RMSE(nil, 5) != 0 {
+		t.Error("RMSE of no estimates should be 0")
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	if got := NRMSE([]float64{12}, 10); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("NRMSE = %v, want 0.2", got)
+	}
+	// Normalization by a negative truth uses |truth|.
+	if got := NRMSE([]float64{-12}, -10); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("NRMSE negative truth = %v, want 0.2", got)
+	}
+	// Zero truth falls back to RMSE.
+	if got := NRMSE([]float64{1}, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("NRMSE zero truth = %v, want 1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{11, 9, 10}, 10)
+	if s.Reps != 3 {
+		t.Errorf("Reps = %d", s.Reps)
+	}
+	wantRMSE := math.Sqrt(2.0 / 3.0)
+	if !almostEqual(s.RMSE, wantRMSE, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", s.RMSE, wantRMSE)
+	}
+	if !almostEqual(s.NRMSE, wantRMSE/10, 1e-12) {
+		t.Errorf("NRMSE = %v", s.NRMSE)
+	}
+	if !almostEqual(s.Bias, 0, 1e-12) {
+		t.Errorf("Bias = %v, want 0", s.Bias)
+	}
+	if s.StdErr <= 0 {
+		t.Errorf("StdErr = %v, want > 0", s.StdErr)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 5)
+	if s.Reps != 0 || s.RMSE != 0 || s.NRMSE != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestSummarizeUnbiasedEstimatorHasSmallBias(t *testing.T) {
+	r := frand.New(99)
+	ests := make([]float64, 2000)
+	for i := range ests {
+		ests[i] = r.Normal(50, 5)
+	}
+	s := Summarize(ests, 50)
+	if math.Abs(s.Bias) > 0.5 {
+		t.Errorf("bias of unbiased noisy estimates = %v", s.Bias)
+	}
+	if !almostEqual(s.RMSE, 5, 0.3) {
+		t.Errorf("RMSE = %v, want ~5", s.RMSE)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	// buckets: [0,2) [2,4) [4,6) [6,8) [8,10); -3 clamps to first, 42 to last.
+	want := []int{3, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if got := h.BucketCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BucketCenter(0) = %v, want 1", got)
+	}
+	if got := h.BucketCenter(4); !almostEqual(got, 9, 1e-12) {
+		t.Errorf("BucketCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewHistogram(6, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

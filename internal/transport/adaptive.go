@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/transport/wire"
+)
+
+// Device pairs a Participant with the single private value it contributes
+// to an adaptive campaign.
+type Device struct {
+	Participant
+	Value uint64
+}
+
+// AdaptiveSpec configures a two-round adaptive aggregation (Algorithm 2)
+// over a live aggregation server.
+type AdaptiveSpec struct {
+	Feature string
+	Bits    int
+	// Gamma, Alpha, Delta are the Algorithm 2 knobs; zero values select
+	// the paper defaults (0.5, 0.5, 1/3).
+	Gamma, Alpha, Delta float64
+	// Epsilon, when positive, has clients apply ε-LDP randomized response
+	// in both rounds.
+	Epsilon float64
+	// SquashThreshold zeroes small-magnitude bit means at aggregation.
+	SquashThreshold float64
+	// MinCohort applies per round.
+	MinCohort int
+}
+
+// AdaptiveOutcome is the result of a two-round HTTP campaign.
+type AdaptiveOutcome struct {
+	// Estimate is the pooled two-round mean estimate in encoded units.
+	Estimate float64
+	// Round1 and Round2 are the per-round server results.
+	Round1, Round2 *wire.Result
+	// Probs2 is the learned round-2 allocation.
+	Probs2 []float64
+	// Participated counts devices that completed their round.
+	Participated int
+}
+
+// RunAdaptiveCampaign drives Algorithm 2 over HTTP: it creates the round-1
+// session (geometric allocation), has a δ fraction of the devices
+// participate, finalizes, derives the learned round-2 allocation from the
+// round-1 aggregate, runs the remaining devices against a second session,
+// and pools both rounds exactly as core.RunAdaptive does in-process.
+//
+// Devices that fail to participate (network errors, server rejections) are
+// skipped — the protocol tolerates dropouts by construction (§4.3). The
+// split RNG decides the round assignment.
+func RunAdaptiveCampaign(ctx context.Context, admin *Admin, spec AdaptiveSpec, devices []Device, r *frand.RNG) (*AdaptiveOutcome, error) {
+	if len(devices) < 2 {
+		return nil, fmt.Errorf("transport: adaptive campaign needs at least 2 devices, got %d", len(devices))
+	}
+	gamma := spec.Gamma
+	if gamma == 0 {
+		gamma = 0.5
+	}
+	alpha := spec.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	delta := spec.Delta
+	if delta == 0 {
+		delta = 1.0 / 3.0
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("transport: Delta=%v out of (0,1)", spec.Delta)
+	}
+
+	n1 := int(math.Round(delta * float64(len(devices))))
+	if n1 < 1 {
+		n1 = 1
+	}
+	if n1 >= len(devices) {
+		n1 = len(devices) - 1
+	}
+	perm := r.Perm(len(devices))
+
+	out := &AdaptiveOutcome{}
+
+	// Round 1: geometric allocation.
+	s1, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: spec.Feature, Bits: spec.Bits, Gamma: gamma,
+		Epsilon: spec.Epsilon, SquashThreshold: spec.SquashThreshold, MinCohort: spec.MinCohort,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: round-1 session: %w", err)
+	}
+	for _, idx := range perm[:n1] {
+		if err := devices[idx].Participate(ctx, s1, devices[idx].Value); err == nil {
+			out.Participated++
+		}
+	}
+	if out.Round1, err = admin.Finalize(ctx, s1); err != nil {
+		return nil, fmt.Errorf("transport: round-1 finalize: %w", err)
+	}
+
+	// Learn the round-2 allocation from the round-1 aggregate.
+	round1 := resultFromWire(out.Round1)
+	if spec.Epsilon > 0 {
+		out.Probs2, err = core.LearnedProbsDP(round1)
+	} else {
+		out.Probs2, err = core.LearnedProbs(round1, alpha)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: learning round-2 allocation: %w", err)
+	}
+
+	// Round 2: explicit learned allocation.
+	s2, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: spec.Feature, Bits: spec.Bits, Probs: out.Probs2,
+		Epsilon: spec.Epsilon, SquashThreshold: spec.SquashThreshold, MinCohort: spec.MinCohort,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: round-2 session: %w", err)
+	}
+	for _, idx := range perm[n1:] {
+		if err := devices[idx].Participate(ctx, s2, devices[idx].Value); err == nil {
+			out.Participated++
+		}
+	}
+	if out.Round2, err = admin.Finalize(ctx, s2); err != nil {
+		return nil, fmt.Errorf("transport: round-2 finalize: %w", err)
+	}
+
+	// Pool both rounds with the same semantics as core.RunAdaptive.
+	probs1, err := core.GeometricProbs(spec.Bits, gamma)
+	if err != nil {
+		return nil, err
+	}
+	var rr *ldp.RandomizedResponse
+	if spec.Epsilon > 0 {
+		if rr, err = ldp.NewRandomizedResponse(spec.Epsilon); err != nil {
+			return nil, err
+		}
+	}
+	pooled, err := core.PoolAdaptive(core.Config{
+		Bits: spec.Bits, Probs: probs1, RR: rr, SquashThreshold: spec.SquashThreshold,
+	}, out.Probs2, round1, resultFromWire(out.Round2))
+	if err != nil {
+		return nil, err
+	}
+	out.Estimate = pooled.Estimate
+	return out, nil
+}
+
+// resultFromWire reconstructs the core aggregate from the wire snapshot.
+func resultFromWire(w *wire.Result) *core.Result {
+	return &core.Result{
+		Estimate: w.Estimate,
+		BitMeans: append([]float64(nil), w.BitMeans...),
+		Counts:   append([]int(nil), w.Counts...),
+		Sums:     append([]float64(nil), w.Sums...),
+		Squashed: append([]bool(nil), w.Squashed...),
+		Reports:  w.Reports,
+	}
+}

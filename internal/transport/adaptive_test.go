@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/workload"
+)
+
+func adaptiveDevices(srv string, values []uint64, seed uint64) []Device {
+	root := frand.New(seed)
+	devices := make([]Device, len(values))
+	for i, v := range values {
+		devices[i] = Device{
+			Participant: Participant{
+				BaseURL:  srv,
+				ClientID: fmt.Sprintf("adev-%d", i),
+				RNG:      root.Split(),
+			},
+			Value: v,
+		}
+	}
+	return devices
+}
+
+func TestAdaptiveCampaign(t *testing.T) {
+	srv, admin := newTestStack(t)
+	// Values occupy ~10 bits inside a 16-bit budget: the learned round-2
+	// allocation must drop the vacuous high bits.
+	values := fixedpoint.MustCodec(16, 0, 1).EncodeAll(
+		workload.Normal{Mu: 700, Sigma: 90}.Sample(frand.New(1), 3000))
+	truth := fixedpoint.Mean(values)
+	devices := adaptiveDevices(srv.URL, values, 2)
+
+	out, err := RunAdaptiveCampaign(context.Background(), admin, AdaptiveSpec{
+		Feature: "lat", Bits: 16,
+	}, devices, frand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Participated != 3000 {
+		t.Errorf("participated %d of 3000", out.Participated)
+	}
+	if nrmse := math.Abs(out.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Fatalf("campaign estimate %v vs truth %v", out.Estimate, truth)
+	}
+	for j := 11; j < 16; j++ {
+		if out.Probs2[j] != 0 {
+			t.Errorf("vacuous bit %d kept round-2 probability %v", j, out.Probs2[j])
+		}
+	}
+	if !out.Round1.Done || !out.Round2.Done {
+		t.Error("rounds not finalized")
+	}
+	if out.Round1.Reports+out.Round2.Reports != 3000 {
+		t.Errorf("round reports %d + %d", out.Round1.Reports, out.Round2.Reports)
+	}
+}
+
+func TestAdaptiveCampaignWithLDP(t *testing.T) {
+	srv, admin := newTestStack(t)
+	values := fixedpoint.MustCodec(12, 0, 1).EncodeAll(
+		workload.Normal{Mu: 400, Sigma: 60}.Sample(frand.New(4), 6000))
+	truth := fixedpoint.Mean(values)
+	devices := adaptiveDevices(srv.URL, values, 5)
+
+	out, err := RunAdaptiveCampaign(context.Background(), admin, AdaptiveSpec{
+		Feature: "lat", Bits: 12, Epsilon: 2, SquashThreshold: 0.04,
+	}, devices, frand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(out.Estimate-truth) / truth; nrmse > 0.2 {
+		t.Fatalf("LDP campaign estimate %v vs truth %v", out.Estimate, truth)
+	}
+}
+
+func TestAdaptiveCampaignValidation(t *testing.T) {
+	_, admin := newTestStack(t)
+	ctx := context.Background()
+	if _, err := RunAdaptiveCampaign(ctx, admin, AdaptiveSpec{Feature: "f", Bits: 8},
+		[]Device{{}}, frand.New(1)); err == nil {
+		t.Error("single device accepted")
+	}
+	devices := adaptiveDevices("http://unused", []uint64{1, 2, 3}, 7)
+	if _, err := RunAdaptiveCampaign(ctx, admin, AdaptiveSpec{Feature: "f", Bits: 8, Delta: 2},
+		devices, frand.New(1)); err == nil {
+		t.Error("delta=2 accepted")
+	}
+}
+
+func TestAdaptiveCampaignToleratesFailingDevices(t *testing.T) {
+	srv, admin := newTestStack(t)
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 300, Sigma: 40}.Sample(frand.New(8), 2000))
+	devices := adaptiveDevices(srv.URL, values, 9)
+	// A tenth of the fleet points at a dead server (hard dropout).
+	for i := 0; i < 200; i++ {
+		devices[i].BaseURL = "http://127.0.0.1:1"
+	}
+	truth := fixedpoint.Mean(values)
+	out, err := RunAdaptiveCampaign(context.Background(), admin, AdaptiveSpec{
+		Feature: "lat", Bits: 10,
+	}, devices, frand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Participated < 1700 || out.Participated > 1800 {
+		t.Errorf("participated = %d, want ~1800", out.Participated)
+	}
+	if nrmse := math.Abs(out.Estimate-truth) / truth; nrmse > 0.08 {
+		t.Fatalf("estimate %v vs truth %v under device failures", out.Estimate, truth)
+	}
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/transport/wire"
+)
+
+// Participant plays the client side of the protocol over HTTP. The ε-LDP
+// randomized-response transform runs here, on the client, before the bit
+// leaves the device — the trust boundary of local differential privacy.
+type Participant struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ClientID identifies this device to the server.
+	ClientID string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// RNG drives the local randomizer; required.
+	RNG *frand.RNG
+}
+
+func (p *Participant) client() *http.Client {
+	if p.HTTPClient != nil {
+		return p.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// FetchTask polls the server for this client's bit assignment.
+func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Task, error) {
+	u := fmt.Sprintf("%s/v1/sessions/%s/task?client=%s",
+		p.BaseURL, url.PathEscape(sessionID), url.QueryEscape(p.ClientID))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return wire.Task{}, err
+	}
+	var task wire.Task
+	if err := p.do(req, http.StatusOK, &task); err != nil {
+		return wire.Task{}, err
+	}
+	return task, nil
+}
+
+// Participate runs the client's whole protocol for one session: fetch the
+// task, extract the assigned bit of the private value, apply randomized
+// response locally when the session demands it, and submit the single-bit
+// report. Only that one perturbed bit is ever serialized.
+func (p *Participant) Participate(ctx context.Context, sessionID string, value uint64) error {
+	if p.RNG == nil {
+		return fmt.Errorf("transport: participant %q has no RNG", p.ClientID)
+	}
+	task, err := p.FetchTask(ctx, sessionID)
+	if err != nil {
+		return err
+	}
+	var bit uint64
+	if task.Kind == wire.TaskKindThreshold {
+		if value >= task.Threshold {
+			bit = 1
+		}
+	} else {
+		bit = (value >> uint(task.Bit)) & 1
+	}
+	if task.Epsilon > 0 {
+		rr, err := ldp.NewRandomizedResponse(task.Epsilon)
+		if err != nil {
+			return err
+		}
+		bit = rr.Apply(bit, p.RNG)
+	}
+	ack, err := p.SubmitReport(ctx, sessionID, wire.Report{
+		ClientID: p.ClientID, Bit: task.Bit, Value: bit,
+	})
+	if err != nil {
+		return err
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("transport: report rejected: %s", ack.Reason)
+	}
+	return nil
+}
+
+// SubmitReport posts a report to the server.
+func (p *Participant) SubmitReport(ctx context.Context, sessionID string, rep wire.Report) (wire.ReportAck, error) {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return wire.ReportAck{}, err
+	}
+	u := fmt.Sprintf("%s/v1/sessions/%s/reports", p.BaseURL, url.PathEscape(sessionID))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return wire.ReportAck{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var ack wire.ReportAck
+	if err := p.do(req, http.StatusOK, &ack); err != nil {
+		return wire.ReportAck{}, err
+	}
+	return ack, nil
+}
+
+// do executes a request and decodes the JSON response, converting non-OK
+// statuses into errors carrying the server's error envelope.
+func (p *Participant) do(req *http.Request, wantStatus int, out any) error {
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e wire.Error
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("transport: server status %d: %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("transport: server status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// TailQuantile reads the q-quantile off a finalized threshold session's
+// result: the smallest threshold whose tail probability drops to 1-q or
+// below.
+func TailQuantile(res *wire.Result, q float64) (uint64, error) {
+	if len(res.Thresholds) == 0 || len(res.TailProbs) != len(res.Thresholds) {
+		return 0, fmt.Errorf("transport: result has no threshold data")
+	}
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("transport: quantile %v out of (0,1)", q)
+	}
+	for i, tail := range res.TailProbs {
+		if tail <= 1-q {
+			return res.Thresholds[i], nil
+		}
+	}
+	return res.Thresholds[len(res.Thresholds)-1], nil
+}
+
+// Admin drives the server's control-plane endpoints (session creation and
+// finalization), as used by cmd/fednumd clients and tests.
+type Admin struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (a *Admin) client() *http.Client {
+	if a.HTTPClient != nil {
+		return a.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// CreateSession creates an aggregation session and returns its id.
+func (a *Admin) CreateSession(ctx context.Context, cfg wire.SessionConfig) (string, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.BaseURL+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out wire.CreateSessionResponse
+	p := &Participant{HTTPClient: a.HTTPClient}
+	if err := p.do(req, http.StatusCreated, &out); err != nil {
+		return "", err
+	}
+	return out.SessionID, nil
+}
+
+// Finalize closes the session and returns the aggregate.
+func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/sessions/%s/finalize", a.BaseURL, url.PathEscape(sessionID)), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out wire.Result
+	p := &Participant{HTTPClient: a.HTTPClient}
+	if err := p.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Result fetches the session's current aggregate view.
+func (a *Admin) Result(ctx context.Context, sessionID string) (*wire.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/sessions/%s/result", a.BaseURL, url.PathEscape(sessionID)), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out wire.Result
+	p := &Participant{HTTPClient: a.HTTPClient}
+	if err := p.do(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

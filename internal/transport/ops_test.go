@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/transport/wire"
+)
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Sessions != 1 {
+		t.Fatalf("health = %+v", body)
+	}
+}
+
+func TestSessionListing(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	idBit, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "lat", Bits: 8, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idThr, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "cdf", Bits: 8, Thresholds: []uint64{64, 128, 192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []SessionSummary
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("listing has %d sessions", len(list))
+	}
+	byID := map[string]SessionSummary{}
+	for _, s := range list {
+		byID[s.SessionID] = s
+	}
+	if got := byID[idBit]; got.Kind != wire.TaskKindBit || got.Feature != "lat" || got.Done {
+		t.Errorf("bit session summary %+v", got)
+	}
+	if got := byID[idThr]; got.Kind != wire.TaskKindThreshold || got.Feature != "cdf" {
+		t.Errorf("threshold session summary %+v", got)
+	}
+}

@@ -1,0 +1,449 @@
+// Package transport exposes the aggregation protocol over HTTP/JSON: a
+// Server that creates sessions, hands out single-bit tasks, ingests
+// reports and serves aggregates, and a Participant that plays the client
+// side, applying the ε-LDP transform locally before anything leaves the
+// "device". It is the deployable face of the library, standing in for the
+// paper's production FA stack (§4.3); cmd/fednumd and cmd/fednum-client
+// wrap it as binaries.
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frand"
+	"repro/internal/ldp"
+	"repro/internal/quantile"
+	"repro/internal/transport/wire"
+)
+
+// Errors surfaced via HTTP status codes.
+var (
+	errNotFound = errors.New("transport: session not found")
+	errFinal    = errors.New("transport: session already finalized")
+)
+
+// Server is the aggregation server. Create one with NewServer and mount it
+// as an http.Handler.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	rng      *frand.RNG
+	nextID   int
+	mux      *http.ServeMux
+}
+
+// session is one aggregation in progress. For bit sessions the assignment
+// index is a bit position; for threshold sessions it indexes
+// cfg.Thresholds. Either way a client's report carries the index it was
+// assigned plus one bit of information.
+type session struct {
+	id         string
+	cfg        wire.SessionConfig
+	probs      []float64
+	rr         *ldp.RandomizedResponse
+	thresholds []uint64 // nil for bit sessions
+	issued     []int    // tasks handed out per index, for low-discrepancy assignment
+	// assigned remembers each client's task so off-assignment reports are
+	// rejected (central randomness, the §5 poisoning defence).
+	assigned map[string]int
+	reported map[string]bool
+	reports  []core.Report
+	done     bool
+	result   *core.Result // bit sessions
+	tail     []float64    // threshold sessions: monotonized tail probs
+}
+
+// isThreshold reports the session kind.
+func (sess *session) isThreshold() bool { return len(sess.thresholds) > 0 }
+
+// NewServer returns a server whose task assignment is seeded for
+// reproducibility (the seed does not protect any secret).
+func NewServer(seed uint64) *Server {
+	s := &Server{
+		sessions: make(map[string]*session),
+		rng:      frand.New(seed),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}/task", s.handleTask)
+	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.handleReport)
+	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.handleFinalize)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, wire.Error{Error: err.Error()})
+}
+
+// CreateSession registers a new aggregation session programmatically
+// (the HTTP handler wraps this).
+func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
+	var probs []float64
+	var err error
+	switch {
+	case len(cfg.Thresholds) > 0:
+		// Threshold-query session: clients spread uniformly across the
+		// threshold grid.
+		if cfg.Bits < 1 || cfg.Bits > 52 {
+			return "", fmt.Errorf("transport: bits=%d out of range", cfg.Bits)
+		}
+		max := uint64(1) << uint(cfg.Bits)
+		for i, t := range cfg.Thresholds {
+			if t >= max {
+				return "", fmt.Errorf("transport: threshold %d outside [0, 2^%d)", t, cfg.Bits)
+			}
+			if i > 0 && t <= cfg.Thresholds[i-1] {
+				return "", fmt.Errorf("transport: thresholds must be strictly ascending")
+			}
+		}
+		probs = make([]float64, len(cfg.Thresholds))
+		for i := range probs {
+			probs[i] = 1 / float64(len(probs))
+		}
+	case len(cfg.Probs) > 0:
+		probs, err = core.Normalize(cfg.Probs)
+		if err == nil && len(probs) != cfg.Bits {
+			err = fmt.Errorf("transport: %d probs for %d bits", len(probs), cfg.Bits)
+		}
+	default:
+		probs, err = core.GeometricProbs(cfg.Bits, cfg.Gamma)
+	}
+	if err != nil {
+		return "", err
+	}
+	if cfg.Epsilon < 0 {
+		return "", fmt.Errorf("transport: negative epsilon %v", cfg.Epsilon)
+	}
+	var rr *ldp.RandomizedResponse
+	if cfg.Epsilon > 0 {
+		rr, err = ldp.NewRandomizedResponse(cfg.Epsilon)
+		if err != nil {
+			return "", err
+		}
+	}
+	if cfg.SquashThreshold < 0 || cfg.MinCohort < 0 {
+		return "", fmt.Errorf("transport: negative squash threshold or cohort")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(s.nextID))
+	s.sessions[id] = &session{
+		id:         id,
+		cfg:        cfg,
+		probs:      probs,
+		rr:         rr,
+		thresholds: append([]uint64(nil), cfg.Thresholds...),
+		issued:     make([]int, len(probs)),
+		assigned:   make(map[string]int),
+		reported:   make(map[string]bool),
+	}
+	return id, nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg wire.SessionConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.CreateSession(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, wire.CreateSessionResponse{SessionID: id})
+}
+
+// AssignTask picks the bit a client must report: the bit whose issued
+// count is furthest below its target share — a deterministic
+// low-discrepancy stream that keeps every prefix of assignments within one
+// task of the exact n·p_j proportions (the QMC property of §3.1 for an
+// open-ended client stream). Re-polling clients get their original task.
+func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		return wire.Task{}, errNotFound
+	}
+	if sess.done {
+		return wire.Task{}, errFinal
+	}
+	idx, ok := sess.assigned[clientID]
+	if !ok {
+		idx = sess.nextBit()
+		sess.assigned[clientID] = idx
+		sess.issued[idx]++
+	}
+	task := wire.Task{
+		SessionID: sessionID,
+		Feature:   sess.cfg.Feature,
+		Bits:      sess.cfg.Bits,
+		Bit:       idx,
+	}
+	if sess.isThreshold() {
+		task.Kind = wire.TaskKindThreshold
+		task.Threshold = sess.thresholds[idx]
+	}
+	if sess.rr != nil {
+		task.Epsilon = sess.rr.Eps
+	}
+	return task, nil
+}
+
+// nextBit returns the bit index with the largest deficit relative to its
+// target share after the tasks issued so far.
+func (sess *session) nextBit() int {
+	total := 0
+	for _, c := range sess.issued {
+		total += c
+	}
+	best, bestDeficit := 0, float64(-1)
+	for j, p := range sess.probs {
+		deficit := p*float64(total+1) - float64(sess.issued[j])
+		if deficit > bestDeficit {
+			best, bestDeficit = j, deficit
+		}
+	}
+	return best
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	clientID := r.URL.Query().Get("client")
+	if clientID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("transport: missing client parameter"))
+		return
+	}
+	task, err := s.AssignTask(r.PathValue("id"), clientID)
+	switch {
+	case errors.Is(err, errNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, task)
+	}
+}
+
+// SubmitReport ingests one client report, enforcing one report per client
+// and rejecting reports for bits the server did not assign.
+func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		return wire.ReportAck{}, errNotFound
+	}
+	if sess.done {
+		return wire.ReportAck{}, errFinal
+	}
+	if rep.Value > 1 {
+		return wire.ReportAck{Accepted: false, Reason: "value is not a bit"}, nil
+	}
+	assigned, ok := sess.assigned[rep.ClientID]
+	if !ok {
+		return wire.ReportAck{Accepted: false, Reason: "no task assigned"}, nil
+	}
+	if rep.Bit != assigned {
+		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
+	}
+	if sess.reported[rep.ClientID] {
+		return wire.ReportAck{Accepted: false, Reason: "duplicate report"}, nil
+	}
+	sess.reported[rep.ClientID] = true
+	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
+	return wire.ReportAck{Accepted: true}, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var rep wire.Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ack, err := s.SubmitReport(r.PathValue("id"), rep)
+	switch {
+	case errors.Is(err, errNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, ack)
+	}
+}
+
+// Finalize closes the session and computes the aggregate. It fails if the
+// accepted cohort is below the configured minimum.
+func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		return nil, errNotFound
+	}
+	if !sess.done {
+		if len(sess.reports) < sess.cfg.MinCohort {
+			return nil, fmt.Errorf("transport: cohort %d below minimum %d", len(sess.reports), sess.cfg.MinCohort)
+		}
+		if sess.isThreshold() {
+			sess.tail = sess.tailProbs()
+		} else {
+			res, err := core.Aggregate(core.Config{
+				Bits:            sess.cfg.Bits,
+				Probs:           sess.probs,
+				RR:              sess.rr,
+				SquashThreshold: sess.cfg.SquashThreshold,
+			}, sess.reports)
+			if err != nil {
+				return nil, err
+			}
+			sess.result = res
+		}
+		sess.done = true
+	}
+	return sess.wireResult(), nil
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Finalize(r.PathValue("id"))
+	switch {
+	case errors.Is(err, errNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// Result returns the session's current aggregate view; before Finalize it
+// reports Done=false with the running report count.
+func (s *Server) Result(sessionID string) (*wire.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sessionID]
+	if !ok {
+		return nil, errNotFound
+	}
+	return sess.wireResult(), nil
+}
+
+// tailProbs aggregates a threshold session: per-threshold report means,
+// unbiased under randomized response and projected onto a monotone tail.
+// A threshold that received no reports is treated as uninformative (0.5)
+// and resolved by the monotone projection against its neighbours.
+func (sess *session) tailProbs() []float64 {
+	raw := make([]float64, len(sess.thresholds))
+	counts := make([]int, len(sess.thresholds))
+	for _, rep := range sess.reports {
+		counts[rep.Bit]++
+		raw[rep.Bit] += float64(rep.Value)
+	}
+	for i := range raw {
+		if counts[i] == 0 {
+			raw[i] = 0.5
+			continue
+		}
+		m := raw[i] / float64(counts[i])
+		if sess.rr != nil {
+			m = sess.rr.UnbiasMean(m)
+		}
+		raw[i] = m
+	}
+	return quantile.MonotonizeTail(raw)
+}
+
+// wireResult snapshots the session; the caller holds the lock.
+func (sess *session) wireResult() *wire.Result {
+	out := &wire.Result{
+		SessionID: sess.id,
+		Feature:   sess.cfg.Feature,
+		Done:      sess.done,
+		Reports:   len(sess.reports),
+	}
+	if sess.result != nil {
+		out.Estimate = sess.result.Estimate
+		out.BitMeans = append([]float64(nil), sess.result.BitMeans...)
+		out.Counts = append([]int(nil), sess.result.Counts...)
+		out.Sums = append([]float64(nil), sess.result.Sums...)
+		out.Squashed = append([]bool(nil), sess.result.Squashed...)
+	}
+	if sess.tail != nil {
+		out.Thresholds = append([]uint64(nil), sess.thresholds...)
+		out.TailProbs = append([]float64(nil), sess.tail...)
+	}
+	return out
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+}
+
+// SessionSummary is one row of the session listing.
+type SessionSummary struct {
+	SessionID string `json:"session_id"`
+	Feature   string `json:"feature"`
+	Kind      string `json:"kind"`
+	Bits      int    `json:"bits"`
+	Reports   int    `json:"reports"`
+	Done      bool   `json:"done"`
+}
+
+// Sessions lists every session's summary, sorted by id.
+func (s *Server) Sessions() []SessionSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionSummary, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		kind := wire.TaskKindBit
+		if sess.isThreshold() {
+			kind = wire.TaskKindThreshold
+		}
+		out = append(out, SessionSummary{
+			SessionID: sess.id,
+			Feature:   sess.cfg.Feature,
+			Kind:      kind,
+			Bits:      sess.cfg.Bits,
+			Reports:   len(sess.reports),
+			Done:      sess.done,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SessionID < out[j].SessionID })
+	return out
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}

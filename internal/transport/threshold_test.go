@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/quantile"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+func TestThresholdSessionValidation(t *testing.T) {
+	_, admin := newTestStack(t)
+	ctx := context.Background()
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "f", Bits: 8, Thresholds: []uint64{10, 10},
+	}); err == nil {
+		t.Error("non-ascending thresholds accepted")
+	}
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "f", Bits: 8, Thresholds: []uint64{300},
+	}); err == nil {
+		t.Error("out-of-domain threshold accepted")
+	}
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "f", Bits: 0, Thresholds: []uint64{1},
+	}); err == nil {
+		t.Error("bits=0 threshold session accepted")
+	}
+}
+
+func TestThresholdSessionTasks(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	thresholds := []uint64{32, 96, 160, 224}
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "f", Bits: 8, Thresholds: thresholds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks carry the threshold kind and spread uniformly across the grid.
+	counts := map[uint64]int{}
+	for i := 0; i < 400; i++ {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("c%d", i), RNG: frand.New(uint64(i))}
+		task, err := p.FetchTask(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind != wire.TaskKindThreshold {
+			t.Fatalf("task kind %q", task.Kind)
+		}
+		counts[task.Threshold]++
+	}
+	for _, thr := range thresholds {
+		if counts[thr] != 100 {
+			t.Errorf("threshold %d issued %d times, want 100", thr, counts[thr])
+		}
+	}
+}
+
+func TestThresholdSessionEndToEnd(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(1), 8000))
+	grid, err := quantile.UniformGrid(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "lat", Bits: 10, Thresholds: grid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("d%d", i), RNG: frand.New(uint64(i) + 5)}
+		if err := p.Participate(ctx, id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || len(res.TailProbs) != 16 {
+		t.Fatalf("result %+v", res)
+	}
+	// Monotone tail, ~1 below the data, ~0 above.
+	for i := 1; i < len(res.TailProbs); i++ {
+		if res.TailProbs[i] > res.TailProbs[i-1] {
+			t.Fatalf("tail not monotone at %d", i)
+		}
+	}
+	if res.TailProbs[0] < 0.95 || res.TailProbs[15] > 0.05 {
+		t.Fatalf("tail endpoints %v / %v", res.TailProbs[0], res.TailProbs[15])
+	}
+	// Median via the helper.
+	med, err := TailQuantile(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]uint64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	exact := sorted[len(sorted)/2]
+	if math.Abs(float64(med)-float64(exact)) > 70 {
+		t.Fatalf("HTTP median %d vs exact %d (grid step 64)", med, exact)
+	}
+}
+
+func TestThresholdSessionWithLDP(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 120, Sigma: 20}.Sample(frand.New(2), 10000))
+	grid, _ := quantile.UniformGrid(8, 8)
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "lat", Bits: 8, Thresholds: grid, Epsilon: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("d%d", i), RNG: frand.New(uint64(i) + 7)}
+		if err := p.Participate(ctx, id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := TailQuantile(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(med)-120) > 40 {
+		t.Fatalf("LDP HTTP median %d, want ~120 (grid step 32)", med)
+	}
+}
+
+func TestTailQuantileValidation(t *testing.T) {
+	if _, err := TailQuantile(&wire.Result{}, 0.5); err == nil {
+		t.Error("no threshold data accepted")
+	}
+	res := &wire.Result{Thresholds: []uint64{1, 2}, TailProbs: []float64{1, 0}}
+	if _, err := TailQuantile(res, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if got, err := TailQuantile(res, 0.5); err != nil || got != 2 {
+		t.Errorf("TailQuantile = %d, %v", got, err)
+	}
+}

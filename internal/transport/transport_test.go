@@ -1,0 +1,313 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+func newTestStack(t *testing.T) (*httptest.Server, *Admin) {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(1))
+	t.Cleanup(srv.Close)
+	return srv, &Admin{BaseURL: srv.URL}
+}
+
+func TestCreateSessionValidation(t *testing.T) {
+	_, admin := newTestStack(t)
+	ctx := context.Background()
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 0}); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Probs: []float64{1, 1}}); err == nil {
+		t.Error("prob-length mismatch accepted")
+	}
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, MinCohort: -1}); err == nil {
+		t.Error("negative cohort accepted")
+	}
+}
+
+func TestUnknownSession(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	if _, err := admin.Result(ctx, "nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown session result err = %v", err)
+	}
+	p := &Participant{BaseURL: srv.URL, ClientID: "c1", RNG: frand.New(1)}
+	if _, err := p.FetchTask(ctx, "nope"); err == nil {
+		t.Error("task for unknown session accepted")
+	}
+}
+
+func TestTaskAssignmentStableAndProportional(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-polling the same client returns the same bit.
+	p := &Participant{BaseURL: srv.URL, ClientID: "sticky", RNG: frand.New(2)}
+	t1, err := p.FetchTask(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.FetchTask(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Bit != t2.Bit {
+		t.Fatalf("re-poll changed assignment: %d -> %d", t1.Bit, t2.Bit)
+	}
+	// Across many clients, bits are issued near p_j ∝ 2^j: of 1500 tasks,
+	// bit 3 should get ~800, bit 0 ~100.
+	counts := make([]int, 4)
+	for i := 0; i < 1500; i++ {
+		pi := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("c%d", i), RNG: frand.New(uint64(i))}
+		task, err := pi.FetchTask(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[task.Bit]++
+	}
+	for j, want := range []float64{100, 200, 400, 800} {
+		if math.Abs(float64(counts[j])-want) > 3 {
+			t.Errorf("bit %d issued %d times, want ~%.0f", j, counts[j], want)
+		}
+	}
+}
+
+func TestEndToEndAggregation(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	values := fixedpoint.MustCodec(10, 0, 1).EncodeAll(
+		workload.Normal{Mu: 400, Sigma: 60}.Sample(frand.New(3), 4000))
+	truth := fixedpoint.Mean(values)
+
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "lat", Bits: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("dev-%d", i), RNG: frand.New(uint64(i) + 10)}
+		if err := p.Participate(ctx, id, v); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Reports != len(values) {
+		t.Fatalf("result %+v", res)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.05 {
+		t.Fatalf("HTTP estimate %v vs truth %v (nrmse %v)", res.Estimate, truth, nrmse)
+	}
+}
+
+func TestEndToEndWithLDP(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 100, Sigma: 20}.Sample(frand.New(4), 8000))
+	truth := fixedpoint.Mean(values)
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "lat", Bits: 8, Gamma: 1, Epsilon: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("dev-%d", i), RNG: frand.New(uint64(i) + 99)}
+		if err := p.Participate(ctx, id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrmse := math.Abs(res.Estimate-truth) / truth; nrmse > 0.25 {
+		t.Fatalf("LDP HTTP estimate %v vs truth %v", res.Estimate, truth)
+	}
+	// The task must have told clients to randomize.
+	p := &Participant{BaseURL: srv.URL, ClientID: "probe", RNG: frand.New(1)}
+	task, err := p.FetchTask(ctx, id)
+	if err == nil && task.Epsilon != 2 {
+		t.Errorf("task epsilon = %v, want 2", task.Epsilon)
+	}
+}
+
+func TestServerRejectsBadReports(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Participant{BaseURL: srv.URL, ClientID: "dev", RNG: frand.New(5)}
+	task, err := p.FetchTask(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Report for a different bit than assigned: rejected.
+	other := (task.Bit + 1) % 4
+	ack, err := p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: other, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Fatal("off-assignment report accepted")
+	}
+	// Report without a task: rejected.
+	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "ghost", Bit: 0, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Fatal("taskless report accepted")
+	}
+	// Non-bit value: rejected.
+	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: task.Bit, Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Fatal("non-bit value accepted")
+	}
+	// Valid report: accepted once, duplicate rejected.
+	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: task.Bit, Value: 1})
+	if err != nil || !ack.Accepted {
+		t.Fatalf("valid report rejected: %v %+v", err, ack)
+	}
+	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: task.Bit, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted {
+		t.Fatal("duplicate report accepted")
+	}
+}
+
+func TestMinCohortBlocksFinalize(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1, MinCohort: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Participant{BaseURL: srv.URL, ClientID: "only", RNG: frand.New(6)}
+	if err := p.Participate(ctx, id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Finalize(ctx, id); err == nil {
+		t.Fatal("finalize with cohort 1 < 10 succeeded")
+	}
+	// Result endpoint still answers with Done=false.
+	res, err := admin.Result(ctx, id)
+	if err != nil || res.Done || res.Reports != 1 {
+		t.Fatalf("result = %+v, err %v", res, err)
+	}
+}
+
+func TestFinalizedSessionRefusesTraffic(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Participant{BaseURL: srv.URL, ClientID: "a", RNG: frand.New(7)}
+	if err := p.Participate(ctx, id, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Finalize(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	// Finalize is idempotent.
+	if _, err := admin.Finalize(ctx, id); err != nil {
+		t.Fatalf("second finalize: %v", err)
+	}
+	// New tasks and reports now fail.
+	p2 := &Participant{BaseURL: srv.URL, ClientID: "late", RNG: frand.New(8)}
+	if _, err := p2.FetchTask(ctx, id); err == nil {
+		t.Fatal("task after finalize accepted")
+	}
+}
+
+func TestConcurrentParticipation(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 8, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("c%d", i), RNG: frand.New(uint64(i))}
+			errs <- p.Participate(ctx, id, uint64(i%256))
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports != n {
+		t.Fatalf("reports = %d, want %d", res.Reports, n)
+	}
+}
+
+func TestExplicitProbsSession(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	// An adaptive round-2 style session: all mass on bits 0-1.
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "f", Bits: 4, Probs: []float64{0.5, 0.5, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := &Participant{BaseURL: srv.URL, ClientID: fmt.Sprintf("c%d", i), RNG: frand.New(uint64(i))}
+		task, err := p.FetchTask(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Bit > 1 {
+			t.Fatalf("zero-probability bit %d assigned", task.Bit)
+		}
+	}
+}
+
+func TestParticipantRequiresRNG(t *testing.T) {
+	srv, _ := newTestStack(t)
+	p := &Participant{BaseURL: srv.URL, ClientID: "x"}
+	if err := p.Participate(context.Background(), "any", 1); err == nil {
+		t.Fatal("participation without RNG accepted")
+	}
+}

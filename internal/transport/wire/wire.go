@@ -1,0 +1,96 @@
+// Package wire defines the JSON message types exchanged between the
+// aggregation server (internal/transport.Server) and clients. The private
+// payload of any exchange is a single bit: the task tells the client which
+// bit index to disclose, and the report carries that one (randomized-
+// response protected) binary digit — nothing else about the value leaves
+// the device.
+package wire
+
+// SessionConfig is the request body for creating an aggregation session.
+type SessionConfig struct {
+	// Feature names the metric being aggregated.
+	Feature string `json:"feature"`
+	// Bits is the protocol bit depth.
+	Bits int `json:"bits"`
+	// Gamma shapes the geometric bit-sampling allocation p_j ∝ 2^{γj};
+	// ignored when Probs is set.
+	Gamma float64 `json:"gamma,omitempty"`
+	// Probs is an explicit allocation (length Bits); overrides Gamma.
+	// Adaptive round-2 sessions are created with learned Probs.
+	Probs []float64 `json:"probs,omitempty"`
+	// Epsilon, when positive, instructs clients to apply ε-LDP randomized
+	// response before reporting; the server unbiases accordingly.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// SquashThreshold zeroes small-magnitude bit means at aggregation.
+	SquashThreshold float64 `json:"squash_threshold,omitempty"`
+	// MinCohort refuses to finalize with fewer accepted reports.
+	MinCohort int `json:"min_cohort,omitempty"`
+	// Thresholds, when non-empty, makes this a threshold-query session:
+	// instead of a bit index, each client is assigned one threshold t and
+	// reports 1{x >= t}. The finalized result carries tail probabilities
+	// per threshold instead of a mean estimate. Thresholds must be
+	// strictly ascending and within [0, 2^Bits).
+	Thresholds []uint64 `json:"thresholds,omitempty"`
+}
+
+// Task kinds.
+const (
+	// TaskKindBit asks for one binary digit of the value (bit-pushing).
+	TaskKindBit = "bit"
+	// TaskKindThreshold asks for the one-bit comparison 1{x >= threshold}.
+	TaskKindThreshold = "threshold"
+)
+
+// CreateSessionResponse returns the new session's identifier.
+type CreateSessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+// Task is the server's answer to a client's task poll: which single bit
+// of information about the feature to disclose, and under what privacy
+// parameters. Kind selects between a binary digit (Bit) and a threshold
+// comparison (Threshold); either way the client's response is one bit.
+type Task struct {
+	SessionID string  `json:"session_id"`
+	Feature   string  `json:"feature"`
+	Bits      int     `json:"bits"`
+	Kind      string  `json:"kind,omitempty"` // TaskKindBit when empty
+	Bit       int     `json:"bit"`
+	Threshold uint64  `json:"threshold,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+}
+
+// Report is a client's single-bit submission.
+type Report struct {
+	ClientID string `json:"client_id"`
+	Bit      int    `json:"bit"`
+	Value    uint64 `json:"value"`
+}
+
+// ReportAck acknowledges a report.
+type ReportAck struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Result is the server's aggregate view of a session.
+type Result struct {
+	SessionID string    `json:"session_id"`
+	Feature   string    `json:"feature"`
+	Done      bool      `json:"done"`
+	Reports   int       `json:"reports"`
+	Estimate  float64   `json:"estimate"`
+	BitMeans  []float64 `json:"bit_means"`
+	Counts    []int     `json:"counts"`
+	Sums      []float64 `json:"sums"`
+	Squashed  []bool    `json:"squashed"`
+	// Threshold-session fields: per-threshold monotonized tail
+	// probabilities P(X >= t).
+	Thresholds []uint64  `json:"thresholds,omitempty"`
+	TailProbs  []float64 `json:"tail_probs,omitempty"`
+}
+
+// Error is the JSON error envelope.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,215 @@
+// Package workload generates the client-value populations used by the
+// paper's evaluation (§4): Normal, uniform and exponential synthetic data,
+// the US-census age distribution, and the heavy-tailed device-health
+// metrics described in the deployment section.
+//
+// Each generator draws a population of real values; the experiment harness
+// encodes them with internal/fixedpoint and compares estimators against the
+// empirical (ground-truth) mean of the drawn sample, exactly as the paper
+// does ("we compare the true (empirical) value of the mean μ to the
+// estimate").
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frand"
+)
+
+// Generator draws a population of n client values.
+type Generator interface {
+	// Name identifies the workload in experiment output.
+	Name() string
+	// Sample draws n values using the provided RNG.
+	Sample(r *frand.RNG, n int) []float64
+}
+
+// Normal draws from Normal(Mu, Sigma), the synthetic workload of Figure 1.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Name implements Generator.
+func (g Normal) Name() string { return fmt.Sprintf("normal(mu=%g,sigma=%g)", g.Mu, g.Sigma) }
+
+// Sample implements Generator.
+func (g Normal) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Normal(g.Mu, g.Sigma)
+	}
+	return out
+}
+
+// Uniform draws from Uniform[Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Name implements Generator.
+func (g Uniform) Name() string { return fmt.Sprintf("uniform[%g,%g)", g.Lo, g.Hi) }
+
+// Sample implements Generator.
+func (g Uniform) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Lo + (g.Hi-g.Lo)*r.Float64()
+	}
+	return out
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+type Exponential struct {
+	Mean float64
+}
+
+// Name implements Generator.
+func (g Exponential) Name() string { return fmt.Sprintf("exponential(mean=%g)", g.Mean) }
+
+// Sample implements Generator.
+func (g Exponential) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Exponential(g.Mean)
+	}
+	return out
+}
+
+// LogNormal draws exp(Normal(Mu, Sigma)), a mildly heavy-tailed workload.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Name implements Generator.
+func (g LogNormal) Name() string { return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", g.Mu, g.Sigma) }
+
+// Sample implements Generator.
+func (g LogNormal) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.LogNormal(g.Mu, g.Sigma)
+	}
+	return out
+}
+
+// Constant emits the same value for every client. §4.3 observes that some
+// deployed metrics "turn out to be constant, making mean and variance
+// estimation moot"; this generator exercises that corner case.
+type Constant struct {
+	Value float64
+}
+
+// Name implements Generator.
+func (g Constant) Name() string { return fmt.Sprintf("constant(%g)", g.Value) }
+
+// Sample implements Generator.
+func (g Constant) Sample(_ *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Value
+	}
+	return out
+}
+
+// Bimodal draws from a two-component normal mixture.
+type Bimodal struct {
+	Mu1, Sigma1 float64
+	Mu2, Sigma2 float64
+	W1          float64 // weight of the first component in [0,1]
+}
+
+// Name implements Generator.
+func (g Bimodal) Name() string {
+	return fmt.Sprintf("bimodal(%g±%g @%g, %g±%g)", g.Mu1, g.Sigma1, g.W1, g.Mu2, g.Sigma2)
+}
+
+// Sample implements Generator.
+func (g Bimodal) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if r.Bernoulli(g.W1) {
+			out[i] = r.Normal(g.Mu1, g.Sigma1)
+		} else {
+			out[i] = r.Normal(g.Mu2, g.Sigma2)
+		}
+	}
+	return out
+}
+
+// HeavyTail draws a Zipf-distributed workload over [0, Max]: most values
+// tiny, a few enormous. It models the §4.3 observation of metrics "whose
+// most typical values are 0 and 1 ... but some rare clients report values
+// that are orders of magnitude higher".
+type HeavyTail struct {
+	S   float64 // Zipf exponent, > 1
+	Max uint64  // largest emitted value
+}
+
+// Name implements Generator.
+func (g HeavyTail) Name() string { return fmt.Sprintf("heavytail(s=%g,max=%d)", g.S, g.Max) }
+
+// Sample implements Generator.
+func (g HeavyTail) Sample(r *frand.RNG, n int) []float64 {
+	z := frand.NewZipf(r, g.S, 1, g.Max)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(z.Uint64())
+	}
+	return out
+}
+
+// Pareto draws from a Pareto distribution with scale Xm > 0 and tail index
+// Alpha > 0 via inverse transform: values start at Xm and the survival
+// function decays like (Xm/x)^Alpha. With Alpha <= 1 the mean diverges —
+// the regime where §4.3 argues "estimating the mean might not be
+// appropriate" and robust statistics or clipping must take over.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Name implements Generator.
+func (g Pareto) Name() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", g.Xm, g.Alpha) }
+
+// Sample implements Generator.
+func (g Pareto) Sample(r *frand.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := 1 - r.Float64() // in (0, 1]
+		out[i] = g.Xm * math.Pow(u, -1/g.Alpha)
+	}
+	return out
+}
+
+// DeviceMetric models the §4.3 device-health metric mixture: a large mass
+// at 0 and 1, some single-digit values, and rare extreme outliers.
+type DeviceMetric struct {
+	OutlierMax uint64 // magnitude ceiling of the rare outliers
+}
+
+// Name implements Generator.
+func (g DeviceMetric) Name() string { return fmt.Sprintf("devicemetric(outlierMax=%d)", g.OutlierMax) }
+
+// Sample implements Generator.
+func (g DeviceMetric) Sample(r *frand.RNG, n int) []float64 {
+	max := g.OutlierMax
+	if max < 100 {
+		max = 1 << 20
+	}
+	out := make([]float64, n)
+	for i := range out {
+		u := r.Float64()
+		switch {
+		case u < 0.55:
+			out[i] = 0
+		case u < 0.85:
+			out[i] = 1
+		case u < 0.97:
+			out[i] = float64(2 + r.Intn(8)) // single digits
+		default:
+			// Rare outliers spanning orders of magnitude.
+			out[i] = float64(100 + r.Uint64n(max-100))
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frand"
+	"repro/internal/stats"
+)
+
+func sampleStats(t *testing.T, g Generator, n int, seed uint64) *stats.Stream {
+	t.Helper()
+	var s stats.Stream
+	s.AddAll(g.Sample(frand.New(seed), n))
+	if s.N() != n {
+		t.Fatalf("%s: sample size %d, want %d", g.Name(), s.N(), n)
+	}
+	return &s
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := sampleStats(t, Normal{Mu: 1000, Sigma: 100}, 100000, 1)
+	if math.Abs(s.Mean()-1000) > 2 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if math.Abs(s.StdDev()-100) > 2 {
+		t.Errorf("stddev = %v", s.StdDev())
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := sampleStats(t, Uniform{Lo: 10, Hi: 30}, 100000, 2)
+	if math.Abs(s.Mean()-20) > 0.2 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() < 10 || s.Max() >= 30 {
+		t.Errorf("range [%v, %v] outside [10,30)", s.Min(), s.Max())
+	}
+	// Var of U[10,30) is 400/12.
+	if math.Abs(s.Variance()-400.0/12) > 1 {
+		t.Errorf("variance = %v", s.Variance())
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := sampleStats(t, Exponential{Mean: 50}, 100000, 3)
+	if math.Abs(s.Mean()-50) > 1 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() < 0 {
+		t.Errorf("negative draw %v", s.Min())
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := sampleStats(t, LogNormal{Mu: 2, Sigma: 1}, 50000, 4)
+	if s.Min() <= 0 {
+		t.Errorf("non-positive lognormal draw %v", s.Min())
+	}
+	// Mean of LogNormal(2,1) is exp(2.5) ≈ 12.18.
+	if math.Abs(s.Mean()-math.Exp(2.5)) > 0.6 {
+		t.Errorf("mean = %v, want ~%v", s.Mean(), math.Exp(2.5))
+	}
+}
+
+func TestConstant(t *testing.T) {
+	s := sampleStats(t, Constant{Value: 7}, 1000, 5)
+	if s.Mean() != 7 || s.Variance() != 0 {
+		t.Errorf("constant stats mean=%v var=%v", s.Mean(), s.Variance())
+	}
+}
+
+func TestBimodalModes(t *testing.T) {
+	g := Bimodal{Mu1: 10, Sigma1: 1, Mu2: 100, Sigma2: 1, W1: 0.5}
+	vals := g.Sample(frand.New(6), 50000)
+	low, high := 0, 0
+	for _, v := range vals {
+		switch {
+		case v < 50:
+			low++
+		default:
+			high++
+		}
+	}
+	ratio := float64(low) / float64(low+high)
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("mode balance = %v, want ~0.5", ratio)
+	}
+}
+
+func TestHeavyTailShape(t *testing.T) {
+	g := HeavyTail{S: 1.5, Max: 1 << 20}
+	vals := g.Sample(frand.New(7), 50000)
+	zeros, big := 0, 0
+	for _, v := range vals {
+		if v == 0 {
+			zeros++
+		}
+		if v > 1000 {
+			big++
+		}
+		if v < 0 || v > float64(g.Max) {
+			t.Fatalf("out-of-range draw %v", v)
+		}
+	}
+	if float64(zeros)/50000 < 0.2 {
+		t.Errorf("heavy tail head mass = %v, want dominant", float64(zeros)/50000)
+	}
+	if big == 0 {
+		t.Error("heavy tail produced no large outliers")
+	}
+}
+
+func TestParetoShape(t *testing.T) {
+	g := Pareto{Xm: 10, Alpha: 2.5}
+	vals := g.Sample(frand.New(20), 100000)
+	var s stats.Stream
+	for _, v := range vals {
+		if v < 10 {
+			t.Fatalf("draw %v below scale", v)
+		}
+		s.Add(v)
+	}
+	// Mean of Pareto(xm, alpha) is alpha·xm/(alpha-1) = 16.67.
+	if math.Abs(s.Mean()-50.0/3) > 0.5 {
+		t.Errorf("pareto mean %v, want ~16.67", s.Mean())
+	}
+	// Tail check: P(X > 40) = (10/40)^2.5 = 0.03125.
+	over := 0
+	for _, v := range vals {
+		if v > 40 {
+			over++
+		}
+	}
+	if f := float64(over) / 100000; math.Abs(f-0.03125) > 0.003 {
+		t.Errorf("tail mass beyond 40 = %v, want ~0.03125", f)
+	}
+}
+
+func TestParetoInfiniteMeanRegime(t *testing.T) {
+	// Alpha <= 1: the sample mean is dominated by the maximum — the §4.3
+	// situation where mean estimation breaks down.
+	g := Pareto{Xm: 1, Alpha: 0.9}
+	vals := g.Sample(frand.New(21), 50000)
+	var s stats.Stream
+	s.AddAll(vals)
+	if s.Max() < 100*s.Mean()/10 {
+		t.Errorf("max %v not dominating mean %v for alpha<1", s.Max(), s.Mean())
+	}
+}
+
+func TestDeviceMetricMixture(t *testing.T) {
+	g := DeviceMetric{OutlierMax: 1 << 24}
+	vals := g.Sample(frand.New(8), 100000)
+	var zeros, ones, small, outliers int
+	for _, v := range vals {
+		switch {
+		case v == 0:
+			zeros++
+		case v == 1:
+			ones++
+		case v < 10:
+			small++
+		default:
+			outliers++
+		}
+	}
+	if f := float64(zeros) / 100000; math.Abs(f-0.55) > 0.02 {
+		t.Errorf("zero fraction %v, want ~0.55", f)
+	}
+	if f := float64(ones) / 100000; math.Abs(f-0.30) > 0.02 {
+		t.Errorf("one fraction %v, want ~0.30", f)
+	}
+	if outliers == 0 {
+		t.Error("no outliers produced")
+	}
+	if f := float64(outliers) / 100000; f > 0.05 {
+		t.Errorf("outlier fraction %v, want rare", f)
+	}
+}
+
+func TestDeviceMetricDefaultOutlierMax(t *testing.T) {
+	g := DeviceMetric{} // zero OutlierMax must not panic
+	vals := g.Sample(frand.New(9), 10000)
+	for _, v := range vals {
+		if v < 0 {
+			t.Fatalf("negative value %v", v)
+		}
+	}
+}
+
+func TestCensusAgesMoments(t *testing.T) {
+	s := sampleStats(t, CensusAges{}, 200000, 10)
+	// The US age distribution has mean in the mid/high 30s and stddev in
+	// the low 20s; the surrogate must land in those bands.
+	if s.Mean() < 33 || s.Mean() > 42 {
+		t.Errorf("census mean = %v, want mid-to-high 30s", s.Mean())
+	}
+	if s.StdDev() < 19 || s.StdDev() > 26 {
+		t.Errorf("census stddev = %v, want low 20s", s.StdDev())
+	}
+	if s.Min() < 0 || s.Max() >= MaxAge {
+		t.Errorf("ages outside [0,%d): [%v, %v]", MaxAge, s.Min(), s.Max())
+	}
+}
+
+func TestCensusAgesIntegers(t *testing.T) {
+	vals := CensusAges{}.Sample(frand.New(11), 1000)
+	for _, v := range vals {
+		if v != math.Trunc(v) {
+			t.Fatalf("non-integer age %v", v)
+		}
+	}
+}
+
+func TestCensusAgesRightSkewTaper(t *testing.T) {
+	vals := CensusAges{}.Sample(frand.New(12), 200000)
+	var under20, over80 int
+	for _, v := range vals {
+		if v < 20 {
+			under20++
+		}
+		if v >= 80 {
+			over80++
+		}
+	}
+	if under20 <= over80 {
+		t.Errorf("age pyramid inverted: under20=%d over80=%d", under20, over80)
+	}
+	if float64(over80)/200000 > 0.06 {
+		t.Errorf("too much mass over 80: %v", float64(over80)/200000)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []Generator{
+		Normal{Mu: 5, Sigma: 2},
+		Uniform{Lo: 0, Hi: 1},
+		Exponential{Mean: 3},
+		LogNormal{Mu: 0, Sigma: 1},
+		Constant{Value: 9},
+		Bimodal{Mu1: 0, Sigma1: 1, Mu2: 10, Sigma2: 1, W1: 0.3},
+		HeavyTail{S: 2, Max: 1000},
+		Pareto{Xm: 5, Alpha: 2},
+		DeviceMetric{OutlierMax: 10000},
+		CensusAges{},
+	}
+	for _, g := range gens {
+		a := g.Sample(frand.New(77), 100)
+		b := g.Sample(frand.New(77), 100)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: non-deterministic at %d (%v vs %v)", g.Name(), i, a[i], b[i])
+				break
+			}
+		}
+		if g.Name() == "" {
+			t.Errorf("%T has empty name", g)
+		}
+	}
+}
