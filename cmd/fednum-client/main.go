@@ -78,8 +78,23 @@ func main() {
 	quantileQ := flag.Float64("quantile", 0, "estimate this quantile via a threshold session instead of the mean (e.g. 0.5 for the median)")
 	gridK := flag.Int("grid", 32, "threshold-grid size for -quantile sessions")
 	parallel := flag.Int("parallel", 32, "concurrent clients")
+	retries := flag.Int("retries", 5, "attempts per request before giving up (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request attempt timeout (0 = none)")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "fleet seed")
 	flag.Parse()
+
+	// One shared policy: it is safe for concurrent use, and the jitter
+	// decorrelates the fleet's retry storms.
+	retry := &transport.RetryPolicy{
+		MaxAttempts:   *retries,
+		BaseDelay:     *retryBase,
+		MaxDelay:      *retryMax,
+		Jitter:        0.5,
+		PerTryTimeout: *timeout,
+		Seed:          *seed,
+	}
 
 	gen, err := parseWorkload(*spec)
 	if err != nil {
@@ -90,13 +105,13 @@ func main() {
 	truth := fixedpoint.Mean(values)
 
 	ctx := context.Background()
-	admin := &transport.Admin{BaseURL: *server}
+	admin := &transport.Admin{BaseURL: *server, Retry: retry}
 	if *quantileQ > 0 {
-		runQuantile(ctx, admin, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
+		runQuantile(ctx, admin, retry, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
 		return
 	}
 	if *adaptive {
-		runAdaptive(ctx, admin, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
+		runAdaptive(ctx, admin, retry, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
 		return
 	}
 	session, err := admin.CreateSession(ctx, wire.SessionConfig{
@@ -123,6 +138,7 @@ func main() {
 				BaseURL:  *server,
 				ClientID: fmt.Sprintf("dev-%d", i),
 				RNG:      rng,
+				Retry:    retry,
 			}
 			if err := p.Participate(ctx, session, v); err != nil {
 				mu.Lock()
@@ -150,7 +166,7 @@ func main() {
 
 // runQuantile estimates a quantile through a threshold session: every
 // client discloses one comparison bit against its assigned grid threshold.
-func runQuantile(ctx context.Context, admin *transport.Admin, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
+func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
 	grid, err := quantile.UniformGrid(bits, gridK)
 	if err != nil {
 		log.Fatalf("fednum-client: %v", err)
@@ -164,7 +180,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, server, feature st
 	start := time.Now()
 	for i, v := range values {
 		p := &transport.Participant{
-			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
+			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(), Retry: retry,
 		}
 		if err := p.Participate(ctx, session, v); err != nil {
 			log.Fatalf("fednum-client: client %d: %v", i, err)
@@ -187,7 +203,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, server, feature st
 }
 
 // runAdaptive drives the two-round Algorithm 2 campaign over HTTP.
-func runAdaptive(ctx context.Context, admin *transport.Admin, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
+func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
 	devices := make([]transport.Device, len(values))
 	for i, v := range values {
 		devices[i] = transport.Device{
@@ -203,6 +219,7 @@ func runAdaptive(ctx context.Context, admin *transport.Admin, server, feature st
 	out, err := transport.RunAdaptiveCampaign(ctx, admin, transport.AdaptiveSpec{
 		Feature: feature, Bits: bits, Gamma: gamma,
 		Epsilon: eps, SquashThreshold: squash, MinCohort: minCohort,
+		Retry: retry,
 	}, devices, root)
 	if err != nil {
 		log.Fatalf("fednum-client: adaptive campaign: %v", err)

@@ -3,27 +3,91 @@
 // randomized-response-protected reports and serves the aggregates. It is
 // the deployable counterpart of the paper's Federated Analytics stack
 // (§4.3); pair it with cmd/fednum-client.
+//
+// The daemon is crash-safe: SIGINT/SIGTERM trigger a graceful drain with a
+// bounded grace period, and with -snapshot set the whole session table is
+// written to disk on shutdown and restored on the next boot, so an
+// in-flight aggregation survives a restart. Sessions created with a TTL
+// are garbage-collected (auto-finalized or expired) by a background
+// sweeper.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/transport"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address (port 0 picks a free port)")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "task-assignment seed")
+	snapshot := flag.String("snapshot", "", "session-state snapshot path: restored on boot, written on shutdown")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+	gcInterval := flag.Duration("gc-interval", time.Second, "session TTL sweep interval")
+	retention := flag.Duration("retention", 0, "drop finalized/expired sessions this long after they end (0 = keep)")
 	flag.Parse()
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           transport.NewServer(*seed),
-		ReadHeaderTimeout: 5 * time.Second,
+	agg := transport.NewServer(*seed)
+	agg.Retention = *retention
+	if *snapshot != "" {
+		if err := agg.LoadSnapshot(*snapshot); err != nil {
+			log.Fatalf("fednumd: restoring snapshot %s: %v", *snapshot, err)
+		}
+		if n := len(agg.Sessions()); n > 0 {
+			log.Printf("fednumd: restored %d session(s) from %s", n, *snapshot)
+		}
 	}
-	log.Printf("fednumd: aggregation server listening on http://%s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	stopGC := agg.StartGC(*gcInterval)
+	defer stopGC()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fednumd: listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{
+		Handler:           agg,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	log.Printf("fednumd: aggregation server listening on http://%s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("fednumd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("fednumd: signal received, draining connections (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("fednumd: drain incomplete, closing: %v", err)
+		srv.Close()
+	}
+	stopGC()
+	if *snapshot != "" {
+		if err := agg.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("fednumd: writing snapshot %s: %v", *snapshot, err)
+		}
+		log.Printf("fednumd: session state saved to %s", *snapshot)
+	}
 }

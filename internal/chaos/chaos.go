@@ -1,0 +1,212 @@
+// Package chaos injects seeded, deterministic faults into the HTTP paths
+// of the aggregation protocol, simulating the flaky fleets the paper's
+// production stack runs on (§4.3): dropped connections, lost acks,
+// network-level retransmission (duplicate delivery), transient server
+// errors and response delays. It provides both a client-side
+// http.RoundTripper wrapper and server-side middleware, driven by one
+// Injector so a test controls the whole fault mix from a single seed.
+//
+// The injector never touches payloads — it only drops, delays, duplicates
+// or fails whole exchanges — so any state the server reaches is one a real
+// lossy network could have produced.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/frand"
+)
+
+// Faults is the injection mix. All probabilities are independent per
+// request and in [0,1]; zero values inject nothing.
+type Faults struct {
+	// Seed drives the fault stream; the same seed over the same request
+	// sequence reproduces the same faults.
+	Seed uint64
+	// Drop is the probability a client request never reaches the server
+	// (connection refused): the client sees a transport error, the server
+	// sees nothing.
+	Drop float64
+	// LoseAck is the probability the server processes the request but the
+	// response is lost (connection reset after delivery): the client sees
+	// a transport error, the server has committed the effect. This is the
+	// case that forces honest idempotency.
+	LoseAck float64
+	// Duplicate is the probability a request is delivered twice (network
+	// retransmission): the server handles both copies, the client sees
+	// the second response.
+	Duplicate float64
+	// ServerErr is the probability the server middleware answers 503
+	// without invoking the handler.
+	ServerErr float64
+	// Delay is the probability the server middleware stalls a request by
+	// a uniform duration in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds injected delays; ignored when Delay is zero.
+	MaxDelay time.Duration
+}
+
+// Counters tallies injected faults, for asserting a soak actually
+// exercised each failure mode.
+type Counters struct {
+	Requests   int // client-side requests seen by the RoundTripper
+	Dropped    int
+	AcksLost   int
+	Duplicated int
+	ServerErrs int
+	Delayed    int
+}
+
+// Injector applies a Faults mix. It is safe for concurrent use; one
+// Injector can back any number of clients and one server.
+type Injector struct {
+	faults Faults
+
+	mu       sync.Mutex
+	rng      *frand.RNG
+	counters Counters
+}
+
+// NewInjector validates the mix and returns an injector.
+func NewInjector(f Faults) (*Injector, error) {
+	for _, p := range []float64{f.Drop, f.LoseAck, f.Duplicate, f.ServerErr, f.Delay} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("chaos: probability %v out of [0,1]", p)
+		}
+	}
+	if f.Delay > 0 && f.MaxDelay <= 0 {
+		return nil, fmt.Errorf("chaos: Delay=%v needs a positive MaxDelay", f.Delay)
+	}
+	return &Injector{faults: f, rng: frand.New(f.Seed)}, nil
+}
+
+// Counters returns a snapshot of the fault tallies.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counters
+}
+
+// roll draws one Bernoulli and bumps the counter on success.
+func (in *Injector) roll(p float64, counter *int) bool {
+	if p <= 0 {
+		return false
+	}
+	hit := in.rng.Bernoulli(p)
+	if hit {
+		*counter++
+	}
+	return hit
+}
+
+// delayFor draws a uniform delay in (0, MaxDelay].
+func (in *Injector) delayFor() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Float64() * float64(in.faults.MaxDelay))
+}
+
+// Transport wraps inner with client-side fault injection. A nil inner uses
+// http.DefaultTransport.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &roundTripper{in: in, inner: inner}
+}
+
+type roundTripper struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper: it may refuse to deliver the
+// request, deliver it twice, or deliver it and lose the response.
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body so the request can be replayed for duplicate
+	// delivery; per contract the original body is always closed.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rt.in.mu.Lock()
+	rt.in.counters.Requests++
+	drop := rt.in.roll(rt.in.faults.Drop, &rt.in.counters.Dropped)
+	var dup, lose bool
+	if !drop {
+		dup = rt.in.roll(rt.in.faults.Duplicate, &rt.in.counters.Duplicated)
+		lose = rt.in.roll(rt.in.faults.LoseAck, &rt.in.counters.AcksLost)
+	}
+	rt.in.mu.Unlock()
+	if drop {
+		return nil, fmt.Errorf("chaos: connection refused: %s %s", req.Method, req.URL.Path)
+	}
+	if dup {
+		// First delivery: the server handles it, the network eats the
+		// response.
+		resp, err := rt.inner.RoundTrip(cloneRequest(req, body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	resp, err := rt.inner.RoundTrip(cloneRequest(req, body))
+	if err != nil {
+		return nil, err
+	}
+	if lose {
+		// Delivered and processed, but the client never hears back.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: connection reset by peer: %s %s", req.Method, req.URL.Path)
+	}
+	return resp, nil
+}
+
+// cloneRequest rebuilds the request with a fresh body reader.
+func cloneRequest(req *http.Request, body []byte) *http.Request {
+	clone := req.Clone(req.Context())
+	if body != nil {
+		clone.Body = io.NopCloser(bytes.NewReader(body))
+		clone.ContentLength = int64(len(body))
+	} else {
+		clone.Body = http.NoBody
+	}
+	return clone
+}
+
+// Middleware wraps next with server-side fault injection: injected 503s
+// (before the handler runs, so no state is committed) and delays.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		in.mu.Lock()
+		fail := in.roll(in.faults.ServerErr, &in.counters.ServerErrs)
+		delay := !fail && in.roll(in.faults.Delay, &in.counters.Delayed)
+		in.mu.Unlock()
+		if fail {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"chaos: injected unavailability","code":"unavailable"}`)
+			return
+		}
+		if delay {
+			d := in.delayFor()
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

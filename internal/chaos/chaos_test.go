@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newBackend returns a server counting the requests that actually reach
+// the handler, optionally wrapped in injector middleware.
+func newBackend(t *testing.T, in *Injector) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	var h http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	if in != nil {
+		h = in.Middleware(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func get(t *testing.T, srv *httptest.Server, rt http.RoundTripper) (*http.Response, error) {
+	t.Helper()
+	c := &http.Client{Transport: rt}
+	return c.Get(srv.URL + "/x")
+}
+
+func TestDropNeverReachesServer(t *testing.T) {
+	in, err := NewInjector(Faults{Seed: 1, Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := newBackend(t, nil)
+	if _, err := get(t, srv, in.Transport(nil)); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests, want 0", hits.Load())
+	}
+	if c := in.Counters(); c.Dropped != 1 || c.Requests != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	in, err := NewInjector(Faults{Seed: 1, Duplicate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := newBackend(t, nil)
+	resp, err := get(t, srv, in.Transport(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+func TestLoseAckDeliversButErrors(t *testing.T) {
+	in, err := NewInjector(Faults{Seed: 1, LoseAck: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := newBackend(t, nil)
+	if _, err := get(t, srv, in.Transport(nil)); err == nil {
+		t.Fatal("lost-ack request returned a response")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (processed, ack lost)", hits.Load())
+	}
+}
+
+func TestMiddlewareInjects503(t *testing.T) {
+	in, err := NewInjector(Faults{Seed: 1, ServerErr: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := newBackend(t, in)
+	resp, err := get(t, srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("handler ran %d times behind an injected 503", hits.Load())
+	}
+}
+
+func TestMiddlewareDelays(t *testing.T) {
+	in, err := NewInjector(Faults{Seed: 7, Delay: 1, MaxDelay: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newBackend(t, in)
+	resp, err := get(t, srv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if c := in.Counters(); c.Delayed != 1 {
+		t.Fatalf("counters = %+v, want 1 delayed", c)
+	}
+}
+
+func TestDeterministicFaultStream(t *testing.T) {
+	run := func() Counters {
+		in, err := NewInjector(Faults{Seed: 99, Drop: 0.3, Duplicate: 0.3, LoseAck: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, _ := newBackend(t, nil)
+		rt := in.Transport(nil)
+		for i := 0; i < 50; i++ {
+			if resp, err := get(t, srv, rt); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return in.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault streams: %+v vs %+v", a, b)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	if _, err := NewInjector(Faults{Drop: 1.5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewInjector(Faults{Delay: 0.5}); err == nil {
+		t.Error("Delay without MaxDelay accepted")
+	}
+}

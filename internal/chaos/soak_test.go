@@ -1,0 +1,155 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+// TestChaosSoak runs hundreds of concurrent flaky clients through one
+// aggregation session behind a fault injector — dropped requests, lost
+// acks (duplicate server deliveries), network retransmissions, injected
+// 503s and delays — and asserts the protocol converges: every retried
+// client lands exactly one accepted report, and the estimate matches a
+// fault-free in-process core.Aggregate run within statistical tolerance.
+func TestChaosSoak(t *testing.T) {
+	const (
+		n    = 600
+		bits = 8
+	)
+	in, err := chaos.NewInjector(chaos.Faults{
+		Seed:      42,
+		Drop:      0.12, // ≥10% dropped requests
+		LoseAck:   0.06,
+		Duplicate: 0.06, // ≥5% duplicated
+		ServerErr: 0.06,
+		Delay:     0.20,
+		MaxDelay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := transport.NewServer(1)
+	srv := httptest.NewServer(in.Middleware(agg))
+	defer srv.Close()
+
+	root := frand.New(7)
+	values := fixedpoint.MustCodec(bits, 0, 1).EncodeAll(
+		workload.Normal{Mu: 140, Sigma: 35}.Sample(root, n))
+	truth := fixedpoint.Mean(values)
+
+	retry := func(seed uint64) *transport.RetryPolicy {
+		return &transport.RetryPolicy{
+			MaxAttempts:   10,
+			BaseDelay:     2 * time.Millisecond,
+			MaxDelay:      40 * time.Millisecond,
+			Jitter:        0.5,
+			PerTryTimeout: 5 * time.Second,
+			Seed:          seed,
+		}
+	}
+	ctx := context.Background()
+	// The admin traverses the same faulty middleware, so it retries too.
+	admin := &transport.Admin{BaseURL: srv.URL, Retry: retry(1)}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "soak", Bits: bits, Gamma: 1, MinCohort: n / 2,
+	})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	succeeded := 0
+	for i, v := range values {
+		wg.Add(1)
+		go func(i int, v uint64, rng *frand.RNG) {
+			defer wg.Done()
+			p := &transport.Participant{
+				BaseURL:    srv.URL,
+				ClientID:   clientID(i),
+				RNG:        rng,
+				Retry:      retry(uint64(i) + 1000),
+				HTTPClient: &http.Client{Transport: in.Transport(nil)},
+			}
+			if err := p.Participate(ctx, session, v); err == nil {
+				mu.Lock()
+				succeeded++
+				mu.Unlock()
+			}
+		}(i, v, root.Split())
+	}
+	wg.Wait()
+
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+
+	// The injector must actually have exercised every fault mode at the
+	// advertised rates (within loose binomial slack).
+	c := in.Counters()
+	t.Logf("faults: %+v over %d requests; %d/%d clients succeeded, %d reports",
+		c, c.Requests, succeeded, n, res.Reports)
+	if c.Dropped < c.Requests/20 || c.Duplicated == 0 || c.AcksLost == 0 || c.ServerErrs == 0 || c.Delayed == 0 {
+		t.Fatalf("fault injector barely fired: %+v", c)
+	}
+
+	// Exactly-once: the cohort can never exceed the client count (no
+	// duplicate delivery may double-count), and every client whose
+	// Participate succeeded is in it. With 10 attempts per request the
+	// overwhelming majority pushes through the ~20% per-attempt fault rate.
+	if res.Reports > n {
+		t.Fatalf("%d reports from %d clients: duplicates double-counted", res.Reports, n)
+	}
+	if res.Reports < succeeded {
+		t.Fatalf("%d reports < %d acked participations", res.Reports, succeeded)
+	}
+	if succeeded < (n*9)/10 {
+		t.Fatalf("only %d/%d clients pushed through the chaos", succeeded, n)
+	}
+
+	// Fault-free baseline: the same values aggregated in-process with the
+	// same allocation. Both estimators are unbiased with σ ≈ truth/√n, so
+	// the two estimates and the exact mean must agree within a few σ.
+	probs, err := core.GeometricProbs(bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := core.Allocate(probs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := core.Assign(counts, frand.New(11))
+	reports := make([]core.Report, n)
+	for i, v := range values {
+		reports[i] = core.Report{Bit: assign[i], Value: (v >> uint(assign[i])) & 1}
+	}
+	clean, err := core.Aggregate(core.Config{Bits: bits, Probs: probs}, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sigma := truth / math.Sqrt(n)
+	if d := math.Abs(res.Estimate - truth); d > 4*sigma {
+		t.Fatalf("chaos estimate %.2f vs exact mean %.2f: off by %.1fσ", res.Estimate, truth, d/sigma)
+	}
+	if d := math.Abs(res.Estimate - clean.Estimate); d > 6*sigma {
+		t.Fatalf("chaos estimate %.2f vs fault-free estimate %.2f: off by %.1fσ", res.Estimate, clean.Estimate, d/sigma)
+	}
+}
+
+func clientID(i int) string { return fmt.Sprintf("dev-%d", i) }

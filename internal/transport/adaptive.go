@@ -33,6 +33,10 @@ type AdaptiveSpec struct {
 	SquashThreshold float64
 	// MinCohort applies per round.
 	MinCohort int
+	// Retry, when non-nil, is installed on every device whose Participant
+	// has no policy of its own, so a campaign over a flaky fleet retries
+	// transient failures instead of silently shrinking the cohort.
+	Retry *RetryPolicy
 }
 
 // AdaptiveOutcome is the result of a two-round HTTP campaign.
@@ -74,6 +78,14 @@ func RunAdaptiveCampaign(ctx context.Context, admin *Admin, spec AdaptiveSpec, d
 	}
 	if !(delta > 0 && delta < 1) {
 		return nil, fmt.Errorf("transport: Delta=%v out of (0,1)", spec.Delta)
+	}
+
+	if spec.Retry != nil {
+		for i := range devices {
+			if devices[i].Retry == nil {
+				devices[i].Retry = spec.Retry
+			}
+		}
 	}
 
 	n1 := int(math.Round(delta * float64(len(devices))))

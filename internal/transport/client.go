@@ -16,7 +16,12 @@ import (
 
 // Participant plays the client side of the protocol over HTTP. The ε-LDP
 // randomized-response transform runs here, on the client, before the bit
-// leaves the device — the trust boundary of local differential privacy.
+// leaves the "device" — the trust boundary of local differential privacy.
+//
+// Edge devices are flaky by assumption (§4.3): set Retry to survive
+// connection resets, lost acks and transient 5xx answers. Retransmitted
+// reports are safe — the server acks an exact duplicate instead of
+// rejecting it.
 type Participant struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -26,6 +31,9 @@ type Participant struct {
 	HTTPClient *http.Client
 	// RNG drives the local randomizer; required.
 	RNG *frand.RNG
+	// Retry, when non-nil, retries transient failures with backoff; nil
+	// makes a single attempt per request.
+	Retry *RetryPolicy
 }
 
 func (p *Participant) client() *http.Client {
@@ -35,16 +43,13 @@ func (p *Participant) client() *http.Client {
 	return http.DefaultClient
 }
 
-// FetchTask polls the server for this client's bit assignment.
+// FetchTask polls the server for this client's bit assignment. Re-polling
+// is idempotent: the server replays the original assignment.
 func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Task, error) {
 	u := fmt.Sprintf("%s/v1/sessions/%s/task?client=%s",
 		p.BaseURL, url.PathEscape(sessionID), url.QueryEscape(p.ClientID))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return wire.Task{}, err
-	}
 	var task wire.Task
-	if err := p.do(req, http.StatusOK, &task); err != nil {
+	if err := doJSON(ctx, p.client(), p.Retry, http.MethodGet, u, nil, http.StatusOK, &task); err != nil {
 		return wire.Task{}, err
 	}
 	return task, nil
@@ -53,7 +58,9 @@ func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Tas
 // Participate runs the client's whole protocol for one session: fetch the
 // task, extract the assigned bit of the private value, apply randomized
 // response locally when the session demands it, and submit the single-bit
-// report. Only that one perturbed bit is ever serialized.
+// report. Only that one perturbed bit is ever serialized. The randomized
+// bit is drawn once, so retransmissions carry the identical report and
+// cannot be double-counted or averaged against the privacy noise.
 func (p *Participant) Participate(ctx context.Context, sessionID string, value uint64) error {
 	if p.RNG == nil {
 		return fmt.Errorf("transport: participant %q has no RNG", p.ClientID)
@@ -96,35 +103,51 @@ func (p *Participant) SubmitReport(ctx context.Context, sessionID string, rep wi
 		return wire.ReportAck{}, err
 	}
 	u := fmt.Sprintf("%s/v1/sessions/%s/reports", p.BaseURL, url.PathEscape(sessionID))
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
-	if err != nil {
-		return wire.ReportAck{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var ack wire.ReportAck
-	if err := p.do(req, http.StatusOK, &ack); err != nil {
+	if err := doJSON(ctx, p.client(), p.Retry, http.MethodPost, u, body, http.StatusOK, &ack); err != nil {
 		return wire.ReportAck{}, err
 	}
 	return ack, nil
 }
 
-// do executes a request and decodes the JSON response, converting non-OK
-// statuses into errors carrying the server's error envelope.
-func (p *Participant) do(req *http.Request, wantStatus int, out any) error {
-	resp, err := p.client().Do(req)
-	if err != nil {
+// doJSON executes one JSON exchange under the retry policy. Each attempt
+// builds a fresh request (bodies cannot be replayed) and decodes either
+// the expected payload or the server's error envelope into a *StatusError
+// carrying the machine-readable code.
+func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u string, body []byte, wantStatus int, out any) error {
+	// Validate the request shape once; per-attempt rebuilds cannot fail
+	// differently with identical inputs.
+	if _, err := http.NewRequest(method, u, nil); err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		var e wire.Error
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("transport: server status %d: %s", resp.StatusCode, e.Error)
+	return rp.Do(ctx, func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
 		}
-		return fmt.Errorf("transport: server status %d", resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			se := &StatusError{Status: resp.StatusCode}
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			var e wire.Error
+			if json.Unmarshal(data, &e) == nil {
+				se.Code, se.Msg = e.Code, e.Error
+			}
+			return se
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // TailQuantile reads the q-quantile off a finalized threshold session's
@@ -146,10 +169,13 @@ func TailQuantile(res *wire.Result, q float64) (uint64, error) {
 }
 
 // Admin drives the server's control-plane endpoints (session creation and
-// finalization), as used by cmd/fednumd clients and tests.
+// finalization), as used by cmd/fednumd clients and tests. It shares the
+// Participant retry semantics via the same RetryPolicy type.
 type Admin struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries transient failures with backoff.
+	Retry *RetryPolicy
 }
 
 func (a *Admin) client() *http.Client {
@@ -160,34 +186,26 @@ func (a *Admin) client() *http.Client {
 }
 
 // CreateSession creates an aggregation session and returns its id.
+// Creation is not idempotent on the server: retrying a lost-ack create may
+// leave an orphan session behind, which the TTL garbage collector reaps.
 func (a *Admin) CreateSession(ctx context.Context, cfg wire.SessionConfig) (string, error) {
 	body, err := json.Marshal(cfg)
 	if err != nil {
 		return "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.BaseURL+"/v1/sessions", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var out wire.CreateSessionResponse
-	p := &Participant{HTTPClient: a.HTTPClient}
-	if err := p.do(req, http.StatusCreated, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, http.MethodPost, a.BaseURL+"/v1/sessions", body, http.StatusCreated, &out); err != nil {
 		return "", err
 	}
 	return out.SessionID, nil
 }
 
-// Finalize closes the session and returns the aggregate.
+// Finalize closes the session and returns the aggregate. Finalize is
+// idempotent on the server, so retrying through a lost ack is safe.
 func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		fmt.Sprintf("%s/v1/sessions/%s/finalize", a.BaseURL, url.PathEscape(sessionID)), nil)
-	if err != nil {
-		return nil, err
-	}
+	u := fmt.Sprintf("%s/v1/sessions/%s/finalize", a.BaseURL, url.PathEscape(sessionID))
 	var out wire.Result
-	p := &Participant{HTTPClient: a.HTTPClient}
-	if err := p.do(req, http.StatusOK, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, http.MethodPost, u, nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -195,14 +213,9 @@ func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, e
 
 // Result fetches the session's current aggregate view.
 func (a *Admin) Result(ctx context.Context, sessionID string) (*wire.Result, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s/v1/sessions/%s/result", a.BaseURL, url.PathEscape(sessionID)), nil)
-	if err != nil {
-		return nil, err
-	}
+	u := fmt.Sprintf("%s/v1/sessions/%s/result", a.BaseURL, url.PathEscape(sessionID))
 	var out wire.Result
-	p := &Participant{HTTPClient: a.HTTPClient}
-	if err := p.do(req, http.StatusOK, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, http.MethodGet, u, nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

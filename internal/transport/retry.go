@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/frand"
+	"repro/internal/transport/wire"
+)
+
+// StatusError is a non-2xx answer from the aggregation server, carrying the
+// HTTP status and the machine-readable wire code so callers can branch on
+// failure class instead of string-matching messages.
+type StatusError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the wire.Code* constant the server set ("" when the server
+	// sent no envelope, e.g. a proxy-generated 5xx).
+	Code string
+	// Msg is the human-readable server message.
+	Msg string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	switch {
+	case e.Code != "" && e.Msg != "":
+		return fmt.Sprintf("transport: server status %d (%s): %s", e.Status, e.Code, e.Msg)
+	case e.Msg != "":
+		return fmt.Sprintf("transport: server status %d: %s", e.Status, e.Msg)
+	default:
+		return fmt.Sprintf("transport: server status %d", e.Status)
+	}
+}
+
+// Retryable reports whether the failure is transient: any 5xx, request
+// timeout or throttling answer, or an envelope explicitly coded
+// unavailable/internal. Protocol rejections (not_found, finalized, expired,
+// bad_request) are final.
+func (e *StatusError) Retryable() bool {
+	switch e.Code {
+	case wire.CodeUnavailable, wire.CodeInternal:
+		return true
+	case wire.CodeBadRequest, wire.CodeNotFound, wire.CodeFinalized, wire.CodeExpired, wire.CodeCohortTooSmall:
+		return false
+	}
+	return e.Status >= 500 || e.Status == http.StatusRequestTimeout || e.Status == http.StatusTooManyRequests
+}
+
+// Retryable classifies an error from a Participant or Admin call: true for
+// transport-level failures (connection refused/reset, timeouts, truncated
+// bodies) and retryable server statuses, false for protocol rejections and
+// context cancellation.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	// Anything else a request can fail with at this layer is a transport
+	// error: dial/reset/EOF from the HTTP client or a truncated JSON body.
+	return true
+}
+
+// RetryPolicy is the shared client-side resilience policy: capped
+// exponential backoff with jitter between attempts and an optional
+// per-attempt timeout. It retries only failures Retryable reports as
+// transient and respects context cancellation at every step. The zero
+// value is not useful; call DefaultRetryPolicy or fill the fields.
+// A nil *RetryPolicy means a single attempt with no per-try timeout.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included); values < 1
+	// behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// retry up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = no cap).
+	MaxDelay time.Duration
+	// Jitter in [0,1] scales each backoff by a uniform factor in
+	// [1-Jitter, 1], decorrelating synchronized client fleets.
+	Jitter float64
+	// PerTryTimeout bounds each individual attempt (0 = none); the
+	// caller's context still bounds the whole operation.
+	PerTryTimeout time.Duration
+	// Seed makes the jitter sequence deterministic for tests; 0 seeds
+	// from the policy's identity at first use.
+	Seed uint64
+
+	mu  sync.Mutex
+	rng *frand.RNG
+	// sleep is stubbed in tests; nil means real time.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultRetryPolicy is a sensible edge-device policy: 5 attempts, 50ms
+// base backoff doubling to a 2s cap, half-range jitter, 10s per attempt.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxAttempts:   5,
+		BaseDelay:     50 * time.Millisecond,
+		MaxDelay:      2 * time.Second,
+		Jitter:        0.5,
+		PerTryTimeout: 10 * time.Second,
+	}
+}
+
+// attempts returns the effective attempt budget.
+func (rp *RetryPolicy) attempts() int {
+	if rp == nil || rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// Backoff returns the pause before retry number `retry` (1-based), with
+// jitter applied. Exported for tests and for callers composing their own
+// loops.
+func (rp *RetryPolicy) Backoff(retry int) time.Duration {
+	if rp == nil || rp.BaseDelay <= 0 || retry < 1 {
+		return 0
+	}
+	d := rp.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if rp.MaxDelay > 0 && d >= rp.MaxDelay {
+			d = rp.MaxDelay
+			break
+		}
+	}
+	if rp.MaxDelay > 0 && d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	if rp.Jitter > 0 {
+		rp.mu.Lock()
+		if rp.rng == nil {
+			seed := rp.Seed
+			if seed == 0 {
+				seed = uint64(time.Now().UnixNano())
+			}
+			rp.rng = frand.New(seed)
+		}
+		f := 1 - rp.Jitter*rp.rng.Float64()
+		rp.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Do runs attempt under the policy: each try gets PerTryTimeout, transient
+// failures back off and retry, fatal failures and context cancellation
+// return immediately. The last error is returned when the budget runs out.
+func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context) error) error {
+	var err error
+	for try := 0; try < rp.attempts(); try++ {
+		if try > 0 {
+			if serr := rp.sleepFor(ctx, rp.Backoff(try)); serr != nil {
+				return serr
+			}
+		}
+		tryCtx, cancel := ctx, context.CancelFunc(func() {})
+		if rp != nil && rp.PerTryTimeout > 0 {
+			tryCtx, cancel = context.WithTimeout(ctx, rp.PerTryTimeout)
+		}
+		err = attempt(tryCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		// A per-try deadline firing while the parent is still live is a
+		// transport timeout, not a caller cancellation: retryable.
+		if ctx.Err() != nil {
+			return err
+		}
+		if !Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepFor pauses for d or until the context is done.
+func (rp *RetryPolicy) sleepFor(ctx context.Context, d time.Duration) error {
+	if rp != nil && rp.sleep != nil {
+		return rp.sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -5,15 +5,23 @@
 // "device". It is the deployable face of the library, standing in for the
 // paper's production FA stack (§4.3); cmd/fednumd and cmd/fednum-client
 // wrap it as binaries.
+//
+// The layer is built for flaky fleets: clients retry with backoff
+// (RetryPolicy), the server acks retransmitted reports instead of
+// rejecting them, sessions carry TTL deadlines that auto-finalize or
+// expire them, and the whole session table snapshots to JSON so a daemon
+// restart does not lose an in-flight aggregation.
 package transport
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/frand"
@@ -26,16 +34,34 @@ import (
 var (
 	errNotFound = errors.New("transport: session not found")
 	errFinal    = errors.New("transport: session already finalized")
+	errExpired  = errors.New("transport: session expired")
+	errCohort   = errors.New("transport: cohort below minimum")
 )
 
+// sweepEvery throttles the lazy deadline sweep that piggybacks on request
+// handling; Sweep and the GC loop bypass it.
+const sweepEvery = 100 * time.Millisecond
+
 // Server is the aggregation server. Create one with NewServer and mount it
-// as an http.Handler.
+// as an http.Handler. The exported knobs (Now, Logf, Retention) must be
+// set before the server starts handling traffic.
 type Server struct {
-	mu       sync.Mutex
-	sessions map[string]*session
-	rng      *frand.RNG
-	nextID   int
-	mux      *http.ServeMux
+	// Now is the clock, injectable for deadline tests; nil means time.Now.
+	Now func() time.Time
+	// Logf receives operational log lines (encode failures, GC activity);
+	// nil means log.Printf.
+	Logf func(format string, args ...any)
+	// Retention, when positive, garbage-collects finalized and expired
+	// sessions that many ticks after they ended, bounding memory on a
+	// long-lived daemon. Zero keeps them forever.
+	Retention time.Duration
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	rng       *frand.RNG
+	nextID    int
+	lastSweep time.Time
+	mux       *http.ServeMux
 }
 
 // session is one aggregation in progress. For bit sessions the assignment
@@ -52,9 +78,18 @@ type session struct {
 	// assigned remembers each client's task so off-assignment reports are
 	// rejected (central randomness, the §5 poisoning defence).
 	assigned map[string]int
-	reported map[string]bool
+	// reported remembers the exact value each client's accepted report
+	// carried, so a retransmission after a lost ack is re-acked as a
+	// duplicate while a conflicting value is rejected.
+	reported map[string]uint64
 	reports  []core.Report
+	// deadline, when non-zero, is the TTL garbage-collection point: the
+	// session auto-finalizes (cfg.AutoFinalize, cohort permitting) or
+	// expires when the clock passes it.
+	deadline time.Time
 	done     bool
+	expired  bool
+	endedAt  time.Time    // when done or expired flipped, for Retention GC
 	result   *core.Result // bit sessions
 	tail     []float64    // threshold sessions: monotonized tail probs
 }
@@ -84,14 +119,49 @@ func NewServer(seed uint64) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+func (s *Server) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, wire.Error{Error: err.Error()})
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// writeJSON encodes v; an encoder failure after the header is written
+// cannot be reported to the client, so it is logged instead of dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("transport: encoding %T response: %v", v, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, wire.Error{Error: err.Error(), Code: code})
+}
+
+// errorStatus maps a protocol error to its HTTP status and wire code.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, wire.CodeNotFound
+	case errors.Is(err, errFinal):
+		return http.StatusConflict, wire.CodeFinalized
+	case errors.Is(err, errExpired):
+		return http.StatusGone, wire.CodeExpired
+	case errors.Is(err, errCohort):
+		return http.StatusConflict, wire.CodeCohortTooSmall
+	default:
+		return http.StatusBadRequest, wire.CodeBadRequest
+	}
 }
 
 // CreateSession registers a new aggregation session programmatically
@@ -143,11 +213,15 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 	if cfg.SquashThreshold < 0 || cfg.MinCohort < 0 {
 		return "", fmt.Errorf("transport: negative squash threshold or cohort")
 	}
+	if cfg.TTLSeconds < 0 {
+		return "", fmt.Errorf("transport: negative ttl %v", cfg.TTLSeconds)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	s.nextID++
 	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(s.nextID))
-	s.sessions[id] = &session{
+	sess := &session{
 		id:         id,
 		cfg:        cfg,
 		probs:      probs,
@@ -155,23 +229,87 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 		thresholds: append([]uint64(nil), cfg.Thresholds...),
 		issued:     make([]int, len(probs)),
 		assigned:   make(map[string]int),
-		reported:   make(map[string]bool),
+		reported:   make(map[string]uint64),
 	}
+	if cfg.TTLSeconds > 0 {
+		sess.deadline = s.now().Add(time.Duration(cfg.TTLSeconds * float64(time.Second)))
+	}
+	s.sessions[id] = sess
 	return id, nil
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var cfg wire.SessionConfig
 	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
 	id, err := s.CreateSession(cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, wire.CreateSessionResponse{SessionID: id})
+	s.writeJSON(w, http.StatusCreated, wire.CreateSessionResponse{SessionID: id})
+}
+
+// Sweep applies TTL garbage collection immediately: sessions past their
+// deadline auto-finalize or expire, and ended sessions past Retention are
+// dropped. Request handling runs the same sweep lazily; call this from a
+// ticker (see StartGC) to bound staleness on an idle server.
+func (s *Server) Sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked(true)
+}
+
+// StartGC runs Sweep every interval until the returned stop function is
+// called.
+func (s *Server) StartGC(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// sweepLocked enforces session deadlines and retention; the caller holds
+// the lock. Unforced calls are throttled to sweepEvery.
+func (s *Server) sweepLocked(force bool) {
+	now := s.now()
+	if !force && now.Sub(s.lastSweep) < sweepEvery {
+		return
+	}
+	s.lastSweep = now
+	for id, sess := range s.sessions {
+		if !sess.done && !sess.expired && !sess.deadline.IsZero() && !now.Before(sess.deadline) {
+			if sess.cfg.AutoFinalize && len(sess.reports) >= sess.cfg.MinCohort {
+				if err := s.finalizeLocked(sess); err != nil {
+					s.logf("transport: session %s: deadline auto-finalize failed, expiring: %v", id, err)
+					sess.expired = true
+				} else {
+					s.logf("transport: session %s: auto-finalized at deadline with %d reports", id, len(sess.reports))
+				}
+			} else {
+				s.logf("transport: session %s: expired at deadline with %d reports", id, len(sess.reports))
+				sess.expired = true
+			}
+			sess.endedAt = now
+		}
+		if s.Retention > 0 && (sess.done || sess.expired) && !sess.endedAt.IsZero() &&
+			now.Sub(sess.endedAt) >= s.Retention {
+			delete(s.sessions, id)
+		}
+	}
 }
 
 // AssignTask picks the bit a client must report: the bit whose issued
@@ -182,9 +320,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
 		return wire.Task{}, errNotFound
+	}
+	if sess.expired {
+		return wire.Task{}, errExpired
 	}
 	if sess.done {
 		return wire.Task{}, errFinal
@@ -231,28 +373,33 @@ func (sess *session) nextBit() int {
 func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	clientID := r.URL.Query().Get("client")
 	if clientID == "" {
-		writeError(w, http.StatusBadRequest, errors.New("transport: missing client parameter"))
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, errors.New("transport: missing client parameter"))
 		return
 	}
 	task, err := s.AssignTask(r.PathValue("id"), clientID)
-	switch {
-	case errors.Is(err, errNotFound):
-		writeError(w, http.StatusNotFound, err)
-	case err != nil:
-		writeError(w, http.StatusConflict, err)
-	default:
-		writeJSON(w, http.StatusOK, task)
+	if err != nil {
+		status, code := errorStatus(err)
+		s.writeError(w, status, code, err)
+		return
 	}
+	s.writeJSON(w, http.StatusOK, task)
 }
 
 // SubmitReport ingests one client report, enforcing one report per client
-// and rejecting reports for bits the server did not assign.
+// and rejecting reports for bits the server did not assign. Ingestion is
+// idempotent: a retransmission of the exact accepted report (same client,
+// bit and value — the lost-ack case) is re-acked as a duplicate; only a
+// conflicting retransmission is rejected.
 func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
 		return wire.ReportAck{}, errNotFound
+	}
+	if sess.expired {
+		return wire.ReportAck{}, errExpired
 	}
 	if sess.done {
 		return wire.ReportAck{}, errFinal
@@ -267,10 +414,13 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 	if rep.Bit != assigned {
 		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
 	}
-	if sess.reported[rep.ClientID] {
-		return wire.ReportAck{Accepted: false, Reason: "duplicate report"}, nil
+	if prev, ok := sess.reported[rep.ClientID]; ok {
+		if prev == rep.Value {
+			return wire.ReportAck{Accepted: true, Duplicate: true}, nil
+		}
+		return wire.ReportAck{Accepted: false, Reason: "conflicting report"}, nil
 	}
-	sess.reported[rep.ClientID] = true
+	sess.reported[rep.ClientID] = rep.Value
 	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
 	return wire.ReportAck{Accepted: true}, nil
 }
@@ -278,62 +428,73 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	var rep wire.Report
 	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
 		return
 	}
 	ack, err := s.SubmitReport(r.PathValue("id"), rep)
-	switch {
-	case errors.Is(err, errNotFound):
-		writeError(w, http.StatusNotFound, err)
-	case err != nil:
-		writeError(w, http.StatusConflict, err)
-	default:
-		writeJSON(w, http.StatusOK, ack)
+	if err != nil {
+		status, code := errorStatus(err)
+		s.writeError(w, status, code, err)
+		return
 	}
+	s.writeJSON(w, http.StatusOK, ack)
 }
 
 // Finalize closes the session and computes the aggregate. It fails if the
-// accepted cohort is below the configured minimum.
+// accepted cohort is below the configured minimum. Finalizing an already
+// finalized session returns the same result (idempotent).
 func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
 		return nil, errNotFound
 	}
+	if sess.expired {
+		return nil, errExpired
+	}
 	if !sess.done {
-		if len(sess.reports) < sess.cfg.MinCohort {
-			return nil, fmt.Errorf("transport: cohort %d below minimum %d", len(sess.reports), sess.cfg.MinCohort)
+		if err := s.finalizeLocked(sess); err != nil {
+			return nil, err
 		}
-		if sess.isThreshold() {
-			sess.tail = sess.tailProbs()
-		} else {
-			res, err := core.Aggregate(core.Config{
-				Bits:            sess.cfg.Bits,
-				Probs:           sess.probs,
-				RR:              sess.rr,
-				SquashThreshold: sess.cfg.SquashThreshold,
-			}, sess.reports)
-			if err != nil {
-				return nil, err
-			}
-			sess.result = res
-		}
-		sess.done = true
+		sess.endedAt = s.now()
 	}
 	return sess.wireResult(), nil
 }
 
+// finalizeLocked computes the aggregate and marks the session done; the
+// caller holds the lock and has checked done/expired.
+func (s *Server) finalizeLocked(sess *session) error {
+	if len(sess.reports) < sess.cfg.MinCohort {
+		return fmt.Errorf("%w: cohort %d below minimum %d", errCohort, len(sess.reports), sess.cfg.MinCohort)
+	}
+	if sess.isThreshold() {
+		sess.tail = sess.tailProbs()
+	} else {
+		res, err := core.Aggregate(core.Config{
+			Bits:            sess.cfg.Bits,
+			Probs:           sess.probs,
+			RR:              sess.rr,
+			SquashThreshold: sess.cfg.SquashThreshold,
+		}, sess.reports)
+		if err != nil {
+			return err
+		}
+		sess.result = res
+	}
+	sess.done = true
+	return nil
+}
+
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Finalize(r.PathValue("id"))
-	switch {
-	case errors.Is(err, errNotFound):
-		writeError(w, http.StatusNotFound, err)
-	case err != nil:
-		writeError(w, http.StatusConflict, err)
-	default:
-		writeJSON(w, http.StatusOK, res)
+	if err != nil {
+		status, code := errorStatus(err)
+		s.writeError(w, status, code, err)
+		return
 	}
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 // Result returns the session's current aggregate view; before Finalize it
@@ -341,6 +502,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Result(sessionID string) (*wire.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
 		return nil, errNotFound
@@ -398,17 +560,38 @@ func (sess *session) wireResult() *wire.Result {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Result(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		status, code := errorStatus(err)
+		s.writeError(w, status, code, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	s.writeJSON(w, http.StatusOK, res)
 }
 
+// handleHealth reports liveness plus the session table split by state, so
+// an operator (or orchestrator probe) can see at a glance whether the
+// daemon is draining, idle, or carrying live aggregations.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	n := len(s.sessions)
+	s.sweepLocked(false)
+	active, done, expired := 0, 0, 0
+	for _, sess := range s.sessions {
+		switch {
+		case sess.done:
+			done++
+		case sess.expired:
+			expired++
+		default:
+			active++
+		}
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": active + done + expired,
+		"active":   active,
+		"done":     done,
+		"expired":  expired,
+	})
 }
 
 // SessionSummary is one row of the session listing.
@@ -419,31 +602,40 @@ type SessionSummary struct {
 	Bits      int    `json:"bits"`
 	Reports   int    `json:"reports"`
 	Done      bool   `json:"done"`
+	Expired   bool   `json:"expired,omitempty"`
+	// Deadline is the RFC3339 TTL deadline, empty for immortal sessions.
+	Deadline string `json:"deadline,omitempty"`
 }
 
 // Sessions lists every session's summary, sorted by id.
 func (s *Server) Sessions() []SessionSummary {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(false)
 	out := make([]SessionSummary, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		kind := wire.TaskKindBit
 		if sess.isThreshold() {
 			kind = wire.TaskKindThreshold
 		}
-		out = append(out, SessionSummary{
+		row := SessionSummary{
 			SessionID: sess.id,
 			Feature:   sess.cfg.Feature,
 			Kind:      kind,
 			Bits:      sess.cfg.Bits,
 			Reports:   len(sess.reports),
 			Done:      sess.done,
-		})
+			Expired:   sess.expired,
+		}
+		if !sess.deadline.IsZero() {
+			row.Deadline = sess.deadline.Format(time.RFC3339)
+		}
+		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SessionID < out[j].SessionID })
 	return out
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Sessions())
+	s.writeJSON(w, http.StatusOK, s.Sessions())
 }

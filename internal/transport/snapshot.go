@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ldp"
+	"repro/internal/transport/wire"
+)
+
+// Snapshot is a serializable image of the server's whole session table,
+// written by a draining daemon and restored on the next boot so in-flight
+// aggregations survive a restart. The RNG stream is not captured: task
+// assignment is deficit-driven off the restored issued counts, so the
+// low-discrepancy property holds across the restart; only the (secret-free)
+// session-id stream reseeds.
+type Snapshot struct {
+	// SavedAt records when the snapshot was cut.
+	SavedAt time.Time `json:"saved_at"`
+	// NextID continues the session-id sequence.
+	NextID int `json:"next_id"`
+	// Sessions holds every session's full state.
+	Sessions []SessionState `json:"sessions"`
+}
+
+// SessionState is one session's serializable state.
+type SessionState struct {
+	ID       string             `json:"id"`
+	Config   wire.SessionConfig `json:"config"`
+	Probs    []float64          `json:"probs"`
+	Issued   []int              `json:"issued"`
+	Assigned map[string]int     `json:"assigned"`
+	Reported map[string]uint64  `json:"reported"`
+	Reports  []core.Report      `json:"reports"`
+	Deadline time.Time          `json:"deadline"`
+	Done     bool               `json:"done,omitempty"`
+	Expired  bool               `json:"expired,omitempty"`
+	EndedAt  time.Time          `json:"ended_at"`
+	Result   *core.Result       `json:"result,omitempty"`
+	Tail     []float64          `json:"tail,omitempty"`
+}
+
+// Snapshot captures the current session table.
+func (s *Server) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Snapshot{SavedAt: s.now(), NextID: s.nextID}
+	for _, sess := range s.sessions {
+		snap.Sessions = append(snap.Sessions, SessionState{
+			ID:       sess.id,
+			Config:   sess.cfg,
+			Probs:    append([]float64(nil), sess.probs...),
+			Issued:   append([]int(nil), sess.issued...),
+			Assigned: copyMap(sess.assigned),
+			Reported: copyMap(sess.reported),
+			Reports:  append([]core.Report(nil), sess.reports...),
+			Deadline: sess.deadline,
+			Done:     sess.done,
+			Expired:  sess.expired,
+			EndedAt:  sess.endedAt,
+			Result:   sess.result,
+			Tail:     append([]float64(nil), sess.tail...),
+		})
+	}
+	return snap
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the server's session table with the snapshot's,
+// rebuilding the derived state (randomized-response parameters) from each
+// session's config. Sessions already known to the server under the same id
+// are overwritten.
+func (s *Server) Restore(snap *Snapshot) error {
+	restored := make(map[string]*session, len(snap.Sessions))
+	for _, st := range snap.Sessions {
+		if st.ID == "" {
+			return fmt.Errorf("transport: snapshot session with empty id")
+		}
+		if len(st.Probs) == 0 || len(st.Issued) != len(st.Probs) {
+			return fmt.Errorf("transport: snapshot session %s: %d issued counts for %d probs",
+				st.ID, len(st.Issued), len(st.Probs))
+		}
+		var rr *ldp.RandomizedResponse
+		if st.Config.Epsilon > 0 {
+			var err error
+			if rr, err = ldp.NewRandomizedResponse(st.Config.Epsilon); err != nil {
+				return fmt.Errorf("transport: snapshot session %s: %w", st.ID, err)
+			}
+		}
+		sess := &session{
+			id:         st.ID,
+			cfg:        st.Config,
+			probs:      append([]float64(nil), st.Probs...),
+			rr:         rr,
+			thresholds: append([]uint64(nil), st.Config.Thresholds...),
+			issued:     append([]int(nil), st.Issued...),
+			assigned:   copyMap(st.Assigned),
+			reported:   copyMap(st.Reported),
+			reports:    append([]core.Report(nil), st.Reports...),
+			deadline:   st.Deadline,
+			done:       st.Done,
+			expired:    st.Expired,
+			endedAt:    st.EndedAt,
+			result:     st.Result,
+		}
+		if sess.assigned == nil {
+			sess.assigned = make(map[string]int)
+		}
+		if sess.reported == nil {
+			sess.reported = make(map[string]uint64)
+		}
+		if len(st.Tail) > 0 {
+			sess.tail = append([]float64(nil), st.Tail...)
+		}
+		restored[st.ID] = sess
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, sess := range restored {
+		s.sessions[id] = sess
+	}
+	if snap.NextID > s.nextID {
+		s.nextID = snap.NextID
+	}
+	return nil
+}
+
+// SaveSnapshot writes the session table to path atomically (temp file +
+// rename), so a crash mid-write never leaves a truncated snapshot.
+func (s *Server) SaveSnapshot(path string) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("transport: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".fednum-snapshot-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot and restores
+// it into the server. A missing file is not an error (first boot).
+func (s *Server) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("transport: decoding snapshot %s: %w", path, err)
+	}
+	return s.Restore(&snap)
+}

@@ -188,7 +188,8 @@ func TestServerRejectsBadReports(t *testing.T) {
 	if ack.Accepted {
 		t.Fatal("non-bit value accepted")
 	}
-	// Valid report: accepted once, duplicate rejected.
+	// Valid report: accepted once. An exact retransmission (the lost-ack
+	// case) is re-acked as a duplicate, but a conflicting value is not.
 	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: task.Bit, Value: 1})
 	if err != nil || !ack.Accepted {
 		t.Fatalf("valid report rejected: %v %+v", err, ack)
@@ -197,8 +198,20 @@ func TestServerRejectsBadReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !ack.Accepted || !ack.Duplicate {
+		t.Fatalf("retransmitted report not re-acked: %+v", ack)
+	}
+	ack, err = p.SubmitReport(ctx, id, wire.Report{ClientID: "dev", Bit: task.Bit, Value: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ack.Accepted {
-		t.Fatal("duplicate report accepted")
+		t.Fatal("conflicting report accepted")
+	}
+	// The duplicate must not double-count.
+	res, err := admin.Result(ctx, id)
+	if err != nil || res.Reports != 1 {
+		t.Fatalf("reports = %d after retransmission, want 1 (err %v)", res.Reports, err)
 	}
 }
 

@@ -31,6 +31,15 @@ type SessionConfig struct {
 	// per threshold instead of a mean estimate. Thresholds must be
 	// strictly ascending and within [0, 2^Bits).
 	Thresholds []uint64 `json:"thresholds,omitempty"`
+	// TTLSeconds, when positive, gives the session a deadline that many
+	// seconds after creation. At the deadline the server garbage-collects
+	// the session: with AutoFinalize set (and the cohort at or above
+	// MinCohort) it finalizes and keeps the result; otherwise it expires,
+	// and further traffic is refused with CodeExpired.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// AutoFinalize finalizes rather than expires the session when its TTL
+	// deadline passes, provided enough reports were accepted.
+	AutoFinalize bool `json:"auto_finalize,omitempty"`
 }
 
 // Task kinds.
@@ -67,10 +76,14 @@ type Report struct {
 	Value    uint64 `json:"value"`
 }
 
-// ReportAck acknowledges a report.
+// ReportAck acknowledges a report. A retransmission of an already-accepted
+// report (same client, bit and value — e.g. the first ack was lost) is
+// re-acknowledged as accepted with Duplicate set, so retrying clients
+// converge instead of erroring.
 type ReportAck struct {
-	Accepted bool   `json:"accepted"`
-	Reason   string `json:"reason,omitempty"`
+	Accepted  bool   `json:"accepted"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Reason    string `json:"reason,omitempty"`
 }
 
 // Result is the server's aggregate view of a session.
@@ -90,7 +103,32 @@ type Result struct {
 	TailProbs  []float64 `json:"tail_probs,omitempty"`
 }
 
-// Error is the JSON error envelope.
+// Machine-readable error codes carried in Error.Code. Clients decide
+// whether to retry from the code, never from the message text.
+const (
+	// CodeBadRequest marks a malformed or invalid request; not retryable.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound marks an unknown session id; not retryable.
+	CodeNotFound = "not_found"
+	// CodeFinalized marks traffic to an already-finalized session; not
+	// retryable (the result endpoint still answers).
+	CodeFinalized = "finalized"
+	// CodeExpired marks traffic to a session whose TTL deadline passed
+	// without finalizing; not retryable.
+	CodeExpired = "expired"
+	// CodeCohortTooSmall marks a finalize attempt below MinCohort;
+	// retryable in the sense that more reports may still arrive.
+	CodeCohortTooSmall = "cohort_too_small"
+	// CodeUnavailable marks a transient server condition (overload,
+	// shutdown in progress); retryable.
+	CodeUnavailable = "unavailable"
+	// CodeInternal marks an unexpected server-side failure; retryable.
+	CodeInternal = "internal"
+)
+
+// Error is the JSON error envelope. Code is machine-readable (one of the
+// Code* constants); Error is the human-readable message.
 type Error struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
