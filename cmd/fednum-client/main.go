@@ -22,11 +22,24 @@ import (
 
 	"repro/internal/fixedpoint"
 	"repro/internal/frand"
+	"repro/internal/obs"
 	"repro/internal/quantile"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 	"repro/internal/workload"
 )
+
+// printMetricsSummary condenses the fleet's client-side registry into one
+// line: request attempts, per-attempt latency quantiles, retries after
+// transient failures, and reports re-acked as duplicates.
+func printMetricsSummary(reg *obs.Registry) {
+	lat := reg.Histogram(transport.MetricClientAttemptTime, "", obs.LatencyBuckets)
+	fmt.Printf("metrics:   %d requests, p50=%.0fms p99=%.0fms, %d retries, %d duplicate acks\n",
+		reg.Counter(transport.MetricClientAttempts, "").Value(),
+		1000*lat.Quantile(0.5), 1000*lat.Quantile(0.99),
+		reg.Counter(transport.MetricClientRetries, "").Value(),
+		reg.Counter(transport.MetricClientDuplicateAcks, "").Value())
+}
 
 var workloadRe = regexp.MustCompile(`^(\w+)\(([-\d.]+)(?:,([-\d.]+))?\)$`)
 
@@ -86,7 +99,10 @@ func main() {
 	flag.Parse()
 
 	// One shared policy: it is safe for concurrent use, and the jitter
-	// decorrelates the fleet's retry storms.
+	// decorrelates the fleet's retry storms. The shared registry gathers
+	// the whole fleet's request/retry/latency picture for the end-of-run
+	// summary.
+	reg := obs.NewRegistry()
 	retry := &transport.RetryPolicy{
 		MaxAttempts:   *retries,
 		BaseDelay:     *retryBase,
@@ -94,6 +110,7 @@ func main() {
 		Jitter:        0.5,
 		PerTryTimeout: *timeout,
 		Seed:          *seed,
+		Metrics:       reg,
 	}
 
 	gen, err := parseWorkload(*spec)
@@ -139,6 +156,7 @@ func main() {
 				ClientID: fmt.Sprintf("dev-%d", i),
 				RNG:      rng,
 				Retry:    retry,
+				Metrics:  reg,
 			}
 			if err := p.Participate(ctx, session, v); err != nil {
 				mu.Lock()
@@ -159,6 +177,7 @@ func main() {
 	if truth != 0 {
 		fmt.Printf("rel.error: %.3f%%\n", 100*(res.Estimate-truth)/truth)
 	}
+	printMetricsSummary(reg)
 	if failed > 0 {
 		os.Exit(1)
 	}
@@ -180,7 +199,8 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 	start := time.Now()
 	for i, v := range values {
 		p := &transport.Participant{
-			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(), Retry: retry,
+			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
+			Retry: retry, Metrics: retry.Metrics,
 		}
 		if err := p.Participate(ctx, session, v); err != nil {
 			log.Fatalf("fednum-client: client %d: %v", i, err)
@@ -200,6 +220,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 	fmt.Printf("reports:   %d, %.1fs\n", res.Reports, time.Since(start).Seconds())
 	fmt.Printf("q=%.2f quantile estimate: %d (grid step %d)\n", q, est, grid[1]-grid[0])
 	fmt.Printf("exact:                    %d\n", exact)
+	printMetricsSummary(retry.Metrics)
 }
 
 // runAdaptive drives the two-round Algorithm 2 campaign over HTTP.
@@ -211,6 +232,7 @@ func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.R
 				BaseURL:  server,
 				ClientID: fmt.Sprintf("dev-%d", i),
 				RNG:      root.Split(),
+				Metrics:  retry.Metrics,
 			},
 			Value: v,
 		}
@@ -231,4 +253,5 @@ func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.R
 	if truth != 0 {
 		fmt.Printf("rel.error: %.3f%%\n", 100*(out.Estimate-truth)/truth)
 	}
+	printMetricsSummary(retry.Metrics)
 }

@@ -10,27 +10,39 @@
 // in-flight aggregation survives a restart. Sessions created with a TTL
 // are garbage-collected (auto-finalized or expired) by a background
 // sweeper.
+//
+// Observability: logs are structured (-log-format text|json, -log-level),
+// and -debug-addr starts a second, operator-only listener serving
+// GET /metrics (Prometheus text format), /debug/vars (expvar) and
+// /debug/pprof/* — kept off the aggregation port so profiling and
+// scraping are never exposed to participant traffic.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address (port 0 picks a free port)")
+	debugAddr := flag.String("debug-addr", "", "admin listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "task-assignment seed")
 	snapshot := flag.String("snapshot", "", "session-state snapshot path: restored on boot, written on shutdown")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
@@ -39,14 +51,30 @@ func main() {
 	retention := flag.Duration("retention", 0, "drop finalized/expired sessions this long after they end (0 = keep)")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fednumd: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fednumd: %v\n", err)
+		os.Exit(2)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf("fednumd: "+format, args...))
+		os.Exit(1)
+	}
+
 	agg := transport.NewServer(*seed)
+	agg.Logger = logger
 	agg.Retention = *retention
 	if *snapshot != "" {
 		if err := agg.LoadSnapshot(*snapshot); err != nil {
-			log.Fatalf("fednumd: restoring snapshot %s: %v", *snapshot, err)
+			fatalf("restoring snapshot %s: %v", *snapshot, err)
 		}
 		if n := len(agg.Sessions()); n > 0 {
-			log.Printf("fednumd: restored %d session(s) from %s", n, *snapshot)
+			logger.Info("fednumd: restored sessions from snapshot", "sessions", n, "path", *snapshot)
 		}
 	}
 	stopGC := agg.StartGC(*gcInterval)
@@ -54,7 +82,7 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("fednumd: listen %s: %v", *addr, err)
+		fatalf("listen %s: %v", *addr, err)
 	}
 	srv := &http.Server{
 		Handler:           agg,
@@ -63,7 +91,22 @@ func main() {
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
-	log.Printf("fednumd: aggregation server listening on http://%s", ln.Addr())
+	logger.Info(fmt.Sprintf("fednumd: aggregation server listening on http://%s", ln.Addr()))
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("debug listen %s: %v", *debugAddr, err)
+		}
+		agg.Registry().Publish("fednum")
+		debugSrv = &http.Server{
+			Handler:           debugMux(agg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go debugSrv.Serve(dln)
+		logger.Info(fmt.Sprintf("fednumd: debug endpoint on http://%s", dln.Addr()))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -72,22 +115,40 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("fednumd: serve: %v", err)
+		fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("fednumd: signal received, draining connections (grace %s)", *grace)
+	logger.Info("fednumd: signal received, draining connections", "grace", grace.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("fednumd: drain incomplete, closing: %v", err)
+		logger.Warn("fednumd: drain incomplete, closing", "error", err)
 		srv.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	stopGC()
 	if *snapshot != "" {
 		if err := agg.SaveSnapshot(*snapshot); err != nil {
-			log.Fatalf("fednumd: writing snapshot %s: %v", *snapshot, err)
+			fatalf("writing snapshot %s: %v", *snapshot, err)
 		}
-		log.Printf("fednumd: session state saved to %s", *snapshot)
+		logger.Info("fednumd: session state saved", "path", *snapshot)
 	}
+}
+
+// debugMux assembles the operator-only admin handler: the server's
+// metrics registry in Prometheus text format, the expvar dump, and the
+// standard pprof profile endpoints.
+func debugMux(agg *transport.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", agg.Registry().Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -4,32 +4,49 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/frand"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
 
-var listenRe = regexp.MustCompile(`listening on (http://[\d.]+:\d+)`)
+var (
+	listenRe = regexp.MustCompile(`listening on (http://[\d.]+:\d+)`)
+	debugRe  = regexp.MustCompile(`debug endpoint on (http://[\d.]+:\d+)`)
+)
 
 // daemon is one fednumd process under test.
 type daemon struct {
-	cmd     *exec.Cmd
-	baseURL string
-	done    chan error
+	cmd      *exec.Cmd
+	baseURL  string
+	debugURL string
+	done     chan error
 }
 
-// startDaemon launches the built binary and waits for its listen line.
-func startDaemon(t *testing.T, bin, addr, snapshot string) *daemon {
+// startDaemon launches the built binary with any extra flags appended and
+// waits for its listen line (and, when -debug-addr is among the extras,
+// the debug-endpoint line too).
+func startDaemon(t *testing.T, bin, addr, snapshot string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", addr, "-seed", "1", "-snapshot", snapshot, "-shutdown-grace", "5s")
+	wantDebug := false
+	for _, a := range extra {
+		if a == "-debug-addr" {
+			wantDebug = true
+		}
+	}
+	args := append([]string{"-addr", addr, "-seed", "1", "-snapshot", snapshot, "-shutdown-grace", "5s"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -39,12 +56,19 @@ func startDaemon(t *testing.T, bin, addr, snapshot string) *daemon {
 	}
 	d := &daemon{cmd: cmd, done: make(chan error, 1)}
 	urlc := make(chan string, 1)
+	debugc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
 				select {
 				case urlc <- m[1]:
+				default:
+				}
+			}
+			if m := debugRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case debugc <- m[1]:
 				default:
 				}
 			}
@@ -58,6 +82,14 @@ func startDaemon(t *testing.T, bin, addr, snapshot string) *daemon {
 	case <-time.After(10 * time.Second):
 		cmd.Process.Kill()
 		t.Fatal("fednumd never reported its listen address")
+	}
+	if wantDebug {
+		select {
+		case d.debugURL = <-debugc:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("fednumd never reported its debug address")
+		}
 	}
 	return d
 }
@@ -142,7 +174,7 @@ func TestRestartRecoversSession(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = participant(before + i).Participate(ctx, session, uint64(i*7%256))
+			errs[i] = participant(before+i).Participate(ctx, session, uint64(i*7%256))
 		}(i)
 	}
 	// Give the retry loops time to hit connection-refused at least once.
@@ -174,5 +206,85 @@ func TestRestartRecoversSession(t *testing.T) {
 	if want := before + through; res.Reports != want {
 		t.Fatalf("final cohort = %d, want exactly %d (pre-crash %d + retried-through %d, duplicates excluded)",
 			res.Reports, want, before, through)
+	}
+}
+
+// TestMetricsDebugEndpoint is the live observability acceptance test: run
+// the real daemon with -debug-addr, drive a session over its public port,
+// and scrape the admin listener for Prometheus metrics, expvar and pprof.
+func TestMetricsDebugEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fednumd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building fednumd: %v\n%s", err, out)
+	}
+
+	d := startDaemon(t, bin, "127.0.0.1:0", filepath.Join(dir, "snap.json"),
+		"-debug-addr", "127.0.0.1:0", "-log-format", "json", "-log-level", "debug")
+	defer d.sigterm(t)
+
+	const n = 3
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: d.baseURL}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "dbg", Bits: 8, Gamma: 1})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		p := &transport.Participant{
+			BaseURL:  d.baseURL,
+			ClientID: fmt.Sprintf("dev-%d", i),
+			RNG:      frand.New(uint64(i + 1)),
+		}
+		if err := p.Participate(ctx, session, uint64(i*10)); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if _, err := admin.Finalize(ctx, session); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(d.debugURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if ct != obs.ContentType {
+		t.Fatalf("/metrics content type = %q, want %q", ct, obs.ContentType)
+	}
+	for _, want := range []string{
+		transport.MetricSessionsCreated + " 1",
+		transport.MetricReports + `{result="accepted"} ` + fmt.Sprint(n),
+		transport.MetricSessionsFinalized + `{trigger="api"} 1`,
+		"# TYPE " + transport.MetricHTTPLatency + " histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, metrics)
+		}
+	}
+	if vars, _ := get("/debug/vars"); !strings.Contains(vars, `"fednum"`) {
+		t.Errorf("/debug/vars does not publish the fednum registry:\n%s", vars)
+	}
+	if _, ct := get("/debug/pprof/cmdline"); ct == "" {
+		t.Error("/debug/pprof/cmdline served no content type")
+	}
+	if prof, _ := get("/debug/pprof/"); !strings.Contains(prof, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
 	}
 }

@@ -22,6 +22,8 @@ import (
 	"repro/internal/frand"
 	"repro/internal/ldp"
 	"repro/internal/meter"
+	"repro/internal/obs"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -60,11 +62,16 @@ func main() {
 			log.Fatalf("fedsim: %v", err)
 		}
 	}
+	// One registry spans the whole simulation: the coordinator's round
+	// outcomes and the privacy meter's running totals land in the same
+	// place a deployment would scrape.
+	reg := obs.NewRegistry()
 	ledger := meter.NewLedger(meter.Policy{MaxBitsPerValue: 1, MaxEpsilon: float64(*days+1) * (*eps) * float64(len(metrics))})
+	ledger.SetMetrics(reg)
 	co, err := federated.NewCoordinator(federated.Config{
 		Bits: bits, RR: rr, SquashThreshold: squashFor(rr),
 		DropoutRate: *dropout, StragglerRate: 0.05, StragglerDelay: 20, RoundDeadline: 12,
-		MinCohort: 500, Ledger: ledger, Seed: rng.Uint64(),
+		MinCohort: 500, Ledger: ledger, Metrics: reg, Seed: rng.Uint64(),
 	})
 	if err != nil {
 		log.Fatalf("fedsim: %v", err)
@@ -121,6 +128,22 @@ func main() {
 	}
 	fmt.Printf("privacy: client-0 spent ε=%.1f across %d days (1 bit per metric per day, metered)\n",
 		ledger.EpsilonSpent("client-0"), *days)
+
+	// One-line registry summary: total per-client requests the campaign
+	// made, the simulated round-latency distribution, and the resilience
+	// counters (zero in-process — the line keeps the same shape as
+	// fednum-client's so dashboards can treat both uniformly).
+	outcomes := reg.CounterVec(federated.MetricReports, "", "result")
+	requests := uint64(0)
+	for _, result := range []string{"accepted", "dropped", "straggler", "abstained", "rejected", "denied"} {
+		requests += outcomes.With(result).Value()
+	}
+	lat := reg.Histogram(federated.MetricRoundLatency, "", nil)
+	fmt.Printf("metrics: %d requests (%d accepted, %d denied), round latency p50=%.1fm p99=%.1fm, %d retries, %d duplicates\n",
+		requests, outcomes.With("accepted").Value(), outcomes.With("denied").Value(),
+		lat.Quantile(0.5), lat.Quantile(0.99),
+		reg.Counter(transport.MetricClientRetries, "").Value(),
+		reg.Counter(transport.MetricClientDuplicateAcks, "").Value())
 }
 
 // buildFleet draws the day's metric values, injecting the incidents after

@@ -16,10 +16,45 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/frand"
+	"repro/internal/obs"
+)
+
+// Request classes, used to label fault tallies so a soak test can
+// reconcile per-endpoint metrics against ground truth (reports behave
+// differently from task polls under loss: a lost report ack is
+// re-submitted and deduplicated, a lost task ack is simply re-polled).
+const (
+	// ClassReport is a report submission (POST .../reports).
+	ClassReport = "report"
+	// ClassTask is a task poll (GET .../task).
+	ClassTask = "task"
+	// ClassAdmin is everything else: create, finalize, result.
+	ClassAdmin = "admin"
+)
+
+// ClassOf maps a request path to its fault-accounting class.
+func ClassOf(path string) string {
+	switch {
+	case strings.HasSuffix(path, "/reports"):
+		return ClassReport
+	case strings.HasSuffix(path, "/task") || strings.Contains(path, "/task?"):
+		return ClassTask
+	default:
+		return ClassAdmin
+	}
+}
+
+// Metric names the injector publishes when a registry is attached via
+// SetMetrics. Faults are labeled by kind (drop, lose_ack, duplicate,
+// server_err, delay) and request class.
+const (
+	MetricRequests = "chaos_requests_total"
+	MetricFaults   = "chaos_faults_total"
 )
 
 // Faults is the injection mix. All probabilities are independent per
@@ -70,6 +105,10 @@ type Injector struct {
 	mu       sync.Mutex
 	rng      *frand.RNG
 	counters Counters
+	byClass  map[string]*Counters
+
+	reqVec   *obs.CounterVec
+	faultVec *obs.CounterVec
 }
 
 // NewInjector validates the mix and returns an injector.
@@ -82,26 +121,67 @@ func NewInjector(f Faults) (*Injector, error) {
 	if f.Delay > 0 && f.MaxDelay <= 0 {
 		return nil, fmt.Errorf("chaos: Delay=%v needs a positive MaxDelay", f.Delay)
 	}
-	return &Injector{faults: f, rng: frand.New(f.Seed)}, nil
+	return &Injector{faults: f, rng: frand.New(f.Seed), byClass: make(map[string]*Counters)}, nil
 }
 
-// Counters returns a snapshot of the fault tallies.
+// SetMetrics mirrors the fault tallies into reg as chaos_requests_total
+// and chaos_faults_total, both labeled by request class. Attach before
+// injecting; faults recorded earlier are not backfilled.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.reqVec = reg.CounterVec(MetricRequests,
+		"Client requests seen by the chaos round tripper.", "class")
+	in.faultVec = reg.CounterVec(MetricFaults,
+		"Faults injected, by kind and request class.", "kind", "class")
+}
+
+// Counters returns a snapshot of the global fault tallies.
 func (in *Injector) Counters() Counters {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.counters
 }
 
-// roll draws one Bernoulli and bumps the counter on success.
-func (in *Injector) roll(p float64, counter *int) bool {
+// ClassCounters returns a snapshot of the tallies for one request class
+// (ClassReport, ClassTask or ClassAdmin).
+func (in *Injector) ClassCounters(class string) Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c := in.byClass[class]; c != nil {
+		return *c
+	}
+	return Counters{}
+}
+
+// classLocked returns the mutable per-class tally; callers hold in.mu.
+func (in *Injector) classLocked(class string) *Counters {
+	c := in.byClass[class]
+	if c == nil {
+		c = &Counters{}
+		in.byClass[class] = c
+	}
+	return c
+}
+
+// roll draws one Bernoulli; callers hold in.mu. Counters are bumped by
+// the caller so the RNG draw order stays independent of the accounting.
+func (in *Injector) roll(p float64) bool {
 	if p <= 0 {
 		return false
 	}
-	hit := in.rng.Bernoulli(p)
-	if hit {
-		*counter++
+	return in.rng.Bernoulli(p)
+}
+
+// fault records one injected fault of the given kind, in the global
+// tally, the per-class tally and (when attached) the registry; callers
+// hold in.mu and pass the matching counter fields.
+func (in *Injector) fault(kind, class string, global, perClass *int) {
+	*global++
+	*perClass++
+	if in.faultVec != nil {
+		in.faultVec.With(kind, class).Inc()
 	}
-	return hit
 }
 
 // delayFor draws a uniform delay in (0, MaxDelay].
@@ -139,13 +219,26 @@ func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 			return nil, err
 		}
 	}
+	class := ClassOf(req.URL.Path)
 	rt.in.mu.Lock()
+	cc := rt.in.classLocked(class)
 	rt.in.counters.Requests++
-	drop := rt.in.roll(rt.in.faults.Drop, &rt.in.counters.Dropped)
+	cc.Requests++
+	if rt.in.reqVec != nil {
+		rt.in.reqVec.With(class).Inc()
+	}
+	drop := rt.in.roll(rt.in.faults.Drop)
+	if drop {
+		rt.in.fault("drop", class, &rt.in.counters.Dropped, &cc.Dropped)
+	}
 	var dup, lose bool
 	if !drop {
-		dup = rt.in.roll(rt.in.faults.Duplicate, &rt.in.counters.Duplicated)
-		lose = rt.in.roll(rt.in.faults.LoseAck, &rt.in.counters.AcksLost)
+		if dup = rt.in.roll(rt.in.faults.Duplicate); dup {
+			rt.in.fault("duplicate", class, &rt.in.counters.Duplicated, &cc.Duplicated)
+		}
+		if lose = rt.in.roll(rt.in.faults.LoseAck); lose {
+			rt.in.fault("lose_ack", class, &rt.in.counters.AcksLost, &cc.AcksLost)
+		}
 	}
 	rt.in.mu.Unlock()
 	if drop {
@@ -189,9 +282,17 @@ func cloneRequest(req *http.Request, body []byte) *http.Request {
 // (before the handler runs, so no state is committed) and delays.
 func (in *Injector) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		class := ClassOf(r.URL.Path)
 		in.mu.Lock()
-		fail := in.roll(in.faults.ServerErr, &in.counters.ServerErrs)
-		delay := !fail && in.roll(in.faults.Delay, &in.counters.Delayed)
+		cc := in.classLocked(class)
+		fail := in.roll(in.faults.ServerErr)
+		if fail {
+			in.fault("server_err", class, &in.counters.ServerErrs, &cc.ServerErrs)
+		}
+		delay := !fail && in.roll(in.faults.Delay)
+		if delay {
+			in.fault("delay", class, &in.counters.Delayed, &cc.Delayed)
+		}
 		in.mu.Unlock()
 		if fail {
 			w.Header().Set("Content-Type", "application/json")

@@ -43,6 +43,9 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 	agg := transport.NewServer(1)
+	// Share one registry between the server and the injector so the soak
+	// can reconcile the instrumented pipeline against injected ground truth.
+	in.SetMetrics(agg.Registry())
 	srv := httptest.NewServer(in.Middleware(agg))
 	defer srv.Close()
 
@@ -150,6 +153,42 @@ func TestChaosSoak(t *testing.T) {
 	if d := math.Abs(res.Estimate - clean.Estimate); d > 6*sigma {
 		t.Fatalf("chaos estimate %.2f vs fault-free estimate %.2f: off by %.1fσ", res.Estimate, clean.Estimate, d/sigma)
 	}
+
+	// Metrics reconciliation: the instrumented pipeline's counters must
+	// agree exactly with the injector's ground truth for the reports route.
+	// Every client send either vanished (dropped) or was delivered — twice
+	// when duplicated — and every delivery either got an injected 503 or
+	// reached the report handler, which classified it into exactly one
+	// fednum_reports_total result.
+	reg := agg.Registry()
+	cr := in.ClassCounters(chaos.ClassReport)
+	deliveries := cr.Requests - cr.Dropped + cr.Duplicated
+	handlerCalls := deliveries - cr.ServerErrs
+	results := reg.CounterVec(transport.MetricReports, "", "result")
+	var classified uint64
+	for _, result := range []string{
+		transport.ReportAccepted, transport.ReportDuplicate, transport.ReportConflict,
+		transport.ReportWrongBit, transport.ReportNoTask, transport.ReportInvalid,
+	} {
+		classified += results.With(result).Value()
+	}
+	if classified != uint64(handlerCalls) {
+		t.Fatalf("reports classified = %d, want %d (= %d sends - %d dropped + %d duplicated - %d injected 503s)",
+			classified, handlerCalls, cr.Requests, cr.Dropped, cr.Duplicated, cr.ServerErrs)
+	}
+	if accepted := results.With(transport.ReportAccepted).Value(); accepted != uint64(res.Reports) {
+		t.Fatalf("accepted counter = %d, finalized cohort = %d", accepted, res.Reports)
+	}
+	// The injector's own registry mirror must match its Go-side counters.
+	faults := reg.CounterVec(chaos.MetricFaults, "", "kind", "class")
+	if got := faults.With("drop", chaos.ClassReport).Value(); got != uint64(cr.Dropped) {
+		t.Fatalf("chaos_faults_total{drop,report} = %d, counters say %d", got, cr.Dropped)
+	}
+	if got := reg.CounterVec(chaos.MetricRequests, "", "class").With(chaos.ClassReport).Value(); got != uint64(cr.Requests) {
+		t.Fatalf("chaos_requests_total{report} = %d, counters say %d", got, cr.Requests)
+	}
+	t.Logf("reconciled: %d report sends, %d handler calls, %d classified (%d accepted)",
+		cr.Requests, handlerCalls, classified, results.With(transport.ReportAccepted).Value())
 }
 
 func clientID(i int) string { return fmt.Sprintf("dev-%d", i) }

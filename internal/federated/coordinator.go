@@ -9,6 +9,16 @@ import (
 	"repro/internal/frand"
 	"repro/internal/ldp"
 	"repro/internal/meter"
+	"repro/internal/obs"
+)
+
+// Metric names the coordinator publishes when Config.Metrics is set.
+// Report outcomes are labeled by result: accepted, dropped, straggler,
+// abstained, rejected, denied.
+const (
+	MetricRounds       = "fed_rounds_total"
+	MetricReports      = "fed_reports_total"
+	MetricRoundLatency = "fed_round_latency_minutes"
 )
 
 // Errors returned by the coordinator.
@@ -62,6 +72,9 @@ type Config struct {
 	// Ledger, when non-nil, meters each client's disclosure and skips
 	// clients whose budget is exhausted.
 	Ledger *meter.Ledger
+	// Metrics, when non-nil, records per-round participation outcomes and
+	// simulated round latency into the registry (see the Metric* names).
+	Metrics *obs.Registry
 	// Seed makes the coordinator deterministic.
 	Seed uint64
 }
@@ -227,6 +240,7 @@ func (co *Coordinator) RunRound(clients []Client, feature string, probs []float6
 		}
 	}
 
+	co.recordStats(stats)
 	if co.cfg.MinCohort > 0 && stats.Accepted < co.cfg.MinCohort {
 		return nil, fmt.Errorf("%w: %d accepted reports, need %d", ErrCohort, stats.Accepted, co.cfg.MinCohort)
 	}
@@ -235,6 +249,27 @@ func (co *Coordinator) RunRound(clients []Client, feature string, probs []float6
 		return nil, err
 	}
 	return &RoundResult{Result: *res, Stats: stats, Probs: normalized}, nil
+}
+
+// recordStats mirrors one round's participation tallies into the
+// configured registry.
+func (co *Coordinator) recordStats(stats Stats) {
+	reg := co.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricRounds, "Bit-pushing rounds executed.").Inc()
+	outcomes := reg.CounterVec(MetricReports,
+		"Per-client round outcomes, by result.", "result")
+	outcomes.With("accepted").Add(uint64(stats.Accepted))
+	outcomes.With("dropped").Add(uint64(stats.Dropped))
+	outcomes.With("straggler").Add(uint64(stats.Stragglers))
+	outcomes.With("abstained").Add(uint64(stats.Abstained))
+	outcomes.With("rejected").Add(uint64(stats.Rejected))
+	outcomes.With("denied").Add(uint64(stats.Denied))
+	reg.Histogram(MetricRoundLatency,
+		"Simulated round wall-clock in minutes.",
+		[]float64{0.5, 1, 2, 5, 10, 20, 60}).Observe(stats.Latency)
 }
 
 // selectCohort picks which clients to invite. With TargetReports set it

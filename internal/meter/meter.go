@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by Charge.
@@ -39,6 +41,16 @@ type Policy struct {
 // per feature over a metric's lifetime, total ε of 8 under composition.
 var DefaultPolicy = Policy{MaxBitsPerValue: 1, MaxBitsPerFeature: 16, MaxEpsilon: 8}
 
+// Metric names the ledger publishes when a registry is attached via
+// SetMetrics. Bits are labeled by feature, denials by the budget that
+// fired (bit_budget, eps_budget, invalid).
+const (
+	MetricBitsDisclosed = "meter_bits_disclosed_total"
+	MetricEpsilonSpent  = "meter_epsilon_spent"
+	MetricDenials       = "meter_denials_total"
+	MetricClients       = "meter_clients"
+)
+
 // Ledger tracks disclosures for a population of clients. It is safe for
 // concurrent use by the aggregation server.
 type Ledger struct {
@@ -46,6 +58,11 @@ type Ledger struct {
 
 	mu      sync.Mutex
 	clients map[string]*clientAccount
+
+	bits    *obs.CounterVec
+	eps     *obs.Gauge
+	denials *obs.CounterVec
+	gauge   *obs.Gauge
 }
 
 type clientAccount struct {
@@ -58,35 +75,73 @@ func NewLedger(policy Policy) *Ledger {
 	return &Ledger{policy: policy, clients: make(map[string]*clientAccount)}
 }
 
+// SetMetrics mirrors the ledger's running totals into reg: cumulative
+// bits disclosed per feature, total ε spent across the population, the
+// number of distinct metered clients, and denials by exhausted budget.
+// Attach before charging; earlier charges are not backfilled.
+func (l *Ledger) SetMetrics(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bits = reg.CounterVec(MetricBitsDisclosed,
+		"Private bits disclosed across all clients, by feature.", "feature")
+	l.eps = reg.Gauge(MetricEpsilonSpent,
+		"Total privacy budget (epsilon) spent across the client population.")
+	l.denials = reg.CounterVec(MetricDenials,
+		"Charges refused by the privacy meter, by exhausted budget.", "reason")
+	l.gauge = reg.Gauge(MetricClients,
+		"Distinct clients with at least one metered disclosure.")
+}
+
+// deny counts a refused charge when a registry is attached; callers hold
+// l.mu or are on the validation path before any state exists.
+func (l *Ledger) deny(reason string) {
+	if l.denials != nil {
+		l.denials.With(reason).Inc()
+	}
+}
+
 // Charge records that client is about to disclose `bits` bits about one
 // value of `feature` under privacy parameter eps (eps 0 for mechanisms
 // without a DP layer). It returns an error — and records nothing — if the
 // disclosure would exceed the policy.
 func (l *Ledger) Charge(client, feature string, bits int, eps float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if bits < 0 || eps < 0 {
+		l.deny("invalid")
 		return fmt.Errorf("%w: bits=%d eps=%v", ErrCharge, bits, eps)
 	}
 	if l.policy.MaxBitsPerValue > 0 && bits > l.policy.MaxBitsPerValue {
+		l.deny("bit_budget")
 		return fmt.Errorf("%w: %d bits for one value exceeds per-value cap %d",
 			ErrBitBudget, bits, l.policy.MaxBitsPerValue)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	acct := l.clients[client]
 	if acct == nil {
 		acct = &clientAccount{bitsPerFeature: make(map[string]int)}
 		l.clients[client] = acct
+		if l.gauge != nil {
+			l.gauge.Set(float64(len(l.clients)))
+		}
 	}
 	if l.policy.MaxBitsPerFeature > 0 && acct.bitsPerFeature[feature]+bits > l.policy.MaxBitsPerFeature {
+		l.deny("bit_budget")
 		return fmt.Errorf("%w: client %q feature %q at %d bits, charge of %d exceeds cap %d",
 			ErrBitBudget, client, feature, acct.bitsPerFeature[feature], bits, l.policy.MaxBitsPerFeature)
 	}
 	if l.policy.MaxEpsilon > 0 && acct.epsSpent+eps > l.policy.MaxEpsilon {
+		l.deny("eps_budget")
 		return fmt.Errorf("%w: client %q at ε=%.3f, charge of %.3f exceeds cap %.3f",
 			ErrEpsBudget, client, acct.epsSpent, eps, l.policy.MaxEpsilon)
 	}
 	acct.bitsPerFeature[feature] += bits
 	acct.epsSpent += eps
+	if l.bits != nil && bits > 0 {
+		l.bits.With(feature).Add(uint64(bits))
+	}
+	if l.eps != nil && eps > 0 {
+		l.eps.Add(eps)
+	}
 	return nil
 }
 

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// snapshotChild is one child frozen for rendering.
+type snapshotChild struct {
+	values []string
+	value  float64  // counter (as float) or gauge
+	count  uint64   // histogram
+	sum    float64  // histogram
+	bucket []uint64 // histogram: cumulative counts per finite bound
+}
+
+// snapshotFamily is one family frozen for rendering.
+type snapshotFamily struct {
+	name, help, kind string
+	labels           []string
+	bounds           []float64
+	children         []snapshotChild
+}
+
+// snapshot freezes the registry under its locks in a render-ready form.
+func (r *Registry) snapshot() []snapshotFamily {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]snapshotFamily, 0, len(fams))
+	for _, f := range fams {
+		sf := snapshotFamily{name: f.name, help: f.help, kind: f.kind, labels: f.labels, bounds: f.bounds}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			sc := snapshotChild{values: c.values}
+			switch f.kind {
+			case kindCounter:
+				sc.value = float64(c.counter.Value())
+			case kindGauge:
+				sc.value = c.gauge.Value()
+			case kindHistogram:
+				sc.count = c.hist.Count()
+				sc.sum = c.hist.Sum()
+				cum := uint64(0)
+				sc.bucket = make([]uint64, len(c.hist.bounds))
+				for i := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					sc.bucket[i] = cum
+				}
+			}
+			sf.children = append(sf.children, sc)
+		}
+		f.mu.Unlock()
+		out = append(out, sf)
+	}
+	return out
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}; extra appends a trailing label (used
+// for histogram le). An empty label set renders as "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families and children in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			switch f.kind {
+			case kindCounter, kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, c.values, "", ""), formatValue(c.value))
+			case kindHistogram:
+				for i, bound := range f.bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, c.values, "le", formatValue(bound)), c.bucket[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.values, "le", "+Inf"), c.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name,
+					labelString(f.labels, c.values, "", ""), formatValue(c.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelString(f.labels, c.values, "", ""), c.count)
+			}
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Handler serves the registry in Prometheus text format — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			return
+		}
+	})
+}
+
+var publishMu sync.Mutex
+
+// Publish exposes the registry under the given expvar name (visible at
+// /debug/vars), as a flat map of "metric{labels}" to values; histograms
+// render as {count, sum} objects. The expvar namespace is
+// process-global and append-only, so the first registry published under a
+// name wins and later calls are no-ops.
+func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.ExpvarMap() }))
+}
+
+// ExpvarMap returns the flat map view Publish exposes.
+func (r *Registry) ExpvarMap() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.snapshot() {
+		for _, c := range f.children {
+			key := f.name + labelString(f.labels, c.values, "", "")
+			switch f.kind {
+			case kindCounter:
+				out[key] = uint64(c.value)
+			case kindGauge:
+				out[key] = c.value
+			case kindHistogram:
+				hist := map[string]any{"count": c.count, "sum": c.sum}
+				out[key] = hist
+			}
+		}
+	}
+	return out
+}

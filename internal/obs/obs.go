@@ -1,0 +1,301 @@
+// Package obs is the observability substrate for the aggregation stack:
+// a zero-dependency, concurrency-safe metrics registry (atomic counters,
+// gauges and fixed-bucket histograms, with labels) that exposes itself in
+// Prometheus text format and through expvar, plus structured-logging
+// helpers built on log/slog. The production federated-analytics systems
+// the paper targets (§4.3) are operated by watching cohort sizes, dropout
+// rates and privacy spend in real time; every component of this repository
+// records into an obs.Registry so a daemon — or a simulation — can be read
+// the same way.
+//
+// The registry is deliberately small: metric families are registered
+// idempotently by name (re-registering returns the existing family, and a
+// kind or label-schema mismatch panics, since that is a programming
+// error), children are cached per label-value tuple, and every write path
+// is either a single atomic operation or a short critical section, so
+// instruments are safe to hammer from hundreds of goroutines.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric kinds.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// LatencyBuckets is the default histogram layout for request latencies in
+// seconds, spanning sub-millisecond local calls to multi-second retries.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CohortBuckets is the default histogram layout for cohort sizes
+// (reports per finalized session).
+var CohortBuckets = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: cumulative-style buckets in
+// the Prometheus sense (bucket i counts observations ≤ bounds[i], plus an
+// implicit +Inf overflow bucket), an exact sum and an exact count.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	bs = slices.Compact(bs)
+	for len(bs) > 0 && math.IsInf(bs[len(bs)-1], 1) {
+		bs = bs[:len(bs)-1] // +Inf is implicit
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket the rank falls into — the same estimate a Prometheus
+// histogram_quantile would produce. Samples in the +Inf overflow bucket
+// clamp to the highest finite bound. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	lo := 0.0
+	for i, hi := range h.bounds {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank {
+			if n == 0 {
+				return hi
+			}
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+		lo = hi
+	}
+	if len(h.bounds) == 0 {
+		return h.Sum() / float64(total)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// child is one labelled instrument inside a family.
+type child struct {
+	values  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is all the children sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+const labelSep = "\x1f"
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s: %d label values for labels %v", f.name, len(values), f.labels))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...)}
+		switch f.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.hist = newHistogram(f.bounds)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family registers or fetches a family; a kind or label-schema mismatch
+// with an existing family panics. The first registration's help text and
+// histogram buckets win.
+func (r *Registry) family(name, help, kind string, bounds []float64, labels []string) *family {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRe.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:     name,
+			help:     help,
+			kind:     kind,
+			labels:   append([]string(nil), labels...),
+			bounds:   append([]float64(nil), bounds...),
+			children: make(map[string]*child),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", name, kind, f.kind))
+	}
+	if !slices.Equal(f.labels, labels) {
+		panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v", name, labels, f.labels))
+	}
+	return f
+}
+
+// CounterVec registers (or fetches) a counter family with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, nil, labels)}
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// GaugeVec registers (or fetches) a gauge family with the given label
+// names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, nil, labels)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// HistogramVec registers (or fetches) a histogram family with the given
+// bucket upper bounds and label names. The first registration's buckets
+// win.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, buckets, labels)}
+}
+
+// Histogram registers (or fetches) an unlabelled histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in registration
+// order), creating it at zero on first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).counter }
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).gauge }
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).hist }

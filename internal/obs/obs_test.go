@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestObsRegistryConcurrency hammers shared instruments from many
+// goroutines while scraping concurrently; run under -race this is the
+// registry's thread-safety proof, and the final values must be exact.
+func TestObsRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Re-fetch the instruments through the registry each time, the
+			// way instrumented request paths do.
+			for i := 0; i < perWorker; i++ {
+				reg.CounterVec("test_requests_total", "requests", "route").With("/a").Inc()
+				reg.Gauge("test_in_flight", "in flight").Add(1)
+				reg.Gauge("test_in_flight", "in flight").Add(-1)
+				reg.Histogram("test_latency_seconds", "latency", LatencyBuckets).Observe(float64(i%10) / 100)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with writers.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.CounterVec("test_requests_total", "", "route").With("/a").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("test_in_flight", "").Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	h := reg.Histogram("test_latency_seconds", "", LatencyBuckets)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// valueLineRe matches a Prometheus exposition sample line.
+var valueLineRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\+Inf|-Inf|NaN|-?[0-9.eE+-]+)$`)
+
+// ValidateExposition asserts the text is structurally valid exposition
+// format: every line is a HELP/TYPE comment or a sample, every sample
+// belongs to a TYPE-declared family, and histogram buckets are cumulative.
+func ValidateExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = parts[3]
+		case valueLineRe.MatchString(line):
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if cut, ok := strings.CutSuffix(name, suffix); ok && typed[cut] == "histogram" {
+					base = cut
+				}
+			}
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("sample %q has no TYPE declaration", line)
+			}
+		default:
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+func TestObsPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("fmt_requests_total", "Total requests.", "route", "code").With("/v1/x", "200").Add(3)
+	reg.Gauge("fmt_temperature", "A gauge.").Set(-1.5)
+	h := reg.Histogram("fmt_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	// Label values requiring escaping.
+	reg.CounterVec("fmt_weird_total", "Escapes: \\ and\nnewline.", "v").With("a\"b\\c\nd").Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	ValidateExposition(t, text)
+
+	for _, want := range []string{
+		`fmt_requests_total{route="/v1/x",code="200"} 3`,
+		"# TYPE fmt_requests_total counter",
+		"# TYPE fmt_latency_seconds histogram",
+		`fmt_latency_seconds_bucket{le="0.1"} 1`,
+		`fmt_latency_seconds_bucket{le="1"} 2`,
+		`fmt_latency_seconds_bucket{le="+Inf"} 3`,
+		`fmt_latency_seconds_sum 5.55`,
+		`fmt_latency_seconds_count 3`,
+		`fmt_temperature -1.5`,
+		`fmt_weird_total{v="a\"b\\c\nd"} 1`,
+		`# HELP fmt_weird_total Escapes: \\ and\nnewline.`,
+	} {
+		if !strings.Contains(text, want+"\n") && !strings.HasSuffix(text, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, text)
+		}
+	}
+
+	// The HTTP handler serves the same bytes with the right content type.
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	if rr.Body.String() != text {
+		t.Fatalf("handler body differs from WritePrometheus")
+	}
+}
+
+func TestObsHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i % 60))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 20 || p50 > 40 {
+		t.Fatalf("p50 = %v, want within a bucket of 30", p50)
+	}
+	if q := h.Quantile(1); q > 100 {
+		t.Fatalf("p100 = %v beyond top bound", q)
+	}
+	var empty Histogram
+	if q := (&empty).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// Overflow clamps to the top finite bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(5)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+}
+
+func TestObsGaugeAddParallel(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); math.Abs(v-4000) > 1e-9 {
+		t.Fatalf("gauge = %v, want 4000", v)
+	}
+}
+
+func TestObsMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_metric", "first")
+	assertPanics(t, "kind mismatch", func() { reg.Gauge("dup_metric", "second") })
+	reg.CounterVec("lab_metric", "", "a")
+	assertPanics(t, "label mismatch", func() { reg.CounterVec("lab_metric", "", "b") })
+	assertPanics(t, "arity mismatch", func() { reg.CounterVec("lab_metric", "", "a").With("x", "y") })
+	assertPanics(t, "bad name", func() { reg.Counter("bad name", "") })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestObsExpvarPublish(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("expvar_hits_total", "").Add(7)
+	reg.Publish("obs_test_registry")
+	// Publishing twice (even another registry) must not panic; first wins.
+	NewRegistry().Publish("obs_test_registry")
+
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if m["expvar_hits_total"].(float64) != 7 {
+		t.Fatalf("expvar map = %v", m)
+	}
+}
+
+func TestObsLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("visible", "session", "s1")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log output is not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "visible" || rec["session"] != "s1" {
+		t.Fatalf("unexpected record %v", rec)
+	}
+
+	if _, err := NewLogger(io.Discard, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo, "warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/frand"
 	"repro/internal/ldp"
+	"repro/internal/obs"
 	"repro/internal/transport/wire"
 )
 
@@ -34,6 +35,11 @@ type Participant struct {
 	// Retry, when non-nil, retries transient failures with backoff; nil
 	// makes a single attempt per request.
 	Retry *RetryPolicy
+	// Metrics, when non-nil, counts protocol-level client outcomes:
+	// duplicate re-acks after a lost ack (MetricClientDuplicateAcks) and
+	// rejected reports (MetricClientRejections). Attempt/retry counters
+	// ride on Retry.Metrics.
+	Metrics *obs.Registry
 }
 
 func (p *Participant) client() *http.Client {
@@ -90,7 +96,15 @@ func (p *Participant) Participate(ctx context.Context, sessionID string, value u
 	if err != nil {
 		return err
 	}
+	if p.Metrics != nil && ack.Duplicate {
+		p.Metrics.Counter(MetricClientDuplicateAcks,
+			"Reports re-acked as duplicates (retransmission after a lost ack).").Inc()
+	}
 	if !ack.Accepted {
+		if p.Metrics != nil {
+			p.Metrics.Counter(MetricClientRejections,
+				"Reports the server refused to accept.").Inc()
+		}
 		return fmt.Errorf("transport: report rejected: %s", ack.Reason)
 	}
 	return nil

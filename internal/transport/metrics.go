@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server-side metric names, as scraped from /metrics. Exported as
+// constants so tests and dashboards reference one spelling.
+const (
+	MetricHTTPRequests      = "fednum_http_requests_total"
+	MetricHTTPLatency       = "fednum_http_request_seconds"
+	MetricHTTPInFlight      = "fednum_http_in_flight"
+	MetricSessionsCreated   = "fednum_sessions_created_total"
+	MetricSessionsFinalized = "fednum_sessions_finalized_total"
+	MetricSessionsExpired   = "fednum_sessions_expired_total"
+	MetricSessionsDeleted   = "fednum_sessions_deleted_total"
+	MetricSessionsActive    = "fednum_sessions_active"
+	MetricCohortSize        = "fednum_cohort_size"
+	MetricReports           = "fednum_reports_total"
+	MetricTasksAssigned     = "fednum_tasks_assigned_total"
+	MetricGCSweeps          = "fednum_gc_sweeps_total"
+)
+
+// Client-side metric names, recorded by RetryPolicy and Participant into
+// whatever registry the caller wires in.
+const (
+	MetricClientAttempts      = "fednum_client_attempts_total"
+	MetricClientRetries       = "fednum_client_retries_total"
+	MetricClientFailures      = "fednum_client_failures_total"
+	MetricClientAttemptTime   = "fednum_client_attempt_seconds"
+	MetricClientDuplicateAcks = "fednum_client_duplicate_acks_total"
+	MetricClientRejections    = "fednum_client_rejected_reports_total"
+)
+
+// Report ingestion outcomes, the values of MetricReports' result label.
+const (
+	ReportAccepted  = "accepted"
+	ReportDuplicate = "duplicate"
+	ReportConflict  = "conflict"
+	ReportWrongBit  = "wrong_bit"
+	ReportNoTask    = "no_task"
+	ReportInvalid   = "invalid"
+)
+
+// serverMetrics bundles the server's registered instruments.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.CounterVec   // route, method, code
+	latency  *obs.HistogramVec // route
+	inFlight *obs.Gauge
+
+	created   *obs.Counter
+	finalized *obs.CounterVec // trigger: api | deadline
+	expired   *obs.Counter
+	deleted   *obs.Counter
+	active    *obs.Gauge
+	cohort    *obs.Histogram
+	reports   *obs.CounterVec // result
+	tasks     *obs.Counter
+	sweeps    *obs.CounterVec // forced: true | false
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec(MetricHTTPRequests,
+			"HTTP requests handled, by route pattern, method and status code.",
+			"route", "method", "code"),
+		latency: reg.HistogramVec(MetricHTTPLatency,
+			"HTTP request handling latency in seconds, by route pattern.",
+			obs.LatencyBuckets, "route"),
+		inFlight: reg.Gauge(MetricHTTPInFlight,
+			"HTTP requests currently being handled."),
+		created: reg.Counter(MetricSessionsCreated,
+			"Aggregation sessions created."),
+		finalized: reg.CounterVec(MetricSessionsFinalized,
+			"Sessions finalized, by trigger (api or deadline).", "trigger"),
+		expired: reg.Counter(MetricSessionsExpired,
+			"Sessions expired at their TTL deadline without finalizing."),
+		deleted: reg.Counter(MetricSessionsDeleted,
+			"Ended sessions dropped by retention garbage collection."),
+		active: reg.Gauge(MetricSessionsActive,
+			"Sessions currently accepting tasks and reports."),
+		cohort: reg.Histogram(MetricCohortSize,
+			"Accepted reports per finalized session.", obs.CohortBuckets),
+		reports: reg.CounterVec(MetricReports,
+			"Report submissions, by ingestion result.", "result"),
+		tasks: reg.Counter(MetricTasksAssigned,
+			"Fresh task assignments handed to clients."),
+		sweeps: reg.CounterVec(MetricGCSweeps,
+			"TTL garbage-collection sweeps, by whether the sweep was forced (GC loop) or piggybacked on a request.",
+			"forced"),
+	}
+}
+
+// Registry returns the server's metrics registry, for mounting on an
+// admin endpoint or for sharing with co-located components (chaos
+// injectors, retry policies, privacy meters) so one scrape shows the
+// whole deployment.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the HTTP middleware: request counts by
+// route/method/status, a latency histogram per route, the in-flight gauge,
+// and a per-request id stamped into the context for log correlation.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.metrics.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		reqID := strconv.FormatUint(s.reqSeq.Add(1), 10)
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
+		lat.Observe(elapsed.Seconds())
+		s.logDebug("transport: request",
+			"request_id", reqID, "route", route, "method", r.Method,
+			"code", sw.code, "duration_ms", float64(elapsed.Microseconds())/1000)
+	}
+}
+
+// clientMetrics bundles the client-side resilience instruments a
+// RetryPolicy records into.
+type clientMetrics struct {
+	attempts *obs.Counter
+	retries  *obs.Counter
+	failures *obs.Counter
+	seconds  *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		attempts: reg.Counter(MetricClientAttempts,
+			"Request attempts issued by clients (retries included)."),
+		retries: reg.Counter(MetricClientRetries,
+			"Retry attempts after a transient failure."),
+		failures: reg.Counter(MetricClientFailures,
+			"Requests that failed after exhausting their attempt budget (or fatally)."),
+		seconds: reg.Histogram(MetricClientAttemptTime,
+			"Per-attempt request latency in seconds.", obs.LatencyBuckets),
+	}
+}

@@ -1,0 +1,277 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/frand"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type = %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// parseSamples indexes every sample line by its full series identity
+// (name plus label block).
+func parseSamples(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line[i+1:], "+"), 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// validateExposition checks the scraped text is structurally valid:
+// every line is a comment or a sample, every sample has a TYPE, and
+// histogram bucket series are cumulative with a +Inf bucket equal to the
+// series count.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (\+Inf|-Inf|NaN|-?[0-9.eE+-]+)$`)
+	typed := map[string]string{}
+	var lastBucket = map[string]float64{} // series (sans le) -> last cumulative value
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 || (parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+		case sampleRe.MatchString(line):
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if cut, ok := strings.CutSuffix(name, suffix); ok && typed[cut] == "histogram" {
+					base = cut
+				}
+			}
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("sample %q lacks a TYPE declaration", line)
+			}
+			if strings.HasSuffix(name, "_bucket") && typed[base] == "histogram" {
+				i := strings.LastIndexByte(line, ' ')
+				v, _ := strconv.ParseFloat(line[i+1:], 64)
+				series := regexp.MustCompile(`,?le="[^"]*"`).ReplaceAllString(line[:i], "")
+				if v < lastBucket[series] {
+					t.Fatalf("histogram buckets not cumulative at %q", line)
+				}
+				lastBucket[series] = v
+			}
+		default:
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+}
+
+// TestMetricsEndpointExactCounters drives a scripted create → task →
+// report → finalize flow, scrapes GET /metrics, and asserts both
+// exposition-format validity and the exact counter values the flow must
+// have produced.
+func TestMetricsEndpointExactCounters(t *testing.T) {
+	const n = 5
+	agg := transport.NewServer(1)
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: srv.URL}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "m", Bits: 8, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := frand.New(3)
+	for i := 0; i < n; i++ {
+		p := &transport.Participant{
+			BaseURL:  srv.URL,
+			ClientID: fmt.Sprintf("dev-%d", i),
+			RNG:      root.Split(),
+		}
+		if err := p.Participate(ctx, session, uint64(i*40)); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	// One retransmission: the duplicate must be re-acked and counted.
+	dup := &transport.Participant{BaseURL: srv.URL, ClientID: "dev-0", RNG: frand.New(9)}
+	task, err := dup.FetchTask(ctx, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = task
+	if _, err := admin.Finalize(ctx, session); err != nil {
+		t.Fatal(err)
+	}
+
+	text := scrape(t, srv.URL)
+	validateExposition(t, text)
+	samples := parseSamples(t, text)
+
+	want := map[string]float64{
+		transport.MetricSessionsCreated:                                                                1,
+		transport.MetricSessionsFinalized + `{trigger="api"}`:                                          1,
+		transport.MetricSessionsExpired:                                                                0,
+		transport.MetricSessionsActive:                                                                 0,
+		transport.MetricTasksAssigned:                                                                  n,
+		transport.MetricReports + `{result="accepted"}`:                                                n,
+		transport.MetricHTTPRequests + `{route="/v1/sessions",method="POST",code="201"}`:               1,
+		transport.MetricHTTPRequests + `{route="/v1/sessions/{id}/task",method="GET",code="200"}`:      n + 1,
+		transport.MetricHTTPRequests + `{route="/v1/sessions/{id}/reports",method="POST",code="200"}`:  n,
+		transport.MetricHTTPRequests + `{route="/v1/sessions/{id}/finalize",method="POST",code="200"}`: 1,
+		transport.MetricCohortSize + `_count`:                                                          1,
+		transport.MetricCohortSize + `_sum`:                                                            n,
+	}
+	for series, w := range want {
+		if got, ok := samples[series]; !ok || got != w {
+			t.Errorf("%s = %v (present=%v), want %v", series, got, ok, w)
+		}
+	}
+	// The latency histogram saw every instrumented request.
+	reqTotal := 0.0
+	for series, v := range samples {
+		if strings.HasPrefix(series, transport.MetricHTTPRequests+"{") {
+			reqTotal += v
+		}
+	}
+	if got := samples[transport.MetricHTTPLatency+`_count{route="/v1/sessions/{id}/reports"}`]; got != n {
+		t.Errorf("reports route latency count = %v, want %d", got, n)
+	}
+	if got := samples[transport.MetricHTTPInFlight]; got != 0 {
+		t.Errorf("in-flight gauge = %v at rest, want 0", got)
+	}
+	if reqTotal != n+1+n+1+1 {
+		t.Errorf("total http requests = %v, want %d", reqTotal, n+1+n+1+1)
+	}
+
+	// A second client-level Participate for dev-0 retransmits the same
+	// deterministic bit and must land as a duplicate, visible both
+	// server-side and client-side.
+	reg := obs.NewRegistry()
+	dup2 := &transport.Participant{BaseURL: srv.URL, ClientID: "dev-0", RNG: frand.New(9), Metrics: reg}
+	if err := dup2.Participate(ctx, session, 0); err == nil {
+		t.Fatal("participate on finalized session should fail")
+	}
+}
+
+// TestMetricsGCSweepLogsAndCounts exercises the satellite fix: forced
+// sweeps log at debug with expired/retained counts and land in the
+// registry.
+func TestMetricsGCSweepLogsAndCounts(t *testing.T) {
+	agg := transport.NewServer(1)
+	now := time.Unix(1000, 0)
+	agg.Now = func() time.Time { return now }
+	var buf bytes.Buffer
+	agg.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	if _, err := agg.CreateSession(wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Minute)
+	agg.Sweep()
+
+	text := &bytes.Buffer{}
+	if err := agg.Registry().WritePrometheus(text); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseSamples(t, text.String())
+	if got := samples[transport.MetricSessionsExpired]; got != 1 {
+		t.Fatalf("expired counter = %v, want 1", got)
+	}
+	if got := samples[transport.MetricGCSweeps+`{forced="true"}`]; got < 1 {
+		t.Fatalf("forced sweep counter = %v, want >= 1", got)
+	}
+	if got := samples[transport.MetricSessionsActive]; got != 0 {
+		t.Fatalf("active gauge = %v after expiry, want 0", got)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "gc sweep") || !strings.Contains(logged, "expired=1") {
+		t.Fatalf("sweep not logged at debug with counts:\n%s", logged)
+	}
+	if !strings.Contains(logged, "retained=") {
+		t.Fatalf("sweep log missing retained count:\n%s", logged)
+	}
+}
+
+// TestMetricsRetryPolicyCounters checks the client-side resilience
+// counters: a flaky server forces retries that must be visible in the
+// wired registry.
+func TestMetricsRetryPolicyCounters(t *testing.T) {
+	fails := 2
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sessions/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"down","code":"unavailable"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"session_id":"s1","feature":"f","done":true,"reports":1,"estimate":0.5,"bit_means":null,"counts":null,"sums":null,"squashed":null}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	admin := &transport.Admin{BaseURL: srv.URL, Retry: &transport.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: 0, Seed: 1, Metrics: reg,
+	}}
+	if _, err := admin.Result(context.Background(), "s1"); err != nil {
+		t.Fatalf("result after retries: %v", err)
+	}
+	if got := reg.Counter(transport.MetricClientAttempts, "").Value(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter(transport.MetricClientRetries, "").Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := reg.Counter(transport.MetricClientFailures, "").Value(); got != 0 {
+		t.Fatalf("failures = %d, want 0", got)
+	}
+	if got := reg.Histogram(transport.MetricClientAttemptTime, "", obs.LatencyBuckets).Count(); got != 3 {
+		t.Fatalf("attempt latency observations = %d, want 3", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/frand"
+	"repro/internal/obs"
 	"repro/internal/transport/wire"
 )
 
@@ -95,9 +96,16 @@ type RetryPolicy struct {
 	// Seed makes the jitter sequence deterministic for tests; 0 seeds
 	// from the policy's identity at first use.
 	Seed uint64
+	// Metrics, when non-nil, records client-side resilience metrics into
+	// the registry: attempt and retry counters, exhausted-budget failures,
+	// and a per-attempt latency histogram (see the MetricClient*
+	// constants). Set before first use; policies shared across a fleet
+	// aggregate naturally.
+	Metrics *obs.Registry
 
 	mu  sync.Mutex
 	rng *frand.RNG
+	cm  *clientMetrics
 	// sleep is stubbed in tests; nil means real time.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -156,13 +164,31 @@ func (rp *RetryPolicy) Backoff(retry int) time.Duration {
 	return d
 }
 
+// metrics returns the policy's cached instrument set, or nil when no
+// registry is wired in.
+func (rp *RetryPolicy) metrics() *clientMetrics {
+	if rp == nil || rp.Metrics == nil {
+		return nil
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.cm == nil {
+		rp.cm = newClientMetrics(rp.Metrics)
+	}
+	return rp.cm
+}
+
 // Do runs attempt under the policy: each try gets PerTryTimeout, transient
 // failures back off and retry, fatal failures and context cancellation
 // return immediately. The last error is returned when the budget runs out.
 func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context) error) error {
+	cm := rp.metrics()
 	var err error
 	for try := 0; try < rp.attempts(); try++ {
 		if try > 0 {
+			if cm != nil {
+				cm.retries.Inc()
+			}
 			if serr := rp.sleepFor(ctx, rp.Backoff(try)); serr != nil {
 				return serr
 			}
@@ -171,7 +197,14 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 		if rp != nil && rp.PerTryTimeout > 0 {
 			tryCtx, cancel = context.WithTimeout(ctx, rp.PerTryTimeout)
 		}
-		err = attempt(tryCtx)
+		if cm != nil {
+			cm.attempts.Inc()
+			start := time.Now()
+			err = attempt(tryCtx)
+			cm.seconds.Observe(time.Since(start).Seconds())
+		} else {
+			err = attempt(tryCtx)
+		}
 		cancel()
 		if err == nil {
 			return nil
@@ -179,11 +212,14 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 		// A per-try deadline firing while the parent is still live is a
 		// transport timeout, not a caller cancellation: retryable.
 		if ctx.Err() != nil {
-			return err
+			break
 		}
 		if !Retryable(err) {
-			return err
+			break
 		}
+	}
+	if cm != nil && err != nil {
+		cm.failures.Inc()
 	}
 	return err
 }

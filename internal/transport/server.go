@@ -14,18 +14,23 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/frand"
 	"repro/internal/ldp"
+	"repro/internal/obs"
 	"repro/internal/quantile"
 	"repro/internal/transport/wire"
 )
@@ -43,18 +48,33 @@ var (
 const sweepEvery = 100 * time.Millisecond
 
 // Server is the aggregation server. Create one with NewServer and mount it
-// as an http.Handler. The exported knobs (Now, Logf, Retention) must be
-// set before the server starts handling traffic.
+// as an http.Handler. The exported knobs (Now, Logger, Logf, Retention)
+// must be set before the server starts handling traffic.
+//
+// Every server carries its own obs.Registry (see Registry): request
+// counts, latencies and session lifecycle metrics are recorded
+// automatically and served in Prometheus text format at GET /metrics.
 type Server struct {
 	// Now is the clock, injectable for deadline tests; nil means time.Now.
 	Now func() time.Time
-	// Logf receives operational log lines (encode failures, GC activity);
-	// nil means log.Printf.
+	// Logger receives structured operational logs (request traces at
+	// debug, GC activity, encode failures); nil falls back to Logf when
+	// set and slog.Default() otherwise.
+	Logger *slog.Logger
+	// Logf receives formatted operational log lines.
+	//
+	// Deprecated: set Logger instead. Logf is kept as a shim for existing
+	// embedders; when set it wins over Logger and receives structured
+	// attributes flattened to "key=value" suffixes. Debug-level events
+	// (per-request traces) are never routed to Logf.
 	Logf func(format string, args ...any)
 	// Retention, when positive, garbage-collects finalized and expired
 	// sessions that many ticks after they ended, bounding memory on a
 	// long-lived daemon. Zero keeps them forever.
 	Retention time.Duration
+
+	metrics *serverMetrics
+	reqSeq  atomic.Uint64
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -103,15 +123,19 @@ func NewServer(seed uint64) *Server {
 	s := &Server{
 		sessions: make(map[string]*session),
 		rng:      frand.New(seed),
+		metrics:  newServerMetrics(obs.NewRegistry()),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions/{id}/task", s.handleTask)
-	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.handleReport)
-	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.handleFinalize)
-	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.handleList))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}/task", s.instrument("/v1/sessions/{id}/task", s.handleTask))
+	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.instrument("/v1/sessions/{id}/reports", s.handleReport))
+	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.instrument("/v1/sessions/{id}/finalize", s.handleFinalize))
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.instrument("/v1/sessions/{id}/result", s.handleResult))
+	// The scrape endpoint itself stays uninstrumented so scrapes do not
+	// perturb the request counters they read.
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux = mux
 	return s
 }
@@ -126,12 +150,48 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-func (s *Server) logf(format string, args ...any) {
+// logkv emits one structured operational event. The deprecated Logf shim,
+// when set, wins and receives the attributes flattened into the message;
+// otherwise the event goes to Logger (or slog.Default()).
+func (s *Server) logkv(level slog.Level, msg string, attrs ...any) {
 	if s.Logf != nil {
-		s.Logf(format, args...)
+		s.Logf("%s", msg+flattenAttrs(attrs))
 		return
 	}
-	log.Printf(format, args...)
+	lg := s.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	lg.Log(context.Background(), level, msg, attrs...)
+}
+
+// logDebug emits a debug-level event, bypassing the Logf shim (which has
+// no level concept and would flood embedders with per-request traces).
+func (s *Server) logDebug(msg string, attrs ...any) {
+	lg := s.Logger
+	if lg == nil {
+		if s.Logf != nil {
+			return
+		}
+		lg = slog.Default()
+	}
+	lg.Log(context.Background(), slog.LevelDebug, msg, attrs...)
+}
+
+// flattenAttrs renders slog-style key/value pairs as a " k=v ..." suffix
+// for the legacy printf-shaped log shim.
+func flattenAttrs(attrs []any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	if len(attrs)%2 == 1 {
+		fmt.Fprintf(&b, " %v", attrs[len(attrs)-1])
+	}
+	return b.String()
 }
 
 // writeJSON encodes v; an encoder failure after the header is written
@@ -140,7 +200,8 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logf("transport: encoding %T response: %v", v, err)
+		s.logkv(slog.LevelWarn, "transport: encoding response failed",
+			"type", fmt.Sprintf("%T", v), "error", err)
 	}
 }
 
@@ -235,6 +296,11 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 		sess.deadline = s.now().Add(time.Duration(cfg.TTLSeconds * float64(time.Second)))
 	}
 	s.sessions[id] = sess
+	s.metrics.created.Inc()
+	s.metrics.active.Add(1)
+	s.logDebug("transport: session created",
+		"session", id, "feature", cfg.Feature, "bits", cfg.Bits,
+		"thresholds", len(cfg.Thresholds), "ttl_seconds", cfg.TTLSeconds)
 	return id, nil
 }
 
@@ -283,33 +349,59 @@ func (s *Server) StartGC(interval time.Duration) (stop func()) {
 }
 
 // sweepLocked enforces session deadlines and retention; the caller holds
-// the lock. Unforced calls are throttled to sweepEvery.
+// the lock. Unforced calls are throttled to sweepEvery. Every sweep is
+// counted in the registry; forced sweeps (the GC loop and manual Sweep
+// calls) additionally log their outcome at debug level.
 func (s *Server) sweepLocked(force bool) {
 	now := s.now()
 	if !force && now.Sub(s.lastSweep) < sweepEvery {
 		return
 	}
 	s.lastSweep = now
+	expired, finalized, deleted := 0, 0, 0
 	for id, sess := range s.sessions {
 		if !sess.done && !sess.expired && !sess.deadline.IsZero() && !now.Before(sess.deadline) {
 			if sess.cfg.AutoFinalize && len(sess.reports) >= sess.cfg.MinCohort {
 				if err := s.finalizeLocked(sess); err != nil {
-					s.logf("transport: session %s: deadline auto-finalize failed, expiring: %v", id, err)
-					sess.expired = true
+					s.logkv(slog.LevelWarn, "transport: deadline auto-finalize failed, expiring",
+						"session", id, "error", err)
+					s.expireLocked(sess)
+					expired++
 				} else {
-					s.logf("transport: session %s: auto-finalized at deadline with %d reports", id, len(sess.reports))
+					s.metrics.finalized.With("deadline").Inc()
+					s.logkv(slog.LevelInfo, "transport: session auto-finalized at deadline",
+						"session", id, "reports", len(sess.reports))
+					finalized++
 				}
 			} else {
-				s.logf("transport: session %s: expired at deadline with %d reports", id, len(sess.reports))
-				sess.expired = true
+				s.logkv(slog.LevelInfo, "transport: session expired at deadline",
+					"session", id, "reports", len(sess.reports))
+				s.expireLocked(sess)
+				expired++
 			}
 			sess.endedAt = now
 		}
 		if s.Retention > 0 && (sess.done || sess.expired) && !sess.endedAt.IsZero() &&
 			now.Sub(sess.endedAt) >= s.Retention {
 			delete(s.sessions, id)
+			s.metrics.deleted.Inc()
+			deleted++
 		}
 	}
+	s.metrics.sweeps.With(strconv.FormatBool(force)).Inc()
+	if force {
+		s.logDebug("transport: gc sweep",
+			"expired", expired, "auto_finalized", finalized, "deleted", deleted,
+			"retained", len(s.sessions))
+	}
+}
+
+// expireLocked marks a live session expired and records the transition;
+// the caller holds the lock.
+func (s *Server) expireLocked(sess *session) {
+	sess.expired = true
+	s.metrics.expired.Inc()
+	s.metrics.active.Add(-1)
 }
 
 // AssignTask picks the bit a client must report: the bit whose issued
@@ -336,6 +428,7 @@ func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 		idx = sess.nextBit()
 		sess.assigned[clientID] = idx
 		sess.issued[idx]++
+		s.metrics.tasks.Inc()
 	}
 	task := wire.Task{
 		SessionID: sessionID,
@@ -405,23 +498,29 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 		return wire.ReportAck{}, errFinal
 	}
 	if rep.Value > 1 {
+		s.metrics.reports.With(ReportInvalid).Inc()
 		return wire.ReportAck{Accepted: false, Reason: "value is not a bit"}, nil
 	}
 	assigned, ok := sess.assigned[rep.ClientID]
 	if !ok {
+		s.metrics.reports.With(ReportNoTask).Inc()
 		return wire.ReportAck{Accepted: false, Reason: "no task assigned"}, nil
 	}
 	if rep.Bit != assigned {
+		s.metrics.reports.With(ReportWrongBit).Inc()
 		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
 	}
 	if prev, ok := sess.reported[rep.ClientID]; ok {
 		if prev == rep.Value {
+			s.metrics.reports.With(ReportDuplicate).Inc()
 			return wire.ReportAck{Accepted: true, Duplicate: true}, nil
 		}
+		s.metrics.reports.With(ReportConflict).Inc()
 		return wire.ReportAck{Accepted: false, Reason: "conflicting report"}, nil
 	}
 	sess.reported[rep.ClientID] = rep.Value
 	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
+	s.metrics.reports.With(ReportAccepted).Inc()
 	return wire.ReportAck{Accepted: true}, nil
 }
 
@@ -459,6 +558,9 @@ func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
 			return nil, err
 		}
 		sess.endedAt = s.now()
+		s.metrics.finalized.With("api").Inc()
+		s.logDebug("transport: session finalized",
+			"session", sessionID, "reports", len(sess.reports))
 	}
 	return sess.wireResult(), nil
 }
@@ -484,6 +586,8 @@ func (s *Server) finalizeLocked(sess *session) error {
 		sess.result = res
 	}
 	sess.done = true
+	s.metrics.cohort.Observe(float64(len(sess.reports)))
+	s.metrics.active.Add(-1)
 	return nil
 }
 

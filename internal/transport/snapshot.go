@@ -133,6 +133,15 @@ func (s *Server) Restore(snap *Snapshot) error {
 	if snap.NextID > s.nextID {
 		s.nextID = snap.NextID
 	}
+	// Restored sessions changed the table wholesale; recompute the active
+	// gauge exactly rather than tracking per-overwrite deltas.
+	active := 0
+	for _, sess := range s.sessions {
+		if !sess.done && !sess.expired {
+			active++
+		}
+	}
+	s.metrics.active.Set(float64(active))
 	return nil
 }
 
