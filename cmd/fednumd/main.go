@@ -11,6 +11,14 @@
 // are garbage-collected (auto-finalized or expired) by a background
 // sweeper.
 //
+// With -wal-dir set the daemon is additionally kill-9 durable: every
+// acked state transition is committed to a write-ahead log before the
+// reply leaves the process, boot restores the latest snapshot and
+// replays the WAL tail, and -snapshot-interval runs a background
+// compactor that cuts snapshots and reclaims covered log segments. The
+// ack⇒durable guarantee depends on -wal-fsync: "always" (default) and
+// "grouped" survive power loss, "never" only survives process crashes.
+//
 // Observability: logs are structured (-log-format text|json, -log-level),
 // and -debug-addr starts a second, operator-only listener serving
 // GET /metrics (Prometheus text format), /debug/vars (expvar) and
@@ -34,6 +42,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -49,6 +58,10 @@ func main() {
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
 	gcInterval := flag.Duration("gc-interval", time.Second, "session TTL sweep interval")
 	retention := flag.Duration("retention", 0, "drop finalized/expired sessions this long after they end (0 = keep)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: acked transitions are committed here before replying (empty = disabled)")
+	walFsync := flag.String("wal-fsync", "always", "WAL commit policy: always (fsync per ack), grouped (batched fsync, bounded by -wal-flush-interval) or never (benchmarks only)")
+	walFlushInterval := flag.Duration("wal-flush-interval", 2*time.Millisecond, "max ack delay under -wal-fsync=grouped")
+	snapInterval := flag.Duration("snapshot-interval", 0, "cut a snapshot (and compact the WAL) this often; 0 = shutdown only")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -66,9 +79,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *snapInterval > 0 && *snapshot == "" {
+		fatalf("-snapshot-interval requires -snapshot")
+	}
+
 	agg := transport.NewServer(*seed)
 	agg.Logger = logger
 	agg.Retention = *retention
+
+	// Recovery order: attach the WAL first (so restoring a snapshot can
+	// cross-check its coverage against the log head), restore the latest
+	// snapshot, then replay the log tail the snapshot does not cover.
+	var log *wal.WAL
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		log, err = wal.Open(wal.Options{
+			Dir:           *walDir,
+			Policy:        policy,
+			FlushInterval: *walFlushInterval,
+			Registry:      agg.Registry(),
+		})
+		if err != nil {
+			fatalf("opening wal %s: %v", *walDir, err)
+		}
+		agg.AttachWAL(log)
+	}
 	if *snapshot != "" {
 		if err := agg.LoadSnapshot(*snapshot); err != nil {
 			fatalf("restoring snapshot %s: %v", *snapshot, err)
@@ -77,8 +115,69 @@ func main() {
 			logger.Info("fednumd: restored sessions from snapshot", "sessions", n, "path", *snapshot)
 		}
 	}
+	if log != nil {
+		applied, err := agg.ReplayWAL()
+		if err != nil {
+			fatalf("replaying wal %s: %v", *walDir, err)
+		}
+		if applied > 0 {
+			logger.Info("fednumd: replayed wal tail", "records", applied,
+				"through_seq", agg.WALSeq(), "sessions", len(agg.Sessions()))
+		}
+	}
 	stopGC := agg.StartGC(*gcInterval)
 	defer stopGC()
+
+	// cutSnapshot is the one snapshot path for both the periodic
+	// compactor and shutdown: with a WAL it also reclaims covered
+	// segments, without one it just writes the table.
+	cutSnapshot := func(reason string) error {
+		if log != nil {
+			removed, err := agg.CompactWAL(*snapshot)
+			if err != nil {
+				return err
+			}
+			logger.Info("fednumd: snapshot cut, wal compacted", "reason", reason,
+				"path", *snapshot, "through_seq", agg.WALSeq(), "segments_removed", removed)
+			return nil
+		}
+		if err := agg.SaveSnapshot(*snapshot); err != nil {
+			return err
+		}
+		logger.Info("fednumd: snapshot cut", "reason", reason, "path", *snapshot)
+		return nil
+	}
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	if *snapInterval > 0 {
+		go func() {
+			defer close(snapDone)
+			tick := time.NewTicker(*snapInterval)
+			defer tick.Stop()
+			lastSeq := agg.WALSeq()
+			for {
+				select {
+				case <-stopSnap:
+					return
+				case <-tick.C:
+				}
+				// Skip idle ticks: with a WAL the applied sequence tells
+				// us whether anything changed since the last cut.
+				if log != nil {
+					seq := agg.WALSeq()
+					if seq == lastSeq {
+						continue
+					}
+					lastSeq = seq
+				}
+				if err := cutSnapshot("interval"); err != nil {
+					logger.Warn("fednumd: periodic snapshot failed", "error", err)
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -130,11 +229,17 @@ func main() {
 		debugSrv.Close()
 	}
 	stopGC()
+	close(stopSnap)
+	<-snapDone
 	if *snapshot != "" {
-		if err := agg.SaveSnapshot(*snapshot); err != nil {
+		if err := cutSnapshot("shutdown"); err != nil {
 			fatalf("writing snapshot %s: %v", *snapshot, err)
 		}
-		logger.Info("fednumd: session state saved", "path", *snapshot)
+	}
+	if log != nil {
+		if err := log.Close(); err != nil {
+			fatalf("closing wal: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,220 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/frand"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+var crashListenRe = regexp.MustCompile(`listening on (http://[\d.]+:\d+)`)
+
+// crashRig drives a real fednumd binary through SIGKILL-and-recover
+// cycles against one long-lived session.
+type crashRig struct {
+	t    *testing.T
+	bin  string
+	args []string // everything but -addr
+	proc *chaos.Proc
+	base string // current http base URL
+}
+
+func (r *crashRig) start(addr string) {
+	r.t.Helper()
+	p, err := chaos.StartProc(chaos.ProcSpec{
+		Bin:     r.bin,
+		Args:    append([]string{"-addr", addr}, r.args...),
+		WaitFor: map[string]*regexp.Regexp{"listen": crashListenRe},
+	})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	base, err := p.Expect("listen", 10*time.Second)
+	if err != nil {
+		r.t.Fatalf("fednumd not ready: %v", err)
+	}
+	r.proc, r.base = p, base
+}
+
+func (r *crashRig) participant(id int) *transport.Participant {
+	return &transport.Participant{
+		BaseURL:  r.base,
+		ClientID: fmt.Sprintf("dev-%d", id),
+		RNG:      frand.New(uint64(id + 1)),
+		Retry: &transport.RetryPolicy{
+			MaxAttempts: 80, BaseDelay: 25 * time.Millisecond, MaxDelay: 200 * time.Millisecond,
+			Jitter: 0.5, PerTryTimeout: 2 * time.Second, Seed: uint64(id + 1),
+		},
+	}
+}
+
+// value is client id's private input — deterministic, so the bit a
+// recovered server must re-ack as a duplicate is computable.
+func crashValue(id int) uint64 { return uint64(id*37) % 256 }
+
+// TestCrashRecoveryNoAckedReportLost is the kill-9 acceptance test for
+// the WAL path: run the real daemon WAL-enabled with a fast background
+// compactor, SIGKILL it at a random point mid-ingest every cycle
+// (sometimes mid-compaction), restart it on the same address, and hold
+// two invariants at every recovery:
+//
+//   - zero acked-then-lost: every client whose report was acked before
+//     the kill is still known to the recovered server — re-submitting
+//     the identical report yields Accepted+Duplicate, never a fresh
+//     accept (which would mean the report vanished) and never a
+//     conflict (which would mean the assignment vanished);
+//   - zero phantoms: the recovered report count exactly equals the
+//     number of distinct clients that ever got an ack.
+//
+// The session uses epsilon=0, so every client's report bit is a pure
+// function of its id and the durability probe needs no RNG replay.
+func TestCrashRecoveryNoAckedReportLost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and repeatedly kills the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fednumd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/fednumd").CombinedOutput(); err != nil {
+		t.Fatalf("building fednumd: %v\n%s", err, out)
+	}
+
+	const (
+		cycles       = 22 // ISSUE asks for 20+ consecutive kill-and-recover cycles
+		perCycle     = 8  // clients ingesting while each kill lands
+		snapInterval = 45 * time.Millisecond
+	)
+	rig := &crashRig{
+		t:   t,
+		bin: bin,
+		args: []string{
+			"-seed", "1",
+			"-snapshot", filepath.Join(dir, "snap.json"),
+			"-wal-dir", filepath.Join(dir, "wal"),
+			"-wal-fsync", "grouped",
+			"-wal-flush-interval", "1ms",
+			"-snapshot-interval", snapInterval.String(),
+			"-gc-interval", "100ms",
+			"-shutdown-grace", "5s",
+		},
+	}
+	rig.start("127.0.0.1:0")
+	// Later restarts rebind this exact address so clients retrying
+	// through an outage converge on the reborn server.
+	addr := rig.base[len("http://"):]
+
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: rig.base, Retry: &transport.RetryPolicy{
+		MaxAttempts: 80, BaseDelay: 25 * time.Millisecond, MaxDelay: 200 * time.Millisecond,
+		Jitter: 0.5, PerTryTimeout: 2 * time.Second, Seed: 99,
+	}}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "kill9", Bits: 8, Gamma: 1})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	// probe asserts client id's acked report survived recovery.
+	probe := func(id int) {
+		t.Helper()
+		p := rig.participant(id)
+		task, err := p.FetchTask(ctx, session)
+		if err != nil {
+			t.Fatalf("probe client %d: fetch task: %v", id, err)
+		}
+		bit := (crashValue(id) >> uint(task.Bit)) & 1
+		ack, err := p.SubmitReport(ctx, session, wire.Report{
+			ClientID: p.ClientID, Bit: task.Bit, Value: bit,
+		})
+		if err != nil {
+			t.Fatalf("probe client %d: resubmit: %v", id, err)
+		}
+		if !ack.Accepted || !ack.Duplicate {
+			t.Fatalf("acked report of client %d lost across SIGKILL: resubmission ack=%+v (want accepted duplicate)", id, ack)
+		}
+	}
+
+	rng := frand.New(7)
+	acked := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Ingest: perCycle fresh clients report while the axe hangs.
+		// Their retry budgets carry them through the kill and restart.
+		var wg sync.WaitGroup
+		errs := make([]error, perCycle)
+		for i := 0; i < perCycle; i++ {
+			id := cycle*perCycle + i
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				errs[slot] = rig.participant(id).Participate(ctx, session, crashValue(id))
+			}(i)
+		}
+
+		// SIGKILL at a random point mid-ingest. The offsets straddle the
+		// 45ms compaction tick, so kills land before, during and after
+		// snapshot cuts and segment truncations.
+		time.Sleep(time.Duration(20+rng.Intn(160)) * time.Millisecond)
+		rig.proc.Kill()
+		rig.start(addr)
+
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("cycle %d client %d failed to land its report through the crash: %v",
+					cycle, cycle*perCycle+i, err)
+			}
+		}
+		acked += perCycle
+
+		// Invariant 1: this cycle's acks (plus an older spot-check)
+		// survived the kill.
+		for i := 0; i < perCycle; i++ {
+			probe(cycle*perCycle + i)
+		}
+		if cycle > 0 {
+			probe(rng.Intn(cycle * perCycle))
+		}
+
+		// Invariant 2: no phantoms — the recovered server holds exactly
+		// one report per acked client, nothing it never acked.
+		res, err := admin.Result(ctx, session)
+		if err != nil {
+			t.Fatalf("cycle %d: result: %v", cycle, err)
+		}
+		if res.Reports != acked {
+			t.Fatalf("cycle %d: recovered server holds %d reports, want exactly %d acked",
+				cycle, res.Reports, acked)
+		}
+	}
+
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		t.Fatalf("finalize after %d crashes: %v", cycles, err)
+	}
+	if !res.Done || res.Reports != cycles*perCycle {
+		t.Fatalf("final result %+v, want done with exactly %d reports", res, cycles*perCycle)
+	}
+	if err := rig.proc.Shutdown(15 * time.Second); err != nil {
+		t.Fatalf("final graceful shutdown: %v", err)
+	}
+
+	// One last boot must replay cleanly and still see the finalized
+	// session with the full cohort.
+	rig.start(addr)
+	defer rig.proc.Kill()
+	admin.BaseURL = rig.base
+	res, err = admin.Result(ctx, session)
+	if err != nil {
+		t.Fatalf("result after clean restart: %v", err)
+	}
+	if !res.Done || res.Reports != cycles*perCycle {
+		t.Fatalf("state after clean restart %+v, want done with %d reports", res, cycles*perCycle)
+	}
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"regexp"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Proc is a real child process under crash test — the process-level
+// counterpart of the in-process Injector. Where the Injector perturbs
+// individual HTTP exchanges, Proc kills the whole server at arbitrary
+// points (SIGKILL — no handlers run, no buffers flush) so a harness can
+// check that everything the process ever acked is still there when it
+// comes back. Start it with StartProc, tear it down with Kill or
+// Shutdown.
+type Proc struct {
+	cmd  *exec.Cmd
+	done chan error
+
+	mu      sync.Mutex
+	matches map[string]chan string
+	exited  bool
+	exitErr error
+}
+
+// ProcSpec describes the process to launch and the stderr lines that
+// signal it is ready. Each WaitFor pattern must have one capture group;
+// the first stderr line matching it resolves Expect(name) with the
+// captured text (typically a listen address).
+type ProcSpec struct {
+	// Bin is the executable path; Args its arguments (no argv[0]).
+	Bin  string
+	Args []string
+	// WaitFor maps a readiness name to the stderr pattern announcing it.
+	WaitFor map[string]*regexp.Regexp
+}
+
+// StartProc launches the process and begins scanning its stderr for the
+// spec's readiness patterns. The process is NOT waited for readiness
+// here — call Expect for each pattern you need.
+func StartProc(spec ProcSpec) (*Proc, error) {
+	cmd := exec.Command(spec.Bin, spec.Args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{
+		cmd:     cmd,
+		done:    make(chan error, 1),
+		matches: make(map[string]chan string, len(spec.WaitFor)),
+	}
+	for name := range spec.WaitFor {
+		p.matches[name] = make(chan string, 1)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: starting %s: %w", spec.Bin, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			for name, re := range spec.WaitFor {
+				if m := re.FindStringSubmatch(line); m != nil && len(m) > 1 {
+					select {
+					case p.matches[name] <- m[1]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	go func() {
+		err := cmd.Wait()
+		p.mu.Lock()
+		p.exited, p.exitErr = true, err
+		p.mu.Unlock()
+		p.done <- err
+	}()
+	return p, nil
+}
+
+// Expect blocks until the named readiness pattern matched a stderr line
+// (returning its capture), the process exited, or the timeout passed.
+func (p *Proc) Expect(name string, timeout time.Duration) (string, error) {
+	ch, ok := p.matches[name]
+	if !ok {
+		return "", fmt.Errorf("chaos: no WaitFor pattern named %q", name)
+	}
+	select {
+	case s := <-ch:
+		return s, nil
+	case err := <-p.done:
+		p.done <- err // re-arm for Kill/Shutdown
+		return "", fmt.Errorf("chaos: process exited before %q matched: %v", name, err)
+	case <-time.After(timeout):
+		return "", fmt.Errorf("chaos: %q did not match within %v", name, timeout)
+	}
+}
+
+// Kill SIGKILLs the process and waits for the kernel to reap it. The
+// process gets no chance to flush, snapshot or shut down — this is the
+// crash being tested. Killing an already-exited process is a no-op.
+func (p *Proc) Kill() {
+	p.mu.Lock()
+	exited := p.exited
+	p.mu.Unlock()
+	if !exited {
+		p.cmd.Process.Kill()
+	}
+	err := <-p.done
+	p.done <- err
+}
+
+// Shutdown sends SIGTERM (the graceful path) and waits up to timeout
+// for a clean exit.
+func (p *Proc) Shutdown(timeout time.Duration) error {
+	p.mu.Lock()
+	exited := p.exited
+	p.mu.Unlock()
+	if !exited {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+	}
+	select {
+	case err := <-p.done:
+		p.done <- err
+		return err
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		return fmt.Errorf("chaos: process ignored SIGTERM for %v", timeout)
+	}
+}

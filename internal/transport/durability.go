@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport/wire"
+	"repro/internal/wal"
+)
+
+// errDurability marks an ack path that could not make its state
+// transition durable; surfaced as 503/unavailable so clients retry.
+var errDurability = errors.New("transport: write-ahead log unavailable")
+
+// WAL record operations. One record is appended — and committed to
+// stable storage — before the server acks the corresponding state
+// transition, so a recovered server is always a superset of what any
+// client was told.
+const (
+	walOpCreate   = "create"
+	walOpAssign   = "assign"
+	walOpReport   = "report"
+	walOpFinalize = "finalize"
+	walOpExpire   = "expire"
+	walOpDelete   = "delete"
+)
+
+// walRecord is the JSON payload of one WAL entry. Only the fields the
+// operation needs are set; everything derivable (probabilities,
+// randomized-response parameters, aggregates) is recomputed on replay
+// from the same deterministic code paths that produced it live.
+type walRecord struct {
+	Op      string `json:"op"`
+	Session string `json:"session"`
+	// Create fields.
+	NextID int                 `json:"next_id,omitempty"`
+	Config *wire.SessionConfig `json:"config,omitempty"`
+	// Assign and report fields.
+	Client string `json:"client,omitempty"`
+	Bit    int    `json:"bit,omitempty"`
+	Value  uint64 `json:"value,omitempty"`
+	// At anchors time-derived state: the create time (TTL deadlines are
+	// At+TTL) and the finalize/expire transition time (retention GC).
+	At time.Time `json:"at,omitempty"`
+}
+
+// AttachWAL makes every acked state transition durable through w: the
+// server appends a record before replying and blocks the ack on the
+// WAL's commit (fsync) policy. Attach before the server handles traffic
+// and before LoadSnapshot, so Restore can cross-check the snapshot
+// against the WAL head.
+func (s *Server) AttachWAL(w *wal.WAL) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+}
+
+// walAppendLocked appends one record, advancing the applied sequence;
+// the caller holds s.mu. With no WAL attached it is a no-op returning
+// sequence 0. The record is not yet durable — the caller must
+// walCommit the sequence (outside the lock) before acking.
+func (s *Server) walAppendLocked(rec walRecord) (uint64, error) {
+	if s.wal == nil {
+		return 0, nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("%w: encoding %s record: %v", errDurability, rec.Op, err)
+	}
+	seq, err := s.wal.Append(payload)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errDurability, err)
+	}
+	s.walSeq = seq
+	return seq, nil
+}
+
+// walCommit blocks until seq is durable under the WAL's fsync policy;
+// called without s.mu so fsync latency never serializes the session
+// table. A failed commit means the ack must not be sent.
+func (s *Server) walCommit(seq uint64) error {
+	if s.wal == nil || seq == 0 {
+		return nil
+	}
+	if err := s.wal.Commit(seq); err != nil {
+		return fmt.Errorf("%w: %v", errDurability, err)
+	}
+	return nil
+}
+
+// WALSeq returns the sequence of the last WAL record appended or
+// applied — the point a snapshot cut now would cover.
+func (s *Server) WALSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSeq
+}
+
+// ReplayWAL replays the attached WAL's tail over the restored state:
+// records at or below the snapshot's coverage (Snapshot.WALSeq) are
+// skipped, everything after is re-applied in order. Application is
+// idempotent — replaying the same log twice yields identical state — so
+// a crash during recovery itself is harmless. Returns how many records
+// were applied.
+//
+// It fails loudly when the log and snapshot cannot reconcile: a WAL
+// whose oldest record is beyond the snapshot's coverage has lost
+// history, and a corrupt interior record aborts recovery rather than
+// silently dropping accepted reports.
+func (s *Server) ReplayWAL() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, errors.New("transport: ReplayWAL without an attached WAL")
+	}
+	base := s.walSeq
+	first, head := s.wal.FirstSeq(), s.wal.LastSeq()
+	if first != 0 && first > base+1 {
+		return 0, fmt.Errorf("transport: wal starts at seq %d but the snapshot covers only through %d: %d records missing",
+			first, base, first-base-1)
+	}
+	if first == 0 && head > base {
+		// The log is empty but its sequence space extends past the
+		// snapshot: records 1..head were compacted away against a
+		// snapshot this boot does not have.
+		return 0, fmt.Errorf("transport: wal records through seq %d were compacted away but the snapshot covers only through %d: %d records missing",
+			head, base, head-base)
+	}
+	if head < base {
+		return 0, fmt.Errorf("transport: snapshot covers through wal seq %d but the wal head is %d: log truncated beyond the snapshot",
+			base, head)
+	}
+	applied := 0
+	err := s.wal.Replay(func(seq uint64, payload []byte) error {
+		if seq <= base {
+			return nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("transport: decoding wal record %d: %w", seq, err)
+		}
+		if err := s.applyWALLocked(rec); err != nil {
+			return fmt.Errorf("transport: applying wal record %d (%s %s): %w", seq, rec.Op, rec.Session, err)
+		}
+		s.walSeq = seq
+		applied++
+		return nil
+	})
+	if err != nil {
+		return applied, err
+	}
+	s.recomputeActiveLocked()
+	return applied, nil
+}
+
+// applyWALLocked re-applies one logged transition; the caller holds
+// s.mu. Every case tolerates re-application (idempotence) but treats a
+// reference to state that should exist and does not as a hard error —
+// that is corruption, not something to skip.
+func (s *Server) applyWALLocked(rec walRecord) error {
+	if rec.Op == walOpCreate {
+		if rec.Config == nil {
+			return errors.New("create record without a config")
+		}
+		sess, err := buildSession(*rec.Config)
+		if err != nil {
+			return err
+		}
+		sess.id = rec.Session
+		if rec.Config.TTLSeconds > 0 {
+			sess.deadline = rec.At.Add(time.Duration(rec.Config.TTLSeconds * float64(time.Second)))
+		}
+		s.sessions[rec.Session] = sess
+		if rec.NextID > s.nextID {
+			s.nextID = rec.NextID
+		}
+		return nil
+	}
+	if rec.Op == walOpDelete {
+		delete(s.sessions, rec.Session)
+		return nil
+	}
+	sess, ok := s.sessions[rec.Session]
+	if !ok {
+		return errors.New("session not in replayed state")
+	}
+	switch rec.Op {
+	case walOpAssign:
+		if _, ok := sess.assigned[rec.Client]; ok {
+			return nil
+		}
+		if rec.Bit < 0 || rec.Bit >= len(sess.issued) {
+			return fmt.Errorf("assigned bit %d out of range", rec.Bit)
+		}
+		sess.assigned[rec.Client] = rec.Bit
+		sess.issued[rec.Bit]++
+	case walOpReport:
+		if _, ok := sess.reported[rec.Client]; ok {
+			return nil
+		}
+		sess.reported[rec.Client] = rec.Value
+		sess.reports = append(sess.reports, core.Report{Bit: rec.Bit, Value: rec.Value})
+	case walOpFinalize:
+		if sess.done {
+			return nil
+		}
+		if err := sess.compute(); err != nil {
+			return err
+		}
+		sess.done = true
+		sess.endedAt = rec.At
+	case walOpExpire:
+		if sess.expired {
+			return nil
+		}
+		sess.expired = true
+		sess.endedAt = rec.At
+	default:
+		return fmt.Errorf("unknown wal op %q", rec.Op)
+	}
+	return nil
+}
+
+// recomputeActiveLocked resets the active-sessions gauge from the table;
+// the caller holds s.mu. Used after wholesale state changes (restore,
+// replay) instead of tracking per-transition deltas.
+func (s *Server) recomputeActiveLocked() {
+	active := 0
+	for _, sess := range s.sessions {
+		if !sess.done && !sess.expired {
+			active++
+		}
+	}
+	s.metrics.active.Set(float64(active))
+}
+
+// CompactWAL cuts a durable snapshot to path and reclaims every sealed
+// WAL segment the snapshot covers. The order makes a crash at any point
+// safe: the snapshot is fsynced into place before any segment is
+// removed, and replay skips records the snapshot already covers, so the
+// worst outcome of a mid-compaction crash is re-replaying (idempotent)
+// or re-deleting already-covered segments on the next boot's compaction.
+func (s *Server) CompactWAL(path string) (removed int, err error) {
+	if s.wal == nil {
+		return 0, errors.New("transport: CompactWAL without an attached WAL")
+	}
+	snap := s.Snapshot()
+	if err := snap.WriteFile(path); err != nil {
+		return 0, err
+	}
+	s.metrics.snapshots.Inc()
+	if err := s.wal.Rotate(); err != nil {
+		return 0, err
+	}
+	return s.wal.TruncateThrough(snap.WALSeq)
+}

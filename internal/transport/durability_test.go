@@ -1,0 +1,345 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport/wire"
+	"repro/internal/wal"
+)
+
+// newWALServer returns a server logging into a fresh WAL under dir.
+func newWALServer(t *testing.T, dir string, seed uint64) (*Server, *wal.WAL) {
+	t.Helper()
+	w, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(seed)
+	s.AttachWAL(w)
+	return s, w
+}
+
+// driveTraffic runs a representative mutation mix: a bit session with
+// reports and a finalize, plus a second session left in flight.
+func driveTraffic(t *testing.T, s *Server) (doneID, openID string) {
+	t.Helper()
+	doneID, err := s.CreateSession(wire.SessionConfig{Feature: "walled", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		client := fmt.Sprintf("c-%d", i)
+		task, err := s.AssignTask(doneID, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, err := s.SubmitReport(doneID, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)})
+		if err != nil || !ack.Accepted {
+			t.Fatalf("report %d: ack=%+v err=%v", i, ack, err)
+		}
+	}
+	if _, err := s.Finalize(doneID); err != nil {
+		t.Fatal(err)
+	}
+	openID, err = s.CreateSession(wire.SessionConfig{Feature: "inflight", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		client := fmt.Sprintf("o-%d", i)
+		task, err := s.AssignTask(openID, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SubmitReport(openID, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return doneID, openID
+}
+
+// stateFingerprint reduces a server's externally visible state to a
+// comparable form: the session listing plus each session's result view.
+func stateFingerprint(t *testing.T, s *Server) string {
+	t.Helper()
+	var b strings.Builder
+	for _, row := range s.Sessions() {
+		rowJSON, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Result(row.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resJSON, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s %s\n", rowJSON, resJSON)
+	}
+	return b.String()
+}
+
+// TestWALReplayRebuildsState is the core recovery property: a cold
+// server replaying the WAL alone (no snapshot) reproduces the crashed
+// server's state exactly, including finalized results and the adaptive
+// assignment bookkeeping that guards report acceptance.
+func TestWALReplayRebuildsState(t *testing.T) {
+	dir := t.TempDir()
+	s1, w1 := newWALServer(t, dir, 1)
+	doneID, openID := driveTraffic(t, s1)
+	want := stateFingerprint(t, s1)
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := newWALServer(t, dir, 1)
+	applied, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("replay applied no records")
+	}
+	if got := stateFingerprint(t, s2); got != want {
+		t.Fatalf("replayed state differs:\n got %s\nwant %s", got, want)
+	}
+
+	// The recovered server keeps honoring the protocol invariants: a
+	// pre-crash client retransmitting its exact report is re-acked as a
+	// duplicate, and a conflicting value is rejected.
+	task, err := s2.AssignTask(openID, "o-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := s2.SubmitReport(openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 1})
+	if err != nil || !ack.Accepted || !ack.Duplicate {
+		t.Fatalf("retransmission after replay: ack=%+v err=%v, want duplicate re-ack", ack, err)
+	}
+	if ack, _ := s2.SubmitReport(openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 0}); ack.Accepted {
+		t.Fatal("conflicting retransmission accepted after replay")
+	}
+	if _, err := s2.Finalize(doneID); err != nil {
+		t.Fatalf("re-finalizing recovered session: %v", err)
+	}
+}
+
+// TestWALReplayIsIdempotent replays the same log twice into one server:
+// the second pass must change nothing (every apply case tolerates
+// already-applied records), so a crash mid-recovery is harmless.
+func TestWALReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s1, w1 := newWALServer(t, dir, 1)
+	driveTraffic(t, s1)
+	want := stateFingerprint(t, s1)
+	w1.Close()
+
+	s2, _ := newWALServer(t, dir, 1)
+	first, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := stateFingerprint(t, s2)
+
+	// Rewind the applied frontier and replay again over the live state.
+	s2.mu.Lock()
+	s2.walSeq = 0
+	s2.mu.Unlock()
+	second, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if second != first {
+		t.Fatalf("second replay applied %d records, first %d", second, first)
+	}
+	if after2 := stateFingerprint(t, s2); after2 != after1 || after2 != want {
+		t.Fatalf("replay not idempotent:\nafter1 %s\nafter2 %s", after1, after2)
+	}
+}
+
+// TestSnapshotPlusWALTailRecovery exercises the compaction path: cut a
+// snapshot mid-stream, keep appending, then recover from snapshot +
+// replayed tail and compare against the uninterrupted server.
+func TestSnapshotPlusWALTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "snap.json")
+	s1, w1 := newWALServer(t, filepath.Join(dir, "wal"), 1)
+
+	first, err := s1.CreateSession(wire.SessionConfig{Feature: "pre", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		client := fmt.Sprintf("pre-%d", i)
+		task, _ := s1.AssignTask(first, client)
+		if _, err := s1.SubmitReport(first, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s1.CompactWAL(snapPath)
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if w1.FirstSeq() != 0 && w1.FirstSeq() <= s1.WALSeq() && removed == 0 {
+		t.Fatalf("compaction reclaimed nothing: firstSeq=%d walSeq=%d", w1.FirstSeq(), s1.WALSeq())
+	}
+	// Post-snapshot tail: more reports and a finalize.
+	for i := 6; i < 10; i++ {
+		client := fmt.Sprintf("pre-%d", i)
+		task, _ := s1.AssignTask(first, client)
+		if _, err := s1.SubmitReport(first, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.Finalize(first); err != nil {
+		t.Fatal(err)
+	}
+	want := stateFingerprint(t, s1)
+	w1.Close()
+
+	s2, _ := newWALServer(t, filepath.Join(dir, "wal"), 1)
+	if err := s2.LoadSnapshot(snapPath); err != nil {
+		t.Fatalf("restoring snapshot: %v", err)
+	}
+	applied, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatalf("tail replay: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("tail replay applied nothing")
+	}
+	if got := stateFingerprint(t, s2); got != want {
+		t.Fatalf("snapshot+tail state differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRestoreRejectsSnapshotNewerThanWALHead: a snapshot claiming
+// coverage past the log head means the WAL was lost or swapped — boot
+// must refuse rather than silently diverge.
+func TestRestoreRejectsSnapshotNewerThanWALHead(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newWALServer(t, dir, 1) // fresh WAL, head = 0
+	err := s.Restore(&Snapshot{WALSeq: 7})
+	if err == nil || !strings.Contains(err.Error(), "newer than the log") {
+		t.Fatalf("Restore with WALSeq beyond head = %v, want newer-than-log rejection", err)
+	}
+	// Without a WAL attached the same snapshot restores fine (WALSeq is
+	// just carried along).
+	s2 := NewServer(1)
+	if err := s2.Restore(&Snapshot{WALSeq: 7}); err != nil {
+		t.Fatalf("Restore without WAL: %v", err)
+	}
+}
+
+// TestReplayRejectsMissingHistory: if compaction (or an operator) threw
+// away segments past the snapshot's coverage, recovery must fail loudly
+// instead of resurrecting partial state.
+func TestReplayRejectsMissingHistory(t *testing.T) {
+	dir := t.TempDir()
+	s1, w1 := newWALServer(t, dir, 1)
+	driveTraffic(t, s1)
+	// Simulate lost history: compact the log away against a throwaway
+	// snapshot, so the remaining segments start past seq 1...
+	if err := w1.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.TruncateThrough(s1.WALSeq()); err != nil {
+		t.Fatal(err)
+	}
+	w1.Close()
+
+	// ...then boot WITHOUT the snapshot that covered them.
+	s2, _ := newWALServer(t, dir, 1)
+	if _, err := s2.ReplayWAL(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("replay over truncated history = %v, want missing-records error", err)
+	}
+}
+
+// TestWALDisabledServerUnchanged pins the no-WAL path: servers without
+// AttachWAL behave exactly as before (walAppendLocked no-ops at seq 0).
+func TestWALDisabledServerUnchanged(t *testing.T) {
+	s := NewServer(1)
+	doneID, _ := driveTraffic(t, s)
+	res, err := s.Result(doneID)
+	if err != nil || !res.Done || res.Reports != 12 {
+		t.Fatalf("no-WAL traffic: res=%+v err=%v", res, err)
+	}
+	if got := s.WALSeq(); got != 0 {
+		t.Fatalf("WALSeq without WAL = %d, want 0", got)
+	}
+}
+
+// TestSnapshotCarriesWALSeq: snapshots cut from a WAL-attached server
+// record the covered sequence, and restoring them advances the applied
+// frontier so replay skips covered records.
+func TestSnapshotCarriesWALSeq(t *testing.T) {
+	dir := t.TempDir()
+	s, w := newWALServer(t, dir, 1)
+	driveTraffic(t, s)
+	snap := s.Snapshot()
+	if snap.WALSeq == 0 || snap.WALSeq != s.WALSeq() {
+		t.Fatalf("snapshot WALSeq = %d, server %d", snap.WALSeq, s.WALSeq())
+	}
+	w.Close()
+
+	s2, _ := newWALServer(t, dir, 1)
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := s2.ReplayWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("replay after full-coverage snapshot applied %d records, want 0", applied)
+	}
+	if !reflect.DeepEqual(stateFingerprint(t, s2), stateFingerprint(t, s)) {
+		t.Fatal("restored state differs from source")
+	}
+}
+
+// TestExpiryAndDeleteAreLogged: deadline expiry and retention deletion
+// go through the WAL too, so a recovered server does not resurrect
+// sessions the live one already told clients were gone.
+func TestExpiryAndDeleteAreLogged(t *testing.T) {
+	dir := t.TempDir()
+	s1, w1 := newWALServer(t, dir, 1)
+	clock := time.Unix(1700000000, 0)
+	s1.Now = func() time.Time { return clock }
+	s1.Retention = time.Minute
+
+	expireID, err := s1.CreateSession(wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepID, err := s1.CreateSession(wire.SessionConfig{Feature: "keep", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Second)
+	s1.Sweep() // expires expireID
+	clock = clock.Add(2 * time.Minute)
+	s1.Sweep() // retention-deletes it
+	if rows := s1.Sessions(); len(rows) != 1 || rows[0].SessionID != keepID {
+		t.Fatalf("live server kept %+v, want only %s", rows, keepID)
+	}
+	w1.Close()
+
+	s2, _ := newWALServer(t, dir, 1)
+	if _, err := s2.ReplayWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if rows := s2.Sessions(); len(rows) != 1 || rows[0].SessionID != keepID {
+		t.Fatalf("recovered server has %+v, want only %s", rows, keepID)
+	}
+	if _, err := s2.AssignTask(expireID, "late"); err == nil {
+		t.Fatal("deleted session resurrected after replay")
+	}
+}

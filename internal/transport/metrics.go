@@ -23,6 +23,7 @@ const (
 	MetricReports           = "fednum_reports_total"
 	MetricTasksAssigned     = "fednum_tasks_assigned_total"
 	MetricGCSweeps          = "fednum_gc_sweeps_total"
+	MetricSnapshots         = "fednum_snapshots_total"
 )
 
 // Client-side metric names, recorded by RetryPolicy and Participant into
@@ -63,6 +64,7 @@ type serverMetrics struct {
 	reports   *obs.CounterVec // result
 	tasks     *obs.Counter
 	sweeps    *obs.CounterVec // forced: true | false
+	snapshots *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -95,6 +97,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		sweeps: reg.CounterVec(MetricGCSweeps,
 			"TTL garbage-collection sweeps, by whether the sweep was forced (GC loop) or piggybacked on a request.",
 			"forced"),
+		snapshots: reg.Counter(MetricSnapshots,
+			"Session-table snapshots durably written to disk."),
 	}
 }
 
@@ -140,7 +144,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		elapsed := time.Since(start)
 		s.metrics.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
 		lat.Observe(elapsed.Seconds())
-		s.logDebug("transport: request",
+		s.logger().Debug("transport: request",
 			"request_id", reqID, "route", route, "method", r.Method,
 			"code", sw.code, "duration_ms", float64(elapsed.Microseconds())/1000)
 	}

@@ -11,6 +11,19 @@
 // rejecting them, sessions carry TTL deadlines that auto-finalize or
 // expire them, and the whole session table snapshots to JSON so a daemon
 // restart does not lose an in-flight aggregation.
+//
+// Durability: with a write-ahead log attached (AttachWAL), every acked
+// state transition — session create, task assignment, accepted report,
+// finalize, expire, retention delete — is appended and committed to the
+// log before the reply leaves the server, so even a SIGKILL or power
+// loss cannot take back an ack. Boot restores the latest snapshot and
+// replays the WAL tail (ReplayWAL); CompactWAL cuts a fresh snapshot
+// and reclaims covered segments.
+//
+// Logging is structured (Server.Logger, a *slog.Logger). The printf-
+// shaped Server.Logf shim remains only as an adapter for embedders that
+// have not migrated; it is deprecated and scheduled for removal — new
+// code must set Logger.
 package transport
 
 import (
@@ -33,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/quantile"
 	"repro/internal/transport/wire"
+	"repro/internal/wal"
 )
 
 // Errors surfaced via HTTP status codes.
@@ -63,10 +77,11 @@ type Server struct {
 	Logger *slog.Logger
 	// Logf receives formatted operational log lines.
 	//
-	// Deprecated: set Logger instead. Logf is kept as a shim for existing
-	// embedders; when set it wins over Logger and receives structured
-	// attributes flattened to "key=value" suffixes. Debug-level events
-	// (per-request traces) are never routed to Logf.
+	// Deprecated: set Logger instead. Logf is a shim scheduled for
+	// removal (see the package doc); when set it wins over Logger,
+	// adapted through a slog.Handler that flattens attributes to
+	// "key=value" suffixes. Debug-level events (per-request traces) are
+	// never routed to Logf.
 	Logf func(format string, args ...any)
 	// Retention, when positive, garbage-collects finalized and expired
 	// sessions that many ticks after they ended, bounding memory on a
@@ -82,6 +97,11 @@ type Server struct {
 	nextID    int
 	lastSweep time.Time
 	mux       *http.ServeMux
+	// wal, when attached (AttachWAL, before traffic), receives a record
+	// for every acked state transition before the reply; walSeq is the
+	// last sequence appended or applied.
+	wal    *wal.WAL
+	walSeq uint64
 }
 
 // session is one aggregation in progress. For bit sessions the assignment
@@ -150,49 +170,54 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// logkv emits one structured operational event. The deprecated Logf shim,
-// when set, wins and receives the attributes flattened into the message;
-// otherwise the event goes to Logger (or slog.Default()).
-func (s *Server) logkv(level slog.Level, msg string, attrs ...any) {
+// logger resolves the operational logger. The deprecated Logf shim,
+// when set, wins and is adapted through logfHandler; otherwise events go
+// to Logger (or slog.Default()). All call sites speak slog attrs — the
+// printf shape survives only inside the adapter, so deleting the shim is
+// a two-line change once embedders migrate.
+func (s *Server) logger() *slog.Logger {
 	if s.Logf != nil {
-		s.Logf("%s", msg+flattenAttrs(attrs))
-		return
+		return slog.New(logfHandler{f: s.Logf})
 	}
-	lg := s.Logger
-	if lg == nil {
-		lg = slog.Default()
+	if s.Logger != nil {
+		return s.Logger
 	}
-	lg.Log(context.Background(), level, msg, attrs...)
+	return slog.Default()
 }
 
-// logDebug emits a debug-level event, bypassing the Logf shim (which has
-// no level concept and would flood embedders with per-request traces).
-func (s *Server) logDebug(msg string, attrs ...any) {
-	lg := s.Logger
-	if lg == nil {
-		if s.Logf != nil {
-			return
-		}
-		lg = slog.Default()
-	}
-	lg.Log(context.Background(), slog.LevelDebug, msg, attrs...)
+// logfHandler adapts the legacy printf-shaped Logf shim to slog: the
+// message plus flattened " k=v" attribute suffixes on one line. Debug
+// events are suppressed — the shim has no level concept and per-request
+// traces would flood embedders.
+type logfHandler struct {
+	f     func(format string, args ...any)
+	attrs []slog.Attr
 }
 
-// flattenAttrs renders slog-style key/value pairs as a " k=v ..." suffix
-// for the legacy printf-shaped log shim.
-func flattenAttrs(attrs []any) string {
-	if len(attrs) == 0 {
-		return ""
-	}
+func (h logfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level > slog.LevelDebug
+}
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
 	var b strings.Builder
-	for i := 0; i+1 < len(attrs); i += 2 {
-		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
 	}
-	if len(attrs)%2 == 1 {
-		fmt.Fprintf(&b, " %v", attrs[len(attrs)-1])
-	}
-	return b.String()
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	h.f("%s", b.String())
+	return nil
 }
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h logfHandler) WithGroup(string) slog.Handler { return h }
 
 // writeJSON encodes v; an encoder failure after the header is written
 // cannot be reported to the client, so it is logged instead of dropped.
@@ -200,7 +225,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.logkv(slog.LevelWarn, "transport: encoding response failed",
+		s.logger().Warn("transport: encoding response failed",
 			"type", fmt.Sprintf("%T", v), "error", err)
 	}
 }
@@ -220,14 +245,20 @@ func errorStatus(err error) (int, string) {
 		return http.StatusGone, wire.CodeExpired
 	case errors.Is(err, errCohort):
 		return http.StatusConflict, wire.CodeCohortTooSmall
+	case errors.Is(err, errDurability):
+		return http.StatusServiceUnavailable, wire.CodeUnavailable
 	default:
 		return http.StatusBadRequest, wire.CodeBadRequest
 	}
 }
 
-// CreateSession registers a new aggregation session programmatically
-// (the HTTP handler wraps this).
-func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
+// buildSession validates cfg and constructs a session with its derived
+// state (probabilities, randomized-response parameters). The id and
+// deadline are left for the caller: CreateSession mints a fresh id and
+// anchors the TTL at the clock; WAL replay reuses the logged values.
+// Keeping the whole derivation here guarantees live creation and replay
+// cannot diverge.
+func buildSession(cfg wire.SessionConfig) (*session, error) {
 	var probs []float64
 	var err error
 	switch {
@@ -235,15 +266,15 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 		// Threshold-query session: clients spread uniformly across the
 		// threshold grid.
 		if cfg.Bits < 1 || cfg.Bits > 52 {
-			return "", fmt.Errorf("transport: bits=%d out of range", cfg.Bits)
+			return nil, fmt.Errorf("transport: bits=%d out of range", cfg.Bits)
 		}
 		max := uint64(1) << uint(cfg.Bits)
 		for i, t := range cfg.Thresholds {
 			if t >= max {
-				return "", fmt.Errorf("transport: threshold %d outside [0, 2^%d)", t, cfg.Bits)
+				return nil, fmt.Errorf("transport: threshold %d outside [0, 2^%d)", t, cfg.Bits)
 			}
 			if i > 0 && t <= cfg.Thresholds[i-1] {
-				return "", fmt.Errorf("transport: thresholds must be strictly ascending")
+				return nil, fmt.Errorf("transport: thresholds must be strictly ascending")
 			}
 		}
 		probs = make([]float64, len(cfg.Thresholds))
@@ -259,31 +290,25 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 		probs, err = core.GeometricProbs(cfg.Bits, cfg.Gamma)
 	}
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if cfg.Epsilon < 0 {
-		return "", fmt.Errorf("transport: negative epsilon %v", cfg.Epsilon)
+		return nil, fmt.Errorf("transport: negative epsilon %v", cfg.Epsilon)
 	}
 	var rr *ldp.RandomizedResponse
 	if cfg.Epsilon > 0 {
 		rr, err = ldp.NewRandomizedResponse(cfg.Epsilon)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 	}
 	if cfg.SquashThreshold < 0 || cfg.MinCohort < 0 {
-		return "", fmt.Errorf("transport: negative squash threshold or cohort")
+		return nil, fmt.Errorf("transport: negative squash threshold or cohort")
 	}
 	if cfg.TTLSeconds < 0 {
-		return "", fmt.Errorf("transport: negative ttl %v", cfg.TTLSeconds)
+		return nil, fmt.Errorf("transport: negative ttl %v", cfg.TTLSeconds)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(false)
-	s.nextID++
-	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(s.nextID))
-	sess := &session{
-		id:         id,
+	return &session{
 		cfg:        cfg,
 		probs:      probs,
 		rr:         rr,
@@ -291,14 +316,42 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 		issued:     make([]int, len(probs)),
 		assigned:   make(map[string]int),
 		reported:   make(map[string]uint64),
+	}, nil
+}
+
+// CreateSession registers a new aggregation session programmatically
+// (the HTTP handler wraps this). With a WAL attached the creation is
+// durable before the id is returned.
+func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
+	sess, err := buildSession(cfg)
+	if err != nil {
+		return "", err
 	}
+	s.mu.Lock()
+	s.sweepLocked(false)
+	now := s.now()
+	s.nextID++
+	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(s.nextID))
+	seq, err := s.walAppendLocked(walRecord{
+		Op: walOpCreate, Session: id, NextID: s.nextID, Config: &cfg, At: now,
+	})
+	if err != nil {
+		s.nextID--
+		s.mu.Unlock()
+		return "", err
+	}
+	sess.id = id
 	if cfg.TTLSeconds > 0 {
-		sess.deadline = s.now().Add(time.Duration(cfg.TTLSeconds * float64(time.Second)))
+		sess.deadline = now.Add(time.Duration(cfg.TTLSeconds * float64(time.Second)))
 	}
 	s.sessions[id] = sess
 	s.metrics.created.Inc()
 	s.metrics.active.Add(1)
-	s.logDebug("transport: session created",
+	s.mu.Unlock()
+	if err := s.walCommit(seq); err != nil {
+		return "", err
+	}
+	s.logger().Debug("transport: session created",
 		"session", id, "feature", cfg.Feature, "bits", cfg.Bits,
 		"thresholds", len(cfg.Thresholds), "ttl_seconds", cfg.TTLSeconds)
 	return id, nil
@@ -324,8 +377,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // ticker (see StartGC) to bound staleness on an idle server.
 func (s *Server) Sweep() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepLocked(true)
+	seq := s.walSeq
+	s.mu.Unlock()
+	// Sweep transitions are not acked to any client, but pushing them to
+	// stable storage promptly keeps the recovery tail short; a commit
+	// failure here only defers durability to the next commit.
+	if err := s.walCommit(seq); err != nil {
+		s.logger().Warn("transport: committing sweep transitions failed", "error", err)
+	}
 }
 
 // StartGC runs Sweep every interval until the returned stop function is
@@ -362,27 +422,34 @@ func (s *Server) sweepLocked(force bool) {
 	for id, sess := range s.sessions {
 		if !sess.done && !sess.expired && !sess.deadline.IsZero() && !now.Before(sess.deadline) {
 			if sess.cfg.AutoFinalize && len(sess.reports) >= sess.cfg.MinCohort {
-				if err := s.finalizeLocked(sess); err != nil {
-					s.logkv(slog.LevelWarn, "transport: deadline auto-finalize failed, expiring",
+				if _, err := s.finalizeLocked(sess, now); err != nil {
+					s.logger().Warn("transport: deadline auto-finalize failed, expiring",
 						"session", id, "error", err)
-					s.expireLocked(sess)
-					expired++
+					if s.expireLocked(sess, now) {
+						expired++
+					}
 				} else {
 					s.metrics.finalized.With("deadline").Inc()
-					s.logkv(slog.LevelInfo, "transport: session auto-finalized at deadline",
+					s.logger().Info("transport: session auto-finalized at deadline",
 						"session", id, "reports", len(sess.reports))
 					finalized++
 				}
 			} else {
-				s.logkv(slog.LevelInfo, "transport: session expired at deadline",
+				s.logger().Info("transport: session expired at deadline",
 					"session", id, "reports", len(sess.reports))
-				s.expireLocked(sess)
-				expired++
+				if s.expireLocked(sess, now) {
+					expired++
+				}
 			}
-			sess.endedAt = now
 		}
 		if s.Retention > 0 && (sess.done || sess.expired) && !sess.endedAt.IsZero() &&
 			now.Sub(sess.endedAt) >= s.Retention {
+			if _, err := s.walAppendLocked(walRecord{Op: walOpDelete, Session: id, At: now}); err != nil {
+				// Not logged ⇒ not applied; the next sweep retries.
+				s.logger().Warn("transport: logging retention delete failed, deferring",
+					"session", id, "error", err)
+				continue
+			}
 			delete(s.sessions, id)
 			s.metrics.deleted.Inc()
 			deleted++
@@ -390,18 +457,26 @@ func (s *Server) sweepLocked(force bool) {
 	}
 	s.metrics.sweeps.With(strconv.FormatBool(force)).Inc()
 	if force {
-		s.logDebug("transport: gc sweep",
+		s.logger().Debug("transport: gc sweep",
 			"expired", expired, "auto_finalized", finalized, "deleted", deleted,
 			"retained", len(s.sessions))
 	}
 }
 
-// expireLocked marks a live session expired and records the transition;
-// the caller holds the lock.
-func (s *Server) expireLocked(sess *session) {
+// expireLocked logs and applies the expiry of a live session; the caller
+// holds the lock. A WAL append failure defers the transition to the next
+// sweep (not logged ⇒ not applied) and reports false.
+func (s *Server) expireLocked(sess *session, at time.Time) bool {
+	if _, err := s.walAppendLocked(walRecord{Op: walOpExpire, Session: sess.id, At: at}); err != nil {
+		s.logger().Warn("transport: logging session expiry failed, deferring",
+			"session", sess.id, "error", err)
+		return false
+	}
 	sess.expired = true
+	sess.endedAt = at
 	s.metrics.expired.Inc()
 	s.metrics.active.Add(-1)
+	return true
 }
 
 // AssignTask picks the bit a client must report: the bit whose issued
@@ -411,21 +486,35 @@ func (s *Server) expireLocked(sess *session) {
 // open-ended client stream). Re-polling clients get their original task.
 func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
+		s.mu.Unlock()
 		return wire.Task{}, errNotFound
 	}
 	if sess.expired {
+		s.mu.Unlock()
 		return wire.Task{}, errExpired
 	}
 	if sess.done {
+		s.mu.Unlock()
 		return wire.Task{}, errFinal
 	}
+	var seq uint64
 	idx, ok := sess.assigned[clientID]
 	if !ok {
+		// A fresh assignment is acked state: the report-acceptance check
+		// (rep.Bit == assigned) depends on it, so it must survive a
+		// crash between this reply and the client's report.
 		idx = sess.nextBit()
+		var err error
+		seq, err = s.walAppendLocked(walRecord{
+			Op: walOpAssign, Session: sessionID, Client: clientID, Bit: idx,
+		})
+		if err != nil {
+			s.mu.Unlock()
+			return wire.Task{}, err
+		}
 		sess.assigned[clientID] = idx
 		sess.issued[idx]++
 		s.metrics.tasks.Inc()
@@ -442,6 +531,10 @@ func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 	}
 	if sess.rr != nil {
 		task.Epsilon = sess.rr.Eps
+	}
+	s.mu.Unlock()
+	if err := s.walCommit(seq); err != nil {
+		return wire.Task{}, err
 	}
 	return task, nil
 }
@@ -485,42 +578,63 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 // conflicting retransmission is rejected.
 func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
+		s.mu.Unlock()
 		return wire.ReportAck{}, errNotFound
 	}
 	if sess.expired {
+		s.mu.Unlock()
 		return wire.ReportAck{}, errExpired
 	}
 	if sess.done {
+		s.mu.Unlock()
 		return wire.ReportAck{}, errFinal
 	}
 	if rep.Value > 1 {
 		s.metrics.reports.With(ReportInvalid).Inc()
+		s.mu.Unlock()
 		return wire.ReportAck{Accepted: false, Reason: "value is not a bit"}, nil
 	}
 	assigned, ok := sess.assigned[rep.ClientID]
 	if !ok {
 		s.metrics.reports.With(ReportNoTask).Inc()
+		s.mu.Unlock()
 		return wire.ReportAck{Accepted: false, Reason: "no task assigned"}, nil
 	}
 	if rep.Bit != assigned {
 		s.metrics.reports.With(ReportWrongBit).Inc()
+		s.mu.Unlock()
 		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
 	}
 	if prev, ok := sess.reported[rep.ClientID]; ok {
+		s.mu.Unlock()
 		if prev == rep.Value {
+			// Already accepted — and already durable, since the original
+			// accept ack waited on the WAL commit.
 			s.metrics.reports.With(ReportDuplicate).Inc()
 			return wire.ReportAck{Accepted: true, Duplicate: true}, nil
 		}
 		s.metrics.reports.With(ReportConflict).Inc()
 		return wire.ReportAck{Accepted: false, Reason: "conflicting report"}, nil
 	}
+	// Log before mutating, ack only after the commit below: an accepted
+	// report the client heard about must never be lost to a crash.
+	seq, err := s.walAppendLocked(walRecord{
+		Op: walOpReport, Session: sessionID, Client: rep.ClientID, Bit: rep.Bit, Value: rep.Value,
+	})
+	if err != nil {
+		s.mu.Unlock()
+		return wire.ReportAck{}, err
+	}
 	sess.reported[rep.ClientID] = rep.Value
 	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
 	s.metrics.reports.With(ReportAccepted).Inc()
+	s.mu.Unlock()
+	if err := s.walCommit(seq); err != nil {
+		return wire.ReportAck{}, err
+	}
 	return wire.ReportAck{Accepted: true}, nil
 }
 
@@ -544,51 +658,80 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // finalized session returns the same result (idempotent).
 func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
+		s.mu.Unlock()
 		return nil, errNotFound
 	}
 	if sess.expired {
+		s.mu.Unlock()
 		return nil, errExpired
 	}
+	var seq uint64
 	if !sess.done {
-		if err := s.finalizeLocked(sess); err != nil {
+		var err error
+		if seq, err = s.finalizeLocked(sess, s.now()); err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
-		sess.endedAt = s.now()
 		s.metrics.finalized.With("api").Inc()
-		s.logDebug("transport: session finalized",
+		s.logger().Debug("transport: session finalized",
 			"session", sessionID, "reports", len(sess.reports))
 	}
-	return sess.wireResult(), nil
+	res := sess.wireResult()
+	s.mu.Unlock()
+	if err := s.walCommit(seq); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
-// finalizeLocked computes the aggregate and marks the session done; the
-// caller holds the lock and has checked done/expired.
-func (s *Server) finalizeLocked(sess *session) error {
-	if len(sess.reports) < sess.cfg.MinCohort {
-		return fmt.Errorf("%w: cohort %d below minimum %d", errCohort, len(sess.reports), sess.cfg.MinCohort)
-	}
+// compute derives the session's aggregate (bit estimate or threshold
+// tail) from its accepted reports. It is deterministic in the session
+// state, so WAL replay reproduces the exact result the live server
+// acked.
+func (sess *session) compute() error {
 	if sess.isThreshold() {
 		sess.tail = sess.tailProbs()
-	} else {
-		res, err := core.Aggregate(core.Config{
-			Bits:            sess.cfg.Bits,
-			Probs:           sess.probs,
-			RR:              sess.rr,
-			SquashThreshold: sess.cfg.SquashThreshold,
-		}, sess.reports)
-		if err != nil {
-			return err
-		}
-		sess.result = res
+		return nil
+	}
+	res, err := core.Aggregate(core.Config{
+		Bits:            sess.cfg.Bits,
+		Probs:           sess.probs,
+		RR:              sess.rr,
+		SquashThreshold: sess.cfg.SquashThreshold,
+	}, sess.reports)
+	if err != nil {
+		return err
+	}
+	sess.result = res
+	return nil
+}
+
+// finalizeLocked checks the cohort, computes the aggregate, logs the
+// transition and marks the session done; the caller holds the lock, has
+// checked done/expired, and commits the returned WAL sequence before
+// acking.
+func (s *Server) finalizeLocked(sess *session, at time.Time) (uint64, error) {
+	if len(sess.reports) < sess.cfg.MinCohort {
+		return 0, fmt.Errorf("%w: cohort %d below minimum %d", errCohort, len(sess.reports), sess.cfg.MinCohort)
+	}
+	if err := sess.compute(); err != nil {
+		return 0, err
+	}
+	seq, err := s.walAppendLocked(walRecord{Op: walOpFinalize, Session: sess.id, At: at})
+	if err != nil {
+		// Computed but not logged: scrap the derived state so the
+		// session reads as still-open and a retry recomputes it.
+		sess.result, sess.tail = nil, nil
+		return 0, err
 	}
 	sess.done = true
+	sess.endedAt = at
 	s.metrics.cohort.Observe(float64(len(sess.reports)))
 	s.metrics.active.Add(-1)
-	return nil
+	return seq, nil
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,10 @@ type Snapshot struct {
 	SavedAt time.Time `json:"saved_at"`
 	// NextID continues the session-id sequence.
 	NextID int `json:"next_id"`
+	// WALSeq is the write-ahead-log sequence this snapshot covers:
+	// recovery replays only records after it, and compaction reclaims
+	// segments at or below it. Zero on servers running without a WAL.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 	// Sessions holds every session's full state.
 	Sessions []SessionState `json:"sessions"`
 }
@@ -48,7 +52,7 @@ type SessionState struct {
 func (s *Server) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := &Snapshot{SavedAt: s.now(), NextID: s.nextID}
+	snap := &Snapshot{SavedAt: s.now(), NextID: s.nextID, WALSeq: s.walSeq}
 	for _, sess := range s.sessions {
 		snap.Sessions = append(snap.Sessions, SessionState{
 			ID:       sess.id,
@@ -81,6 +85,11 @@ func copyMap[K comparable, V any](m map[K]V) map[K]V {
 // rebuilding the derived state (randomized-response parameters) from each
 // session's config. Sessions already known to the server under the same id
 // are overwritten.
+//
+// With a WAL attached (AttachWAL before Restore), a snapshot claiming to
+// cover sequences past the WAL head is rejected: it was cut against a
+// log that no longer exists, and replaying the present log under it
+// would silently diverge.
 func (s *Server) Restore(snap *Snapshot) error {
 	restored := make(map[string]*session, len(snap.Sessions))
 	for _, st := range snap.Sessions {
@@ -127,45 +136,77 @@ func (s *Server) Restore(snap *Snapshot) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wal != nil {
+		if head := s.wal.LastSeq(); snap.WALSeq > head {
+			return fmt.Errorf("transport: snapshot covers through wal seq %d but the wal head is %d: snapshot is newer than the log",
+				snap.WALSeq, head)
+		}
+	}
 	for id, sess := range restored {
 		s.sessions[id] = sess
 	}
 	if snap.NextID > s.nextID {
 		s.nextID = snap.NextID
 	}
+	if snap.WALSeq > s.walSeq {
+		s.walSeq = snap.WALSeq
+	}
 	// Restored sessions changed the table wholesale; recompute the active
 	// gauge exactly rather than tracking per-overwrite deltas.
-	active := 0
-	for _, sess := range s.sessions {
-		if !sess.done && !sess.expired {
-			active++
-		}
-	}
-	s.metrics.active.Set(float64(active))
+	s.recomputeActiveLocked()
 	return nil
 }
 
-// SaveSnapshot writes the session table to path atomically (temp file +
-// rename), so a crash mid-write never leaves a truncated snapshot.
-func (s *Server) SaveSnapshot(path string) error {
-	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+// WriteFile writes the snapshot to path atomically AND durably: the
+// temp file is fsynced before the rename and the parent directory after
+// it. Rename alone orders nothing on power loss — without the first
+// fsync the renamed file can surface empty, and without the second the
+// rename itself can vanish.
+func (snap *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("transport: encoding snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".fednum-snapshot-*")
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".fednum-snapshot-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveSnapshot cuts a snapshot of the session table and writes it
+// durably to path (see Snapshot.WriteFile).
+func (s *Server) SaveSnapshot(path string) error {
+	if err := s.Snapshot().WriteFile(path); err != nil {
+		return err
+	}
+	s.metrics.snapshots.Inc()
+	return nil
 }
 
 // LoadSnapshot reads a snapshot file written by SaveSnapshot and restores

@@ -1,0 +1,718 @@
+// Package wal is a segmented, checksummed write-ahead log: the durability
+// substrate under the aggregation server's ack ⇒ durable contract. The
+// paper's deployment setting (§1, §3.3) is a long-lived server collecting
+// one-bit reports from millions of intermittently connected clients;
+// silently losing accepted reports biases the bit-sum estimators in
+// exactly the way the accuracy analysis assumes cannot happen, so every
+// acked state transition is appended here — and committed to stable
+// storage — before the reply leaves the server.
+//
+// Records are length-prefixed and CRC32C-framed, written to segment files
+// named by the sequence number of their first record. Replay is
+// torn-tail tolerant: a record cut short by a crash at the very end of
+// the newest segment is truncated away, while a corrupted record anywhere
+// records follow it is a hard error — silent skips would resurface as
+// unexplained state divergence. Three fsync policies are supported:
+// SyncAlways (fsync before every commit returns), SyncGrouped (commits
+// batch behind a max-delay flush ticker — group commit), and SyncNever
+// (benchmarks only; a crash may lose the page-cache tail).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Frame layout: [length uint32le][crc32c(payload) uint32le][payload].
+const (
+	headerBytes = 8
+	// MaxRecordBytes bounds one record's payload; anything larger is a
+	// framing error (and on disk, evidence of corruption).
+	MaxRecordBytes = 16 << 20
+
+	segSuffix = ".wal"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the WAL.
+var (
+	// ErrCorrupt marks an interior record whose checksum or framing is
+	// invalid with further data behind it — not a torn tail, and never
+	// skipped silently.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrClosed is returned by operations on a closed WAL.
+	ErrClosed = errors.New("wal: closed")
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Commit returns. Slowest, zero loss
+	// window even under power failure.
+	SyncAlways SyncPolicy = iota
+	// SyncGrouped batches commits behind a background flush ticker:
+	// Commit blocks until a flush covering its record completes, at most
+	// FlushInterval plus one fsync later. Amortizes fsyncs under load.
+	SyncGrouped
+	// SyncNever performs no fsyncs on the append path (segment seals and
+	// Close still sync). For benchmarks; a crash can lose the tail that
+	// was still in the page cache.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -wal-fsync flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always", "record", "per-record":
+		return SyncAlways, nil
+	case "grouped", "group", "batch":
+		return SyncGrouped, nil
+	case "never", "off", "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, grouped or never)", s)
+}
+
+// String returns the canonical flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncGrouped:
+		return "grouped"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// SegmentBytes rolls to a new segment once the active one reaches
+	// this size. Zero means 16 MiB.
+	SegmentBytes int64
+	// Policy is the fsync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// FlushInterval is the SyncGrouped max delay between fsyncs. Zero
+	// means 2ms.
+	FlushInterval time.Duration
+	// Registry, when non-nil, receives the fednum_wal_* metrics.
+	Registry *obs.Registry
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 16 << 20
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) flushInterval() time.Duration {
+	if o.FlushInterval <= 0 {
+		return 2 * time.Millisecond
+	}
+	return o.FlushInterval
+}
+
+// segment is one sealed (no longer written) segment file.
+type segment struct {
+	base  uint64 // sequence number of the first record
+	count uint64 // records in the segment
+	path  string
+}
+
+// WAL is an open write-ahead log. All methods are safe for concurrent
+// use.
+type WAL struct {
+	opts Options
+	m    *walMetrics
+
+	// mu serializes appends, rotation and truncation, and guards the
+	// active-segment file state. Lock ordering: mu before flushMu.
+	mu       sync.Mutex
+	f        *os.File
+	segBase  uint64 // first seq of the active segment
+	segCount uint64 // records written to the active segment
+	segSize  int64  // bytes written to the active segment
+	sealed   []segment
+	firstSeq uint64 // first seq present on disk, 0 when empty
+	nextSeq  uint64 // seq the next Append receives
+	closed   bool
+	failed   error // sticky append-path failure (unrecoverable torn state)
+
+	// flushMu guards the durability frontier and the group-commit
+	// hand-off.
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+	syncedSeq uint64
+	syncErr   error
+	flushing  bool // a leader is running fsync (SyncAlways coalescing)
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open scans dir, truncates a torn tail off the newest segment, and
+// returns a WAL ready for appends. The first boot (empty dir) starts the
+// sequence at 1.
+func Open(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{opts: opts, m: newWALMetrics(opts.Registry)}
+	w.flushCond = sync.NewCond(&w.flushMu)
+
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.startSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		// Sealed segments get their record counts from the next
+		// segment's base; the newest is scanned (and its torn tail cut).
+		for i := 0; i+1 < len(segs); i++ {
+			if segs[i+1].base <= segs[i].base {
+				return nil, fmt.Errorf("wal: segment bases out of order: %s then %s", segs[i].path, segs[i+1].path)
+			}
+			segs[i].count = segs[i+1].base - segs[i].base
+		}
+		last := &segs[len(segs)-1]
+		res, err := scanSegment(last.path, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.tornBytes > 0 {
+			if err := os.Truncate(last.path, res.goodBytes); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.path, err)
+			}
+			w.m.tornTruncations.Inc()
+		}
+		last.count = res.records
+		w.sealed = segs[:len(segs)-1]
+		w.firstSeq = segs[0].base
+		w.segBase = last.base
+		w.segCount = last.count
+		w.segSize = res.goodBytes
+		w.nextSeq = last.base + last.count
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w.f = f
+		if w.firstSeq == w.nextSeq {
+			// Every segment is empty (e.g. fresh post-compaction tail
+			// with no appends yet): nothing on disk.
+			w.firstSeq = 0
+		}
+	}
+	w.flushMu.Lock()
+	w.syncedSeq = w.nextSeq - 1
+	w.flushMu.Unlock()
+	w.m.segments.Set(float64(len(w.sealed) + 1))
+
+	if opts.Policy == SyncGrouped {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// listSegments returns the dir's segment files sorted by base sequence.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil || base == 0 {
+			return nil, fmt.Errorf("wal: alien file %s in wal dir", name)
+		}
+		segs = append(segs, segment{base: base, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+func segmentPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", base, segSuffix))
+}
+
+// startSegment creates the active segment whose first record will carry
+// seq base; the caller holds mu (or is Open, single-threaded).
+func (w *WAL) startSegment(base uint64) error {
+	f, err := os.OpenFile(segmentPath(w.opts.Dir, base), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(w.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segBase = base
+	w.segCount = 0
+	w.segSize = 0
+	if w.nextSeq < base {
+		w.nextSeq = base
+	}
+	return nil
+}
+
+// scanResult reports what one segment scan found.
+type scanResult struct {
+	records   uint64
+	goodBytes int64 // offset just past the last valid record
+	tornBytes int64 // trailing bytes belonging to a torn write
+}
+
+// scanSegment walks a segment's records, calling fn (when non-nil) with
+// each payload. With sealed set, any framing or checksum defect is
+// ErrCorrupt; otherwise a defect at the very tail — the only place a
+// crashed append can tear — is reported as torn bytes, while a defect
+// with intact data behind it is still ErrCorrupt.
+func scanSegment(path string, sealed bool, fn func(payload []byte) error) (scanResult, error) {
+	var res scanResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	size := int64(len(data))
+	off := int64(0)
+	for off < size {
+		torn := func() (scanResult, error) {
+			if sealed {
+				return res, fmt.Errorf("%w: %s: defective record at offset %d inside a sealed segment", ErrCorrupt, path, off)
+			}
+			res.tornBytes = size - off
+			return res, nil
+		}
+		if size-off < headerBytes {
+			return torn()
+		}
+		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + headerBytes + n
+		if n == 0 || n > MaxRecordBytes || end > size {
+			// The frame runs off the end of the file (or its length field
+			// is garbage, which makes the frame unboundable): if nothing
+			// verifiable follows this is a torn tail; a defect we can
+			// bound with data behind it is corruption.
+			if end < size && n != 0 && n <= MaxRecordBytes {
+				return res, fmt.Errorf("%w: %s: bad frame at offset %d", ErrCorrupt, path, off)
+			}
+			return torn()
+		}
+		payload := data[off+headerBytes : end]
+		if crc32.Checksum(payload, crcTable) != crc {
+			if end < size {
+				return res, fmt.Errorf("%w: %s: checksum mismatch at offset %d with %d bytes following",
+					ErrCorrupt, path, off, size-end)
+			}
+			return torn()
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return res, err
+			}
+		}
+		res.records++
+		res.goodBytes = end
+		off = end
+	}
+	return res, nil
+}
+
+// syncDir fsyncs a directory so entry creations/removals survive power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append frames payload and writes it to the active segment, returning
+// the record's sequence number. The record is NOT durable until a Commit
+// covering the sequence returns (SyncAlways/SyncGrouped) — callers must
+// not ack external effects before then.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 {
+		return 0, errors.New("wal: empty payload")
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[headerBytes:], payload)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
+	}
+	if w.segSize >= w.opts.segmentBytes() && w.segCount > 0 {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		// A short write leaves an unframed tail; roll the file back to
+		// the last good offset so later appends stay parseable. If even
+		// that fails the log is poisoned and every append must error.
+		if terr := w.f.Truncate(w.segSize); terr != nil {
+			w.failed = fmt.Errorf("wal: append failed (%v) and truncate-back failed: %w", err, terr)
+		}
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	seq := w.nextSeq
+	w.nextSeq++
+	w.segCount++
+	w.segSize += int64(len(frame))
+	if w.firstSeq == 0 {
+		w.firstSeq = seq
+	}
+	w.mu.Unlock()
+
+	w.m.appends.Inc()
+	w.m.appendBytes.Add(uint64(len(frame)))
+	return seq, nil
+}
+
+// Commit blocks until the record with sequence seq is durable under the
+// configured policy (a no-op for SyncNever). An error means durability
+// could not be established and the caller must not ack.
+func (w *WAL) Commit(seq uint64) error {
+	switch w.opts.Policy {
+	case SyncNever:
+		return nil
+	case SyncGrouped:
+		return w.waitFlushed(seq)
+	default:
+		return w.syncTo(seq)
+	}
+}
+
+// syncTo is the SyncAlways path: the first waiter becomes the flush
+// leader and fsyncs on behalf of everyone who appended before it.
+func (w *WAL) syncTo(seq uint64) error {
+	w.flushMu.Lock()
+	for {
+		if w.syncErr != nil {
+			err := w.syncErr
+			w.flushMu.Unlock()
+			return err
+		}
+		if w.syncedSeq >= seq {
+			w.flushMu.Unlock()
+			return nil
+		}
+		if !w.flushing {
+			break
+		}
+		w.flushCond.Wait()
+	}
+	w.flushing = true
+	w.flushMu.Unlock()
+
+	covered, err := w.fsyncActive()
+
+	w.flushMu.Lock()
+	w.flushing = false
+	if err != nil {
+		w.syncErr = err
+	} else if covered > w.syncedSeq {
+		w.syncedSeq = covered
+	}
+	w.flushCond.Broadcast()
+	w.flushMu.Unlock()
+	return err
+}
+
+// waitFlushed is the SyncGrouped path: block until the flush loop's
+// frontier passes seq.
+func (w *WAL) waitFlushed(seq uint64) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	for w.syncedSeq < seq && w.syncErr == nil {
+		w.flushCond.Wait()
+	}
+	return w.syncErr
+}
+
+// fsyncActive syncs the active segment and returns the highest sequence
+// the sync covers. Racing a rotation is benign: rotation itself fsyncs
+// the sealed file before reopening, so if the file we held was swapped
+// out underneath us the covered records are durable regardless.
+func (w *WAL) fsyncActive() (uint64, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	f := w.f
+	covered := w.nextSeq - 1
+	w.mu.Unlock()
+
+	start := time.Now()
+	err := f.Sync()
+	w.m.flushSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		w.mu.Lock()
+		rotated := w.f != f
+		w.mu.Unlock()
+		if rotated {
+			// The handle was sealed (fsynced) and closed by a rotation
+			// after we captured it; everything we meant to cover is
+			// already durable.
+			w.m.fsyncs.Inc()
+			return covered, nil
+		}
+		w.m.fsyncErrors.Inc()
+		return 0, fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.m.fsyncs.Inc()
+	return covered, nil
+}
+
+// flushLoop is the SyncGrouped ticker: at most FlushInterval between the
+// first post-flush append and the fsync that makes it durable.
+func (w *WAL) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.opts.flushInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			w.flushOnce()
+			return
+		case <-t.C:
+			w.flushOnce()
+		}
+	}
+}
+
+// flushOnce fsyncs if any record is waiting and advances the frontier.
+func (w *WAL) flushOnce() {
+	w.mu.Lock()
+	dirty := !w.closed && w.nextSeq-1 > w.syncedFrontier()
+	w.mu.Unlock()
+	if !dirty {
+		return
+	}
+	covered, err := w.fsyncActive()
+	w.flushMu.Lock()
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+	} else if covered > w.syncedSeq {
+		w.syncedSeq = covered
+	}
+	w.flushCond.Broadcast()
+	w.flushMu.Unlock()
+}
+
+// syncedFrontier reads the durability frontier; used only as a dirtiness
+// hint, so the brief flushMu acquisition is fine.
+func (w *WAL) syncedFrontier() uint64 {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	return w.syncedSeq
+}
+
+// rotateLocked seals the active segment (fsync + close) and starts the
+// next one; the caller holds mu.
+func (w *WAL) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.m.fsyncErrors.Inc()
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	w.m.fsyncs.Inc()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, segment{base: w.segBase, count: w.segCount, path: segmentPath(w.opts.Dir, w.segBase)})
+	sealedThrough := w.nextSeq - 1
+	if err := w.startSegment(w.nextSeq); err != nil {
+		w.failed = fmt.Errorf("wal: rotate: %w", err)
+		return w.failed
+	}
+	// Everything in the sealed file is on stable storage now.
+	w.flushMu.Lock()
+	if sealedThrough > w.syncedSeq {
+		w.syncedSeq = sealedThrough
+	}
+	w.flushCond.Broadcast()
+	w.flushMu.Unlock()
+	w.m.segments.Set(float64(len(w.sealed) + 1))
+	w.m.rotations.Inc()
+	return nil
+}
+
+// Rotate seals the active segment if it holds any records, so a
+// following TruncateThrough can reclaim them once a snapshot covers
+// them. A WAL whose active segment is empty is left untouched.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.segCount == 0 {
+		return nil
+	}
+	return w.rotateLocked()
+}
+
+// TruncateThrough removes sealed segments whose every record has
+// sequence ≤ seq — called after a snapshot covering seq is durably on
+// disk. The active segment is never removed. Returns how many segment
+// files were deleted.
+func (w *WAL) TruncateThrough(seq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for len(w.sealed) > 0 {
+		s := w.sealed[0]
+		if s.base+s.count-1 > seq {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return removed, err
+		}
+		w.sealed = w.sealed[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(w.opts.Dir); err != nil {
+			return removed, err
+		}
+		if len(w.sealed) > 0 {
+			w.firstSeq = w.sealed[0].base
+		} else if w.segCount > 0 {
+			w.firstSeq = w.segBase
+		} else {
+			w.firstSeq = 0
+		}
+		w.m.segments.Set(float64(len(w.sealed) + 1))
+		w.m.segmentsRemoved.Add(uint64(removed))
+		w.m.compactions.Inc()
+	}
+	return removed, nil
+}
+
+// Replay streams every record on disk, oldest first, to fn with its
+// sequence number. Defects in sealed segments, or interior defects in
+// the active one, return ErrCorrupt; call Replay before concurrent
+// appends start (boot-time recovery).
+func (w *WAL) Replay(fn func(seq uint64, payload []byte) error) error {
+	w.mu.Lock()
+	segs := append([]segment(nil), w.sealed...)
+	segs = append(segs, segment{base: w.segBase, count: w.segCount, path: segmentPath(w.opts.Dir, w.segBase)})
+	w.mu.Unlock()
+
+	for i, s := range segs {
+		sealed := i < len(segs)-1
+		seq := s.base
+		res, err := scanSegment(s.path, sealed, func(payload []byte) error {
+			err := fn(seq, payload)
+			seq++
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if res.records != s.count {
+			return fmt.Errorf("%w: segment %s holds %d records, expected %d from the segment index",
+				ErrCorrupt, s.path, res.records, s.count)
+		}
+		w.m.replayed.Add(res.records)
+	}
+	return nil
+}
+
+// FirstSeq returns the oldest sequence still on disk, 0 when the log is
+// empty.
+func (w *WAL) FirstSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.firstSeq
+}
+
+// LastSeq returns the newest appended sequence — the WAL head — or
+// base-1 when nothing was ever appended (0 on a fresh log).
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Close flushes and closes the log. Further appends return ErrClosed.
+func (w *WAL) Close() error {
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.closed = true
+	var err error
+	if w.segCount > 0 {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.flushMu.Lock()
+	if w.syncErr == nil {
+		w.syncErr = ErrClosed
+	}
+	w.flushCond.Broadcast()
+	w.flushMu.Unlock()
+	return err
+}
