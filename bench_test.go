@@ -230,7 +230,7 @@ func BenchmarkAblationSecAgg(b *testing.B) {
 		}
 	})
 	b.Run("masked", func(b *testing.B) {
-		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen, Seed: 6})
+		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +242,7 @@ func BenchmarkAblationSecAgg(b *testing.B) {
 		}
 	})
 	b.Run("masked-dropouts", func(b *testing.B) {
-		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen, Seed: 7})
+		p, err := secagg.New(secagg.Config{NumClients: clients, Threshold: clients / 2, VecLen: vecLen})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,33 @@
+// Command fedlint is the repository's invariant checker: a multichecker of
+// custom analyzers that machine-check the privacy, determinism, and
+// durability disciplines the compiler cannot see (see
+// internal/analysis/README.md for the invariant catalogue).
+//
+// It speaks the go vet vettool protocol, so CI and developers run it as:
+//
+//	go build -o "$(go env GOPATH)/bin/fedlint" ./cmd/fedlint
+//	go vet -vettool="$(go env GOPATH)/bin/fedlint" ./...
+//
+// or directly — `fedlint ./...` re-execs go vet on itself. Single checks
+// run via their flag (`fedlint -randsource ./...`), and mechanical
+// diagnostics are applied with `fedlint -fix ./...`.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errcode"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/noprintflog"
+	"repro/internal/analysis/randsource"
+)
+
+func main() {
+	analysis.Main(
+		randsource.Analyzer,
+		floateq.Analyzer,
+		noprintflog.Analyzer,
+		errcode.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

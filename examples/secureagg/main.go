@@ -46,7 +46,6 @@ func main() {
 		NumClients: numClients,
 		Threshold:  numClients / 2,
 		VecLen:     2 * bits,
-		Seed:       17,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,91 @@
+// Package analysis is a self-contained reimplementation of the core of
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// repository's linters (cmd/fedlint) need no network access or vendored
+// dependencies. It provides the Analyzer/Pass/Diagnostic vocabulary, a
+// `go vet -vettool` unitchecker driver speaking the toolchain's vet.cfg
+// protocol (unitchecker.go), and a fixture test harness
+// (package checktest) mirroring analysistest's `// want` convention.
+//
+// The scope is deliberately smaller than x/tools: no cross-package facts
+// (fedlint's invariants are all intra-package given type information), no
+// result dependencies between analyzers, and no SSA. If the repository ever
+// vendors x/tools, each analyzer ports mechanically: the Pass surface here
+// is a subset of the real one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid identifier; it
+// becomes the -<name> toggle flag on the fedlint command line.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description: first sentence states the
+	// invariant, the rest says why it exists.
+	Doc string
+	// Run applies the check to one package and reports diagnostics via
+	// pass.Report. The returned value is ignored by this driver (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for every file in Files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's recorded facts for Files.
+	TypesInfo *types.Info
+	// PkgPath is the canonical import path as the build system sees it.
+	// For test variants this keeps the raw form (e.g. "p [p.test]" or
+	// "p_test"); use policy.Normalize before classifying.
+	PkgPath string
+	// Report delivers one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is where the problem starts.
+	Pos token.Pos
+	// End optionally marks the end of the offending range.
+	End token.Pos
+	// Message states the problem and what to do instead.
+	Message string
+	// SuggestedFixes, when non-empty, carry mechanical rewrites that
+	// resolve the diagnostic; `fedlint -fix` applies the first one.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained mechanical rewrite.
+type SuggestedFix struct {
+	// Message describes the rewrite (imperative: "replace x with y").
+	Message string
+	// TextEdits are the non-overlapping edits that implement it.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,249 @@
+// Package checktest is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture packages
+// from an analyzer's testdata/src tree, runs the analyzer, and compares the
+// diagnostics against `// want "regexp"` comments in the fixtures.
+//
+// Fixture layout mirrors analysistest: testdata/src/<import/path>/*.go, and
+// fixtures may import each other by those paths (e.g. a stub
+// repro/internal/transport/wire lives beside the package under test).
+// Standard-library imports resolve through the toolchain's importer. A
+// line expecting diagnostics carries one or more quoted regexps:
+//
+//	v := rand.Int() // want `math/rand is forbidden`
+//
+// Lines without a want comment must produce no diagnostics; both unmatched
+// expectations and unexpected diagnostics fail the test.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package below testdata/src, applies the analyzer,
+// and checks diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*fixture),
+		std:  importer.Default(),
+	}
+	for _, path := range pkgPaths {
+		fx, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		checkPackage(t, ld.fset, a, fx)
+	}
+}
+
+// RunCollect loads the fixture packages and hands every diagnostic, in
+// file-position order, to collect — without checking want comments. Tests
+// use it to inspect machine-readable parts of diagnostics (suggested
+// fixes) that want regexps cannot express.
+func RunCollect(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths []string, collect func(analysis.Diagnostic)) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*fixture),
+		std:  importer.Default(),
+	}
+	for _, path := range pkgPaths {
+		fx, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     fx.files,
+			Pkg:       fx.pkg,
+			TypesInfo: fx.info,
+			PkgPath:   fx.path,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer failed on %s: %v", a.Name, fx.path, err)
+			continue
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			collect(d)
+		}
+	}
+}
+
+// fixture is one loaded testdata package.
+type fixture struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving fixture-to-fixture imports
+// before falling back to the standard library importer.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*fixture
+	std  types.Importer
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.src, path)); err == nil && fi.IsDir() {
+		fx, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fx.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at the given import path.
+func (ld *loader) load(path string) (*fixture, error) {
+	if fx, ok := ld.pkgs[path]; ok {
+		return fx, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	cfg := types.Config{Importer: ld}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fx := &fixture{path: path, files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = fx
+	return fx, nil
+}
+
+// expectation is one `// want` regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkPackage runs the analyzer over one fixture and diffs diagnostics
+// against expectations.
+func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fx *fixture) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     fx.files,
+		Pkg:       fx.pkg,
+		TypesInfo: fx.info,
+		PkgPath:   fx.path,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer failed on %s: %v", a.Name, fx.path, err)
+		return
+	}
+
+	expects, err := collectWants(fset, fx.files)
+	if err != nil {
+		t.Errorf("%s: %v", fx.path, err)
+		return
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+				a.Name, e.re, e.file, e.line)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line that
+// matches its message.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the quoted patterns from a want comment: double-quoted
+// (backslash escapes allowed) or backtick-quoted Go strings.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans fixture comments for `// want "re"...` expectations,
+// anchored to the line the comment starts on.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[i+len("want "):], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						pat = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(pat)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+// Package ctxflow forbids context.Background() and context.TODO() in the
+// protocol packages (transport, federated): request-path handlers and
+// clients must thread the caller's context. A fabricated root context
+// detaches the call from cancellation and deadlines, which is exactly how
+// session-TTL enforcement (PR 1) and graceful fednumd drain (SIGTERM)
+// silently stop propagating — a retry loop on a Background context keeps
+// hammering a server that is trying to shut down. Package main owns its
+// lifecycle and tests own their harness, so both are exempt.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in request-path (protocol) packages. " +
+		"Thread the caller's context so cancellation and session deadlines propagate.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if policy.Classify(pass.PkgPath) != policy.Protocol {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObject(pass.TypesInfo, call)
+			for _, name := range [...]string{"Background", "TODO"} {
+				if analysis.IsPkgFunc(obj, "context", name) {
+					pass.Reportf(call.Pos(), "context.%s in request-path code detaches cancellation and session deadlines: accept and thread the caller's ctx", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/transport", // positives: Background/TODO on the request path; negatives: threading, test file
+		"repro/cmd/fednumd",        // negative: package main
+		"repro/internal/wal",       // negative: harness-class background work
+	)
+}

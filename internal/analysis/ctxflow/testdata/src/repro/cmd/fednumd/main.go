@@ -1,0 +1,11 @@
+// Command fednumd fixture: package main owns the process lifecycle and may
+// create root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

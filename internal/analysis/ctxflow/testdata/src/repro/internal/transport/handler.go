@@ -1,0 +1,34 @@
+// Package transport fixture: protocol-class request-path code where
+// fabricated root contexts are banned.
+package transport
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Client mirrors the real participant client shape.
+type Client struct{}
+
+// Report detaches from the caller — both forms are flagged.
+func (c *Client) Report(body []byte) error {
+	ctx := context.Background() // want `context.Background in request-path code detaches cancellation`
+	_ = ctx
+	todo := context.TODO() // want `context.TODO in request-path code detaches cancellation`
+	_ = todo
+	return nil
+}
+
+// ReportCtx threads the caller's context: the required shape.
+func (c *Client) ReportCtx(ctx context.Context, body []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return nil
+}
+
+// Handle derives from the request, never from a root.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+}

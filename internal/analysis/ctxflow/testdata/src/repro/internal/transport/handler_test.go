@@ -1,0 +1,14 @@
+// Tests own their harness lifecycle: root contexts are fine here.
+package transport
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRootContextAllowed(t *testing.T) {
+	ctx := context.Background()
+	if ctx == nil {
+		t.Fatal("impossible")
+	}
+}

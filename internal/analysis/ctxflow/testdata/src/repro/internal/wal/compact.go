@@ -1,0 +1,13 @@
+// Package wal fixture: harness-class background work is outside ctxflow's
+// request-path scope.
+package wal
+
+import "context"
+
+// Compact runs from a background goroutine the daemon owns, not from a
+// request; a root context is legitimate.
+func Compact() error {
+	ctx := context.Background()
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,129 @@
+// Package errcode keeps the transport's machine-readable failure contract
+// honest: wire error codes are a closed vocabulary (wire.Code constants),
+// and clients branch on them to decide retry behaviour. A string literal
+// standing in for a constant ("expired" instead of wire.CodeExpired)
+// compiles today, silently diverges the day a code is renamed, and turns a
+// typed protocol into stringly-typed guesswork. Outside the defining
+// package (internal/transport/wire), any string literal in a wire.Code
+// position — comparison, assignment, composite literal, case clause,
+// argument, or conversion — is flagged; the empty string (the "no envelope"
+// zero value) is exempt. When the literal's value matches a declared code
+// constant, the diagnostic carries a mechanical suggested fix
+// (`fedlint -fix`) replacing it with the constant.
+package errcode
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// wirePath is the package defining the Code type and its constants.
+const wirePath = "repro/internal/transport/wire"
+
+// Analyzer is the errcode check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "wire error codes must be the typed wire.Code constants, never string literals. " +
+		"Literals silently diverge from the closed retry-contract vocabulary; -fix rewrites known values to their constants.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if policy.Normalize(pass.PkgPath) == wirePath {
+		return nil, nil // the defining package necessarily spells values out
+	}
+	codeType, consts := lookupCodeType(pass.Pkg)
+	if codeType == nil {
+		return nil, nil // package doesn't touch the wire vocabulary
+	}
+	for _, f := range pass.Files {
+		wireName := wireImportName(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || tv.Type == nil || !types.Identical(tv.Type, codeType) {
+				return true
+			}
+			if tv.Value != nil && constant.StringVal(tv.Value) == "" {
+				return true // zero value: "server sent no envelope"
+			}
+			report(pass, lit, tv, consts, wireName)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// report emits the diagnostic, attaching a rewrite to the matching declared
+// constant when one exists.
+func report(pass *analysis.Pass, lit *ast.BasicLit, tv types.TypeAndValue, consts map[string]string, wireName string) {
+	d := analysis.Diagnostic{
+		Pos:     lit.Pos(),
+		End:     lit.End(),
+		Message: fmt.Sprintf("string literal %s used as a wire.Code: use the typed constant so the retry contract stays a closed vocabulary", lit.Value),
+	}
+	if tv.Value != nil && wireName != "" {
+		if name, ok := consts[constant.StringVal(tv.Value)]; ok {
+			repl := wireName + "." + name
+			d.Message = fmt.Sprintf("string literal %s used as a wire.Code: use %s so the retry contract stays a closed vocabulary", lit.Value, repl)
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message:   fmt.Sprintf("replace %s with %s", lit.Value, repl),
+				TextEdits: []analysis.TextEdit{{Pos: lit.Pos(), End: lit.End(), NewText: []byte(repl)}},
+			}}
+		}
+	}
+	pass.Report(d)
+}
+
+// lookupCodeType finds the wire Code named type among the package's direct
+// imports and indexes its declared constants by string value.
+func lookupCodeType(pkg *types.Package) (types.Type, map[string]string) {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != wirePath {
+			continue
+		}
+		tn, ok := imp.Scope().Lookup("Code").(*types.TypeName)
+		if !ok {
+			return nil, nil
+		}
+		consts := make(map[string]string)
+		for _, name := range imp.Scope().Names() {
+			c, ok := imp.Scope().Lookup(name).(*types.Const)
+			if !ok || !types.Identical(c.Type(), tn.Type()) {
+				continue
+			}
+			consts[constant.StringVal(c.Val())] = name
+		}
+		return tn.Type(), consts
+	}
+	return nil, nil
+}
+
+// wireImportName returns the identifier the file uses for the wire package
+// ("" when the file doesn't import it, "wire" or the chosen alias
+// otherwise; dot imports qualify with the bare constant name).
+func wireImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != wirePath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." {
+				return "."
+			}
+			return imp.Name.Name
+		}
+		return "wire"
+	}
+	return ""
+}

@@ -1,0 +1,38 @@
+package errcode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/transport/wire", // negative: the defining package
+		"repro/internal/transport",      // positives in every literal position
+	)
+}
+
+// TestSuggestedFix asserts the mechanical rewrite is attached whenever the
+// literal matches a declared constant.
+func TestSuggestedFix(t *testing.T) {
+	var fixes []string
+	probe := &analysis.Analyzer{Name: Analyzer.Name, Doc: Analyzer.Doc, Run: Analyzer.Run}
+	checktest.RunCollect(t, "testdata", probe, []string{"repro/internal/transport"}, func(d analysis.Diagnostic) {
+		for _, f := range d.SuggestedFixes {
+			fixes = append(fixes, f.Message)
+		}
+	})
+	want := []string{
+		`replace "expired" with wire.CodeExpired`,
+		`replace "unavailable" with wire.CodeUnavailable`,
+		`replace "expired" with wire.CodeExpired`,
+		`replace "not_found" with wire.CodeNotFound`,
+		`replace "unavailable" with wire.CodeUnavailable`,
+	}
+	if got := strings.Join(fixes, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("suggested fixes:\n%s\nwant:\n%s", got, strings.Join(want, "\n"))
+	}
+}

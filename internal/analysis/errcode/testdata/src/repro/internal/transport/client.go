@@ -1,0 +1,44 @@
+// Package transport fixture: a consumer of the wire vocabulary where code
+// literals are banned in every syntactic position.
+package transport
+
+import (
+	"repro/internal/transport/wire"
+)
+
+// StatusError mirrors the real client error carrying a typed code.
+type StatusError struct {
+	Status int
+	Code   wire.Code
+}
+
+// Classify exercises comparison, switch, composite-literal, assignment,
+// conversion, and call-argument positions.
+func Classify(e *StatusError) (wire.Error, bool) {
+	if e.Code == "expired" { // want `string literal "expired" used as a wire.Code: use wire.CodeExpired`
+		return wire.Error{}, false
+	}
+	if e.Code == wire.CodeNotFound { // typed constant: allowed
+		return wire.Error{}, false
+	}
+	if e.Code != "" { // zero value "no envelope": allowed
+		switch e.Code {
+		case "unavailable": // want `string literal "unavailable" used as a wire.Code: use wire.CodeUnavailable`
+			return wire.Error{}, true
+		case wire.CodeExpired:
+			return wire.Error{}, false
+		}
+	}
+	env := wire.Error{Error: "gone", Code: "expired"} // want `string literal "expired" used as a wire.Code: use wire.CodeExpired`
+	env.Code = "bogus_code"                           // want `string literal "bogus_code" used as a wire.Code`
+	c := wire.Code("not_found")                       // want `string literal "not_found" used as a wire.Code: use wire.CodeNotFound`
+	return env, wire.Retryable(c) && wire.Retryable("unavailable") // want `string literal "unavailable" used as a wire.Code: use wire.CodeUnavailable`
+}
+
+// Describe shows ordinary string literals stay untouched.
+func Describe(e *StatusError) string {
+	if e.Status >= 500 {
+		return "server error"
+	}
+	return "client error"
+}

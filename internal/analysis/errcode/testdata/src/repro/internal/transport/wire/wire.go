@@ -1,0 +1,22 @@
+// Package wire fixture: the defining package of the Code vocabulary.
+// Spelling values out as literals is necessarily legal here.
+package wire
+
+// Code is a machine-readable wire error code.
+type Code string
+
+// The closed retry-contract vocabulary.
+const (
+	CodeExpired     Code = "expired"
+	CodeNotFound    Code = "not_found"
+	CodeUnavailable Code = "unavailable"
+)
+
+// Error is the JSON error envelope.
+type Error struct {
+	Error string `json:"error"`
+	Code  Code   `json:"code,omitempty"`
+}
+
+// Retryable classifies a code; literals are fine in the defining package.
+func Retryable(c Code) bool { return c == "unavailable" }

@@ -1,0 +1,106 @@
+// Package floateq flags == and != between floating-point operands in the
+// estimator packages (core, stats, ldp, distdp, quantile, ...). The paper's
+// estimators are exquisitely sensitive to sampling-probability arithmetic;
+// an exact comparison that silently never fires (or fires spuriously after
+// a refactor reorders operations) corrupts bit allocations and privacy
+// accounting without failing any test. Compare against an explicit
+// tolerance (stats.ApproxEqual) instead.
+//
+// Two idioms stay legal because they are exact by construction:
+//
+//   - comparison against a literal 0, the pervasive "field unset, apply
+//     default" sentinel on config structs (0 is exactly representable and
+//     assigned, never computed);
+//   - x != x (or x == x), the standard NaN probe.
+//
+// Test files are exempt: reproducibility tests intentionally assert
+// bit-exact outputs of the seeded deterministic pipeline.
+package floateq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag floating-point == and != in estimator packages. " +
+		"Use stats.ApproxEqual or an explicit tolerance; literal-0 sentinel checks and the x != x NaN probe are allowed.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if policy.Classify(pass.PkgPath) != policy.Estimator {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, be.X) || !isFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if isZeroLiteral(pass.TypesInfo, be.X) || isZeroLiteral(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) { // NaN probe
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison in estimator code: use stats.ApproxEqual or an explicit tolerance (exact equality silently misbehaves as arithmetic is refactored)", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloat reports whether the expression's type is (an alias or named type
+// over) float32 or float64.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroLiteral reports whether the expression is a compile-time constant
+// equal to zero (covers 0, 0.0, and named zero constants).
+func isZeroLiteral(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameExpr reports whether two expressions are syntactically identical,
+// which for pure operands makes ==/!= the well-defined NaN probe.
+func sameExpr(a, b ast.Expr) bool {
+	return render(a) == render(b)
+}
+
+func render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

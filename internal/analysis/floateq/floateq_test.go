@@ -1,0 +1,14 @@
+package floateq
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/core", // positives + sentinel/NaN/test-file negatives
+		"repro/internal/wal",  // negative: harness class is out of scope
+	)
+}

@@ -1,0 +1,49 @@
+// Package core fixture: estimator code where float equality is forbidden
+// outside the allowed idioms.
+package core
+
+import "math"
+
+// Config mimics the paper-parameter structs whose zero value means "apply
+// the default".
+type Config struct {
+	Gamma float64
+	Alpha float64
+}
+
+// Defaults shows the legal exact-zero sentinel checks.
+func (c *Config) Defaults() {
+	if c.Gamma == 0 { // literal zero sentinel: allowed
+		c.Gamma = 0.5
+	}
+	if c.Alpha != 0.0 { // literal zero, spelled as a float: allowed
+		return
+	}
+	c.Alpha = 1.0 / 3.0
+}
+
+// Compare holds the forbidden comparisons.
+func Compare(a, b float64, probs []float64) bool {
+	if a == b { // want `floating-point == comparison in estimator code`
+		return true
+	}
+	if probs[0] != probs[1] { // want `floating-point != comparison in estimator code`
+		return false
+	}
+	if a == 1 { // want `floating-point == comparison in estimator code`
+		return true
+	}
+	var f32 float32
+	return float32(b) == f32 // want `floating-point == comparison in estimator code`
+}
+
+// IsNaN shows the legal self-comparison probe.
+func IsNaN(x float64) bool {
+	return x != x // NaN probe: allowed
+}
+
+// Ints shows that integer equality is out of scope.
+func Ints(n, m int) bool { return n == m }
+
+// MathUse keeps the math import honest.
+func MathUse(x float64) float64 { return math.Abs(x) }

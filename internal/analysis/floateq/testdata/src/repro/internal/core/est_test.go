@@ -1,0 +1,11 @@
+// Reproducibility tests may assert bit-exact floats: the deterministic
+// pipeline guarantees them, and the analyzer exempts test files.
+package core
+
+import "testing"
+
+func TestExact(t *testing.T) {
+	if got, want := 0.25*4, 1.0; got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

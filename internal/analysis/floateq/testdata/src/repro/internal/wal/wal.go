@@ -1,0 +1,6 @@
+// Package wal fixture: harness-class code is outside floateq's scope.
+package wal
+
+// SameRate compares floats exactly; the durability layer is not estimator
+// code, so floateq stays silent here.
+func SameRate(a, b float64) bool { return a == b }

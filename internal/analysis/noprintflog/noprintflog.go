@@ -1,0 +1,86 @@
+// Package noprintflog enforces the slog migration completed in PR 2–3:
+// library packages must not print to stdout/stderr behind the operator's
+// back. fmt.Print* and log.Print*/Fatal*/Panic* calls are flagged in every
+// non-main package (outside tests), and protocol packages may never grow
+// back a printf-shaped `Logf` hook — the deprecated transport shim that PR 4
+// deleted. Structured slog output is what the observability stack (obs
+// package, fednumd -log-format) parses; stray prints bypass level filtering
+// and corrupt machine-read logs.
+package noprintflog
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// banned lists the package-level print functions that bypass slog.
+var banned = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// Analyzer is the noprintflog check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noprintflog",
+	Doc: "ban fmt.Print*/log.Print* in non-main packages and printf-shaped Logf hooks in protocol packages. " +
+		"Operational output must flow through slog so the observability stack can parse it.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cls := policy.Classify(pass.PkgPath)
+	if cls == policy.Main {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.Field:
+				if cls == policy.Protocol {
+					checkLogfField(pass, n)
+				}
+			case *ast.FuncDecl:
+				if cls == policy.Protocol && n.Name.Name == "Logf" {
+					pass.Reportf(n.Name.Pos(), "printf-shaped Logf hooks are banned in protocol packages (the deprecated transport shim was deleted): expose a *slog.Logger instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall flags calls to the banned fmt/log printers.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.CalleeObject(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if names, ok := banned[obj.Pkg().Path()]; ok && names[obj.Name()] {
+		pass.Reportf(call.Pos(), "%s.%s in a library package bypasses slog: use the package's *slog.Logger (obs.Logger) so output respects -log-format and -log-level", obj.Pkg().Path(), obj.Name())
+	}
+}
+
+// checkLogfField flags struct fields named Logf with a function type — the
+// shape of the deleted transport shim.
+func checkLogfField(pass *analysis.Pass, field *ast.Field) {
+	if _, ok := field.Type.(*ast.FuncType); !ok {
+		return
+	}
+	for _, name := range field.Names {
+		if name.Name == "Logf" {
+			pass.Reportf(name.Pos(), "printf-shaped Logf hooks are banned in protocol packages (the deprecated transport shim was deleted): expose a *slog.Logger instead")
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package noprintflog
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/transport", // positives: Logf field/method, fmt/log prints; negatives: slog, Sprintf, test file
+		"repro/cmd/tool",           // negative: package main may print
+	)
+}

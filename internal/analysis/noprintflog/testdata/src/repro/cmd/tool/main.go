@@ -1,0 +1,12 @@
+// Command tool fixture: package main owns its stdout and may print.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+func main() {
+	fmt.Println("operator-facing output is fine in main")
+	log.Printf("and so is the standard logger")
+}

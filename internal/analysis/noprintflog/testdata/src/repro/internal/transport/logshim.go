@@ -1,0 +1,39 @@
+// Package transport fixture: protocol-class code where printf-shaped
+// logging hooks and direct printing are banned.
+package transport
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+// Server shows the banned shim shape next to the required slog hook.
+type Server struct {
+	Logger *slog.Logger
+	Logf   func(format string, args ...any) // want `printf-shaped Logf hooks are banned in protocol packages`
+	Addr   string                           // non-function Logf lookalikes are fine
+}
+
+// Admin hosts the method variant of the shim.
+type Admin struct {
+	Logger *slog.Logger
+}
+
+// Logf as a method is the same shim in disguise.
+func (a *Admin) Logf(format string, args ...any) { // want `printf-shaped Logf hooks are banned in protocol packages`
+	a.Logger.Info(fmt.Sprintf(format, args...))
+}
+
+// Serve prints where it must not.
+func (s *Server) Serve() error {
+	fmt.Println("listening on", s.Addr) // want `fmt.Println in a library package bypasses slog`
+	log.Printf("serving %s", s.Addr)    // want `log.Printf in a library package bypasses slog`
+	s.Logger.Info("serving", "addr", s.Addr)
+	return nil
+}
+
+// Describe may format strings all it wants — only printing is banned.
+func (s *Server) Describe() string {
+	return fmt.Sprintf("server on %s", s.Addr)
+}

@@ -1,0 +1,13 @@
+// Test files may print: t.Logf and debugging output never reach the
+// production log stream.
+package transport
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrintAllowed(t *testing.T) {
+	fmt.Println("debugging output is fine in tests")
+	t.Logf("so is t.Logf")
+}

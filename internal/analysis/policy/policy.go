@@ -1,0 +1,124 @@
+// Package policy is the single place where fedlint's analyzers learn what
+// kind of package they are looking at. Every analyzer keys its rules off
+// the Class returned here, so tightening or relaxing an invariant for a
+// package is a one-line change to one table rather than edits to five
+// analyzers.
+package policy
+
+import (
+	"path"
+	"strings"
+)
+
+// Class partitions the repository's packages by the invariants they must
+// uphold.
+type Class int
+
+const (
+	// Harness covers evaluation and infrastructure code (experiments,
+	// chaos, wal, obs, workload, ...): slog-only logging, no math/rand.
+	Harness Class = iota
+	// Frand is internal/frand itself — the only package allowed to touch
+	// math/rand and the home of the deterministic generator.
+	Frand
+	// Crypto packages (secagg, shamir) produce secure-aggregation mask
+	// and share material: crypto/rand only, frand is forbidden. The
+	// pairwise-masking security argument (DESIGN.md §2, Bonawitz et al.)
+	// collapses if masks come from a seeded deterministic PRNG.
+	Crypto
+	// Protocol packages (transport, wire, federated) sit on the request
+	// path: wire error codes must be typed constants and request contexts
+	// must flow from the caller.
+	Protocol
+	// Estimator packages (core, stats, ldp, distdp, ...) implement the
+	// paper's numerical estimators: float equality comparisons are
+	// forbidden outside exact-zero sentinels.
+	Estimator
+	// Main is package main (cmd/*, examples/*) plus synthesized test
+	// mains: operator-facing printing and context.Background are fine.
+	Main
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case Frand:
+		return "frand"
+	case Crypto:
+		return "crypto"
+	case Protocol:
+		return "protocol"
+	case Estimator:
+		return "estimator"
+	case Main:
+		return "main"
+	default:
+		return "harness"
+	}
+}
+
+// classes maps canonical import paths to their class. Paths not listed fall
+// back to prefix rules in Classify, then to Harness — the strictest default
+// that never weakens a privacy or determinism invariant.
+var classes = map[string]Class{
+	"repro/internal/frand": Frand,
+
+	"repro/internal/secagg": Crypto,
+	"repro/internal/shamir": Crypto,
+
+	"repro/internal/transport":      Protocol,
+	"repro/internal/transport/wire": Protocol,
+	"repro/internal/federated":      Protocol,
+
+	"repro/internal/core":       Estimator,
+	"repro/internal/stats":      Estimator,
+	"repro/internal/ldp":        Estimator,
+	"repro/internal/distdp":     Estimator,
+	"repro/internal/quantile":   Estimator,
+	"repro/internal/histogram":  Estimator,
+	"repro/internal/fixedpoint": Estimator,
+	"repro/internal/dither":     Estimator,
+	"repro/internal/meter":      Estimator,
+	"repro/internal/field":      Estimator,
+	"repro/internal/fedlearn":   Estimator,
+}
+
+// Classify returns the class of the package with the given build-system
+// import path (test-variant decorations are handled).
+func Classify(pkgPath string) Class {
+	p := Normalize(pkgPath)
+	if strings.HasSuffix(p, ".test") {
+		return Main // synthesized test main
+	}
+	if c, ok := classes[p]; ok {
+		return c
+	}
+	if strings.HasPrefix(p, "repro/cmd/") || strings.HasPrefix(p, "repro/examples/") {
+		return Main
+	}
+	return Harness
+}
+
+// Normalize strips the decorations the go command adds to test-variant
+// package paths: "p [p.test]" (internal test variant) and the external test
+// package "p_test", both of which must inherit p's policies.
+func Normalize(pkgPath string) string {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+	return pkgPath
+}
+
+// IsTestFile reports whether the file name denotes a test file. Test files
+// get looser rules where the ISSUE's invariants allow it (t.Logf-style
+// output, context.Background, deterministic exact-value assertions).
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(path.Base(filepath(filename)), "_test.go")
+}
+
+// filepath normalizes OS path separators so IsTestFile works on both slash
+// styles without importing path/filepath's OS dependence into the table.
+func filepath(name string) string {
+	return strings.ReplaceAll(name, "\\", "/")
+}

@@ -1,0 +1,45 @@
+package policy
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want Class
+	}{
+		{"repro/internal/frand", Frand},
+		{"repro/internal/secagg", Crypto},
+		{"repro/internal/shamir", Crypto},
+		{"repro/internal/transport", Protocol},
+		{"repro/internal/transport/wire", Protocol},
+		{"repro/internal/federated", Protocol},
+		{"repro/internal/core", Estimator},
+		{"repro/internal/stats", Estimator},
+		{"repro/cmd/fednumd", Main},
+		{"repro/examples/quickstart", Main},
+		{"repro/internal/wal", Harness},
+		{"repro/internal/obs", Harness},
+		{"repro/internal/brandnew", Harness}, // unknown packages default to the strictest class
+		// Test-variant decorations inherit the base package's class.
+		{"repro/internal/secagg [repro/internal/secagg.test]", Crypto},
+		{"repro/internal/stats_test [repro/internal/stats.test]", Estimator},
+		{"repro/internal/stats.test", Main},
+	}
+	for _, c := range cases {
+		if got := Classify(c.path); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestIsTestFile(t *testing.T) {
+	if !IsTestFile("/repo/internal/stats/stats_test.go") {
+		t.Error("stats_test.go should be a test file")
+	}
+	if IsTestFile("/repo/internal/stats/stats.go") {
+		t.Error("stats.go should not be a test file")
+	}
+	if IsTestFile("/repo/internal/latest.go") {
+		t.Error("latest.go should not be a test file")
+	}
+}

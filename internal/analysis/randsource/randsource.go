@@ -1,0 +1,154 @@
+// Package randsource enforces the repository's two-tier randomness
+// discipline:
+//
+//   - Simulation randomness must flow through a seeded *frand.RNG so every
+//     protocol run and experiment is reproducible bit for bit (Figures 1–4
+//     of the paper are regenerated from fixed seeds). Importing math/rand
+//     or math/rand/v2 anywhere outside internal/frand, or seeding frand
+//     from the wall clock, silently breaks that property.
+//
+//   - Secure-aggregation mask and share material must come from crypto/rand.
+//     The pairwise-masking privacy argument (DESIGN.md §2, Bonawitz et al.
+//     CCS 2017; see also the distributed discrete Gaussian line of work)
+//     assumes masks indistinguishable from uniform by the server; a seeded
+//     deterministic generator voids it, so internal/frand is forbidden in
+//     the crypto-class packages (secagg, shamir) outside their tests.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// frandPath is the import path of the deterministic generator; it is both
+// the only legal home of math/rand and illegal inside crypto packages.
+const frandPath = "repro/internal/frand"
+
+// Analyzer is the randsource check.
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc: "forbid math/rand outside internal/frand, frand in crypto packages, and time-derived seeds. " +
+		"Deterministic draws must use a seeded frand.RNG; secure-aggregation mask/share material must use crypto/rand.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cls := policy.Classify(pass.PkgPath)
+	for _, f := range pass.Files {
+		testFile := policy.IsTestFile(pass.FileName(f))
+		checkImports(pass, f, cls, testFile)
+		checkTimeSeeds(pass, f)
+	}
+	return nil, nil
+}
+
+// checkImports flags forbidden randomness imports for the package's class.
+func checkImports(pass *analysis.Pass, f *ast.File, cls policy.Class, testFile bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			if cls != policy.Frand {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden outside internal/frand: deterministic draws must use a seeded frand.RNG (bit-for-bit reproducibility), mask material must use crypto/rand", path)
+			}
+		case frandPath:
+			if cls == policy.Crypto && !testFile {
+				pass.Reportf(imp.Pos(), "internal/frand is a deterministic PRNG and must not produce mask or share material in a crypto package: use crypto/rand (pairwise-masking security, DESIGN.md §2)")
+			}
+		}
+	}
+}
+
+// checkTimeSeeds flags frand.New seeds derived from the wall clock, both
+// nested directly in the call and flowing through a local variable:
+//
+//	frand.New(uint64(time.Now().UnixNano()))     // direct
+//	seed := uint64(time.Now().UnixNano())
+//	r := frand.New(seed)                          // via local flow
+func checkTimeSeeds(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		checkFuncSeeds(pass, fn.Body)
+		return true
+	})
+}
+
+func checkFuncSeeds(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pass 1: locals assigned (anywhere in the function) from an
+	// expression containing time.Now.
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !containsTimeNow(pass.TypesInfo, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+				if obj := lhsObject(pass.TypesInfo, id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: seeds handed to frand.New.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !analysis.IsPkgFunc(analysis.CalleeObject(pass.TypesInfo, call), frandPath, "New") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if containsTimeNow(pass.TypesInfo, arg) {
+				pass.Reportf(arg.Pos(), "time-derived frand seed breaks run-to-run reproducibility: thread an explicit seed (or draw the default from crypto/rand)")
+				continue
+			}
+			if id, ok := analysis.PeelConversions(pass.TypesInfo, arg).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+					pass.Reportf(arg.Pos(), "seed %q is derived from time.Now, which breaks run-to-run reproducibility: thread an explicit seed (or draw the default from crypto/rand)", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsObject resolves the object an assignment target denotes, covering both
+// `x := ...` (Defs) and `x = ...` (Uses).
+func lhsObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// containsTimeNow reports whether the expression contains a call to
+// time.Now.
+func containsTimeNow(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if analysis.IsPkgFunc(analysis.CalleeObject(info, call), "time", "Now") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

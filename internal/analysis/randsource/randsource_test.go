@@ -1,0 +1,15 @@
+package randsource
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/frand",       // negative: math/rand allowed at home
+		"repro/internal/secagg",      // positive: frand in a crypto package; negative: crypto/rand + test file
+		"repro/internal/experiments", // positive: math/rand imports, time-derived seeds
+	)
+}

@@ -1,0 +1,39 @@
+// Package experiments fixture: harness code where math/rand and
+// time-derived seeds are forbidden.
+package experiments
+
+import (
+	"math/rand"       // want `import of math/rand is forbidden outside internal/frand`
+	v2 "math/rand/v2" // want `import of math/rand/v2 is forbidden outside internal/frand`
+	"time"
+
+	"repro/internal/frand"
+)
+
+// Draw uses the forbidden generators so their imports resolve.
+func Draw() float64 { return rand.Float64() + v2.Float64() }
+
+// BadDirectSeed nests the wall clock straight into the seed argument.
+func BadDirectSeed() *frand.RNG {
+	return frand.New(uint64(time.Now().UnixNano())) // want `time-derived frand seed breaks run-to-run reproducibility`
+}
+
+// BadFlowSeed launders the wall clock through a local before seeding.
+func BadFlowSeed(seed uint64) *frand.RNG {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return frand.New(seed) // want `seed "seed" is derived from time.Now`
+}
+
+// GoodSeed threads an explicit caller-provided seed.
+func GoodSeed(seed uint64) *frand.RNG {
+	return frand.New(seed)
+}
+
+// GoodTiming may measure wall-clock time for reporting, just not for seeds.
+func GoodTiming() time.Duration {
+	start := time.Now()
+	_ = frand.New(7)
+	return time.Since(start)
+}

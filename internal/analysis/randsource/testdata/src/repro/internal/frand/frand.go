@@ -1,0 +1,16 @@
+// Package frand is a fixture stub of the real deterministic generator.
+// math/rand is legal here and nowhere else.
+package frand
+
+import "math/rand"
+
+// RNG is the deterministic generator handle.
+type RNG struct{ inner *rand.Rand }
+
+// New returns a seeded RNG. Inside internal/frand, math/rand is allowed.
+func New(seed uint64) *RNG {
+	return &RNG{inner: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Uint64 draws 64 bits.
+func (r *RNG) Uint64() uint64 { return r.inner.Uint64() }

@@ -1,0 +1,21 @@
+// Package secagg fixture: crypto-class package where frand is forbidden
+// and crypto/rand is the only legal entropy source.
+package secagg
+
+import (
+	crand "crypto/rand"
+
+	"repro/internal/frand" // want `internal/frand is a deterministic PRNG and must not produce mask or share material`
+)
+
+// DeterministicMask shows the forbidden pattern.
+func DeterministicMask(seed uint64) uint64 {
+	return frand.New(seed).Uint64()
+}
+
+// SecureMask shows the required pattern: crypto/rand entropy.
+func SecureMask() ([]byte, error) {
+	b := make([]byte, 32)
+	_, err := crand.Read(b)
+	return b, err
+}

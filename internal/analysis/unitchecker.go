@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+)
+
+// Config mirrors the subset of cmd/go's internal vetConfig that fedlint
+// needs. The go command writes this JSON to <objdir>/vet.cfg and invokes the
+// vettool with that path as its sole positional argument, once per package
+// in the build graph (dependencies get VetxOnly=true).
+type Config struct {
+	ID                        string            // package ID, e.g. "p [p.test]"
+	Compiler                  string            // "gc" or "gccgo"
+	Dir                       string            // package directory
+	ImportPath                string            // canonical import path
+	GoFiles                   []string          // absolute paths of Go sources
+	NonGoFiles                []string          // absolute paths of non-Go sources
+	IgnoredFiles              []string          // sources excluded by build constraints
+	ImportMap                 map[string]string // source import path -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	Standard                  map[string]bool   // canonical path -> in std library
+	PackageVetx               map[string]string // canonical path -> vetx file of dep
+	VetxOnly                  bool              // only facts wanted; we emit none, so no-op
+	VetxOutput                string            // where to write the (empty) facts file
+	GoVersion                 string            // language version, e.g. "go1.22"
+	SucceedOnTypecheckFailure bool              // exit 0 quietly if the package doesn't type-check
+}
+
+// Main is the entry point of a fedlint-style vettool. It implements the
+// three invocation modes of the go command's vettool contract:
+//
+//   - `fedlint -V=full` prints a version line ending in a content-derived
+//     buildID (cmd/go hashes it into its action cache key);
+//   - `fedlint -flags` prints the tool's flag schema as JSON so go vet
+//     knows which command-line flags to forward;
+//   - `fedlint <dir>/vet.cfg` analyzes one package described by the config.
+//
+// For convenience, any other argument list (e.g. `fedlint ./...`) re-execs
+// `go vet -vettool=<self>` with the same flags, so the binary doubles as a
+// standalone checker.
+func Main(analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet("fedlint", flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full for a build ID)")
+	flagsFlag := fs.Bool("flags", false, "print flag schema as JSON and exit")
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes in place where available")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only analyzers enabled this way: "+firstSentence(a.Doc))
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *versionFlag != "":
+		printVersion(*versionFlag)
+		return
+	case *flagsFlag:
+		printFlagSchema(analyzers)
+		return
+	}
+
+	// x/tools semantics: naming any analyzer flag restricts the run to the
+	// named subset; naming none runs everything.
+	selected := analyzers
+	if anySet(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg" {
+		os.Exit(runPackage(args[0], selected, *fixFlag))
+	}
+	os.Exit(execGoVet(fs, args))
+}
+
+// firstSentence trims an analyzer Doc to its first sentence for flag usage.
+func firstSentence(doc string) string {
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == '\n' || (doc[i] == '.' && (i+1 == len(doc) || doc[i+1] == ' ')) {
+			return doc[:i+1]
+		}
+	}
+	return doc
+}
+
+func anySet(m map[string]*bool) bool {
+	for _, v := range m {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// printVersion implements -V. cmd/go requires the -V=full output to look
+// like "<name> version devel ... buildID=<id>" and uses the whole line as
+// the tool's cache key, so the ID must change whenever the binary does:
+// hash the executable itself.
+func printVersion(mode string) {
+	if mode != "full" {
+		fmt.Fprintln(os.Stdout, "fedlint version devel")
+		return
+	}
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	// Protocol output, not logging: cmd/go reads this line from stdout.
+	fmt.Fprintf(os.Stdout, "fedlint version devel buildID=%s\n", id)
+}
+
+// printFlagSchema implements -flags: go vet forwards only command-line
+// flags the tool declares here.
+func printFlagSchema(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	schema := []jsonFlag{{Name: "fix", Bool: true, Usage: "apply suggested fixes"}}
+	for _, a := range analyzers {
+		schema = append(schema, jsonFlag{Name: a.Name, Bool: true, Usage: firstSentence(a.Doc)})
+	}
+	out, err := json.Marshal(schema)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+// execGoVet re-runs the tool under `go vet -vettool=<self>` so that
+// `fedlint ./...` works directly during development.
+func execGoVet(fs *flag.FlagSet, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	argv := []string{"vet", "-vettool=" + exe}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "V" && f.Name != "flags" {
+			argv = append(argv, fmt.Sprintf("-%s=%s", f.Name, f.Value.String()))
+		}
+	})
+	argv = append(argv, patterns...)
+	cmd := exec.Command("go", argv...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	return 0
+}
+
+// runPackage analyzes the single package described by the vet config file
+// and returns the process exit code: 0 clean, 1 diagnostics, 2 tool error.
+func runPackage(cfgPath string, analyzers []*Analyzer, fix bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fedlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// fedlint produces no cross-package facts, but cmd/go caches the vetx
+	// output file if present, so write an empty one up front; dependency
+	// invocations (VetxOnly) then cost nothing beyond process startup.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "fedlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pass, errcode := typecheckConfig(&cfg)
+	if pass == nil {
+		return errcode
+	}
+	diags, err := runAnalyzers(pass, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedlint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if fix {
+		return applyFixes(pass.Fset, diags)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pass.Fset.Position(d.diag.Pos), d.diag.Message)
+	}
+	return 1
+}
+
+// typecheckConfig parses and type-checks the package in cfg, resolving
+// imports through the export data files the go command supplies. On failure
+// it prints diagnostics and returns a nil pass with the exit code to use.
+func typecheckConfig(cfg *Config) (*Pass, int) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return nil, 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	var typeErrs []error
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewTypesInfo()
+	pkg, _ := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, 0
+		}
+		for _, err := range typeErrs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return nil, 1
+	}
+	return &Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   cfg.ImportPath,
+	}, 0
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// namedDiag pairs a diagnostic with the analyzer that produced it.
+type namedDiag struct {
+	analyzer string
+	diag     Diagnostic
+}
+
+// runAnalyzers runs each analyzer over the pass and returns all
+// diagnostics in file-position order. The diagnostic messages are suffixed
+// with the analyzer name so CI output identifies the failing invariant.
+func runAnalyzers(base *Pass, analyzers []*Analyzer) ([]namedDiag, error) {
+	var diags []namedDiag
+	for _, a := range analyzers {
+		pass := *base
+		pass.Analyzer = a
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Message = fmt.Sprintf("%s [fedlint/%s]", d.Message, name)
+			diags = append(diags, namedDiag{analyzer: name, diag: d})
+		}
+		if _, err := a.Run(&pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].diag.Pos < diags[j].diag.Pos })
+	return diags, nil
+}
+
+// applyFixes applies the first suggested fix of each diagnostic to the
+// source files in place, last edit first so earlier offsets stay valid.
+// Returns 0 when every diagnostic had a fix, 1 otherwise.
+func applyFixes(fset *token.FileSet, diags []namedDiag) int {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	unfixed := 0
+	for _, d := range diags {
+		if len(d.diag.SuggestedFixes) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.diag.Pos), d.diag.Message)
+			unfixed++
+			continue
+		}
+		for _, te := range d.diag.SuggestedFixes[0].TextEdits {
+			start := fset.Position(te.Pos)
+			end := start
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+		}
+		fmt.Fprintf(os.Stderr, "%s: fixed: %s\n", fset.Position(d.diag.Pos), d.diag.SuggestedFixes[0].Message)
+	}
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedlint:", err)
+			return 2
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prev := len(src) + 1
+		for _, e := range edits {
+			if e.end > prev { // overlapping fixes: keep the first, skip the rest
+				continue
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+			prev = e.start
+		}
+		if err := os.WriteFile(name, src, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "fedlint:", err)
+			return 2
+		}
+	}
+	if unfixed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FileName returns the source file name of an AST file in the pass.
+func (p *Pass) FileName(f *ast.File) string {
+	return p.Fset.Position(f.Pos()).Filename
+}
+
+// CalleeObject resolves the object a call expression invokes: a package
+// function (fmt.Println, dot-imported or qualified) or a method. It returns
+// nil for calls through function values, conversions, and other dynamic
+// callees that the analyzers here never need to police.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is the package-level function pkgPath.name.
+func IsPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsConversion reports whether the call expression is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// PeelConversions strips parentheses and type conversions from an
+// expression: PeelConversions(`uint64((x))`) yields `x`.
+func PeelConversions(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || !IsConversion(info, call) || len(call.Args) != 1 {
+			return e
+		}
+		e = call.Args[0]
+	}
+}

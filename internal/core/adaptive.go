@@ -112,7 +112,7 @@ func LearnedProbs(round1 *Result, alpha float64) ([]float64, error) {
 			m = (m*float64(count) + 0.5) / (float64(count) + 1)
 		case round1.Squashed[j]:
 			m = 0
-		case m == 1:
+		case m >= 1: // clamped above, so >= is the exact saturation test
 			m = 1 - 1/float64(count+1)
 		}
 		learned[j] = m

@@ -62,8 +62,11 @@ func Allocate(probs []float64, n int) ([]int, error) {
 		rems[j] = rem{j: j, frac: exact - float64(counts[j])}
 	}
 	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac != rems[b].frac {
-			return rems[a].frac > rems[b].frac
+		if rems[a].frac > rems[b].frac {
+			return true
+		}
+		if rems[a].frac < rems[b].frac {
+			return false
 		}
 		return rems[a].j > rems[b].j // deterministic tie-break toward high bits
 	})

@@ -1,0 +1,29 @@
+package field
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// RandElement draws a uniform field element from r by rejection sampling:
+// each 8-byte read is truncated to 61 bits and accepted only when it falls
+// below the modulus. A plain mod-P reduction of 64-bit draws would
+// over-represent small residues; rejection keeps the distribution exactly
+// uniform, and with P = 2^61 - 1 only the single value 2^61 - 1 is ever
+// rejected, so the expected cost is one read.
+//
+// r may be crypto/rand.Reader for share and mask material, or any
+// deterministic stream (e.g. an AES-CTR keystream) when reproducibility is
+// required and the seed itself is secret.
+func RandElement(r io.Reader) (Element, error) {
+	var b [8]byte
+	for {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(b[:]) & (1<<61 - 1)
+		if v < P {
+			return v, nil
+		}
+	}
+}

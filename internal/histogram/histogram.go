@@ -232,8 +232,11 @@ func (r *Result) TopK(k int) []Mode {
 		modes[i] = Mode{Bucket: i, Freq: f}
 	}
 	sort.Slice(modes, func(a, b int) bool {
-		if modes[a].Freq != modes[b].Freq {
-			return modes[a].Freq > modes[b].Freq
+		if modes[a].Freq > modes[b].Freq {
+			return true
+		}
+		if modes[a].Freq < modes[b].Freq {
+			return false
 		}
 		return modes[a].Bucket < modes[b].Bucket
 	})

@@ -103,7 +103,7 @@ func TestSecureMeteredDPPipeline(t *testing.T) {
 	assignment := core.Assign(counts, r)
 
 	proto, err := secagg.New(secagg.Config{
-		NumClients: numClients, Threshold: numClients / 2, VecLen: 2 * bits, Seed: 3,
+		NumClients: numClients, Threshold: numClients / 2, VecLen: 2 * bits,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -266,7 +266,7 @@ func TrimmedMeanFromCDF(c *CDF, qLo, qHi float64) (lo, hi uint64, err error) {
 	} else if lo, err = c.Quantile(qLo); err != nil {
 		return 0, 0, err
 	}
-	if qHi == 1 {
+	if qHi >= 1 { // validated qHi <= 1 above, so this is the exact top-quantile test
 		hi = c.Thresholds[len(c.Thresholds)-1]
 	} else if hi, err = c.Quantile(qHi); err != nil {
 		return 0, 0, err

@@ -10,7 +10,7 @@ import (
 // client 2 drops out mid-round and the Shamir recovery removes its
 // orphaned masks.
 func ExampleProtocol_SumUints() {
-	p, _ := secagg.New(secagg.Config{NumClients: 5, Threshold: 3, VecLen: 2, Seed: 1})
+	p, _ := secagg.New(secagg.Config{NumClients: 5, Threshold: 3, VecLen: 2})
 	inputs := [][]uint64{
 		{1, 10},
 		{2, 20},

@@ -21,7 +21,7 @@ func TestPropertySumsExactUnderAnyConfig(t *testing.T) {
 		maxDrop := n - threshold
 		nDrop := int(rawDrop) % (maxDrop + 1)
 
-		p, err := New(Config{NumClients: n, Threshold: threshold, VecLen: vecLen, Seed: seed})
+		p, err := New(Config{NumClients: n, Threshold: threshold, VecLen: vecLen, Entropy: newTestEntropy(seed)})
 		if err != nil {
 			return false
 		}

@@ -14,20 +14,26 @@
 // pairwise seeds and cancels the orphaned pairwise masks — exactly the
 // double-masking recovery of Bonawitz et al. (CCS 2017).
 //
-// Simulation caveats (see DESIGN.md §2): key agreement is replaced by a
-// trusted dealer that hands both endpoints the same random pairwise seed,
-// and the PRG is the deterministic frand generator rather than AES-CTR.
-// Both substitutions preserve the aggregation and dropout-recovery
-// behaviour the experiments exercise; neither is cryptographically hardened.
+// Simulation caveat (see DESIGN.md §2): key agreement is replaced by a
+// trusted dealer that hands both endpoints the same random pairwise seed.
+// Seeds are drawn from crypto/rand (or an injected entropy stream for
+// reproducible tests) and masks are expanded with an AES-CTR PRG keyed by
+// the shared seed, so the masking itself matches the Bonawitz construction;
+// only the key-agreement step remains simulated.
 package secagg
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/field"
-	"repro/internal/frand"
 	"repro/internal/shamir"
 )
 
@@ -40,10 +46,15 @@ var (
 
 // Config parametrizes a secure-aggregation session.
 type Config struct {
-	NumClients int    // total enrolled clients, >= 2
-	Threshold  int    // Shamir threshold for seed recovery, in [1, NumClients]
-	VecLen     int    // length of the aggregated vectors, >= 1
-	Seed       uint64 // determinism seed for the dealer
+	NumClients int // total enrolled clients, >= 2
+	Threshold  int // Shamir threshold for seed recovery, in [1, NumClients]
+	VecLen     int // length of the aggregated vectors, >= 1
+	// Entropy is the dealer's randomness source for seeds and Shamir
+	// coefficients; nil means crypto/rand.Reader. Inject a deterministic
+	// stream only to reproduce a protocol instance in tests — mask and
+	// share material must otherwise come from the system CSPRNG
+	// (fedlint/randsource enforces this for the implementation itself).
+	Entropy io.Reader
 }
 
 // Protocol is one configured secure-aggregation session. It plays the
@@ -76,13 +87,20 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.VecLen < 1 {
 		return nil, fmt.Errorf("%w: VecLen=%d", ErrConfig, cfg.VecLen)
 	}
-	dealer := frand.New(cfg.Seed)
+	dealer := cfg.Entropy
+	if dealer == nil {
+		dealer = rand.Reader
+	}
 	n := cfg.NumClients
 	p := &Protocol{cfg: cfg, clients: make([]*client, n)}
 	for i := range p.clients {
+		seed, err := drawSeed(dealer)
+		if err != nil {
+			return nil, err
+		}
 		p.clients[i] = &client{
 			id:             i,
-			selfSeed:       dealer.Uint64(),
+			selfSeed:       seed,
 			pairSeeds:      make(map[int]uint64, n-1),
 			heldSelfShares: make(map[int]shamir.Share, n-1),
 			heldPairShares: make(map[int]map[int]shamir.Share, n-1),
@@ -91,7 +109,10 @@ func New(cfg Config) (*Protocol, error) {
 	// Pairwise seed agreement (dealer-simulated key agreement).
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			s := dealer.Uint64()
+			s, err := drawSeed(dealer)
+			if err != nil {
+				return nil, err
+			}
 			p.clients[i].pairSeeds[j] = s
 			p.clients[j].pairSeeds[i] = s
 		}
@@ -128,13 +149,54 @@ func New(cfg Config) (*Protocol, error) {
 // Config returns the session configuration.
 func (p *Protocol) Config() Config { return p.cfg }
 
-// expand expands a seed into VecLen field elements. Seeds are reduced into
-// the field at sharing time, so recovery reconstructs the identical stream.
+// drawSeed reads one 64-bit seed from the dealer's entropy source.
+func drawSeed(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("secagg: drawing seed: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// zeroReader yields an endless stream of zero bytes; XORing the AES-CTR
+// keystream into it exposes the raw keystream through io.Reader.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	clear(p)
+	return len(p), nil
+}
+
+// prgKeyLabel domain-separates the mask-expansion PRG key derivation.
+const prgKeyLabel = "repro/secagg mask prg v1"
+
+// expand expands a seed into VecLen field elements with an AES-256-CTR PRG
+// keyed by SHA-256(label || seed). The expansion is a pure function of the
+// seed — both endpoints of a pair derive the identical mask so pairwise
+// masks cancel in the sum, and dropout recovery regenerates the same
+// stream from the Shamir-reconstructed seed. Seeds are reduced into the
+// field at sharing time, so the key is derived from the reduced value.
 func (p *Protocol) expand(seed uint64) []field.Element {
-	r := frand.New(field.Reduce(seed))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(field.Reduce(seed)))
+	h := sha256.New()
+	h.Write([]byte(prgKeyLabel))
+	h.Write(buf[:])
+	block, err := aes.NewCipher(h.Sum(nil))
+	if err != nil {
+		panic("secagg: AES key setup: " + err.Error()) // 32-byte key; unreachable
+	}
+	stream := cipher.StreamReader{
+		S: cipher.NewCTR(block, make([]byte, aes.BlockSize)),
+		R: zeroReader{},
+	}
 	out := make([]field.Element, p.cfg.VecLen)
 	for i := range out {
-		out[i] = r.Uint64n(field.P)
+		e, err := field.RandElement(stream)
+		if err != nil {
+			panic("secagg: PRG read: " + err.Error()) // keystream never errors
+		}
+		out[i] = e
 	}
 	return out
 }

@@ -8,6 +8,27 @@ import (
 	"repro/internal/frand"
 )
 
+// testEntropy is a deterministic dealer entropy stream (SplitMix64 output)
+// so protocol instances are reproducible in tests; production callers leave
+// Config.Entropy nil and get crypto/rand.
+type testEntropy struct{ s uint64 }
+
+func newTestEntropy(seed uint64) *testEntropy { return &testEntropy{s: seed} }
+
+func (e *testEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		e.s += 0x9e3779b97f4a7c15
+		z := e.s
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		p[i] = byte(z)
+	}
+	return len(p), nil
+}
+
 func TestNewValidation(t *testing.T) {
 	cases := []Config{
 		{NumClients: 1, Threshold: 1, VecLen: 1},
@@ -23,7 +44,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestSumNoDropouts(t *testing.T) {
-	p, err := New(Config{NumClients: 5, Threshold: 3, VecLen: 4, Seed: 1})
+	p, err := New(Config{NumClients: 5, Threshold: 3, VecLen: 4, Entropy: newTestEntropy(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +68,7 @@ func TestSumNoDropouts(t *testing.T) {
 }
 
 func TestSumWithDropouts(t *testing.T) {
-	p, err := New(Config{NumClients: 6, Threshold: 3, VecLen: 3, Seed: 2})
+	p, err := New(Config{NumClients: 6, Threshold: 3, VecLen: 3, Entropy: newTestEntropy(2)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +94,7 @@ func TestSumWithDropouts(t *testing.T) {
 }
 
 func TestSumAllButThresholdDrop(t *testing.T) {
-	p, err := New(Config{NumClients: 5, Threshold: 2, VecLen: 1, Seed: 3})
+	p, err := New(Config{NumClients: 5, Threshold: 2, VecLen: 1, Entropy: newTestEntropy(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +109,7 @@ func TestSumAllButThresholdDrop(t *testing.T) {
 }
 
 func TestTooManyDropouts(t *testing.T) {
-	p, err := New(Config{NumClients: 4, Threshold: 3, VecLen: 1, Seed: 4})
+	p, err := New(Config{NumClients: 4, Threshold: 3, VecLen: 1, Entropy: newTestEntropy(4)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +121,7 @@ func TestTooManyDropouts(t *testing.T) {
 }
 
 func TestMaskedInputHidesValue(t *testing.T) {
-	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 8, Seed: 5})
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 8, Entropy: newTestEntropy(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +142,7 @@ func TestMaskedInputHidesValue(t *testing.T) {
 }
 
 func TestMaskedInputsDifferAcrossClients(t *testing.T) {
-	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 4, Seed: 6})
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 4, Entropy: newTestEntropy(6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +161,7 @@ func TestMaskedInputsDifferAcrossClients(t *testing.T) {
 }
 
 func TestMaskedInputValidation(t *testing.T) {
-	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 2, Seed: 7})
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 2, Entropy: newTestEntropy(7)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +180,7 @@ func TestMaskedInputValidation(t *testing.T) {
 }
 
 func TestAggregateValidation(t *testing.T) {
-	p, err := New(Config{NumClients: 3, Threshold: 1, VecLen: 2, Seed: 8})
+	p, err := New(Config{NumClients: 3, Threshold: 1, VecLen: 2, Entropy: newTestEntropy(8)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +193,7 @@ func TestAggregateValidation(t *testing.T) {
 }
 
 func TestSumUintsValidation(t *testing.T) {
-	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 1, Seed: 9})
+	p, err := New(Config{NumClients: 3, Threshold: 2, VecLen: 1, Entropy: newTestEntropy(9)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +208,7 @@ func TestSumUintsValidation(t *testing.T) {
 func TestPairwiseMasksCancelExactly(t *testing.T) {
 	// With self-seeds forced out of the picture by aggregating through the
 	// full protocol, the sum of many random inputs must be exact — no noise.
-	p, err := New(Config{NumClients: 10, Threshold: 5, VecLen: 6, Seed: 10})
+	p, err := New(Config{NumClients: 10, Threshold: 5, VecLen: 6, Entropy: newTestEntropy(10)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +235,7 @@ func TestPairwiseMasksCancelExactly(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	mk := func() []uint64 {
-		p, err := New(Config{NumClients: 4, Threshold: 2, VecLen: 2, Seed: 42})
+		p, err := New(Config{NumClients: 4, Threshold: 2, VecLen: 2, Entropy: newTestEntropy(42)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +259,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestBitCountAggregation(t *testing.T) {
 	// The bit-pushing use case: vector = (bit value, 1) per report, server
 	// learns per-bit sum and count only.
-	p, err := New(Config{NumClients: 8, Threshold: 4, VecLen: 2, Seed: 12})
+	p, err := New(Config{NumClients: 8, Threshold: 4, VecLen: 2, Entropy: newTestEntropy(12)})
 	if err != nil {
 		t.Fatal(err)
 	}

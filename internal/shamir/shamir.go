@@ -5,11 +5,12 @@
 package shamir
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/field"
-	"repro/internal/frand"
 )
 
 // Share is one point (X, Y) on the sharing polynomial. X is never zero;
@@ -29,15 +30,27 @@ var (
 // Split shares secret into n shares such that any t of them reconstruct it
 // and fewer than t reveal nothing. Shares are evaluated at X = 1..n.
 // Requires 1 <= t <= n.
-func Split(secret field.Element, t, n int, r *frand.RNG) ([]Share, error) {
+//
+// rnd supplies the random polynomial coefficients; nil means
+// crypto/rand.Reader. The hiding property holds only if the coefficients
+// are unpredictable, so a deterministic rnd is sound only when its seed is
+// itself a secret (fedlint/randsource enforces the no-PRNG rule here).
+func Split(secret field.Element, t, n int, rnd io.Reader) ([]Share, error) {
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("%w: t=%d n=%d", ErrThreshold, t, n)
+	}
+	if rnd == nil {
+		rnd = rand.Reader
 	}
 	// Random polynomial of degree t-1 with constant term = secret.
 	coeffs := make([]field.Element, t)
 	coeffs[0] = field.Reduce(secret)
 	for i := 1; i < t; i++ {
-		coeffs[i] = field.Reduce(r.Uint64())
+		c, err := field.RandElement(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: drawing coefficient: %w", err)
+		}
+		coeffs[i] = c
 	}
 	shares := make([]Share, n)
 	for i := range shares {

@@ -271,3 +271,20 @@ func (h *Histogram) Total() int {
 	}
 	return t
 }
+
+// ApproxEqual reports whether a and b agree to within tol, combining an
+// absolute test (for values near zero) with a relative one (for large
+// magnitudes): |a-b| <= tol * max(1, |a|, |b|). It is the comparison
+// estimator code should reach for instead of == on floats — exact equality
+// silently changes meaning whenever the arithmetic is refactored, which is
+// why fedlint/floateq flags it. NaN compares unequal to everything,
+// including itself; equal infinities compare equal.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Same-signed infinities agree; anything else involving an
+		// infinity never does (tol*Inf would absorb any finite gap).
+		return math.IsInf(a, 1) && math.IsInf(b, 1) || math.IsInf(a, -1) && math.IsInf(b, -1)
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

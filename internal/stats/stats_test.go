@@ -254,3 +254,27 @@ func TestNewHistogramPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-3, false},
+		{0, 1e-10, 1e-9, true},
+		{0, 1e-3, 1e-9, false},
+		{1e15, 1e15 * (1 + 1e-12), 1e-9, true},
+		{inf, inf, 1e-9, true},
+		{inf, -inf, 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{1, math.NaN(), 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -164,7 +164,7 @@ func TestStatusErrorCodes(t *testing.T) {
 	srv, admin := newTestStack(t)
 	ctx := context.Background()
 
-	wantCode := func(err error, status int, code string) {
+	wantCode := func(err error, status int, code wire.Code) {
 		t.Helper()
 		var se *StatusError
 		if !errors.As(err, &se) {

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/http"
@@ -13,6 +15,20 @@ import (
 	"repro/internal/transport/wire"
 )
 
+// entropySeed draws an unseeded-policy jitter seed from crypto/rand.
+// Deliberately not the wall clock: fedlint/randsource forbids time-derived
+// seeds so that nondeterminism is always an explicit choice, and clock
+// seeds are guessable besides. Falls back to a fixed odd constant if the
+// system entropy source is unreadable — jitter quality degrades but
+// backoff behaviour stays well defined.
+func entropySeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
 // StatusError is a non-2xx answer from the aggregation server, carrying the
 // HTTP status and the machine-readable wire code so callers can branch on
 // failure class instead of string-matching messages.
@@ -21,7 +37,7 @@ type StatusError struct {
 	Status int
 	// Code is the wire.Code* constant the server set ("" when the server
 	// sent no envelope, e.g. a proxy-generated 5xx).
-	Code string
+	Code wire.Code
 	// Msg is the human-readable server message.
 	Msg string
 }
@@ -93,8 +109,9 @@ type RetryPolicy struct {
 	// PerTryTimeout bounds each individual attempt (0 = none); the
 	// caller's context still bounds the whole operation.
 	PerTryTimeout time.Duration
-	// Seed makes the jitter sequence deterministic for tests; 0 seeds
-	// from the policy's identity at first use.
+	// Seed makes the jitter sequence deterministic for tests; 0 draws a
+	// fresh seed from crypto/rand at first use (never from the clock, so
+	// an explicit Seed is the only path to a reproducible run).
 	Seed uint64
 	// Metrics, when non-nil, records client-side resilience metrics into
 	// the registry: attempt and retry counters, exhausted-budget failures,
@@ -153,7 +170,7 @@ func (rp *RetryPolicy) Backoff(retry int) time.Duration {
 		if rp.rng == nil {
 			seed := rp.Seed
 			if seed == 0 {
-				seed = uint64(time.Now().UnixNano())
+				seed = entropySeed()
 			}
 			rp.rng = frand.New(seed)
 		}

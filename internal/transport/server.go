@@ -21,13 +21,11 @@
 // and reclaims covered segments.
 //
 // Logging is structured (Server.Logger, a *slog.Logger). The printf-
-// shaped Server.Logf shim remains only as an adapter for embedders that
-// have not migrated; it is deprecated and scheduled for removal — new
-// code must set Logger.
+// shaped Logf shim that once adapted unmigrated embedders is gone;
+// fedlint/noprintflog keeps it from coming back.
 package transport
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,7 +33,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,8 +59,8 @@ var (
 const sweepEvery = 100 * time.Millisecond
 
 // Server is the aggregation server. Create one with NewServer and mount it
-// as an http.Handler. The exported knobs (Now, Logger, Logf, Retention)
-// must be set before the server starts handling traffic.
+// as an http.Handler. The exported knobs (Now, Logger, Retention) must be
+// set before the server starts handling traffic.
 //
 // Every server carries its own obs.Registry (see Registry): request
 // counts, latencies and session lifecycle metrics are recorded
@@ -72,17 +69,9 @@ type Server struct {
 	// Now is the clock, injectable for deadline tests; nil means time.Now.
 	Now func() time.Time
 	// Logger receives structured operational logs (request traces at
-	// debug, GC activity, encode failures); nil falls back to Logf when
-	// set and slog.Default() otherwise.
+	// debug, GC activity, encode failures); nil falls back to
+	// slog.Default().
 	Logger *slog.Logger
-	// Logf receives formatted operational log lines.
-	//
-	// Deprecated: set Logger instead. Logf is a shim scheduled for
-	// removal (see the package doc); when set it wins over Logger,
-	// adapted through a slog.Handler that flattens attributes to
-	// "key=value" suffixes. Debug-level events (per-request traces) are
-	// never routed to Logf.
-	Logf func(format string, args ...any)
 	// Retention, when positive, garbage-collects finalized and expired
 	// sessions that many ticks after they ended, bounding memory on a
 	// long-lived daemon. Zero keeps them forever.
@@ -170,54 +159,16 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// logger resolves the operational logger. The deprecated Logf shim,
-// when set, wins and is adapted through logfHandler; otherwise events go
-// to Logger (or slog.Default()). All call sites speak slog attrs — the
-// printf shape survives only inside the adapter, so deleting the shim is
-// a two-line change once embedders migrate.
+// logger resolves the operational logger: Logger, or slog.Default().
+// All call sites speak slog attrs; the old printf-shaped Logf shim was
+// deleted once every embedder migrated (fedlint/noprintflog enforces
+// that it stays gone).
 func (s *Server) logger() *slog.Logger {
-	if s.Logf != nil {
-		return slog.New(logfHandler{f: s.Logf})
-	}
 	if s.Logger != nil {
 		return s.Logger
 	}
 	return slog.Default()
 }
-
-// logfHandler adapts the legacy printf-shaped Logf shim to slog: the
-// message plus flattened " k=v" attribute suffixes on one line. Debug
-// events are suppressed — the shim has no level concept and per-request
-// traces would flood embedders.
-type logfHandler struct {
-	f     func(format string, args ...any)
-	attrs []slog.Attr
-}
-
-func (h logfHandler) Enabled(_ context.Context, level slog.Level) bool {
-	return level > slog.LevelDebug
-}
-
-func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
-	var b strings.Builder
-	b.WriteString(r.Message)
-	for _, a := range h.attrs {
-		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
-	}
-	r.Attrs(func(a slog.Attr) bool {
-		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
-		return true
-	})
-	h.f("%s", b.String())
-	return nil
-}
-
-func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
-	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
-	return h
-}
-
-func (h logfHandler) WithGroup(string) slog.Handler { return h }
 
 // writeJSON encodes v; an encoder failure after the header is written
 // cannot be reported to the client, so it is logged instead of dropped.
@@ -230,12 +181,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code wire.Code, err error) {
 	s.writeJSON(w, status, wire.Error{Error: err.Error(), Code: code})
 }
 
 // errorStatus maps a protocol error to its HTTP status and wire code.
-func errorStatus(err error) (int, string) {
+func errorStatus(err error) (int, wire.Code) {
 	switch {
 	case errors.Is(err, errNotFound):
 		return http.StatusNotFound, wire.CodeNotFound

@@ -103,32 +103,39 @@ type Result struct {
 	TailProbs  []float64 `json:"tail_probs,omitempty"`
 }
 
-// Machine-readable error codes carried in Error.Code. Clients decide
-// whether to retry from the code, never from the message text.
+// Code is a machine-readable error code carried in Error.Code. The
+// vocabulary below is closed: clients decide whether to retry from the
+// code, never from the message text, so every code a server can emit must
+// be a named constant here. fedlint/errcode flags string literals standing
+// in for codes outside this package; the zero value "" means "the server
+// sent no envelope" (e.g. a proxy-generated 5xx).
+type Code string
+
+// The closed code vocabulary.
 const (
 	// CodeBadRequest marks a malformed or invalid request; not retryable.
-	CodeBadRequest = "bad_request"
+	CodeBadRequest Code = "bad_request"
 	// CodeNotFound marks an unknown session id; not retryable.
-	CodeNotFound = "not_found"
+	CodeNotFound Code = "not_found"
 	// CodeFinalized marks traffic to an already-finalized session; not
 	// retryable (the result endpoint still answers).
-	CodeFinalized = "finalized"
+	CodeFinalized Code = "finalized"
 	// CodeExpired marks traffic to a session whose TTL deadline passed
 	// without finalizing; not retryable.
-	CodeExpired = "expired"
+	CodeExpired Code = "expired"
 	// CodeCohortTooSmall marks a finalize attempt below MinCohort;
 	// retryable in the sense that more reports may still arrive.
-	CodeCohortTooSmall = "cohort_too_small"
+	CodeCohortTooSmall Code = "cohort_too_small"
 	// CodeUnavailable marks a transient server condition (overload,
 	// shutdown in progress); retryable.
-	CodeUnavailable = "unavailable"
+	CodeUnavailable Code = "unavailable"
 	// CodeInternal marks an unexpected server-side failure; retryable.
-	CodeInternal = "internal"
+	CodeInternal Code = "internal"
 )
 
 // Error is the JSON error envelope. Code is machine-readable (one of the
 // Code* constants); Error is the human-readable message.
 type Error struct {
 	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Code  Code   `json:"code,omitempty"`
 }
