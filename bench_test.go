@@ -153,9 +153,29 @@ func BenchmarkSensitivityGamma(b *testing.B) {
 
 // --- Protocol micro-benchmarks ---
 
+// benchValues draws the micro-benchmark population: Normal(500, 80) scaled
+// so the encoded values span the full b-bit range. The unscaled codec used
+// previously left every bit above ~10 permanently zero (500±80 needs only
+// 10 bits), so the bit-level protocol benchmarks ran on degenerate inputs
+// whose top bits carried no work; the scale keeps the distribution's shape
+// while making every bit position genuinely random.
 func benchValues(n, bits int) []uint64 {
 	vals := workload.Normal{Mu: 500, Sigma: 80}.Sample(frand.New(1), n)
-	return fixedpoint.MustCodec(bits, 0, 1).EncodeAll(vals)
+	scale := float64(uint64(1)<<uint(bits)) / 1024
+	return fixedpoint.MustCodec(bits, 0, scale).EncodeAll(vals)
+}
+
+// TestBenchValuesNonDegenerate guards that fix: every bit position of the
+// benchmark population must be neither always clear nor always set.
+func TestBenchValuesNonDegenerate(t *testing.T) {
+	for _, bits := range []int{8, 12, 16} {
+		values := benchValues(10000, bits)
+		for j, m := range fixedpoint.BitMeans(values, bits) {
+			if m < 0.005 || m > 0.995 {
+				t.Errorf("bits=%d: bit %d has mean %v, degenerate input", bits, j, m)
+			}
+		}
+	}
 }
 
 func BenchmarkCoreRun10K(b *testing.B) {

@@ -20,11 +20,13 @@ import (
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/noprintflog"
 	"repro/internal/analysis/randsource"
+	"repro/internal/analysis/rngshare"
 )
 
 func main() {
 	analysis.Main(
 		randsource.Analyzer,
+		rngshare.Analyzer,
 		floateq.Analyzer,
 		noprintflog.Analyzer,
 		errcode.Analyzer,

@@ -29,9 +29,9 @@ func Classify(e *StatusError) (wire.Error, bool) {
 			return wire.Error{}, false
 		}
 	}
-	env := wire.Error{Error: "gone", Code: "expired"} // want `string literal "expired" used as a wire.Code: use wire.CodeExpired`
-	env.Code = "bogus_code"                           // want `string literal "bogus_code" used as a wire.Code`
-	c := wire.Code("not_found")                       // want `string literal "not_found" used as a wire.Code: use wire.CodeNotFound`
+	env := wire.Error{Error: "gone", Code: "expired"}              // want `string literal "expired" used as a wire.Code: use wire.CodeExpired`
+	env.Code = "bogus_code"                                        // want `string literal "bogus_code" used as a wire.Code`
+	c := wire.Code("not_found")                                    // want `string literal "not_found" used as a wire.Code: use wire.CodeNotFound`
 	return env, wire.Retryable(c) && wire.Retryable("unavailable") // want `string literal "unavailable" used as a wire.Code: use wire.CodeUnavailable`
 }
 

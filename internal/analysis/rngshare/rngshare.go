@@ -1,0 +1,156 @@
+// Package rngshare enforces the engine's goroutine-confinement rule for
+// deterministic randomness: a *frand.RNG must never cross a goroutine
+// boundary. frand's xoshiro state is not goroutine-safe — concurrent draws
+// race — and even a data-race-free shared stream destroys reproducibility,
+// because the interleaving of draws then depends on scheduling. The
+// parallel experiment engine instead pre-splits one child stream per task
+// in the spawning goroutine (frand.SplitN), so each task's randomness is a
+// pure function of (seed, task index) and results are bit-identical at any
+// worker count.
+//
+// Three shapes are flagged on `go` statements:
+//
+//	go f(r)                  // RNG handed to the spawned goroutine
+//	go r.Method(...)         // method call on an RNG in the goroutine
+//	go func() { r.Uint64() } // RNG captured as a free variable
+//
+// Evaluating a split in the caller remains legal — `go f(r.Split())` runs
+// r.Split() in the spawning goroutine (Go evaluates `go` call arguments
+// before the goroutine starts), handing the child a private stream.
+// Carrying a pre-split slice ([]*frand.RNG) into workers that index it by
+// task is likewise legal and is the engine's canonical pattern.
+package rngshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// frandPath is the import path of the deterministic generator.
+const frandPath = "repro/internal/frand"
+
+// Analyzer is the rngshare check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngshare",
+	Doc: "forbid *frand.RNG values from crossing goroutine boundaries. " +
+		"frand streams are not goroutine-safe and sharing one breaks bit-for-bit reproducibility; " +
+		"pre-split per-task streams in the spawning goroutine (Split/SplitN).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	call := g.Call
+	// go r.Method(...): the method executes in the new goroutine with the
+	// RNG receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := analysis.PeelConversions(pass.TypesInfo, sel.X).(*ast.Ident); ok && isRNGIdent(pass.TypesInfo, id) {
+			pass.Reportf(sel.X.Pos(), "goroutine calls a method on *frand.RNG %q: frand streams are not goroutine-safe and sharing one breaks reproducibility; give the goroutine its own stream split in the spawning goroutine", id.Name)
+		}
+	}
+	// go f(..., r, ...): the RNG value itself is handed over — whether as
+	// r, *r, &r, or through a conversion. A nested call such as
+	// go f(r.Split()) is evaluated in the spawning goroutine and is the
+	// sanctioned way to hand off randomness.
+	for _, arg := range call.Args {
+		if id, ok := peelIndirections(pass.TypesInfo, arg).(*ast.Ident); ok && isRNGIdent(pass.TypesInfo, id) {
+			pass.Reportf(arg.Pos(), "*frand.RNG %q passed into a goroutine: frand streams are not goroutine-safe and sharing one breaks reproducibility; pass a private stream split in the caller instead (go f(r.Split()))", id.Name)
+		}
+	}
+	// go func() { ... r ... }(): RNG captured as a free variable.
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] || !isRNGType(obj.Type()) {
+			return true
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return true
+		}
+		// Struct fields are not captures: a composite-literal key
+		// (Participant{RNG: ...}) or a selector on a goroutine-local value
+		// (p.RNG) names the field object, not a free variable. The hazard
+		// the rule targets is the enclosing-scope *variable* crossing the
+		// boundary, and that variable is what the other checks see.
+		if v.IsField() {
+			return true
+		}
+		// Objects declared inside the literal (params, locals, range
+		// variables) are private to the goroutine; only captures of
+		// enclosing-scope RNGs escape.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(), "goroutine captures *frand.RNG %q from the enclosing scope: frand streams are not goroutine-safe and sharing one breaks reproducibility; pre-split one stream per task (SplitN) and capture only the task's own stream", id.Name)
+		return true
+	})
+}
+
+// peelIndirections strips conversions, dereferences (*r) and
+// address-taking (&r) to reach the underlying identifier.
+func peelIndirections(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = analysis.PeelConversions(info, e)
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return e
+			}
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isRNGIdent reports whether the identifier denotes a variable of type
+// *frand.RNG (or frand.RNG).
+func isRNGIdent(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return isRNGType(obj.Type())
+}
+
+// isRNGType reports whether t is frand.RNG or *frand.RNG.
+func isRNGType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == frandPath && obj.Name() == "RNG"
+}

@@ -1,0 +1,13 @@
+package rngshare
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/experiments", // positives: capture/arg/method; negatives: split handoffs
+	)
+}

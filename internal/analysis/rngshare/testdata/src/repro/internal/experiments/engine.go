@@ -1,0 +1,112 @@
+// Package experiments fixture: goroutine use of deterministic RNGs, the
+// shapes the engine's confinement rule allows and forbids.
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/frand"
+)
+
+// consume stands in for any worker body taking a stream.
+func consume(r *frand.RNG) uint64 { return r.Uint64() }
+
+// consumeValue takes the RNG by value (still a shared state copy hazard in
+// real code, and still a handoff here).
+func consumeValue(r frand.RNG) {}
+
+// BadCapture shares one stream with a spawned goroutine via closure.
+func BadCapture() {
+	r := frand.New(1)
+	go func() {
+		_ = r.Uint64() // want `goroutine captures \*frand\.RNG "r" from the enclosing scope`
+	}()
+	_ = r.Uint64()
+}
+
+// BadArg hands the RNG itself across the boundary.
+func BadArg() {
+	r := frand.New(2)
+	go consume(r) // want `\*frand\.RNG "r" passed into a goroutine`
+}
+
+// BadValueArg hands a dereferenced RNG value across the boundary.
+func BadValueArg() {
+	r := frand.New(3)
+	go consumeValue(*r) // want `\*frand\.RNG "r" passed into a goroutine`
+}
+
+// BadMethod runs an RNG method as the goroutine body.
+func BadMethod() {
+	r := frand.New(4)
+	go r.Uint64() // want `goroutine calls a method on \*frand\.RNG "r"`
+}
+
+// GoodSplitArg evaluates the split in the spawning goroutine — the
+// goroutine receives a private child stream.
+func GoodSplitArg() {
+	r := frand.New(5)
+	go consume(r.Split())
+}
+
+// GoodPreSplit is the engine pattern: one pre-split stream per task,
+// workers index the slice by their task id and never share a stream.
+func GoodPreSplit() {
+	root := frand.New(6)
+	streams := root.SplitN(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		w := w
+		go func() {
+			defer wg.Done()
+			_ = consume(streams[w])
+		}()
+	}
+	wg.Wait()
+}
+
+// GoodLocal declares its own stream inside the goroutine.
+func GoodLocal() {
+	go func() {
+		r := frand.New(7)
+		_ = r.Uint64()
+	}()
+}
+
+// GoodParam receives the stream as a literal parameter, evaluated at spawn
+// time from a split.
+func GoodParam() {
+	root := frand.New(8)
+	go func(r *frand.RNG) {
+		_ = r.Uint64()
+	}(root.Split())
+}
+
+// participant mirrors the transport client shape: a struct carrying its
+// own private stream in an RNG-typed field.
+type participant struct {
+	RNG *frand.RNG
+}
+
+// GoodFieldKey builds a participant inside the goroutine from a stream
+// passed as a parameter. The composite-literal key `RNG:` names the struct
+// field, not an enclosing-scope variable — no capture.
+func GoodFieldKey() {
+	root := frand.New(9)
+	go func(r *frand.RNG) {
+		p := &participant{RNG: r}
+		_ = p.RNG.Uint64()
+	}(root.Split())
+}
+
+// GoodFieldSelector reads the RNG field of a goroutine-local struct; the
+// selector names the field object, and the struct itself was built from a
+// private split.
+func GoodFieldSelector() {
+	root := frand.New(10)
+	go func(r *frand.RNG) {
+		p := participant{RNG: r}
+		_ = p.RNG.Uint64()
+	}(root.Split())
+}

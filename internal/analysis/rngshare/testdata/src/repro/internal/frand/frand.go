@@ -1,0 +1,27 @@
+// Package frand is a fixture stub of the real deterministic generator,
+// carrying just enough surface for the rngshare fixtures.
+package frand
+
+// RNG is the deterministic generator handle.
+type RNG struct{ state uint64 }
+
+// New returns a seeded RNG.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 draws 64 bits.
+func (r *RNG) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1
+	return r.state
+}
+
+// Split derives an independent child stream.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }
+
+// SplitN derives n independent child streams.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}

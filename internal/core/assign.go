@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/frand"
@@ -37,6 +38,44 @@ func (m RandomnessMode) String() string {
 	}
 }
 
+// allocRem carries one bit's fractional remainder through largest-remainder
+// rounding.
+type allocRem struct {
+	j    int
+	frac float64
+}
+
+// allocateInto is Allocate with caller-provided buffers: counts and rems
+// must have len(probs). probs need not be normalized; the division happens
+// inline, so the arithmetic matches Allocate exactly.
+func allocateInto(counts []int, rems []allocRem, probs []float64, n int) error {
+	total, err := checkProbs(probs)
+	if err != nil {
+		return err
+	}
+	assigned := 0
+	for j, v := range probs {
+		exact := v / total * float64(n)
+		counts[j] = int(exact)
+		assigned += counts[j]
+		rems[j] = allocRem{j: j, frac: exact - float64(counts[j])}
+	}
+	slices.SortFunc(rems, func(a, b allocRem) int {
+		if a.frac > b.frac {
+			return -1
+		}
+		if a.frac < b.frac {
+			return 1
+		}
+		return b.j - a.j // deterministic tie-break toward high bits
+	})
+	for i := 0; assigned < n; i++ {
+		counts[rems[i%len(rems)].j]++
+		assigned++
+	}
+	return nil
+}
+
 // Allocate converts a probability vector into exact per-bit report counts
 // summing to n, using largest-remainder rounding so counts match n·p_j to
 // within one report. probs must be normalized (Normalize).
@@ -44,37 +83,26 @@ func Allocate(probs []float64, n int) ([]int, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("%w: n=%d", ErrInput, n)
 	}
-	probs, err := Normalize(probs)
-	if err != nil {
+	counts := make([]int, len(probs))
+	rems := make([]allocRem, len(probs))
+	if err := allocateInto(counts, rems, probs, n); err != nil {
 		return nil, err
 	}
-	counts := make([]int, len(probs))
-	type rem struct {
-		j    int
-		frac float64
-	}
-	rems := make([]rem, len(probs))
-	assigned := 0
-	for j, p := range probs {
-		exact := p * float64(n)
-		counts[j] = int(exact)
-		assigned += counts[j]
-		rems[j] = rem{j: j, frac: exact - float64(counts[j])}
-	}
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac > rems[b].frac {
-			return true
-		}
-		if rems[a].frac < rems[b].frac {
-			return false
-		}
-		return rems[a].j > rems[b].j // deterministic tie-break toward high bits
-	})
-	for i := 0; assigned < n; i++ {
-		counts[rems[i%len(rems)].j]++
-		assigned++
-	}
 	return counts, nil
+}
+
+// assignInto realizes counts as a per-client bit assignment in the
+// caller-provided slice (length = sum of counts), consuming exactly the
+// draws Assign would.
+func assignInto(assignment []int, counts []int, r *frand.RNG) {
+	i := 0
+	for j, c := range counts {
+		for k := 0; k < c; k++ {
+			assignment[i] = j
+			i++
+		}
+	}
+	r.ShuffleInts(assignment)
 }
 
 // Assign maps each of n clients to the bit index it must report, realizing
@@ -87,27 +115,18 @@ func Assign(counts []int, r *frand.RNG) []int {
 		n += c
 	}
 	assignment := make([]int, n)
-	i := 0
-	for j, c := range counts {
-		for k := 0; k < c; k++ {
-			assignment[i] = j
-			i++
-		}
-	}
-	r.ShuffleInts(assignment)
+	assignInto(assignment, counts, r)
 	return assignment
 }
 
-// AssignLocal draws one bit index per client independently from probs
-// (local randomness). probs must be normalized.
-func AssignLocal(probs []float64, n int, r *frand.RNG) []int {
-	cdf := make([]float64, len(probs))
+// assignLocalInto draws one bit index per client into the caller-provided
+// assignment slice, building the CDF in cdf (length = len(probs)).
+func assignLocalInto(assignment []int, cdf, probs []float64, r *frand.RNG) {
 	acc := 0.0
 	for j, p := range probs {
 		acc += p
 		cdf[j] = acc
 	}
-	assignment := make([]int, n)
 	for i := range assignment {
 		u := r.Float64()
 		j := sort.SearchFloat64s(cdf, u)
@@ -116,5 +135,13 @@ func AssignLocal(probs []float64, n int, r *frand.RNG) []int {
 		}
 		assignment[i] = j
 	}
+}
+
+// AssignLocal draws one bit index per client independently from probs
+// (local randomness). probs must be normalized.
+func AssignLocal(probs []float64, n int, r *frand.RNG) []int {
+	cdf := make([]float64, len(probs))
+	assignment := make([]int, n)
+	assignLocalInto(assignment, cdf, probs, r)
 	return assignment
 }

@@ -51,7 +51,7 @@ func (c *Config) validate() error {
 	if len(c.Probs) != c.Bits {
 		return fmt.Errorf("%w: %d probabilities for %d bits", ErrProbs, len(c.Probs), c.Bits)
 	}
-	if _, err := Normalize(c.Probs); err != nil {
+	if _, err := checkProbs(c.Probs); err != nil {
 		return err
 	}
 	if b := c.bsend(); b < 1 || b > c.Bits {
@@ -162,24 +162,10 @@ func Aggregate(cfg Config, reports []Report) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		BitMeans: make([]float64, cfg.Bits),
-		Counts:   make([]int, cfg.Bits),
-		Sums:     make([]float64, cfg.Bits),
-		Squashed: make([]bool, cfg.Bits),
+	res := &Result{}
+	if err := aggregateInto(cfg, reports, res); err != nil {
+		return nil, err
 	}
-	for _, rep := range reports {
-		if rep.Bit < 0 || rep.Bit >= cfg.Bits {
-			return nil, fmt.Errorf("%w: report for bit %d outside [0,%d)", ErrInput, rep.Bit, cfg.Bits)
-		}
-		if rep.Value > 1 {
-			return nil, fmt.Errorf("%w: report value %d is not a bit", ErrInput, rep.Value)
-		}
-		res.Sums[rep.Bit] += float64(rep.Value)
-		res.Counts[rep.Bit]++
-		res.Reports++
-	}
-	finalize(cfg, res)
 	return res, nil
 }
 

@@ -110,21 +110,32 @@ func WeightedProbs(bitMeans []float64, alpha float64) ([]float64, error) {
 	return p, nil
 }
 
-// Normalize validates that p has no negative, NaN or infinite entries and
-// at least one positive entry, and returns a fresh L1-normalized copy.
-func Normalize(p []float64) ([]float64, error) {
+// checkProbs validates that p has no negative, NaN or infinite entries and
+// at least one positive entry, returning the L1 total without allocating.
+// It is the validation half of Normalize, shared with the scratch-based
+// hot paths that divide by the total in place.
+func checkProbs(p []float64) (total float64, err error) {
 	if len(p) == 0 {
-		return nil, fmt.Errorf("%w: empty", ErrProbs)
+		return 0, fmt.Errorf("%w: empty", ErrProbs)
 	}
-	var total float64
 	for j, v := range p {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: p[%d]=%v", ErrProbs, j, v)
+			return 0, fmt.Errorf("%w: p[%d]=%v", ErrProbs, j, v)
 		}
 		total += v
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("%w: all-zero", ErrProbs)
+		return 0, fmt.Errorf("%w: all-zero", ErrProbs)
+	}
+	return total, nil
+}
+
+// Normalize validates that p has no negative, NaN or infinite entries and
+// at least one positive entry, and returns a fresh L1-normalized copy.
+func Normalize(p []float64) ([]float64, error) {
+	total, err := checkProbs(p)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(p))
 	for j, v := range p {

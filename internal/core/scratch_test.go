@@ -1,0 +1,201 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/frand"
+	"repro/internal/ldp"
+)
+
+func scratchTestValues(n, bits int) []uint64 {
+	r := frand.New(99)
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = r.Uint64n(1 << uint(bits))
+	}
+	return values
+}
+
+func scratchConfigs(t *testing.T, bits int) map[string]Config {
+	t.Helper()
+	probs, err := GeometricProbs(bits, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ldp.NewRandomizedResponse(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Config{
+		"plain": {Bits: bits, Probs: probs},
+		"rr":    {Bits: bits, Probs: probs, RR: rr, SquashMultiple: 2},
+		"bsend": {Bits: bits, Probs: probs, BSend: 3},
+		"local": {Bits: bits, Probs: probs, Randomness: LocalRandomness},
+		"rrlocal": {
+			Bits: bits, Probs: probs, RR: rr, Randomness: LocalRandomness,
+		},
+	}
+}
+
+// TestMakeReportsIntoMatchesMakeReports locks the stream-compatibility
+// contract: the Into variant emits identical reports and leaves the RNG in
+// an identical state, for every configuration shape.
+func TestMakeReportsIntoMatchesMakeReports(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	for name, cfg := range scratchConfigs(t, bits) {
+		t.Run(name, func(t *testing.T) {
+			r1 := frand.New(7)
+			r2 := frand.New(7)
+			want, err := MakeReports(cfg, values, r1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var s Scratch
+			got, err := MakeReportsInto(cfg, values, r2, &s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Error("reports differ between MakeReports and MakeReportsInto")
+			}
+			if r1.Uint64() != r2.Uint64() {
+				t.Error("RNG streams diverged")
+			}
+		})
+	}
+}
+
+// TestRunIntoMatchesRun checks full-round equivalence including the
+// aggregated result and repeated reuse of one Scratch.
+func TestRunIntoMatchesRun(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	for name, cfg := range scratchConfigs(t, bits) {
+		t.Run(name, func(t *testing.T) {
+			var s Scratch
+			for trial := uint64(0); trial < 3; trial++ {
+				r1 := frand.New(100 + trial)
+				r2 := frand.New(100 + trial)
+				want, err := Run(cfg, values, r1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunInto(cfg, values, r2, &s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("trial %d: results differ between Run and RunInto", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAdaptiveIntoMatchesRunAdaptive checks the two-round protocol, with
+// and without DP and caching.
+func TestRunAdaptiveIntoMatchesRunAdaptive(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	rr, err := ldp.NewRandomizedResponse(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := map[string]AdaptiveConfig{
+		"plain":   {Bits: bits},
+		"rr":      {Bits: bits, RR: rr, SquashMultiple: 2},
+		"nocache": {Bits: bits, NoCache: true},
+		"local":   {Bits: bits, Randomness: LocalRandomness},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			var s Scratch
+			for trial := uint64(0); trial < 3; trial++ {
+				r1 := frand.New(200 + trial)
+				r2 := frand.New(200 + trial)
+				want, err := RunAdaptive(cfg, values, r1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunAdaptiveInto(cfg, values, r2, &s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want.Result, *got) {
+					t.Errorf("trial %d: RunAdaptiveInto differs from RunAdaptive's final Result", trial)
+				}
+				if r1.Uint64() != r2.Uint64() {
+					t.Errorf("trial %d: RNG streams diverged", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestRunIntoAllocationFree is the perf regression guard: once a Scratch is
+// warm, a full round allocates nothing.
+func TestRunIntoAllocationFree(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	for name, cfg := range scratchConfigs(t, bits) {
+		t.Run(name, func(t *testing.T) {
+			var s Scratch
+			r := frand.New(5)
+			if _, err := RunInto(cfg, values, r, &s); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := RunInto(cfg, values, r, &s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("RunInto allocates %.1f objects per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRunAdaptiveIntoAllocationBound guards the adaptive path. LearnedProbs
+// intentionally returns fresh probability vectors (they are part of the
+// protocol transcript), so the bound is a small constant rather than zero.
+func TestRunAdaptiveIntoAllocationBound(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	cfg := AdaptiveConfig{Bits: bits}
+	var s Scratch
+	r := frand.New(5)
+	if _, err := RunAdaptiveInto(cfg, values, r, &s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := RunAdaptiveInto(cfg, values, r, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("RunAdaptiveInto allocates %.1f objects per run, want <= 8", allocs)
+	}
+}
+
+// TestMakeReportsIntoAllocationFree guards the client-side path on its own.
+func TestMakeReportsIntoAllocationFree(t *testing.T) {
+	const bits, n = 10, 500
+	values := scratchTestValues(n, bits)
+	cfg := scratchConfigs(t, bits)["rr"]
+	var s Scratch
+	r := frand.New(5)
+	if _, err := MakeReportsInto(cfg, values, r, &s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := MakeReportsInto(cfg, values, r, &s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MakeReportsInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

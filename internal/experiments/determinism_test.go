@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFiguresDeterministicAcrossWorkers is the engine's core contract: every
+// registered figure produces a bit-identical FigureResult whether its grid
+// cells run serially or across 8 workers, because each cell's RNG is a pure
+// function of (seed, cell index) and the reduction is serial.
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Reps: 3, N: 400, Seed: 42}
+			serial := opts
+			serial.Workers = 1
+			parallel := opts
+			parallel.Workers = 8
+			got1, err := Run(id, serial)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			got8, err := Run(id, parallel)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if !reflect.DeepEqual(got1, got8) {
+				t.Errorf("figure %s differs between Workers:1 and Workers:8", id)
+			}
+		})
+	}
+}
+
+// TestRunRecordsEngineMetrics checks that a figure run wired to a registry
+// reports its executed cells and accumulated busy time.
+func TestRunRecordsEngineMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := Options{Reps: 2, N: 200, Seed: 1, Workers: 2, Metrics: reg}
+	if _, err := Run("1a", opts); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	vars := reg.ExpvarMap()
+	cells, ok := vars[MetricCells].(uint64)
+	if !ok || cells == 0 {
+		t.Errorf("%s = %v, want positive count", MetricCells, vars[MetricCells])
+	}
+	// Fig1a sweeps 7 x-positions at 2 reps: 14 cells.
+	if cells != 14 {
+		t.Errorf("cells = %d, want 14", cells)
+	}
+	busy, ok := vars[MetricWorkerBusy].(float64)
+	if !ok || busy <= 0 {
+		t.Errorf("%s = %v, want positive seconds", MetricWorkerBusy, vars[MetricWorkerBusy])
+	}
+}
+
+// TestRunSweepErrorDeterministicAcrossWorkers checks that when several cells
+// fail, the reported error is the same (the first in serial order) at any
+// worker count.
+func TestRunSweepErrorDeterministicAcrossWorkers(t *testing.T) {
+	// Adaptive needs >= 2 clients; a 1-client population fails every cell.
+	opts := Options{Reps: 4, N: 1, Seed: 9}
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 8
+	_, err1 := Run("1a", serial)
+	_, err8 := Run("1a", parallel)
+	if err1 == nil || err8 == nil {
+		t.Fatalf("expected errors, got %v and %v", err1, err8)
+	}
+	if err1.Error() != err8.Error() {
+		t.Errorf("error differs across worker counts:\n  serial:   %v\n  parallel: %v", err1, err8)
+	}
+}

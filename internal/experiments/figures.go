@@ -217,9 +217,7 @@ func runEpsSweep(xs []float64, pop population, names []string, factory func(eps 
 		series[i] = Series{Method: name}
 	}
 	for _, eps := range xs {
-		sub, err := runMeanSweep([]float64{eps}, pop, factory(eps), Options{
-			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(eps*1000),
-		})
+		sub, err := runMeanSweep([]float64{eps}, pop, factory(eps), opts.withSeed(opts.Seed+uint64(eps*1000)))
 		if err != nil {
 			return nil, err
 		}
@@ -275,9 +273,7 @@ func Fig4a(opts Options) (*FigureResult, error) {
 			Weighted{Gamma: 1, Eps: eps, SquashMultiple: mult},
 			Adaptive{Eps: eps, SquashMultiple: mult},
 		}
-		sub, err := runMeanSweep([]float64{mult}, pop, methods, Options{
-			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(mult*1000),
-		})
+		sub, err := runMeanSweep([]float64{mult}, pop, methods, opts.withSeed(opts.Seed+uint64(mult*1000)))
 		if err != nil {
 			return nil, err
 		}
@@ -306,21 +302,42 @@ func Fig4b(opts Options) (*FigureResult, error) {
 		return nil, err
 	}
 	codec := fixedpoint.MustCodec(bits, 0, 1)
-	root := frand.New(opts.Seed)
 	reps := opts.reps()
-	perBit := make([][]float64, bits)
-	var trueMeans []float64
-	for rep := 0; rep < reps; rep++ {
-		r := root.Split()
+	// One cell per repetition; cell RNGs pre-split in repetition order so
+	// the figure matches the historical serial loop at any worker count.
+	rngs := frand.New(opts.Seed).SplitN(reps)
+	type cellOut struct {
+		bitMeans  []float64
+		trueMeans []float64
+		err       error
+	}
+	cells := make([]cellOut, reps)
+	runCells(reps, opts.workers(), newEngineMetrics(opts.Metrics), func(rep int, s *core.Scratch) {
+		c := &cells[rep]
+		r := rngs[rep]
 		values := codec.EncodeAll(workload.Normal{Mu: 800, Sigma: 100}.Sample(r, n))
 		if rep == 0 {
-			trueMeans = fixedpoint.BitMeans(values, bits)
+			c.trueMeans = fixedpoint.BitMeans(values, bits)
 		}
-		res, err := core.Run(core.Config{Bits: bits, Probs: probs, RR: rr}, values, r)
+		res, err := core.RunInto(core.Config{Bits: bits, Probs: probs, RR: rr}, values, r, s)
 		if err != nil {
-			return nil, err
+			c.err = err
+			return
 		}
-		for j, m := range res.BitMeans {
+		// The Result aliases the worker's Scratch; copy what outlives the cell.
+		c.bitMeans = append([]float64(nil), res.BitMeans...)
+	})
+	perBit := make([][]float64, bits)
+	var trueMeans []float64
+	for rep := range cells {
+		c := &cells[rep]
+		if c.err != nil {
+			return nil, c.err
+		}
+		if rep == 0 {
+			trueMeans = c.trueMeans
+		}
+		for j, m := range c.bitMeans {
 			perBit[j] = append(perBit[j], m)
 		}
 	}
@@ -404,20 +421,18 @@ func FigBSend(opts Options) (*FigureResult, error) {
 	series := []Series{{Method: "weighted(γ=1)"}}
 	for _, bsend := range xs {
 		b := int(bsend)
-		fn := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-			probs, err := core.GeometricProbs(bits, 1)
+		fn := func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+			probs, err := s.GeometricProbs(bits, 1)
 			if err != nil {
 				return 0, err
 			}
-			res, err := core.Run(core.Config{Bits: bits, Probs: probs, BSend: b}, values, r)
+			res, err := core.RunInto(core.Config{Bits: bits, Probs: probs, BSend: b}, values, r, s)
 			if err != nil {
 				return 0, err
 			}
 			return res.Estimate, nil
 		}
-		sub, err := runSweep([]float64{bsend}, pop, []string{"weighted(γ=1)"}, []estimate{fn}, fixedpoint.Mean, Options{
-			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(bsend),
-		})
+		sub, err := runSweep([]float64{bsend}, pop, []string{"weighted(γ=1)"}, []estimate{fn}, fixedpoint.Mean, opts.withSeed(opts.Seed+uint64(bsend)))
 		if err != nil {
 			return nil, err
 		}

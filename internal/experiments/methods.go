@@ -23,6 +23,15 @@ type Method interface {
 	EstimateMean(values []uint64, bits int, r *frand.RNG) (float64, error)
 }
 
+// ScratchMethod is a Method that can run allocation-lean by reusing the
+// executing worker's core.Scratch. The engine prefers EstimateMeanInto when
+// a method implements it; both entry points must consume the identical RNG
+// stream and produce the identical estimate.
+type ScratchMethod interface {
+	Method
+	EstimateMeanInto(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error)
+}
+
 // rrFor builds the optional randomized-response layer for a method.
 func rrFor(eps float64) (*ldp.RandomizedResponse, error) {
 	if eps == 0 {
@@ -77,6 +86,25 @@ func (m Weighted) EstimateMean(values []uint64, bits int, r *frand.RNG) (float64
 	return res.Estimate, nil
 }
 
+// EstimateMeanInto implements ScratchMethod: the same round through
+// core.RunInto and the Scratch's geometric-probs cache.
+func (m Weighted) EstimateMeanInto(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+	probs, err := s.GeometricProbs(bits, m.Gamma)
+	if err != nil {
+		return 0, err
+	}
+	rr, err := rrFor(m.Eps)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.Config{Bits: bits, Probs: probs, RR: rr, SquashMultiple: m.SquashMultiple}
+	res, err := core.RunInto(cfg, values, r, s)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
 // Adaptive is the two-round adaptive bit-pushing method (Algorithm 2).
 type Adaptive struct {
 	Alpha          float64 // round-2 exponent; 0 means the 0.5 default
@@ -112,6 +140,23 @@ func (m Adaptive) EstimateMean(values []uint64, bits int, r *frand.RNG) (float64
 		NoCache: m.NoCache, SquashMultiple: m.SquashMultiple,
 	}
 	res, err := core.RunAdaptive(cfg, values, r)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// EstimateMeanInto implements ScratchMethod via core.RunAdaptiveInto.
+func (m Adaptive) EstimateMeanInto(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+	rr, err := rrFor(m.Eps)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.AdaptiveConfig{
+		Bits: bits, Alpha: m.Alpha, RR: rr,
+		NoCache: m.NoCache, SquashMultiple: m.SquashMultiple,
+	}
+	res, err := core.RunAdaptiveInto(cfg, values, r, s)
 	if err != nil {
 		return 0, err
 	}

@@ -25,34 +25,53 @@ func FigPoisoning(opts Options) (*FigureResult, error) {
 
 	runMode := func(mode core.RandomnessMode) (Series, error) {
 		s := Series{Method: "bitpush-" + mode.String()}
-		root := frand.New(opts.Seed + uint64(mode))
-		for _, frac := range xs {
-			var errsShifted []float64
-			var truthSum float64
-			reps := opts.reps()
-			for rep := 0; rep < reps; rep++ {
-				r := root.Split()
-				honest := codec.EncodeAll(workload.Normal{Mu: 500, Sigma: 80}.Sample(r, n))
-				truth := fixedpoint.Mean(honest)
-				clients := federated.NewPopulation(featureName, honest)
-				evil := int(frac * float64(n))
-				for i := 0; i < evil; i++ {
-					clients = append(clients, &federated.ByzantineClient{
-						Name: fmt.Sprintf("evil-%d", i), TargetBit: bits - 1,
-					})
-				}
-				co, err := federated.NewCoordinator(federated.Config{
-					Bits: bits, Randomness: mode, Seed: r.Uint64(),
+		reps := opts.reps()
+		// One cell per (fraction, repetition), RNGs pre-split in the serial
+		// frac-major, rep-minor order so the figure is worker-count invariant.
+		nCells := len(xs) * reps
+		rngs := frand.New(opts.Seed + uint64(mode)).SplitN(nCells)
+		type cellOut struct {
+			truth, est float64
+			err        error
+		}
+		cells := make([]cellOut, nCells)
+		runCells(nCells, opts.workers(), newEngineMetrics(opts.Metrics), func(ci int, _ *core.Scratch) {
+			c := &cells[ci]
+			frac := xs[ci/reps]
+			r := rngs[ci]
+			honest := codec.EncodeAll(workload.Normal{Mu: 500, Sigma: 80}.Sample(r, n))
+			c.truth = fixedpoint.Mean(honest)
+			clients := federated.NewPopulation(featureName, honest)
+			evil := int(frac * float64(n))
+			for i := 0; i < evil; i++ {
+				clients = append(clients, &federated.ByzantineClient{
+					Name: fmt.Sprintf("evil-%d", i), TargetBit: bits - 1,
 				})
-				if err != nil {
-					return s, err
+			}
+			co, err := federated.NewCoordinator(federated.Config{
+				Bits: bits, Randomness: mode, Seed: r.Uint64(),
+			})
+			if err != nil {
+				c.err = err
+				return
+			}
+			res, err := co.EstimateMeanSingleRound(clients, featureName, 0.5)
+			if err != nil {
+				c.err = err
+				return
+			}
+			c.est = res.Estimate
+		})
+		for fi, frac := range xs {
+			errsShifted := make([]float64, 0, reps)
+			var truthSum float64
+			for rep := 0; rep < reps; rep++ {
+				c := &cells[fi*reps+rep]
+				if c.err != nil {
+					return s, c.err
 				}
-				res, err := co.EstimateMeanSingleRound(clients, featureName, 0.5)
-				if err != nil {
-					return s, err
-				}
-				truthSum += truth
-				errsShifted = append(errsShifted, res.Estimate-truth)
+				truthSum += c.truth
+				errsShifted = append(errsShifted, c.est-c.truth)
 			}
 			meanTruth := truthSum / float64(reps)
 			for i := range errsShifted {

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/fixedpoint"
 	"repro/internal/frand"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -25,6 +28,14 @@ type Options struct {
 	N int
 	// Seed makes the whole figure reproducible.
 	Seed uint64
+	// Workers bounds the number of goroutines executing grid cells. Zero
+	// means runtime.GOMAXPROCS(0); 1 forces serial execution. Every cell's
+	// RNG is derived purely from (Seed, cell index), so a figure's result
+	// is bit-identical at any worker count.
+	Workers int
+	// Metrics optionally receives engine counters (cells executed, worker
+	// busy seconds); nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 func (o Options) reps() int {
@@ -39,6 +50,20 @@ func (o Options) n(def int) int {
 		return def
 	}
 	return o.N
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// withSeed copies the options (keeping Workers, Metrics and every future
+// field) with a different seed, for figures that run sub-sweeps.
+func (o Options) withSeed(seed uint64) Options {
+	o.Seed = seed
+	return o
 }
 
 // Point is one x-position of one series.
@@ -66,12 +91,20 @@ type FigureResult struct {
 // position and repetition.
 type population func(x float64, rep int, r *frand.RNG) (values []uint64, bits int)
 
-// estimate runs one method once.
-type estimate func(values []uint64, bits int, r *frand.RNG) (float64, error)
+// estimate runs one method once. The core.Scratch is the executing
+// worker's reusable buffer; estimates may ignore it or pass it to the
+// core's Into variants.
+type estimate func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error)
 
 // runSweep executes the generic figure loop: for every x and repetition,
 // draw a fresh population, compute its empirical ground truth, run every
 // method, and summarize errors per (method, x).
+//
+// The (x, rep) grid cells execute on the engine's worker pool. Cell i's
+// RNG is the i-th Split of frand.New(opts.Seed) in x-major, rep-minor
+// order — exactly the stream the historical serial loop consumed — and the
+// reduction runs serially in the same order, so the result is bit-identical
+// at any worker count.
 //
 // Because each repetition redraws the population, errors are measured
 // against that repetition's own empirical truth (the paper's protocol) and
@@ -81,22 +114,52 @@ func runSweep(xs []float64, pop population, names []string, run []estimate, trut
 	for m := range series {
 		series[m] = Series{Method: names[m], Points: make([]Point, 0, len(xs))}
 	}
-	root := frand.New(opts.Seed)
-	for _, x := range xs {
-		errsPerMethod := make([][]float64, len(run))
+	reps := opts.reps()
+	nCells := len(xs) * reps
+	rngs := frand.New(opts.Seed).SplitN(nCells)
+
+	type cellOut struct {
+		truth float64
+		ests  []float64
+		err   error
+	}
+	cells := make([]cellOut, nCells)
+	estSlab := make([]float64, nCells*len(run))
+	for ci := range cells {
+		cells[ci].ests = estSlab[ci*len(run) : (ci+1)*len(run) : (ci+1)*len(run)]
+	}
+	runCells(nCells, opts.workers(), newEngineMetrics(opts.Metrics), func(ci int, s *core.Scratch) {
+		c := &cells[ci]
+		x := xs[ci/reps]
+		r := rngs[ci]
+		values, bits := pop(x, ci%reps, r)
+		c.truth = truthFn(values)
+		for m, f := range run {
+			est, err := f(values, bits, r, s)
+			if err != nil {
+				c.err = fmt.Errorf("experiments: method %s at x=%v: %w", names[m], x, err)
+				return
+			}
+			c.ests[m] = est
+		}
+	})
+
+	// Serial reduction in the original (x, rep) order; the lowest-index
+	// cell error wins, matching the serial loop's first-error semantics.
+	errsPerMethod := make([][]float64, len(run))
+	for xi, x := range xs {
 		var truthSum float64
-		reps := opts.reps()
+		for m := range run {
+			errsPerMethod[m] = errsPerMethod[m][:0]
+		}
 		for rep := 0; rep < reps; rep++ {
-			r := root.Split()
-			values, bits := pop(x, rep, r)
-			truth := truthFn(values)
-			truthSum += truth
-			for m, f := range run {
-				est, err := f(values, bits, r)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: method %s at x=%v: %w", names[m], x, err)
-				}
-				errsPerMethod[m] = append(errsPerMethod[m], est-truth)
+			c := &cells[xi*reps+rep]
+			if c.err != nil {
+				return nil, c.err
+			}
+			truthSum += c.truth
+			for m := range run {
+				errsPerMethod[m] = append(errsPerMethod[m], c.ests[m]-c.truth)
 			}
 		}
 		meanTruth := truthSum / float64(reps)
@@ -117,6 +180,17 @@ func runSweep(xs []float64, pop population, names []string, run []estimate, trut
 	return series, nil
 }
 
+// methodEstimate adapts a Method to the engine's estimate signature,
+// preferring the allocation-lean ScratchMethod entry point when available.
+func methodEstimate(m Method) estimate {
+	if sm, ok := m.(ScratchMethod); ok {
+		return sm.EstimateMeanInto
+	}
+	return func(values []uint64, bits int, r *frand.RNG, _ *core.Scratch) (float64, error) {
+		return m.EstimateMean(values, bits, r)
+	}
+}
+
 // runMeanSweep adapts Method implementations to runSweep with the exact
 // mean as ground truth.
 func runMeanSweep(xs []float64, pop population, methods []Method, opts Options) ([]Series, error) {
@@ -124,7 +198,7 @@ func runMeanSweep(xs []float64, pop population, methods []Method, opts Options) 
 	fns := make([]estimate, len(methods))
 	for i, m := range methods {
 		names[i] = m.Name()
-		fns[i] = m.EstimateMean
+		fns[i] = methodEstimate(m)
 	}
 	return runSweep(xs, pop, names, fns, fixedpoint.Mean, opts)
 }
@@ -136,7 +210,10 @@ func runVarianceSweep(xs []float64, pop population, methods []VarEstimator, opts
 	fns := make([]estimate, len(methods))
 	for i, m := range methods {
 		names[i] = m.Name()
-		fns[i] = m.EstimateVariance
+		ev := m.EstimateVariance
+		fns[i] = func(values []uint64, bits int, r *frand.RNG, _ *core.Scratch) (float64, error) {
+			return ev(values, bits, r)
+		}
 	}
 	return runSweep(xs, pop, names, fns, fixedpoint.Variance, opts)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fixedpoint"
 	"repro/internal/frand"
 	"repro/internal/stats"
@@ -14,7 +15,7 @@ import (
 func TestRunSweepPropagatesMethodErrors(t *testing.T) {
 	boom := errors.New("boom")
 	pop := func(float64, int, *frand.RNG) ([]uint64, int) { return []uint64{1, 2}, 4 }
-	fail := func([]uint64, int, *frand.RNG) (float64, error) { return 0, boom }
+	fail := func([]uint64, int, *frand.RNG, *core.Scratch) (float64, error) { return 0, boom }
 	_, err := runSweep([]float64{1}, pop, []string{"failing"}, []estimate{fail}, fixedpoint.Mean, Options{Reps: 2})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)

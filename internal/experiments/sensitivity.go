@@ -23,16 +23,14 @@ func FigDeltaSweep(opts Options) (*FigureResult, error) {
 	series := []Series{{Method: "adaptive(α=0.5)"}}
 	for _, delta := range xs {
 		d := delta
-		fn := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-			res, err := core.RunAdaptive(core.AdaptiveConfig{Bits: bits, Delta: d}, values, r)
+		fn := func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+			res, err := core.RunAdaptiveInto(core.AdaptiveConfig{Bits: bits, Delta: d}, values, r, s)
 			if err != nil {
 				return 0, err
 			}
 			return res.Estimate, nil
 		}
-		sub, err := runSweep([]float64{delta}, pop, []string{series[0].Method}, []estimate{fn}, fixedpoint.Mean, Options{
-			Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(delta*1000),
-		})
+		sub, err := runSweep([]float64{delta}, pop, []string{series[0].Method}, []estimate{fn}, fixedpoint.Mean, opts.withSeed(opts.Seed+uint64(delta*1000)))
 		if err != nil {
 			return nil, err
 		}
@@ -57,25 +55,25 @@ func FigGammaSweep(opts Options) (*FigureResult, error) {
 	series := []Series{{Method: "weighted"}, {Method: "adaptive(α=0.5)"}}
 	for _, gamma := range xs {
 		g := gamma
-		weighted := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-			probs, err := core.GeometricProbs(bits, g)
+		weighted := func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+			probs, err := s.GeometricProbs(bits, g)
 			if err != nil {
 				return 0, err
 			}
-			res, err := core.Run(core.Config{Bits: bits, Probs: probs}, values, r)
+			res, err := core.RunInto(core.Config{Bits: bits, Probs: probs}, values, r, s)
 			if err != nil {
 				return 0, err
 			}
 			return res.Estimate, nil
 		}
-		adaptive := func(values []uint64, bits int, r *frand.RNG) (float64, error) {
+		adaptive := func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
 			cfg := core.AdaptiveConfig{Bits: bits, Gamma: g}
 			if g == 0 {
 				// AdaptiveConfig treats Gamma=0 as "use the default"; a
 				// tiny positive value selects a near-uniform round 1.
 				cfg.Gamma = 1e-9
 			}
-			res, err := core.RunAdaptive(cfg, values, r)
+			res, err := core.RunAdaptiveInto(cfg, values, r, s)
 			if err != nil {
 				return 0, err
 			}
@@ -83,9 +81,7 @@ func FigGammaSweep(opts Options) (*FigureResult, error) {
 		}
 		sub, err := runSweep([]float64{gamma}, pop,
 			[]string{series[0].Method, series[1].Method},
-			[]estimate{weighted, adaptive}, fixedpoint.Mean, Options{
-				Reps: opts.Reps, N: opts.N, Seed: opts.Seed + uint64(gamma*1000),
-			})
+			[]estimate{weighted, adaptive}, fixedpoint.Mean, opts.withSeed(opts.Seed+uint64(gamma*1000)))
 		if err != nil {
 			return nil, err
 		}

@@ -51,12 +51,12 @@ func FigSampleThreshold(opts Options) (*FigureResult, error) {
 
 // plainBitPushEstimate is one weighted round without any noise.
 func plainBitPushEstimate() estimate {
-	return func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-		probs, err := core.GeometricProbs(bits, 1)
+	return func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+		probs, err := s.GeometricProbs(bits, 1)
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.Run(core.Config{Bits: bits, Probs: probs}, values, r)
+		res, err := core.RunInto(core.Config{Bits: bits, Probs: probs}, values, r, s)
 		if err != nil {
 			return 0, err
 		}
@@ -70,12 +70,12 @@ func plainBitPushEstimate() estimate {
 // (ε, δ)-DP at the per-bit cohort size; the server subtracts the expected
 // noise before reconstructing.
 func bernoulliNoiseEstimate(eps, delta float64) estimate {
-	return func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-		probs, err := core.GeometricProbs(bits, 1)
+	return func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+		probs, err := s.GeometricProbs(bits, 1)
 		if err != nil {
 			return 0, err
 		}
-		reports, err := core.MakeReports(core.Config{Bits: bits, Probs: probs}, values, r)
+		reports, err := core.MakeReportsInto(core.Config{Bits: bits, Probs: probs}, values, r, s)
 		if err != nil {
 			return 0, err
 		}
@@ -118,12 +118,12 @@ func bernoulliNoiseEstimate(eps, delta float64) estimate {
 // ones/(ones+zeros), so no unbiasing step is needed beyond the mechanism's
 // own; a bit whose both tallies are removed contributes zero.
 func sampleThresholdEstimate(gamma float64, tau uint64) estimate {
-	return func(values []uint64, bits int, r *frand.RNG) (float64, error) {
-		probs, err := core.GeometricProbs(bits, 1)
+	return func(values []uint64, bits int, r *frand.RNG, s *core.Scratch) (float64, error) {
+		probs, err := s.GeometricProbs(bits, 1)
 		if err != nil {
 			return 0, err
 		}
-		reports, err := core.MakeReports(core.Config{Bits: bits, Probs: probs}, values, r)
+		reports, err := core.MakeReportsInto(core.Config{Bits: bits, Probs: probs}, values, r, s)
 		if err != nil {
 			return 0, err
 		}

@@ -65,6 +65,18 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// SplitN derives n independent RNGs, equivalent to calling Split n times.
+// Parallel engines pre-split one stream per work cell before spawning
+// workers, so cell i's stream is a pure function of (seed, i) and results
+// are identical at any worker count.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
@@ -197,11 +209,18 @@ func (r *RNG) LogNormal(mu, sigma float64) float64 {
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// consuming exactly the draws Perm(len(p)) would. It lets hot loops reuse a
+// caller-owned buffer.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts shuffles the slice in place (Fisher–Yates).

@@ -1,0 +1,62 @@
+package frand
+
+import "testing"
+
+// TestSplitNMatchesSequentialSplit locks the engine-facing contract: the
+// i-th stream from SplitN is identical to the i-th sequential Split, so a
+// parallel engine pre-splitting cell streams consumes exactly what a serial
+// loop splitting per cell would.
+func TestSplitNMatchesSequentialSplit(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	streams := a.SplitN(8)
+	if len(streams) != 8 {
+		t.Fatalf("SplitN(8) returned %d streams", len(streams))
+	}
+	for i, s := range streams {
+		seq := b.Split()
+		for draw := 0; draw < 4; draw++ {
+			if got, want := s.Uint64(), seq.Uint64(); got != want {
+				t.Fatalf("stream %d draw %d = %d, want %d", i, draw, got, want)
+			}
+		}
+	}
+	// The parent streams must also end up in the same state.
+	if a.Uint64() != b.Uint64() {
+		t.Error("parent streams diverged after SplitN vs sequential Split")
+	}
+}
+
+func TestSplitNZero(t *testing.T) {
+	r := New(1)
+	if got := r.SplitN(0); len(got) != 0 {
+		t.Errorf("SplitN(0) = %v, want empty", got)
+	}
+}
+
+// TestPermIntoMatchesPerm checks that the in-place variant draws the same
+// permutation from the same stream.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	r1 := New(7)
+	r2 := New(7)
+	want := r1.Perm(20)
+	p := make([]int, 20)
+	r2.PermInto(p)
+	for i := range want {
+		if want[i] != p[i] {
+			t.Fatalf("PermInto[%d] = %d, want %d", i, p[i], want[i])
+		}
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Error("streams diverged after Perm vs PermInto")
+	}
+}
+
+func TestPermIntoAllocationFree(t *testing.T) {
+	r := New(7)
+	p := make([]int, 100)
+	allocs := testing.AllocsPerRun(10, func() { r.PermInto(p) })
+	if allocs != 0 {
+		t.Errorf("PermInto allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -46,6 +46,21 @@ func (rr *RandomizedResponse) Apply(bit uint64, r *frand.RNG) uint64 {
 	return 1 - bit
 }
 
+// ApplyBatch perturbs every bit in place, drawing one Bernoulli variate per
+// element in slice order — exactly the stream Apply consumes applied
+// element-wise, so batched and per-report randomization are
+// interchangeable bit for bit.
+func (rr *RandomizedResponse) ApplyBatch(bits []uint64, r *frand.RNG) {
+	for i, bit := range bits {
+		if bit > 1 {
+			panic("ldp: randomized response input not a bit")
+		}
+		if !r.Bernoulli(rr.P) {
+			bits[i] = 1 - bit
+		}
+	}
+}
+
 // UnbiasMean converts a mean of perturbed bits into an unbiased estimate of
 // the mean of the true bits: (m - (1-p)) / (2p - 1) (§3.3).
 func (rr *RandomizedResponse) UnbiasMean(m float64) float64 {

@@ -59,6 +59,8 @@ func (r *Registry) snapshot() []snapshotFamily {
 			switch f.kind {
 			case kindCounter:
 				sc.value = float64(c.counter.Value())
+			case kindFloatCounter:
+				sc.value = c.fcounter.Value()
 			case kindGauge:
 				sc.value = c.gauge.Value()
 			case kindHistogram:
@@ -132,10 +134,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, exportKind(f.kind))
 		for _, c := range f.children {
 			switch f.kind {
-			case kindCounter, kindGauge:
+			case kindCounter, kindFloatCounter, kindGauge:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labels, c.values, "", ""), formatValue(c.value))
 			case kindHistogram:
 				for i, bound := range f.bounds {
@@ -192,7 +194,7 @@ func (r *Registry) ExpvarMap() map[string]any {
 			switch f.kind {
 			case kindCounter:
 				out[key] = uint64(c.value)
-			case kindGauge:
+			case kindFloatCounter, kindGauge:
 				out[key] = c.value
 			case kindHistogram:
 				hist := map[string]any{"count": c.count, "sum": c.sum}

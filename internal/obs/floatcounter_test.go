@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatCounterAccumulates(t *testing.T) {
+	reg := NewRegistry()
+	fc := reg.FloatCounter("busy_seconds_total", "cumulative busy seconds")
+	fc.Add(1.5)
+	fc.Add(0.25)
+	if got := fc.Value(); got != 1.75 {
+		t.Errorf("Value() = %v, want 1.75", got)
+	}
+	// Idempotent re-registration returns the same instrument.
+	if again := reg.FloatCounter("busy_seconds_total", "ignored"); again.Value() != 1.75 {
+		t.Error("re-registration did not return the existing float counter")
+	}
+}
+
+func TestFloatCounterConcurrentAdd(t *testing.T) {
+	var fc FloatCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				fc.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fc.Value(); got != 4000 {
+		t.Errorf("Value() = %v, want 4000", got)
+	}
+}
+
+// TestFloatCounterExposition checks the float counter renders as a
+// Prometheus counter and appears in the expvar map as a float.
+func TestFloatCounterExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.FloatCounterVec("worker_busy_seconds_total", "busy time", "pool").With("exp").Add(2.5)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE worker_busy_seconds_total counter\n") {
+		t.Errorf("exposition lacks counter TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `worker_busy_seconds_total{pool="exp"} 2.5`) {
+		t.Errorf("exposition lacks sample line:\n%s", out)
+	}
+	vars := reg.ExpvarMap()
+	if got, ok := vars[`worker_busy_seconds_total{pool="exp"}`].(float64); !ok || got != 2.5 {
+		t.Errorf("expvar value = %v, want 2.5", vars[`worker_busy_seconds_total{pool="exp"}`])
+	}
+}

@@ -32,7 +32,19 @@ const (
 	kindCounter   = "counter"
 	kindGauge     = "gauge"
 	kindHistogram = "histogram"
+	// kindFloatCounter is a float-valued counter (e.g. cumulative busy
+	// seconds). It renders as a Prometheus counter; the separate internal
+	// kind keeps the instrument type distinct.
+	kindFloatCounter = "floatcounter"
 )
+
+// exportKind maps an internal kind to its Prometheus exposition type.
+func exportKind(kind string) string {
+	if kind == kindFloatCounter {
+		return kindCounter
+	}
+	return kind
+}
 
 var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
@@ -57,6 +69,25 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric, for cumulative
+// quantities that are not integers (busy seconds, bytes-seconds). Callers
+// must only Add non-negative deltas.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates d (which must be >= 0).
+func (c *FloatCounter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Gauge is a float metric that can go up and down.
 type Gauge struct{ bits atomic.Uint64 }
@@ -156,10 +187,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // child is one labelled instrument inside a family.
 type child struct {
-	values  []string
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
+	values   []string
+	counter  *Counter
+	fcounter *FloatCounter
+	gauge    *Gauge
+	hist     *Histogram
 }
 
 // family is all the children sharing one metric name.
@@ -189,6 +221,8 @@ func (f *family) child(values []string) *child {
 		switch f.kind {
 		case kindCounter:
 			c.counter = &Counter{}
+		case kindFloatCounter:
+			c.fcounter = &FloatCounter{}
 		case kindGauge:
 			c.gauge = &Gauge{}
 		case kindHistogram:
@@ -258,6 +292,17 @@ func (r *Registry) Counter(name, help string) *Counter {
 	return r.CounterVec(name, help).With()
 }
 
+// FloatCounterVec registers (or fetches) a float-counter family with the
+// given label names.
+func (r *Registry) FloatCounterVec(name, help string, labels ...string) *FloatCounterVec {
+	return &FloatCounterVec{f: r.family(name, help, kindFloatCounter, nil, labels)}
+}
+
+// FloatCounter registers (or fetches) an unlabelled float counter.
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	return r.FloatCounterVec(name, help).With()
+}
+
 // GaugeVec registers (or fetches) a gauge family with the given label
 // names.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
@@ -287,6 +332,12 @@ type CounterVec struct{ f *family }
 // With returns the counter for the given label values (in registration
 // order), creating it at zero on first use.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).counter }
+
+// FloatCounterVec is a labelled float-counter family.
+type FloatCounterVec struct{ f *family }
+
+// With returns the float counter for the given label values.
+func (v *FloatCounterVec) With(values ...string) *FloatCounter { return v.f.child(values).fcounter }
 
 // GaugeVec is a labelled gauge family.
 type GaugeVec struct{ f *family }

@@ -31,7 +31,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/field"
 	"repro/internal/shamir"
@@ -55,6 +57,12 @@ type Config struct {
 	// share material must otherwise come from the system CSPRNG
 	// (fedlint/randsource enforces this for the implementation itself).
 	Entropy io.Reader
+	// Workers bounds the goroutines expanding AES-CTR masks during
+	// MaskedInput and Aggregate. Zero means runtime.GOMAXPROCS(0); 1
+	// forces serial expansion. Each mask is a pure function of its seed
+	// and the fold is exact mod-p arithmetic (commutative and
+	// associative), so the aggregate is identical at any worker count.
+	Workers int
 }
 
 // Protocol is one configured secure-aggregation session. It plays the
@@ -177,6 +185,14 @@ const prgKeyLabel = "repro/secagg mask prg v1"
 // stream from the Shamir-reconstructed seed. Seeds are reduced into the
 // field at sharing time, so the key is derived from the reduced value.
 func (p *Protocol) expand(seed uint64) []field.Element {
+	out := make([]field.Element, p.cfg.VecLen)
+	p.expandInto(seed, out)
+	return out
+}
+
+// expandInto is expand writing into a caller-owned buffer of length VecLen,
+// so workers can expand many masks without per-mask garbage.
+func (p *Protocol) expandInto(seed uint64, out []field.Element) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(field.Reduce(seed)))
 	h := sha256.New()
@@ -190,7 +206,6 @@ func (p *Protocol) expand(seed uint64) []field.Element {
 		S: cipher.NewCTR(block, make([]byte, aes.BlockSize)),
 		R: zeroReader{},
 	}
-	out := make([]field.Element, p.cfg.VecLen)
 	for i := range out {
 		e, err := field.RandElement(stream)
 		if err != nil {
@@ -198,7 +213,67 @@ func (p *Protocol) expand(seed uint64) []field.Element {
 		}
 		out[i] = e
 	}
-	return out
+}
+
+// maskTerm names one PRG expansion to fold into an aggregate: the seed and
+// whether the mask is subtracted.
+type maskTerm struct {
+	seed uint64
+	sub  bool
+}
+
+func (p *Protocol) workers() int {
+	if p.cfg.Workers > 0 {
+		return p.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// addMasks folds every term's expanded mask into dst, fanning the
+// expansions across workers. Each worker folds its strided share of the
+// terms into a private partial vector and the partials are combined
+// serially; because field addition is exact and commutative, the result is
+// bit-identical to the serial loop at any worker count.
+func (p *Protocol) addMasks(dst []field.Element, terms []maskTerm) {
+	workers := p.workers()
+	if workers > len(terms) {
+		workers = len(terms)
+	}
+	if workers <= 1 {
+		buf := make([]field.Element, p.cfg.VecLen)
+		for _, t := range terms {
+			p.expandInto(t.seed, buf)
+			if t.sub {
+				field.SubVec(dst, buf)
+			} else {
+				field.AddVec(dst, buf)
+			}
+		}
+		return
+	}
+	partials := make([][]field.Element, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := make([]field.Element, p.cfg.VecLen)
+			buf := make([]field.Element, p.cfg.VecLen)
+			for ti := w; ti < len(terms); ti += workers {
+				p.expandInto(terms[ti].seed, buf)
+				if terms[ti].sub {
+					field.SubVec(part, buf)
+				} else {
+					field.AddVec(part, buf)
+				}
+			}
+			partials[w] = part
+		}(w)
+	}
+	wg.Wait()
+	for _, part := range partials {
+		field.AddVec(dst, part)
+	}
 }
 
 // MaskedInput computes client id's masked submission for the given input
@@ -219,15 +294,12 @@ func (p *Protocol) MaskedInput(id int, input []field.Element) ([]field.Element, 
 		}
 		out[i] = v
 	}
-	field.AddVec(out, p.expand(c.selfSeed))
+	terms := make([]maskTerm, 0, len(c.pairSeeds)+1)
+	terms = append(terms, maskTerm{seed: c.selfSeed})
 	for peer, seed := range c.pairSeeds {
-		mask := p.expand(seed)
-		if c.id < peer {
-			field.AddVec(out, mask)
-		} else {
-			field.SubVec(out, mask)
-		}
+		terms = append(terms, maskTerm{seed: seed, sub: c.id > peer})
 	}
+	p.addMasks(out, terms)
 	return out, nil
 }
 
@@ -261,13 +333,15 @@ func (p *Protocol) Aggregate(masked map[int][]field.Element) ([]field.Element, e
 		field.AddVec(sum, masked[id])
 	}
 	// Remove self masks of survivors: reconstruct b_i from shares held by
-	// OTHER surviving clients.
+	// OTHER surviving clients. Seed recovery (Shamir) stays serial; the
+	// expensive PRG expansions are collected and folded across workers.
+	terms := make([]maskTerm, 0, len(survivors))
 	for _, id := range survivors {
 		seed, err := p.recoverSelfSeed(id, survivors)
 		if err != nil {
 			return nil, err
 		}
-		field.SubVec(sum, p.expand(seed))
+		terms = append(terms, maskTerm{seed: uint64(seed), sub: true})
 	}
 	// Cancel orphaned pairwise masks of dropped clients.
 	for d := 0; d < p.cfg.NumClients; d++ {
@@ -279,16 +353,12 @@ func (p *Protocol) Aggregate(masked map[int][]field.Element) ([]field.Element, e
 			if err != nil {
 				return nil, err
 			}
-			mask := p.expand(seed)
-			if j < d {
-				// Survivor j added +PRG(s_jd); remove it.
-				field.SubVec(sum, mask)
-			} else {
-				// Survivor j subtracted PRG(s_dj); add it back.
-				field.AddVec(sum, mask)
-			}
+			// Survivor j added +PRG(s_jd) when j < d (remove it), and
+			// subtracted PRG(s_dj) when j > d (add it back).
+			terms = append(terms, maskTerm{seed: uint64(seed), sub: j < d})
 		}
 	}
+	p.addMasks(sum, terms)
 	return sum, nil
 }
 

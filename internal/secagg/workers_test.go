@@ -1,0 +1,43 @@
+package secagg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkersInvariant checks the parallel mask fold: the same protocol
+// instance (same deterministic entropy) produces identical masked inputs
+// and identical aggregates at 1 and 8 workers, with and without dropouts.
+func TestWorkersInvariant(t *testing.T) {
+	const clients, vecLen = 12, 16
+	inputs := make([][]uint64, clients)
+	for i := range inputs {
+		inputs[i] = make([]uint64, vecLen)
+		for k := range inputs[i] {
+			inputs[i][k] = uint64(i*vecLen+k) % 7
+		}
+	}
+	run := func(workers int, dropouts []int) []uint64 {
+		t.Helper()
+		p, err := New(Config{
+			NumClients: clients, Threshold: clients / 2, VecLen: vecLen,
+			Entropy: newTestEntropy(11), Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := p.SumUints(inputs, dropouts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	for _, dropouts := range [][]int{nil, {2, 7, 9}} {
+		serial := run(1, dropouts)
+		parallel := run(8, dropouts)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("dropouts %v: sums differ between 1 and 8 workers:\n  %v\n  %v",
+				dropouts, serial, parallel)
+		}
+	}
+}
