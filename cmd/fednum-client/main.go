@@ -31,7 +31,9 @@ import (
 
 // printMetricsSummary condenses the fleet's client-side registry into one
 // line: request attempts, per-attempt latency quantiles, retries after
-// transient failures, and reports re-acked as duplicates.
+// transient failures, and reports re-acked as duplicates. A second line
+// reports server pushback (Retry-After waits, breaker activity) when any
+// occurred.
 func printMetricsSummary(reg *obs.Registry) {
 	lat := reg.Histogram(transport.MetricClientAttemptTime, "", obs.LatencyBuckets)
 	fmt.Printf("metrics:   %d requests, p50=%.0fms p99=%.0fms, %d retries, %d duplicate acks\n",
@@ -39,6 +41,13 @@ func printMetricsSummary(reg *obs.Registry) {
 		1000*lat.Quantile(0.5), 1000*lat.Quantile(0.99),
 		reg.Counter(transport.MetricClientRetries, "").Value(),
 		reg.Counter(transport.MetricClientDuplicateAcks, "").Value())
+	waits := reg.Counter(transport.MetricClientRetryAfterWaits, "").Value()
+	fastFails := reg.Counter(transport.MetricClientBreakerFastFails, "").Value()
+	probes := reg.Counter(transport.MetricClientBreakerProbes, "").Value()
+	if waits > 0 || fastFails > 0 || probes > 0 {
+		fmt.Printf("pushback:  %d retry-after waits, %d breaker fast-fails, %d probes\n",
+			waits, fastFails, probes)
+	}
 }
 
 var workloadRe = regexp.MustCompile(`^(\w+)\(([-\d.]+)(?:,([-\d.]+))?\)$`)
@@ -95,14 +104,29 @@ func main() {
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request attempt timeout (0 = none)")
+	breakerOff := flag.Bool("no-breaker", false, "disable the fleet-wide circuit breaker")
+	breakerFails := flag.Int("breaker-failures", 5, "transient failures within -breaker-window that open the breaker")
+	breakerWindow := flag.Duration("breaker-window", 10*time.Second, "rolling window over which breaker failures are counted")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open before a half-open probe")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "fleet seed")
 	flag.Parse()
 
 	// One shared policy: it is safe for concurrent use, and the jitter
 	// decorrelates the fleet's retry storms. The shared registry gathers
 	// the whole fleet's request/retry/latency picture for the end-of-run
-	// summary.
+	// summary. The breaker is shared too — one breaker guards one server,
+	// so an outage fails the whole fleet fast and recovery is a single
+	// probe, not a thundering herd.
 	reg := obs.NewRegistry()
+	var breaker *transport.CircuitBreaker
+	if !*breakerOff {
+		breaker = &transport.CircuitBreaker{
+			Window:           *breakerWindow,
+			FailureThreshold: *breakerFails,
+			Cooldown:         *breakerCooldown,
+			Metrics:          reg,
+		}
+	}
 	retry := &transport.RetryPolicy{
 		MaxAttempts:   *retries,
 		BaseDelay:     *retryBase,
@@ -111,6 +135,7 @@ func main() {
 		PerTryTimeout: *timeout,
 		Seed:          *seed,
 		Metrics:       reg,
+		Breaker:       breaker,
 	}
 
 	gen, err := parseWorkload(*spec)

@@ -19,6 +19,14 @@
 // ack⇒durable guarantee depends on -wal-fsync: "always" (default) and
 // "grouped" survive power loss, "never" only survives process crashes.
 //
+// Overload control: the -*-in-flight, -queue-depth/-queue-wait,
+// -report-rate/-report-burst, -max-body-bytes and -request-timeout flags
+// arm per-endpoint-class admission control — excess load is shed with a
+// typed 503 and adaptive Retry-After advice instead of queueing without
+// bound. GET /healthz answers liveness; GET /readyz flips to 503 while
+// the daemon is draining or actively shedding, so a fronting router can
+// tell "back off" from "dead".
+//
 // Observability: logs are structured (-log-format text|json, -log-level),
 // and -debug-addr starts a second, operator-only listener serving
 // GET /metrics (Prometheus text format), /debug/vars (expvar) and
@@ -62,6 +70,18 @@ func main() {
 	walFsync := flag.String("wal-fsync", "always", "WAL commit policy: always (fsync per ack), grouped (batched fsync, bounded by -wal-flush-interval) or never (benchmarks only)")
 	walFlushInterval := flag.Duration("wal-flush-interval", 2*time.Millisecond, "max ack delay under -wal-fsync=grouped")
 	snapInterval := flag.Duration("snapshot-interval", 0, "cut a snapshot (and compact the WAL) this often; 0 = shutdown only")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "POST body cap in bytes; oversized requests get 413 (0 = 1MiB default, negative = uncapped)")
+	reportInFlight := flag.Int("report-in-flight", 0, "max concurrently handled report submissions (0 = ungated)")
+	taskInFlight := flag.Int("task-in-flight", 0, "max concurrently handled task polls (0 = ungated)")
+	adminInFlight := flag.Int("admin-in-flight", 0, "max concurrently handled session create/finalize calls (0 = ungated)")
+	queryInFlight := flag.Int("query-in-flight", 0, "max concurrently handled session/result queries (0 = ungated)")
+	queueDepth := flag.Int("queue-depth", 0, "waiters allowed per gated endpoint class before shedding outright")
+	queueWait := flag.Duration("queue-wait", 0, "max time a queued request waits for a slot before being shed (0 = 250ms default)")
+	reportRate := flag.Float64("report-rate", 0, "per-session sustained report rate in reports/second; excess gets 429 (0 = unlimited)")
+	reportBurst := flag.Float64("report-burst", 0, "per-session report token-bucket capacity (0 = -report-rate)")
+	retryAfterBase := flag.Duration("retry-after-base", 0, "initial Retry-After advice on shed responses; doubles under sustained overload (0 = 1s default)")
+	retryAfterMax := flag.Duration("retry-after-max", 0, "Retry-After advice cap (0 = 30s default)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request read/write deadline cutting off slow-loris bodies on gated routes (0 = listener timeouts only)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -86,6 +106,20 @@ func main() {
 	agg := transport.NewServer(*seed)
 	agg.Logger = logger
 	agg.Retention = *retention
+	agg.SetOverload(transport.OverloadPolicy{
+		MaxBodyBytes:   *maxBodyBytes,
+		ReportInFlight: *reportInFlight,
+		TaskInFlight:   *taskInFlight,
+		AdminInFlight:  *adminInFlight,
+		QueryInFlight:  *queryInFlight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		ReportRate:     *reportRate,
+		ReportBurst:    *reportBurst,
+		RetryAfterBase: *retryAfterBase,
+		RetryAfterMax:  *retryAfterMax,
+		RequestTimeout: *requestTimeout,
+	})
 
 	// Recovery order: attach the WAL first (so restoring a snapshot can
 	// cross-check its coverage against the log head), restore the latest
@@ -218,6 +252,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip readiness first so a fronting router routes new work elsewhere
+	// while the in-flight requests drain; /healthz keeps answering 200.
+	agg.SetDraining(true)
 	logger.Info("fednumd: signal received, draining connections", "grace", grace.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()

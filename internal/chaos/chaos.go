@@ -51,10 +51,11 @@ func ClassOf(path string) string {
 
 // Metric names the injector publishes when a registry is attached via
 // SetMetrics. Faults are labeled by kind (drop, lose_ack, duplicate,
-// server_err, delay) and request class.
+// server_err, delay, stall) and request class.
 const (
-	MetricRequests = "chaos_requests_total"
-	MetricFaults   = "chaos_faults_total"
+	MetricRequests   = "chaos_requests_total"
+	MetricDeliveries = "chaos_deliveries_total"
+	MetricFaults     = "chaos_faults_total"
 )
 
 // Faults is the injection mix. All probabilities are independent per
@@ -84,17 +85,34 @@ type Faults struct {
 	Delay float64
 	// MaxDelay bounds injected delays; ignored when Delay is zero.
 	MaxDelay time.Duration
+	// Stall is the probability the server middleware holds a request for
+	// the full StallFor before handling it, deliberately NOT aborting
+	// when the client hangs up. Set StallFor past the client's per-try
+	// timeout and the client sees a timeout while the server still
+	// processes the request — the time-domain version of a lost ack,
+	// which only honest idempotency survives.
+	Stall float64
+	// StallFor is the fixed hold applied to stalled requests; required
+	// when Stall is positive.
+	StallFor time.Duration
 }
 
 // Counters tallies injected faults, for asserting a soak actually
 // exercised each failure mode.
 type Counters struct {
-	Requests   int // client-side requests seen by the RoundTripper
+	Requests int // client-side requests seen by the RoundTripper
+	// Delivered is the server-side ground truth: requests that actually
+	// reached the middleware. It can undershoot the client-side arithmetic
+	// (Requests - Dropped + Duplicated) because a duplicate's second copy
+	// is never sent when the caller's context died during the first — e.g.
+	// a stalled first delivery outliving the per-try timeout.
+	Delivered  int
 	Dropped    int
 	AcksLost   int
 	Duplicated int
 	ServerErrs int
 	Delayed    int
+	Stalled    int
 }
 
 // Injector applies a Faults mix. It is safe for concurrent use; one
@@ -108,18 +126,22 @@ type Injector struct {
 	byClass  map[string]*Counters
 
 	reqVec   *obs.CounterVec
+	delivVec *obs.CounterVec
 	faultVec *obs.CounterVec
 }
 
 // NewInjector validates the mix and returns an injector.
 func NewInjector(f Faults) (*Injector, error) {
-	for _, p := range []float64{f.Drop, f.LoseAck, f.Duplicate, f.ServerErr, f.Delay} {
+	for _, p := range []float64{f.Drop, f.LoseAck, f.Duplicate, f.ServerErr, f.Delay, f.Stall} {
 		if p < 0 || p > 1 {
 			return nil, fmt.Errorf("chaos: probability %v out of [0,1]", p)
 		}
 	}
 	if f.Delay > 0 && f.MaxDelay <= 0 {
 		return nil, fmt.Errorf("chaos: Delay=%v needs a positive MaxDelay", f.Delay)
+	}
+	if f.Stall > 0 && f.StallFor <= 0 {
+		return nil, fmt.Errorf("chaos: Stall=%v needs a positive StallFor", f.Stall)
 	}
 	return &Injector{faults: f, rng: frand.New(f.Seed), byClass: make(map[string]*Counters)}, nil
 }
@@ -132,6 +154,8 @@ func (in *Injector) SetMetrics(reg *obs.Registry) {
 	defer in.mu.Unlock()
 	in.reqVec = reg.CounterVec(MetricRequests,
 		"Client requests seen by the chaos round tripper.", "class")
+	in.delivVec = reg.CounterVec(MetricDeliveries,
+		"Requests delivered to the server-side middleware, by class.", "class")
 	in.faultVec = reg.CounterVec(MetricFaults,
 		"Faults injected, by kind and request class.", "kind", "class")
 }
@@ -285,11 +309,20 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 		class := ClassOf(r.URL.Path)
 		in.mu.Lock()
 		cc := in.classLocked(class)
+		in.counters.Delivered++
+		cc.Delivered++
+		if in.delivVec != nil {
+			in.delivVec.With(class).Inc()
+		}
 		fail := in.roll(in.faults.ServerErr)
 		if fail {
 			in.fault("server_err", class, &in.counters.ServerErrs, &cc.ServerErrs)
 		}
-		delay := !fail && in.roll(in.faults.Delay)
+		stall := !fail && in.roll(in.faults.Stall)
+		if stall {
+			in.fault("stall", class, &in.counters.Stalled, &cc.Stalled)
+		}
+		delay := !fail && !stall && in.roll(in.faults.Delay)
 		if delay {
 			in.fault("delay", class, &in.counters.Delayed, &cc.Delayed)
 		}
@@ -300,13 +333,32 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			fmt.Fprintln(w, `{"error":"chaos: injected unavailability","code":"unavailable"}`)
 			return
 		}
-		if delay {
-			d := in.delayFor()
-			select {
-			case <-r.Context().Done():
-				return
-			case <-time.After(d):
+		if stall {
+			// A stall models a held *response*: the request is fully
+			// received now (body buffered, so the late handler cannot hit
+			// a read error from a hung-up client), then processing is
+			// held for the full StallFor even if the client gives up —
+			// the handler still runs afterwards, so a stalled request the
+			// client timed out on is processed exactly like a lost ack.
+			if r.Body != nil {
+				body, err := io.ReadAll(r.Body)
+				r.Body.Close()
+				if err != nil {
+					body = nil
+				}
+				r.Body = io.NopCloser(bytes.NewReader(body))
 			}
+			t := time.NewTimer(in.faults.StallFor)
+			<-t.C
+		}
+		if delay {
+			// Sleep unconditionally rather than racing the client's
+			// disconnect: a delayed delivery always reaches the handler,
+			// so (deliveries - injected 503s) counts handler invocations
+			// exactly. Delays are bounded by MaxDelay, so a dead client
+			// pins the goroutine only briefly.
+			t := time.NewTimer(in.delayFor())
+			<-t.C
 		}
 		next.ServeHTTP(w, r)
 	})

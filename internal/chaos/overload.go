@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+)
+
+// Overload generators: synthetic misbehaviour aimed at a server's
+// admission-control layer rather than its correctness. Where the Injector
+// perturbs individual exchanges, these drive the aggregate shapes an
+// overloaded deployment actually sees — burst swarms arriving in the same
+// instant, and slow-loris request bodies that trickle bytes to pin a
+// handler for as long as the server lets them.
+
+// Swarm fires n calls of fn as one synchronized burst: every goroutine is
+// spawned and parked at a start barrier, then all released at once, so
+// the target sees the full offered load in a single instant instead of a
+// ramp. It returns once every call finished, with the per-call errors in
+// order (nil for successes).
+func Swarm(ctx context.Context, n int, fn func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = fn(ctx, i)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return errs
+}
+
+// SlowBody returns an io.Reader that plays payload back chunk bytes at a
+// time, pausing every between chunks — a slow-loris request body. A
+// server without per-request read deadlines keeps a handler (and its
+// in-flight slot) pinned for len(payload)/chunk pauses; one with
+// deadlines cuts the request off early.
+func SlowBody(payload []byte, chunk int, every time.Duration) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowBody{payload: payload, chunk: chunk, every: every}
+}
+
+type slowBody struct {
+	payload []byte
+	chunk   int
+	every   time.Duration
+	started bool
+}
+
+// Read trickles the next chunk after the configured pause. The first
+// chunk is sent immediately so the request headers and body head arrive
+// together, which is what keeps real slow-loris connections alive.
+func (b *slowBody) Read(p []byte) (int, error) {
+	if len(b.payload) == 0 {
+		return 0, io.EOF
+	}
+	if b.started {
+		t := time.NewTimer(b.every)
+		<-t.C
+	}
+	b.started = true
+	n := b.chunk
+	if n > len(b.payload) {
+		n = len(b.payload)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, b.payload[:n])
+	b.payload = b.payload[n:]
+	return n, nil
+}

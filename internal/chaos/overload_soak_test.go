@@ -1,0 +1,386 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/frand"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// checkedTransport wraps a RoundTripper and audits every rejection the
+// server sends back: a 503 or 429 must carry the typed unavailable code
+// and Retry-After advice in both header and envelope, and no error
+// response may be untyped. Violations are collected, not fatal, so the
+// soak reports them all at once.
+type checkedTransport struct {
+	inner http.RoundTripper
+
+	mu         sync.Mutex
+	rejects    int
+	violations []string
+}
+
+func (c *checkedTransport) violation(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) < 20 {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *checkedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.inner.RoundTrip(req)
+	if err != nil || resp.StatusCode < 400 {
+		return resp, err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	if rerr != nil {
+		return resp, nil
+	}
+	var e wire.Error
+	if json.Unmarshal(data, &e) != nil || e.Code == "" {
+		c.violation("%s %s: status %d with no typed error code: %.100s",
+			req.Method, req.URL.Path, resp.StatusCode, data)
+		return resp, nil
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+		c.mu.Lock()
+		c.rejects++
+		c.mu.Unlock()
+		if e.Code != wire.CodeUnavailable {
+			c.violation("%s: status %d carries code %q, want unavailable", req.URL.Path, resp.StatusCode, e.Code)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			c.violation("%s: status %d without a Retry-After header", req.URL.Path, resp.StatusCode)
+		}
+		if !(e.RetryAfter > 0) {
+			c.violation("%s: status %d without envelope retry_after_seconds", req.URL.Path, resp.StatusCode)
+		}
+	}
+	return resp, nil
+}
+
+// TestOverloadSoak throws a synchronized burst of ~10× the server's
+// admission capacity at a tightly capped daemon and asserts graceful
+// degradation: every rejection is a typed, retryable 503/429 with
+// Retry-After advice, the server actually sheds (this is an overload, not
+// a sizing exercise), no acked report is ever lost, most of the fleet
+// pushes through on retries, and the shared circuit breaker ends closed.
+func TestOverloadSoak(t *testing.T) {
+	const (
+		n    = 120
+		bits = 6
+	)
+	s := transport.NewServer(1)
+	s.SetOverload(transport.OverloadPolicy{
+		ReportInFlight: 4,
+		TaskInFlight:   4,
+		AdminInFlight:  2,
+		QueryInFlight:  2,
+		QueueDepth:     8,
+		QueueWait:      20 * time.Millisecond,
+		RetryAfterBase: 20 * time.Millisecond,
+		RetryAfterMax:  200 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	checker := &checkedTransport{inner: http.DefaultTransport}
+	hc := &http.Client{Transport: checker}
+	// One breaker for the whole fleet: under a sustained shed storm it
+	// opens and meters recovery through half-open probes instead of a
+	// thundering herd.
+	breaker := &transport.CircuitBreaker{
+		Window:           time.Second,
+		FailureThreshold: 100,
+		Cooldown:         50 * time.Millisecond,
+	}
+	retry := func(seed uint64) *transport.RetryPolicy {
+		return &transport.RetryPolicy{
+			MaxAttempts:   25,
+			BaseDelay:     2 * time.Millisecond,
+			MaxDelay:      100 * time.Millisecond,
+			Jitter:        0.5,
+			PerTryTimeout: 5 * time.Second,
+			Seed:          seed,
+			Breaker:       breaker,
+		}
+	}
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: srv.URL, HTTPClient: hc, Retry: retry(1)}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: "overload", Bits: bits, Gamma: 1, MinCohort: n / 4,
+	})
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+
+	// Pin every report slot with a slow-loris body for the opening of the
+	// burst: the in-memory handlers are otherwise fast enough to drain 10×
+	// load without ever filling a queue. Each pinner trickles a valid
+	// report over ~700ms — well inside the 5s request deadline — holding
+	// its admission slot the whole time, exactly what a fleet of clients
+	// on congested uplinks does to a real deployment.
+	var pinners sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		pinners.Add(1)
+		go func(i int) {
+			defer pinners.Done()
+			payload := []byte(fmt.Sprintf(`{"client_id":"loris-%d","bit":0,"value":1}`, i))
+			req, err := http.NewRequest(http.MethodPost,
+				fmt.Sprintf("%s/v1/sessions/%s/reports", srv.URL, session),
+				chaos.SlowBody(payload, 4, 60*time.Millisecond))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Give the pinners a beat to claim their slots before the burst.
+	time.Sleep(100 * time.Millisecond)
+
+	// The burst: every client fires in the same instant. Report+task
+	// in-flight capacity is 8 with 16 queue seats, so 120 synchronized
+	// clients offer ~10× what admission control will hold.
+	root := frand.New(3)
+	rngs := make([]*frand.RNG, n)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	var succeeded atomic.Int64
+	chaos.Swarm(ctx, n, func(ctx context.Context, i int) error {
+		p := &transport.Participant{
+			BaseURL:    srv.URL,
+			ClientID:   clientID(i),
+			RNG:        rngs[i],
+			Retry:      retry(uint64(i) + 100),
+			HTTPClient: hc,
+		}
+		err := p.Participate(ctx, session, uint64(i)%(1<<bits))
+		if err == nil {
+			succeeded.Add(1)
+		}
+		return err
+	})
+
+	pinners.Wait()
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	ok := int(succeeded.Load())
+	reg := s.Registry()
+	shed := reg.CounterVec(transport.MetricOverloadShed, "", "class", "reason")
+	var shedTotal uint64
+	for _, class := range []string{"report", "task", "admin", "query"} {
+		for _, reason := range []string{transport.ShedQueueFull, transport.ShedQueueTimeout, transport.ShedAbandoned} {
+			shedTotal += shed.With(class, reason).Value()
+		}
+	}
+	t.Logf("overload soak: %d/%d clients through, cohort %d, %d sheds, %d typed rejects seen",
+		ok, n, res.Reports, shedTotal, checker.rejects)
+
+	// The server must actually have shed under 10× load, and every shed
+	// the fleet saw must have been typed and advisory.
+	if shedTotal == 0 {
+		t.Fatal("10x burst produced zero sheds: the overload path never engaged")
+	}
+	checker.mu.Lock()
+	violations := checker.violations
+	rejects := checker.rejects
+	checker.mu.Unlock()
+	if rejects == 0 {
+		t.Fatal("clients never saw a 503/429 despite server-side sheds")
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+
+	// Zero acked-then-lost: every client whose Participate was acked is in
+	// the finalized cohort, and nobody is double-counted.
+	if res.Reports < ok {
+		t.Fatalf("cohort %d < %d acked participations: an acked report was lost", res.Reports, ok)
+	}
+	if res.Reports > n {
+		t.Fatalf("cohort %d from %d clients: double counting", res.Reports, n)
+	}
+	if accepted := reg.CounterVec(transport.MetricReports, "", "result").
+		With(transport.ReportAccepted).Value(); accepted != uint64(res.Reports) {
+		t.Fatalf("accepted counter %d != finalized cohort %d", accepted, res.Reports)
+	}
+	// Retries plus server backoff advice must carry most of the fleet
+	// through; a hard floor of half guards against pathological shedding.
+	if ok < n/2 {
+		t.Fatalf("only %d/%d clients pushed through the overload", ok, n)
+	}
+	// With the traffic gone the breaker must settle closed: one quiet
+	// request rides the half-open probe if the storm left it open.
+	if _, err := admin.Result(ctx, session); err != nil {
+		t.Fatalf("post-storm result fetch: %v", err)
+	}
+	if got := breaker.State(); got != transport.BreakerClosed {
+		t.Fatalf("breaker state %q after the storm drained, want closed", got)
+	}
+
+	// CI uploads the end-of-run registry as an artifact: set
+	// OVERLOAD_METRICS_OUT to dump the shed/queue/report counters in
+	// Prometheus text format.
+	if out := os.Getenv("OVERLOAD_METRICS_OUT"); out != "" {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatalf("render metrics summary: %v", err)
+		}
+		if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write metrics summary %s: %v", out, err)
+		}
+		t.Logf("metrics summary written to %s (%d bytes)", out, buf.Len())
+	}
+}
+
+// TestBreakerReclosesAfterOutage drives the client circuit breaker through
+// a full outage over real HTTP: a server answering nothing but typed 503s
+// trips it, attempts then fail fast without touching the network, and once
+// the server recovers the half-open probe closes it again.
+func TestBreakerReclosesAfterOutage(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if healthy.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"session_id":"s1","done":false}`)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(wire.Error{
+			Error: "down", Code: wire.CodeUnavailable, RetryAfter: 0.01,
+		})
+	}))
+	defer srv.Close()
+
+	// The cooldown leaves generous headroom over the retry pauses (≤5ms
+	// each) so the open-state assertions below cannot race a half-open
+	// transition even under -race scheduling.
+	breaker := &transport.CircuitBreaker{
+		Window:           10 * time.Second,
+		FailureThreshold: 3,
+		Cooldown:         300 * time.Millisecond,
+	}
+	admin := &transport.Admin{BaseURL: srv.URL, Retry: &transport.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        7,
+		Breaker:     breaker,
+	}}
+	ctx := context.Background()
+	// The outage: enough failed attempts to trip the breaker.
+	if _, err := admin.Result(ctx, "s1"); err == nil {
+		t.Fatal("outage request succeeded against a 503-only server")
+	}
+	if got := breaker.State(); got != transport.BreakerOpen {
+		t.Fatalf("breaker state %q after outage, want open", got)
+	}
+	// While open, attempts fail fast locally: the server sees nothing.
+	before := hits.Load()
+	if _, err := admin.Result(ctx, "s1"); err == nil {
+		t.Fatal("open-breaker request unexpectedly succeeded")
+	}
+	if after := hits.Load(); after != before {
+		t.Fatalf("open breaker let %d requests reach the server", after-before)
+	}
+	// Recovery: past the cooldown the next attempt rides the half-open
+	// probe, succeeds, and the breaker closes.
+	healthy.Store(true)
+	time.Sleep(breaker.Cooldown + 10*time.Millisecond)
+	if _, err := admin.Result(ctx, "s1"); err != nil {
+		t.Fatalf("post-recovery request failed: %v", err)
+	}
+	if got := breaker.State(); got != transport.BreakerClosed {
+		t.Fatalf("breaker state %q after recovery, want closed", got)
+	}
+}
+
+// TestSlowLorisCutOff trickles a request body slower than the server's
+// per-request read deadline and asserts the server cuts the connection off
+// early instead of letting the handler (and its admission slot) hang for
+// the body's full transfer time.
+func TestSlowLorisCutOff(t *testing.T) {
+	s := transport.NewServer(1)
+	s.SetOverload(transport.OverloadPolicy{
+		ReportInFlight: 1,
+		RequestTimeout: 150 * time.Millisecond,
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// ~300 bytes at 10 bytes per 100ms ≈ 3s of trickle against a 150ms
+	// read deadline.
+	payload := []byte(fmt.Sprintf(`{"client_id":%q,"bit":0,"value":1}`,
+		"loris-"+string(bytes.Repeat([]byte("x"), 256))))
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions/s1/reports",
+		chaos.SlowBody(payload, 10, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+	elapsed := time.Since(start)
+	// The deadline must have cut the request far short of the full
+	// trickle; the exact failure surface (connection reset vs an error
+	// status) depends on where the read died.
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("slow-loris request held the server for %v, want a cut near the 150ms deadline", elapsed)
+	}
+	// The admission slot is free again: with only one report slot and no
+	// queue, a pinned handler would shed the next report 503 — a prompt
+	// non-503 answer (404 here, the session never existed) proves the cut
+	// request released its slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Post(srv.URL+"/v1/sessions/s1/reports", "application/json",
+			bytes.NewReader([]byte(`{"client_id":"c1","bit":0,"value":1}`)))
+		if err != nil {
+			t.Fatalf("request after slow-loris cut: %v", err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != http.StatusServiceUnavailable {
+			if code != http.StatusNotFound {
+				t.Fatalf("post-loris report = %d, want 404", code)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("report slot still pinned after the slow-loris request was cut")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -29,6 +29,12 @@ func TestChaosSoak(t *testing.T) {
 	const (
 		n    = 600
 		bits = 8
+		// perTry must be generous enough that honest requests never time
+		// out even under -race scheduling (a timed-out client breaks the
+		// delivery accounting below), while stallFor must exceed it so
+		// every stalled request IS a client-visible timeout.
+		perTry   = 3 * time.Second
+		stallFor = 4 * time.Second
 	)
 	in, err := chaos.NewInjector(chaos.Faults{
 		Seed:      42,
@@ -38,6 +44,11 @@ func TestChaosSoak(t *testing.T) {
 		ServerErr: 0.06,
 		Delay:     0.20,
 		MaxDelay:  5 * time.Millisecond,
+		// Stalls are held past the client's per-try timeout (below), so
+		// every stalled request is a client-visible timeout the server
+		// still processes — the time-domain lost ack.
+		Stall:    0.008,
+		StallFor: stallFor,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +71,7 @@ func TestChaosSoak(t *testing.T) {
 			BaseDelay:     2 * time.Millisecond,
 			MaxDelay:      40 * time.Millisecond,
 			Jitter:        0.5,
-			PerTryTimeout: 5 * time.Second,
+			PerTryTimeout: perTry, // < StallFor: stalled tries time out and retry
 			Seed:          seed,
 		}
 	}
@@ -96,6 +107,13 @@ func TestChaosSoak(t *testing.T) {
 		}(i, v, root.Split())
 	}
 	wg.Wait()
+	// Stalled requests are still being held (and will be processed) after
+	// their clients gave up; let them drain before finalizing so every
+	// delivered report meets a live session and lands in exactly one
+	// ingestion classification.
+	if in.Counters().Stalled > 0 {
+		time.Sleep(stallFor + 200*time.Millisecond)
+	}
 
 	res, err := admin.Finalize(ctx, session)
 	if err != nil {
@@ -107,7 +125,7 @@ func TestChaosSoak(t *testing.T) {
 	c := in.Counters()
 	t.Logf("faults: %+v over %d requests; %d/%d clients succeeded, %d reports",
 		c, c.Requests, succeeded, n, res.Reports)
-	if c.Dropped < c.Requests/20 || c.Duplicated == 0 || c.AcksLost == 0 || c.ServerErrs == 0 || c.Delayed == 0 {
+	if c.Dropped < c.Requests/20 || c.Duplicated == 0 || c.AcksLost == 0 || c.ServerErrs == 0 || c.Delayed == 0 || c.Stalled == 0 {
 		t.Fatalf("fault injector barely fired: %+v", c)
 	}
 
@@ -156,14 +174,19 @@ func TestChaosSoak(t *testing.T) {
 
 	// Metrics reconciliation: the instrumented pipeline's counters must
 	// agree exactly with the injector's ground truth for the reports route.
-	// Every client send either vanished (dropped) or was delivered — twice
-	// when duplicated — and every delivery either got an injected 503 or
-	// reached the report handler, which classified it into exactly one
-	// fednum_reports_total result.
+	// The middleware's Delivered tally is the server-side ground truth:
+	// every delivery either got an injected 503 or reached the report
+	// handler, which classified it into exactly one fednum_reports_total
+	// result. The client-side arithmetic (sends - dropped + duplicated)
+	// bounds deliveries from above — a duplicate's second copy is never
+	// sent when the per-try context died during the first (e.g. a stalled
+	// first delivery), so it may overshoot by those suppressed copies.
 	reg := agg.Registry()
 	cr := in.ClassCounters(chaos.ClassReport)
-	deliveries := cr.Requests - cr.Dropped + cr.Duplicated
-	handlerCalls := deliveries - cr.ServerErrs
+	if sent := cr.Requests - cr.Dropped + cr.Duplicated; cr.Delivered > sent {
+		t.Fatalf("server saw %d report deliveries, client-side arithmetic caps it at %d", cr.Delivered, sent)
+	}
+	handlerCalls := cr.Delivered - cr.ServerErrs
 	results := reg.CounterVec(transport.MetricReports, "", "result")
 	var classified uint64
 	for _, result := range []string{
@@ -173,8 +196,8 @@ func TestChaosSoak(t *testing.T) {
 		classified += results.With(result).Value()
 	}
 	if classified != uint64(handlerCalls) {
-		t.Fatalf("reports classified = %d, want %d (= %d sends - %d dropped + %d duplicated - %d injected 503s)",
-			classified, handlerCalls, cr.Requests, cr.Dropped, cr.Duplicated, cr.ServerErrs)
+		t.Fatalf("reports classified = %d, want %d (= %d deliveries - %d injected 503s)",
+			classified, handlerCalls, cr.Delivered, cr.ServerErrs)
 	}
 	if accepted := results.With(transport.ReportAccepted).Value(); accepted != uint64(res.Reports) {
 		t.Fatalf("accepted counter = %d, finalized cohort = %d", accepted, res.Reports)
@@ -184,8 +207,25 @@ func TestChaosSoak(t *testing.T) {
 	if got := faults.With("drop", chaos.ClassReport).Value(); got != uint64(cr.Dropped) {
 		t.Fatalf("chaos_faults_total{drop,report} = %d, counters say %d", got, cr.Dropped)
 	}
+	// Stall reconciliation: the per-class mirrors must sum to the global
+	// ground-truth tally, and stalled deliveries are part of the handler
+	// accounting above (a stall delays the handler, never skips it).
+	var stalledByClass int
+	for _, class := range []string{chaos.ClassReport, chaos.ClassTask, chaos.ClassAdmin} {
+		got := faults.With("stall", class).Value()
+		if want := uint64(in.ClassCounters(class).Stalled); got != want {
+			t.Fatalf("chaos_faults_total{stall,%s} = %d, counters say %d", class, got, want)
+		}
+		stalledByClass += in.ClassCounters(class).Stalled
+	}
+	if stalledByClass != c.Stalled {
+		t.Fatalf("per-class stalls sum to %d, global counter says %d", stalledByClass, c.Stalled)
+	}
 	if got := reg.CounterVec(chaos.MetricRequests, "", "class").With(chaos.ClassReport).Value(); got != uint64(cr.Requests) {
 		t.Fatalf("chaos_requests_total{report} = %d, counters say %d", got, cr.Requests)
+	}
+	if got := reg.CounterVec(chaos.MetricDeliveries, "", "class").With(chaos.ClassReport).Value(); got != uint64(cr.Delivered) {
+		t.Fatalf("chaos_deliveries_total{report} = %d, counters say %d", got, cr.Delivered)
 	}
 	t.Logf("reconciled: %d report sends, %d handler calls, %d classified (%d accepted)",
 		cr.Requests, handlerCalls, classified, results.With(transport.ReportAccepted).Value())

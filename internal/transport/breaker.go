@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrBreakerOpen is returned (possibly wrapped) when a request is refused
+// locally because the circuit breaker is open: the server has failed
+// enough recent attempts that hammering it further would only deepen the
+// overload. The failure is transient by construction — the breaker
+// half-opens after its cooldown — so Retryable reports it as such.
+var ErrBreakerOpen = errors.New("transport: circuit breaker open")
+
+// Breaker states, exposed through CircuitBreaker.State and the
+// MetricClientBreakerState gauge (closed=0, half-open=1, open=2).
+const (
+	BreakerClosed   = "closed"
+	BreakerHalfOpen = "half_open"
+	BreakerOpen     = "open"
+)
+
+// CircuitBreaker is a client-side circuit breaker, layered under
+// RetryPolicy (set RetryPolicy.Breaker): when the rolling failure window
+// fills, the breaker opens and attempts fail fast locally instead of
+// piling onto a struggling server. After Cooldown it half-opens and lets
+// exactly one probe request through; a successful probe closes the
+// breaker, a failed one re-opens it for another cooldown.
+//
+// One breaker guards one server, so a fleet of Participants talking to
+// the same daemon should share a single CircuitBreaker (it is safe for
+// concurrent use): the fleet then recovers as a trickle of probes rather
+// than a thundering herd.
+type CircuitBreaker struct {
+	// Window is the rolling interval over which failures are counted.
+	Window time.Duration
+	// FailureThreshold opens the breaker when this many failures land
+	// within Window; values < 1 behave as 1.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe.
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests; nil means time.Now.
+	Now func() time.Time
+	// Metrics, when non-nil, publishes the breaker state gauge and
+	// transition counters (MetricClientBreaker*). Set before first use.
+	Metrics *obs.Registry
+
+	mu sync.Mutex
+	// failures holds the timestamps of the most recent failures, at most
+	// FailureThreshold of them (older ones can never matter).
+	failures []time.Time
+	state    string
+	openedAt time.Time
+	// probing marks the single in-flight half-open probe.
+	probing bool
+	bm      *breakerMetrics
+}
+
+// DefaultCircuitBreaker returns edge-device defaults: open after 5
+// failures inside 10 seconds, probe again after 2 seconds.
+func DefaultCircuitBreaker() *CircuitBreaker {
+	return &CircuitBreaker{Window: 10 * time.Second, FailureThreshold: 5, Cooldown: 2 * time.Second}
+}
+
+func (cb *CircuitBreaker) now() time.Time {
+	if cb.Now != nil {
+		return cb.Now()
+	}
+	return time.Now()
+}
+
+func (cb *CircuitBreaker) threshold() int {
+	if cb.FailureThreshold < 1 {
+		return 1
+	}
+	return cb.FailureThreshold
+}
+
+// metricsLocked resolves the instrument set; the caller holds cb.mu.
+func (cb *CircuitBreaker) metricsLocked() *breakerMetrics {
+	if cb.Metrics == nil {
+		return nil
+	}
+	if cb.bm == nil {
+		cb.bm = newBreakerMetrics(cb.Metrics)
+	}
+	return cb.bm
+}
+
+// setStateLocked transitions the breaker and mirrors the change into the
+// metrics registry; the caller holds cb.mu.
+func (cb *CircuitBreaker) setStateLocked(state string) {
+	if cb.state == "" {
+		cb.state = BreakerClosed
+	}
+	if state == cb.state {
+		return
+	}
+	cb.state = state
+	if bm := cb.metricsLocked(); bm != nil {
+		bm.state.Set(stateValue(state))
+		bm.transitions.With(state).Inc()
+	}
+}
+
+func stateValue(state string) float64 {
+	switch state {
+	case BreakerOpen:
+		return 2
+	case BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// State reports the breaker's current state, advancing open → half-open
+// when the cooldown has elapsed.
+func (cb *CircuitBreaker) State() string {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.advanceLocked(cb.now())
+	if cb.state == "" {
+		return BreakerClosed
+	}
+	return cb.state
+}
+
+// advanceLocked applies the time-driven transition (open → half-open
+// after Cooldown); the caller holds cb.mu.
+func (cb *CircuitBreaker) advanceLocked(now time.Time) {
+	if cb.state == BreakerOpen && now.Sub(cb.openedAt) >= cb.Cooldown {
+		cb.setStateLocked(BreakerHalfOpen)
+		cb.probing = false
+	}
+}
+
+// Allow reports whether an attempt may be issued now. Closed allows
+// everything; open allows nothing; half-open allows exactly one probe at
+// a time — the caller must follow every allowed attempt with Record so
+// the probe slot is released.
+func (cb *CircuitBreaker) Allow() bool {
+	if cb == nil {
+		return true
+	}
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	cb.advanceLocked(cb.now())
+	switch cb.state {
+	case BreakerOpen:
+		if bm := cb.metricsLocked(); bm != nil {
+			bm.fastFails.Inc()
+		}
+		return false
+	case BreakerHalfOpen:
+		if cb.probing {
+			if bm := cb.metricsLocked(); bm != nil {
+				bm.fastFails.Inc()
+			}
+			return false
+		}
+		cb.probing = true
+		if bm := cb.metricsLocked(); bm != nil {
+			bm.probes.Inc()
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Record feeds the outcome of an allowed attempt back into the breaker.
+// Only failures that say something about server health should be recorded
+// as such: RecordResult maps an error through the Retryable classifier.
+func (cb *CircuitBreaker) Record(failure bool) {
+	if cb == nil {
+		return
+	}
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	now := cb.now()
+	cb.advanceLocked(now)
+	if cb.state == BreakerHalfOpen {
+		cb.probing = false
+		if failure {
+			cb.openLocked(now)
+		} else {
+			cb.failures = cb.failures[:0]
+			cb.setStateLocked(BreakerClosed)
+		}
+		return
+	}
+	if !failure {
+		return
+	}
+	cb.failures = append(cb.failures, now)
+	if n := len(cb.failures); n > cb.threshold() {
+		cb.failures = cb.failures[n-cb.threshold():]
+	}
+	if len(cb.failures) >= cb.threshold() &&
+		(cb.Window <= 0 || now.Sub(cb.failures[0]) <= cb.Window) {
+		cb.openLocked(now)
+	}
+}
+
+// openLocked trips the breaker; the caller holds cb.mu.
+func (cb *CircuitBreaker) openLocked(now time.Time) {
+	cb.openedAt = now
+	cb.failures = cb.failures[:0]
+	cb.setStateLocked(BreakerOpen)
+}
+
+// RecordResult classifies err the way the retry loop does — transient
+// (transport-level or retryable server status) failures count against the
+// breaker, success and protocol rejections (which prove the server is
+// answering) count as health — and feeds the verdict to Record. Context
+// cancellation is the caller's doing and records nothing.
+func (cb *CircuitBreaker) RecordResult(err error) {
+	if cb == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		// The caller gave up; that says nothing about the server, but the
+		// probe slot must still be released in half-open.
+		cb.mu.Lock()
+		cb.probing = false
+		cb.mu.Unlock()
+		return
+	}
+	cb.Record(err != nil && Retryable(err))
+}
+
+// breakerMetrics bundles the breaker's instruments.
+type breakerMetrics struct {
+	state       *obs.Gauge
+	transitions *obs.CounterVec
+	fastFails   *obs.Counter
+	probes      *obs.Counter
+}
+
+func newBreakerMetrics(reg *obs.Registry) *breakerMetrics {
+	return &breakerMetrics{
+		state: reg.Gauge(MetricClientBreakerState,
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open."),
+		transitions: reg.CounterVec(MetricClientBreakerTransitions,
+			"Circuit breaker state transitions, by new state.", "state"),
+		fastFails: reg.Counter(MetricClientBreakerFastFails,
+			"Attempts refused locally because the breaker was open."),
+		probes: reg.Counter(MetricClientBreakerProbes,
+			"Half-open probe attempts let through the breaker."),
+	}
+}

@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport/wire"
+)
+
+// testBreaker builds a breaker on the shared fakeClock from
+// resilience_test.go.
+func testBreaker(clk *fakeClock) *CircuitBreaker {
+	return &CircuitBreaker{
+		Window:           10 * time.Second,
+		FailureThreshold: 3,
+		Cooldown:         2 * time.Second,
+		Now:              clk.Now,
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	for i := 0; i < 2; i++ {
+		if !cb.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		cb.Record(true)
+	}
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("below threshold, state = %s, want closed", got)
+	}
+	cb.Record(true) // third failure within the window trips it
+	if got := cb.State(); got != BreakerOpen {
+		t.Fatalf("at threshold, state = %s, want open", got)
+	}
+	if cb.Allow() {
+		t.Fatal("open breaker allowed an attempt")
+	}
+}
+
+func TestBreakerWindowForgetsOldFailures(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	// Two failures, then a gap wider than the window before the third:
+	// the first failure has aged out, so the breaker must stay closed.
+	cb.Record(true)
+	cb.Record(true)
+	clk.Advance(11 * time.Second)
+	cb.Record(true)
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("stale failures tripped the breaker: state = %s", got)
+	}
+}
+
+func TestBreakerSuccessDoesNotResetWindow(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	cb.Record(true)
+	cb.Record(false) // success between failures
+	cb.Record(true)
+	cb.Record(true)
+	if got := cb.State(); got != BreakerOpen {
+		t.Fatalf("three failures inside the window, state = %s, want open", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		cb.Record(true)
+	}
+	if cb.Allow() {
+		t.Fatal("open breaker allowed an attempt")
+	}
+	clk.Advance(cb.Cooldown)
+	if got := cb.State(); got != BreakerHalfOpen {
+		t.Fatalf("after cooldown, state = %s, want half_open", got)
+	}
+	if !cb.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if cb.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	cb.Record(false) // probe succeeded
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe, state = %s, want closed", got)
+	}
+	if !cb.Allow() {
+		t.Fatal("re-closed breaker refused an attempt")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		cb.Record(true)
+	}
+	clk.Advance(cb.Cooldown)
+	if !cb.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	cb.Record(true) // probe failed
+	if got := cb.State(); got != BreakerOpen {
+		t.Fatalf("after failed probe, state = %s, want open", got)
+	}
+	// A fresh cooldown applies before the next probe.
+	clk.Advance(cb.Cooldown / 2)
+	if cb.Allow() {
+		t.Fatal("re-opened breaker allowed an attempt before the new cooldown")
+	}
+	clk.Advance(cb.Cooldown)
+	if !cb.Allow() {
+		t.Fatal("breaker refused the probe after the second cooldown")
+	}
+}
+
+func TestBreakerRecordResultClassification(t *testing.T) {
+	clk := newFakeClock()
+	// Protocol rejections prove the server is answering: they must not
+	// count as failures, however many arrive.
+	cb := testBreaker(clk)
+	rejected := &StatusError{Status: http.StatusConflict, Code: wire.CodeFinalized}
+	for i := 0; i < 10; i++ {
+		cb.RecordResult(rejected)
+	}
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("protocol rejections tripped the breaker: state = %s", got)
+	}
+	// Retryable failures do count.
+	unavailable := &StatusError{Status: http.StatusServiceUnavailable, Code: wire.CodeUnavailable}
+	for i := 0; i < 3; i++ {
+		cb.RecordResult(unavailable)
+	}
+	if got := cb.State(); got != BreakerOpen {
+		t.Fatalf("retryable failures did not trip the breaker: state = %s", got)
+	}
+}
+
+func TestBreakerCancellationReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		cb.Record(true)
+	}
+	clk.Advance(cb.Cooldown)
+	if !cb.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// The probe's caller gave up: no verdict, but the slot frees so the
+	// next attempt can probe instead of deadlocking the half-open state.
+	cb.RecordResult(context.Canceled)
+	if got := cb.State(); got != BreakerHalfOpen {
+		t.Fatalf("cancellation changed state to %s", got)
+	}
+	if !cb.Allow() {
+		t.Fatal("probe slot not released after caller cancellation")
+	}
+}
+
+func TestBreakerNilIsNoop(t *testing.T) {
+	var cb *CircuitBreaker
+	if !cb.Allow() {
+		t.Fatal("nil breaker refused an attempt")
+	}
+	cb.Record(true)
+	cb.RecordResult(errors.New("x"))
+}
+
+func TestBreakerMetrics(t *testing.T) {
+	clk := newFakeClock()
+	cb := testBreaker(clk)
+	reg := obs.NewRegistry()
+	cb.Metrics = reg
+	for i := 0; i < 3; i++ {
+		cb.Record(true)
+	}
+	cb.Allow() // fast fail while open
+	clk.Advance(cb.Cooldown)
+	cb.Allow() // probe
+	cb.Record(false)
+	if got := reg.Gauge(MetricClientBreakerState, "").Value(); got != 0 {
+		t.Fatalf("breaker state gauge = %v, want 0 (closed)", got)
+	}
+	trans := reg.CounterVec(MetricClientBreakerTransitions, "", "state")
+	for state, want := range map[string]uint64{BreakerOpen: 1, BreakerHalfOpen: 1, BreakerClosed: 1} {
+		if got := trans.With(state).Value(); got != want {
+			t.Fatalf("transitions{%s} = %d, want %d", state, got, want)
+		}
+	}
+	if got := reg.Counter(MetricClientBreakerFastFails, "").Value(); got != 1 {
+		t.Fatalf("fast fails = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricClientBreakerProbes, "").Value(); got != 1 {
+		t.Fatalf("probes = %d, want 1", got)
+	}
+}
+
+// TestRetryDoFailsFastWhileOpen wires a breaker under a RetryPolicy and
+// checks open-circuit tries never reach the network but keep consuming
+// the backoff schedule, so the loop rides the half-open probe after the
+// cooldown.
+func TestRetryDoFailsFastWhileOpen(t *testing.T) {
+	clk := newFakeClock()
+	cb := &CircuitBreaker{
+		Window:           10 * time.Second,
+		FailureThreshold: 2,
+		Cooldown:         50 * time.Millisecond,
+		Now:              clk.Now,
+	}
+	rp := &RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, Seed: 1, Breaker: cb}
+	rp.sleep = func(ctx context.Context, d time.Duration) error {
+		clk.Advance(20 * time.Millisecond)
+		return nil
+	}
+	calls := 0
+	err := rp.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return &StatusError{Status: http.StatusServiceUnavailable, Code: wire.CodeUnavailable}
+	})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen after the breaker tripped", err)
+	}
+	// Two real attempts trip the breaker; the sleeps advance 20ms per
+	// retry, so attempts 3 and 4 fail fast and attempt 5 (≥50ms after the
+	// trip) rides the half-open probe, which fails and re-opens.
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 to trip + 1 half-open probe)", calls)
+	}
+	// A healthy server closes the breaker through the next probe.
+	clk.Advance(time.Second)
+	err = rp.Do(context.Background(), func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("recovery attempt failed: %v", err)
+	}
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe, state = %s, want closed", got)
+	}
+}

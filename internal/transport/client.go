@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"repro/internal/frand"
 	"repro/internal/ldp"
@@ -157,6 +158,14 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u str
 			var e wire.Error
 			if json.Unmarshal(data, &e) == nil {
 				se.Code, se.Msg = e.Code, e.Error
+				if e.RetryAfter > 0 {
+					// The envelope's float seconds beat the header's
+					// whole-second granularity when both are present.
+					se.RetryAfter = time.Duration(e.RetryAfter * float64(time.Second))
+				}
+			}
+			if se.RetryAfter == 0 {
+				se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 			}
 			return se
 		}

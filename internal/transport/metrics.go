@@ -24,6 +24,13 @@ const (
 	MetricTasksAssigned     = "fednum_tasks_assigned_total"
 	MetricGCSweeps          = "fednum_gc_sweeps_total"
 	MetricSnapshots         = "fednum_snapshots_total"
+	// Overload-control instruments: queue depth and sheds are labelled by
+	// endpoint class (report, task, admin, query); sheds additionally by
+	// reason (queue_full, queue_timeout, abandoned).
+	MetricOverloadQueueDepth = "fednum_overload_queue_depth"
+	MetricOverloadShed       = "fednum_overload_shed_total"
+	MetricReportRateLimited  = "fednum_report_ratelimited_total"
+	MetricBodyTooLarge       = "fednum_body_too_large_total"
 )
 
 // Client-side metric names, recorded by RetryPolicy and Participant into
@@ -35,6 +42,12 @@ const (
 	MetricClientAttemptTime   = "fednum_client_attempt_seconds"
 	MetricClientDuplicateAcks = "fednum_client_duplicate_acks_total"
 	MetricClientRejections    = "fednum_client_rejected_reports_total"
+	// Server-driven backoff and circuit-breaker instruments.
+	MetricClientRetryAfterWaits    = "fednum_client_retry_after_waits_total"
+	MetricClientBreakerState       = "fednum_client_breaker_state"
+	MetricClientBreakerTransitions = "fednum_client_breaker_transitions_total"
+	MetricClientBreakerFastFails   = "fednum_client_breaker_fast_fails_total"
+	MetricClientBreakerProbes      = "fednum_client_breaker_probes_total"
 )
 
 // Report ingestion outcomes, the values of MetricReports' result label.
@@ -65,6 +78,11 @@ type serverMetrics struct {
 	tasks     *obs.Counter
 	sweeps    *obs.CounterVec // forced: true | false
 	snapshots *obs.Counter
+
+	queueDepth   *obs.GaugeVec   // class
+	shed         *obs.CounterVec // class, reason
+	rateLimited  *obs.Counter
+	bodyRejected *obs.CounterVec // route
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -99,6 +117,16 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"forced"),
 		snapshots: reg.Counter(MetricSnapshots,
 			"Session-table snapshots durably written to disk."),
+		queueDepth: reg.GaugeVec(MetricOverloadQueueDepth,
+			"Requests currently queued for an in-flight slot, by endpoint class.",
+			"class"),
+		shed: reg.CounterVec(MetricOverloadShed,
+			"Requests shed by admission control, by endpoint class and reason.",
+			"class", "reason"),
+		rateLimited: reg.Counter(MetricReportRateLimited,
+			"Report submissions rejected by the per-session rate bucket."),
+		bodyRejected: reg.CounterVec(MetricBodyTooLarge,
+			"Requests rejected for an oversized body, by path.", "route"),
 	}
 }
 
@@ -128,6 +156,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.NewResponseController can
+// reach the connection through this wrapper — without it the overload
+// middleware's per-request read/write deadlines silently never arm.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // instrument wraps a handler with the HTTP middleware: request counts by
 // route/method/status, a latency histogram per route, the in-flight gauge,
 // and a per-request id stamped into the context for log correlation.
@@ -153,10 +186,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // clientMetrics bundles the client-side resilience instruments a
 // RetryPolicy records into.
 type clientMetrics struct {
-	attempts *obs.Counter
-	retries  *obs.Counter
-	failures *obs.Counter
-	seconds  *obs.Histogram
+	attempts        *obs.Counter
+	retries         *obs.Counter
+	failures        *obs.Counter
+	seconds         *obs.Histogram
+	retryAfterWaits *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -169,5 +203,7 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"Requests that failed after exhausting their attempt budget (or fatally)."),
 		seconds: reg.Histogram(MetricClientAttemptTime,
 			"Per-attempt request latency in seconds.", obs.LatencyBuckets),
+		retryAfterWaits: reg.Counter(MetricClientRetryAfterWaits,
+			"Retry pauses stretched to honor a server Retry-After hint."),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,6 +41,11 @@ type StatusError struct {
 	Code wire.Code
 	// Msg is the human-readable server message.
 	Msg string
+	// RetryAfter is the server's backoff advice, parsed from the
+	// Retry-After header (delay-seconds or HTTP-date form) or the error
+	// envelope's retry_after_seconds field; zero when the server sent
+	// none. RetryPolicy.Do honors it, capped by MaxDelay.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -62,10 +68,34 @@ func (e *StatusError) Retryable() bool {
 	switch e.Code {
 	case wire.CodeUnavailable, wire.CodeInternal:
 		return true
-	case wire.CodeBadRequest, wire.CodeNotFound, wire.CodeFinalized, wire.CodeExpired, wire.CodeCohortTooSmall:
+	case wire.CodeBadRequest, wire.CodeNotFound, wire.CodeFinalized, wire.CodeExpired,
+		wire.CodeCohortTooSmall, wire.CodeTooLarge:
 		return false
 	}
 	return e.Status >= 500 || e.Status == http.StatusRequestTimeout || e.Status == http.StatusTooManyRequests
+}
+
+// parseRetryAfter interprets a Retry-After header value relative to now:
+// the delay-seconds form ("3") or the HTTP-date form ("Mon, 02 Jan 2006
+// 15:04:05 GMT"). Garbage, negative delays and past dates report zero —
+// backoff advice degrades to the client's own schedule, never to an
+// error.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Retryable classifies an error from a Participant or Admin call: true for
@@ -119,6 +149,12 @@ type RetryPolicy struct {
 	// constants). Set before first use; policies shared across a fleet
 	// aggregate naturally.
 	Metrics *obs.Registry
+	// Breaker, when non-nil, is consulted before every attempt and fed
+	// every outcome: while it is open, attempts fail fast locally with
+	// ErrBreakerOpen instead of reaching the network, and the backoff
+	// schedule keeps running so a later try can ride the half-open probe.
+	// Share one breaker per target server across the fleet.
+	Breaker *CircuitBreaker
 
 	mu  sync.Mutex
 	rng *frand.RNG
@@ -198,6 +234,14 @@ func (rp *RetryPolicy) metrics() *clientMetrics {
 // Do runs attempt under the policy: each try gets PerTryTimeout, transient
 // failures back off and retry, fatal failures and context cancellation
 // return immediately. The last error is returned when the budget runs out.
+//
+// Server-driven backoff: when a failed attempt carries a Retry-After
+// hint (StatusError.RetryAfter), the next pause is the larger of the
+// local backoff and the hint, with the hint capped by MaxDelay so a
+// confused server cannot park a client forever. With a Breaker attached,
+// open-circuit tries fail fast locally (no network traffic) but still
+// consume backoff pauses, so the loop naturally waits out the cooldown
+// and rides the half-open probe.
 func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context) error) error {
 	cm := rp.metrics()
 	var err error
@@ -206,9 +250,29 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 			if cm != nil {
 				cm.retries.Inc()
 			}
-			if serr := rp.sleepFor(ctx, rp.Backoff(try)); serr != nil {
+			pause := rp.Backoff(try)
+			if hint := retryAfterHint(err); hint > 0 {
+				if rp != nil && rp.MaxDelay > 0 && hint > rp.MaxDelay {
+					hint = rp.MaxDelay
+				}
+				if hint > pause {
+					pause = hint
+					if cm != nil {
+						cm.retryAfterWaits.Inc()
+					}
+				}
+			}
+			if serr := rp.sleepFor(ctx, pause); serr != nil {
 				return serr
 			}
+		}
+		var breaker *CircuitBreaker
+		if rp != nil {
+			breaker = rp.Breaker
+		}
+		if !breaker.Allow() {
+			err = ErrBreakerOpen
+			continue
 		}
 		tryCtx, cancel := ctx, context.CancelFunc(func() {})
 		if rp != nil && rp.PerTryTimeout > 0 {
@@ -222,16 +286,23 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 		} else {
 			err = attempt(tryCtx)
 		}
+		// A per-try deadline firing while the parent is still live is a
+		// transport timeout, not a caller cancellation: retryable, and a
+		// genuine server-health signal for the breaker.
+		timedOut := err != nil && tryCtx.Err() != nil && ctx.Err() == nil
 		cancel()
 		if err == nil {
+			breaker.Record(false)
 			return nil
 		}
-		// A per-try deadline firing while the parent is still live is a
-		// transport timeout, not a caller cancellation: retryable.
 		if ctx.Err() != nil {
+			// Caller cancellation: release any probe slot without a verdict.
+			breaker.RecordResult(context.Canceled)
 			break
 		}
-		if !Retryable(err) {
+		transient := timedOut || Retryable(err)
+		breaker.Record(transient)
+		if !transient {
 			break
 		}
 	}
@@ -239,6 +310,16 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 		cm.failures.Inc()
 	}
 	return err
+}
+
+// retryAfterHint extracts the server's backoff advice from the previous
+// attempt's error, when it carried any.
+func retryAfterHint(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
 }
 
 // sleepFor pauses for d or until the context is done.

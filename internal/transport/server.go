@@ -80,6 +80,14 @@ type Server struct {
 	metrics *serverMetrics
 	reqSeq  atomic.Uint64
 
+	// ovl holds the installed admission-control plane (SetOverload);
+	// nil gates nothing. draining is the readiness drain flag
+	// (SetDraining), shed the adaptive Retry-After advisor.
+	ovl      atomic.Pointer[overloadState]
+	draining atomic.Bool
+	shed     *shedState
+	shedOnce sync.Once
+
 	mu        sync.Mutex
 	sessions  map[string]*session
 	rng       *frand.RNG
@@ -116,11 +124,17 @@ type session struct {
 	// session auto-finalizes (cfg.AutoFinalize, cohort permitting) or
 	// expires when the clock passes it.
 	deadline time.Time
-	done     bool
-	expired  bool
-	endedAt  time.Time    // when done or expired flipped, for Retention GC
-	result   *core.Result // bit sessions
-	tail     []float64    // threshold sessions: monotonized tail probs
+	// bucketTokens/bucketLast are the per-session report-rate token
+	// bucket (OverloadPolicy.ReportRate). Ephemeral by design: the
+	// bucket is not snapshotted or WAL-logged, so a restarted server
+	// starts the session with a full bucket.
+	bucketTokens float64
+	bucketLast   time.Time
+	done         bool
+	expired      bool
+	endedAt      time.Time    // when done or expired flipped, for Retention GC
+	result       *core.Result // bit sessions
+	tail         []float64    // threshold sessions: monotonized tail probs
 }
 
 // isThreshold reports the session kind.
@@ -135,13 +149,17 @@ func NewServer(seed uint64) *Server {
 		metrics:  newServerMetrics(obs.NewRegistry()),
 	}
 	mux := http.NewServeMux()
+	// Liveness and readiness stay ungated: an overloaded daemon must
+	// still answer its probes, or the router drains a server that is
+	// merely busy as if it were dead.
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
-	mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.handleList))
-	mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.handleCreate))
-	mux.HandleFunc("GET /v1/sessions/{id}/task", s.instrument("/v1/sessions/{id}/task", s.handleTask))
-	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.instrument("/v1/sessions/{id}/reports", s.handleReport))
-	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.instrument("/v1/sessions/{id}/finalize", s.handleFinalize))
-	mux.HandleFunc("GET /v1/sessions/{id}/result", s.instrument("/v1/sessions/{id}/result", s.handleResult))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReady))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("/v1/sessions", s.gated(gateQuery, s.handleList)))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.gated(gateAdmin, s.handleCreate)))
+	mux.HandleFunc("GET /v1/sessions/{id}/task", s.instrument("/v1/sessions/{id}/task", s.gated(gateTask, s.handleTask)))
+	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.instrument("/v1/sessions/{id}/reports", s.gated(gateReport, s.handleReport)))
+	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.instrument("/v1/sessions/{id}/finalize", s.gated(gateAdmin, s.handleFinalize)))
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.instrument("/v1/sessions/{id}/result", s.gated(gateQuery, s.handleResult)))
 	// The scrape endpoint itself stays uninstrumented so scrapes do not
 	// perturb the request counters they read.
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -187,6 +205,8 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code wire.Code, e
 
 // errorStatus maps a protocol error to its HTTP status and wire code.
 func errorStatus(err error) (int, wire.Code) {
+	var rl *rateLimitedError
+	var shed *errShed
 	switch {
 	case errors.Is(err, errNotFound):
 		return http.StatusNotFound, wire.CodeNotFound
@@ -197,6 +217,10 @@ func errorStatus(err error) (int, wire.Code) {
 	case errors.Is(err, errCohort):
 		return http.StatusConflict, wire.CodeCohortTooSmall
 	case errors.Is(err, errDurability):
+		return http.StatusServiceUnavailable, wire.CodeUnavailable
+	case errors.As(err, &rl):
+		return http.StatusTooManyRequests, wire.CodeUnavailable
+	case errors.As(err, &shed):
 		return http.StatusServiceUnavailable, wire.CodeUnavailable
 	default:
 		return http.StatusBadRequest, wire.CodeBadRequest
@@ -310,13 +334,14 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var cfg wire.SessionConfig
-	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
-		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+	if err := s.decodeBody(w, r, &cfg); err != nil {
 		return
 	}
 	id, err := s.CreateSession(cfg)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		// Validation failures are 400s; a durability failure surfaces as
+		// a retryable 503 with backoff advice.
+		s.writeProtoError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusCreated, wire.CreateSessionResponse{SessionID: id})
@@ -515,8 +540,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	}
 	task, err := s.AssignTask(r.PathValue("id"), clientID)
 	if err != nil {
-		status, code := errorStatus(err)
-		s.writeError(w, status, code, err)
+		s.writeProtoError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, task)
@@ -542,6 +566,13 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 	if sess.done {
 		s.mu.Unlock()
 		return wire.ReportAck{}, errFinal
+	}
+	// The per-session token bucket runs before any per-client state is
+	// touched: a rate-limited submission commits nothing and is answered
+	// with a retryable 429 plus precise Retry-After advice.
+	if err := s.reportRateLocked(sess, s.now()); err != nil {
+		s.mu.Unlock()
+		return wire.ReportAck{}, err
 	}
 	if rep.Value > 1 {
 		s.metrics.reports.With(ReportInvalid).Inc()
@@ -591,14 +622,12 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	var rep wire.Report
-	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+	if err := s.decodeBody(w, r, &rep); err != nil {
 		return
 	}
 	ack, err := s.SubmitReport(r.PathValue("id"), rep)
 	if err != nil {
-		status, code := errorStatus(err)
-		s.writeError(w, status, code, err)
+		s.writeProtoError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ack)
@@ -688,8 +717,7 @@ func (s *Server) finalizeLocked(sess *session, at time.Time) (uint64, error) {
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Finalize(r.PathValue("id"))
 	if err != nil {
-		status, code := errorStatus(err)
-		s.writeError(w, status, code, err)
+		s.writeProtoError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
@@ -758,8 +786,7 @@ func (sess *session) wireResult() *wire.Result {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Result(r.PathValue("id"))
 	if err != nil {
-		status, code := errorStatus(err)
-		s.writeError(w, status, code, err)
+		s.writeProtoError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)

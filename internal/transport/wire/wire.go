@@ -127,10 +127,14 @@ const (
 	// retryable in the sense that more reports may still arrive.
 	CodeCohortTooSmall Code = "cohort_too_small"
 	// CodeUnavailable marks a transient server condition (overload,
-	// shutdown in progress); retryable.
+	// shutdown in progress); retryable. Unavailable envelopes carry a
+	// RetryAfter hint telling the client how long to stay away.
 	CodeUnavailable Code = "unavailable"
 	// CodeInternal marks an unexpected server-side failure; retryable.
 	CodeInternal Code = "internal"
+	// CodeTooLarge marks a request body over the server's size cap; not
+	// retryable (the same payload will always be too large).
+	CodeTooLarge Code = "payload_too_large"
 )
 
 // Error is the JSON error envelope. Code is machine-readable (one of the
@@ -138,4 +142,9 @@ const (
 type Error struct {
 	Error string `json:"error"`
 	Code  Code   `json:"code,omitempty"`
+	// RetryAfter, when positive, is the server's backoff advice in
+	// seconds — the machine-readable twin of the Retry-After header,
+	// set on shedding (unavailable) and rate-limit answers so JSON
+	// clients need not parse HTTP headers.
+	RetryAfter float64 `json:"retry_after_seconds,omitempty"`
 }
