@@ -21,6 +21,7 @@ import (
 	"repro/internal/analysis/noprintflog"
 	"repro/internal/analysis/randsource"
 	"repro/internal/analysis/rngshare"
+	"repro/internal/analysis/spanend"
 )
 
 func main() {
@@ -31,5 +32,6 @@ func main() {
 		noprintflog.Analyzer,
 		errcode.Analyzer,
 		ctxflow.Analyzer,
+		spanend.Analyzer,
 	)
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/frand"
 	"repro/internal/obs"
 	"repro/internal/quantile"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 	"repro/internal/workload"
@@ -109,6 +111,8 @@ func main() {
 	breakerWindow := flag.Duration("breaker-window", 10*time.Second, "rolling window over which breaker failures are counted")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open before a half-open probe")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "fleet seed")
+	traceBuf := flag.Int("trace-buf", 0, "client-side spans kept in an in-memory ring: the whole protocol run is traced (participate, per-attempt, retry backoff) and propagated to the server via traceparent (0 = off)")
+	traceOut := flag.String("trace-out", "", "write the recorded client spans as JSON to this file at exit (requires -trace-buf)")
 	flag.Parse()
 
 	// One shared policy: it is safe for concurrent use, and the jitter
@@ -138,6 +142,14 @@ func main() {
 		Breaker:       breaker,
 	}
 
+	if *traceOut != "" && *traceBuf <= 0 {
+		log.Fatalf("fednum-client: -trace-out requires -trace-buf > 0")
+	}
+	var tracer *trace.Recorder
+	if *traceBuf > 0 {
+		tracer = trace.NewRecorder(*traceBuf)
+	}
+
 	gen, err := parseWorkload(*spec)
 	if err != nil {
 		log.Fatalf("fednum-client: %v", err)
@@ -147,13 +159,15 @@ func main() {
 	truth := fixedpoint.Mean(values)
 
 	ctx := context.Background()
-	admin := &transport.Admin{BaseURL: *server, Retry: retry}
+	admin := &transport.Admin{BaseURL: *server, Retry: retry, Tracer: tracer}
 	if *quantileQ > 0 {
-		runQuantile(ctx, admin, retry, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
+		runQuantile(ctx, admin, retry, tracer, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
+		dumpTrace(tracer, *traceOut)
 		return
 	}
 	if *adaptive {
-		runAdaptive(ctx, admin, retry, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
+		runAdaptive(ctx, admin, retry, tracer, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
+		dumpTrace(tracer, *traceOut)
 		return
 	}
 	session, err := admin.CreateSession(ctx, wire.SessionConfig{
@@ -182,6 +196,7 @@ func main() {
 				RNG:      rng,
 				Retry:    retry,
 				Metrics:  reg,
+				Tracer:   tracer,
 			}
 			if err := p.Participate(ctx, session, v); err != nil {
 				mu.Lock()
@@ -203,14 +218,31 @@ func main() {
 		fmt.Printf("rel.error: %.3f%%\n", 100*(res.Estimate-truth)/truth)
 	}
 	printMetricsSummary(reg)
+	dumpTrace(tracer, *traceOut)
 	if failed > 0 {
 		os.Exit(1)
 	}
 }
 
+// dumpTrace writes the recorded client spans as indented JSON, for offline
+// inspection or feeding into fedtrace-style tooling.
+func dumpTrace(rec *trace.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rec.Spans(), "", "  ")
+	if err != nil {
+		log.Fatalf("fednum-client: encoding trace: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("fednum-client: writing trace %s: %v", path, err)
+	}
+	log.Printf("fednum-client: wrote %d spans to %s", rec.Len(), path)
+}
+
 // runQuantile estimates a quantile through a threshold session: every
 // client discloses one comparison bit against its assigned grid threshold.
-func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
+func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
 	grid, err := quantile.UniformGrid(bits, gridK)
 	if err != nil {
 		log.Fatalf("fednum-client: %v", err)
@@ -225,7 +257,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 	for i, v := range values {
 		p := &transport.Participant{
 			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
-			Retry: retry, Metrics: retry.Metrics,
+			Retry: retry, Metrics: retry.Metrics, Tracer: tracer,
 		}
 		if err := p.Participate(ctx, session, v); err != nil {
 			log.Fatalf("fednum-client: client %d: %v", i, err)
@@ -249,7 +281,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 }
 
 // runAdaptive drives the two-round Algorithm 2 campaign over HTTP.
-func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
+func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
 	devices := make([]transport.Device, len(values))
 	for i, v := range values {
 		devices[i] = transport.Device{
@@ -258,6 +290,7 @@ func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.R
 				ClientID: fmt.Sprintf("dev-%d", i),
 				RNG:      root.Split(),
 				Metrics:  retry.Metrics,
+				Tracer:   tracer,
 			},
 			Value: v,
 		}

@@ -32,6 +32,12 @@
 // GET /metrics (Prometheus text format), /debug/vars (expvar) and
 // /debug/pprof/* — kept off the aggregation port so profiling and
 // scraping are never exposed to participant traffic.
+//
+// Tracing: -trace-buf N arms zero-dependency request tracing — every
+// request gets a span (continuing the client's W3C traceparent when
+// present), the last N finished spans are served at /debug/trace on the
+// admin listener, per-session round timelines at /debug/rounds, and log
+// lines carry the matching trace_id/span_id. cmd/fedtrace renders both.
 package main
 
 import (
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -82,6 +89,7 @@ func main() {
 	retryAfterBase := flag.Duration("retry-after-base", 0, "initial Retry-After advice on shed responses; doubles under sustained overload (0 = 1s default)")
 	retryAfterMax := flag.Duration("retry-after-max", 0, "Retry-After advice cap (0 = 30s default)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request read/write deadline cutting off slow-loris bodies on gated routes (0 = listener timeouts only)")
+	traceBuf := flag.Int("trace-buf", 0, "spans kept in the in-memory trace ring served at /debug/trace on the admin listener; also records per-session round timelines at /debug/rounds (0 = tracing disabled)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -103,9 +111,21 @@ func main() {
 		fatalf("-snapshot-interval requires -snapshot")
 	}
 
+	if *traceBuf < 0 {
+		fatalf("-trace-buf must be >= 0")
+	}
+	if *traceBuf > 0 {
+		// Stamp trace_id/span_id onto every context-carrying log line, so
+		// slog output and /debug/trace correlate on the same ids.
+		logger = obs.WithTraceContext(logger)
+	}
+
 	agg := transport.NewServer(*seed)
 	agg.Logger = logger
 	agg.Retention = *retention
+	if *traceBuf > 0 {
+		agg.SetTracer(trace.NewRecorder(*traceBuf))
+	}
 	agg.SetOverload(transport.OverloadPolicy{
 		MaxBodyBytes:   *maxBodyBytes,
 		ReportInFlight: *reportInFlight,
@@ -286,6 +306,12 @@ func main() {
 func debugMux(agg *transport.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", agg.Registry().Handler())
+	if rec := agg.Tracer(); rec != nil {
+		mux.Handle("GET /debug/trace", rec.Handler())
+		rounds := agg.RoundsHandler()
+		mux.Handle("GET /debug/rounds", rounds)
+		mux.Handle("GET /debug/rounds/{session}", rounds)
+	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,278 @@
+// Command fedtrace renders fednumd's debug tracing endpoints for humans:
+// the per-round lifecycle timelines at /debug/rounds and the span ring at
+// /debug/trace (both served when the daemon runs with -trace-buf > 0).
+//
+// Usage:
+//
+//	fedtrace -addr http://localhost:6061                  # list sessions with timelines
+//	fedtrace -addr ... -session s-1                       # one round's event timeline + stage breakdown
+//	fedtrace -addr ... -trace 4bf92f3577b34da6a3ce929d0e0e4736  # one trace as a span tree
+//	fedtrace -addr ... -trace ... -min-ms 5               # only spans >= 5ms
+//
+// The timeline view replays a session's story in order — creation, task
+// assignments, each report's fate, WAL commit latency, injected chaos
+// faults, the straggler deadline, finalize, estimate — and closes with a
+// per-stage latency breakdown (setup, assignment window, reporting
+// window, finalize fan-in) plus WAL and fault aggregates. The trace view
+// reconstructs the parent/child span tree, marking spans whose parent
+// lives on the other side of the wire (the client's attempt span for a
+// server request span, or vice versa).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:6061", "base URL of fednumd's debug listener")
+	session := flag.String("session", "", "render this session's round timeline")
+	traceID := flag.String("trace", "", "render this trace id as a span tree")
+	minMS := flag.Float64("min-ms", 0, "with -trace: hide spans shorter than this many milliseconds")
+	flag.Parse()
+
+	base := strings.TrimRight(*addr, "/")
+	var err error
+	switch {
+	case *session != "" && *traceID != "":
+		fmt.Fprintln(os.Stderr, "fedtrace: -session and -trace are mutually exclusive")
+		os.Exit(2)
+	case *session != "":
+		err = renderSession(base, *session)
+	case *traceID != "":
+		err = renderTrace(base, *traceID, *minMS)
+	default:
+		err = listSessions(base)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// fetchJSON GETs url and decodes the body into out.
+func fetchJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s (is fednumd running with -trace-buf > 0?)", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("GET %s: decoding: %w", url, err)
+	}
+	return nil
+}
+
+func listSessions(base string) error {
+	var sessions []transport.RoundSummary
+	if err := fetchJSON(base+"/debug/rounds", &sessions); err != nil {
+		return err
+	}
+	if len(sessions) == 0 {
+		fmt.Println("no round timelines recorded")
+		return nil
+	}
+	fmt.Printf("%-20s %7s %8s  %s\n", "SESSION", "EVENTS", "DROPPED", "LAST EVENT")
+	for _, s := range sessions {
+		fmt.Printf("%-20s %7d %8d  %s\n",
+			s.SessionID, s.Events, s.Dropped, s.LastEvent.Format(time.RFC3339Nano))
+	}
+	return nil
+}
+
+func renderSession(base, session string) error {
+	var tl transport.RoundTimeline
+	if err := fetchJSON(base+"/debug/rounds/"+session, &tl); err != nil {
+		return err
+	}
+	if len(tl.Events) == 0 {
+		return fmt.Errorf("session %s has an empty timeline", session)
+	}
+	fmt.Printf("session %s: %d events", tl.SessionID, len(tl.Events))
+	if tl.Dropped > 0 {
+		fmt.Printf(" (%d older events overwritten)", tl.Dropped)
+	}
+	fmt.Println()
+
+	t0 := tl.Events[0].At
+	for _, ev := range tl.Events {
+		line := fmt.Sprintf("  %+10.2fms  %-18s", msBetween(t0, ev.At), ev.Kind)
+		if ev.Client != "" {
+			line += " client=" + ev.Client
+		}
+		if ev.Reason != "" {
+			line += " reason=" + ev.Reason
+		}
+		if ev.DurationMS > 0 {
+			line += fmt.Sprintf(" took=%.2fms", ev.DurationMS)
+		}
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Println(line)
+	}
+	renderStages(tl.Events)
+	return nil
+}
+
+// renderStages summarizes the round as per-stage latencies: how long setup,
+// the assignment window, the reporting window, and the finalize fan-in
+// took, plus WAL-commit and chaos-fault aggregates.
+func renderStages(events []transport.RoundEvent) {
+	var created, firstAssign, lastAssign, firstReport, lastReport, finalized, estimated time.Time
+	var assigns, accepts, dups, rejects, ratelimits, sheds int
+	var walCount int
+	var walSum, walMax float64
+	faults := map[string]int{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case transport.RoundSessionCreate:
+			created = ev.At
+		case transport.RoundTaskAssign:
+			assigns++
+			if firstAssign.IsZero() {
+				firstAssign = ev.At
+			}
+			lastAssign = ev.At
+		case transport.RoundReportAccept:
+			accepts++
+			if firstReport.IsZero() {
+				firstReport = ev.At
+			}
+			lastReport = ev.At
+		case transport.RoundReportDuplicate:
+			dups++
+		case transport.RoundReportReject:
+			rejects++
+		case transport.RoundReportRatelimit:
+			ratelimits++
+		case transport.RoundShed:
+			sheds++
+		case transport.RoundWALCommit:
+			walCount++
+			walSum += ev.DurationMS
+			if ev.DurationMS > walMax {
+				walMax = ev.DurationMS
+			}
+		case transport.RoundChaosFault:
+			faults[ev.Reason]++
+		case transport.RoundFinalize:
+			finalized = ev.At
+		case transport.RoundEstimate:
+			estimated = ev.At
+		}
+	}
+
+	fmt.Println("\nstage breakdown:")
+	stage := func(name string, from, to time.Time) {
+		// A negative gap means the windows interleaved (a concurrent
+		// fleet reports while later tasks are still being assigned) or
+		// the ring clipped the early events; skip rather than mislead.
+		if from.IsZero() || to.IsZero() || to.Before(from) {
+			return
+		}
+		fmt.Printf("  %-34s %10.2fms\n", name, msBetween(from, to))
+	}
+	stage("create -> first assignment", created, firstAssign)
+	stage(fmt.Sprintf("assignment window (%d tasks)", assigns), firstAssign, lastAssign)
+	stage("last assignment -> first report", lastAssign, firstReport)
+	stage(fmt.Sprintf("reporting window (%d accepted)", accepts), firstReport, lastReport)
+	stage("last report -> finalize", lastReport, finalized)
+	stage("finalize -> estimate", finalized, estimated)
+	if !created.IsZero() && !estimated.IsZero() {
+		stage("total (create -> estimate)", created, estimated)
+	}
+
+	if dups+rejects+ratelimits+sheds > 0 {
+		fmt.Printf("  report fates beyond accept: %d duplicate, %d rejected, %d ratelimited, %d shed\n",
+			dups, rejects, ratelimits, sheds)
+	}
+	if walCount > 0 {
+		fmt.Printf("  wal commits: %d, mean %.2fms, max %.2fms\n", walCount, walSum/float64(walCount), walMax)
+	}
+	if len(faults) > 0 {
+		classes := make([]string, 0, len(faults))
+		for class := range faults {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, class := range classes {
+			parts = append(parts, fmt.Sprintf("%s=%d", class, faults[class]))
+		}
+		fmt.Printf("  injected faults: %s\n", strings.Join(parts, " "))
+	}
+}
+
+func renderTrace(base, traceID string, minMS float64) error {
+	url := fmt.Sprintf("%s/debug/trace?trace=%s", base, traceID)
+	if minMS > 0 {
+		url += fmt.Sprintf("&min_ms=%g", minMS)
+	}
+	var resp trace.TraceResponse
+	if err := fetchJSON(url, &resp); err != nil {
+		return err
+	}
+	if len(resp.Spans) == 0 {
+		return fmt.Errorf("no spans recorded for trace %s (ring dropped %d)", traceID, resp.Dropped)
+	}
+
+	byID := make(map[string]trace.SpanData, len(resp.Spans))
+	children := make(map[string][]trace.SpanData)
+	for _, sp := range resp.Spans {
+		byID[sp.SpanID] = sp
+	}
+	var roots []trace.SpanData
+	for _, sp := range resp.Spans {
+		if _, ok := byID[sp.Parent]; sp.Parent != "" && ok {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(spans []trace.SpanData) {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	fmt.Printf("trace %s: %d spans (ring dropped %d)\n", traceID, resp.Total, resp.Dropped)
+	var walk func(sp trace.SpanData, depth int)
+	walk = func(sp trace.SpanData, depth int) {
+		line := fmt.Sprintf("  %s%-*s %8.2fms", strings.Repeat("  ", depth), 36-2*depth, sp.Name, sp.DurationMS)
+		for _, a := range sp.Attrs {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if sp.Parent != "" {
+			if _, local := byID[sp.Parent]; !local {
+				line += " (remote parent " + sp.Parent + ")"
+			}
+		}
+		fmt.Println(line)
+		for _, c := range children[sp.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return nil
+}
+
+func msBetween(from, to time.Time) float64 {
+	return float64(to.Sub(from).Nanoseconds()) / 1e6
+}

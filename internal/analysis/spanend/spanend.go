@@ -1,0 +1,229 @@
+// Package spanend enforces the tracing hygiene rule: every span opened
+// with trace.Start or (*trace.Recorder).StartSpan must be ended on every
+// path out of the function that opened it. A span that is never ended is
+// never delivered to the recorder — the trace silently loses exactly the
+// operation it was supposed to explain, and the bug only shows up as a
+// hole in a timeline long after the code merged.
+//
+// Accepted shapes, in the order real code should prefer them:
+//
+//   - `defer sp.End()` anywhere after the Start — ends on every path,
+//     including panics; the default.
+//   - An explicit `sp.End()` with no `return` statement between the Start
+//     and the End — the hot-path shape (middleware that must not hold the
+//     span open across the handler), where a deferred End would change
+//     semantics. Any return between the two is a path that leaks the span.
+//   - The span escaping the function — returned, assigned away, or passed
+//     to another call — which transfers the End obligation to the escapee.
+//
+// Discarding the span result with `_` is always a violation: a discarded
+// span can never be ended, so it never reaches the recorder.
+//
+// Test files are exempt: a test may deliberately leak a span to assert
+// recorder behaviour.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// tracePkg is the import path whose span constructors this check follows.
+const tracePkg = "repro/internal/trace"
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "require every trace.Start / Recorder.StartSpan span to be ended on all paths " +
+		"(defer sp.End(), a return-free explicit End, or escape), so traces never silently lose spans.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody finds span-opening assignments directly inside one function
+// body and verifies each span's End discipline. Nested function literals
+// are checked by their own visit, so spans opened there are skipped here.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // owned by its own checkBody visit
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := analysis.CalleeObject(pass.TypesInfo, call)
+		var spanExpr ast.Expr
+		switch {
+		case analysis.IsPkgFunc(obj, tracePkg, "Start") && len(assign.Lhs) == 2:
+			spanExpr = assign.Lhs[1]
+		case analysis.IsPkgFunc(obj, tracePkg, "StartSpan") && len(assign.Lhs) == 1:
+			spanExpr = assign.Lhs[0]
+		default:
+			return true
+		}
+		ident, ok := spanExpr.(*ast.Ident)
+		if !ok {
+			return true // span lands in a field/index: stored away, escape
+		}
+		if ident.Name == "_" {
+			pass.Reportf(call.Pos(), "span from %s is discarded: a discarded span can never be ended and never reaches the recorder; bind it and End it", obj.Name())
+			return true
+		}
+		spanObj := spanVarObject(pass.TypesInfo, ident)
+		if spanObj == nil {
+			return true
+		}
+		verdict := classifyUses(pass.TypesInfo, body, spanObj, call.End())
+		switch {
+		case verdict.deferred, verdict.escapes:
+			// defer covers every path; an escaped span is the escapee's
+			// obligation.
+		case !verdict.ended:
+			pass.Reportf(call.Pos(), "span %q is never ended: add `defer %s.End()` right after the Start", ident.Name, ident.Name)
+		case verdict.returnBeforeEnd:
+			pass.Reportf(call.Pos(), "span %q has a return between Start and its explicit End — that path leaks the span; use `defer %s.End()` or End before every return", ident.Name, ident.Name)
+		}
+		return true
+	})
+}
+
+// spanVarObject resolves the variable a span assignment binds: the Def for
+// a fresh `:=` name, the Use for plain `=` to an existing variable.
+func spanVarObject(info *types.Info, ident *ast.Ident) types.Object {
+	if obj := info.Defs[ident]; obj != nil {
+		return obj
+	}
+	return info.Uses[ident]
+}
+
+// useVerdict summarizes how one span variable is used after its Start.
+type useVerdict struct {
+	deferred        bool // defer sp.End() seen
+	ended           bool // explicit sp.End() seen
+	returnBeforeEnd bool // a return sits between Start and the first explicit End
+	escapes         bool // sp returned, assigned away, or passed to a call
+}
+
+// classifyUses scans the function body after the Start call and classifies
+// every use of the span variable. The "return between Start and End" test
+// is positional: with no defer, any return statement in the interval
+// (startEnd, firstEndPos) is a path on which the span escapes unended.
+func classifyUses(info *types.Info, body *ast.BlockStmt, spanObj types.Object, startEnd token.Pos) useVerdict {
+	var v useVerdict
+	firstEnd := token.NoPos
+	var returns []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(info, node.Call, spanObj) {
+				v.deferred = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			if node.Pos() > startEnd {
+				returns = append(returns, node.Pos())
+			}
+			// A returned span escapes: ending it becomes the caller's job.
+			for _, res := range node.Results {
+				if usesObj(info, res, spanObj) {
+					v.escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if node.Pos() <= startEnd {
+				return true
+			}
+			if isEndCall(info, node, spanObj) {
+				v.ended = true
+				if firstEnd == token.NoPos || node.Pos() < firstEnd {
+					firstEnd = node.Pos()
+				}
+				return true
+			}
+			// The span passed as an argument (not as method receiver)
+			// escapes to the callee.
+			for _, arg := range node.Args {
+				if usesObj(info, arg, spanObj) {
+					v.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if node.Pos() <= startEnd {
+				return true
+			}
+			// The span stored somewhere else escapes.
+			for _, rhs := range node.Rhs {
+				if usesObj(info, rhs, spanObj) {
+					v.escapes = true
+				}
+			}
+		}
+		return true
+	})
+
+	if v.ended && !v.deferred {
+		for _, pos := range returns {
+			if pos < firstEnd {
+				v.returnBeforeEnd = true
+				break
+			}
+		}
+	}
+	return v
+}
+
+// isEndCall reports whether call is `sp.End()` on the given span variable.
+func isEndCall(info *types.Info, call *ast.CallExpr, spanObj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == spanObj
+}
+
+// usesObj reports whether expr mentions the span variable.
+func usesObj(info *types.Info, expr ast.Expr, spanObj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == spanObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package spanend
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/internal/transport", // every span lifecycle shape, good and bad
+	)
+}

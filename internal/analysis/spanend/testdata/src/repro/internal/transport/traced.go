@@ -1,0 +1,109 @@
+// Package transport fixture: span lifecycle shapes, good and bad.
+package transport
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// DeferredEnd is the default good shape: defer covers every path.
+func DeferredEnd(ctx context.Context) error {
+	ctx, sp := trace.Start(ctx, "op")
+	defer sp.End()
+	sp.Attr("k", "v")
+	if ctx == nil {
+		return nil
+	}
+	return nil
+}
+
+// NeverEnded leaks the span on every path.
+func NeverEnded(ctx context.Context) {
+	_, sp := trace.Start(ctx, "op") // want `span "sp" is never ended`
+	sp.Attr("k", "v")
+}
+
+// Discarded throws the span away at birth.
+func Discarded(ctx context.Context) {
+	_, _ = trace.Start(ctx, "op") // want `span from Start is discarded`
+}
+
+// ExplicitEndNoReturn is the hot-path shape: a return-free interval
+// between Start and End, then branching freely afterwards.
+func ExplicitEndNoReturn(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "admit")
+	sp.Attr("k", "v")
+	sp.End()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// ReturnBetweenStartAndEnd leaks the span on the early-return path.
+func ReturnBetweenStartAndEnd(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "op") // want `span "sp" has a return between Start and its explicit End`
+	if fail {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+// EndOnEveryBranchStillFlagged: the heuristic is positional, so even a
+// correctly End-before-return branch counts as ended with an earlier End
+// position — this shape (End in one branch, return in another after it)
+// stays clean.
+func EndOnEveryBranchStillFlagged(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "op")
+	sp.End()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// EscapesByReturn hands the End obligation to the caller.
+func EscapesByReturn(ctx context.Context) *trace.Span {
+	_, sp := trace.Start(ctx, "op")
+	return sp
+}
+
+// EscapesByCall hands the span to another function.
+func EscapesByCall(ctx context.Context) {
+	_, sp := trace.Start(ctx, "op")
+	finish(sp)
+}
+
+// EscapesByStore parks the span in a struct for a later hook to End.
+func EscapesByStore(ctx context.Context, h *holder) {
+	_, sp := trace.Start(ctx, "op")
+	h.sp = sp
+}
+
+func finish(sp *trace.Span) { sp.End() }
+
+type holder struct{ sp *trace.Span }
+
+// RootSpanDeferred: the Recorder.StartSpan entry point gets the same
+// treatment as trace.Start.
+func RootSpanDeferred(rec *trace.Recorder) {
+	sp := rec.StartSpan("fed.round")
+	defer sp.End()
+}
+
+// RootSpanLeaked leaks a root span.
+func RootSpanLeaked(rec *trace.Recorder) {
+	sp := rec.StartSpan("fed.round") // want `span "sp" is never ended`
+	sp.Attr("k", "v")
+}
+
+// ClosureOwnsItsSpan: spans opened inside a function literal are checked
+// against that literal's body, not the enclosing function's.
+func ClosureOwnsItsSpan(ctx context.Context) func() {
+	return func() {
+		_, sp := trace.Start(ctx, "inner") // want `span "sp" is never ended`
+		sp.Attr("k", "v")
+	}
+}

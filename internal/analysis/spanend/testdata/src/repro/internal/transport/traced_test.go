@@ -1,0 +1,14 @@
+package transport
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+// Tests may leak spans deliberately (e.g. to assert recorder behaviour);
+// the check skips test files entirely.
+func leakOnPurpose(ctx context.Context) {
+	_, sp := trace.Start(ctx, "leaky")
+	sp.Attr("k", "v")
+}

@@ -128,6 +128,29 @@ type Injector struct {
 	reqVec   *obs.CounterVec
 	delivVec *obs.CounterVec
 	faultVec *obs.CounterVec
+
+	onFault func(kind, class, path string)
+}
+
+// OnFault registers a hook invoked (outside the injector lock) for every
+// injected fault with its kind, request class and URL path. The transport
+// layer uses it to stamp chaos faults into the per-session round timeline
+// so a traced round's story includes the faults it survived. Set before
+// injecting; at most one hook is supported.
+func (in *Injector) OnFault(fn func(kind, class, path string)) {
+	in.mu.Lock()
+	in.onFault = fn
+	in.mu.Unlock()
+}
+
+// notify calls the hook, if any, outside the lock.
+func (in *Injector) notify(kind, class, path string) {
+	in.mu.Lock()
+	fn := in.onFault
+	in.mu.Unlock()
+	if fn != nil {
+		fn(kind, class, path)
+	}
 }
 
 // NewInjector validates the mix and returns an injector.
@@ -266,7 +289,14 @@ func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	rt.in.mu.Unlock()
 	if drop {
+		rt.in.notify("drop", class, req.URL.Path)
 		return nil, fmt.Errorf("chaos: connection refused: %s %s", req.Method, req.URL.Path)
+	}
+	if dup {
+		rt.in.notify("duplicate", class, req.URL.Path)
+	}
+	if lose {
+		rt.in.notify("lose_ack", class, req.URL.Path)
 	}
 	if dup {
 		// First delivery: the server handles it, the network eats the
@@ -327,6 +357,14 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			in.fault("delay", class, &in.counters.Delayed, &cc.Delayed)
 		}
 		in.mu.Unlock()
+		switch {
+		case fail:
+			in.notify("server_err", class, r.URL.Path)
+		case stall:
+			in.notify("stall", class, r.URL.Path)
+		case delay:
+			in.notify("delay", class, r.URL.Path)
+		}
 		if fail {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)

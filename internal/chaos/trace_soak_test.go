@@ -1,0 +1,227 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fixedpoint"
+	"repro/internal/frand"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+	"repro/internal/workload"
+)
+
+// TestTraceCompletenessUnderChaos asserts the tracing contract survives
+// fault injection: every report delivery that reaches the handler yields
+// exactly one server request span, every server span's remote parent is a
+// client attempt span (duplicated deliveries share one parent — the
+// retransmission happened below the client's tracing), and every accepted
+// report resolves to exactly one accepted submit span whose chain walks
+// back to the client that sent it.
+func TestTraceCompletenessUnderChaos(t *testing.T) {
+	const n = 60
+	in, err := chaos.NewInjector(chaos.Faults{
+		Seed:      99,
+		Drop:      0.10,
+		LoseAck:   0.06,
+		Duplicate: 0.08,
+		ServerErr: 0.06,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := transport.NewServer(1)
+	srec := trace.NewRecorder(1 << 16)
+	agg.SetTracer(srec)
+	// Stamp injected faults into the round timelines, so a traced round's
+	// story includes the faults it survived.
+	in.OnFault(func(kind, class, path string) {
+		if id := transport.SessionFromPath(path); id != "" {
+			agg.RecordRoundEvent(id, transport.RoundChaosFault, "", kind, 0)
+		}
+	})
+	srv := httptest.NewServer(in.Middleware(agg))
+	defer srv.Close()
+
+	crec := trace.NewRecorder(1 << 16)
+	retry := func(seed uint64) *transport.RetryPolicy {
+		return &transport.RetryPolicy{MaxAttempts: 12, Jitter: 0.5, Seed: seed}
+	}
+	ctx := context.Background()
+	admin := &transport.Admin{BaseURL: srv.URL, Retry: retry(1), Tracer: crec}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "trace-soak", Bits: 8, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := frand.New(5)
+	values := fixedpoint.MustCodec(8, 0, 1).EncodeAll(
+		workload.Normal{Mu: 120, Sigma: 30}.Sample(root, n))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	succeeded := map[string]bool{}
+	for i, v := range values {
+		wg.Add(1)
+		go func(i int, v uint64, rng *frand.RNG) {
+			defer wg.Done()
+			p := &transport.Participant{
+				BaseURL:    srv.URL,
+				ClientID:   clientID(i),
+				RNG:        rng,
+				Retry:      retry(uint64(i) + 500),
+				Tracer:     crec,
+				HTTPClient: &http.Client{Transport: in.Transport(nil)},
+			}
+			if err := p.Participate(ctx, session, v); err == nil {
+				mu.Lock()
+				succeeded[p.ClientID] = true
+				mu.Unlock()
+			}
+		}(i, v, root.Split())
+	}
+	wg.Wait()
+	res, err := admin.Finalize(ctx, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Counters()
+	if c.Dropped == 0 || c.Duplicated == 0 || c.AcksLost == 0 || c.ServerErrs == 0 {
+		t.Fatalf("fault injector barely fired: %+v", c)
+	}
+	if srec.Dropped() != 0 || crec.Dropped() != 0 {
+		t.Fatalf("recorder overflowed (server dropped %d, client %d); completeness unprovable",
+			srec.Dropped(), crec.Dropped())
+	}
+
+	// Index the client side: every network attempt span by id.
+	attempts := map[string]trace.SpanData{}
+	for _, d := range crec.Spans() {
+		if d.Name == "client.attempt" {
+			attempts[d.SpanID] = d
+		}
+	}
+
+	// Completeness: one server request span per handler-reaching report
+	// delivery. Injected 503s answer before the mux, so they produce no
+	// span — everything else must.
+	cr := in.ClassCounters(chaos.ClassReport)
+	serverReq := map[string]trace.SpanData{}
+	reportSpans := 0
+	for _, d := range srec.Spans() {
+		if !strings.HasPrefix(d.Name, "server ") {
+			continue
+		}
+		serverReq[d.SpanID] = d
+		if !d.Remote {
+			t.Fatalf("server span %s (trace %s) has no remote parent", d.Name, d.TraceID)
+		}
+		parent, ok := attempts[d.Parent]
+		if !ok {
+			t.Fatalf("server span %s parent %q is not a recorded client attempt", d.Name, d.Parent)
+		}
+		if parent.TraceID != d.TraceID {
+			t.Fatalf("server span trace %s != parent attempt trace %s", d.TraceID, parent.TraceID)
+		}
+		if d.Name == "server /v1/sessions/{id}/reports" {
+			reportSpans++
+		}
+	}
+	if want := cr.Delivered - cr.ServerErrs; reportSpans != want {
+		t.Fatalf("server report spans = %d, want %d (= %d deliveries - %d injected 503s)",
+			reportSpans, want, cr.Delivered, cr.ServerErrs)
+	}
+
+	// Exactly-once at the span level: accepted submit spans == finalized
+	// cohort, one per distinct succeeded client, each chained to a live
+	// client attempt. Duplicate deliveries surface as duplicate-result
+	// spans sharing the accepted span's parent attempt, never as a second
+	// accepted span.
+	acceptedBy := map[string]int{}
+	for _, d := range srec.Filter(trace.Filter{Name: "server.submit_report"}) {
+		if d.Attr("result") != transport.ReportAccepted {
+			continue
+		}
+		req, ok := serverReq[d.Parent]
+		if !ok {
+			t.Fatalf("accepted submit span parent %q is not a server request span", d.Parent)
+		}
+		if _, ok := attempts[req.Parent]; !ok {
+			t.Fatalf("accepted submit span does not chain back to a client attempt")
+		}
+		acceptedBy[d.Attr("client")]++
+	}
+	if len(acceptedBy) != res.Reports {
+		t.Fatalf("accepted submit spans cover %d clients, finalized cohort = %d", len(acceptedBy), res.Reports)
+	}
+	for client, spans := range acceptedBy {
+		if spans != 1 {
+			t.Fatalf("client %s has %d accepted submit spans, want exactly 1", client, spans)
+		}
+	}
+	for client := range succeeded {
+		if acceptedBy[client] == 0 {
+			t.Fatalf("client %s got an accepted ack but no accepted submit span", client)
+		}
+	}
+
+	// The round timeline saw the faults the injector stamped and tells a
+	// complete story: creation, accepts matching the cohort, finalize.
+	// 60 clients keep the whole story inside one ring (cap 256); a
+	// truncated window would undercount accepts below.
+	events := agg.RoundEvents(session)
+	if len(events) >= 256 {
+		t.Fatalf("timeline ring overflowed (%d events); shrink the soak", len(events))
+	}
+	kinds := map[string]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	if kinds[transport.RoundChaosFault] == 0 {
+		t.Fatal("round timeline recorded no chaos faults")
+	}
+	if kinds[transport.RoundReportAccept] != res.Reports {
+		t.Fatalf("timeline has %d accept events, cohort = %d", kinds[transport.RoundReportAccept], res.Reports)
+	}
+	if kinds[transport.RoundFinalize] == 0 || kinds[transport.RoundSessionCreate] == 0 {
+		t.Fatalf("timeline missing lifecycle events: %v", kinds)
+	}
+
+	t.Logf("faults %+v; %d server spans, %d report spans, %d accepted, timeline %v",
+		c, len(serverReq), reportSpans, len(acceptedBy), kinds)
+
+	// CI uploads a trace sample as an artifact: set TRACE_SAMPLE_OUT to
+	// dump the server recorder's view of one accepted report's trace plus
+	// the session timeline as JSON.
+	if out := os.Getenv("TRACE_SAMPLE_OUT"); out != "" {
+		var sampleTrace string
+		for _, d := range srec.Filter(trace.Filter{Name: "server.submit_report"}) {
+			if d.Attr("result") == transport.ReportAccepted {
+				sampleTrace = d.TraceID
+				break
+			}
+		}
+		sample := struct {
+			Trace    []trace.SpanData       `json:"trace"`
+			Timeline []transport.RoundEvent `json:"timeline"`
+		}{
+			Trace:    srec.Filter(trace.Filter{TraceID: sampleTrace}),
+			Timeline: agg.RoundEvents(session),
+		}
+		data, err := json.MarshalIndent(sample, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			t.Fatalf("write trace sample %s: %v", out, err)
+		}
+		t.Logf("trace sample written to %s (%d bytes)", out, len(data))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ldp"
 	"repro/internal/meter"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Metric names the coordinator publishes when Config.Metrics is set.
@@ -75,6 +76,12 @@ type Config struct {
 	// Metrics, when non-nil, records per-round participation outcomes and
 	// simulated round latency into the registry (see the Metric* names).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records one "fed.round" span per RunRound with
+	// the participation tallies as attributes. The coordinator is a
+	// synchronous in-process simulation, so spans are roots (no context
+	// plumbing) and the span's duration is real wall-clock, not the
+	// simulated minutes in Stats.Latency.
+	Tracer *trace.Recorder
 	// Seed makes the coordinator deterministic.
 	Seed uint64
 }
@@ -161,6 +168,9 @@ func (co *Coordinator) coreConfig(probs []float64) core.Config {
 // given allocation: cohort selection, assignment, collection with dropout
 // and metering, and aggregation.
 func (co *Coordinator) RunRound(clients []Client, feature string, probs []float64) (*RoundResult, error) {
+	sp := co.cfg.Tracer.StartSpan("fed.round")
+	defer sp.End()
+	sp.Attr("feature", feature)
 	cfg := co.coreConfig(probs)
 	invited := co.selectCohort(clients)
 	stats := Stats{Invited: len(invited)}
@@ -241,13 +251,22 @@ func (co *Coordinator) RunRound(clients []Client, feature string, probs []float6
 	}
 
 	co.recordStats(stats)
+	sp.AttrInt("invited", int64(stats.Invited))
+	sp.AttrInt("accepted", int64(stats.Accepted))
+	sp.AttrInt("dropped", int64(stats.Dropped))
+	sp.AttrInt("stragglers", int64(stats.Stragglers))
+	if co.cfg.RR != nil {
+		sp.AttrFloat("epsilon", co.cfg.RR.Eps)
+	}
 	if co.cfg.MinCohort > 0 && stats.Accepted < co.cfg.MinCohort {
+		sp.Attr("result", "cohort_too_small")
 		return nil, fmt.Errorf("%w: %d accepted reports, need %d", ErrCohort, stats.Accepted, co.cfg.MinCohort)
 	}
 	res, err := core.Aggregate(cfg, reports)
 	if err != nil {
 		return nil, err
 	}
+	sp.AttrFloat("estimate", res.Estimate)
 	return &RoundResult{Result: *res, Stats: stats, Probs: normalized}, nil
 }
 

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+
+	"repro/internal/trace"
+)
+
+// traceHandler is a slog.Handler wrapper that stamps the active trace
+// identity — trace_id and span_id from internal/trace, plus the
+// middleware's request_id — onto every record whose context carries one.
+// Log lines emitted with the Context variants (InfoContext, DebugContext,
+// ...) inside a traced request then spell the same hex ids that
+// /debug/trace serves, so a span can be joined against its log lines.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+// WithTraceContext wraps l so request-scoped log lines carry
+// trace_id/span_id/request_id attributes taken from the call context.
+// Records without an active span pass through untouched.
+func WithTraceContext(l *slog.Logger) *slog.Logger {
+	return slog.New(&traceHandler{inner: l.Handler()})
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := trace.Active(ctx); ok {
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	if id := RequestID(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}

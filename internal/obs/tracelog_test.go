@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWithTraceContextStampsIDs(t *testing.T) {
+	var buf bytes.Buffer
+	base, err := NewLogger(&buf, "json", slog.LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := WithTraceContext(base)
+
+	rec := trace.NewRecorder(8)
+	ctx := trace.WithRecorder(context.Background(), rec)
+	ctx, sp := trace.Start(ctx, "op")
+	ctx = WithRequestID(ctx, "req-7")
+	log.InfoContext(ctx, "traced line")
+	sp.End()
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	wantTrace := sp.Context().TraceID.String()
+	wantSpan := sp.Context().SpanID.String()
+	if line["trace_id"] != wantTrace || line["span_id"] != wantSpan {
+		t.Fatalf("log line ids %v/%v, want %s/%s", line["trace_id"], line["span_id"], wantTrace, wantSpan)
+	}
+	if line["request_id"] != "req-7" {
+		t.Fatalf("request_id = %v, want req-7", line["request_id"])
+	}
+
+	// The same spelling appears in the recorder's JSON view.
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].TraceID != wantTrace {
+		t.Fatalf("recorder sees %+v, want trace %s", spans, wantTrace)
+	}
+}
+
+func TestWithTraceContextPassthrough(t *testing.T) {
+	var buf bytes.Buffer
+	base, err := NewLogger(&buf, "json", slog.LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := WithTraceContext(base)
+	log.Info("plain line")
+	out := buf.String()
+	if strings.Contains(out, "trace_id") || strings.Contains(out, "span_id") {
+		t.Fatalf("untraced line grew trace attrs: %s", out)
+	}
+
+	// WithAttrs / WithGroup keep the wrapper in place.
+	buf.Reset()
+	rec := trace.NewRecorder(8)
+	ctx := trace.WithRecorder(context.Background(), rec)
+	ctx, sp := trace.Start(ctx, "op")
+	defer sp.End()
+	log.With("component", "x").WithGroup("g").InfoContext(ctx, "derived")
+	if !strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("derived logger lost trace stamping: %s", buf.String())
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDisabledPathAllocs is the bench guard for the issue's acceptance
+// criterion: with no recorder armed on the context, the full span
+// lifecycle — Start, every attribute setter, End, Inject — must add zero
+// allocations to the hot path.
+func TestDisabledPathAllocs(t *testing.T) {
+	ctx := context.Background()
+	h := make(http.Header, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sctx, sp := Start(ctx, "hot")
+		sp.Attr("k", "v")
+		sp.AttrInt("n", 42)
+		sp.AttrFloat("f", 3.14)
+		sp.AttrBool("ok", true)
+		sp.AttrDuration("wait", 3*time.Millisecond)
+		Inject(sctx, h)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestActiveLookupAllocs guards the slog-bridge lookup: reading the
+// active span identity off a context must not allocate, since it runs on
+// every request-scoped log line whether or not tracing is on.
+func TestActiveLookupAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := Active(ctx); ok {
+			t.Error("phantom active span")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Active on a span-free context allocates %.1f allocs/op, want 0", allocs)
+	}
+}

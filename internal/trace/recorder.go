@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity bounds a Recorder built with NewRecorder(0).
+const DefaultCapacity = 4096
+
+// SpanData is one finished span, frozen for the ring buffer and the JSON
+// exposition. Ids are hex strings so the wire form equals the log form
+// (the slog bridge stamps the same spellings).
+type SpanData struct {
+	TraceID string    `json:"trace_id"`
+	SpanID  string    `json:"span_id"`
+	Parent  string    `json:"parent_span_id,omitempty"`
+	Remote  bool      `json:"remote_parent,omitempty"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	// DurationMS is the span's monotonic duration in fractional
+	// milliseconds.
+	DurationMS float64  `json:"duration_ms"`
+	Attrs      []Attrib `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute, or "".
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Recorder collects finished spans into a bounded ring buffer: the
+// newest spans win, the oldest are overwritten, and the drop count says
+// how many were lost. One recorder typically serves one process side
+// (the fednumd server, or a simulated client fleet); it is safe for
+// concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []SpanData
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding at most capacity finished spans
+// (0 means DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]SpanData, 0, capacity)}
+}
+
+// enabled reports whether the recorder collects at all; nil-safe.
+func (r *Recorder) enabled() bool { return r != nil }
+
+// record appends one finished span, overwriting the oldest at capacity.
+func (r *Recorder) record(d SpanData) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d)
+	} else {
+		r.buf[r.next] = d
+		r.next = (r.next + 1) % len(r.buf)
+		r.full = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// StartSpan begins a root span recording directly to r, for libraries
+// whose APIs are not context-threaded (the in-process coordinator). A nil
+// recorder returns a nil span, whose every method no-ops. Start/End
+// pairing rules apply exactly as for Start; fedlint/spanend checks both.
+func (r *Recorder) StartSpan(name string) *Span {
+	if !r.enabled() {
+		return nil
+	}
+	sp := &Span{name: name, rec: r, start: time.Now()}
+	sp.sc.TraceID = NewTraceID()
+	sp.sc.SpanID = NewSpanID()
+	return sp
+}
+
+// Len returns the number of buffered spans; 0 on a nil recorder.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many spans have been overwritten since creation;
+// 0 on a nil recorder.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Spans returns a copy of the buffered spans, oldest first.
+func (r *Recorder) Spans() []SpanData {
+	return r.Filter(Filter{})
+}
+
+// Filter selects spans from a recorder. Zero fields match everything.
+type Filter struct {
+	// TraceID keeps only spans of one trace (hex form).
+	TraceID string
+	// Name keeps only spans with this exact name.
+	Name string
+	// Attr/AttrValue keep only spans carrying attribute Attr == AttrValue
+	// (the /debug/trace session filter is Attr="session").
+	Attr      string
+	AttrValue string
+	// MinDuration keeps only spans at least this long.
+	MinDuration time.Duration
+}
+
+func (f Filter) match(d SpanData) bool {
+	if f.TraceID != "" && d.TraceID != f.TraceID {
+		return false
+	}
+	if f.Name != "" && d.Name != f.Name {
+		return false
+	}
+	if f.Attr != "" && d.Attr(f.Attr) != f.AttrValue {
+		return false
+	}
+	if f.MinDuration > 0 && d.DurationMS < float64(f.MinDuration.Nanoseconds())/1e6 {
+		return false
+	}
+	return true
+}
+
+// Filter returns the buffered spans matching f, oldest first.
+func (r *Recorder) Filter(f Filter) []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, len(r.buf))
+	appendMatch := func(span SpanData) {
+		if f.match(span) {
+			out = append(out, span)
+		}
+	}
+	if r.full {
+		for _, d := range r.buf[r.next:] {
+			appendMatch(d)
+		}
+		for _, d := range r.buf[:r.next] {
+			appendMatch(d)
+		}
+		return out
+	}
+	for _, d := range r.buf {
+		appendMatch(d)
+	}
+	return out
+}
+
+// TraceResponse is the JSON envelope /debug/trace serves.
+type TraceResponse struct {
+	Spans   []SpanData `json:"spans"`
+	Total   int        `json:"total"`
+	Dropped uint64     `json:"dropped"`
+}
+
+// Handler serves the recorder as JSON — mount it at GET /debug/trace.
+// Query parameters filter the result: trace (hex trace id), session
+// (spans whose session attribute matches), name (exact span name), and
+// min_ms (minimum span duration in milliseconds).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		f := Filter{
+			TraceID: q.Get("trace"),
+			Name:    q.Get("name"),
+		}
+		if s := q.Get("session"); s != "" {
+			f.Attr, f.AttrValue = "session", s
+		}
+		if ms := q.Get("min_ms"); ms != "" {
+			v, err := strconv.ParseFloat(ms, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: min_ms must be a non-negative number", http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = time.Duration(v * float64(time.Millisecond))
+		}
+		spans := r.Filter(f)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// A write failure means the scraper hung up; nothing to do.
+		_ = enc.Encode(TraceResponse{Spans: spans, Total: len(spans), Dropped: r.Dropped()})
+	})
+}
+
+// formatInt stringifies an attribute integer.
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat stringifies an attribute float in shortest round-trip form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,352 @@
+// Package trace is a zero-dependency distributed-tracing layer in the
+// style of internal/obs: spans with monotonic timings and typed key/value
+// attributes, carried through context.Context, propagated across HTTP
+// hops via the W3C traceparent header, and collected into a bounded
+// in-process ring buffer (Recorder) that an admin endpoint serves as
+// JSON. It exists so one report or one round can be followed end to end —
+// client submit, retry waits, admission gate, session-table work, WAL
+// commit, finalize — across process boundaries, which aggregate counters
+// (internal/obs) cannot do.
+//
+// The design center is a free disabled path: tracing is off unless a
+// *Recorder has been placed in the context (WithRecorder), and every
+// operation — Start, the attribute setters, End, Inject — is a nil-safe
+// no-op that performs zero allocations when it is. The report hot path
+// therefore carries its instrumentation unconditionally; attaching a
+// recorder is what turns it on. Attribute setters are monomorphic
+// (Attr/AttrInt/AttrFloat/AttrBool) instead of variadic or interface-
+// typed precisely so the disabled path never boxes a value or
+// materializes a slice.
+//
+// Spans are single-goroutine by contract: the goroutine that Starts a
+// span sets its attributes and Ends it. The Recorder is safe for
+// concurrent use from any number of such goroutines.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace (one client protocol run).
+type TraceID [16]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of a span: what crosses process
+// boundaries in the traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both ids are non-zero, per the W3C spec.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Header is the W3C trace-context propagation header.
+const Header = "traceparent"
+
+// Traceparent renders the context in W3C traceparent version-00 form:
+// 00-<32 hex trace id>-<16 hex span id>-01 (sampled, since a context is
+// only propagated when a recorder is collecting).
+func (sc SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", sc.TraceID, sc.SpanID)
+}
+
+// ParseTraceparent parses a W3C traceparent value. Unknown versions are
+// accepted as long as the version-00 prefix shape holds (per spec,
+// parsers must not reject higher versions with compatible prefixes);
+// malformed values and all-zero ids are errors.
+func ParseTraceparent(v string) (SpanContext, error) {
+	// version(2) - trace(32) - span(16) - flags(2) = 55 bytes minimum.
+	if len(v) < 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, fmt.Errorf("trace: malformed traceparent %q", v)
+	}
+	if v[0] == 'f' && v[1] == 'f' {
+		return SpanContext{}, fmt.Errorf("trace: forbidden traceparent version ff")
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(v[3:35])); err != nil {
+		return SpanContext{}, fmt.Errorf("trace: bad trace id in %q", v)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(v[36:52])); err != nil {
+		return SpanContext{}, fmt.Errorf("trace: bad span id in %q", v)
+	}
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("trace: all-zero id in %q", v)
+	}
+	return sc, nil
+}
+
+// Extract reads the traceparent header from h; ok is false when the
+// header is absent or malformed (propagation degrades to a fresh trace,
+// never to an error).
+func Extract(h http.Header) (sc SpanContext, ok bool) {
+	v := h.Get(Header)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	sc, err := ParseTraceparent(v)
+	return sc, err == nil
+}
+
+// Inject writes the context's active span into h as a traceparent header,
+// so the next hop's server span becomes a child of the calling span. A
+// context without an active span injects nothing.
+func Inject(ctx context.Context, h http.Header) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	h.Set(Header, sp.sc.Traceparent())
+}
+
+// idCounter drives span/trace id generation: a process-wide counter mixed
+// through splitmix64, seeded once from crypto/rand. Ids are unique and
+// unpredictable enough for correlation without per-id syscall cost; they
+// protect no secret.
+var idCounter atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idCounter.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		// Entropy source unreadable: fall back to a fixed odd offset; ids
+		// stay unique within the process, which is all correlation needs.
+		idCounter.Store(0x9e3779b97f4a7c15)
+	}
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijective
+// mixer, so distinct counter values can never collide.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID mints a fresh trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], splitmix64(idCounter.Add(1)))
+	binary.BigEndian.PutUint64(t[8:], splitmix64(idCounter.Add(1)))
+	return t
+}
+
+// NewSpanID mints a fresh span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], splitmix64(idCounter.Add(1)))
+	return s
+}
+
+// ctxKey keys the context values this package owns.
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+	remoteKey
+)
+
+// WithRecorder arms tracing on the context: Start calls below it create
+// real spans delivered to rec on End. A nil rec returns ctx unchanged, so
+// callers can thread an optional recorder without branching.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, rec)
+}
+
+// RecorderFrom returns the recorder armed on ctx, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// WithRemote records a propagated parent (an Extracted traceparent) on
+// the context: the next Start becomes a child of the remote span instead
+// of opening a fresh trace. Invalid contexts are ignored.
+func WithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// FromContext returns the context's active span, or nil. A nil *Span is
+// fully usable — every method no-ops — so callers never need to check.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// Active returns the propagated identity of the context's active span;
+// ok is false when no span is active. The slog bridge uses this to stamp
+// trace_id/span_id onto request-scoped log lines.
+func Active(ctx context.Context) (sc SpanContext, ok bool) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return SpanContext{}, false
+	}
+	return sp.sc, true
+}
+
+// Span is one timed operation. The zero of usefulness is nil: every
+// method on a nil span is a no-op, which is how the disabled path stays
+// allocation-free.
+type Span struct {
+	name   string
+	sc     SpanContext
+	parent SpanID
+	remote bool // parent arrived over the wire (traceparent)
+	start  time.Time
+	attrs  []Attrib
+	rec    *Recorder
+	ended  atomic.Bool
+}
+
+// Attrib is one key/value annotation on a span. Values are stored
+// stringified; the typed setters do the conversion only when a span is
+// actually recording.
+type Attrib struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Start begins a span named name. With no recorder armed on ctx it
+// returns (ctx, nil) without allocating — the disabled fast path. With a
+// recorder, the new span becomes ctx's active span (children parent to
+// it); the parent is the context's active span if any, else a remote
+// parent recorded by WithRemote, else the span roots a fresh trace.
+//
+// Every Start must be paired with exactly one End on all paths (defer
+// sp.End() dominating the call is the canonical shape); the spanend
+// fedlint analyzer machine-checks this.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	rec := RecorderFrom(ctx)
+	if rec == nil || !rec.enabled() {
+		return ctx, nil
+	}
+	sp := &Span{name: name, rec: rec, start: time.Now()}
+	switch parent := FromContext(ctx); {
+	case parent != nil:
+		sp.sc.TraceID = parent.sc.TraceID
+		sp.parent = parent.sc.SpanID
+	default:
+		if rsc, ok := ctx.Value(remoteKey).(SpanContext); ok && rsc.Valid() {
+			sp.sc.TraceID = rsc.TraceID
+			sp.parent = rsc.SpanID
+			sp.remote = true
+		} else {
+			sp.sc.TraceID = NewTraceID()
+		}
+	}
+	sp.sc.SpanID = NewSpanID()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// Context returns the span's propagated identity; the zero SpanContext
+// for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// Attr annotates the span with a string value. No-op on a nil span.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attrib{Key: key, Value: value})
+}
+
+// AttrInt annotates the span with an integer value. No-op on a nil span;
+// the conversion runs only when recording.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attrib{Key: key, Value: formatInt(v)})
+}
+
+// AttrFloat annotates the span with a float value (shortest round-trip
+// form). No-op on a nil span.
+func (s *Span) AttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attrib{Key: key, Value: formatFloat(v)})
+}
+
+// AttrBool annotates the span with a boolean value. No-op on a nil span.
+func (s *Span) AttrBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	val := "false"
+	if v {
+		val = "true"
+	}
+	s.attrs = append(s.attrs, Attrib{Key: key, Value: val})
+}
+
+// AttrDuration annotates the span with a duration in fractional
+// milliseconds, the unit every duration attribute in this repository
+// uses. No-op on a nil span.
+func (s *Span) AttrDuration(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attrib{Key: key, Value: formatFloat(float64(d.Nanoseconds()) / 1e6)})
+}
+
+// End finishes the span and delivers it to the recorder. The duration is
+// monotonic (time.Since). End is idempotent — a second End is ignored —
+// and a nil span Ends as a no-op.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.record(SpanData{
+		TraceID:    s.sc.TraceID.String(),
+		SpanID:     s.sc.SpanID.String(),
+		Parent:     parentString(s.parent),
+		Remote:     s.remote,
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(time.Since(s.start).Nanoseconds()) / 1e6,
+		Attrs:      s.attrs,
+	})
+}
+
+func parentString(p SpanID) string {
+	if p.IsZero() {
+		return ""
+	}
+	return p.String()
+}

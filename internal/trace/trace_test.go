@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartDisabledReturnsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "op")
+	if sp != nil {
+		t.Fatalf("Start without a recorder returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without a recorder rebuilt the context")
+	}
+	// Every operation on the nil span is a no-op.
+	sp.Attr("k", "v")
+	sp.AttrInt("n", 1)
+	sp.AttrFloat("f", 1.5)
+	sp.AttrBool("b", true)
+	sp.AttrDuration("d", time.Second)
+	sp.End()
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatalf("nil span has a valid context: %+v", sc)
+	}
+	h := http.Header{}
+	Inject(ctx2, h)
+	if h.Get(Header) != "" {
+		t.Fatalf("Inject without a span wrote a header: %q", h.Get(Header))
+	}
+}
+
+func TestSpanLifecycleAndParentage(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := Start(ctx, "root")
+	root.Attr("session", "s1")
+	cctx, child := Start(ctx, "child")
+	child.AttrInt("try", 2)
+	if got, want := child.Context().TraceID, root.Context().TraceID; got != want {
+		t.Fatalf("child trace id %s != root trace id %s", got, want)
+	}
+	_ = cctx
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Ring order is end order: child first.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("span order %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].SpanID {
+		t.Fatalf("child parent %q != root span id %q", spans[0].Parent, spans[1].SpanID)
+	}
+	if spans[1].Parent != "" {
+		t.Fatalf("root has parent %q", spans[1].Parent)
+	}
+	if spans[0].Attr("try") != "2" || spans[1].Attr("session") != "s1" {
+		t.Fatalf("attrs lost: %+v", spans)
+	}
+	if spans[0].DurationMS < 0 {
+		t.Fatalf("negative duration %v", spans[0].DurationMS)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	hdr := sc.Traceparent()
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip %+v != %+v", got, sc)
+	}
+	for _, bad := range []string{
+		"",
+		"00-short",
+		"00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-0000000000000001-01",
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace id
+		"00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01", // zero span id
+		"ff-0102030405060708090a0b0c0d0e0f10-0102030405060708-01", // forbidden version
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted garbage", bad)
+		}
+	}
+	// Higher versions with a compatible prefix parse (W3C forward compat).
+	if _, err := ParseTraceparent("42-0102030405060708090a0b0c0d0e0f10-0102030405060708-01-extradata"); err != nil {
+		t.Errorf("future traceparent version rejected: %v", err)
+	}
+}
+
+func TestInjectExtractRemoteParent(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, client := Start(ctx, "client")
+	h := http.Header{}
+	Inject(ctx, h)
+	if h.Get(Header) == "" {
+		t.Fatal("Inject wrote no traceparent")
+	}
+
+	// Server side: fresh context, own recorder, remote parent extracted.
+	srvRec := NewRecorder(16)
+	sc, ok := Extract(h)
+	if !ok {
+		t.Fatal("Extract failed on an injected header")
+	}
+	sctx := WithRecorder(context.Background(), srvRec)
+	sctx = WithRemote(sctx, sc)
+	_, server := Start(sctx, "server")
+	server.End()
+	client.End()
+
+	srv := srvRec.Spans()
+	if len(srv) != 1 {
+		t.Fatalf("server recorded %d spans, want 1", len(srv))
+	}
+	if srv[0].TraceID != client.Context().TraceID.String() {
+		t.Fatalf("server trace %s != client trace %s", srv[0].TraceID, client.Context().TraceID)
+	}
+	if srv[0].Parent != client.Context().SpanID.String() {
+		t.Fatalf("server parent %s != client span %s", srv[0].Parent, client.Context().SpanID)
+	}
+	if !srv[0].Remote {
+		t.Fatal("server span not marked remote")
+	}
+	if _, ok := Extract(http.Header{}); ok {
+		t.Fatal("Extract reported ok on an empty header set")
+	}
+}
+
+func TestRecorderRingOverwrites(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "op")
+		sp.AttrInt("i", int64(i))
+		sp.End()
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if got := rec.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	// Oldest-first order across the wrap point.
+	for i, sp := range spans {
+		if want := formatInt(int64(6 + i)); sp.Attr("i") != want {
+			t.Fatalf("span %d has i=%s, want %s", i, sp.Attr("i"), want)
+		}
+	}
+}
+
+func TestRecorderFilterAndHandler(t *testing.T) {
+	rec := NewRecorder(32)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx1, a := Start(ctx, "submit")
+	a.Attr("session", "s1")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	_, b := Start(ctx, "task")
+	b.Attr("session", "s2")
+	b.End()
+	traceID := FromContextID(ctx1)
+
+	if got := rec.Filter(Filter{Name: "submit"}); len(got) != 1 || got[0].Name != "submit" {
+		t.Fatalf("name filter: %+v", got)
+	}
+	if got := rec.Filter(Filter{Attr: "session", AttrValue: "s2"}); len(got) != 1 || got[0].Attr("session") != "s2" {
+		t.Fatalf("session filter: %+v", got)
+	}
+	if got := rec.Filter(Filter{MinDuration: time.Millisecond}); len(got) != 1 || got[0].Name != "submit" {
+		t.Fatalf("min duration filter: %+v", got)
+	}
+
+	srv := httptest.NewServer(rec.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace?session=s1&min_ms=1&trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 1 || len(out.Spans) != 1 || out.Spans[0].Name != "submit" {
+		t.Fatalf("handler filtered wrong: %+v", out)
+	}
+	if resp, err := http.Get(srv.URL + "/debug/trace?min_ms=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bogus min_ms got %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// FromContextID is a test helper returning the active span's trace id.
+func FromContextID(ctx context.Context) string {
+	sc, _ := Active(ctx)
+	return sc.TraceID.String()
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("span id collision or zero at %d: %s", i, id)
+		}
+		seen[id] = true
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Fatal("trace id collision")
+	}
+}
+
+func TestTraceparentShape(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	parts := strings.Split(sc.Traceparent(), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || parts[3] != "01" {
+		t.Fatalf("traceparent shape wrong: %q", sc.Traceparent())
+	}
+}

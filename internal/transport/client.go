@@ -13,6 +13,7 @@ import (
 	"repro/internal/frand"
 	"repro/internal/ldp"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/transport/wire"
 )
 
@@ -41,6 +42,11 @@ type Participant struct {
 	// rejected reports (MetricClientRejections). Attempt/retry counters
 	// ride on Retry.Metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records client-side spans (participate,
+	// fetch_task, submit_report, per-attempt) and propagates the trace to
+	// the server via the traceparent header, so server spans parent to
+	// the attempt that caused them. Nil costs nothing.
+	Tracer *trace.Recorder
 }
 
 func (p *Participant) client() *http.Client {
@@ -53,6 +59,10 @@ func (p *Participant) client() *http.Client {
 // FetchTask polls the server for this client's bit assignment. Re-polling
 // is idempotent: the server replays the original assignment.
 func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Task, error) {
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, p.Tracer), "client.fetch_task")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.Attr("client", p.ClientID)
 	u := fmt.Sprintf("%s/v1/sessions/%s/task?client=%s",
 		p.BaseURL, url.PathEscape(sessionID), url.QueryEscape(p.ClientID))
 	var task wire.Task
@@ -72,6 +82,13 @@ func (p *Participant) Participate(ctx context.Context, sessionID string, value u
 	if p.RNG == nil {
 		return fmt.Errorf("transport: participant %q has no RNG", p.ClientID)
 	}
+	// One trace spans the whole protocol run: fetch_task and
+	// submit_report (and their per-attempt children) parent here. The
+	// private value is deliberately never a span attribute.
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, p.Tracer), "client.participate")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.Attr("client", p.ClientID)
 	task, err := p.FetchTask(ctx, sessionID)
 	if err != nil {
 		return err
@@ -113,6 +130,11 @@ func (p *Participant) Participate(ctx context.Context, sessionID string, value u
 
 // SubmitReport posts a report to the server.
 func (p *Participant) SubmitReport(ctx context.Context, sessionID string, rep wire.Report) (wire.ReportAck, error) {
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, p.Tracer), "client.submit_report")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.Attr("client", p.ClientID)
+	sp.AttrInt("bit", int64(rep.Bit))
 	body, err := json.Marshal(rep)
 	if err != nil {
 		return wire.ReportAck{}, err
@@ -147,6 +169,10 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u str
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Propagate the active span (the per-attempt span RetryPolicy.Do
+		// opens) so the server's span parents to exactly this attempt —
+		// duplicates and retries each carry their own parent.
+		trace.Inject(ctx, req.Header)
 		resp, err := hc.Do(req)
 		if err != nil {
 			return err
@@ -199,6 +225,9 @@ type Admin struct {
 	HTTPClient *http.Client
 	// Retry, when non-nil, retries transient failures with backoff.
 	Retry *RetryPolicy
+	// Tracer, when non-nil, records control-plane spans and propagates
+	// the trace to the server.
+	Tracer *trace.Recorder
 }
 
 func (a *Admin) client() *http.Client {
@@ -212,6 +241,9 @@ func (a *Admin) client() *http.Client {
 // Creation is not idempotent on the server: retrying a lost-ack create may
 // leave an orphan session behind, which the TTL garbage collector reaps.
 func (a *Admin) CreateSession(ctx context.Context, cfg wire.SessionConfig) (string, error) {
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, a.Tracer), "client.create_session")
+	defer sp.End()
+	sp.Attr("feature", cfg.Feature)
 	body, err := json.Marshal(cfg)
 	if err != nil {
 		return "", err
@@ -226,6 +258,9 @@ func (a *Admin) CreateSession(ctx context.Context, cfg wire.SessionConfig) (stri
 // Finalize closes the session and returns the aggregate. Finalize is
 // idempotent on the server, so retrying through a lost ack is safe.
 func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, error) {
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, a.Tracer), "client.finalize")
+	defer sp.End()
+	sp.Attr("session", sessionID)
 	u := fmt.Sprintf("%s/v1/sessions/%s/finalize", a.BaseURL, url.PathEscape(sessionID))
 	var out wire.Result
 	if err := doJSON(ctx, a.client(), a.Retry, http.MethodPost, u, nil, http.StatusOK, &out); err != nil {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -29,35 +30,35 @@ func newWALServer(t *testing.T, dir string, seed uint64) (*Server, *wal.WAL) {
 // reports and a finalize, plus a second session left in flight.
 func driveTraffic(t *testing.T, s *Server) (doneID, openID string) {
 	t.Helper()
-	doneID, err := s.CreateSession(wire.SessionConfig{Feature: "walled", Bits: 4, Gamma: 1})
+	doneID, err := s.CreateSession(context.Background(), wire.SessionConfig{Feature: "walled", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
 		client := fmt.Sprintf("c-%d", i)
-		task, err := s.AssignTask(doneID, client)
+		task, err := s.AssignTask(context.Background(), doneID, client)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ack, err := s.SubmitReport(doneID, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)})
+		ack, err := s.SubmitReport(context.Background(), doneID, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)})
 		if err != nil || !ack.Accepted {
 			t.Fatalf("report %d: ack=%+v err=%v", i, ack, err)
 		}
 	}
-	if _, err := s.Finalize(doneID); err != nil {
+	if _, err := s.Finalize(context.Background(), doneID); err != nil {
 		t.Fatal(err)
 	}
-	openID, err = s.CreateSession(wire.SessionConfig{Feature: "inflight", Bits: 4, Gamma: 1})
+	openID, err = s.CreateSession(context.Background(), wire.SessionConfig{Feature: "inflight", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
 		client := fmt.Sprintf("o-%d", i)
-		task, err := s.AssignTask(openID, client)
+		task, err := s.AssignTask(context.Background(), openID, client)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.SubmitReport(openID, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
+		if _, err := s.SubmitReport(context.Background(), openID, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -115,18 +116,18 @@ func TestWALReplayRebuildsState(t *testing.T) {
 	// The recovered server keeps honoring the protocol invariants: a
 	// pre-crash client retransmitting its exact report is re-acked as a
 	// duplicate, and a conflicting value is rejected.
-	task, err := s2.AssignTask(openID, "o-0")
+	task, err := s2.AssignTask(context.Background(), openID, "o-0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ack, err := s2.SubmitReport(openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 1})
+	ack, err := s2.SubmitReport(context.Background(), openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 1})
 	if err != nil || !ack.Accepted || !ack.Duplicate {
 		t.Fatalf("retransmission after replay: ack=%+v err=%v, want duplicate re-ack", ack, err)
 	}
-	if ack, _ := s2.SubmitReport(openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 0}); ack.Accepted {
+	if ack, _ := s2.SubmitReport(context.Background(), openID, wire.Report{ClientID: "o-0", Bit: task.Bit, Value: 0}); ack.Accepted {
 		t.Fatal("conflicting retransmission accepted after replay")
 	}
-	if _, err := s2.Finalize(doneID); err != nil {
+	if _, err := s2.Finalize(context.Background(), doneID); err != nil {
 		t.Fatalf("re-finalizing recovered session: %v", err)
 	}
 }
@@ -172,14 +173,14 @@ func TestSnapshotPlusWALTailRecovery(t *testing.T) {
 	snapPath := filepath.Join(dir, "snap.json")
 	s1, w1 := newWALServer(t, filepath.Join(dir, "wal"), 1)
 
-	first, err := s1.CreateSession(wire.SessionConfig{Feature: "pre", Bits: 4, Gamma: 1})
+	first, err := s1.CreateSession(context.Background(), wire.SessionConfig{Feature: "pre", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
 		client := fmt.Sprintf("pre-%d", i)
-		task, _ := s1.AssignTask(first, client)
-		if _, err := s1.SubmitReport(first, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
+		task, _ := s1.AssignTask(context.Background(), first, client)
+		if _, err := s1.SubmitReport(context.Background(), first, wire.Report{ClientID: client, Bit: task.Bit, Value: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -193,12 +194,12 @@ func TestSnapshotPlusWALTailRecovery(t *testing.T) {
 	// Post-snapshot tail: more reports and a finalize.
 	for i := 6; i < 10; i++ {
 		client := fmt.Sprintf("pre-%d", i)
-		task, _ := s1.AssignTask(first, client)
-		if _, err := s1.SubmitReport(first, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)}); err != nil {
+		task, _ := s1.AssignTask(context.Background(), first, client)
+		if _, err := s1.SubmitReport(context.Background(), first, wire.Report{ClientID: client, Bit: task.Bit, Value: uint64(i % 2)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s1.Finalize(first); err != nil {
+	if _, err := s1.Finalize(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
 	want := stateFingerprint(t, s1)
@@ -315,11 +316,11 @@ func TestExpiryAndDeleteAreLogged(t *testing.T) {
 	s1.Now = func() time.Time { return clock }
 	s1.Retention = time.Minute
 
-	expireID, err := s1.CreateSession(wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 1})
+	expireID, err := s1.CreateSession(context.Background(), wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	keepID, err := s1.CreateSession(wire.SessionConfig{Feature: "keep", Bits: 4, Gamma: 1})
+	keepID, err := s1.CreateSession(context.Background(), wire.SessionConfig{Feature: "keep", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestExpiryAndDeleteAreLogged(t *testing.T) {
 	if rows := s2.Sessions(); len(rows) != 1 || rows[0].SessionID != keepID {
 		t.Fatalf("recovered server has %+v, want only %s", rows, keepID)
 	}
-	if _, err := s2.AssignTask(expireID, "late"); err == nil {
+	if _, err := s2.AssignTask(context.Background(), expireID, "late"); err == nil {
 		t.Fatal("deleted session resurrected after replay")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Server-side metric names, as scraped from /metrics. Exported as
@@ -163,21 +164,42 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the HTTP middleware: request counts by
 // route/method/status, a latency histogram per route, the in-flight gauge,
-// and a per-request id stamped into the context for log correlation.
+// a per-request id stamped into the context for log correlation, and —
+// when SetTracer armed a recorder — a server span per request. The span
+// continues the client's trace when the request carries a W3C traceparent
+// header, so one trace id follows a report from the client's submit
+// through every retry into this handler.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.metrics.latency.With(route)
+	spanName := "server " + route
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		reqID := strconv.FormatUint(s.reqSeq.Add(1), 10)
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		var sp *trace.Span
+		if rec := s.tracer.Load(); rec != nil {
+			ctx = trace.WithRecorder(ctx, rec)
+			if rsc, ok := trace.Extract(r.Header); ok {
+				ctx = trace.WithRemote(ctx, rsc)
+			}
+			ctx, sp = trace.Start(ctx, spanName)
+			sp.Attr("method", r.Method)
+			sp.Attr("request_id", reqID)
+			if id := r.PathValue("id"); id != "" {
+				sp.Attr("session", id)
+			}
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		elapsed := time.Since(start)
+		sp.AttrInt("status", int64(sw.code))
+		sp.End()
 		s.metrics.requests.With(route, r.Method, strconv.Itoa(sw.code)).Inc()
 		lat.Observe(elapsed.Seconds())
-		s.logger().Debug("transport: request",
+		s.logger().DebugContext(ctx, "transport: request",
 			"request_id", reqID, "route", route, "method", r.Method,
 			"code", sw.code, "duration_ms", float64(elapsed.Microseconds())/1000)
 	}

@@ -208,7 +208,7 @@ func TestMetricsGCSweepLogsAndCounts(t *testing.T) {
 	var buf bytes.Buffer
 	agg.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
 
-	if _, err := agg.CreateSession(wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 10}); err != nil {
+	if _, err := agg.CreateSession(context.Background(), wire.SessionConfig{Feature: "ttl", Bits: 4, Gamma: 1, TTLSeconds: 10}); err != nil {
 		t.Fatal(err)
 	}
 	now = now.Add(time.Minute)

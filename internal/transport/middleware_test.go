@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Every ResponseWriter wrapper in this package must expose Unwrap, or
+// http.ResponseController calls made deeper in the middleware chain
+// silently stop reaching the connection. Compile-time check for the one
+// wrapper we have today; TestResponseWriterWrappersUnwrap audits the
+// source for any future ones.
+var _ interface{ Unwrap() http.ResponseWriter } = (*statusWriter)(nil)
+
+// TestResponseWriterWrappersUnwrap parses the package source and fails if
+// any struct embedding http.ResponseWriter lacks an Unwrap method — the
+// regression that would disarm the overload middleware's per-request
+// deadlines for every wrapper added above it in the chain.
+func TestResponseWriterWrappersUnwrap(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrappers := map[string]bool{} // type name -> has Unwrap
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if len(field.Names) != 0 {
+							continue // named field, not an embedding
+						}
+						if sel, ok := field.Type.(*ast.SelectorExpr); ok {
+							if x, ok := sel.X.(*ast.Ident); ok && x.Name == "http" && sel.Sel.Name == "ResponseWriter" {
+								if _, seen := wrappers[ts.Name.Name]; !seen {
+									wrappers[ts.Name.Name] = false
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Name.Name != "Unwrap" {
+					continue
+				}
+				recv := fd.Recv.List[0].Type
+				if star, ok := recv.(*ast.StarExpr); ok {
+					recv = star.X
+				}
+				if id, ok := recv.(*ast.Ident); ok {
+					if _, isWrapper := wrappers[id.Name]; isWrapper {
+						wrappers[id.Name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(wrappers) == 0 {
+		t.Fatal("found no ResponseWriter wrappers; audit is miswired")
+	}
+	for name, hasUnwrap := range wrappers {
+		if !hasUnwrap {
+			t.Errorf("%s embeds http.ResponseWriter but has no Unwrap method; http.NewResponseController cannot compose through it", name)
+		}
+	}
+}
+
+// deadlineWriter records whether ResponseController deadline calls reached
+// it through the middleware chain's wrappers.
+type deadlineWriter struct {
+	http.ResponseWriter
+	readSet, writeSet bool
+}
+
+func (w *deadlineWriter) SetReadDeadline(time.Time) error  { w.readSet = true; return nil }
+func (w *deadlineWriter) SetWriteDeadline(time.Time) error { w.writeSet = true; return nil }
+
+// TestDeadlinesReachConnectionThroughWrappers sends a request through the
+// full middleware chain (instrument -> gated -> handler) and checks the
+// overload policy's per-request deadlines arrive at the underlying
+// connection — i.e. statusWriter's Unwrap actually composes.
+func TestDeadlinesReachConnectionThroughWrappers(t *testing.T) {
+	s := NewServer(1)
+	s.SetOverload(OverloadPolicy{RequestTimeout: time.Second, QueryInFlight: 4})
+	dw := &deadlineWriter{ResponseWriter: httptest.NewRecorder()}
+	req := httptest.NewRequest(http.MethodGet, "/v1/sessions", nil)
+	s.ServeHTTP(dw, req)
+	if !dw.readSet || !dw.writeSet {
+		t.Errorf("deadlines did not reach the connection through the wrapper chain: read=%v write=%v",
+			dw.readSet, dw.writeSet)
+	}
+}

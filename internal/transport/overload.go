@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/transport/wire"
 )
 
@@ -314,13 +315,25 @@ func (s *Server) gated(class string, h http.HandlerFunc) http.HandlerFunc {
 			_ = rc.SetWriteDeadline(deadline)
 		}
 		g := ov.gates[class]
-		if err := g.acquire(r.Context()); err != nil {
+		// The admission span measures only the gate wait (plus shed
+		// outcome); it ends before the handler runs so handler-side spans
+		// stay children of the request span, not of the wait.
+		_, sp := trace.Start(r.Context(), "server.admit")
+		sp.Attr("class", class)
+		err := g.acquire(r.Context())
+		reason := ""
+		if err != nil {
 			var shed *errShed
-			reason := ShedQueueFull
+			reason = ShedQueueFull
 			if errors.As(err, &shed) {
 				reason = shed.reason
 			}
+			sp.Attr("shed", reason)
+		}
+		sp.End()
+		if err != nil {
 			s.metrics.shed.With(class, reason).Inc()
+			s.roundEvent(r.PathValue("id"), RoundShed, "", reason, 0, class)
 			s.writeUnavailable(w, http.StatusServiceUnavailable, wire.CodeUnavailable,
 				err, s.shedder().advise(s.now()))
 			return

@@ -292,11 +292,11 @@ func TestOversizedBodyRejected(t *testing.T) {
 	s.SetOverload(OverloadPolicy{MaxBodyBytes: 256})
 	srv := httptest.NewServer(s)
 	defer srv.Close()
-	id, err := s.CreateSession(wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	id, err := s.CreateSession(context.Background(), wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	task, err := s.AssignTask(id, "c1")
+	task, err := s.AssignTask(context.Background(), id, "c1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestOversizedBodyRejected(t *testing.T) {
 		With("/v1/sessions/" + id + "/reports").Value(); got != 1 {
 		t.Fatalf("body_too_large = %d, want 1", got)
 	}
-	ack, err := s.SubmitReport(id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1})
+	ack, err := s.SubmitReport(context.Background(), id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1})
 	if err != nil || !ack.Accepted {
 		t.Fatalf("well-formed retry after 413: ack=%+v err=%v", ack, err)
 	}
@@ -348,19 +348,19 @@ func TestReportRateLimit(t *testing.T) {
 	s.SetOverload(OverloadPolicy{ReportRate: 1, ReportBurst: 1})
 	srv := httptest.NewServer(s)
 	defer srv.Close()
-	id, err := s.CreateSession(wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	id, err := s.CreateSession(context.Background(), wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	bits := make(map[string]int)
 	for _, c := range []string{"c1", "c2"} {
-		task, err := s.AssignTask(id, c)
+		task, err := s.AssignTask(context.Background(), id, c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		bits[c] = task.Bit
 	}
-	if ack, err := s.SubmitReport(id, wire.Report{ClientID: "c1", Bit: bits["c1"], Value: 1}); err != nil || !ack.Accepted {
+	if ack, err := s.SubmitReport(context.Background(), id, wire.Report{ClientID: "c1", Bit: bits["c1"], Value: 1}); err != nil || !ack.Accepted {
 		t.Fatalf("first report: ack=%+v err=%v", ack, err)
 	}
 	// The bucket is empty; the next submission bounces over HTTP with the
@@ -395,7 +395,7 @@ func TestReportRateLimit(t *testing.T) {
 	// Nothing committed: after the bucket refills the same client's
 	// report is accepted fresh, not as a duplicate or conflict.
 	clk.Advance(2 * time.Second)
-	ack, err := s.SubmitReport(id, wire.Report{ClientID: "c2", Bit: bits["c2"], Value: 1})
+	ack, err := s.SubmitReport(context.Background(), id, wire.Report{ClientID: "c2", Bit: bits["c2"], Value: 1})
 	if err != nil || !ack.Accepted || ack.Duplicate {
 		t.Fatalf("post-refill report: ack=%+v err=%v", ack, err)
 	}

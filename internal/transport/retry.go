@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/frand"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/transport/wire"
 )
 
@@ -251,18 +252,28 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 				cm.retries.Inc()
 			}
 			pause := rp.Backoff(try)
+			hinted := false
 			if hint := retryAfterHint(err); hint > 0 {
 				if rp != nil && rp.MaxDelay > 0 && hint > rp.MaxDelay {
 					hint = rp.MaxDelay
 				}
 				if hint > pause {
 					pause = hint
+					hinted = true
 					if cm != nil {
 						cm.retryAfterWaits.Inc()
 					}
 				}
 			}
-			if serr := rp.sleepFor(ctx, pause); serr != nil {
+			// The backoff span makes retry waits visible in a trace:
+			// where a slow report actually spent its time is usually
+			// here, not on the wire.
+			_, bsp := trace.Start(ctx, "client.backoff")
+			bsp.AttrDuration("pause", pause)
+			bsp.AttrBool("retry_after", hinted)
+			serr := rp.sleepFor(ctx, pause)
+			bsp.End()
+			if serr != nil {
 				return serr
 			}
 		}
@@ -271,6 +282,9 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 			breaker = rp.Breaker
 		}
 		if !breaker.Allow() {
+			_, fsp := trace.Start(ctx, "client.breaker_open")
+			fsp.AttrInt("try", int64(try+1))
+			fsp.End()
 			err = ErrBreakerOpen
 			continue
 		}
@@ -278,14 +292,24 @@ func (rp *RetryPolicy) Do(ctx context.Context, attempt func(ctx context.Context)
 		if rp != nil && rp.PerTryTimeout > 0 {
 			tryCtx, cancel = context.WithTimeout(ctx, rp.PerTryTimeout)
 		}
+		// Each network attempt gets its own span; doJSON injects its id
+		// into the traceparent header, so the server span it produces
+		// points back at exactly this attempt.
+		spanCtx, asp := trace.Start(tryCtx, "client.attempt")
+		asp.AttrInt("try", int64(try+1))
+		if asp != nil && breaker != nil {
+			asp.Attr("breaker", breaker.State())
+		}
 		if cm != nil {
 			cm.attempts.Inc()
 			start := time.Now()
-			err = attempt(tryCtx)
+			err = attempt(spanCtx)
 			cm.seconds.Observe(time.Since(start).Seconds())
 		} else {
-			err = attempt(tryCtx)
+			err = attempt(spanCtx)
 		}
+		asp.AttrBool("failed", err != nil)
+		asp.End()
 		// A per-try deadline firing while the parent is still live is a
 		// transport timeout, not a caller cancellation: retryable, and a
 		// genuine server-health signal for the breaker.

@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Round lifecycle event kinds, the Kind values of RoundEvent. Together
+// they tell one session's story in order: creation, task assignments,
+// each report's fate (with shed/ratelimit reasons), WAL commit latency,
+// chaos faults seen, the straggler deadline firing, finalize, and the
+// estimate emit.
+const (
+	RoundSessionCreate   = "session_create"
+	RoundTaskAssign      = "task_assign"
+	RoundReportAccept    = "report_accept"
+	RoundReportDuplicate = "report_duplicate"
+	RoundReportReject    = "report_reject"
+	RoundReportRatelimit = "report_ratelimited"
+	RoundShed            = "shed"
+	RoundWALCommit       = "wal_commit"
+	RoundChaosFault      = "chaos_fault"
+	RoundDeadline        = "deadline"
+	RoundFinalize        = "finalize"
+	RoundEstimate        = "estimate"
+	RoundExpire          = "expire"
+)
+
+// RoundEvent is one typed entry in a session's lifecycle timeline.
+type RoundEvent struct {
+	At     time.Time `json:"at"`
+	Kind   string    `json:"kind"`
+	Client string    `json:"client,omitempty"`
+	// Reason qualifies the kind: the shed/ratelimit/reject reason, the
+	// finalize trigger (api or deadline), or the injected fault class.
+	Reason string `json:"reason,omitempty"`
+	// DurationMS carries the latency some kinds measure (wal_commit, the
+	// ratelimit retry wait), in fractional milliseconds.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Detail is free-form extra context, e.g. the emitted estimate.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Bounds on the round timeline store: events kept per session, and
+// sessions tracked at once (least-recently-touched evicted beyond that).
+const (
+	roundRingCap     = 256
+	roundSessionsCap = 512
+)
+
+// roundRing is one session's bounded event timeline.
+type roundRing struct {
+	events  []RoundEvent
+	next    int
+	full    bool
+	dropped uint64
+	touched time.Time
+}
+
+// roundTable holds the per-session event rings. It has its own mutex and
+// never acquires Server.mu, so Server code may record events while
+// holding its lock. All methods are nil-safe: a nil table (tracing
+// disabled) records nothing and costs nothing.
+type roundTable struct {
+	mu    sync.Mutex
+	rings map[string]*roundRing
+}
+
+func newRoundTable() *roundTable {
+	return &roundTable{rings: make(map[string]*roundRing)}
+}
+
+// event appends one entry to the session's ring, creating (and, beyond
+// the table cap, evicting the least-recently-touched) as needed.
+func (t *roundTable) event(at time.Time, session, kind, client, reason string, d time.Duration, detail string) {
+	if t == nil || session == "" {
+		return
+	}
+	ev := RoundEvent{At: at, Kind: kind, Client: client, Reason: reason, Detail: detail}
+	if d > 0 {
+		ev.DurationMS = float64(d.Nanoseconds()) / 1e6
+	}
+	t.mu.Lock()
+	ring := t.rings[session]
+	if ring == nil {
+		if len(t.rings) >= roundSessionsCap {
+			t.evictLocked()
+		}
+		ring = &roundRing{events: make([]RoundEvent, 0, roundRingCap)}
+		t.rings[session] = ring
+	}
+	ring.touched = at
+	if len(ring.events) < cap(ring.events) {
+		ring.events = append(ring.events, ev)
+	} else {
+		ring.events[ring.next] = ev
+		ring.next = (ring.next + 1) % len(ring.events)
+		ring.full = true
+		ring.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// evictLocked drops the least-recently-touched session ring; the caller
+// holds the lock.
+func (t *roundTable) evictLocked() {
+	var oldest string
+	var oldestAt time.Time
+	first := true
+	for id, ring := range t.rings {
+		if first || ring.touched.Before(oldestAt) {
+			oldest, oldestAt, first = id, ring.touched, false
+		}
+	}
+	if oldest != "" {
+		delete(t.rings, oldest)
+	}
+}
+
+// delete drops one session's timeline (retention GC).
+func (t *roundTable) delete(session string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.rings, session)
+	t.mu.Unlock()
+}
+
+// events returns a copy of the session's timeline, oldest first, plus the
+// overwrite count.
+func (t *roundTable) eventsOf(session string) ([]RoundEvent, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ring := t.rings[session]
+	if ring == nil {
+		return nil, 0
+	}
+	out := make([]RoundEvent, 0, len(ring.events))
+	if ring.full {
+		out = append(out, ring.events[ring.next:]...)
+		out = append(out, ring.events[:ring.next]...)
+	} else {
+		out = append(out, ring.events...)
+	}
+	return out, ring.dropped
+}
+
+// RoundSummary is one row of the /debug/rounds session listing.
+type RoundSummary struct {
+	SessionID string    `json:"session_id"`
+	Events    int       `json:"events"`
+	Dropped   uint64    `json:"dropped,omitempty"`
+	LastEvent time.Time `json:"last_event"`
+}
+
+// summaries lists the tracked sessions, most recently touched first.
+func (t *roundTable) summaries() []RoundSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RoundSummary, 0, len(t.rings))
+	for id, ring := range t.rings {
+		n := len(ring.events)
+		out = append(out, RoundSummary{
+			SessionID: id, Events: n, Dropped: ring.dropped, LastEvent: ring.touched,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastEvent.Equal(out[j].LastEvent) {
+			return out[i].LastEvent.After(out[j].LastEvent)
+		}
+		return out[i].SessionID < out[j].SessionID
+	})
+	return out
+}
+
+// RoundTimeline is the JSON envelope /debug/rounds/{session} serves.
+type RoundTimeline struct {
+	SessionID string       `json:"session_id"`
+	Events    []RoundEvent `json:"events"`
+	Dropped   uint64       `json:"dropped,omitempty"`
+}
+
+// roundEvent records one timeline entry when the round store is armed
+// (SetTracer); disabled it is a nil-check and costs nothing. Safe to call
+// with or without s.mu held — the table has its own lock.
+func (s *Server) roundEvent(session, kind, client, reason string, d time.Duration, detail string) {
+	rt := s.rounds.Load()
+	if rt == nil {
+		return
+	}
+	rt.event(s.now(), session, kind, client, reason, d, detail)
+}
+
+// RecordRoundEvent appends one externally observed event to a session's
+// timeline — the hook chaos glue uses to stamp injected fault classes
+// into the round story. A server without SetTracer records nothing.
+func (s *Server) RecordRoundEvent(sessionID, kind, client, reason string, d time.Duration) {
+	s.roundEvent(sessionID, kind, client, reason, d, "")
+}
+
+// RoundEvents returns a copy of one session's recorded timeline, oldest
+// first; nil when the round store is disabled or the session unknown.
+func (s *Server) RoundEvents(sessionID string) []RoundEvent {
+	evs, _ := s.rounds.Load().eventsOf(sessionID)
+	return evs
+}
+
+// RoundSessions lists the sessions with recorded timelines, most recently
+// active first.
+func (s *Server) RoundSessions() []RoundSummary {
+	return s.rounds.Load().summaries()
+}
+
+// RoundsHandler serves the round timelines as JSON: GET /debug/rounds
+// lists tracked sessions, GET /debug/rounds/{session} returns one
+// session's event timeline. Mount it on the admin listener next to
+// /debug/trace.
+func (s *Server) RoundsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/rounds", func(w http.ResponseWriter, _ *http.Request) {
+		writeDebugJSON(w, s.RoundSessions())
+	})
+	mux.HandleFunc("GET /debug/rounds/{session}", func(w http.ResponseWriter, r *http.Request) {
+		session := r.PathValue("session")
+		evs, dropped := s.rounds.Load().eventsOf(session)
+		if evs == nil {
+			http.Error(w, "transport: no round timeline for session "+session, http.StatusNotFound)
+			return
+		}
+		writeDebugJSON(w, RoundTimeline{SessionID: session, Events: evs, Dropped: dropped})
+	})
+	return mux
+}
+
+// writeDebugJSON writes an indented debug payload; a failure means the
+// scraper hung up.
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SessionFromPath extracts the session id from a protocol URL path
+// (/v1/sessions/{id}/...), or "" — the glue chaos middleware hooks use to
+// aim fault events at the right round timeline.
+func SessionFromPath(path string) string {
+	const prefix = "/v1/sessions/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	rest := path[len(prefix):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

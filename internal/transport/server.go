@@ -26,6 +26,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/ldp"
 	"repro/internal/obs"
 	"repro/internal/quantile"
+	"repro/internal/trace"
 	"repro/internal/transport/wire"
 	"repro/internal/wal"
 )
@@ -79,6 +81,13 @@ type Server struct {
 
 	metrics *serverMetrics
 	reqSeq  atomic.Uint64
+
+	// tracer and rounds are the tracing plane (SetTracer): the span
+	// recorder armed on every request context, and the per-session round
+	// timeline store. Both nil (the default) means tracing is off and the
+	// instrumented paths cost nothing.
+	tracer atomic.Pointer[trace.Recorder]
+	rounds atomic.Pointer[roundTable]
 
 	// ovl holds the installed admission-control plane (SetOverload);
 	// nil gates nothing. draining is the readiness drain flag
@@ -169,6 +178,30 @@ func NewServer(seed uint64) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetTracer arms end-to-end tracing: rec is attached to every request
+// context (so instrumented paths record spans into it) and a round
+// timeline store starts collecting per-session lifecycle events. Passing
+// nil disarms both. Safe to call at any time; fednumd wires it to
+// -trace-buf before traffic.
+func (s *Server) SetTracer(rec *trace.Recorder) {
+	if rec == nil {
+		s.tracer.Store(nil)
+		s.rounds.Store(nil)
+		return
+	}
+	s.tracer.Store(rec)
+	s.rounds.Store(newRoundTable())
+}
+
+// Tracer returns the armed span recorder, nil when tracing is off — for
+// mounting its Handler on an admin listener as /debug/trace.
+func (s *Server) Tracer() *trace.Recorder { return s.tracer.Load() }
+
+// tracing reports whether SetTracer armed a recorder; instrumented paths
+// use it to gate work (clock reads, detail formatting) that only matters
+// when spans are being collected.
+func (s *Server) tracing() bool { return s.tracer.Load() != nil }
 
 func (s *Server) now() time.Time {
 	if s.Now != nil {
@@ -297,7 +330,9 @@ func buildSession(cfg wire.SessionConfig) (*session, error) {
 // CreateSession registers a new aggregation session programmatically
 // (the HTTP handler wraps this). With a WAL attached the creation is
 // durable before the id is returned.
-func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
+func (s *Server) CreateSession(ctx context.Context, cfg wire.SessionConfig) (string, error) {
+	_, sp := trace.Start(ctx, "server.create_session")
+	defer sp.End()
 	sess, err := buildSession(cfg)
 	if err != nil {
 		return "", err
@@ -323,13 +358,30 @@ func (s *Server) CreateSession(cfg wire.SessionConfig) (string, error) {
 	s.metrics.created.Inc()
 	s.metrics.active.Add(1)
 	s.mu.Unlock()
-	if err := s.walCommit(seq); err != nil {
+	sp.Attr("session", id)
+	if err := s.walCommitTraced(sp, id, "", seq); err != nil {
 		return "", err
 	}
-	s.logger().Debug("transport: session created",
+	s.roundEvent(id, RoundSessionCreate, "", "", 0, cfg.Feature)
+	s.logger().DebugContext(ctx, "transport: session created",
 		"session", id, "feature", cfg.Feature, "bits", cfg.Bits,
 		"thresholds", len(cfg.Thresholds), "ttl_seconds", cfg.TTLSeconds)
 	return id, nil
+}
+
+// walCommitTraced commits seq, and — when tracing is armed and something
+// was actually appended — stamps the commit (fsync) latency onto the span
+// and the session's round timeline.
+func (s *Server) walCommitTraced(sp *trace.Span, session, client string, seq uint64) error {
+	if !s.tracing() || seq == 0 {
+		return s.walCommit(seq)
+	}
+	start := time.Now()
+	err := s.walCommit(seq)
+	d := time.Since(start)
+	sp.AttrDuration("wal_commit", d)
+	s.roundEvent(session, RoundWALCommit, client, "", d, "")
+	return err
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +389,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err := s.decodeBody(w, r, &cfg); err != nil {
 		return
 	}
-	id, err := s.CreateSession(cfg)
+	id, err := s.CreateSession(r.Context(), cfg)
 	if err != nil {
 		// Validation failures are 400s; a durability failure surfaces as
 		// a retryable 503 with backoff advice.
@@ -397,6 +449,7 @@ func (s *Server) sweepLocked(force bool) {
 	expired, finalized, deleted := 0, 0, 0
 	for id, sess := range s.sessions {
 		if !sess.done && !sess.expired && !sess.deadline.IsZero() && !now.Before(sess.deadline) {
+			s.roundEvent(id, RoundDeadline, "", "", 0, "")
 			if sess.cfg.AutoFinalize && len(sess.reports) >= sess.cfg.MinCohort {
 				if _, err := s.finalizeLocked(sess, now); err != nil {
 					s.logger().Warn("transport: deadline auto-finalize failed, expiring",
@@ -406,6 +459,8 @@ func (s *Server) sweepLocked(force bool) {
 					}
 				} else {
 					s.metrics.finalized.With("deadline").Inc()
+					s.roundEvent(id, RoundFinalize, "", "deadline", 0, "")
+					s.emitEstimateLocked(sess)
 					s.logger().Info("transport: session auto-finalized at deadline",
 						"session", id, "reports", len(sess.reports))
 					finalized++
@@ -427,6 +482,8 @@ func (s *Server) sweepLocked(force bool) {
 				continue
 			}
 			delete(s.sessions, id)
+			// The round timeline follows its session out of memory.
+			s.rounds.Load().delete(id)
 			s.metrics.deleted.Inc()
 			deleted++
 		}
@@ -452,7 +509,27 @@ func (s *Server) expireLocked(sess *session, at time.Time) bool {
 	sess.endedAt = at
 	s.metrics.expired.Inc()
 	s.metrics.active.Add(-1)
+	s.roundEvent(sess.id, RoundExpire, "", "deadline", 0, "")
 	return true
+}
+
+// emitEstimateLocked stamps the emitted aggregate onto the session's
+// round timeline; the caller holds s.mu and has finalized the session.
+// Disabled tracing makes this a single branch.
+func (s *Server) emitEstimateLocked(sess *session) {
+	if !s.tracing() {
+		return
+	}
+	detail := ""
+	switch {
+	case sess.result != nil:
+		detail = "estimate=" + strconv.FormatFloat(sess.result.Estimate, 'g', -1, 64) +
+			" reports=" + strconv.Itoa(len(sess.reports))
+	case sess.tail != nil:
+		detail = "thresholds=" + strconv.Itoa(len(sess.tail)) +
+			" reports=" + strconv.Itoa(len(sess.reports))
+	}
+	s.roundEvent(sess.id, RoundEstimate, "", "", 0, detail)
 }
 
 // AssignTask picks the bit a client must report: the bit whose issued
@@ -460,8 +537,21 @@ func (s *Server) expireLocked(sess *session, at time.Time) bool {
 // low-discrepancy stream that keeps every prefix of assignments within one
 // task of the exact n·p_j proportions (the QMC property of §3.1 for an
 // open-ended client stream). Re-polling clients get their original task.
-func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
+func (s *Server) AssignTask(ctx context.Context, sessionID, clientID string) (wire.Task, error) {
+	_, sp := trace.Start(ctx, "server.assign_task")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.Attr("client", clientID)
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
+	var tLock time.Time
+	if sp != nil {
+		tLock = time.Now()
+		sp.AttrDuration("lock_wait", tLock.Sub(t0))
+	}
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
@@ -478,6 +568,7 @@ func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 	}
 	var seq uint64
 	idx, ok := sess.assigned[clientID]
+	fresh := !ok
 	if !ok {
 		// A fresh assignment is acked state: the report-acceptance check
 		// (rep.Bit == assigned) depends on it, so it must survive a
@@ -509,8 +600,16 @@ func (s *Server) AssignTask(sessionID, clientID string) (wire.Task, error) {
 		task.Epsilon = sess.rr.Eps
 	}
 	s.mu.Unlock()
-	if err := s.walCommit(seq); err != nil {
+	if sp != nil {
+		sp.AttrDuration("table_hold", time.Since(tLock))
+		sp.AttrInt("bit", int64(idx))
+		sp.AttrBool("fresh", fresh)
+	}
+	if err := s.walCommitTraced(sp, sessionID, clientID, seq); err != nil {
 		return wire.Task{}, err
+	}
+	if fresh {
+		s.roundEvent(sessionID, RoundTaskAssign, clientID, "", 0, "")
 	}
 	return task, nil
 }
@@ -538,7 +637,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, errors.New("transport: missing client parameter"))
 		return
 	}
-	task, err := s.AssignTask(r.PathValue("id"), clientID)
+	task, err := s.AssignTask(r.Context(), r.PathValue("id"), clientID)
 	if err != nil {
 		s.writeProtoError(w, err)
 		return
@@ -551,8 +650,21 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 // idempotent: a retransmission of the exact accepted report (same client,
 // bit and value — the lost-ack case) is re-acked as a duplicate; only a
 // conflicting retransmission is rejected.
-func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck, error) {
+func (s *Server) SubmitReport(ctx context.Context, sessionID string, rep wire.Report) (wire.ReportAck, error) {
+	_, sp := trace.Start(ctx, "server.submit_report")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.Attr("client", rep.ClientID)
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
+	var tLock time.Time
+	if sp != nil {
+		tLock = time.Now()
+		sp.AttrDuration("lock_wait", tLock.Sub(t0))
+	}
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
 	if !ok {
@@ -572,22 +684,33 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 	// with a retryable 429 plus precise Retry-After advice.
 	if err := s.reportRateLocked(sess, s.now()); err != nil {
 		s.mu.Unlock()
+		sp.Attr("result", "ratelimited")
+		var rl *rateLimitedError
+		if errors.As(err, &rl) {
+			s.roundEvent(sessionID, RoundReportRatelimit, rep.ClientID, "", rl.wait, "")
+		}
 		return wire.ReportAck{}, err
 	}
 	if rep.Value > 1 {
 		s.metrics.reports.With(ReportInvalid).Inc()
 		s.mu.Unlock()
+		sp.Attr("result", ReportInvalid)
+		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportInvalid, 0, "")
 		return wire.ReportAck{Accepted: false, Reason: "value is not a bit"}, nil
 	}
 	assigned, ok := sess.assigned[rep.ClientID]
 	if !ok {
 		s.metrics.reports.With(ReportNoTask).Inc()
 		s.mu.Unlock()
+		sp.Attr("result", ReportNoTask)
+		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportNoTask, 0, "")
 		return wire.ReportAck{Accepted: false, Reason: "no task assigned"}, nil
 	}
 	if rep.Bit != assigned {
 		s.metrics.reports.With(ReportWrongBit).Inc()
 		s.mu.Unlock()
+		sp.Attr("result", ReportWrongBit)
+		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportWrongBit, 0, "")
 		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
 	}
 	if prev, ok := sess.reported[rep.ClientID]; ok {
@@ -596,9 +719,13 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 			// Already accepted — and already durable, since the original
 			// accept ack waited on the WAL commit.
 			s.metrics.reports.With(ReportDuplicate).Inc()
+			sp.Attr("result", ReportDuplicate)
+			s.roundEvent(sessionID, RoundReportDuplicate, rep.ClientID, "", 0, "")
 			return wire.ReportAck{Accepted: true, Duplicate: true}, nil
 		}
 		s.metrics.reports.With(ReportConflict).Inc()
+		sp.Attr("result", ReportConflict)
+		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportConflict, 0, "")
 		return wire.ReportAck{Accepted: false, Reason: "conflicting report"}, nil
 	}
 	// Log before mutating, ack only after the commit below: an accepted
@@ -614,9 +741,14 @@ func (s *Server) SubmitReport(sessionID string, rep wire.Report) (wire.ReportAck
 	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
 	s.metrics.reports.With(ReportAccepted).Inc()
 	s.mu.Unlock()
-	if err := s.walCommit(seq); err != nil {
+	if sp != nil {
+		sp.AttrDuration("table_hold", time.Since(tLock))
+	}
+	if err := s.walCommitTraced(sp, sessionID, rep.ClientID, seq); err != nil {
 		return wire.ReportAck{}, err
 	}
+	sp.Attr("result", ReportAccepted)
+	s.roundEvent(sessionID, RoundReportAccept, rep.ClientID, "", 0, "")
 	return wire.ReportAck{Accepted: true}, nil
 }
 
@@ -625,7 +757,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if err := s.decodeBody(w, r, &rep); err != nil {
 		return
 	}
-	ack, err := s.SubmitReport(r.PathValue("id"), rep)
+	ack, err := s.SubmitReport(r.Context(), r.PathValue("id"), rep)
 	if err != nil {
 		s.writeProtoError(w, err)
 		return
@@ -636,7 +768,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // Finalize closes the session and computes the aggregate. It fails if the
 // accepted cohort is below the configured minimum. Finalizing an already
 // finalized session returns the same result (idempotent).
-func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
+func (s *Server) Finalize(ctx context.Context, sessionID string) (*wire.Result, error) {
+	_, sp := trace.Start(ctx, "server.finalize")
+	defer sp.End()
+	sp.Attr("session", sessionID)
 	s.mu.Lock()
 	s.sweepLocked(false)
 	sess, ok := s.sessions[sessionID]
@@ -649,6 +784,7 @@ func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
 		return nil, errExpired
 	}
 	var seq uint64
+	first := !sess.done
 	if !sess.done {
 		var err error
 		if seq, err = s.finalizeLocked(sess, s.now()); err != nil {
@@ -656,12 +792,21 @@ func (s *Server) Finalize(sessionID string) (*wire.Result, error) {
 			return nil, err
 		}
 		s.metrics.finalized.With("api").Inc()
-		s.logger().Debug("transport: session finalized",
+		s.roundEvent(sessionID, RoundFinalize, "", "api", 0, "")
+		s.emitEstimateLocked(sess)
+		s.logger().DebugContext(ctx, "transport: session finalized",
 			"session", sessionID, "reports", len(sess.reports))
 	}
 	res := sess.wireResult()
 	s.mu.Unlock()
-	if err := s.walCommit(seq); err != nil {
+	if sp != nil {
+		sp.AttrInt("reports", int64(res.Reports))
+		sp.AttrBool("first", first)
+		if len(res.Thresholds) == 0 {
+			sp.AttrFloat("estimate", res.Estimate)
+		}
+	}
+	if err := s.walCommitTraced(sp, sessionID, "", seq); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -715,7 +860,7 @@ func (s *Server) finalizeLocked(sess *session, at time.Time) (uint64, error) {
 }
 
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
-	res, err := s.Finalize(r.PathValue("id"))
+	res, err := s.Finalize(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeProtoError(w, err)
 		return

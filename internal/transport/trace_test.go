@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/frand"
+	"repro/internal/trace"
+	"repro/internal/transport/wire"
+)
+
+// TestTracePropagationEndToEnd runs one full client protocol pass against a
+// traced server and checks the wire contract: the client and server record
+// into separate recorders, yet every server span carries the client's trace
+// id and parents to exactly the client attempt that produced it.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	s := NewServer(1)
+	srec := trace.NewRecorder(trace.DefaultCapacity)
+	s.SetTracer(srec)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	crec := trace.NewRecorder(trace.DefaultCapacity)
+	admin := &Admin{BaseURL: srv.URL, Tracer: crec}
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Participant{BaseURL: srv.URL, ClientID: "c1", RNG: frand.New(7), Tracer: crec,
+		Retry: &RetryPolicy{MaxAttempts: 3}}
+	if err := p.Participate(ctx, id, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Finalize(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	attempts := map[string]string{} // span id -> trace id
+	var participateTrace string
+	for _, d := range crec.Spans() {
+		switch d.Name {
+		case "client.attempt":
+			attempts[d.SpanID] = d.TraceID
+		case "client.participate":
+			participateTrace = d.TraceID
+		}
+	}
+	if len(attempts) == 0 {
+		t.Fatal("no client.attempt spans recorded")
+	}
+	if participateTrace == "" {
+		t.Fatal("no client.participate span recorded")
+	}
+
+	serverSpans := 0
+	for _, d := range srec.Spans() {
+		if !strings.HasPrefix(d.Name, "server ") {
+			continue
+		}
+		serverSpans++
+		if !d.Remote {
+			t.Errorf("server span %s has a local parent; want remote", d.Name)
+		}
+		wantTrace, ok := attempts[d.Parent]
+		if !ok {
+			t.Errorf("server span %s parent %q is not a client attempt", d.Name, d.Parent)
+			continue
+		}
+		if d.TraceID != wantTrace {
+			t.Errorf("server span %s trace %q != client attempt trace %q", d.Name, d.TraceID, wantTrace)
+		}
+	}
+	// create_session + task + report + finalize at minimum.
+	if serverSpans < 4 {
+		t.Errorf("server recorded %d request spans, want >= 4", serverSpans)
+	}
+
+	// The report path must have seen exactly one trace: the participate
+	// span's. FetchTask/SubmitReport nest under it.
+	for _, d := range srec.Filter(trace.Filter{Name: "server /v1/sessions/{id}/reports"}) {
+		if d.TraceID != participateTrace {
+			t.Errorf("report span trace %q != participate trace %q", d.TraceID, participateTrace)
+		}
+	}
+}
+
+// TestRoundTimelineLifecycle drives a session through its whole life and
+// checks the typed event story /debug/rounds tells.
+func TestRoundTimelineLifecycle(t *testing.T) {
+	s := NewServer(1)
+	s.SetTracer(trace.NewRecorder(64))
+	ctx := context.Background()
+
+	id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.AssignTask(ctx, id, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: same report again.
+	if ack, err := s.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1}); err != nil || !ack.Duplicate {
+		t.Fatalf("duplicate submit = %+v, %v", ack, err)
+	}
+	// Conflict: same client, different value.
+	if ack, _ := s.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 0}); ack.Accepted {
+		t.Fatal("conflicting report accepted")
+	}
+	if _, err := s.Finalize(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	var rejectReason string
+	for _, ev := range s.RoundEvents(id) {
+		kinds[ev.Kind]++
+		if ev.Kind == RoundReportReject {
+			rejectReason = ev.Reason
+		}
+	}
+	for _, want := range []string{RoundSessionCreate, RoundTaskAssign, RoundReportAccept,
+		RoundReportDuplicate, RoundReportReject, RoundFinalize, RoundEstimate} {
+		if kinds[want] == 0 {
+			t.Errorf("timeline missing %s event (got %v)", want, kinds)
+		}
+	}
+	if rejectReason != ReportConflict {
+		t.Errorf("reject reason = %q, want %q", rejectReason, ReportConflict)
+	}
+
+	// The HTTP views agree with the programmatic ones.
+	h := s.RoundsHandler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/rounds", nil))
+	var list []RoundSummary
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if len(list) != 1 || list[0].SessionID != id {
+		t.Fatalf("session list = %+v, want one entry for %s", list, id)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/rounds/"+id, nil))
+	var tl RoundTimeline
+	if err := json.Unmarshal(rr.Body.Bytes(), &tl); err != nil {
+		t.Fatalf("timeline decode: %v", err)
+	}
+	if len(tl.Events) != len(s.RoundEvents(id)) {
+		t.Errorf("HTTP timeline has %d events, programmatic %d", len(tl.Events), len(s.RoundEvents(id)))
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/rounds/ghost", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Errorf("unknown session status = %d, want 404", rr.Code)
+	}
+}
+
+// TestRoundTimelineDisabled: without SetTracer nothing is recorded and the
+// accessors stay nil-safe.
+func TestRoundTimelineDisabled(t *testing.T) {
+	s := NewServer(1)
+	ctx := context.Background()
+	id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := s.RoundEvents(id); evs != nil {
+		t.Errorf("disabled timeline recorded %d events", len(evs))
+	}
+	if ss := s.RoundSessions(); ss != nil {
+		t.Errorf("disabled timeline lists %d sessions", len(ss))
+	}
+	s.RecordRoundEvent(id, RoundChaosFault, "", "delay", 0) // must not panic
+}
+
+// TestRoundRingOverwrite fills one session's ring past capacity and checks
+// oldest-first ordering plus the drop counter.
+func TestRoundRingOverwrite(t *testing.T) {
+	rt := newRoundTable()
+	base := time.Unix(0, 0)
+	total := roundRingCap + 10
+	for i := 0; i < total; i++ {
+		rt.event(base.Add(time.Duration(i)*time.Millisecond), "s", RoundTaskAssign, "", "", 0, "")
+	}
+	evs, dropped := rt.eventsOf("s")
+	if len(evs) != roundRingCap {
+		t.Fatalf("ring holds %d events, want %d", len(evs), roundRingCap)
+	}
+	if dropped != 10 {
+		t.Errorf("dropped = %d, want 10", dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	if want := base.Add(10 * time.Millisecond); !evs[0].At.Equal(want) {
+		t.Errorf("oldest surviving event at %v, want %v", evs[0].At, want)
+	}
+}
+
+// TestRoundTableEviction checks the LRU bound on tracked sessions.
+func TestRoundTableEviction(t *testing.T) {
+	rt := newRoundTable()
+	base := time.Unix(0, 0)
+	for i := 0; i < roundSessionsCap+1; i++ {
+		id := "s" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+		rt.event(base.Add(time.Duration(i)*time.Second), id, RoundSessionCreate, "", "", 0, "")
+	}
+	rt.mu.Lock()
+	n := len(rt.rings)
+	_, oldestAlive := rt.rings["sA00"]
+	rt.mu.Unlock()
+	if n != roundSessionsCap {
+		t.Errorf("table holds %d sessions, want %d", n, roundSessionsCap)
+	}
+	if oldestAlive {
+		t.Error("least-recently-touched session survived eviction")
+	}
+}
+
+func TestSessionFromPath(t *testing.T) {
+	cases := map[string]string{
+		"/v1/sessions/abc/reports": "abc",
+		"/v1/sessions/abc":         "abc",
+		"/v1/sessions/":            "",
+		"/metrics":                 "",
+		"/v1/sessions/x/task":      "x",
+	}
+	for in, want := range cases {
+		if got := SessionFromPath(in); got != want {
+			t.Errorf("SessionFromPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTracingDisabledReportAllocs is the hot-path guarantee the tracing
+// layer ships with: with no recorder attached, the duplicate-submit path —
+// the pure in-memory fast path, measured at 0 allocs/op before tracing
+// existed — still allocates nothing.
+func TestTracingDisabledReportAllocs(t *testing.T) {
+	s := NewServer(1)
+	ctx := context.Background()
+	id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.AssignTask(ctx, id, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1}
+	if _, err := s.SubmitReport(ctx, id, rep); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.SubmitReport(ctx, id, rep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate submit with tracing disabled allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTracingEnabledRecordsSubmitSpan sanity-checks the armed path: the
+// same programmatic submit records a span and a timeline event.
+func TestTracingEnabledRecordsSubmitSpan(t *testing.T) {
+	s := NewServer(1)
+	rec := trace.NewRecorder(64)
+	s.SetTracer(rec)
+	ctx := trace.WithRecorder(context.Background(), rec)
+	id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := s.AssignTask(ctx, id, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: task.Bit, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	subs := rec.Filter(trace.Filter{Name: "server.submit_report"})
+	if len(subs) != 1 {
+		t.Fatalf("submit spans = %d, want 1", len(subs))
+	}
+	if got := subs[0].Attr("result"); got != ReportAccepted {
+		t.Errorf("submit span result = %q, want %q", got, ReportAccepted)
+	}
+	if got := subs[0].Attr("session"); got != id {
+		t.Errorf("submit span session = %q, want %q", got, id)
+	}
+}

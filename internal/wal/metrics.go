@@ -16,6 +16,12 @@ const (
 	MetricFsyncErrors = "fednum_wal_fsync_errors_total"
 	// MetricFlushSeconds is the flush (fsync) latency histogram.
 	MetricFlushSeconds = "fednum_wal_flush_seconds"
+	// MetricAppendSeconds is the append (frame + segment write) latency
+	// histogram — the in-lock cost of Append, as distinct from the
+	// commit-to-durable wait MetricFlushSeconds measures. Together the two
+	// split "where does a report's durability wait go": writing the
+	// record, or fsyncing it.
+	MetricAppendSeconds = "fednum_wal_append_seconds"
 	// MetricReplayed counts records streamed by Replay.
 	MetricReplayed = "fednum_wal_replayed_records_total"
 	// MetricTornTruncations counts torn tails cut off at Open.
@@ -41,6 +47,7 @@ type walMetrics struct {
 	fsyncs          *obs.Counter
 	fsyncErrors     *obs.Counter
 	flushSeconds    *obs.Histogram
+	appendSeconds   *obs.Histogram
 	replayed        *obs.Counter
 	tornTruncations *obs.Counter
 	rotations       *obs.Counter
@@ -60,6 +67,8 @@ func newWALMetrics(reg *obs.Registry) *walMetrics {
 		fsyncErrors: reg.Counter(MetricFsyncErrors, "Failed WAL fsyncs."),
 		flushSeconds: reg.Histogram(MetricFlushSeconds,
 			"WAL flush (fsync) latency in seconds.", obs.LatencyBuckets),
+		appendSeconds: reg.Histogram(MetricAppendSeconds,
+			"WAL append (frame + write) latency in seconds.", obs.LatencyBuckets),
 		replayed: reg.Counter(MetricReplayed, "WAL records streamed by replay."),
 		tornTruncations: reg.Counter(MetricTornTruncations,
 			"Torn segment tails truncated during recovery."),

@@ -377,6 +377,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
 	copy(frame[headerBytes:], payload)
 
+	start := time.Now()
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -414,6 +415,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 
 	w.m.appends.Inc()
 	w.m.appendBytes.Add(uint64(len(frame)))
+	w.m.appendSeconds.Observe(time.Since(start).Seconds())
 	return seq, nil
 }
 

@@ -425,3 +425,17 @@ func TestFrameLayout(t *testing.T) {
 		t.Fatalf("payload = %q", data[headerBytes:])
 	}
 }
+
+func TestAppendLatencyObserved(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	w, err := Open(Options{Dir: dir, Policy: SyncNever, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 5)
+	if got := w.m.appendSeconds.Count(); got != 5 {
+		t.Fatalf("append latency observations = %d, want 5", got)
+	}
+}
