@@ -89,7 +89,7 @@ func parseWorkload(spec string) (workload.Generator, error) {
 }
 
 func main() {
-	server := flag.String("server", "http://127.0.0.1:8377", "fednumd base URL")
+	server := flag.String("server", "http://127.0.0.1:8377", "fednumd base URL, or a comma-separated failover list (first healthy endpoint wins; not_primary answers redirect to the leader)")
 	clients := flag.Int("clients", 10000, "number of simulated devices")
 	spec := flag.String("workload", "normal(500,80)", "value distribution: normal(mu,sigma), uniform(lo,hi), exponential(mean), lognormal(mu,sigma), census")
 	feature := flag.String("feature", "metric", "feature name")
@@ -159,14 +159,20 @@ func main() {
 	truth := fixedpoint.Mean(values)
 
 	ctx := context.Background()
-	admin := &transport.Admin{BaseURL: *server, Retry: retry, Tracer: tracer}
+	// One shared endpoint list for the whole fleet: the first client to be
+	// redirected (or to fail over past a dead node) repoints everyone.
+	endpoints := transport.NewEndpointList(*server)
+	if endpoints.Len() == 0 {
+		log.Fatalf("fednum-client: -server lists no endpoints")
+	}
+	admin := &transport.Admin{Endpoints: endpoints, Retry: retry, Tracer: tracer}
 	if *quantileQ > 0 {
-		runQuantile(ctx, admin, retry, tracer, *server, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
+		runQuantile(ctx, admin, retry, tracer, endpoints, *feature, *bits, *eps, *quantileQ, *gridK, values, root)
 		dumpTrace(tracer, *traceOut)
 		return
 	}
 	if *adaptive {
-		runAdaptive(ctx, admin, retry, tracer, *server, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
+		runAdaptive(ctx, admin, retry, tracer, endpoints, *feature, *bits, *gamma, *eps, *squash, *minCohort, values, truth, root)
 		dumpTrace(tracer, *traceOut)
 		return
 	}
@@ -191,12 +197,12 @@ func main() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			p := &transport.Participant{
-				BaseURL:  *server,
-				ClientID: fmt.Sprintf("dev-%d", i),
-				RNG:      rng,
-				Retry:    retry,
-				Metrics:  reg,
-				Tracer:   tracer,
+				Endpoints: endpoints,
+				ClientID:  fmt.Sprintf("dev-%d", i),
+				RNG:       rng,
+				Retry:     retry,
+				Metrics:   reg,
+				Tracer:    tracer,
 			}
 			if err := p.Participate(ctx, session, v); err != nil {
 				mu.Lock()
@@ -242,7 +248,7 @@ func dumpTrace(rec *trace.Recorder, path string) {
 
 // runQuantile estimates a quantile through a threshold session: every
 // client discloses one comparison bit against its assigned grid threshold.
-func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, server, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
+func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, endpoints *transport.EndpointList, feature string, bits int, eps, q float64, gridK int, values []uint64, root *frand.RNG) {
 	grid, err := quantile.UniformGrid(bits, gridK)
 	if err != nil {
 		log.Fatalf("fednum-client: %v", err)
@@ -256,7 +262,7 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 	start := time.Now()
 	for i, v := range values {
 		p := &transport.Participant{
-			BaseURL: server, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
+			Endpoints: endpoints, ClientID: fmt.Sprintf("dev-%d", i), RNG: root.Split(),
 			Retry: retry, Metrics: retry.Metrics, Tracer: tracer,
 		}
 		if err := p.Participate(ctx, session, v); err != nil {
@@ -281,16 +287,16 @@ func runQuantile(ctx context.Context, admin *transport.Admin, retry *transport.R
 }
 
 // runAdaptive drives the two-round Algorithm 2 campaign over HTTP.
-func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, server, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
+func runAdaptive(ctx context.Context, admin *transport.Admin, retry *transport.RetryPolicy, tracer *trace.Recorder, endpoints *transport.EndpointList, feature string, bits int, gamma, eps, squash float64, minCohort int, values []uint64, truth float64, root *frand.RNG) {
 	devices := make([]transport.Device, len(values))
 	for i, v := range values {
 		devices[i] = transport.Device{
 			Participant: transport.Participant{
-				BaseURL:  server,
-				ClientID: fmt.Sprintf("dev-%d", i),
-				RNG:      root.Split(),
-				Metrics:  retry.Metrics,
-				Tracer:   tracer,
+				Endpoints: endpoints,
+				ClientID:  fmt.Sprintf("dev-%d", i),
+				RNG:       root.Split(),
+				Metrics:   retry.Metrics,
+				Tracer:    tracer,
 			},
 			Value: v,
 		}

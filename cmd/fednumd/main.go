@@ -46,21 +46,29 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
 
 func main() {
+	// Subcommands are checked before flag.Parse so `fednumd promote URL`
+	// works without the daemon flag set.
+	if len(os.Args) > 1 && os.Args[1] == "promote" {
+		os.Exit(runPromote(os.Args[2:]))
+	}
 	addr := flag.String("addr", "127.0.0.1:8377", "listen address (port 0 picks a free port)")
 	debugAddr := flag.String("debug-addr", "", "admin listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "task-assignment seed")
@@ -90,6 +98,12 @@ func main() {
 	retryAfterMax := flag.Duration("retry-after-max", 0, "Retry-After advice cap (0 = 30s default)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request read/write deadline cutting off slow-loris bodies on gated routes (0 = listener timeouts only)")
 	traceBuf := flag.Int("trace-buf", 0, "spans kept in the in-memory trace ring served at /debug/trace on the admin listener; also records per-session round timelines at /debug/rounds (0 = tracing disabled)")
+	replicaOf := flag.String("replica-of", "", "run as a standby replicating from this primary base URL (comma-separated list tries each); requires -wal-dir")
+	epoch := flag.Uint64("epoch", 1, "initial fencing epoch; a promoted node serves epoch+1, and replication frames from a lower epoch are rejected")
+	failoverAfter := flag.Int("failover-after", 0, "standby auto-promotes after this many consecutive primary health-probe failures (0 = manual promotion only)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "primary health-probe cadence on a standby")
+	salvageDir := flag.String("salvage-dir", "", "the primary's WAL directory as visible from this host; at promotion the standby drains its unshipped tail so no acked report is lost")
+	advertiseURL := flag.String("advertise-url", "", "this node's base URL as other nodes should reach it, used as the leader hint after promotion (default http://<addr>)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -109,6 +123,9 @@ func main() {
 
 	if *snapInterval > 0 && *snapshot == "" {
 		fatalf("-snapshot-interval requires -snapshot")
+	}
+	if *replicaOf != "" && *walDir == "" {
+		fatalf("-replica-of requires -wal-dir: the standby mirrors the primary's log sequence space")
 	}
 
 	if *traceBuf < 0 {
@@ -140,6 +157,15 @@ func main() {
 		RetryAfterMax:  *retryAfterMax,
 		RequestTimeout: *requestTimeout,
 	})
+	agg.SetEpoch(*epoch)
+	// The role must be standby before the GC loop or any traffic starts:
+	// a standby never generates its own WAL records (deadline sweeps
+	// arrive from the primary's stream), and the role gate refuses
+	// client traffic from the first request.
+	if *replicaOf != "" {
+		agg.SetRole(transport.RoleStandby)
+		agg.SetLeaderHint(transport.NewEndpointList(*replicaOf).Current())
+	}
 
 	// Recovery order: attach the WAL first (so restoring a snapshot can
 	// cross-check its coverage against the log head), restore the latest
@@ -263,6 +289,35 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replicaOf != "" {
+		self := *advertiseURL
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		fol, ferr := replica.New(replica.Options{
+			Server:        agg,
+			Primary:       transport.NewEndpointList(*replicaOf),
+			SelfURL:       self,
+			Logger:        logger,
+			Registry:      agg.Registry(),
+			Tracer:        agg.Tracer(),
+			SalvageDir:    *salvageDir,
+			FailoverAfter: *failoverAfter,
+			ProbeInterval: *probeInterval,
+		})
+		if ferr != nil {
+			fatalf("replica: %v", ferr)
+		}
+		// The admin promote verb and the automatic prober share one
+		// promotion path: salvage the dead primary's tail, then flip.
+		agg.SetOnPromote(fol.Promote)
+		go fol.Run(ctx)
+		logger.Info("fednumd: standby replicating from primary",
+			"primary", *replicaOf, "salvage_dir", *salvageDir,
+			"failover_after", *failoverAfter, "epoch", agg.Epoch())
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -298,6 +353,41 @@ func main() {
 			fatalf("closing wal: %v", err)
 		}
 	}
+}
+
+// runPromote implements `fednumd promote <standby-url>`: the
+// operator-facing failover verb. It POSTs the standby's promotion
+// endpoint (which salvages the dead primary's log tail before flipping
+// roles) and prints the answer.
+func runPromote(args []string) int {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 10*time.Second, "request timeout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fednumd promote [-timeout d] <standby-base-url>")
+		return 2
+	}
+	base := strings.TrimRight(strings.TrimSpace(fs.Arg(0)), "/")
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/replication/promote", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fednumd: %v\n", err)
+		return 1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fednumd: promote %s: %v\n", base, err)
+		return 1
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	fmt.Printf("%s\n", body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "fednumd: promote failed with status %d\n", resp.StatusCode)
+		return 1
+	}
+	return 0
 }
 
 // debugMux assembles the operator-only admin handler: the server's

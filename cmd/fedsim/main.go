@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/meter"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 	"repro/internal/workload"
 )
 
@@ -42,6 +45,8 @@ func main() {
 	dropout := flag.Float64("dropout", 0.2, "per-round dropout rate")
 	incidentDay := flag.Int("incident-day", 8, "day the incidents start (0 disables)")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "simulation seed")
+	server := flag.String("server", "", "run the campaign against live fednumd processes at this comma-separated endpoint list (first healthy wins, not_primary redirects follow the leader hint) instead of in-process; the byzantine cohort is in-process only")
+	parallel := flag.Int("parallel", 64, "concurrent clients in -server mode")
 	flag.Parse()
 
 	rng := frand.New(*seed)
@@ -53,6 +58,11 @@ func main() {
 	features := make([]string, len(metrics))
 	for i, m := range metrics {
 		features[i] = m.name
+	}
+
+	if *server != "" {
+		runLive(rng, metrics, *server, *days, *clients, *eps, *dropout, *incidentDay, *parallel, *seed)
+		return
 	}
 
 	var rr *ldp.RandomizedResponse
@@ -151,14 +161,7 @@ func main() {
 // misconfiguration) and cache_hits gains a byzantine cohort.
 func buildFleet(rng *frand.RNG, metrics []metricSpec, clients, day, incidentDay int, codec *fixedpoint.Codec) []federated.Client {
 	population := make([]federated.Client, 0, clients+clients/50)
-	values := make(map[string][]uint64, len(metrics))
-	for _, m := range metrics {
-		gen := m.gen
-		if incidentDay > 0 && day >= incidentDay && m.name == "startup_ms" {
-			gen = workload.Normal{Mu: 45000, Sigma: 5000} // misconfiguration ships
-		}
-		values[m.name] = codec.EncodeAll(gen.Sample(rng, clients))
-	}
+	values := dayValues(rng, metrics, clients, day, incidentDay, codec)
 	for i := 0; i < clients; i++ {
 		vals := make(map[string][]uint64, len(metrics))
 		for name := range values {
@@ -178,6 +181,99 @@ func buildFleet(rng *frand.RNG, metrics []metricSpec, clients, day, incidentDay 
 		}
 	}
 	return population
+}
+
+// dayValues draws one day's fixed-point value per client per metric,
+// applying the startup_ms misconfiguration incident after incidentDay.
+// Both the in-process fleet and -server live mode sample from here, so
+// the incident is visible either way.
+func dayValues(rng *frand.RNG, metrics []metricSpec, clients, day, incidentDay int, codec *fixedpoint.Codec) map[string][]uint64 {
+	values := make(map[string][]uint64, len(metrics))
+	for _, m := range metrics {
+		gen := m.gen
+		if incidentDay > 0 && day >= incidentDay && m.name == "startup_ms" {
+			gen = workload.Normal{Mu: 45000, Sigma: 5000} // misconfiguration ships
+		}
+		values[m.name] = codec.EncodeAll(gen.Sample(rng, clients))
+	}
+	return values
+}
+
+// runLive drives the same daily campaign against live fednumd processes:
+// one aggregation session per metric per day, a concurrent device fleet
+// submitting over HTTP, dropout applied client-side. The endpoint list is
+// shared by every device and the admin, so a mid-campaign failover (a
+// standby answering not_primary with a leader hint, or a dead node) is
+// absorbed once and the whole fleet follows the new primary.
+func runLive(rng *frand.RNG, metrics []metricSpec, server string, days, clients int, eps, dropout float64, incidentDay, parallel int, seed uint64) {
+	endpoints := transport.NewEndpointList(server)
+	if endpoints.Len() == 0 {
+		log.Fatalf("fedsim: -server lists no endpoints")
+	}
+	reg := obs.NewRegistry()
+	retry := &transport.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second,
+		Jitter: 0.5, PerTryTimeout: 10 * time.Second, Seed: seed, Metrics: reg,
+	}
+	admin := &transport.Admin{Endpoints: endpoints, Retry: retry}
+	codec := fixedpoint.MustCodec(bits, 0, 1)
+	ctx := context.Background()
+
+	fmt.Printf("fedsim: %d devices, %d days, ε=%g, dropout %.0f%%, live against %v\n\n",
+		clients, days, eps, 100*dropout, endpoints.URLs())
+	fmt.Printf("%-4s %-12s %12s %12s %9s %7s\n", "day", "metric", "estimate", "exact", "accepted", "failed")
+	for day := 1; day <= days; day++ {
+		values := dayValues(rng, metrics, clients, day, incidentDay, codec)
+		for _, m := range metrics {
+			session, err := admin.CreateSession(ctx, wire.SessionConfig{
+				Feature: fmt.Sprintf("%s-day%d", m.name, day), Bits: bits, Gamma: 1, Epsilon: eps,
+			})
+			if err != nil {
+				log.Fatalf("fedsim: day %d %s: create session: %v", day, m.name, err)
+			}
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, parallel)
+			var mu sync.Mutex
+			failed := 0
+			for i, v := range values[m.name] {
+				if rng.Float64() < dropout {
+					continue
+				}
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int, v uint64, devRNG *frand.RNG) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					p := &transport.Participant{
+						Endpoints: endpoints,
+						ClientID:  fmt.Sprintf("client-%d", i),
+						RNG:       devRNG,
+						Retry:     retry,
+						Metrics:   reg,
+					}
+					if err := p.Participate(ctx, session, v); err != nil {
+						mu.Lock()
+						failed++
+						mu.Unlock()
+					}
+				}(i, v, rng.Split())
+			}
+			wg.Wait()
+			res, err := admin.Finalize(ctx, session)
+			if err != nil {
+				log.Fatalf("fedsim: day %d %s: finalize: %v", day, m.name, err)
+			}
+			fmt.Printf("%-4d %-12s %12.4f %12.4f %9d %7d\n",
+				day, m.name, res.Estimate, fixedpoint.Mean(values[m.name]), res.Reports, failed)
+		}
+		fmt.Println()
+	}
+	lat := reg.Histogram(transport.MetricClientAttemptTime, "", obs.LatencyBuckets)
+	fmt.Printf("metrics: %d requests, p50=%.0fms p99=%.0fms, %d retries, %d duplicate acks\n",
+		reg.Counter(transport.MetricClientAttempts, "").Value(),
+		1000*lat.Quantile(0.5), 1000*lat.Quantile(0.99),
+		reg.Counter(transport.MetricClientRetries, "").Value(),
+		reg.Counter(transport.MetricClientDuplicateAcks, "").Value())
 }
 
 func squashFor(rr *ldp.RandomizedResponse) float64 {

@@ -27,6 +27,7 @@ func TestSuggestedFix(t *testing.T) {
 	})
 	want := []string{
 		`replace "expired" with wire.CodeExpired`,
+		`replace "not_primary" with wire.CodeNotPrimary`,
 		`replace "unavailable" with wire.CodeUnavailable`,
 		`replace "expired" with wire.CodeExpired`,
 		`replace "not_found" with wire.CodeNotFound`,

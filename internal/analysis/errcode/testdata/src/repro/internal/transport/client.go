@@ -21,6 +21,9 @@ func Classify(e *StatusError) (wire.Error, bool) {
 	if e.Code == wire.CodeNotFound { // typed constant: allowed
 		return wire.Error{}, false
 	}
+	if e.Code == "not_primary" { // want `string literal "not_primary" used as a wire.Code: use wire.CodeNotPrimary`
+		return wire.Error{}, true
+	}
 	if e.Code != "" { // zero value "no envelope": allowed
 		switch e.Code {
 		case "unavailable": // want `string literal "unavailable" used as a wire.Code: use wire.CodeUnavailable`

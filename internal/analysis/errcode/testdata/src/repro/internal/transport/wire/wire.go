@@ -10,6 +10,7 @@ const (
 	CodeExpired     Code = "expired"
 	CodeNotFound    Code = "not_found"
 	CodeUnavailable Code = "unavailable"
+	CodeNotPrimary  Code = "not_primary"
 )
 
 // Error is the JSON error envelope.

@@ -28,6 +28,12 @@ import (
 type Participant struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Endpoints, when non-nil, overrides BaseURL with a failover list of
+	// server roots: requests go to the list's current endpoint, dead
+	// nodes are skipped, and a standby's not_primary answer redirects to
+	// the leader it names. Share one list across the fleet's clients so
+	// the first redirect teaches everyone.
+	Endpoints *EndpointList
 	// ClientID identifies this device to the server.
 	ClientID string
 	// HTTPClient defaults to http.DefaultClient.
@@ -56,6 +62,13 @@ func (p *Participant) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (p *Participant) endpoints() *EndpointList {
+	if p.Endpoints != nil {
+		return p.Endpoints
+	}
+	return NewEndpointList(p.BaseURL)
+}
+
 // FetchTask polls the server for this client's bit assignment. Re-polling
 // is idempotent: the server replays the original assignment.
 func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Task, error) {
@@ -63,10 +76,10 @@ func (p *Participant) FetchTask(ctx context.Context, sessionID string) (wire.Tas
 	defer sp.End()
 	sp.Attr("session", sessionID)
 	sp.Attr("client", p.ClientID)
-	u := fmt.Sprintf("%s/v1/sessions/%s/task?client=%s",
-		p.BaseURL, url.PathEscape(sessionID), url.QueryEscape(p.ClientID))
+	path := fmt.Sprintf("/v1/sessions/%s/task?client=%s",
+		url.PathEscape(sessionID), url.QueryEscape(p.ClientID))
 	var task wire.Task
-	if err := doJSON(ctx, p.client(), p.Retry, http.MethodGet, u, nil, http.StatusOK, &task); err != nil {
+	if err := doJSON(ctx, p.client(), p.Retry, p.endpoints(), http.MethodGet, path, nil, http.StatusOK, &task); err != nil {
 		return wire.Task{}, err
 	}
 	return task, nil
@@ -139,30 +152,40 @@ func (p *Participant) SubmitReport(ctx context.Context, sessionID string, rep wi
 	if err != nil {
 		return wire.ReportAck{}, err
 	}
-	u := fmt.Sprintf("%s/v1/sessions/%s/reports", p.BaseURL, url.PathEscape(sessionID))
+	path := fmt.Sprintf("/v1/sessions/%s/reports", url.PathEscape(sessionID))
 	var ack wire.ReportAck
-	if err := doJSON(ctx, p.client(), p.Retry, http.MethodPost, u, body, http.StatusOK, &ack); err != nil {
+	if err := doJSON(ctx, p.client(), p.Retry, p.endpoints(), http.MethodPost, path, body, http.StatusOK, &ack); err != nil {
 		return wire.ReportAck{}, err
 	}
 	return ack, nil
 }
 
-// doJSON executes one JSON exchange under the retry policy. Each attempt
-// builds a fresh request (bodies cannot be replayed) and decodes either
-// the expected payload or the server's error envelope into a *StatusError
+// doJSON executes one JSON exchange under the retry policy against the
+// endpoint list. Each attempt builds a fresh request (bodies cannot be
+// replayed) against the list's current endpoint and decodes either the
+// expected payload or the server's error envelope into a *StatusError
 // carrying the machine-readable code.
-func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u string, body []byte, wantStatus int, out any) error {
+//
+// Failover lives here: a transport-level failure (dial refused, reset)
+// advances the list past the dead node before the error is returned,
+// and a not_primary answer repoints the list — at the leader the
+// replica named when it knew one, at the next endpoint otherwise — and
+// marks the error retryable (Failover) when the retry will actually
+// reach somewhere new. The retry loop above needs no endpoint
+// awareness; it just tries again and lands on the repointed target.
+func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, eps *EndpointList, method, path string, body []byte, wantStatus int, out any) error {
 	// Validate the request shape once; per-attempt rebuilds cannot fail
 	// differently with identical inputs.
-	if _, err := http.NewRequest(method, u, nil); err != nil {
+	if _, err := http.NewRequest(method, eps.Current()+path, nil); err != nil {
 		return err
 	}
 	return rp.Do(ctx, func(ctx context.Context) error {
+		base := eps.Current()
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return err
 		}
@@ -175,6 +198,9 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u str
 		trace.Inject(ctx, req.Header)
 		resp, err := hc.Do(req)
 		if err != nil {
+			// The node may be gone entirely; let the next attempt try
+			// elsewhere.
+			eps.Advance(base)
 			return err
 		}
 		defer resp.Body.Close()
@@ -183,7 +209,7 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u str
 			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			var e wire.Error
 			if json.Unmarshal(data, &e) == nil {
-				se.Code, se.Msg = e.Code, e.Error
+				se.Code, se.Msg, se.Leader = e.Code, e.Error, e.Leader
 				if e.RetryAfter > 0 {
 					// The envelope's float seconds beat the header's
 					// whole-second granularity when both are present.
@@ -192,6 +218,14 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, method, u str
 			}
 			if se.RetryAfter == 0 {
 				se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			}
+			if se.Code == wire.CodeNotPrimary {
+				if se.Leader != "" {
+					eps.SetLeader(se.Leader)
+				} else {
+					eps.Advance(base)
+				}
+				se.Failover = eps.Current() != base
 			}
 			return se
 		}
@@ -221,7 +255,10 @@ func TailQuantile(res *wire.Result, q float64) (uint64, error) {
 // finalization), as used by cmd/fednumd clients and tests. It shares the
 // Participant retry semantics via the same RetryPolicy type.
 type Admin struct {
-	BaseURL    string
+	BaseURL string
+	// Endpoints, when non-nil, overrides BaseURL with a failover list;
+	// see Participant.Endpoints.
+	Endpoints  *EndpointList
 	HTTPClient *http.Client
 	// Retry, when non-nil, retries transient failures with backoff.
 	Retry *RetryPolicy
@@ -237,6 +274,13 @@ func (a *Admin) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (a *Admin) endpoints() *EndpointList {
+	if a.Endpoints != nil {
+		return a.Endpoints
+	}
+	return NewEndpointList(a.BaseURL)
+}
+
 // CreateSession creates an aggregation session and returns its id.
 // Creation is not idempotent on the server: retrying a lost-ack create may
 // leave an orphan session behind, which the TTL garbage collector reaps.
@@ -249,7 +293,7 @@ func (a *Admin) CreateSession(ctx context.Context, cfg wire.SessionConfig) (stri
 		return "", err
 	}
 	var out wire.CreateSessionResponse
-	if err := doJSON(ctx, a.client(), a.Retry, http.MethodPost, a.BaseURL+"/v1/sessions", body, http.StatusCreated, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, a.endpoints(), http.MethodPost, "/v1/sessions", body, http.StatusCreated, &out); err != nil {
 		return "", err
 	}
 	return out.SessionID, nil
@@ -261,9 +305,9 @@ func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, e
 	ctx, sp := trace.Start(trace.WithRecorder(ctx, a.Tracer), "client.finalize")
 	defer sp.End()
 	sp.Attr("session", sessionID)
-	u := fmt.Sprintf("%s/v1/sessions/%s/finalize", a.BaseURL, url.PathEscape(sessionID))
+	path := fmt.Sprintf("/v1/sessions/%s/finalize", url.PathEscape(sessionID))
 	var out wire.Result
-	if err := doJSON(ctx, a.client(), a.Retry, http.MethodPost, u, nil, http.StatusOK, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, a.endpoints(), http.MethodPost, path, nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -271,9 +315,9 @@ func (a *Admin) Finalize(ctx context.Context, sessionID string) (*wire.Result, e
 
 // Result fetches the session's current aggregate view.
 func (a *Admin) Result(ctx context.Context, sessionID string) (*wire.Result, error) {
-	u := fmt.Sprintf("%s/v1/sessions/%s/result", a.BaseURL, url.PathEscape(sessionID))
+	path := fmt.Sprintf("/v1/sessions/%s/result", url.PathEscape(sessionID))
 	var out wire.Result
-	if err := doJSON(ctx, a.client(), a.Retry, http.MethodGet, u, nil, http.StatusOK, &out); err != nil {
+	if err := doJSON(ctx, a.client(), a.Retry, a.endpoints(), http.MethodGet, path, nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+)
+
+// EndpointList is a client's view of a replicated deployment: an ordered
+// list of server base URLs of which the first healthy one wins. Requests
+// go to Current; a transport failure advances past the dead node, and a
+// CodeNotPrimary answer carrying a leader hint jumps straight to the
+// node the replica pointed at (SetLeader). Share one list between the
+// Admin and the Participants of a run so the whole fleet converges on
+// the new primary after a single discovery instead of each client
+// re-learning it.
+//
+// The zero value is unusable; build one with NewEndpointList. All
+// methods are safe for concurrent use.
+type EndpointList struct {
+	mu   sync.Mutex
+	urls []string
+	cur  int
+}
+
+// NewEndpointList parses a comma-separated endpoint list, e.g.
+// "http://a:8080,http://b:8080". Whitespace around entries and trailing
+// slashes are trimmed; empty entries are dropped.
+func NewEndpointList(csv string) *EndpointList {
+	e := &EndpointList{}
+	for _, u := range strings.Split(csv, ",") {
+		if u = normalizeEndpoint(u); u != "" {
+			e.urls = append(e.urls, u)
+		}
+	}
+	return e
+}
+
+func normalizeEndpoint(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// Current returns the endpoint requests should target now, "" when the
+// list is empty.
+func (e *EndpointList) Current() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.urls) == 0 {
+		return ""
+	}
+	return e.urls[e.cur]
+}
+
+// Advance rotates to the next endpoint, but only if Current still is
+// from — the endpoint the caller just watched fail. Concurrent callers
+// failing against the same node advance it once, not once each, so a
+// burst of failures cannot spin the list past the healthy node.
+func (e *EndpointList) Advance(from string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.urls) < 2 {
+		return
+	}
+	if e.urls[e.cur] == from {
+		e.cur = (e.cur + 1) % len(e.urls)
+	}
+}
+
+// SetLeader points Current at u — the leader hint a replica's
+// not_primary answer carried. An endpoint the list has never seen is
+// appended: the hint is better information than the static config.
+func (e *EndpointList) SetLeader(u string) {
+	if u = normalizeEndpoint(u); u == "" {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, known := range e.urls {
+		if known == u {
+			e.cur = i
+			return
+		}
+	}
+	e.urls = append(e.urls, u)
+	e.cur = len(e.urls) - 1
+}
+
+// URLs returns a copy of the endpoint list in configured order.
+func (e *EndpointList) URLs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.urls...)
+}
+
+// Len returns the number of endpoints.
+func (e *EndpointList) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.urls)
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/frand"
+	"repro/internal/transport/wire"
+)
+
+func TestEndpointListParsingAndRotation(t *testing.T) {
+	e := NewEndpointList(" http://a:1/ ,http://b:2,,http://c:3")
+	if got := e.URLs(); len(got) != 3 || got[0] != "http://a:1" || got[1] != "http://b:2" || got[2] != "http://c:3" {
+		t.Fatalf("parsed %v", got)
+	}
+	if e.Current() != "http://a:1" {
+		t.Fatalf("current = %q", e.Current())
+	}
+	e.Advance("http://a:1")
+	if e.Current() != "http://b:2" {
+		t.Fatalf("after advance: %q", e.Current())
+	}
+	// Advancing from a stale observation is a no-op: the list already
+	// moved past that node.
+	e.Advance("http://a:1")
+	if e.Current() != "http://b:2" {
+		t.Fatalf("stale advance moved the list: %q", e.Current())
+	}
+	// A leader hint for an unknown node appends and selects it.
+	e.SetLeader("http://d:4/")
+	if e.Current() != "http://d:4" || e.Len() != 4 {
+		t.Fatalf("after SetLeader: current %q len %d", e.Current(), e.Len())
+	}
+	// A hint for a known node just selects it.
+	e.SetLeader("http://a:1")
+	if e.Current() != "http://a:1" || e.Len() != 4 {
+		t.Fatalf("after known SetLeader: current %q len %d", e.Current(), e.Len())
+	}
+	// A single-endpoint list never rotates.
+	one := NewEndpointList("http://only:1")
+	one.Advance("http://only:1")
+	if one.Current() != "http://only:1" {
+		t.Fatal("single-endpoint list rotated")
+	}
+}
+
+// TestClientFailsOverToPrimary drives the satellite behaviour end to
+// end: a client pointed at [standby, primary] lands on the standby, is
+// refused with not_primary plus a leader hint, and transparently
+// retries against the primary — one extra round trip, no caller-visible
+// error.
+func TestClientFailsOverToPrimary(t *testing.T) {
+	primary := NewServer(1)
+	tsPrimary := httptest.NewServer(primary)
+	defer tsPrimary.Close()
+
+	standby := NewServer(2)
+	standby.SetRole(RoleStandby)
+	standby.SetLeaderHint(tsPrimary.URL)
+	tsStandby := httptest.NewServer(standby)
+	defer tsStandby.Close()
+
+	eps := NewEndpointList(tsStandby.URL + "," + tsPrimary.URL)
+	rp := &RetryPolicy{MaxAttempts: 3, Seed: 1}
+	admin := &Admin{Endpoints: eps, Retry: rp}
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatalf("create via standby-first list: %v", err)
+	}
+	if eps.Current() != tsPrimary.URL {
+		t.Errorf("list did not converge on the leader: %q", eps.Current())
+	}
+
+	// The participant shares the already-converged list: first try hits
+	// the primary directly.
+	p := &Participant{Endpoints: eps, ClientID: "c1", RNG: frand.New(3), Retry: rp}
+	if err := p.Participate(ctx, id, 9); err != nil {
+		t.Fatalf("participate: %v", err)
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports != 1 {
+		t.Errorf("reports = %d, want 1", res.Reports)
+	}
+}
+
+// TestClientFailsOverPastDeadNode checks the transport-error leg: the
+// first endpoint refuses connections entirely and the client advances
+// to the live one.
+func TestClientFailsOverPastDeadNode(t *testing.T) {
+	live := NewServer(1)
+	tsLive := httptest.NewServer(live)
+	defer tsLive.Close()
+
+	// A listener that is immediately closed: connection refused.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	eps := NewEndpointList(deadURL + "," + tsLive.URL)
+	admin := &Admin{Endpoints: eps, Retry: &RetryPolicy{MaxAttempts: 3, Seed: 1}}
+	if _, err := admin.CreateSession(context.Background(), wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1}); err != nil {
+		t.Fatalf("create past dead node: %v", err)
+	}
+	if eps.Current() != tsLive.URL {
+		t.Errorf("list still points at the dead node: %q", eps.Current())
+	}
+}
+
+// TestNotPrimaryWithoutAlternativeIsFatal pins the "not retryable
+// against the same endpoint" half of the code's contract: with nowhere
+// else to go, the client gives up immediately instead of hammering a
+// node that told it no.
+func TestNotPrimaryWithoutAlternativeIsFatal(t *testing.T) {
+	standby := NewServer(1)
+	standby.SetRole(RoleStandby)
+	ts := httptest.NewServer(standby)
+	defer ts.Close()
+
+	attempts := 0
+	rp := &RetryPolicy{MaxAttempts: 5, Seed: 1,
+		sleep: func(ctx context.Context, d time.Duration) error { attempts++; return nil }}
+	admin := &Admin{BaseURL: ts.URL, Retry: rp}
+	_, err := admin.CreateSession(context.Background(), wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != wire.CodeNotPrimary {
+		t.Fatalf("err = %v, want not_primary StatusError", err)
+	}
+	if se.Failover {
+		t.Error("Failover set with a single-endpoint list")
+	}
+	if Retryable(err) {
+		t.Error("not_primary with no alternative classified retryable")
+	}
+	if attempts != 0 {
+		t.Errorf("client backed off %d times against a node that said not_primary", attempts)
+	}
+}

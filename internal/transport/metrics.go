@@ -32,6 +32,16 @@ const (
 	MetricOverloadShed       = "fednum_overload_shed_total"
 	MetricReportRateLimited  = "fednum_report_ratelimited_total"
 	MetricBodyTooLarge       = "fednum_body_too_large_total"
+	// Replication instruments (server side; follower-side lag gauges live
+	// in internal/replica). Role is 0=primary, 1=standby, 2=fenced.
+	MetricReplRole           = "fednum_repl_role"
+	MetricReplEpoch          = "fednum_repl_epoch"
+	MetricReplShippedRecords = "fednum_repl_shipped_records_total"
+	MetricReplShippedBytes   = "fednum_repl_shipped_bytes_total"
+	MetricReplNotPrimary     = "fednum_repl_not_primary_total"
+	MetricReplPromotions     = "fednum_repl_promotions_total"
+	MetricReplFenced         = "fednum_repl_fenced_total"
+	MetricReplApplied        = "fednum_repl_applied_records_total"
 )
 
 // Client-side metric names, recorded by RetryPolicy and Participant into
@@ -84,6 +94,15 @@ type serverMetrics struct {
 	shed         *obs.CounterVec // class, reason
 	rateLimited  *obs.Counter
 	bodyRejected *obs.CounterVec // route
+
+	replRole           *obs.Gauge
+	replEpoch          *obs.Gauge
+	replShippedRecords *obs.Counter
+	replShippedBytes   *obs.Counter
+	replNotPrimary     *obs.Counter
+	replPromotions     *obs.Counter
+	replFenced         *obs.Counter
+	replApplied        *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -128,6 +147,22 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Report submissions rejected by the per-session rate bucket."),
 		bodyRejected: reg.CounterVec(MetricBodyTooLarge,
 			"Requests rejected for an oversized body, by path.", "route"),
+		replRole: reg.Gauge(MetricReplRole,
+			"Replication role: 0 primary, 1 standby, 2 fenced."),
+		replEpoch: reg.Gauge(MetricReplEpoch,
+			"Fencing epoch; promotions raise it."),
+		replShippedRecords: reg.Counter(MetricReplShippedRecords,
+			"WAL records shipped to followers."),
+		replShippedBytes: reg.Counter(MetricReplShippedBytes,
+			"WAL frame bytes shipped to followers."),
+		replNotPrimary: reg.Counter(MetricReplNotPrimary,
+			"Requests refused with not_primary because this node is a standby or fenced."),
+		replPromotions: reg.Counter(MetricReplPromotions,
+			"Times this node promoted itself to primary."),
+		replFenced: reg.Counter(MetricReplFenced,
+			"Times this node was fenced by a higher epoch."),
+		replApplied: reg.Counter(MetricReplApplied,
+			"Replicated WAL records applied to the standby session table."),
 	}
 }
 

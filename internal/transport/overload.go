@@ -299,6 +299,14 @@ func (s *Server) SetDraining(v bool) {
 // and never reach the handler.
 func (s *Server) gated(class string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Role first, before any gate or queue: a standby or fenced node
+		// refuses client traffic outright (one atomic load on the hot
+		// path), pointing the caller at the leader. This is the fencing
+		// teeth — a deposed primary cannot ack a late report.
+		if s.roleValue() != RolePrimary {
+			s.writeNotPrimary(w)
+			return
+		}
 		ov := s.overload()
 		if ov == nil {
 			h(w, r)
@@ -460,14 +468,18 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	// A standby is healthy but not ready: load balancers must not route
+	// client traffic to a node that will 421 every request.
+	role := s.roleValue()
 	body := map[string]any{
-		"ready":    !draining && !shedding,
+		"ready":    !draining && !shedding && role == RolePrimary,
 		"draining": draining,
 		"shedding": shedding,
 		"queued":   queued,
+		"role":     role.String(),
 	}
 	status := http.StatusOK
-	if draining || shedding {
+	if draining || shedding || role != RolePrimary {
 		status = http.StatusServiceUnavailable
 	}
 	s.writeJSON(w, status, body)

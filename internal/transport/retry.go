@@ -47,6 +47,14 @@ type StatusError struct {
 	// envelope's retry_after_seconds field; zero when the server sent
 	// none. RetryPolicy.Do honors it, capped by MaxDelay.
 	RetryAfter time.Duration
+	// Leader is the primary's base URL a not_primary answer pointed at,
+	// "" when the replica did not know its leader.
+	Leader string
+	// Failover reports that retrying will reach a different endpoint: a
+	// not_primary rejection is final against the node that sent it but
+	// worth retrying when the endpoint list has somewhere else to go.
+	// doJSON sets it after repointing the list.
+	Failover bool
 }
 
 // Error implements error.
@@ -69,6 +77,10 @@ func (e *StatusError) Retryable() bool {
 	switch e.Code {
 	case wire.CodeUnavailable, wire.CodeInternal:
 		return true
+	case wire.CodeNotPrimary:
+		// The same node will keep refusing until promoted; retry only
+		// when the next attempt can reach a different endpoint.
+		return e.Failover
 	case wire.CodeBadRequest, wire.CodeNotFound, wire.CodeFinalized, wire.CodeExpired,
 		wire.CodeCohortTooSmall, wire.CodeTooLarge:
 		return false

@@ -28,6 +28,9 @@ const (
 	RoundFinalize        = "finalize"
 	RoundEstimate        = "estimate"
 	RoundExpire          = "expire"
+	// RoundPromote marks a failover takeover: the node serving this
+	// timeline became primary mid-round (detail carries the new epoch).
+	RoundPromote = "promote"
 )
 
 // RoundEvent is one typed entry in a session's lifecycle timeline.

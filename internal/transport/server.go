@@ -97,6 +97,16 @@ type Server struct {
 	shed     *shedState
 	shedOnce sync.Once
 
+	// role/epoch/leader are the replication state machine (replication.go):
+	// the role gates every client-facing route with one atomic load, the
+	// fencing epoch makes promotions unambiguous, and the leader hint
+	// rides in CodeNotPrimary envelopes. onPromote is the standby's
+	// promotion hook (SetOnPromote).
+	role      atomic.Int32
+	epoch     atomic.Uint64
+	leader    atomic.Pointer[string]
+	onPromote atomic.Pointer[func(context.Context) error]
+
 	mu        sync.Mutex
 	sessions  map[string]*session
 	rng       *frand.RNG
@@ -157,6 +167,10 @@ func NewServer(seed uint64) *Server {
 		rng:      frand.New(seed),
 		metrics:  newServerMetrics(obs.NewRegistry()),
 	}
+	// Epoch 1, role primary: a server that never hears about replication
+	// behaves exactly as before.
+	s.epoch.Store(1)
+	s.metrics.replEpoch.Set(1)
 	mux := http.NewServeMux()
 	// Liveness and readiness stay ungated: an overloaded daemon must
 	// still answer its probes, or the router drains a server that is
@@ -169,6 +183,15 @@ func NewServer(seed uint64) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/reports", s.instrument("/v1/sessions/{id}/reports", s.gated(gateReport, s.handleReport)))
 	mux.HandleFunc("POST /v1/sessions/{id}/finalize", s.instrument("/v1/sessions/{id}/finalize", s.gated(gateAdmin, s.handleFinalize)))
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.instrument("/v1/sessions/{id}/result", s.gated(gateQuery, s.handleResult)))
+	// The replication plane is instrumented but not gated: role handling
+	// happens inside each handler (status answers on every role, wal and
+	// snapshot only on a primary), and a standby must keep serving these
+	// even while shedding everything else.
+	mux.HandleFunc("GET /v1/replication/wal", s.instrument("/v1/replication/wal", s.handleReplWAL))
+	mux.HandleFunc("GET /v1/replication/snapshot", s.instrument("/v1/replication/snapshot", s.handleReplSnapshot))
+	mux.HandleFunc("GET /v1/replication/status", s.instrument("/v1/replication/status", s.handleReplStatus))
+	mux.HandleFunc("POST /v1/replication/promote", s.instrument("/v1/replication/promote", s.handleReplPromote))
+	mux.HandleFunc("POST /v1/replication/demote", s.instrument("/v1/replication/demote", s.handleReplDemote))
 	// The scrape endpoint itself stays uninstrumented so scrapes do not
 	// perturb the request counters they read.
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -441,6 +464,13 @@ func (s *Server) StartGC(interval time.Duration) (stop func()) {
 // counted in the registry; forced sweeps (the GC loop and manual Sweep
 // calls) additionally log their outcome at debug level.
 func (s *Server) sweepLocked(force bool) {
+	// Deadline and retention transitions are the primary's to decide and
+	// log; a standby applies them from the replication stream. A sweep
+	// here would append locally generated records into the mirrored
+	// sequence space and diverge from the primary's history.
+	if s.roleValue() != RolePrimary {
+		return
+	}
 	now := s.now()
 	if !force && now.Sub(s.lastSweep) < sweepEvery {
 		return

@@ -135,6 +135,12 @@ const (
 	// CodeTooLarge marks a request body over the server's size cap; not
 	// retryable (the same payload will always be too large).
 	CodeTooLarge Code = "payload_too_large"
+	// CodeNotPrimary marks a mutating (or state-reading) request sent to
+	// a standby or fenced replica. Not retryable against the same
+	// endpoint — this node will keep refusing until it is promoted — but
+	// retryable against the next endpoint of a multi-endpoint list; the
+	// envelope's Leader field, when set, says where to go.
+	CodeNotPrimary Code = "not_primary"
 )
 
 // Error is the JSON error envelope. Code is machine-readable (one of the
@@ -147,4 +153,36 @@ type Error struct {
 	// set on shedding (unavailable) and rate-limit answers so JSON
 	// clients need not parse HTTP headers.
 	RetryAfter float64 `json:"retry_after_seconds,omitempty"`
+	// Leader, set on CodeNotPrimary answers when the replica knows its
+	// primary, is the base URL clients should redirect to.
+	Leader string `json:"leader,omitempty"`
+}
+
+// ReplStatus is the JSON body of GET /v1/replication/status: the node's
+// role, fencing epoch and log position, served by primaries and
+// replicas alike so operators (and the standby's health prober) can see
+// replication lag and who believes they lead.
+type ReplStatus struct {
+	// Role is "primary", "standby" or "fenced".
+	Role string `json:"role"`
+	// Epoch is the node's fencing epoch. Promotions bump it; replication
+	// frames from a lower epoch are rejected.
+	Epoch uint64 `json:"epoch"`
+	// AppliedSeq is the last WAL sequence applied to the session table
+	// (on a primary, the last appended).
+	AppliedSeq uint64 `json:"applied_seq"`
+	// HeadSeq and FirstSeq delimit the node's local log.
+	HeadSeq  uint64 `json:"head_seq"`
+	FirstSeq uint64 `json:"first_seq"`
+	// WALBytes is the node's cumulative appended log bytes, the base of
+	// the lag-in-bytes metric.
+	WALBytes int64 `json:"wal_bytes"`
+	// Leader, when known on a non-primary, is the primary's base URL.
+	Leader string `json:"leader,omitempty"`
+}
+
+// PromoteResponse answers POST /v1/replication/promote.
+type PromoteResponse struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
 }

@@ -154,6 +154,15 @@ type WAL struct {
 	nextSeq  uint64 // seq the next Append receives
 	closed   bool
 	failed   error // sticky append-path failure (unrecoverable torn state)
+	// appended counts frame bytes over the log's life within this
+	// process, seeded with the on-disk bytes found at Open. Monotonic
+	// (TruncateThrough does not roll it back): it is the byte analogue of
+	// the sequence head, which replication lag is measured against.
+	appended int64
+	// tailWait, when non-nil, is closed by the next append — the
+	// tail-following hand-off WaitFor blocks on. Lazily created so the
+	// append fast path pays nothing when nobody is following.
+	tailWait chan struct{}
 
 	// flushMu guards the durability frontier and the group-commit
 	// hand-off.
@@ -210,6 +219,14 @@ func Open(opts Options) (*WAL, error) {
 		}
 		last.count = res.records
 		w.sealed = segs[:len(segs)-1]
+		for _, s := range w.sealed {
+			st, err := os.Stat(s.path)
+			if err != nil {
+				return nil, err
+			}
+			w.appended += st.Size()
+		}
+		w.appended += res.goodBytes
 		w.firstSeq = segs[0].base
 		w.segBase = last.base
 		w.segCount = last.count
@@ -366,6 +383,23 @@ func syncDir(dir string) error {
 // covering the sequence returns (SyncAlways/SyncGrouped) — callers must
 // not ack external effects before then.
 func (w *WAL) Append(payload []byte) (uint64, error) {
+	return w.append1(payload, 0)
+}
+
+// AppendAt appends payload asserting it will receive exactly sequence
+// seq — the replication apply path, where a standby mirrors the
+// primary's sequence space record for record and a gap means records
+// were lost in flight. The durability contract is Append's.
+func (w *WAL) AppendAt(seq uint64, payload []byte) (uint64, error) {
+	if seq == 0 {
+		return 0, errors.New("wal: AppendAt requires seq >= 1")
+	}
+	return w.append1(payload, seq)
+}
+
+// append1 is the shared append path; want, when non-zero, asserts the
+// sequence the record must receive.
+func (w *WAL) append1(payload []byte, want uint64) (uint64, error) {
 	if len(payload) == 0 {
 		return 0, errors.New("wal: empty payload")
 	}
@@ -388,6 +422,11 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
+	if want != 0 && want != w.nextSeq {
+		next := w.nextSeq
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: append gap: next sequence is %d, caller asserts %d", next, want)
+	}
 	if w.segSize >= w.opts.segmentBytes() && w.segCount > 0 {
 		if err := w.rotateLocked(); err != nil {
 			w.mu.Unlock()
@@ -408,8 +447,13 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.nextSeq++
 	w.segCount++
 	w.segSize += int64(len(frame))
+	w.appended += int64(len(frame))
 	if w.firstSeq == 0 {
 		w.firstSeq = seq
+	}
+	if w.tailWait != nil {
+		close(w.tailWait)
+		w.tailWait = nil
 	}
 	w.mu.Unlock()
 
@@ -703,6 +747,10 @@ func (w *WAL) Close() error {
 		return ErrClosed
 	}
 	w.closed = true
+	if w.tailWait != nil {
+		close(w.tailWait)
+		w.tailWait = nil
+	}
 	var err error
 	if w.segCount > 0 {
 		err = w.f.Sync()
