@@ -15,9 +15,13 @@ package main
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/errcode"
+	"repro/internal/analysis/exhaustenum"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/lockheld"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/noprintflog"
 	"repro/internal/analysis/randsource"
 	"repro/internal/analysis/rngshare"
@@ -33,5 +37,9 @@ func main() {
 		errcode.Analyzer,
 		ctxflow.Analyzer,
 		spanend.Analyzer,
+		lockorder.Analyzer,
+		lockheld.Analyzer,
+		atomicmix.Analyzer,
+		exhaustenum.Analyzer,
 	)
 }

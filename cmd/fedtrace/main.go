@@ -132,7 +132,8 @@ func renderSession(base, session string) error {
 // took, plus WAL-commit and chaos-fault aggregates.
 func renderStages(events []transport.RoundEvent) {
 	var created, firstAssign, lastAssign, firstReport, lastReport, finalized, estimated time.Time
-	var assigns, accepts, dups, rejects, ratelimits, sheds int
+	var deadlined, expired time.Time
+	var assigns, accepts, dups, rejects, ratelimits, sheds, promotes int
 	var walCount int
 	var walSum, walMax float64
 	faults := map[string]int{}
@@ -172,6 +173,12 @@ func renderStages(events []transport.RoundEvent) {
 			finalized = ev.At
 		case transport.RoundEstimate:
 			estimated = ev.At
+		case transport.RoundDeadline:
+			deadlined = ev.At
+		case transport.RoundExpire:
+			expired = ev.At
+		case transport.RoundPromote:
+			promotes++
 		}
 	}
 
@@ -190,9 +197,23 @@ func renderStages(events []transport.RoundEvent) {
 	stage("last assignment -> first report", lastAssign, firstReport)
 	stage(fmt.Sprintf("reporting window (%d accepted)", accepts), firstReport, lastReport)
 	stage("last report -> finalize", lastReport, finalized)
+	stage("straggler deadline -> finalize", deadlined, finalized)
 	stage("finalize -> estimate", finalized, estimated)
 	if !created.IsZero() && !estimated.IsZero() {
 		stage("total (create -> estimate)", created, estimated)
+	}
+	if !deadlined.IsZero() || !expired.IsZero() || promotes > 0 {
+		var parts []string
+		if !deadlined.IsZero() {
+			parts = append(parts, "straggler deadline fired")
+		}
+		if promotes > 0 {
+			parts = append(parts, fmt.Sprintf("%d failover takeover(s)", promotes))
+		}
+		if !expired.IsZero() {
+			parts = append(parts, "session expired")
+		}
+		fmt.Printf("  lifecycle: %s\n", strings.Join(parts, ", "))
 	}
 
 	if dups+rejects+ratelimits+sheds > 0 {

@@ -1,0 +1,168 @@
+// Package atomicmix enforces the all-or-nothing rule of sync/atomic: a
+// field (or package-level variable) that is accessed through the
+// sync/atomic functions anywhere must be accessed that way everywhere.
+// One plain load next to atomic stores is a data race the race detector
+// only catches when the interleaving happens in CI, and on weakly
+// ordered hardware it reads torn or stale values silently — epochs going
+// backwards, breaker counters double-counting, gauge bits interleaving.
+//
+// The modern fix is usually better than discipline: the atomic.Int64 /
+// atomic.Uint64 / atomic.Bool / atomic.Pointer wrapper types make plain
+// access unrepresentable, which is why the repository's own concurrency
+// code (server epochs, replica lag gauges, obs.FloatCounter bits) uses
+// them exclusively. This analyzer polices the function-style remainder,
+// where the compiler cannot help.
+//
+// Exemptions, both deliberate:
+//
+//   - composite-literal keys (S{done: 0}): zero-initialization happens
+//     before the value is shared, and forbidding it would outlaw every
+//     constructor;
+//   - test files: a test may read counters plainly after goroutines are
+//     joined.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed through sync/atomic anywhere must never be read or written plainly elsewhere; " +
+		"mixed access is a silent data race — prefer the atomic.Int64-style wrapper types.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: find every variable whose address is taken by a sync/atomic
+	// call, remembering the identifiers inside those calls (sanctioned
+	// uses) and one representative atomic site per variable.
+	atomicVars := make(map[types.Object]token.Pos)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, isUnary := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !isUnary || unary.Op != token.AND {
+					continue
+				}
+				obj, ident := addressedVar(pass.TypesInfo, unary.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = call.Pos()
+				}
+				sanctioned[ident] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other mention of those variables is a plain access.
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		var compositeKeys map[*ast.Ident]bool
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, isLit := n.(*ast.CompositeLit); isLit {
+				for _, el := range lit.Elts {
+					if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+						if key, isIdent := kv.Key.(*ast.Ident); isIdent {
+							if compositeKeys == nil {
+								compositeKeys = make(map[*ast.Ident]bool)
+							}
+							compositeKeys[key] = true
+						}
+					}
+				}
+			}
+			ident, isIdent := n.(*ast.Ident)
+			if !isIdent || sanctioned[ident] || compositeKeys[ident] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[ident]
+			if obj == nil {
+				return true
+			}
+			firstAtomic, isAtomicVar := atomicVars[obj]
+			if !isAtomicVar {
+				return true
+			}
+			pass.Reportf(ident.Pos(),
+				"%s is accessed with sync/atomic (e.g. at %s) but read/written plainly here: mixed access is a data race — use sync/atomic everywhere or an atomic.%s-style wrapper",
+				ident.Name, pass.Position(firstAtomic), wrapperFor(obj))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (LoadInt64, StoreUint32, AddUint64, SwapPointer,
+// CompareAndSwapInt32, ...). Wrapper-type methods never take an address
+// argument and are inherently safe.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, isFn := analysis.CalleeObject(info, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedVar resolves &expr's operand to the underlying field or
+// variable object, returning also the identifier that names it (for the
+// sanctioned-use set).
+func addressedVar(info *types.Info, expr ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, isVar := info.Uses[e].(*types.Var); isVar {
+			return v, e
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj(), e.Sel
+		}
+		if v, isVar := info.Uses[e.Sel].(*types.Var); isVar {
+			return v, e.Sel // qualified package-level var
+		}
+	}
+	return nil, nil
+}
+
+// wrapperFor names the atomic wrapper type matching the variable's
+// underlying type, for the diagnostic's suggestion.
+func wrapperFor(obj types.Object) string {
+	basic, isBasic := obj.Type().Underlying().(*types.Basic)
+	if !isBasic {
+		return "Pointer"
+	}
+	switch basic.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int, types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint, types.Uint64, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer, "repro/lockfix/counters")
+}

@@ -1,0 +1,47 @@
+package counters
+
+import "sync/atomic"
+
+type Counter struct {
+	n     int64
+	plain int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// A plain read races with Inc: torn or stale on weak memory orders.
+func (c *Counter) Peek() int64 {
+	return c.n // want `n is accessed with sync/atomic`
+}
+
+// Plain writes race too.
+func (c *Counter) Reset() {
+	c.n = 0 // want `n is accessed with sync/atomic`
+}
+
+// Fields never touched by sync/atomic are unrestricted.
+func (c *Counter) Bump() {
+	c.plain++
+}
+
+// Composite-literal keys zero-initialize before the value is shared.
+func New() *Counter {
+	return &Counter{n: 0, plain: 0}
+}
+
+var flag uint32
+
+func set() {
+	atomic.StoreUint32(&flag, 1)
+}
+
+// Package-level variables get the same all-or-nothing rule.
+func cleared() bool {
+	return flag == 0 // want `flag is accessed with sync/atomic`
+}

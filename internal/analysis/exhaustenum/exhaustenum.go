@@ -1,0 +1,178 @@
+// Package exhaustenum enforces exhaustiveness for switches over the
+// repository's enum-like named types: wire codes, round-timeline event
+// kinds, replication roles, shed reasons. Every switch whose tag is such
+// a type must either cover every declared constant or carry an explicit
+// default — "fell through silently" is how a newly added RoundKind ships
+// with a timeline renderer that drops it, or a new shed reason that no
+// dashboard ever attributes.
+//
+// A type participates when it is a named type declared under the repro
+// module with a string or integer underlying type and at least two
+// package-level constants of exactly that type. Coverage is by constant
+// value, so aliases of the same value count once. Switches containing a
+// non-constant case expression are skipped — the analyzer cannot reason
+// about them. Test files are exempt.
+//
+// Diagnostics carry a suggested fix that appends the missing constants
+// as one empty case clause; `fedlint -fix` applies it, turning the
+// finding into an explicit decision point in the diff.
+package exhaustenum
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the exhaustenum check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustenum",
+	Doc: "switches over repro enum-like types (wire codes, round kinds, replication roles, shed reasons) " +
+		"must cover every declared constant or carry an explicit default.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, isSwitch := n.(*ast.SwitchStmt)
+			if !isSwitch || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, f, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, file *ast.File, sw *ast.SwitchStmt) {
+	tv, known := pass.TypesInfo.Types[sw.Tag]
+	if !known {
+		return
+	}
+	named, isNamed := types.Unalias(tv.Type).(*types.Named)
+	if !isNamed {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasPrefix(obj.Pkg().Path(), "repro/") {
+		return
+	}
+	if basic, isBasic := named.Underlying().(*types.Basic); !isBasic ||
+		basic.Info()&(types.IsString|types.IsInteger) == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var lastCase *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, isCase := stmt.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		lastCase = cc
+		if cc.List == nil {
+			return // explicit default: the author opted out of exhaustiveness
+		}
+		for _, expr := range cc.List {
+			v := pass.TypesInfo.Types[expr].Value
+			if v == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			covered[v.ExactString()] = true
+		}
+	}
+	if lastCase == nil {
+		return // empty switch body; vet-level dead code, not our concern
+	}
+
+	var missing []*types.Const
+	for _, m := range members {
+		if !covered[m.Val().ExactString()] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+
+	names := make([]string, len(missing))
+	qualified := make([]string, len(missing))
+	q := qualifier(pass, file, obj.Pkg())
+	for i, m := range missing {
+		names[i] = m.Name()
+		qualified[i] = q + m.Name()
+	}
+
+	diag := analysis.Diagnostic{
+		Pos: sw.Pos(),
+		End: sw.Tag.End(),
+		Message: fmt.Sprintf("switch over %s is not exhaustive: missing %s (add the cases or an explicit default)",
+			obj.Name(), strings.Join(names, ", ")),
+	}
+	if q != "" || obj.Pkg() == pass.Pkg {
+		indent := strings.Repeat("\t", pass.Position(lastCase.Pos()).Column-1)
+		diag.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: fmt.Sprintf("add empty case for %s", strings.Join(names, ", ")),
+			TextEdits: []analysis.TextEdit{{
+				Pos:     lastCase.End(),
+				End:     lastCase.End(),
+				NewText: []byte("\n" + indent + "case " + strings.Join(qualified, ", ") + ":"),
+			}},
+		}}
+	}
+	pass.Report(diag)
+}
+
+// enumMembers returns the package-level constants declared with exactly
+// the named type, sorted by declaration order (scope names are sorted,
+// which is stable and good enough for diagnostics).
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, isConst := scope.Lookup(name).(*types.Const)
+		if isConst && types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Pos() < members[j].Pos() })
+	return members
+}
+
+// qualifier returns the prefix ("", "wire.", "alias.") that names pkg's
+// exported constants inside file, resolving import aliases. Empty string
+// with a foreign package means the import is not visible by name and no
+// fix can be offered.
+func qualifier(pass *analysis.Pass, file *ast.File, pkg *types.Package) string {
+	if pkg == pass.Pkg {
+		return ""
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != pkg.Path() {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name + "."
+		}
+		return pkg.Name() + "."
+	}
+	return ""
+}

@@ -1,0 +1,43 @@
+package exhaustenum
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/enums",   // in-package switches: full, default, partial, dynamic
+		"repro/enumuse", // cross-package member resolution
+	)
+}
+
+// TestSuggestedFix asserts the fix appends one empty case clause naming
+// the missing members, qualified for the consuming file.
+func TestSuggestedFix(t *testing.T) {
+	type fix struct{ message, text string }
+	var fixes []fix
+	probe := &analysis.Analyzer{Name: Analyzer.Name, Doc: Analyzer.Doc, Run: Analyzer.Run}
+	checktest.RunCollect(t, "testdata", probe, []string{"repro/enums", "repro/enumuse"}, func(d analysis.Diagnostic) {
+		for _, f := range d.SuggestedFixes {
+			for _, e := range f.TextEdits {
+				fixes = append(fixes, fix{f.Message, string(e.NewText)})
+			}
+		}
+	})
+	want := []fix{
+		{"add empty case for KindReport, KindClose", "\n\tcase KindReport, KindClose:"},
+		{"add empty case for LevelHigh", "\n\tcase LevelHigh:"},
+		{"add empty case for KindClose", "\n\tcase enums.KindClose:"},
+	}
+	if len(fixes) != len(want) {
+		t.Fatalf("got %d suggested fixes, want %d: %+v", len(fixes), len(want), fixes)
+	}
+	for i := range want {
+		if fixes[i] != want[i] {
+			t.Errorf("fix %d: got %+v, want %+v", i, fixes[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package enums
+
+type Kind string
+
+const (
+	KindCreate Kind = "create"
+	KindReport Kind = "report"
+	KindClose  Kind = "close"
+)
+
+type Level int
+
+const (
+	LevelLow Level = iota
+	LevelMid
+	LevelHigh
+)
+
+// Full coverage is exhaustive.
+func describe(k Kind) string {
+	switch k {
+	case KindCreate:
+		return "create"
+	case KindReport:
+		return "report"
+	case KindClose:
+		return "close"
+	}
+	return ""
+}
+
+// An explicit default is an explicit decision.
+func fallback(k Kind) string {
+	switch k {
+	case KindCreate:
+		return "create"
+	default:
+		return "other"
+	}
+}
+
+// Missing members without a default silently drop a newly added kind.
+func partial(k Kind) string {
+	switch k { // want `switch over Kind is not exhaustive: missing KindReport, KindClose`
+	case KindCreate:
+		return "create"
+	}
+	return ""
+}
+
+// Integer-backed enums get the same rule.
+func rank(l Level) int {
+	switch l { // want `switch over Level is not exhaustive: missing LevelHigh`
+	case LevelLow:
+		return 0
+	case LevelMid:
+		return 1
+	}
+	return -1
+}
+
+// Non-constant case expressions opt the switch out: coverage is
+// undecidable.
+func dynamic(k, other Kind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Switches over plain strings are not enums.
+func plain(s string) bool {
+	switch s {
+	case "x":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package enumuse
+
+import "repro/enums"
+
+// Cross-package switches resolve the enum's members through the import
+// and the suggested fix qualifies the missing constants.
+func Describe(k enums.Kind) string {
+	switch k { // want `switch over Kind is not exhaustive: missing KindClose`
+	case enums.KindCreate, enums.KindReport:
+		return "known"
+	}
+	return ""
+}
+
+// One case listing every member is exhaustive.
+func Known(k enums.Kind) bool {
+	switch k {
+	case enums.KindCreate, enums.KindReport, enums.KindClose:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package lockheld enforces the critical-section latency discipline: no
+// blocking operation — network round trip, WAL fsync or long-poll,
+// channel send/receive, select without default, time.Sleep, barrier
+// wait — while any mutex is held. A blocking call under a lock turns one
+// slow peer (or one slow disk) into a stall for every goroutine that
+// needs the lock; on the report fast path that is the difference between
+// shedding gracefully and convoying.
+//
+// What counts as blocking is the curated policy.Blocking table (callee
+// full name → why) plus the intrinsically blocking channel operations the
+// walker sees syntactically. Two escape valves are deliberate and
+// reviewed, both encoded in internal/analysis/policy:
+//
+//   - structured logging under a lock is allowed (policy.AllowedUnderLock):
+//     slog handlers write to a local fd and are not worth contorting
+//     critical sections around;
+//   - the (callee, lock) pairs in policy.HeldExceptions, i.e. the WAL
+//     append under transport.Server.mu — the log-before-mutate durability
+//     design, where the append only buffers and the fsync happens after
+//     the lock is released.
+//
+// Test files are exempt: tests block under locks deliberately to
+// provoke the races the real code must survive.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockset"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the lockheld check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "no blocking call (network I/O, WAL fsync/long-poll, channel send/recv, select, time.Sleep) " +
+		"while a mutex is held; the allowed log-under-lock exceptions live in internal/analysis/policy.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			lockset.WalkFunc(pass.TypesInfo, fd.Body, lockset.Callbacks{
+				Blocking: func(held []lockset.Held, pos token.Pos, what string) {
+					if len(held) == 0 {
+						return
+					}
+					h := held[len(held)-1]
+					pass.Reportf(pos,
+						"%s while holding %s (acquired at %s): a blocked critical section stalls every other acquirer — do this outside the lock",
+						what, h.Name, pass.Position(h.Pos))
+				},
+				Call: func(held []lockset.Held, call *ast.CallExpr) {
+					if len(held) == 0 {
+						return
+					}
+					callee, isFn := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+					if !isFn {
+						return
+					}
+					if pkg := callee.Pkg(); pkg != nil && policy.AllowedUnderLock(pkg.Path()) {
+						return
+					}
+					full := callee.FullName()
+					why, blocking := policy.Blocking[full]
+					if !blocking {
+						return
+					}
+					allowed := policy.HeldExceptions[full]
+					for _, h := range held {
+						if allowed[h.ID] {
+							continue
+						}
+						pass.Reportf(call.Pos(),
+							"%s %s while %s is held (acquired at %s): a blocked critical section stalls every other acquirer — move it outside the lock or add a reviewed policy.HeldExceptions entry",
+							callee.Name(), why, h.Name, pass.Position(h.Pos))
+						return // one report per call is enough
+					}
+				},
+			})
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package lockheld
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer,
+		"repro/lockfix/held",       // intrinsic channel/select/sleep positives and negatives
+		"repro/internal/transport", // policy.Blocking facts + the reviewed HeldExceptions entry
+	)
+}

@@ -1,0 +1,46 @@
+// Package transport is a fixture stub: the Server.mu lock class resolves
+// to "repro/internal/transport.Server.mu", the exact key the reviewed
+// policy.HeldExceptions entries carry.
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/wal"
+)
+
+type Server struct {
+	mu  sync.Mutex
+	wal *wal.WAL
+	seq uint64
+}
+
+// The buffered WAL append under Server.mu is the log-before-mutate
+// durability design — the reviewed HeldExceptions entry, so no finding.
+func (s *Server) apply(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq, _ := s.wal.Append(rec)
+	s.seq = seq
+}
+
+// Commit fsyncs; holding the session lock across it stalls every client.
+func (s *Server) applyAndFsync(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.wal.Append(rec); err != nil {
+		return err
+	}
+	return s.wal.Commit() // want `Commit blocks on the WAL fsync frontier while Server\.mu is held`
+}
+
+// Fsync after release is the correct shape.
+func (s *Server) applyThenFsync(rec []byte) error {
+	s.mu.Lock()
+	_, err := s.wal.Append(rec)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.wal.Commit()
+}

@@ -1,0 +1,10 @@
+// Package wal is a fixture stub whose method full names match the real
+// repro/internal/wal, so the policy.Blocking and policy.HeldExceptions
+// tables key against it exactly as they do on the tree.
+package wal
+
+type WAL struct{}
+
+func (w *WAL) Append(rec []byte) (uint64, error)     { return 0, nil }
+func (w *WAL) AppendAt(seq uint64, rec []byte) error { return nil }
+func (w *WAL) Commit() error                         { return nil }

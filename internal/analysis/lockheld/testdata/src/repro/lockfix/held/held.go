@@ -1,0 +1,44 @@
+package held
+
+import (
+	"sync"
+	"time"
+)
+
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	ch    chan int
+}
+
+// Sleeping under the lock convoys every other acquirer.
+func (q *Queue) slowPush(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `Sleep sleeps while Queue\.mu is held`
+	q.items = append(q.items, v)
+}
+
+// A channel send can block until a receiver shows up.
+func (q *Queue) pushChan(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `channel send while holding Queue\.mu`
+	q.mu.Unlock()
+}
+
+// So can a receive.
+func (q *Queue) popChan() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `channel receive while holding Queue\.mu`
+}
+
+// A select without a default parks the goroutine with the lock held.
+func (q *Queue) waitEither(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select with no default while holding Queue\.mu`
+	case <-q.ch:
+	case <-done:
+	}
+}

@@ -1,0 +1,47 @@
+package held
+
+import (
+	"log/slog"
+	"time"
+)
+
+// A select with a default never blocks: it is the sanctioned way to poll
+// a channel inside a critical section.
+func (q *Queue) poll() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.ch:
+		q.items = append(q.items, v)
+		return true
+	default:
+		return false
+	}
+}
+
+// Structured logging under a lock is the allowed exception
+// (policy.AllowedUnderLock): slog handlers write to a local fd.
+func (q *Queue) logged(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	slog.Info("pushed", "v", v)
+	q.mu.Unlock()
+}
+
+// Blocking after the unlock is the correct shape.
+func (q *Queue) sleepAfter() {
+	q.mu.Lock()
+	q.items = nil
+	q.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// A closure handed to another goroutine does not inherit the spawner's
+// held set.
+func (q *Queue) spawn() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}

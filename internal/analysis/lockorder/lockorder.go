@@ -1,0 +1,280 @@
+// Package lockorder builds the mutex-acquisition graph — an edge A → B
+// for every site that acquires lock class B while holding lock class A,
+// directly or through a call — and diagnoses the two shapes that
+// deadlock: a lock re-acquired while already held (self-deadlock on Go's
+// non-reentrant mutexes), and a cycle in the graph (two paths that take
+// the same pair of locks in opposite orders deadlock the moment they
+// interleave).
+//
+// Lock identity is the declared field or variable ("transport.Server.mu",
+// "wal.WAL.flushMu"), not the instance: deadlock ordering is a property
+// of lock classes. Edges follow same-package calls transitively
+// (flow-insensitively: a callee that may acquire is treated as
+// acquiring) and cross package boundaries through the curated
+// policy.LockFacts table, which is how the transport → wal nesting
+// (Server.mu → WAL.mu on the append path) enters the graph.
+//
+// Because a callee's acquisition may be conditional, the re-entry
+// diagnosis distinguishes direct re-acquisition (always reported) from
+// re-entry through a call (reported — the *Locked naming convention
+// exists so helpers that expect the lock held never re-lock it).
+//
+// Set FEDLINT_LOCKGRAPH to a directory to dump each package's edges as a
+// DOT fragment — CI stitches them into the repo-wide reviewable graph.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockset"
+	"repro/internal/analysis/policy"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "build the mutex-acquisition graph and diagnose self-deadlocks and cyclic (inconsistent) " +
+		"acquisition orders before they can interleave into a real deadlock.",
+	Run: run,
+}
+
+// edge is one observed "to acquired while from held" pair with a
+// representative site.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	fromName string
+	toName   string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	acquires := lockset.Acquires(pass.Files, pass.TypesInfo, policy.LockFacts)
+
+	edges := make(map[[2]string]edge)
+	record := func(held []lockset.Held, toID, toName string, pos token.Pos) {
+		for _, h := range held {
+			if h.ID == toID {
+				continue // re-entry is reported separately, not an order edge
+			}
+			key := [2]string{h.ID, toID}
+			if _, seen := edges[key]; !seen {
+				edges[key] = edge{from: h.ID, to: toID, pos: pos, fromName: h.Name, toName: toName}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if policy.IsTestFile(pass.FileName(f)) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			lockset.WalkFunc(pass.TypesInfo, fd.Body, lockset.Callbacks{
+				Acquire: func(held []lockset.Held, acq lockset.Held) {
+					for _, h := range held {
+						if h.ID == acq.ID && !(h.Read && acq.Read) {
+							pass.Reportf(acq.Pos,
+								"lock %s acquired while already held (acquired at %s): Go mutexes are not reentrant, this deadlocks",
+								acq.Name, pass.Position(h.Pos))
+							return
+						}
+					}
+					record(held, acq.ID, acq.Name, acq.Pos)
+				},
+				Call: func(held []lockset.Held, call *ast.CallExpr) {
+					if len(held) == 0 {
+						return
+					}
+					callee, isFn := analysis.CalleeObject(pass.TypesInfo, call).(*types.Func)
+					if !isFn {
+						return
+					}
+					var ids map[string]token.Pos
+					if m, ok := acquires[callee]; ok {
+						ids = m
+					} else if facts := policy.LockFacts[callee.FullName()]; len(facts) > 0 {
+						ids = make(map[string]token.Pos, len(facts))
+						for _, id := range facts {
+							ids[id] = call.Pos()
+						}
+					}
+					for id := range ids {
+						for _, h := range held {
+							if h.ID == id {
+								pass.Reportf(call.Pos(),
+									"call to %s may re-acquire %s, which is already held (acquired at %s): use a *Locked variant or restructure",
+									callee.Name(), h.Name, pass.Position(h.Pos))
+							}
+						}
+						record(held, id, shortLock(id), call.Pos())
+					}
+				},
+			})
+		}
+	}
+
+	reportCycles(pass, edges)
+
+	if dir := os.Getenv("FEDLINT_LOCKGRAPH"); dir != "" && len(edges) > 0 {
+		writeGraph(pass, dir, edges)
+	}
+	return nil, nil
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports every edge inside one: each such edge is half of an
+// inconsistent-order pair.
+func reportCycles(pass *analysis.Pass, edges map[[2]string]edge) {
+	adj := make(map[string][]string)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	comp := scc(adj)
+
+	var keys [][2]string
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return edges[keys[i]].pos < edges[keys[j]].pos })
+	for _, key := range keys {
+		e := edges[key]
+		if comp[e.from] != comp[e.to] || comp[e.from] == 0 {
+			continue
+		}
+		// Both endpoints sit in one nontrivial SCC: name the reverse path's
+		// witness when it is a direct edge, so the diagnostic shows both
+		// halves of the inversion.
+		msg := fmt.Sprintf("%s is acquired while %s is held, but the acquisition graph also orders %s before %s — inconsistent lock order can deadlock",
+			e.toName, e.fromName, e.toName, e.fromName)
+		if rev, ok := edges[[2]string{e.to, e.from}]; ok {
+			msg = fmt.Sprintf("%s is acquired while %s is held, but at %s %s is acquired while %s is held — inconsistent lock order deadlocks when the two paths interleave",
+				e.toName, e.fromName, pass.Position(rev.pos), rev.toName, rev.fromName)
+		}
+		pass.Reportf(e.pos, "%s", msg)
+	}
+}
+
+// scc assigns each node a component id; nodes in a nontrivial strongly
+// connected component (size > 1 or self-loop) share a nonzero id, all
+// others get 0. Iterative Tarjan, small graphs.
+func scc(adj map[string][]string) map[string]int {
+	var nodes []string
+	seen := make(map[string]bool)
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 1, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// writeGraph dumps this package's edges as a DOT fragment into dir; the
+// CI lint job concatenates the fragments into the repo-wide graph
+// artifact. Failures are silent — the artifact is advisory, the
+// diagnostics are the gate.
+func writeGraph(pass *analysis.Pass, dir string, edges map[[2]string]edge) {
+	pkg := policy.Normalize(pass.PkgPath)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// lock-acquisition edges observed in %s\n", pkg)
+	var keys [][2]string
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		e := edges[key]
+		fmt.Fprintf(&b, "%q -> %q; // %s\n", e.from, e.to, pass.Position(e.pos))
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return
+	}
+	name := strings.ReplaceAll(pkg, "/", "__") + ".dot"
+	_ = os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o666)
+}
+
+// shortLock trims a lock ID to its display name ("pkg/path.Type.field" →
+// "Type.field").
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	if i := strings.Index(id, "."); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

@@ -1,0 +1,40 @@
+package lockorder
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checktest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	checktest.Run(t, "testdata", Analyzer, "repro/lockfix/order")
+}
+
+// TestLockGraphArtifact asserts the FEDLINT_LOCKGRAPH side channel dumps
+// the package's acquisition edges as a DOT fragment CI can stitch into
+// the repo-wide graph.
+func TestLockGraphArtifact(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("FEDLINT_LOCKGRAPH", dir)
+	probe := &analysis.Analyzer{Name: Analyzer.Name, Doc: Analyzer.Doc, Run: Analyzer.Run}
+	checktest.RunCollect(t, "testdata", probe, []string{"repro/lockfix/order"}, func(analysis.Diagnostic) {})
+
+	data, err := os.ReadFile(filepath.Join(dir, "repro__lockfix__order.dot"))
+	if err != nil {
+		t.Fatalf("reading lock graph fragment: %v", err)
+	}
+	got := string(data)
+	for _, edge := range []string{
+		`"repro/lockfix/order.muA" -> "repro/lockfix/order.muB";`,
+		`"repro/lockfix/order.muB" -> "repro/lockfix/order.muA";`,
+		`"repro/lockfix/order.muC" -> "repro/lockfix/order.muD";`,
+	} {
+		if !strings.Contains(got, edge) {
+			t.Errorf("lock graph fragment missing edge %s\ngot:\n%s", edge, got)
+		}
+	}
+}

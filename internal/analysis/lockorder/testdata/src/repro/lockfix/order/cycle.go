@@ -1,0 +1,21 @@
+package order
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// takeAB and takeBA disagree on acquisition order: the classic ABBA
+// deadlock the moment the two paths interleave.
+func takeAB() {
+	muA.Lock()
+	muB.Lock() // want `muB is acquired while muA is held`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func takeBA() {
+	muB.Lock()
+	muA.Lock() // want `muA is acquired while muB is held`
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -1,0 +1,39 @@
+package order
+
+import "sync"
+
+var muC, muD sync.Mutex
+
+// Consistent one-way nesting never deadlocks.
+func nestCD() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func nestCDAgain() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+// Release-then-reacquire is not re-entry.
+func relock() {
+	muC.Lock()
+	muC.Unlock()
+	muC.Lock()
+	muC.Unlock()
+}
+
+// A branch that unlocks and returns does not leak a stale held set into
+// the fall-through path.
+func branchy(cond bool) {
+	muC.Lock()
+	if cond {
+		muC.Unlock()
+		return
+	}
+	muC.Unlock()
+}

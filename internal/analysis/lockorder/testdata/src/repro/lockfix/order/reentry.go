@@ -1,0 +1,42 @@
+package order
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Direct re-acquisition: Go mutexes are not reentrant.
+func (b *Box) double() {
+	b.mu.Lock()
+	b.mu.Lock() // want `lock Box\.mu acquired while already held`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Re-entry through a same-package callee, found via the fixed-point
+// may-acquire summaries.
+func (b *Box) outer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inner() // want `call to inner may re-acquire Box\.mu`
+}
+
+func (b *Box) inner() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Stacked read locks are permitted: concurrent readers are the point of
+// an RWMutex (writer starvation is a latency concern, not a deadlock).
+func (b *Box) readers() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.rw.RLock()
+	n := b.n
+	b.rw.RUnlock()
+	return n
+}

@@ -1,0 +1,557 @@
+// Package lockset is the shared machinery behind fedlint's concurrency
+// analyzers (lockorder, lockheld): it recognizes sync.Mutex/RWMutex
+// acquisition and release calls, resolves each to a stable lock-class
+// identity (the declared field or variable, not the instance), and walks
+// function bodies flow-sensitively maintaining the set of locks held at
+// every statement.
+//
+// The walk is deliberately approximate in the directions that avoid false
+// positives on this repository's idioms:
+//
+//   - `defer mu.Unlock()` keeps the lock held until function exit (it is).
+//   - A branch that ends in a terminating statement (`if bad {
+//     mu.Unlock(); return err }`) does not leak its held-set changes into
+//     the code after the branch.
+//   - Two branches that both fall through merge by intersection, so a
+//     conditionally acquired lock is not reported as held afterwards.
+//   - Loop and switch bodies see the held set at entry; the set after the
+//     statement is the entry set (bodies are assumed lock-balanced, which
+//     every correct loop is).
+//   - Function literals get a fresh, empty held set: a closure usually
+//     runs on another goroutine (go, defer, AfterFunc), where the
+//     spawner's locks are not held.
+package lockset
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Op is a mutex operation kind.
+type Op int
+
+const (
+	OpLock Op = iota
+	OpRLock
+	OpUnlock
+	OpRUnlock
+)
+
+// Held is one acquired lock in the walker's current set.
+type Held struct {
+	// ID is the stable lock-class key: "pkg/path.Type.field" for a mutex
+	// struct field, "pkg/path.var" for a package-level mutex, and a
+	// position-qualified name for a local.
+	ID string
+	// Name is the short display form ("Server.mu").
+	Name string
+	// Pos is the acquisition site.
+	Pos token.Pos
+	// Read marks an RLock acquisition.
+	Read bool
+}
+
+// Callbacks receive the walker's events. Any callback may be nil.
+type Callbacks struct {
+	// Acquire fires when a lock is acquired, with the set held at that
+	// moment (not yet including the new lock).
+	Acquire func(held []Held, acq Held)
+	// Call fires for every non-mutex call expression evaluated with the
+	// given held set. Deferred calls and calls inside function literals do
+	// not fire (they run under a different held set).
+	Call func(held []Held, call *ast.CallExpr)
+	// Blocking fires for intrinsically blocking operations: channel send,
+	// channel receive, range over a channel, and select without a default.
+	// Operations inside a select's comm clauses do not fire separately —
+	// the select itself is the blocking point.
+	Blocking func(held []Held, pos token.Pos, what string)
+}
+
+// MutexOp reports whether call is a sync.Mutex / sync.RWMutex method call,
+// and if so which operation and on which lock class. TryLock variants are
+// ignored: they never block and their conditional result is beyond this
+// walker's flow model.
+func MutexOp(info *types.Info, call *ast.CallExpr) (lock Held, op Op, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return Held{}, 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = OpLock
+	case "RLock":
+		op = OpRLock
+	case "Unlock":
+		op = OpUnlock
+	case "RUnlock":
+		op = OpRUnlock
+	default:
+		return Held{}, 0, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Held{}, 0, false
+	}
+
+	// The method may be promoted through an embedded mutex (s.Lock() with
+	// `sync.Mutex` embedded in s): the selection's index path then runs
+	// through the embedded field, which is the lock.
+	if msel := info.Selections[sel]; msel != nil {
+		if idx := msel.Index(); len(idx) > 1 {
+			id, name, found := embeddedLockID(msel.Recv(), idx[:len(idx)-1])
+			if !found {
+				return Held{}, 0, false
+			}
+			return Held{ID: id, Name: name, Pos: call.Pos(), Read: op == OpRLock}, op, true
+		}
+	}
+	id, name, found := LockID(info, sel.X)
+	if !found {
+		return Held{}, 0, false
+	}
+	return Held{ID: id, Name: name, Pos: call.Pos(), Read: op == OpRLock}, op, true
+}
+
+// LockID resolves a mutex-valued expression to its lock-class identity.
+func LockID(info *types.Info, expr ast.Expr) (id, name string, ok bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			field := s.Obj()
+			owner, ownerPath := namedOwner(s.Recv())
+			if owner == "" {
+				return "", "", false
+			}
+			return ownerPath + "." + owner + "." + field.Name(), owner + "." + field.Name(), true
+		}
+		// Qualified package-level mutex: pkg.Mu.
+		if v, isVar := info.Uses[e.Sel].(*types.Var); isVar && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name(), v.Name(), true
+		}
+	case *ast.Ident:
+		v, isVar := info.Uses[e].(*types.Var)
+		if !isVar {
+			return "", "", false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), v.Name(), true
+		}
+		// A local mutex (or one reached through a local alias): identity is
+		// the declaration, which is stable within the pass.
+		return fmt.Sprintf("%s@%d", v.Name(), v.Pos()), v.Name(), true
+	}
+	return "", "", false
+}
+
+// embeddedLockID resolves the embedded-field path of a promoted mutex
+// method to the outermost struct's embedded lock field.
+func embeddedLockID(recv types.Type, path []int) (id, name string, ok bool) {
+	owner, ownerPath := namedOwner(recv)
+	if owner == "" || len(path) == 0 {
+		return "", "", false
+	}
+	st, isStruct := deref(recv).Underlying().(*types.Struct)
+	if !isStruct || path[0] >= st.NumFields() {
+		return "", "", false
+	}
+	field := st.Field(path[0])
+	return ownerPath + "." + owner + "." + field.Name(), owner + "." + field.Name(), true
+}
+
+// namedOwner returns the name and package path of the named type behind t
+// (through one level of pointer).
+func namedOwner(t types.Type) (name, pkgPath string) {
+	n, isNamed := deref(t).(*types.Named)
+	if !isNamed || n.Obj() == nil {
+		return "", ""
+	}
+	if p := n.Obj().Pkg(); p != nil {
+		pkgPath = p.Path()
+	}
+	return n.Obj().Name(), pkgPath
+}
+
+func deref(t types.Type) types.Type {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		return p.Elem()
+	}
+	return t
+}
+
+// WalkFunc walks one function body, tracking the held-lock set and firing
+// the callbacks.
+func WalkFunc(info *types.Info, body *ast.BlockStmt, cb Callbacks) {
+	w := &walker{info: info, cb: cb}
+	w.stmts(body.List, nil)
+}
+
+type walker struct {
+	info *types.Info
+	cb   Callbacks
+	// muteChan suppresses channel-op Blocking events while walking a
+	// select's comm clauses: the select statement is the blocking point.
+	muteChan int
+}
+
+// stmts walks a sequence, returning the fall-through held set and whether
+// the sequence definitely terminates (return / branch / panic).
+func (w *walker) stmts(list []ast.Stmt, held []Held) ([]Held, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *walker) stmt(s ast.Stmt, held []Held) ([]Held, bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, isCall := ast.Unparen(st.X).(*ast.CallExpr); isCall {
+			if lock, op, isMu := MutexOp(w.info, call); isMu {
+				switch op {
+				case OpLock, OpRLock:
+					if w.cb.Acquire != nil {
+						w.cb.Acquire(held, lock)
+					}
+					return append(clone(held), lock), false
+				case OpUnlock, OpRUnlock:
+					return release(held, lock.ID), false
+				}
+			}
+			if isPanicky(w.info, call) {
+				w.exprs(held, call.Args...)
+				return held, true
+			}
+		}
+		w.exprs(held, st.X)
+		return held, false
+
+	case *ast.SendStmt:
+		if w.muteChan == 0 && w.cb.Blocking != nil {
+			w.cb.Blocking(held, st.Arrow, "channel send")
+		}
+		w.exprs(held, st.Chan, st.Value)
+		return held, false
+
+	case *ast.AssignStmt:
+		w.exprs(held, st.Rhs...)
+		w.exprs(held, st.Lhs...)
+		return held, false
+
+	case *ast.IncDecStmt:
+		w.exprs(held, st.X)
+		return held, false
+
+	case *ast.DeclStmt:
+		if gd, isGen := st.Decl.(*ast.GenDecl); isGen {
+			for _, spec := range gd.Specs {
+				if vs, isVal := spec.(*ast.ValueSpec); isVal {
+					w.exprs(held, vs.Values...)
+				}
+			}
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		w.exprs(held, st.Results...)
+		return held, true
+
+	case *ast.BranchStmt:
+		return held, true
+
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function — exactly what the held set already says, so there is
+		// nothing to do. A deferred closure runs at return time under an
+		// unknown held set; walk it fresh. Other deferred calls have their
+		// arguments evaluated now but run later, so no Call event fires.
+		if _, op, isMu := MutexOp(w.info, st.Call); isMu && (op == OpUnlock || op == OpRUnlock) {
+			return held, false
+		}
+		if lit, isLit := ast.Unparen(st.Call.Fun).(*ast.FuncLit); isLit {
+			w.stmts(lit.Body.List, nil)
+		}
+		w.exprs(held, st.Call.Args...)
+		return held, false
+
+	case *ast.GoStmt:
+		if lit, isLit := ast.Unparen(st.Call.Fun).(*ast.FuncLit); isLit {
+			w.stmts(lit.Body.List, nil)
+		}
+		w.exprs(held, st.Call.Args...)
+		return held, false
+
+	case *ast.BlockStmt:
+		return w.stmts(st.List, held)
+
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		w.exprs(held, st.Cond)
+		thenHeld, thenTerm := w.stmts(st.Body.List, clone(held))
+		elseHeld, elseTerm := held, false
+		hasElse := st.Else != nil
+		if hasElse {
+			elseHeld, elseTerm = w.stmt(st.Else, clone(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersect(thenHeld, elseHeld), false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.exprs(held, st.Cond)
+		}
+		body := clone(held)
+		body, _ = w.stmts(st.Body.List, body)
+		if st.Post != nil {
+			w.stmt(st.Post, body)
+		}
+		return held, false
+
+	case *ast.RangeStmt:
+		w.exprs(held, st.X)
+		if tv, found := w.info.Types[st.X]; found {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && w.muteChan == 0 && w.cb.Blocking != nil {
+				w.cb.Blocking(held, st.Range, "range over channel")
+			}
+		}
+		w.stmts(st.Body.List, clone(held))
+		return held, false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.exprs(held, st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				w.exprs(held, cc.List...)
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+		return held, false
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = w.stmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+		return held, false
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && w.muteChan == 0 && w.cb.Blocking != nil {
+			w.cb.Blocking(held, st.Pos(), "select with no default")
+		}
+		for _, c := range st.Body.List {
+			cc, isComm := c.(*ast.CommClause)
+			if !isComm {
+				continue
+			}
+			if cc.Comm != nil {
+				w.muteChan++
+				w.stmt(cc.Comm, held)
+				w.muteChan--
+			}
+			w.stmts(cc.Body, clone(held))
+		}
+		return held, false
+	}
+	return held, false
+}
+
+// exprs walks expressions for calls, channel receives, and function
+// literals.
+func (w *walker) exprs(held []Held, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				w.stmts(x.Body.List, nil)
+				return false
+			case *ast.CallExpr:
+				if _, _, isMu := MutexOp(w.info, x); isMu {
+					return true
+				}
+				if w.cb.Call != nil {
+					w.cb.Call(held, x)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && w.muteChan == 0 && w.cb.Blocking != nil {
+					w.cb.Blocking(held, x.OpPos, "channel receive")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPanicky reports whether the call never returns (panic, os.Exit,
+// log.Fatal*, testing Fatal*), terminating the current path.
+func isPanicky(info *types.Info, call *ast.CallExpr) bool {
+	obj := analysis.CalleeObject(info, call)
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return obj.Name() == "panic"
+	}
+	switch obj.Pkg().Path() {
+	case "os":
+		return obj.Name() == "Exit"
+	case "log":
+		return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "Fatalln"
+	case "testing":
+		return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "FailNow" || obj.Name() == "Skip" || obj.Name() == "Skipf" || obj.Name() == "SkipNow"
+	}
+	return false
+}
+
+func clone(held []Held) []Held {
+	return append([]Held(nil), held...)
+}
+
+// release removes the most recent acquisition of id; unlocking a lock the
+// function never acquired (the *Locked callee convention) is a no-op.
+func release(held []Held, id string) []Held {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].ID == id {
+			return append(clone(held[:i]), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// intersect keeps the locks present in both branches, preserving a's
+// order.
+func intersect(a, b []Held) []Held {
+	var out []Held
+	for _, h := range a {
+		for _, g := range b {
+			if h.ID == g.ID {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Acquires computes, for every package-level function and method with a
+// body, the set of lock IDs it may acquire — directly, transitively
+// through same-package static calls, and through the cross-package lock
+// facts table (callee full name → acquired lock IDs). The result maps
+// each function to lockID → one representative acquisition site.
+func Acquires(files []*ast.File, info *types.Info, facts map[string][]string) map[*types.Func]map[string]token.Pos {
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	byObj := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, isFunc := d.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			fn, isFn := info.Defs[fd.Name].(*types.Func)
+			if !isFn {
+				continue
+			}
+			decls = append(decls, fnDecl{fn, fd.Body})
+			byObj[fn] = fd.Body
+		}
+	}
+
+	acquires := make(map[*types.Func]map[string]token.Pos, len(decls))
+	callees := make(map[*types.Func][]*types.Func, len(decls))
+	add := func(fn *types.Func, id string, pos token.Pos) bool {
+		m := acquires[fn]
+		if m == nil {
+			m = make(map[string]token.Pos)
+			acquires[fn] = m
+		}
+		if _, seen := m[id]; seen {
+			return false
+		}
+		m[id] = pos
+		return true
+	}
+
+	for _, d := range decls {
+		ast.Inspect(d.body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // closures usually run on another goroutine
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if lock, op, isMu := MutexOp(info, call); isMu && (op == OpLock || op == OpRLock) {
+				add(d.fn, lock.ID, call.Pos())
+				return true
+			}
+			if callee, isFn := analysis.CalleeObject(info, call).(*types.Func); isFn {
+				if _, local := byObj[callee]; local {
+					callees[d.fn] = append(callees[d.fn], callee)
+				} else {
+					for _, id := range facts[callee.FullName()] {
+						add(d.fn, id, call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			for _, callee := range callees[d.fn] {
+				for id, pos := range acquires[callee] {
+					if add(d.fn, id, pos) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquires
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"go/token"
+)
+
+// fixFile writes src to a temp file and registers it in a FileSet so
+// TextEdit positions resolve to real byte offsets, mirroring what the
+// unitchecker sees after parsing.
+func fixFile(t *testing.T, src string) (string, *token.FileSet, func(off int) token.Pos) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	tf := fset.AddFile(path, -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	return path, fset, tf.Pos
+}
+
+// TestApplyFixes exercises the `fedlint -fix` edit application: a
+// replacement and an insertion in one file, applied last-offset-first so
+// earlier offsets stay valid.
+func TestApplyFixes(t *testing.T) {
+	src := "package p\n\nconst s = \"expired\"\n"
+	path, fset, pos := fixFile(t, src)
+
+	lit := strings.Index(src, `"expired"`)
+	nl := strings.LastIndex(src, "\n")
+	diags := []namedDiag{
+		{analyzer: "errcode", diag: Diagnostic{
+			Pos: pos(lit),
+			SuggestedFixes: []SuggestedFix{{
+				Message: `replace "expired" with wire.CodeExpired`,
+				TextEdits: []TextEdit{{
+					Pos: pos(lit), End: pos(lit + len(`"expired"`)), NewText: []byte("wire.CodeExpired"),
+				}},
+			}},
+		}},
+		{analyzer: "exhaustenum", diag: Diagnostic{
+			Pos: pos(nl),
+			SuggestedFixes: []SuggestedFix{{
+				Message: "append a trailer",
+				// End unset: a pure insertion, the exhaustenum case-clause shape.
+				TextEdits: []TextEdit{{Pos: pos(nl), NewText: []byte("\n// trailer")}},
+			}},
+		}},
+	}
+	if code := applyFixes(fset, diags); code != 0 {
+		t.Fatalf("applyFixes = %d, want 0", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package p\n\nconst s = wire.CodeExpired\n// trailer\n"
+	if string(got) != want {
+		t.Errorf("fixed file:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestApplyFixesUnfixable: diagnostics without suggested fixes are
+// reported and the exit code says "findings remain".
+func TestApplyFixesUnfixable(t *testing.T) {
+	src := "package p\n"
+	path, fset, pos := fixFile(t, src)
+	diags := []namedDiag{
+		{analyzer: "lockheld", diag: Diagnostic{Pos: pos(0), Message: "no mechanical fix"}},
+	}
+	if code := applyFixes(fset, diags); code != 1 {
+		t.Fatalf("applyFixes = %d, want 1 for an unfixable diagnostic", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Errorf("file changed despite no applicable fixes:\n%q", got)
+	}
+}
+
+// TestApplyFixesOverlap: of two fixes whose edits overlap, exactly one
+// is applied; the file is never corrupted by double-splicing.
+func TestApplyFixesOverlap(t *testing.T) {
+	src := "package p\n\nvar x = 12345\n"
+	path, fset, pos := fixFile(t, src)
+	num := strings.Index(src, "12345")
+	mk := func(start, end int, text string) namedDiag {
+		return namedDiag{analyzer: "t", diag: Diagnostic{
+			Pos: pos(start),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "rewrite",
+				TextEdits: []TextEdit{{Pos: pos(start), End: pos(end), NewText: []byte(text)}},
+			}},
+		}}
+	}
+	diags := []namedDiag{
+		mk(num, num+4, "9"),   // replaces "1234"
+		mk(num+2, num+5, "8"), // overlaps; applied first (higher offset), shadows the other
+	}
+	if code := applyFixes(fset, diags); code != 0 {
+		t.Fatalf("applyFixes = %d, want 0", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package p\n\nvar x = 128\n"
+	if string(got) != want {
+		t.Errorf("fixed file:\n%q\nwant:\n%q", got, want)
+	}
+}

@@ -194,8 +194,8 @@ func TestOverloadSoak(t *testing.T) {
 	shed := reg.CounterVec(transport.MetricOverloadShed, "", "class", "reason")
 	var shedTotal uint64
 	for _, class := range []string{"report", "task", "admin", "query"} {
-		for _, reason := range []string{transport.ShedQueueFull, transport.ShedQueueTimeout, transport.ShedAbandoned} {
-			shedTotal += shed.With(class, reason).Value()
+		for _, reason := range []transport.ShedReason{transport.ShedQueueFull, transport.ShedQueueTimeout, transport.ShedAbandoned} {
+			shedTotal += shed.With(class, string(reason)).Value()
 		}
 	}
 	t.Logf("overload soak: %d/%d clients through, cohort %d, %d sheds, %d typed rejects seen",

@@ -180,7 +180,7 @@ func TestTraceCompletenessUnderChaos(t *testing.T) {
 	if len(events) >= 256 {
 		t.Fatalf("timeline ring overflowed (%d events); shrink the soak", len(events))
 	}
-	kinds := map[string]int{}
+	kinds := map[transport.RoundKind]int{}
 	for _, ev := range events {
 		kinds[ev.Kind]++
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -141,4 +142,71 @@ func TestNotPrimaryWithoutAlternativeIsFatal(t *testing.T) {
 	if attempts != 0 {
 		t.Errorf("client backed off %d times against a node that said not_primary", attempts)
 	}
+}
+
+// TestEndpointListConcurrentAdvance audits the rotation's
+// compare-before-advance under the race detector: a burst of clients
+// that all watched the same endpoint fail must advance the list once —
+// not once each, which would spin the rotation past the healthy node.
+func TestEndpointListConcurrentAdvance(t *testing.T) {
+	e := NewEndpointList("http://a:1,http://b:2,http://c:3")
+	failed := e.Current()
+	var wg sync.WaitGroup
+	for range 32 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Advance(failed)
+		}()
+	}
+	wg.Wait()
+	if got := e.Current(); got != "http://b:2" {
+		t.Fatalf("32 concurrent Advance(%q) calls landed on %q, want one step to http://b:2", failed, got)
+	}
+}
+
+// TestEndpointListConcurrentChurn storms rotation, leader hints, and
+// readers together; the invariant is only that Current always names a
+// member of the list (the race detector does the rest).
+func TestEndpointListConcurrentChurn(t *testing.T) {
+	e := NewEndpointList("http://a:1,http://b:2,http://c:3")
+	known := map[string]bool{"http://a:1": true, "http://b:2": true, "http://c:3": true}
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 200 {
+				e.Advance(e.Current())
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range 200 {
+			if i%2 == 0 {
+				e.SetLeader("http://b:2")
+			} else {
+				e.SetLeader("http://c:3")
+			}
+		}
+	}()
+	for range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 200 {
+				if cur := e.Current(); !known[cur] {
+					t.Errorf("Current returned %q, not a list member", cur)
+					return
+				}
+				if n := e.Len(); n != len(e.URLs()) {
+					t.Errorf("Len %d disagrees with URLs", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

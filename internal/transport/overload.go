@@ -27,16 +27,22 @@ const (
 	gateQuery  = "query"  // GET  /v1/sessions, GET .../result
 )
 
+// ShedReason classifies why admission control refused a request. It is
+// a distinct type so switches over it are exhaustiveness-checked
+// (fedlint exhaustenum): a dashboard or renderer that forgets a newly
+// added reason fails the lint instead of silently dropping the label.
+type ShedReason string
+
 // Overload-shedding reasons, the values of the shed metric's reason label.
 const (
 	// ShedQueueFull marks a request refused because the class's wait
 	// queue was already at capacity.
-	ShedQueueFull = "queue_full"
+	ShedQueueFull ShedReason = "queue_full"
 	// ShedQueueTimeout marks a waiter that timed out before a slot freed.
-	ShedQueueTimeout = "queue_timeout"
+	ShedQueueTimeout ShedReason = "queue_timeout"
 	// ShedAbandoned marks a waiter whose client disconnected while
 	// queued.
-	ShedAbandoned = "abandoned"
+	ShedAbandoned ShedReason = "abandoned"
 )
 
 // DefaultMaxBodyBytes caps POST bodies when OverloadPolicy.MaxBodyBytes
@@ -104,7 +110,7 @@ func (p OverloadPolicy) maxBody() int64 {
 // Shed* constants.
 type errShed struct {
 	class  string
-	reason string
+	reason ShedReason
 }
 
 func (e *errShed) Error() string {
@@ -329,19 +335,19 @@ func (s *Server) gated(class string, h http.HandlerFunc) http.HandlerFunc {
 		_, sp := trace.Start(r.Context(), "server.admit")
 		sp.Attr("class", class)
 		err := g.acquire(r.Context())
-		reason := ""
+		reason := ShedReason("")
 		if err != nil {
 			var shed *errShed
 			reason = ShedQueueFull
 			if errors.As(err, &shed) {
 				reason = shed.reason
 			}
-			sp.Attr("shed", reason)
+			sp.Attr("shed", string(reason))
 		}
 		sp.End()
 		if err != nil {
-			s.metrics.shed.With(class, reason).Inc()
-			s.roundEvent(r.PathValue("id"), RoundShed, "", reason, 0, class)
+			s.metrics.shed.With(class, string(reason)).Inc()
+			s.roundEvent(r.PathValue("id"), RoundShed, "", string(reason), 0, class)
 			s.writeUnavailable(w, http.StatusServiceUnavailable, wire.CodeUnavailable,
 				err, s.shedder().advise(s.now()))
 			return

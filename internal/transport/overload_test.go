@@ -269,7 +269,7 @@ func TestServerShedsTyped503(t *testing.T) {
 		t.Fatalf("retry_after_seconds = %v, want > 0", e.RetryAfter)
 	}
 	shed := s.Registry().CounterVec(MetricOverloadShed, "", "class", "reason")
-	if got := shed.With(gateReport, ShedQueueFull).Value(); got != 1 {
+	if got := shed.With(gateReport, string(ShedQueueFull)).Value(); got != 1 {
 		t.Fatalf("shed{report,queue_full} = %d, want 1", got)
 	}
 	// Liveness and readiness are never gated: both answer while the

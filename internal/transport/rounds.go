@@ -9,34 +9,41 @@ import (
 	"time"
 )
 
+// RoundKind names one lifecycle event kind in a session's round
+// timeline. It is a distinct type so switches over it are checked for
+// exhaustiveness by fedlint's exhaustenum analyzer: a renderer or
+// aggregator that forgets a newly added kind fails the lint, not the
+// operator reading an incomplete timeline.
+type RoundKind string
+
 // Round lifecycle event kinds, the Kind values of RoundEvent. Together
 // they tell one session's story in order: creation, task assignments,
 // each report's fate (with shed/ratelimit reasons), WAL commit latency,
 // chaos faults seen, the straggler deadline firing, finalize, and the
 // estimate emit.
 const (
-	RoundSessionCreate   = "session_create"
-	RoundTaskAssign      = "task_assign"
-	RoundReportAccept    = "report_accept"
-	RoundReportDuplicate = "report_duplicate"
-	RoundReportReject    = "report_reject"
-	RoundReportRatelimit = "report_ratelimited"
-	RoundShed            = "shed"
-	RoundWALCommit       = "wal_commit"
-	RoundChaosFault      = "chaos_fault"
-	RoundDeadline        = "deadline"
-	RoundFinalize        = "finalize"
-	RoundEstimate        = "estimate"
-	RoundExpire          = "expire"
+	RoundSessionCreate   RoundKind = "session_create"
+	RoundTaskAssign      RoundKind = "task_assign"
+	RoundReportAccept    RoundKind = "report_accept"
+	RoundReportDuplicate RoundKind = "report_duplicate"
+	RoundReportReject    RoundKind = "report_reject"
+	RoundReportRatelimit RoundKind = "report_ratelimited"
+	RoundShed            RoundKind = "shed"
+	RoundWALCommit       RoundKind = "wal_commit"
+	RoundChaosFault      RoundKind = "chaos_fault"
+	RoundDeadline        RoundKind = "deadline"
+	RoundFinalize        RoundKind = "finalize"
+	RoundEstimate        RoundKind = "estimate"
+	RoundExpire          RoundKind = "expire"
 	// RoundPromote marks a failover takeover: the node serving this
 	// timeline became primary mid-round (detail carries the new epoch).
-	RoundPromote = "promote"
+	RoundPromote RoundKind = "promote"
 )
 
 // RoundEvent is one typed entry in a session's lifecycle timeline.
 type RoundEvent struct {
 	At     time.Time `json:"at"`
-	Kind   string    `json:"kind"`
+	Kind   RoundKind `json:"kind"`
 	Client string    `json:"client,omitempty"`
 	// Reason qualifies the kind: the shed/ratelimit/reject reason, the
 	// finalize trigger (api or deadline), or the injected fault class.
@@ -79,7 +86,7 @@ func newRoundTable() *roundTable {
 
 // event appends one entry to the session's ring, creating (and, beyond
 // the table cap, evicting the least-recently-touched) as needed.
-func (t *roundTable) event(at time.Time, session, kind, client, reason string, d time.Duration, detail string) {
+func (t *roundTable) event(at time.Time, session string, kind RoundKind, client, reason string, d time.Duration, detail string) {
 	if t == nil || session == "" {
 		return
 	}
@@ -197,7 +204,7 @@ type RoundTimeline struct {
 // roundEvent records one timeline entry when the round store is armed
 // (SetTracer); disabled it is a nil-check and costs nothing. Safe to call
 // with or without s.mu held — the table has its own lock.
-func (s *Server) roundEvent(session, kind, client, reason string, d time.Duration, detail string) {
+func (s *Server) roundEvent(session string, kind RoundKind, client, reason string, d time.Duration, detail string) {
 	rt := s.rounds.Load()
 	if rt == nil {
 		return
@@ -208,7 +215,7 @@ func (s *Server) roundEvent(session, kind, client, reason string, d time.Duratio
 // RecordRoundEvent appends one externally observed event to a session's
 // timeline — the hook chaos glue uses to stamp injected fault classes
 // into the round story. A server without SetTracer records nothing.
-func (s *Server) RecordRoundEvent(sessionID, kind, client, reason string, d time.Duration) {
+func (s *Server) RecordRoundEvent(sessionID string, kind RoundKind, client, reason string, d time.Duration) {
 	s.roundEvent(sessionID, kind, client, reason, d, "")
 }
 

@@ -120,7 +120,7 @@ func TestRoundTimelineLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	kinds := map[string]int{}
+	kinds := map[RoundKind]int{}
 	var rejectReason string
 	for _, ev := range s.RoundEvents(id) {
 		kinds[ev.Kind]++
@@ -128,7 +128,7 @@ func TestRoundTimelineLifecycle(t *testing.T) {
 			rejectReason = ev.Reason
 		}
 	}
-	for _, want := range []string{RoundSessionCreate, RoundTaskAssign, RoundReportAccept,
+	for _, want := range []RoundKind{RoundSessionCreate, RoundTaskAssign, RoundReportAccept,
 		RoundReportDuplicate, RoundReportReject, RoundFinalize, RoundEstimate} {
 		if kinds[want] == 0 {
 			t.Errorf("timeline missing %s event (got %v)", want, kinds)

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -478,5 +480,54 @@ func TestSizeBytesGrowsAndSurvivesReopen(t *testing.T) {
 	defer re.Close()
 	if got := re.SizeBytes(); got != size {
 		t.Fatalf("reopened SizeBytes = %d, want %d", got, size)
+	}
+}
+
+// TestScanDirRefusesInteriorCorruption pins the salvage hard-error path:
+// a flipped byte inside a record that has intact records behind it is
+// damage, not a torn tail. ScanDir must refuse with ErrCorrupt rather
+// than silently truncating committed history at the defect — a standby
+// promoted over a quietly shortened log would ack data it never saw.
+func TestScanDirRefusesInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	w := smallSegs(t, dir)
+	appendN(t, w, 0, 12)
+	w.mu.Lock()
+	active := segmentPath(dir, w.segBase)
+	w.mu.Unlock()
+	// The log belongs to a "dead" process: no Close, files as the OS left
+	// them.
+
+	data, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First frame: 4-byte length, 4-byte CRC, payload. Flip a payload
+	// byte; the frame stays boundable and the records behind it intact,
+	// so the defect is interior, not torn.
+	n := int64(binary.LittleEndian.Uint32(data))
+	if int64(len(data)) <= headerBytes+n {
+		t.Fatalf("active segment holds a single record (%d bytes); corruption would look torn", len(data))
+	}
+	data[headerBytes] ^= 0xFF
+	if err := os.WriteFile(active, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []uint64
+	err = ScanDir(dir, 1, func(seq uint64, payload []byte) error {
+		got = append(got, seq)
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ScanDir over interior damage = %v (delivered seqs %v), want ErrCorrupt", err, got)
+	}
+	// Refusal is read-only: the damaged evidence stays on disk untouched.
+	after, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, data) {
+		t.Fatal("ScanDir modified the damaged segment")
 	}
 }

@@ -742,8 +742,8 @@ func (w *WAL) Close() error {
 		<-w.flushDone
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return ErrClosed
 	}
 	w.closed = true
@@ -751,11 +751,17 @@ func (w *WAL) Close() error {
 		close(w.tailWait)
 		w.tailWait = nil
 	}
+	// Seal outside the lock: once closed is set every other path returns
+	// ErrClosed before touching the file, so holding mu across the final
+	// fsync would only stall those callers on a disk wait.
+	f, dirty := w.f, w.segCount > 0
+	w.mu.Unlock()
+
 	var err error
-	if w.segCount > 0 {
-		err = w.f.Sync()
+	if dirty {
+		err = f.Sync()
 	}
-	if cerr := w.f.Close(); err == nil {
+	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	w.flushMu.Lock()
