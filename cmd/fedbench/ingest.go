@@ -1,0 +1,312 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// fedbench -ingest: an ingestion load generator for the report path. It
+// drives a swarm of concurrent submitters against a fednumd — a live
+// one via -ingest-url, or an in-process server on a real loopback
+// listener by default — sweeping submitter count × batch size ×
+// JSON-vs-binary codec, and reports sustained reports/sec plus request
+// latency percentiles per grid cell as JSON.
+//
+// Each cell gets a fresh session and a pool of pre-assigned clients
+// (assignment cost is setup, not measurement). The swarm then submits
+// continuously for the measurement window: the first pass over the pool
+// accepts every report, later passes re-ack as duplicates — both paths
+// run the full acceptance machine, and the accepted/duplicate split is
+// reported so the two regimes stay distinguishable.
+
+// ingestOptions configures one load-generator run.
+type ingestOptions struct {
+	// TargetURL is a running fednumd's base URL; empty starts an
+	// in-process server (seeded with Seed) on a loopback listener.
+	TargetURL string
+	// Duration is the measurement window per grid cell.
+	Duration time.Duration
+	// Short selects the calibration grid: one small cell per codec, for
+	// CI smoke coverage rather than steady-state numbers.
+	Short bool
+	Seed  uint64
+}
+
+// ingestCell is one grid cell's measurement.
+type ingestCell struct {
+	Codec         string  `json:"codec"`   // "json" or "binary"
+	Clients       int     `json:"clients"` // concurrent submitters
+	Batch         int     `json:"batch"`   // reports per request (1 on the JSON codec)
+	Requests      uint64  `json:"requests"`
+	Reports       uint64  `json:"reports"`
+	Accepted      uint64  `json:"accepted"`
+	Duplicate     uint64  `json:"duplicate"`
+	Seconds       float64 `json:"seconds"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP90  float64 `json:"latency_ms_p90"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+}
+
+// ingestSummary is the machine-readable output of -ingest.
+type ingestSummary struct {
+	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Target     string       `json:"target"`
+	Short      bool         `json:"short,omitempty"`
+	Cells      []ingestCell `json:"cells"`
+	// BinaryVsJSONSpeedup compares the best batched-binary cell against
+	// the best single-report JSON cell at the same submitter count:
+	// sustained reports/sec ratio.
+	BinaryVsJSONSpeedup float64 `json:"binary_vs_json_speedup"`
+}
+
+// ingestClient is one pre-assigned pool member.
+type ingestClient struct {
+	id  string
+	bit int
+}
+
+func runIngest(opts ingestOptions, out io.Writer, jsonPath string) error {
+	base := opts.TargetURL
+	target := base
+	if base == "" {
+		srv := httptest.NewServer(transport.NewServer(opts.Seed))
+		defer srv.Close()
+		base = srv.URL
+		target = "in-process"
+	}
+	type cellSpec struct {
+		codec   string
+		clients int
+		batch   int
+	}
+	var grid []cellSpec
+	if opts.Short {
+		grid = []cellSpec{
+			{"json", 4, 1},
+			{"binary", 4, 256},
+		}
+	} else {
+		for _, c := range []int{1, 4, 16} {
+			grid = append(grid, cellSpec{"json", c, 1})
+		}
+		for _, c := range []int{1, 4, 16} {
+			for _, b := range []int{16, 128, 512} {
+				grid = append(grid, cellSpec{"binary", c, b})
+			}
+		}
+	}
+	sum := &ingestSummary{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Target:     target,
+		Short:      opts.Short,
+	}
+	for _, spec := range grid {
+		cell, err := runIngestCell(base, spec.codec, spec.clients, spec.batch, opts.Duration)
+		if err != nil {
+			return fmt.Errorf("ingest cell %s/c%d/b%d: %w", spec.codec, spec.clients, spec.batch, err)
+		}
+		sum.Cells = append(sum.Cells, *cell)
+		fmt.Fprintf(out, "%-6s clients=%-3d batch=%-4d  %10.0f reports/s  p50 %.2fms  p99 %.2fms\n",
+			cell.Codec, cell.Clients, cell.Batch, cell.ReportsPerSec, cell.LatencyMsP50, cell.LatencyMsP99)
+	}
+	sum.BinaryVsJSONSpeedup = ingestSpeedup(sum.Cells)
+	fmt.Fprintf(out, "batched binary vs single-report JSON: %.1fx\n", sum.BinaryVsJSONSpeedup)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestSpeedup compares the best binary and JSON cells sharing the
+// highest common submitter count.
+func ingestSpeedup(cells []ingestCell) float64 {
+	best := map[string]map[int]float64{"json": {}, "binary": {}}
+	for _, c := range cells {
+		if c.ReportsPerSec > best[c.Codec][c.Clients] {
+			best[c.Codec][c.Clients] = c.ReportsPerSec
+		}
+	}
+	speedup, clients := 0.0, -1
+	for n, j := range best["json"] {
+		if b, ok := best["binary"][n]; ok && j > 0 && n > clients {
+			clients, speedup = n, b/j
+		}
+	}
+	return speedup
+}
+
+// runIngestCell measures one grid cell: set up a fresh session and an
+// assigned client pool, then run the swarm for the window.
+func runIngestCell(base, codec string, clients, batch int, window time.Duration) (*ingestCell, error) {
+	ctx := context.Background()
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+	defer hc.CloseIdleConnections()
+	admin := &transport.Admin{BaseURL: base, HTTPClient: hc}
+	session, err := admin.CreateSession(ctx, wire.SessionConfig{
+		Feature: fmt.Sprintf("ingest-%s-c%d-b%d", codec, clients, batch),
+		Bits:    8, Gamma: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pool: one batch worth of unique clients per submitter, tasks
+	// assigned before the clock starts.
+	pools := make([][]ingestClient, clients)
+	var pg sync.WaitGroup
+	perr := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		pg.Add(1)
+		go func(w int) {
+			defer pg.Done()
+			pool := make([]ingestClient, 0, batch)
+			for k := 0; k < batch; k++ {
+				id := fmt.Sprintf("%s-c%d-b%d-w%d-k%d", codec, clients, batch, w, k)
+				p := &transport.Participant{BaseURL: base, ClientID: id, HTTPClient: hc}
+				task, err := p.FetchTask(ctx, session)
+				if err != nil {
+					perr <- err
+					return
+				}
+				pool = append(pool, ingestClient{id: id, bit: task.Bit})
+			}
+			pools[w] = pool
+		}(w)
+	}
+	pg.Wait()
+	close(perr)
+	for err := range perr {
+		return nil, err
+	}
+	// Swarm: every submitter loops over its pool until the deadline.
+	type workerStats struct {
+		requests, reports, accepted, duplicate uint64
+		lat                                    []float64 // milliseconds per request
+	}
+	stats := make([]workerStats, clients)
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	werr := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			pool := pools[w]
+			if codec == "binary" {
+				br := &transport.BinaryReporter{BaseURL: base, HTTPClient: hc}
+				for time.Now().Before(deadline) {
+					for _, c := range pool {
+						if err := br.Add(c.id, c.bit, 1); err != nil {
+							werr <- err
+							return
+						}
+					}
+					t0 := time.Now()
+					acks, err := br.Flush(ctx, session)
+					if err != nil {
+						werr <- err
+						return
+					}
+					st.lat = append(st.lat, float64(time.Since(t0).Microseconds())/1000)
+					st.requests++
+					st.reports += uint64(len(acks))
+					for _, a := range acks {
+						switch a {
+						case wire.AckAccepted:
+							st.accepted++
+						case wire.AckDuplicate:
+							st.duplicate++
+						case wire.AckInvalidValue, wire.AckNoTask, wire.AckWrongBit, wire.AckConflict:
+							werr <- fmt.Errorf("swarm report rejected: %v", a)
+							return
+						}
+					}
+				}
+				return
+			}
+			p := &transport.Participant{BaseURL: base, ClientID: "swarm", HTTPClient: hc}
+			i := 0
+			for time.Now().Before(deadline) {
+				c := pool[i%len(pool)]
+				i++
+				t0 := time.Now()
+				ack, err := p.SubmitReport(ctx, session, wire.Report{ClientID: c.id, Bit: c.bit, Value: 1})
+				if err != nil {
+					werr <- err
+					return
+				}
+				st.lat = append(st.lat, float64(time.Since(t0).Microseconds())/1000)
+				st.requests++
+				st.reports++
+				switch {
+				case ack.Duplicate:
+					st.duplicate++
+				case ack.Accepted:
+					st.accepted++
+				default:
+					werr <- fmt.Errorf("swarm report rejected: %s", ack.Reason)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(werr)
+	for err := range werr {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	cell := &ingestCell{Codec: codec, Clients: clients, Batch: batch, Seconds: elapsed}
+	var lat []float64
+	for i := range stats {
+		cell.Requests += stats[i].requests
+		cell.Reports += stats[i].reports
+		cell.Accepted += stats[i].accepted
+		cell.Duplicate += stats[i].duplicate
+		lat = append(lat, stats[i].lat...)
+	}
+	if elapsed > 0 {
+		cell.ReportsPerSec = float64(cell.Reports) / elapsed
+	}
+	sort.Float64s(lat)
+	cell.LatencyMsP50 = percentile(lat, 0.50)
+	cell.LatencyMsP90 = percentile(lat, 0.90)
+	cell.LatencyMsP99 = percentile(lat, 0.99)
+	return cell, nil
+}
+
+// percentile reads the p-quantile off a sorted sample, 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -69,17 +69,25 @@ var Blocking = map[string]string{
 // allows despite the callee appearing in Blocking. Entries record a
 // reviewed decision, not an escape hatch:
 //
-//   - WAL appends under transport.Server.mu are the durability design
+//   - WAL appends under the transport locks are the durability design
 //     itself (log-before-mutate): Append only buffers the record — the
-//     fsync (Commit) happens after the session lock is released, so the
-//     append under the lock costs an in-memory copy, not a disk wait.
+//     fsync (Commit) happens after the lock is released, so the append
+//     under the lock costs an in-memory copy, not a disk wait. With the
+//     striped session table the record-ordering lock is the owning
+//     stripe's mutex for create/delete and the session's own mutex for
+//     assignment/report/finalize/expire; Server.mu stays listed for the
+//     replay and replication apply paths that still run under it.
 //   - WAL appends under the WAL's own mu are how the WAL is implemented.
 var HeldExceptions = map[string]map[string]bool{
 	"(*repro/internal/wal.WAL).Append": {
-		"repro/internal/transport.Server.mu": true,
+		"repro/internal/transport.Server.mu":      true,
+		"repro/internal/transport.tableStripe.mu": true,
+		"repro/internal/transport.session.mu":     true,
 	},
 	"(*repro/internal/wal.WAL).AppendAt": {
-		"repro/internal/transport.Server.mu": true,
+		"repro/internal/transport.Server.mu":      true,
+		"repro/internal/transport.tableStripe.mu": true,
+		"repro/internal/transport.session.mu":     true,
 	},
 	// Cond.Wait must be called with the condition's own lock held — and
 	// atomically releases it while parked, so it never stalls the other

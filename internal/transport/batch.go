@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport/wire"
+)
+
+// Batched report ingestion: the binary codec's server side. A batch
+// frame carries up to wire.MaxBatchReports one-bit reports for one
+// session in a single POST body; every record runs the same acceptance
+// machine as a JSON report (ingestReport), the whole batch is charged
+// to the session's rate bucket once, and a single WAL commit covers
+// every accepted record before any ack leaves the server — hundreds of
+// fsync-bound round trips collapse into one.
+//
+// Failure semantics: per-record outcomes (duplicate, conflict, no
+// task, wrong bit, bad value) are ack statuses, not errors. A failure
+// of the whole request — unknown session, expired, finalized, rate
+// limit, durability — is the ordinary JSON error envelope; records
+// appended to the WAL before such a failure were never acked, and a
+// client retry re-acks them as duplicates, so retrying the whole batch
+// is always safe.
+
+// batchBuffers is the per-request scratch of the binary path — body,
+// ack statuses, response frame — pooled so a warm server ingests
+// batches without per-request allocations.
+type batchBuffers struct {
+	body  []byte
+	acks  []wire.AckStatus
+	frame []byte
+}
+
+var batchBufPool = sync.Pool{
+	New: func() any { return new(batchBuffers) },
+}
+
+// readAllInto reads r to EOF appending onto dst, reusing dst's capacity
+// (io.ReadAll always allocates a fresh buffer; this one amortizes to
+// zero through the pool).
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// batchSession runs the batch-level admission checks shared by both
+// batch entry points: resolve the session, verify it is open, and
+// charge the whole batch to the rate bucket in one transaction.
+func (s *Server) batchSession(sessionID string, n int) (*session, error) {
+	s.maybeSweep()
+	sess := s.table.get(sessionID)
+	if sess == nil {
+		return nil, errNotFound
+	}
+	if err := sess.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := s.reportRate(sess, s.now(), float64(n)); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// batchRecord ingests one record of a batch, folding its outcome into
+// the metrics and the running max sequence. Generic over the client-id
+// spelling so the binary path feeds frame-borrowed []byte without
+// materializing strings for the non-accept outcomes.
+func batchRecord[K clientKey](s *Server, sess *session, client K, bit int, value uint64, maxSeq *uint64) (wire.AckStatus, error) {
+	st, seq, err := ingestReport(s, sess, client, bit, value)
+	if err != nil {
+		return 0, err
+	}
+	if seq > *maxSeq {
+		*maxSeq = seq
+	}
+	label, _ := reportOutcome(st)
+	s.metrics.reports.With(label).Inc()
+	return st, nil
+}
+
+// batchCounts tallies a batch's outcomes for the round timeline and
+// trace attrs.
+type batchCounts struct {
+	accepted, duplicate, rejected int
+}
+
+func (c *batchCounts) add(st wire.AckStatus) {
+	switch st {
+	case wire.AckAccepted:
+		c.accepted++
+	case wire.AckDuplicate:
+		c.duplicate++
+	case wire.AckInvalidValue, wire.AckNoTask, wire.AckWrongBit, wire.AckConflict:
+		c.rejected++
+	}
+}
+
+// finishBatch commits the batch's WAL high-water mark — the one fsync
+// covering every accepted record — and stamps the aggregate outcome
+// onto the span and round timeline. Must run before any ack is written.
+func (s *Server) finishBatch(sp *trace.Span, sessionID string, maxSeq uint64, c batchCounts) error {
+	if err := s.walCommitTraced(sp, sessionID, "", maxSeq); err != nil {
+		return err
+	}
+	if sp != nil {
+		sp.AttrInt("accepted", int64(c.accepted))
+		sp.AttrInt("duplicate", int64(c.duplicate))
+		sp.AttrInt("rejected", int64(c.rejected))
+	}
+	if s.tracing() && c.accepted+c.duplicate+c.rejected > 0 {
+		// One timeline event summarizes the batch; per-record events at
+		// batch scale would flood the round ring buffer.
+		detail := "accepted=" + strconv.Itoa(c.accepted) +
+			" duplicate=" + strconv.Itoa(c.duplicate) +
+			" rejected=" + strconv.Itoa(c.rejected)
+		kind := RoundReportAccept
+		if c.accepted == 0 && c.rejected > 0 {
+			kind = RoundReportReject
+		}
+		s.roundEvent(sessionID, kind, "", "", 0, detail)
+	}
+	return nil
+}
+
+// SubmitReportBatch ingests a batch of reports in one transaction: one
+// rate-bucket charge, one WAL commit, one ack status per report in
+// order. It is the programmatic face of the binary batch route and runs
+// the identical per-record acceptance machine as SubmitReport, so a
+// session may freely interleave JSON and batched submissions.
+func (s *Server) SubmitReportBatch(ctx context.Context, sessionID string, reports []wire.Report) ([]wire.AckStatus, error) {
+	_, sp := trace.Start(ctx, "server.submit_batch")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.AttrInt("count", int64(len(reports)))
+	if len(reports) > wire.MaxBatchReports {
+		return nil, errBatchTooLarge
+	}
+	sess, err := s.batchSession(sessionID, len(reports))
+	if err != nil {
+		return nil, s.noteBatchRejected(sp, sessionID, err)
+	}
+	acks := make([]wire.AckStatus, 0, len(reports))
+	var maxSeq uint64
+	var counts batchCounts
+	for _, rep := range reports {
+		st, err := batchRecord(s, sess, rep.ClientID, rep.Bit, rep.Value, &maxSeq)
+		if err != nil {
+			return nil, err
+		}
+		counts.add(st)
+		acks = append(acks, st)
+	}
+	if err := s.finishBatch(sp, sessionID, maxSeq, counts); err != nil {
+		return nil, err
+	}
+	return acks, nil
+}
+
+// errBatchTooLarge rejects a programmatic batch over the frame cap; the
+// HTTP path never sees it (the decoder enforces the cap first).
+var errBatchTooLarge = errors.New("transport: batch exceeds the report cap")
+
+// noteBatchRejected stamps a batch-level rejection onto the span and,
+// for rate limits, the round timeline — mirroring the JSON path.
+func (s *Server) noteBatchRejected(sp *trace.Span, sessionID string, err error) error {
+	var rl *rateLimitedError
+	if errors.As(err, &rl) {
+		sp.Attr("result", "ratelimited")
+		s.roundEvent(sessionID, RoundReportRatelimit, "", "", rl.wait, "")
+	}
+	return err
+}
+
+// ingestBatchFrame decodes and ingests one binary batch frame,
+// appending ack statuses onto acks. Split from the HTTP handler so the
+// alloc guard can drive the full server-side frame path without a
+// network stack in the way.
+func (s *Server) ingestBatchFrame(ctx context.Context, sessionID string, frame []byte, acks []wire.AckStatus) ([]wire.AckStatus, error) {
+	_, sp := trace.Start(ctx, "server.submit_batch")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	var br wire.BatchReader
+	if err := br.Reset(frame); err != nil {
+		return acks, err
+	}
+	sp.AttrInt("count", int64(br.Count()))
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
+	sess, err := s.batchSession(sessionID, br.Count())
+	if err != nil {
+		return acks, s.noteBatchRejected(sp, sessionID, err)
+	}
+	if sp != nil {
+		sp.AttrDuration("lock_wait", time.Since(t0))
+	}
+	var tIngest time.Time
+	if sp != nil {
+		tIngest = time.Now()
+	}
+	var maxSeq uint64
+	var counts batchCounts
+	var v wire.ReportView
+	for {
+		ok, err := br.Next(&v)
+		if err != nil {
+			return acks, err
+		}
+		if !ok {
+			break
+		}
+		st, err := batchRecord(s, sess, v.Client, v.Bit, v.Value, &maxSeq)
+		if err != nil {
+			return acks, err
+		}
+		counts.add(st)
+		acks = append(acks, st)
+	}
+	if sp != nil {
+		sp.AttrDuration("table_hold", time.Since(tIngest))
+	}
+	if err := s.finishBatch(sp, sessionID, maxSeq, counts); err != nil {
+		return acks, err
+	}
+	return acks, nil
+}
+
+// handleReportBatch is the Content-Type-negotiated binary leg of
+// POST /v1/sessions/{id}/reports. The body is capped at the frame
+// format's own maximum — independent of the JSON body cap, which is
+// sized for single-report envelopes. Framing violations are 400s with
+// the typed decoder detail; batch-level protocol failures reuse the
+// JSON error envelope (status codes are the contract, whatever the
+// request codec); per-record outcomes come back as a binary ack frame.
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	bb := batchBufPool.Get().(*batchBuffers)
+	defer batchBufPool.Put(bb)
+	r.Body = http.MaxBytesReader(w, r.Body, wire.MaxBatchFrameBytes)
+	body, err := readAllInto(bb.body[:0], r.Body)
+	bb.body = body
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.bodyRejected.With(r.URL.Path).Inc()
+			s.writeError(w, http.StatusRequestEntityTooLarge, wire.CodeTooLarge,
+				errors.New("transport: batch frame over the size cap"))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+		return
+	}
+	acks, err := s.ingestBatchFrame(r.Context(), r.PathValue("id"), body, bb.acks[:0])
+	bb.acks = acks
+	if err != nil {
+		if isFrameError(err) {
+			s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err)
+			return
+		}
+		s.writeProtoError(w, err)
+		return
+	}
+	frame := wire.AppendAckFrame(bb.frame[:0], acks)
+	bb.frame = frame
+	w.Header().Set("Content-Type", wire.ReportAckContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	if _, err := w.Write(frame); err != nil {
+		s.logger().Debug("transport: writing ack frame failed", "error", err)
+	}
+}
+
+// isFrameError reports whether err is one of the binary codec's typed
+// framing failures (a malformed request, not a protocol state error).
+func isFrameError(err error) bool {
+	return errors.Is(err, wire.ErrFrameMagic) ||
+		errors.Is(err, wire.ErrFrameTruncated) ||
+		errors.Is(err, wire.ErrFrameChecksum) ||
+		errors.Is(err, wire.ErrFrameOversize) ||
+		errors.Is(err, wire.ErrFrameTrailing)
+}

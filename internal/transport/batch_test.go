@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/frand"
+	"repro/internal/transport/wire"
+)
+
+// postBinary posts body as a binary batch frame and returns the HTTP
+// status.
+func postBinary(t *testing.T, base, sessionID string, body []byte) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+sessionID+"/reports", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ReportBatchContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// TestMixedCodecSession interleaves JSON single-report submissions and
+// binary batches against one session over the real HTTP stack, checking
+// that the two codecs share one acceptance machine: a report accepted
+// on either codec re-acks as a duplicate on the other, a conflicting
+// value is rejected on both, and the per-record rejections come back as
+// the matching ack statuses.
+func TestMixedCodecSession(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "mixed", Bits: 2, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make(map[string]int)
+	for i := 0; i < 4; i++ {
+		c := fmt.Sprintf("c%d", i)
+		p := &Participant{BaseURL: srv.URL, ClientID: c, RNG: frand.New(uint64(i) + 1)}
+		task, err := p.FetchTask(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits[c] = task.Bit
+	}
+
+	// JSON first: c0 reports 1.
+	p0 := &Participant{BaseURL: srv.URL, ClientID: "c0", RNG: frand.New(9)}
+	ack, err := p0.SubmitReport(ctx, id, wire.Report{ClientID: "c0", Bit: bits["c0"], Value: 1})
+	if err != nil || !ack.Accepted || ack.Duplicate {
+		t.Fatalf("JSON accept ack %+v, err %v", ack, err)
+	}
+
+	// One binary batch exercising every per-record outcome against the
+	// same session state the JSON report just created.
+	br := &BinaryReporter{BaseURL: srv.URL}
+	adds := []struct {
+		client string
+		bit    int
+		value  uint64
+		want   wire.AckStatus
+	}{
+		{"c0", bits["c0"], 1, wire.AckDuplicate},    // JSON-accepted, binary retransmission
+		{"c0", bits["c0"], 0, wire.AckConflict},     // JSON-accepted, conflicting value
+		{"c1", bits["c1"], 1, wire.AckAccepted},     // fresh accept via binary
+		{"ghost", 0, 1, wire.AckNoTask},             // never assigned
+		{"c2", bits["c2"] ^ 1, 1, wire.AckWrongBit}, // off-assignment bit
+		{"c3", bits["c3"], 7, wire.AckInvalidValue}, // not a bit
+	}
+	for _, a := range adds {
+		if err := br.Add(a.client, a.bit, a.value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acks, err := br.Flush(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != len(adds) {
+		t.Fatalf("got %d acks for %d records", len(acks), len(adds))
+	}
+	for i, a := range adds {
+		if acks[i] != a.want {
+			t.Errorf("record %d (%s bit=%d value=%d): ack %v, want %v",
+				i, a.client, a.bit, a.value, acks[i], a.want)
+		}
+	}
+
+	// Back to JSON: the binary-accepted report must re-ack as a duplicate
+	// and its conflicting retransmission must be rejected — identical
+	// idempotency whichever codec accepted it.
+	p1 := &Participant{BaseURL: srv.URL, ClientID: "c1", RNG: frand.New(10)}
+	ack, err = p1.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: bits["c1"], Value: 1})
+	if err != nil || !ack.Accepted || !ack.Duplicate {
+		t.Fatalf("cross-codec duplicate ack %+v, err %v", ack, err)
+	}
+	ack, err = p1.SubmitReport(ctx, id, wire.Report{ClientID: "c1", Bit: bits["c1"], Value: 0})
+	if err != nil || ack.Accepted {
+		t.Fatalf("cross-codec conflict ack %+v, err %v", ack, err)
+	}
+
+	// Finish the stragglers on the binary codec and finalize: exactly the
+	// four accepted reports count, whichever codec carried them.
+	if err := br.Add("c2", bits["c2"], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Add("c3", bits["c3"], 1); err != nil {
+		t.Fatal(err)
+	}
+	if acks, err = br.Flush(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range acks {
+		if st != wire.AckAccepted {
+			t.Fatalf("straggler %d ack %v", i, st)
+		}
+	}
+	res, err := admin.Finalize(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Reports != 4 {
+		t.Fatalf("finalized result %+v, want 4 reports", res)
+	}
+}
+
+// TestBatchFramingRejected drives malformed binary bodies through the
+// negotiated route: framing violations must come back as plain 400s
+// without touching session state.
+func TestBatchFramingRejected(t *testing.T) {
+	srv, admin := newTestStack(t)
+	ctx := context.Background()
+	id, err := admin.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 2, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.AppendReportBatch(nil, []wire.Report{{ClientID: "c", Bit: 0, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string][]byte{
+		"truncated":   frame[:len(frame)-2],
+		"bad magic":   append([]byte("XXXX"), frame[4:]...),
+		"corrupt crc": append(append([]byte(nil), frame[:len(frame)-1]...), frame[len(frame)-1]^0xff),
+	} {
+		resp := postBinary(t, srv.URL, id, body)
+		if resp != 400 {
+			t.Errorf("%s: status %d, want 400", name, resp)
+		}
+	}
+	res, err := admin.Result(ctx, id)
+	if err != nil || res.Reports != 0 {
+		t.Fatalf("malformed frames left state behind: %+v, err %v", res, err)
+	}
+}
+
+// TestBatchUnknownSession checks whole-batch failures use the JSON
+// error envelope and its status codes.
+func TestBatchUnknownSession(t *testing.T) {
+	srv, _ := newTestStack(t)
+	frame, err := wire.AppendReportBatch(nil, []wire.Report{{ClientID: "c", Bit: 0, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := postBinary(t, srv.URL, "nope", frame); status != 404 {
+		t.Fatalf("unknown session batch status %d, want 404", status)
+	}
+}
+
+// TestBatchConcurrentSwarm hammers a small set of hot sessions from
+// many goroutines mixing both codecs — fresh accepts, retransmissions,
+// snapshot and listing readers — and then checks no accepted report was
+// lost or double-counted. Run under -race this is the striped table's
+// interleaving certificate.
+func TestBatchConcurrentSwarm(t *testing.T) {
+	s := NewServer(11)
+	ctx := context.Background()
+	const sessions = 3
+	const workers = 8
+	const perWorker = 40
+	ids := make([]string, sessions)
+	for i := range ids {
+		id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: fmt.Sprintf("f%d", i), Bits: 3, Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*sessions+4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for si, id := range ids {
+				var reports []wire.Report
+				for k := 0; k < perWorker; k++ {
+					c := fmt.Sprintf("w%d-s%d-c%d", w, si, k)
+					task, err := s.AssignTask(ctx, id, c)
+					if err != nil {
+						errc <- err
+						return
+					}
+					reports = append(reports, wire.Report{ClientID: c, Bit: task.Bit, Value: uint64(k & 1)})
+				}
+				if w%2 == 0 {
+					// Binary batch, submitted twice: second pass must be
+					// all duplicates.
+					frame, err := wire.AppendReportBatch(nil, reports)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for pass := 0; pass < 2; pass++ {
+						acks, err := s.ingestBatchFrame(ctx, id, frame, nil)
+						if err != nil {
+							errc <- err
+							return
+						}
+						for _, st := range acks {
+							if !st.OK() {
+								errc <- fmt.Errorf("swarm ack %v", st)
+								return
+							}
+						}
+					}
+				} else {
+					// JSON singles, each retransmitted once.
+					for _, rep := range reports {
+						for pass := 0; pass < 2; pass++ {
+							ack, err := s.SubmitReport(ctx, id, rep)
+							if err != nil {
+								errc <- err
+								return
+							}
+							if !ack.Accepted {
+								errc <- fmt.Errorf("swarm rejection %+v", ack)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: listings, progress views and snapshots must
+	// never tear or race against the striped writers.
+	stopRead := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			s.Sessions()
+			_ = s.Snapshot()
+			for _, id := range ids {
+				if _, err := s.Result(id); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stopRead)
+	rg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		res, err := s.Finalize(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := workers * perWorker; res.Reports != want {
+			t.Fatalf("session %s finalized with %d reports, want %d", id, res.Reports, want)
+		}
+	}
+}
+
+// TestBatchIngestAllocs pins the warm binary submit path at zero
+// allocations per batch with tracing off: a retransmitted frame (every
+// record a duplicate) must run the decoder, the acceptance machine and
+// the ack assembly without touching the heap.
+func TestBatchIngestAllocs(t *testing.T) {
+	s := NewServer(5)
+	ctx := context.Background()
+	id, err := s.CreateSession(ctx, wire.SessionConfig{Feature: "f", Bits: 4, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var reports []wire.Report
+	for i := 0; i < n; i++ {
+		c := fmt.Sprintf("client-%03d", i)
+		task, err := s.AssignTask(ctx, id, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, wire.Report{ClientID: c, Bit: task.Bit, Value: 1})
+	}
+	frame, err := wire.AppendReportBatch(nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks := make([]wire.AckStatus, 0, n)
+	// First pass accepts (and allocates — map inserts, key strings); the
+	// guard measures the warm path.
+	acks, err = s.ingestBatchFrame(ctx, id, frame, acks[:0])
+	if err != nil || len(acks) != n {
+		t.Fatalf("warmup: %d acks, err %v", len(acks), err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		acks, err = s.ingestBatchFrame(ctx, id, frame, acks[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range acks {
+			if st != wire.AckDuplicate {
+				t.Fatalf("warm ack %v", st)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm binary batch ingest allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -233,6 +233,134 @@ func doJSON(ctx context.Context, hc *http.Client, rp *RetryPolicy, eps *Endpoint
 	})
 }
 
+// BinaryReporter submits batches of reports over the compact binary
+// codec — the client side of the Content-Type-negotiated batch leg of
+// the report route. It accumulates records with Add and ships them with
+// Flush; the frame and ack buffers are reused across flushes, so a
+// steady-state load generator encodes and decodes without per-batch
+// allocations. One BinaryReporter is not safe for concurrent use; give
+// each submitting goroutine its own.
+//
+// Retrying a flush after a lost ack is safe end to end: accepted
+// records re-ack as duplicates, and per-record statuses come back in
+// submission order either way.
+type BinaryReporter struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Endpoints, when non-nil, overrides BaseURL with a failover list;
+	// see Participant.Endpoints.
+	Endpoints *EndpointList
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry, when non-nil, retries transient failures with backoff.
+	Retry *RetryPolicy
+	// Tracer, when non-nil, records client-side spans and propagates the
+	// trace to the server.
+	Tracer *trace.Recorder
+
+	w    wire.BatchWriter
+	acks []wire.AckStatus
+	resp []byte
+}
+
+func (b *BinaryReporter) client() *http.Client {
+	if b.HTTPClient != nil {
+		return b.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (b *BinaryReporter) endpoints() *EndpointList {
+	if b.Endpoints != nil {
+		return b.Endpoints
+	}
+	return NewEndpointList(b.BaseURL)
+}
+
+// Add buffers one report for the next Flush. It fails when the record
+// does not fit the frame fields or the batch is at the frame cap
+// (wire.MaxBatchReports) — flush and re-add in that case.
+func (b *BinaryReporter) Add(clientID string, bit int, value uint64) error {
+	return b.w.Add(clientID, bit, value)
+}
+
+// Pending returns how many reports are buffered for the next Flush.
+func (b *BinaryReporter) Pending() int { return b.w.Count() }
+
+// Flush posts the buffered batch and returns one ack status per report
+// in submission order; the returned slice is valid until the next
+// Flush. An empty buffer flushes to an empty ack list without touching
+// the network. On success the buffer resets for the next batch; on
+// error it is preserved so a retrying caller can Flush again.
+func (b *BinaryReporter) Flush(ctx context.Context, sessionID string) ([]wire.AckStatus, error) {
+	if b.w.Count() == 0 {
+		return b.acks[:0], nil
+	}
+	ctx, sp := trace.Start(trace.WithRecorder(ctx, b.Tracer), "client.submit_batch")
+	defer sp.End()
+	sp.Attr("session", sessionID)
+	sp.AttrInt("count", int64(b.w.Count()))
+	frame := b.w.Bytes()
+	path := fmt.Sprintf("/v1/sessions/%s/reports", url.PathEscape(sessionID))
+	eps := b.endpoints()
+	hc := b.client()
+	var acks []wire.AckStatus
+	err := b.Retry.Do(ctx, func(ctx context.Context) error {
+		base := eps.Current()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(frame))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", wire.ReportBatchContentType)
+		trace.Inject(ctx, req.Header)
+		resp, err := hc.Do(req)
+		if err != nil {
+			eps.Advance(base)
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			se := &StatusError{Status: resp.StatusCode}
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			var e wire.Error
+			if json.Unmarshal(data, &e) == nil {
+				se.Code, se.Msg, se.Leader = e.Code, e.Error, e.Leader
+				if e.RetryAfter > 0 {
+					se.RetryAfter = time.Duration(e.RetryAfter * float64(time.Second))
+				}
+			}
+			if se.RetryAfter == 0 {
+				se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			}
+			if se.Code == wire.CodeNotPrimary {
+				if se.Leader != "" {
+					eps.SetLeader(se.Leader)
+				} else {
+					eps.Advance(base)
+				}
+				se.Failover = eps.Current() != base
+			}
+			return se
+		}
+		body, err := readAllInto(b.resp[:0], resp.Body)
+		b.resp = body
+		if err != nil {
+			return err
+		}
+		acks, err = wire.DecodeAckFrame(body, b.acks[:0])
+		b.acks = acks
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(acks) != b.w.Count() {
+		return nil, fmt.Errorf("transport: batch of %d reports acked %d statuses", b.w.Count(), len(acks))
+	}
+	b.w.Reset()
+	return acks, nil
+}
+
 // TailQuantile reads the q-quantile off a finalized threshold session's
 // result: the smallest threshold whose tail probability drops to 1-q or
 // below.

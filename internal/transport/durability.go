@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/transport/wire"
 	"repro/internal/wal"
 )
@@ -53,39 +52,61 @@ type walRecord struct {
 // and before LoadSnapshot, so Restore can cross-check the snapshot
 // against the WAL head.
 func (s *Server) AttachWAL(w *wal.WAL) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.wal = w
+	s.wal.Store(w)
 }
 
-// walAppendLocked appends one record, advancing the applied sequence;
-// the caller holds s.mu. With no WAL attached it is a no-op returning
+// walRef returns the attached WAL, nil when running without one.
+func (s *Server) walRef() *wal.WAL { return s.wal.Load() }
+
+// noteWALSeq advances the applied high-water sequence to seq with a
+// CAS-max loop: appends run under different stripe and session locks,
+// so two appenders can race to record their sequences and the larger
+// one must win regardless of arrival order.
+func (s *Server) noteWALSeq(seq uint64) {
+	for {
+		cur := s.walSeq.Load()
+		if seq <= cur || s.walSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// walAppendLocked appends one record, advancing the applied sequence.
+// The caller holds the lock that orders the record against the state it
+// describes — the owning stripe's mutex for create/delete (so WAL order
+// and table-visible order agree), the session's exclusive mutex for
+// everything else. With no WAL attached it is a no-op returning
 // sequence 0. The record is not yet durable — the caller must
-// walCommit the sequence (outside the lock) before acking.
+// walCommit the sequence (outside its locks) before acking. Holding a
+// lock across Append is deliberate and cheap: Append only buffers; the
+// fsync happens in walCommit after the lock is released.
 func (s *Server) walAppendLocked(rec walRecord) (uint64, error) {
-	if s.wal == nil {
+	w := s.walRef()
+	if w == nil {
 		return 0, nil
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("%w: encoding %s record: %v", errDurability, rec.Op, err)
 	}
-	seq, err := s.wal.Append(payload)
+	seq, err := w.Append(payload)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", errDurability, err)
 	}
-	s.walSeq = seq
+	s.noteWALSeq(seq)
 	return seq, nil
 }
 
 // walCommit blocks until seq is durable under the WAL's fsync policy;
-// called without s.mu so fsync latency never serializes the session
-// table. A failed commit means the ack must not be sent.
+// called outside the stripe and session locks so fsync latency never
+// serializes the session table. A failed commit means the ack must not
+// be sent.
 func (s *Server) walCommit(seq uint64) error {
-	if s.wal == nil || seq == 0 {
+	w := s.walRef()
+	if w == nil || seq == 0 {
 		return nil
 	}
-	if err := s.wal.Commit(seq); err != nil {
+	if err := w.Commit(seq); err != nil {
 		return fmt.Errorf("%w: %v", errDurability, err)
 	}
 	return nil
@@ -94,9 +115,7 @@ func (s *Server) walCommit(seq uint64) error {
 // WALSeq returns the sequence of the last WAL record appended or
 // applied — the point a snapshot cut now would cover.
 func (s *Server) WALSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.walSeq
+	return s.walSeq.Load()
 }
 
 // ReplayWAL replays the attached WAL's tail over the restored state:
@@ -110,14 +129,20 @@ func (s *Server) WALSeq() uint64 {
 // whose oldest record is beyond the snapshot's coverage has lost
 // history, and a corrupt interior record aborts recovery rather than
 // silently dropping accepted reports.
+//
+// Replay holds s.mu for its whole run — recovery happens before the
+// server takes traffic, and the big lock keeps the nextID bookkeeping
+// and gauge recompute simple. applyWAL takes the stripe and session
+// locks itself.
 func (s *Server) ReplayWAL() (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal == nil {
+	w := s.walRef()
+	if w == nil {
 		return 0, errors.New("transport: ReplayWAL without an attached WAL")
 	}
-	base := s.walSeq
-	first, head := s.wal.FirstSeq(), s.wal.LastSeq()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.walSeq.Load()
+	first, head := w.FirstSeq(), w.LastSeq()
 	if first != 0 && first > base+1 {
 		return 0, fmt.Errorf("transport: wal starts at seq %d but the snapshot covers only through %d: %d records missing",
 			first, base, first-base-1)
@@ -134,7 +159,7 @@ func (s *Server) ReplayWAL() (int, error) {
 			base, head)
 	}
 	applied := 0
-	err := s.wal.Replay(func(seq uint64, payload []byte) error {
+	err := w.Replay(func(seq uint64, payload []byte) error {
 		if seq <= base {
 			return nil
 		}
@@ -145,7 +170,7 @@ func (s *Server) ReplayWAL() (int, error) {
 		if err := s.applyWALLocked(rec); err != nil {
 			return fmt.Errorf("transport: applying wal record %d (%s %s): %w", seq, rec.Op, rec.Session, err)
 		}
-		s.walSeq = seq
+		s.noteWALSeq(seq)
 		applied++
 		return nil
 	})
@@ -157,9 +182,11 @@ func (s *Server) ReplayWAL() (int, error) {
 }
 
 // applyWALLocked re-applies one logged transition; the caller holds
-// s.mu. Every case tolerates re-application (idempotence) but treats a
-// reference to state that should exist and does not as a hard error —
-// that is corruption, not something to skip.
+// s.mu (replay and the replication apply path both run under it) and
+// this function takes the stripe and session locks it needs. Every case
+// tolerates re-application (idempotence) but treats a reference to
+// state that should exist and does not as a hard error — that is
+// corruption, not something to skip.
 func (s *Server) applyWALLocked(rec walRecord) error {
 	if rec.Op == walOpCreate {
 		if rec.Config == nil {
@@ -173,20 +200,28 @@ func (s *Server) applyWALLocked(rec walRecord) error {
 		if rec.Config.TTLSeconds > 0 {
 			sess.deadline = rec.At.Add(time.Duration(rec.Config.TTLSeconds * float64(time.Second)))
 		}
-		s.sessions[rec.Session] = sess
+		st := s.table.stripe(rec.Session)
+		st.mu.Lock()
+		st.sessions[rec.Session] = sess
+		st.mu.Unlock()
 		if rec.NextID > s.nextID {
 			s.nextID = rec.NextID
 		}
 		return nil
 	}
 	if rec.Op == walOpDelete {
-		delete(s.sessions, rec.Session)
+		st := s.table.stripe(rec.Session)
+		st.mu.Lock()
+		delete(st.sessions, rec.Session)
+		st.mu.Unlock()
 		return nil
 	}
-	sess, ok := s.sessions[rec.Session]
-	if !ok {
+	sess := s.table.get(rec.Session)
+	if sess == nil {
 		return errors.New("session not in replayed state")
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	switch rec.Op {
 	case walOpAssign:
 		if _, ok := sess.assigned[rec.Client]; ok {
@@ -201,13 +236,16 @@ func (s *Server) applyWALLocked(rec walRecord) error {
 		if _, ok := sess.reported[rec.Client]; ok {
 			return nil
 		}
+		if rec.Bit < 0 || rec.Bit >= len(sess.bitCount) {
+			return fmt.Errorf("reported bit %d out of range", rec.Bit)
+		}
 		sess.reported[rec.Client] = rec.Value
-		sess.reports = append(sess.reports, core.Report{Bit: rec.Bit, Value: rec.Value})
+		sess.foldReport(rec.Bit, rec.Value)
 	case walOpFinalize:
 		if sess.done {
 			return nil
 		}
-		if err := sess.compute(); err != nil {
+		if err := sess.computeLocked(); err != nil {
 			return err
 		}
 		sess.done = true
@@ -229,10 +267,12 @@ func (s *Server) applyWALLocked(rec walRecord) error {
 // replay) instead of tracking per-transition deltas.
 func (s *Server) recomputeActiveLocked() {
 	active := 0
-	for _, sess := range s.sessions {
+	for _, sess := range s.table.all() {
+		sess.mu.RLock()
 		if !sess.done && !sess.expired {
 			active++
 		}
+		sess.mu.RUnlock()
 	}
 	s.metrics.active.Set(float64(active))
 }
@@ -244,7 +284,8 @@ func (s *Server) recomputeActiveLocked() {
 // worst outcome of a mid-compaction crash is re-replaying (idempotent)
 // or re-deleting already-covered segments on the next boot's compaction.
 func (s *Server) CompactWAL(path string) (removed int, err error) {
-	if s.wal == nil {
+	w := s.walRef()
+	if w == nil {
 		return 0, errors.New("transport: CompactWAL without an attached WAL")
 	}
 	snap := s.Snapshot()
@@ -252,8 +293,8 @@ func (s *Server) CompactWAL(path string) (removed int, err error) {
 		return 0, err
 	}
 	s.metrics.snapshots.Inc()
-	if err := s.wal.Rotate(); err != nil {
+	if err := w.Rotate(); err != nil {
 		return 0, err
 	}
-	return s.wal.TruncateThrough(snap.WALSeq)
+	return w.TruncateThrough(snap.WALSeq)
 }

@@ -150,9 +150,7 @@ func TestWALReplayIsIdempotent(t *testing.T) {
 	after1 := stateFingerprint(t, s2)
 
 	// Rewind the applied frontier and replay again over the live state.
-	s2.mu.Lock()
-	s2.walSeq = 0
-	s2.mu.Unlock()
+	s2.walSeq.Store(0)
 	second, err := s2.ReplayWAL()
 	if err != nil {
 		t.Fatalf("second replay: %v", err)

@@ -199,14 +199,14 @@ func (s *Server) Promote(epoch uint64) error {
 	// Stamp the takeover into every live session's round timeline: a
 	// soak reading /debug/rounds sees exactly where the failover landed
 	// inside each round.
-	s.mu.Lock()
 	var live []string
-	for id, sess := range s.sessions {
+	for _, sess := range s.table.all() {
+		sess.mu.RLock()
 		if !sess.done && !sess.expired {
-			live = append(live, id)
+			live = append(live, sess.id)
 		}
+		sess.mu.RUnlock()
 	}
-	s.mu.Unlock()
 	for _, id := range live {
 		s.roundEvent(id, RoundPromote, "", "", 0, "epoch="+strconv.FormatUint(epoch, 10))
 	}
@@ -264,10 +264,7 @@ func (s *Server) ReplicationStatus() wire.ReplStatus {
 		AppliedSeq: s.WALSeq(),
 		Leader:     s.LeaderHint(),
 	}
-	s.mu.Lock()
-	w := s.wal
-	s.mu.Unlock()
-	if w != nil {
+	if w := s.walRef(); w != nil {
 		st.HeadSeq = w.LastSeq()
 		st.FirstSeq = w.FirstSeq()
 		st.WALBytes = w.SizeBytes()
@@ -281,10 +278,7 @@ func (s *Server) replHeaders(w http.ResponseWriter) {
 	h := w.Header()
 	h.Set(ReplHeaderEpoch, strconv.FormatUint(s.epoch.Load(), 10))
 	h.Set(ReplHeaderRole, s.roleValue().String())
-	s.mu.Lock()
-	lw := s.wal
-	s.mu.Unlock()
-	if lw != nil {
+	if lw := s.walRef(); lw != nil {
 		h.Set(ReplHeaderHeadSeq, strconv.FormatUint(lw.LastSeq(), 10))
 		h.Set(ReplHeaderFirstSeq, strconv.FormatUint(lw.FirstSeq(), 10))
 		h.Set(ReplHeaderWALBytes, strconv.FormatInt(lw.SizeBytes(), 10))
@@ -304,9 +298,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		s.writeNotPrimary(w)
 		return
 	}
-	s.mu.Lock()
-	lw := s.wal
-	s.mu.Unlock()
+	lw := s.walRef()
 	if lw == nil {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeUnavailable,
 			errors.New("transport: replication requires an attached WAL"))
@@ -459,30 +451,35 @@ func (s *Server) handleReplDemote(w http.ResponseWriter, r *http.Request) {
 // never skip. Durability batches: call CommitReplicated after a batch
 // rather than per record.
 func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
+	// The big lock serializes the whole apply stream: gap detection,
+	// mirrored append and table application must observe one consistent
+	// applied sequence. Apply runs on a standby, off any client ack path,
+	// so the serialization costs nothing that matters.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.roleValue() == RolePrimary {
 		return errors.New("transport: a primary does not apply replicated records")
 	}
-	if seq <= s.walSeq {
+	applied := s.walSeq.Load()
+	if seq <= applied {
 		return nil
 	}
-	if seq != s.walSeq+1 {
-		return fmt.Errorf("transport: replication gap: applied through seq %d, got %d", s.walSeq, seq)
+	if seq != applied+1 {
+		return fmt.Errorf("transport: replication gap: applied through seq %d, got %d", applied, seq)
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return fmt.Errorf("transport: decoding replicated record %d: %w", seq, err)
 	}
-	if s.wal != nil {
-		if _, err := s.wal.AppendAt(seq, payload); err != nil {
+	if w := s.walRef(); w != nil {
+		if _, err := w.AppendAt(seq, payload); err != nil {
 			return fmt.Errorf("%w: %v", errDurability, err)
 		}
 	}
 	if err := s.applyWALLocked(rec); err != nil {
 		return fmt.Errorf("transport: applying replicated record %d (%s %s): %w", seq, rec.Op, rec.Session, err)
 	}
-	s.walSeq = seq
+	s.noteWALSeq(seq)
 	s.metrics.replApplied.Inc()
 	return nil
 }
@@ -492,7 +489,7 @@ func (s *Server) ApplyReplicated(seq uint64, payload []byte) error {
 // once-per-batch closing bracket of a pull-and-apply cycle.
 func (s *Server) CommitReplicated() error {
 	s.mu.Lock()
-	seq := s.walSeq
+	seq := s.walSeq.Load()
 	s.recomputeActiveLocked()
 	s.mu.Unlock()
 	return s.walCommit(seq)
@@ -506,13 +503,14 @@ func (s *Server) CommitReplicated() error {
 // over instead.
 func (s *Server) BootstrapReplica(snap *Snapshot) error {
 	s.mu.Lock()
-	if len(s.sessions) > 0 || s.walSeq != 0 {
+	if n := s.table.size(); n > 0 || s.walSeq.Load() != 0 {
+		applied := s.walSeq.Load()
 		s.mu.Unlock()
 		return fmt.Errorf("transport: BootstrapReplica over existing state (%d sessions, applied seq %d)",
-			len(s.sessions), s.walSeq)
+			n, applied)
 	}
-	lw := s.wal
 	s.mu.Unlock()
+	lw := s.walRef()
 	if lw != nil && snap.WALSeq > 0 {
 		if err := lw.AlignTo(snap.WALSeq); err != nil {
 			return fmt.Errorf("transport: aligning standby wal at snapshot seq %d: %w", snap.WALSeq, err)

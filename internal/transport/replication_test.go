@@ -380,17 +380,13 @@ func TestStandbyDoesNotSweep(t *testing.T) {
 	now = now.Add(time.Hour)
 	before := bw.LastSeq()
 	b.Sessions()
-	b.mu.Lock()
-	b.sweepLocked(true)
-	b.mu.Unlock()
+	b.sweep(now, true)
 	if bw.LastSeq() != before {
 		t.Fatalf("standby sweep appended records (head %d -> %d)", before, bw.LastSeq())
 	}
 
 	// The primary does expire it, and the standby learns by replication.
-	a.mu.Lock()
-	a.sweepLocked(true)
-	a.mu.Unlock()
+	a.sweep(now, true)
 	tail, err := aw.ReadFrom(before+1, 0, 0)
 	if err != nil {
 		t.Fatal(err)

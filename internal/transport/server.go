@@ -1,10 +1,17 @@
-// Package transport exposes the aggregation protocol over HTTP/JSON: a
+// Package transport exposes the aggregation protocol over HTTP: a
 // Server that creates sessions, hands out single-bit tasks, ingests
 // reports and serves aggregates, and a Participant that plays the client
 // side, applying the ε-LDP transform locally before anything leaves the
 // "device". It is the deployable face of the library, standing in for the
 // paper's production FA stack (§4.3); cmd/fednumd and cmd/fednum-client
 // wrap it as binaries.
+//
+// Reports travel in either of two codecs on the same /v1 route: the
+// original JSON envelope, and a compact CRC32C-framed binary batch
+// (internal/transport/wire, Content-Type negotiated) that carries
+// hundreds of client reports per request for swarm-scale ingestion.
+// Both codecs land in the same acceptance machine, so idempotency and
+// duplicate semantics are identical whichever a client speaks.
 //
 // The layer is built for flaky fleets: clients retry with backoff
 // (RetryPolicy), the server acks retransmitted reports instead of
@@ -20,12 +27,22 @@
 // replays the WAL tail (ReplayWAL); CompactWAL cuts a fresh snapshot
 // and reclaims covered segments.
 //
+// Concurrency: the session table is striped across power-of-two lock
+// shards (table.go), each session guards its own bookkeeping with an
+// RWMutex, and the per-bit sum/count accumulators are atomics — so
+// concurrent reports against one hot session share a read lock on the
+// duplicate path and serialize only for the short exclusive window of a
+// fresh accept. The lock order is Server.mu → tableStripe.mu →
+// session.mu → WAL.mu, with session.rateMu and the round table as
+// leaves; fedlint's lockorder/lockheld analyzers hold the code to it.
+//
 // Logging is structured (Server.Logger, a *slog.Logger). The printf-
 // shaped Logf shim that once adapted unmigrated embedders is gone;
 // fedlint/noprintflog keeps it from coming back.
 package transport
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -54,6 +71,8 @@ var (
 	errFinal    = errors.New("transport: session already finalized")
 	errExpired  = errors.New("transport: session expired")
 	errCohort   = errors.New("transport: cohort below minimum")
+
+	errSessionStripesLive = errors.New("transport: SetSessionStripes on a non-empty session table")
 )
 
 // sweepEvery throttles the lazy deadline sweep that piggybacks on request
@@ -107,30 +126,72 @@ type Server struct {
 	leader    atomic.Pointer[string]
 	onPromote atomic.Pointer[func(context.Context) error]
 
-	mu        sync.Mutex
-	sessions  map[string]*session
-	rng       *frand.RNG
-	nextID    int
-	lastSweep time.Time
-	mux       *http.ServeMux
+	// table is the striped session map (table.go). The pointer itself is
+	// written only at construction and by SetSessionStripes (boot-time,
+	// empty-table only); all concurrent access goes through the stripes'
+	// own locks.
+	table *sessionTable
+
+	// mu guards the id-minting state only: the rng stream and nextID.
+	// Everything per-session moved behind the table stripes and the
+	// sessions' own locks, so the report hot path never touches it.
+	mu     sync.Mutex
+	rng    *frand.RNG
+	nextID int
+
+	// lastSweep (unix nanos) throttles the lazy deadline sweep; claimed
+	// by compare-and-swap so at most one request pays for a sweep per
+	// sweepEvery window.
+	lastSweep atomic.Int64
+
+	mux *http.ServeMux
+
 	// wal, when attached (AttachWAL, before traffic), receives a record
 	// for every acked state transition before the reply; walSeq is the
-	// last sequence appended or applied.
-	wal    *wal.WAL
-	walSeq uint64
+	// high-water sequence appended or applied (advanced with a CAS-max,
+	// since appends under different stripe/session locks may race to
+	// record their sequences).
+	wal    atomic.Pointer[wal.WAL]
+	walSeq atomic.Uint64
 }
 
 // session is one aggregation in progress. For bit sessions the assignment
 // index is a bit position; for threshold sessions it indexes
 // cfg.Thresholds. Either way a client's report carries the index it was
 // assigned plus one bit of information.
+//
+// Locking: id, cfg, probs, rr, thresholds and deadline are immutable
+// after the session is published into the table. The bookkeeping maps
+// and lifecycle flags sit behind mu — an RWMutex so the retransmission
+// storm case (duplicate reports against a hot session) shares a read
+// lock. The per-bit accumulators are atomics written only while mu is
+// held exclusively: lock-free readers (progress views, estimates in
+// flight) see a race-free running count, while finalize — which also
+// holds mu exclusively — always sees a frozen total. rateMu is a leaf
+// guarding only the token bucket, so rate accounting never serializes
+// against the acceptance machine.
 type session struct {
 	id         string
 	cfg        wire.SessionConfig
 	probs      []float64
 	rr         *ldp.RandomizedResponse
 	thresholds []uint64 // nil for bit sessions
-	issued     []int    // tasks handed out per index, for low-discrepancy assignment
+	// deadline, when non-zero, is the TTL garbage-collection point: the
+	// session auto-finalizes (cfg.AutoFinalize, cohort permitting) or
+	// expires when the clock passes it. Set before publication, then
+	// read-only.
+	deadline time.Time
+
+	// nReports/bitCount/bitSum replace the old per-report slice: counts
+	// and sums per assignment index, exactly the inputs core.Pool needs.
+	// Sums of 0/1-valued reports are integer-exact, so the aggregate is
+	// bit-identical to folding the report list.
+	nReports atomic.Int64
+	bitCount []atomic.Int64
+	bitSum   []atomic.Int64
+
+	mu     sync.RWMutex
+	issued []int // tasks handed out per index, for low-discrepancy assignment
 	// assigned remembers each client's task so off-assignment reports are
 	// rejected (central randomness, the §5 poisoning defence).
 	assigned map[string]int
@@ -138,34 +199,46 @@ type session struct {
 	// carried, so a retransmission after a lost ack is re-acked as a
 	// duplicate while a conflicting value is rejected.
 	reported map[string]uint64
-	reports  []core.Report
-	// deadline, when non-zero, is the TTL garbage-collection point: the
-	// session auto-finalizes (cfg.AutoFinalize, cohort permitting) or
-	// expires when the clock passes it.
-	deadline time.Time
-	// bucketTokens/bucketLast are the per-session report-rate token
-	// bucket (OverloadPolicy.ReportRate). Ephemeral by design: the
-	// bucket is not snapshotted or WAL-logged, so a restarted server
-	// starts the session with a full bucket.
+	done     bool
+	expired  bool
+	endedAt  time.Time    // when done or expired flipped, for Retention GC
+	result   *core.Result // bit sessions
+	tail     []float64    // threshold sessions: monotonized tail probs
+
+	// rateMu guards the per-session report-rate token bucket
+	// (OverloadPolicy.ReportRate). Ephemeral by design: the bucket is
+	// not snapshotted or WAL-logged, so a restarted server starts the
+	// session with a full bucket.
+	rateMu       sync.Mutex
 	bucketTokens float64
 	bucketLast   time.Time
-	done         bool
-	expired      bool
-	endedAt      time.Time    // when done or expired flipped, for Retention GC
-	result       *core.Result // bit sessions
-	tail         []float64    // threshold sessions: monotonized tail probs
 }
 
 // isThreshold reports the session kind.
 func (sess *session) isThreshold() bool { return len(sess.thresholds) > 0 }
 
+// reportCount returns the accepted-report total. Lock-free and always
+// consistent to read; exact whenever sess.mu is held (the accumulators
+// only move under the exclusive lock).
+func (sess *session) reportCount() int { return int(sess.nReports.Load()) }
+
+// foldReport folds one accepted report into the per-bit accumulators.
+// Callers either hold sess.mu exclusively (live ingest, WAL replay) or
+// own the session before publication (snapshot restore), which is what
+// keeps finalize's view frozen.
+func (sess *session) foldReport(bit int, value uint64) {
+	sess.nReports.Add(1)
+	sess.bitCount[bit].Add(1)
+	sess.bitSum[bit].Add(int64(value))
+}
+
 // NewServer returns a server whose task assignment is seeded for
 // reproducibility (the seed does not protect any secret).
 func NewServer(seed uint64) *Server {
 	s := &Server{
-		sessions: make(map[string]*session),
-		rng:      frand.New(seed),
-		metrics:  newServerMetrics(obs.NewRegistry()),
+		table:   newSessionTable(DefaultSessionStripes),
+		rng:     frand.New(seed),
+		metrics: newServerMetrics(obs.NewRegistry()),
 	}
 	// Epoch 1, role primary: a server that never hears about replication
 	// behaves exactly as before.
@@ -244,14 +317,44 @@ func (s *Server) logger() *slog.Logger {
 	return slog.Default()
 }
 
-// writeJSON encodes v; an encoder failure after the header is written
-// cannot be reported to the client, so it is logged instead of dropped.
+// jsonBufPool recycles response-encoding buffers across replies, pre-
+// sized for a typical envelope, so the JSON path stops allocating a
+// fresh encoder buffer per response.
+var jsonBufPool = sync.Pool{
+	New: func() any {
+		b := new(bytes.Buffer)
+		b.Grow(512)
+		return b
+	},
+}
+
+// jsonBufPoolMaxCap bounds what goes back in the pool: an occasional
+// huge body (a session-table snapshot can run to megabytes) must not
+// pin its buffer in the pool forever.
+const jsonBufPoolMaxCap = 64 << 10
+
+// writeJSON encodes v through a pooled buffer, so encoding failures are
+// caught before the header is written (and answered as a 500 instead of
+// a torn body) and the reply goes out with an exact Content-Length.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
 		s.logger().Warn("transport: encoding response failed",
 			"type", fmt.Sprintf("%T", v), "error", err)
+		http.Error(w, `{"error":"response encoding failed","code":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The client hung up; nothing to answer.
+		s.logger().Debug("transport: writing response failed", "error", err)
+	}
+	if buf.Cap() <= jsonBufPoolMaxCap {
+		jsonBufPool.Put(buf)
 	}
 }
 
@@ -347,6 +450,8 @@ func buildSession(cfg wire.SessionConfig) (*session, error) {
 		issued:     make([]int, len(probs)),
 		assigned:   make(map[string]int),
 		reported:   make(map[string]uint64),
+		bitCount:   make([]atomic.Int64, len(probs)),
+		bitSum:     make([]atomic.Int64, len(probs)),
 	}, nil
 }
 
@@ -360,27 +465,35 @@ func (s *Server) CreateSession(ctx context.Context, cfg wire.SessionConfig) (str
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	s.sweepLocked(false)
+	s.maybeSweep()
 	now := s.now()
+	s.mu.Lock()
 	s.nextID++
-	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(s.nextID))
-	seq, err := s.walAppendLocked(walRecord{
-		Op: walOpCreate, Session: id, NextID: s.nextID, Config: &cfg, At: now,
-	})
-	if err != nil {
-		s.nextID--
-		s.mu.Unlock()
-		return "", err
-	}
+	nextID := s.nextID
+	id := fmt.Sprintf("s%08x", s.rng.Uint64n(1<<32)^uint64(nextID))
+	s.mu.Unlock()
 	sess.id = id
 	if cfg.TTLSeconds > 0 {
 		sess.deadline = now.Add(time.Duration(cfg.TTLSeconds * float64(time.Second)))
 	}
-	s.sessions[id] = sess
+	// The create record and the map insert share the stripe's critical
+	// section, so the WAL order and the table-visible order agree (the
+	// invariant Snapshot's frontier-first capture relies on). A failed
+	// append just abandons the minted id — sequence gaps are harmless,
+	// replay takes the max.
+	st := s.table.stripe(id)
+	st.mu.Lock()
+	seq, err := s.walAppendLocked(walRecord{
+		Op: walOpCreate, Session: id, NextID: nextID, Config: &cfg, At: now,
+	})
+	if err != nil {
+		st.mu.Unlock()
+		return "", err
+	}
+	st.sessions[id] = sess
+	st.mu.Unlock()
 	s.metrics.created.Inc()
 	s.metrics.active.Add(1)
-	s.mu.Unlock()
 	sp.Attr("session", id)
 	if err := s.walCommitTraced(sp, id, "", seq); err != nil {
 		return "", err
@@ -427,14 +540,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // dropped. Request handling runs the same sweep lazily; call this from a
 // ticker (see StartGC) to bound staleness on an idle server.
 func (s *Server) Sweep() {
-	s.mu.Lock()
-	s.sweepLocked(true)
-	seq := s.walSeq
-	s.mu.Unlock()
+	now := s.now()
+	s.lastSweep.Store(now.UnixNano())
+	s.sweep(now, true)
 	// Sweep transitions are not acked to any client, but pushing them to
 	// stable storage promptly keeps the recovery tail short; a commit
 	// failure here only defers durability to the next commit.
-	if err := s.walCommit(seq); err != nil {
+	if err := s.walCommit(s.walSeq.Load()); err != nil {
 		s.logger().Warn("transport: committing sweep transitions failed", "error", err)
 	}
 }
@@ -459,11 +571,31 @@ func (s *Server) StartGC(interval time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// sweepLocked enforces session deadlines and retention; the caller holds
-// the lock. Unforced calls are throttled to sweepEvery. Every sweep is
-// counted in the registry; forced sweeps (the GC loop and manual Sweep
-// calls) additionally log their outcome at debug level.
-func (s *Server) sweepLocked(force bool) {
+// maybeSweep runs the lazy deadline sweep that piggybacks on request
+// handling, throttled to sweepEvery. The throttle window is claimed
+// with a compare-and-swap, so under concurrent load exactly one request
+// pays for the sweep and everyone else proceeds straight to its own
+// work.
+func (s *Server) maybeSweep() {
+	if s.roleValue() != RolePrimary {
+		return
+	}
+	now := s.now()
+	last := s.lastSweep.Load()
+	if now.UnixNano()-last < int64(sweepEvery) {
+		return
+	}
+	if !s.lastSweep.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	s.sweep(now, false)
+}
+
+// sweep enforces session deadlines and retention across every stripe.
+// Every sweep is counted in the registry; forced sweeps (the GC loop
+// and manual Sweep calls) additionally log their outcome at debug
+// level.
+func (s *Server) sweep(now time.Time, force bool) {
 	// Deadline and retention transitions are the primary's to decide and
 	// log; a standby applies them from the replication stream. A sweep
 	// here would append locally generated records into the mirrored
@@ -471,50 +603,12 @@ func (s *Server) sweepLocked(force bool) {
 	if s.roleValue() != RolePrimary {
 		return
 	}
-	now := s.now()
-	if !force && now.Sub(s.lastSweep) < sweepEvery {
-		return
-	}
-	s.lastSweep = now
 	expired, finalized, deleted := 0, 0, 0
-	for id, sess := range s.sessions {
-		if !sess.done && !sess.expired && !sess.deadline.IsZero() && !now.Before(sess.deadline) {
-			s.roundEvent(id, RoundDeadline, "", "", 0, "")
-			if sess.cfg.AutoFinalize && len(sess.reports) >= sess.cfg.MinCohort {
-				if _, err := s.finalizeLocked(sess, now); err != nil {
-					s.logger().Warn("transport: deadline auto-finalize failed, expiring",
-						"session", id, "error", err)
-					if s.expireLocked(sess, now) {
-						expired++
-					}
-				} else {
-					s.metrics.finalized.With("deadline").Inc()
-					s.roundEvent(id, RoundFinalize, "", "deadline", 0, "")
-					s.emitEstimateLocked(sess)
-					s.logger().Info("transport: session auto-finalized at deadline",
-						"session", id, "reports", len(sess.reports))
-					finalized++
-				}
-			} else {
-				s.logger().Info("transport: session expired at deadline",
-					"session", id, "reports", len(sess.reports))
-				if s.expireLocked(sess, now) {
-					expired++
-				}
-			}
-		}
-		if s.Retention > 0 && (sess.done || sess.expired) && !sess.endedAt.IsZero() &&
-			now.Sub(sess.endedAt) >= s.Retention {
-			if _, err := s.walAppendLocked(walRecord{Op: walOpDelete, Session: id, At: now}); err != nil {
-				// Not logged ⇒ not applied; the next sweep retries.
-				s.logger().Warn("transport: logging retention delete failed, deferring",
-					"session", id, "error", err)
-				continue
-			}
-			delete(s.sessions, id)
-			// The round timeline follows its session out of memory.
-			s.rounds.Load().delete(id)
-			s.metrics.deleted.Inc()
+	for _, sess := range s.table.all() {
+		e, f := s.sweepDeadline(sess, now)
+		expired += e
+		finalized += f
+		if s.retireExpiredSession(sess, now) {
 			deleted++
 		}
 	}
@@ -522,13 +616,85 @@ func (s *Server) sweepLocked(force bool) {
 	if force {
 		s.logger().Debug("transport: gc sweep",
 			"expired", expired, "auto_finalized", finalized, "deleted", deleted,
-			"retained", len(s.sessions))
+			"retained", s.table.size())
 	}
 }
 
+// sweepDeadline applies the TTL transition to one session, returning
+// how many sessions it expired and finalized (0 or 1 each).
+func (s *Server) sweepDeadline(sess *session, now time.Time) (expired, finalized int) {
+	if sess.deadline.IsZero() || now.Before(sess.deadline) {
+		return 0, 0
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.done || sess.expired {
+		return 0, 0
+	}
+	s.roundEvent(sess.id, RoundDeadline, "", "", 0, "")
+	if sess.cfg.AutoFinalize && sess.reportCount() >= sess.cfg.MinCohort {
+		if _, err := s.finalizeLocked(sess, now); err != nil {
+			s.logger().Warn("transport: deadline auto-finalize failed, expiring",
+				"session", sess.id, "error", err)
+			if s.expireLocked(sess, now) {
+				return 1, 0
+			}
+			return 0, 0
+		}
+		s.metrics.finalized.With("deadline").Inc()
+		s.roundEvent(sess.id, RoundFinalize, "", "deadline", 0, "")
+		s.emitEstimateLocked(sess)
+		s.logger().Info("transport: session auto-finalized at deadline",
+			"session", sess.id, "reports", sess.reportCount())
+		return 0, 1
+	}
+	s.logger().Info("transport: session expired at deadline",
+		"session", sess.id, "reports", sess.reportCount())
+	if s.expireLocked(sess, now) {
+		return 1, 0
+	}
+	return 0, 0
+}
+
+// retireExpiredSession drops an ended session once it ages past
+// Retention, logging the delete record inside the stripe's critical
+// section so WAL order and table order agree. The ended/endedAt checks
+// need no re-verification under the stripe lock: both are sticky (a
+// session never un-ends), so the decision cannot be invalidated between
+// the locks.
+func (s *Server) retireExpiredSession(sess *session, now time.Time) bool {
+	if s.Retention <= 0 {
+		return false
+	}
+	sess.mu.RLock()
+	due := (sess.done || sess.expired) && !sess.endedAt.IsZero() &&
+		now.Sub(sess.endedAt) >= s.Retention
+	sess.mu.RUnlock()
+	if !due {
+		return false
+	}
+	st := s.table.stripe(sess.id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, live := st.sessions[sess.id]; !live {
+		return false // a concurrent sweep already retired it
+	}
+	if _, err := s.walAppendLocked(walRecord{Op: walOpDelete, Session: sess.id, At: now}); err != nil {
+		// Not logged ⇒ not applied; the next sweep retries.
+		s.logger().Warn("transport: logging retention delete failed, deferring",
+			"session", sess.id, "error", err)
+		return false
+	}
+	delete(st.sessions, sess.id)
+	// The round timeline follows its session out of memory.
+	s.rounds.Load().delete(sess.id)
+	s.metrics.deleted.Inc()
+	return true
+}
+
 // expireLocked logs and applies the expiry of a live session; the caller
-// holds the lock. A WAL append failure defers the transition to the next
-// sweep (not logged ⇒ not applied) and reports false.
+// holds sess.mu exclusively. A WAL append failure defers the transition
+// to the next sweep (not logged ⇒ not applied) and reports false.
 func (s *Server) expireLocked(sess *session, at time.Time) bool {
 	if _, err := s.walAppendLocked(walRecord{Op: walOpExpire, Session: sess.id, At: at}); err != nil {
 		s.logger().Warn("transport: logging session expiry failed, deferring",
@@ -544,8 +710,8 @@ func (s *Server) expireLocked(sess *session, at time.Time) bool {
 }
 
 // emitEstimateLocked stamps the emitted aggregate onto the session's
-// round timeline; the caller holds s.mu and has finalized the session.
-// Disabled tracing makes this a single branch.
+// round timeline; the caller holds sess.mu and has finalized the
+// session. Disabled tracing makes this a single branch.
 func (s *Server) emitEstimateLocked(sess *session) {
 	if !s.tracing() {
 		return
@@ -554,10 +720,10 @@ func (s *Server) emitEstimateLocked(sess *session) {
 	switch {
 	case sess.result != nil:
 		detail = "estimate=" + strconv.FormatFloat(sess.result.Estimate, 'g', -1, 64) +
-			" reports=" + strconv.Itoa(len(sess.reports))
+			" reports=" + strconv.Itoa(sess.reportCount())
 	case sess.tail != nil:
 		detail = "thresholds=" + strconv.Itoa(len(sess.tail)) +
-			" reports=" + strconv.Itoa(len(sess.reports))
+			" reports=" + strconv.Itoa(sess.reportCount())
 	}
 	s.roundEvent(sess.id, RoundEstimate, "", "", 0, detail)
 }
@@ -566,56 +732,78 @@ func (s *Server) emitEstimateLocked(sess *session) {
 // count is furthest below its target share — a deterministic
 // low-discrepancy stream that keeps every prefix of assignments within one
 // task of the exact n·p_j proportions (the QMC property of §3.1 for an
-// open-ended client stream). Re-polling clients get their original task.
+// open-ended client stream). Re-polling clients get their original task
+// off the read lock, with no WAL traffic.
 func (s *Server) AssignTask(ctx context.Context, sessionID, clientID string) (wire.Task, error) {
 	_, sp := trace.Start(ctx, "server.assign_task")
 	defer sp.End()
 	sp.Attr("session", sessionID)
 	sp.Attr("client", clientID)
+	s.maybeSweep()
 	var t0 time.Time
 	if sp != nil {
 		t0 = time.Now()
 	}
-	s.mu.Lock()
+	sess := s.table.get(sessionID)
+	if sess == nil {
+		return wire.Task{}, errNotFound
+	}
 	var tLock time.Time
 	if sp != nil {
 		tLock = time.Now()
 		sp.AttrDuration("lock_wait", tLock.Sub(t0))
 	}
-	s.sweepLocked(false)
-	sess, ok := s.sessions[sessionID]
-	if !ok {
-		s.mu.Unlock()
-		return wire.Task{}, errNotFound
-	}
+	sess.mu.RLock()
 	if sess.expired {
-		s.mu.Unlock()
+		sess.mu.RUnlock()
 		return wire.Task{}, errExpired
 	}
 	if sess.done {
-		s.mu.Unlock()
+		sess.mu.RUnlock()
 		return wire.Task{}, errFinal
 	}
+	idx, known := sess.assigned[clientID]
+	sess.mu.RUnlock()
 	var seq uint64
-	idx, ok := sess.assigned[clientID]
-	fresh := !ok
-	if !ok {
-		// A fresh assignment is acked state: the report-acceptance check
+	fresh := false
+	if !known {
+		// First sighting of this client: take the write lock and re-run
+		// the checks — another poller for the same client (or a deadline
+		// transition) may have won the race between the locks. A fresh
+		// assignment is acked state: the report-acceptance check
 		// (rep.Bit == assigned) depends on it, so it must survive a
 		// crash between this reply and the client's report.
-		idx = sess.nextBit()
-		var err error
-		seq, err = s.walAppendLocked(walRecord{
-			Op: walOpAssign, Session: sessionID, Client: clientID, Bit: idx,
-		})
-		if err != nil {
-			s.mu.Unlock()
-			return wire.Task{}, err
+		sess.mu.Lock()
+		if sess.expired {
+			sess.mu.Unlock()
+			return wire.Task{}, errExpired
 		}
-		sess.assigned[clientID] = idx
-		sess.issued[idx]++
-		s.metrics.tasks.Inc()
+		if sess.done {
+			sess.mu.Unlock()
+			return wire.Task{}, errFinal
+		}
+		idx, known = sess.assigned[clientID]
+		if !known {
+			idx = sess.nextBitLocked()
+			var err error
+			seq, err = s.walAppendLocked(walRecord{
+				Op: walOpAssign, Session: sessionID, Client: clientID, Bit: idx,
+			})
+			if err != nil {
+				sess.mu.Unlock()
+				return wire.Task{}, err
+			}
+			sess.assigned[clientID] = idx
+			sess.issued[idx]++
+			fresh = true
+		}
+		sess.mu.Unlock()
+		if fresh {
+			s.metrics.tasks.Inc()
+		}
 	}
+	// The task body derives from immutable session state plus idx, so it
+	// assembles outside any lock.
 	task := wire.Task{
 		SessionID: sessionID,
 		Feature:   sess.cfg.Feature,
@@ -629,7 +817,6 @@ func (s *Server) AssignTask(ctx context.Context, sessionID, clientID string) (wi
 	if sess.rr != nil {
 		task.Epsilon = sess.rr.Eps
 	}
-	s.mu.Unlock()
 	if sp != nil {
 		sp.AttrDuration("table_hold", time.Since(tLock))
 		sp.AttrInt("bit", int64(idx))
@@ -644,9 +831,10 @@ func (s *Server) AssignTask(ctx context.Context, sessionID, clientID string) (wi
 	return task, nil
 }
 
-// nextBit returns the bit index with the largest deficit relative to its
-// target share after the tasks issued so far.
-func (sess *session) nextBit() int {
+// nextBitLocked returns the bit index with the largest deficit relative
+// to its target share after the tasks issued so far; the caller holds
+// sess.mu exclusively.
+func (sess *session) nextBitLocked() int {
 	total := 0
 	for _, c := range sess.issued {
 		total += c
@@ -675,6 +863,148 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, task)
 }
 
+// clientKey abstracts the two spellings a client id arrives in — string
+// on the JSON path, a borrowed []byte view of the frame on the binary
+// path — so both codecs run the identical acceptance machine. Map
+// lookups through string(key) compile to the allocation-free form for
+// both instantiations; only the accept path materializes a string.
+type clientKey interface{ ~string | ~[]byte }
+
+// checkOpen reports whether the session still accepts reports.
+func (sess *session) checkOpen() error {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	if sess.expired {
+		return errExpired
+	}
+	if sess.done {
+		return errFinal
+	}
+	return nil
+}
+
+// ingestReport runs the per-report acceptance machine for one (client,
+// bit, value) submission against sess — the single code path behind
+// both the JSON and binary codecs, which is what makes their
+// idempotency semantics identical by construction.
+//
+// The retransmission cases (duplicate, conflict, every rejection)
+// resolve under the read lock, so a storm of re-submissions against a
+// hot session proceeds concurrently; only a first-sighting accept
+// upgrades to the write lock, re-checks, logs the WAL record inside the
+// exclusive section and folds the accumulators. The returned sequence
+// is non-zero only for an accepted report; the caller must commit it
+// before acking. err is non-nil only for terminal submission failures
+// (session closed, durability).
+func ingestReport[K clientKey](s *Server, sess *session, client K, bit int, value uint64) (wire.AckStatus, uint64, error) {
+	sess.mu.RLock()
+	if sess.expired {
+		sess.mu.RUnlock()
+		return 0, 0, errExpired
+	}
+	if sess.done {
+		sess.mu.RUnlock()
+		return 0, 0, errFinal
+	}
+	if value > 1 {
+		sess.mu.RUnlock()
+		return wire.AckInvalidValue, 0, nil
+	}
+	assigned, ok := sess.assigned[string(client)]
+	if !ok {
+		sess.mu.RUnlock()
+		return wire.AckNoTask, 0, nil
+	}
+	if bit != assigned {
+		sess.mu.RUnlock()
+		return wire.AckWrongBit, 0, nil
+	}
+	if prev, seen := sess.reported[string(client)]; seen {
+		sess.mu.RUnlock()
+		if prev == value {
+			// Already accepted — and already durable, since the original
+			// accept ack waited on the WAL commit.
+			return wire.AckDuplicate, 0, nil
+		}
+		return wire.AckConflict, 0, nil
+	}
+	sess.mu.RUnlock()
+	// First sighting: upgrade to the write lock and re-run the racy
+	// checks (a concurrent submitter or a deadline transition may have
+	// won the window between the locks; assignments are permanent, so
+	// the wrong-bit check needs no re-run).
+	sess.mu.Lock()
+	if sess.expired {
+		sess.mu.Unlock()
+		return 0, 0, errExpired
+	}
+	if sess.done {
+		sess.mu.Unlock()
+		return 0, 0, errFinal
+	}
+	cs := string(client)
+	if prev, seen := sess.reported[cs]; seen {
+		sess.mu.Unlock()
+		if prev == value {
+			return wire.AckDuplicate, 0, nil
+		}
+		return wire.AckConflict, 0, nil
+	}
+	// Log before mutating, ack only after the caller commits: an
+	// accepted report the client heard about must never be lost to a
+	// crash.
+	seq, err := s.walAppendLocked(walRecord{
+		Op: walOpReport, Session: sess.id, Client: cs, Bit: bit, Value: value,
+	})
+	if err != nil {
+		sess.mu.Unlock()
+		return 0, 0, err
+	}
+	sess.reported[cs] = value
+	sess.foldReport(bit, value)
+	sess.mu.Unlock()
+	return wire.AckAccepted, seq, nil
+}
+
+// reportOutcome maps an ingest outcome onto its metric label and round
+// timeline event kind. Rejections reuse the label as the timeline
+// reason.
+func reportOutcome(st wire.AckStatus) (label string, kind RoundKind) {
+	switch st {
+	case wire.AckAccepted:
+		return ReportAccepted, RoundReportAccept
+	case wire.AckDuplicate:
+		return ReportDuplicate, RoundReportDuplicate
+	case wire.AckInvalidValue:
+		return ReportInvalid, RoundReportReject
+	case wire.AckNoTask:
+		return ReportNoTask, RoundReportReject
+	case wire.AckWrongBit:
+		return ReportWrongBit, RoundReportReject
+	case wire.AckConflict:
+		return ReportConflict, RoundReportReject
+	}
+	return ReportInvalid, RoundReportReject
+}
+
+// ackReason spells the human-readable rejection reason of the JSON ack
+// envelope; empty for the success outcomes.
+func ackReason(st wire.AckStatus) string {
+	switch st {
+	case wire.AckAccepted, wire.AckDuplicate:
+		return ""
+	case wire.AckInvalidValue:
+		return "value is not a bit"
+	case wire.AckNoTask:
+		return "no task assigned"
+	case wire.AckWrongBit:
+		return "report for unassigned bit"
+	case wire.AckConflict:
+		return "conflicting report"
+	}
+	return "report rejected"
+}
+
 // SubmitReport ingests one client report, enforcing one report per client
 // and rejecting reports for bits the server did not assign. Ingestion is
 // idempotent: a retransmission of the exact accepted report (same client,
@@ -685,35 +1015,27 @@ func (s *Server) SubmitReport(ctx context.Context, sessionID string, rep wire.Re
 	defer sp.End()
 	sp.Attr("session", sessionID)
 	sp.Attr("client", rep.ClientID)
+	s.maybeSweep()
 	var t0 time.Time
 	if sp != nil {
 		t0 = time.Now()
 	}
-	s.mu.Lock()
+	sess := s.table.get(sessionID)
+	if sess == nil {
+		return wire.ReportAck{}, errNotFound
+	}
 	var tLock time.Time
 	if sp != nil {
 		tLock = time.Now()
 		sp.AttrDuration("lock_wait", tLock.Sub(t0))
 	}
-	s.sweepLocked(false)
-	sess, ok := s.sessions[sessionID]
-	if !ok {
-		s.mu.Unlock()
-		return wire.ReportAck{}, errNotFound
-	}
-	if sess.expired {
-		s.mu.Unlock()
-		return wire.ReportAck{}, errExpired
-	}
-	if sess.done {
-		s.mu.Unlock()
-		return wire.ReportAck{}, errFinal
+	if err := sess.checkOpen(); err != nil {
+		return wire.ReportAck{}, err
 	}
 	// The per-session token bucket runs before any per-client state is
 	// touched: a rate-limited submission commits nothing and is answered
 	// with a retryable 429 plus precise Retry-After advice.
-	if err := s.reportRateLocked(sess, s.now()); err != nil {
-		s.mu.Unlock()
+	if err := s.reportRate(sess, s.now(), 1); err != nil {
 		sp.Attr("result", "ratelimited")
 		var rl *rateLimitedError
 		if errors.As(err, &rl) {
@@ -721,68 +1043,43 @@ func (s *Server) SubmitReport(ctx context.Context, sessionID string, rep wire.Re
 		}
 		return wire.ReportAck{}, err
 	}
-	if rep.Value > 1 {
-		s.metrics.reports.With(ReportInvalid).Inc()
-		s.mu.Unlock()
-		sp.Attr("result", ReportInvalid)
-		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportInvalid, 0, "")
-		return wire.ReportAck{Accepted: false, Reason: "value is not a bit"}, nil
-	}
-	assigned, ok := sess.assigned[rep.ClientID]
-	if !ok {
-		s.metrics.reports.With(ReportNoTask).Inc()
-		s.mu.Unlock()
-		sp.Attr("result", ReportNoTask)
-		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportNoTask, 0, "")
-		return wire.ReportAck{Accepted: false, Reason: "no task assigned"}, nil
-	}
-	if rep.Bit != assigned {
-		s.metrics.reports.With(ReportWrongBit).Inc()
-		s.mu.Unlock()
-		sp.Attr("result", ReportWrongBit)
-		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportWrongBit, 0, "")
-		return wire.ReportAck{Accepted: false, Reason: "report for unassigned bit"}, nil
-	}
-	if prev, ok := sess.reported[rep.ClientID]; ok {
-		s.mu.Unlock()
-		if prev == rep.Value {
-			// Already accepted — and already durable, since the original
-			// accept ack waited on the WAL commit.
-			s.metrics.reports.With(ReportDuplicate).Inc()
-			sp.Attr("result", ReportDuplicate)
-			s.roundEvent(sessionID, RoundReportDuplicate, rep.ClientID, "", 0, "")
-			return wire.ReportAck{Accepted: true, Duplicate: true}, nil
-		}
-		s.metrics.reports.With(ReportConflict).Inc()
-		sp.Attr("result", ReportConflict)
-		s.roundEvent(sessionID, RoundReportReject, rep.ClientID, ReportConflict, 0, "")
-		return wire.ReportAck{Accepted: false, Reason: "conflicting report"}, nil
-	}
-	// Log before mutating, ack only after the commit below: an accepted
-	// report the client heard about must never be lost to a crash.
-	seq, err := s.walAppendLocked(walRecord{
-		Op: walOpReport, Session: sessionID, Client: rep.ClientID, Bit: rep.Bit, Value: rep.Value,
-	})
+	st, seq, err := ingestReport(s, sess, rep.ClientID, rep.Bit, rep.Value)
 	if err != nil {
-		s.mu.Unlock()
 		return wire.ReportAck{}, err
 	}
-	sess.reported[rep.ClientID] = rep.Value
-	sess.reports = append(sess.reports, core.Report{Bit: rep.Bit, Value: rep.Value})
-	s.metrics.reports.With(ReportAccepted).Inc()
-	s.mu.Unlock()
-	if sp != nil {
-		sp.AttrDuration("table_hold", time.Since(tLock))
+	label, kind := reportOutcome(st)
+	s.metrics.reports.With(label).Inc()
+	if st == wire.AckAccepted {
+		if sp != nil {
+			sp.AttrDuration("table_hold", time.Since(tLock))
+		}
+		if err := s.walCommitTraced(sp, sessionID, rep.ClientID, seq); err != nil {
+			return wire.ReportAck{}, err
+		}
+		sp.Attr("result", label)
+		s.roundEvent(sessionID, kind, rep.ClientID, "", 0, "")
+		return wire.ReportAck{Accepted: true}, nil
 	}
-	if err := s.walCommitTraced(sp, sessionID, rep.ClientID, seq); err != nil {
-		return wire.ReportAck{}, err
+	sp.Attr("result", label)
+	reason := ""
+	if kind == RoundReportReject {
+		reason = label
 	}
-	sp.Attr("result", ReportAccepted)
-	s.roundEvent(sessionID, RoundReportAccept, rep.ClientID, "", 0, "")
-	return wire.ReportAck{Accepted: true}, nil
+	s.roundEvent(sessionID, kind, rep.ClientID, reason, 0, "")
+	if st == wire.AckDuplicate {
+		return wire.ReportAck{Accepted: true, Duplicate: true}, nil
+	}
+	return wire.ReportAck{Accepted: false, Reason: ackReason(st)}, nil
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	// Content-Type negotiation: the binary batch codec peels off here;
+	// everything else is the original JSON single-report envelope, so
+	// existing clients keep working unchanged.
+	if r.Header.Get("Content-Type") == wire.ReportBatchContentType {
+		s.handleReportBatch(w, r)
+		return
+	}
 	var rep wire.Report
 	if err := s.decodeBody(w, r, &rep); err != nil {
 		return
@@ -802,15 +1099,14 @@ func (s *Server) Finalize(ctx context.Context, sessionID string) (*wire.Result, 
 	_, sp := trace.Start(ctx, "server.finalize")
 	defer sp.End()
 	sp.Attr("session", sessionID)
-	s.mu.Lock()
-	s.sweepLocked(false)
-	sess, ok := s.sessions[sessionID]
-	if !ok {
-		s.mu.Unlock()
+	s.maybeSweep()
+	sess := s.table.get(sessionID)
+	if sess == nil {
 		return nil, errNotFound
 	}
+	sess.mu.Lock()
 	if sess.expired {
-		s.mu.Unlock()
+		sess.mu.Unlock()
 		return nil, errExpired
 	}
 	var seq uint64
@@ -818,17 +1114,17 @@ func (s *Server) Finalize(ctx context.Context, sessionID string) (*wire.Result, 
 	if !sess.done {
 		var err error
 		if seq, err = s.finalizeLocked(sess, s.now()); err != nil {
-			s.mu.Unlock()
+			sess.mu.Unlock()
 			return nil, err
 		}
 		s.metrics.finalized.With("api").Inc()
 		s.roundEvent(sessionID, RoundFinalize, "", "api", 0, "")
 		s.emitEstimateLocked(sess)
 		s.logger().DebugContext(ctx, "transport: session finalized",
-			"session", sessionID, "reports", len(sess.reports))
+			"session", sessionID, "reports", sess.reportCount())
 	}
-	res := sess.wireResult()
-	s.mu.Unlock()
+	res := sess.wireResultLocked()
+	sess.mu.Unlock()
 	if sp != nil {
 		sp.AttrInt("reports", int64(res.Reports))
 		sp.AttrBool("first", first)
@@ -842,21 +1138,33 @@ func (s *Server) Finalize(ctx context.Context, sessionID string) (*wire.Result, 
 	return res, nil
 }
 
-// compute derives the session's aggregate (bit estimate or threshold
-// tail) from its accepted reports. It is deterministic in the session
-// state, so WAL replay reproduces the exact result the live server
-// acked.
-func (sess *session) compute() error {
+// computeLocked derives the session's aggregate (bit estimate or
+// threshold tail) from the accumulated counts; the caller holds sess.mu
+// exclusively, freezing the accumulators. It is deterministic in the
+// session state, so WAL replay reproduces the exact result the live
+// server acked: pooling the per-bit sums/counts through core.Pool is
+// arithmetically identical to aggregating the old report list, because
+// sums of 0/1 bits are integer-exact in float64.
+func (sess *session) computeLocked() error {
 	if sess.isThreshold() {
-		sess.tail = sess.tailProbs()
+		sess.tail = sess.tailProbsLocked()
 		return nil
 	}
-	res, err := core.Aggregate(core.Config{
+	part := &core.Result{
+		Sums:    make([]float64, len(sess.probs)),
+		Counts:  make([]int, len(sess.probs)),
+		Reports: sess.reportCount(),
+	}
+	for j := range sess.probs {
+		part.Counts[j] = int(sess.bitCount[j].Load())
+		part.Sums[j] = float64(sess.bitSum[j].Load())
+	}
+	res, err := core.Pool(core.Config{
 		Bits:            sess.cfg.Bits,
 		Probs:           sess.probs,
 		RR:              sess.rr,
 		SquashThreshold: sess.cfg.SquashThreshold,
-	}, sess.reports)
+	}, part)
 	if err != nil {
 		return err
 	}
@@ -865,14 +1173,15 @@ func (sess *session) compute() error {
 }
 
 // finalizeLocked checks the cohort, computes the aggregate, logs the
-// transition and marks the session done; the caller holds the lock, has
-// checked done/expired, and commits the returned WAL sequence before
-// acking.
+// transition and marks the session done; the caller holds sess.mu
+// exclusively, has checked done/expired, and commits the returned WAL
+// sequence before acking.
 func (s *Server) finalizeLocked(sess *session, at time.Time) (uint64, error) {
-	if len(sess.reports) < sess.cfg.MinCohort {
-		return 0, fmt.Errorf("%w: cohort %d below minimum %d", errCohort, len(sess.reports), sess.cfg.MinCohort)
+	n := sess.reportCount()
+	if n < sess.cfg.MinCohort {
+		return 0, fmt.Errorf("%w: cohort %d below minimum %d", errCohort, n, sess.cfg.MinCohort)
 	}
-	if err := sess.compute(); err != nil {
+	if err := sess.computeLocked(); err != nil {
 		return 0, err
 	}
 	seq, err := s.walAppendLocked(walRecord{Op: walOpFinalize, Session: sess.id, At: at})
@@ -884,7 +1193,7 @@ func (s *Server) finalizeLocked(sess *session, at time.Time) (uint64, error) {
 	}
 	sess.done = true
 	sess.endedAt = at
-	s.metrics.cohort.Observe(float64(len(sess.reports)))
+	s.metrics.cohort.Observe(float64(n))
 	s.metrics.active.Add(-1)
 	return seq, nil
 }
@@ -901,33 +1210,30 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 // Result returns the session's current aggregate view; before Finalize it
 // reports Done=false with the running report count.
 func (s *Server) Result(sessionID string) (*wire.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(false)
-	sess, ok := s.sessions[sessionID]
-	if !ok {
+	s.maybeSweep()
+	sess := s.table.get(sessionID)
+	if sess == nil {
 		return nil, errNotFound
 	}
-	return sess.wireResult(), nil
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.wireResultLocked(), nil
 }
 
-// tailProbs aggregates a threshold session: per-threshold report means,
-// unbiased under randomized response and projected onto a monotone tail.
-// A threshold that received no reports is treated as uninformative (0.5)
-// and resolved by the monotone projection against its neighbours.
-func (sess *session) tailProbs() []float64 {
+// tailProbsLocked aggregates a threshold session: per-threshold report
+// means, unbiased under randomized response and projected onto a
+// monotone tail. A threshold that received no reports is treated as
+// uninformative (0.5) and resolved by the monotone projection against
+// its neighbours. The caller holds sess.mu exclusively.
+func (sess *session) tailProbsLocked() []float64 {
 	raw := make([]float64, len(sess.thresholds))
-	counts := make([]int, len(sess.thresholds))
-	for _, rep := range sess.reports {
-		counts[rep.Bit]++
-		raw[rep.Bit] += float64(rep.Value)
-	}
 	for i := range raw {
-		if counts[i] == 0 {
+		c := sess.bitCount[i].Load()
+		if c == 0 {
 			raw[i] = 0.5
 			continue
 		}
-		m := raw[i] / float64(counts[i])
+		m := float64(sess.bitSum[i].Load()) / float64(c)
 		if sess.rr != nil {
 			m = sess.rr.UnbiasMean(m)
 		}
@@ -936,13 +1242,14 @@ func (sess *session) tailProbs() []float64 {
 	return quantile.MonotonizeTail(raw)
 }
 
-// wireResult snapshots the session; the caller holds the lock.
-func (sess *session) wireResult() *wire.Result {
+// wireResultLocked snapshots the session; the caller holds sess.mu (read
+// or write).
+func (sess *session) wireResultLocked() *wire.Result {
 	out := &wire.Result{
 		SessionID: sess.id,
 		Feature:   sess.cfg.Feature,
 		Done:      sess.done,
-		Reports:   len(sess.reports),
+		Reports:   sess.reportCount(),
 	}
 	if sess.result != nil {
 		out.Estimate = sess.result.Estimate
@@ -971,10 +1278,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // an operator (or orchestrator probe) can see at a glance whether the
 // daemon is draining, idle, or carrying live aggregations.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	s.sweepLocked(false)
+	s.maybeSweep()
 	active, done, expired := 0, 0, 0
-	for _, sess := range s.sessions {
+	for _, sess := range s.table.all() {
+		sess.mu.RLock()
 		switch {
 		case sess.done:
 			done++
@@ -983,8 +1290,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		default:
 			active++
 		}
+		sess.mu.RUnlock()
 	}
-	s.mu.Unlock()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"sessions": active + done + expired,
@@ -1009,24 +1316,25 @@ type SessionSummary struct {
 
 // Sessions lists every session's summary, sorted by id.
 func (s *Server) Sessions() []SessionSummary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked(false)
-	out := make([]SessionSummary, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+	s.maybeSweep()
+	all := s.table.all()
+	out := make([]SessionSummary, 0, len(all))
+	for _, sess := range all {
 		kind := wire.TaskKindBit
 		if sess.isThreshold() {
 			kind = wire.TaskKindThreshold
 		}
+		sess.mu.RLock()
 		row := SessionSummary{
 			SessionID: sess.id,
 			Feature:   sess.cfg.Feature,
 			Kind:      kind,
 			Bits:      sess.cfg.Bits,
-			Reports:   len(sess.reports),
+			Reports:   sess.reportCount(),
 			Done:      sess.done,
 			Expired:   sess.expired,
 		}
+		sess.mu.RUnlock()
 		if !sess.deadline.IsZero() {
 			row.Deadline = sess.deadline.Format(time.RFC3339)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,7 +32,10 @@ type Snapshot struct {
 	Sessions []SessionState `json:"sessions"`
 }
 
-// SessionState is one session's serializable state.
+// SessionState is one session's serializable state. Report data is
+// carried as per-bit accumulators (counts and sums), mirroring the
+// in-memory representation; the legacy per-report list is still
+// accepted on restore for snapshots written by older builds.
 type SessionState struct {
 	ID       string             `json:"id"`
 	Config   wire.SessionConfig `json:"config"`
@@ -39,36 +43,66 @@ type SessionState struct {
 	Issued   []int              `json:"issued"`
 	Assigned map[string]int     `json:"assigned"`
 	Reported map[string]uint64  `json:"reported"`
-	Reports  []core.Report      `json:"reports"`
-	Deadline time.Time          `json:"deadline"`
-	Done     bool               `json:"done,omitempty"`
-	Expired  bool               `json:"expired,omitempty"`
-	EndedAt  time.Time          `json:"ended_at"`
-	Result   *core.Result       `json:"result,omitempty"`
-	Tail     []float64          `json:"tail,omitempty"`
+	// BitCounts/BitSums are the per-index accumulators: reports received
+	// and their value sum, per bit (or per threshold).
+	BitCounts []int64 `json:"bit_counts"`
+	BitSums   []int64 `json:"bit_sums"`
+	// Reports is the legacy per-report list; read when BitCounts is
+	// absent, never written by current servers.
+	Reports  []core.Report `json:"reports,omitempty"`
+	Deadline time.Time     `json:"deadline"`
+	Done     bool          `json:"done,omitempty"`
+	Expired  bool          `json:"expired,omitempty"`
+	EndedAt  time.Time     `json:"ended_at"`
+	Result   *core.Result  `json:"result,omitempty"`
+	Tail     []float64     `json:"tail,omitempty"`
+}
+
+// loadCounters copies a slice of atomic counters into plain ints.
+func loadCounters(a []atomic.Int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i].Load()
+	}
+	return out
 }
 
 // Snapshot captures the current session table.
+//
+// Consistency under the striped locks: the WAL frontier W0 is read
+// FIRST, before any session is copied. Every record with seq ≤ W0
+// finished its Append inside a stripe- or session-level critical
+// section that strictly precedes the copy's acquisition of that same
+// lock, so its effects are in the copy; records appended after (seq >
+// W0, or concurrent with the stripe walk) may or may not be captured,
+// and replay re-applies them idempotently. The copy is therefore not a
+// point-in-time cut of the whole table, but it is always a legal
+// recovery base for WALSeq = W0 — which is all restore needs.
 func (s *Server) Snapshot() *Snapshot {
+	w0 := s.walSeq.Load()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap := &Snapshot{SavedAt: s.now(), NextID: s.nextID, WALSeq: s.walSeq}
-	for _, sess := range s.sessions {
+	nextID := s.nextID
+	s.mu.Unlock()
+	snap := &Snapshot{SavedAt: s.now(), NextID: nextID, WALSeq: w0}
+	for _, sess := range s.table.all() {
+		sess.mu.RLock()
 		snap.Sessions = append(snap.Sessions, SessionState{
-			ID:       sess.id,
-			Config:   sess.cfg,
-			Probs:    append([]float64(nil), sess.probs...),
-			Issued:   append([]int(nil), sess.issued...),
-			Assigned: copyMap(sess.assigned),
-			Reported: copyMap(sess.reported),
-			Reports:  append([]core.Report(nil), sess.reports...),
-			Deadline: sess.deadline,
-			Done:     sess.done,
-			Expired:  sess.expired,
-			EndedAt:  sess.endedAt,
-			Result:   sess.result,
-			Tail:     append([]float64(nil), sess.tail...),
+			ID:        sess.id,
+			Config:    sess.cfg,
+			Probs:     append([]float64(nil), sess.probs...),
+			Issued:    append([]int(nil), sess.issued...),
+			Assigned:  copyMap(sess.assigned),
+			Reported:  copyMap(sess.reported),
+			BitCounts: loadCounters(sess.bitCount),
+			BitSums:   loadCounters(sess.bitSum),
+			Deadline:  sess.deadline,
+			Done:      sess.done,
+			Expired:   sess.expired,
+			EndedAt:   sess.endedAt,
+			Result:    sess.result,
+			Tail:      append([]float64(nil), sess.tail...),
 		})
+		sess.mu.RUnlock()
 	}
 	return snap
 }
@@ -116,12 +150,36 @@ func (s *Server) Restore(snap *Snapshot) error {
 			issued:     append([]int(nil), st.Issued...),
 			assigned:   copyMap(st.Assigned),
 			reported:   copyMap(st.Reported),
-			reports:    append([]core.Report(nil), st.Reports...),
+			bitCount:   make([]atomic.Int64, len(st.Probs)),
+			bitSum:     make([]atomic.Int64, len(st.Probs)),
 			deadline:   st.Deadline,
 			done:       st.Done,
 			expired:    st.Expired,
 			endedAt:    st.EndedAt,
 			result:     st.Result,
+		}
+		switch {
+		case len(st.BitCounts) > 0:
+			if len(st.BitCounts) != len(st.Probs) || len(st.BitSums) != len(st.Probs) {
+				return fmt.Errorf("transport: snapshot session %s: %d counts / %d sums for %d probs",
+					st.ID, len(st.BitCounts), len(st.BitSums), len(st.Probs))
+			}
+			var n int64
+			for i := range st.BitCounts {
+				sess.bitCount[i].Store(st.BitCounts[i])
+				sess.bitSum[i].Store(st.BitSums[i])
+				n += st.BitCounts[i]
+			}
+			sess.nReports.Store(n)
+		case len(st.Reports) > 0:
+			// Legacy snapshot: fold the per-report list into the
+			// accumulators (pre-publication, so plain folding is safe).
+			for _, r := range st.Reports {
+				if r.Bit < 0 || r.Bit >= len(st.Probs) {
+					return fmt.Errorf("transport: snapshot session %s: report bit %d out of range", st.ID, r.Bit)
+				}
+				sess.foldReport(r.Bit, r.Value)
+			}
 		}
 		if sess.assigned == nil {
 			sess.assigned = make(map[string]int)
@@ -136,21 +194,22 @@ func (s *Server) Restore(snap *Snapshot) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal != nil {
-		if head := s.wal.LastSeq(); snap.WALSeq > head {
+	if w := s.walRef(); w != nil {
+		if head := w.LastSeq(); snap.WALSeq > head {
 			return fmt.Errorf("transport: snapshot covers through wal seq %d but the wal head is %d: snapshot is newer than the log",
 				snap.WALSeq, head)
 		}
 	}
 	for id, sess := range restored {
-		s.sessions[id] = sess
+		st := s.table.stripe(id)
+		st.mu.Lock()
+		st.sessions[id] = sess
+		st.mu.Unlock()
 	}
 	if snap.NextID > s.nextID {
 		s.nextID = snap.NextID
 	}
-	if snap.WALSeq > s.walSeq {
-		s.walSeq = snap.WALSeq
-	}
+	s.noteWALSeq(snap.WALSeq)
 	// Restored sessions changed the table wholesale; recompute the active
 	// gauge exactly rather than tracking per-overwrite deltas.
 	s.recomputeActiveLocked()

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport/wire"
+)
+
+// TestSessionStripesRounding pins the stripe-count policy: power-of-two
+// rounding, the default on n <= 0, and the upper bound.
+func TestSessionStripesRounding(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, DefaultSessionStripes},
+		{-5, DefaultSessionStripes},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{33, 64},
+		{maxSessionStripes, maxSessionStripes},
+		{maxSessionStripes + 1, maxSessionStripes},
+	} {
+		s := NewServer(1)
+		if err := s.SetSessionStripes(tc.n); err != nil {
+			t.Fatalf("SetSessionStripes(%d): %v", tc.n, err)
+		}
+		if got := s.SessionStripes(); got != tc.want {
+			t.Errorf("SetSessionStripes(%d) -> %d stripes, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestSessionStripesRefusesLiveTable checks resizing is boot-time only:
+// once any session exists the table must refuse rather than rehash live
+// sessions out from under concurrent requests.
+func TestSessionStripesRefusesLiveTable(t *testing.T) {
+	s := NewServer(1)
+	if _, err := s.CreateSession(context.Background(), wire.SessionConfig{Feature: "f", Bits: 2, Gamma: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSessionStripes(8); err == nil {
+		t.Fatal("resizing a live table succeeded, want refusal")
+	}
+	if got := s.SessionStripes(); got != DefaultSessionStripes {
+		t.Fatalf("refused resize still changed stripes: %d", got)
+	}
+}
+
+// TestSessionTableRouting checks get/all/size agree with each other and
+// that ids land on stable stripes across operations.
+func TestSessionTableRouting(t *testing.T) {
+	tbl := newSessionTable(8)
+	const n = 200
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("session-%04d", i)
+		st := tbl.stripe(id)
+		st.mu.Lock()
+		st.sessions[id] = &session{id: id}
+		st.mu.Unlock()
+	}
+	if got := tbl.size(); got != n {
+		t.Fatalf("size %d, want %d", got, n)
+	}
+	if got := len(tbl.all()); got != n {
+		t.Fatalf("all() returned %d, want %d", got, n)
+	}
+	occupied := 0
+	for i := range tbl.stripes {
+		if len(tbl.stripes[i].sessions) > 0 {
+			occupied++
+		}
+	}
+	// FNV-1a over 200 distinct ids must not collapse onto a stripe or
+	// two; an even-ish spread is what buys the contention win.
+	if occupied < len(tbl.stripes)/2 {
+		t.Errorf("only %d of %d stripes occupied by %d ids", occupied, len(tbl.stripes), n)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("session-%04d", i)
+		sess := tbl.get(id)
+		if sess == nil || sess.id != id {
+			t.Fatalf("get(%q) = %v", id, sess)
+		}
+	}
+	if tbl.get("absent") != nil {
+		t.Fatal("get of an unregistered id returned a session")
+	}
+}

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary report framing. JSON is the protocol's lingua franca, but a
+// simulated swarm submitting hundreds of one-bit reports per request
+// drowns in encoder allocations and per-report HTTP round trips long
+// before the bit arithmetic matters. The binary codec carries a whole
+// batch of reports for one session in a single POST body:
+//
+//	batch  := "FNR1" | count uint32le | record*
+//	record := length uint32le | crc32c(payload) uint32le | payload
+//	payload:= bit uint16le | value uint8 | clientID bytes
+//
+// Records are length-prefixed and CRC32C (Castagnoli) framed exactly like
+// the WAL's on-disk records and the replication stream, so one checksum
+// discipline covers every place a report travels. The ack frame mirrors
+// the batch: one status byte per submitted report, in order:
+//
+//	acks := "FNA1" | count uint32le | crc32c(statuses) uint32le | status*
+//
+// Whole-batch failures (unknown session, expired, rate-limited,
+// durability) use the ordinary JSON Error envelope and HTTP status
+// instead — they apply to the request, not to any single report.
+//
+// Decoding is defensive: a truncated frame, a corrupt checksum, an
+// oversize length prefix or a count that disagrees with the content all
+// fail with a typed error and never panic or read past the buffer.
+
+// ReportBatchContentType negotiates the binary batch codec on the
+// existing report route; JSON clients that never send it are unaffected.
+const ReportBatchContentType = "application/x-fednum-reports"
+
+// ReportAckContentType marks a binary ack frame response.
+const ReportAckContentType = "application/x-fednum-acks"
+
+// Framing limits. A record is a one-bit report plus a client id, so the
+// caps bound what a hostile length prefix can make the decoder allocate
+// or skip; the batch cap keeps one request's critical section bounded.
+const (
+	// MaxClientIDBytes caps the client id carried in one binary record.
+	MaxClientIDBytes = 256
+	// MaxReportRecordBytes is the largest legal record payload: bit (2) +
+	// value (1) + client id.
+	MaxReportRecordBytes = reportPayloadFixed + MaxClientIDBytes
+	// MaxBatchReports caps the records in one batch frame.
+	MaxBatchReports = 4096
+	// MaxBatchFrameBytes is the largest legal batch frame: the header
+	// plus a full batch of maximum-size records. Servers cap the request
+	// body here, so the JSON body limit (sized for single reports) never
+	// rejects a legal batch.
+	MaxBatchFrameBytes = batchHeaderLen + MaxBatchReports*(recordHeaderLen+MaxReportRecordBytes)
+)
+
+const (
+	batchHeaderLen     = 8 // magic + count
+	recordHeaderLen    = 8 // length + crc
+	reportPayloadFixed = 3 // bit uint16le + value uint8
+	ackHeaderLen       = 12
+)
+
+// Typed framing failures; decoders wrap them with positional detail, so
+// match with errors.Is.
+var (
+	// ErrFrameMagic marks a body that does not start with the expected
+	// frame magic.
+	ErrFrameMagic = errors.New("wire: bad frame magic")
+	// ErrFrameTruncated marks a buffer that ends before the header, a
+	// record, or the declared record count is complete.
+	ErrFrameTruncated = errors.New("wire: truncated frame")
+	// ErrFrameChecksum marks a record whose payload fails its CRC32C.
+	ErrFrameChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrFrameOversize marks a length prefix or count over the framing
+	// limits.
+	ErrFrameOversize = errors.New("wire: frame over size limits")
+	// ErrFrameTrailing marks bytes left over after the declared records.
+	ErrFrameTrailing = errors.New("wire: trailing bytes after frame")
+)
+
+var (
+	reportMagic = [4]byte{'F', 'N', 'R', '1'}
+	ackMagic    = [4]byte{'F', 'N', 'A', '1'}
+)
+
+// crcTable is Castagnoli, matching the WAL and replication framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AckStatus is the per-report outcome byte of a binary ack frame. The
+// values are wire format: renumbering breaks rolling upgrades.
+type AckStatus uint8
+
+const (
+	// AckAccepted: the report was accepted and is durable.
+	AckAccepted AckStatus = 0
+	// AckDuplicate: retransmission of an already-accepted identical
+	// report; still counts as success.
+	AckDuplicate AckStatus = 1
+	// AckInvalidValue: the reported value is not a bit.
+	AckInvalidValue AckStatus = 2
+	// AckNoTask: the client has no assignment in this session.
+	AckNoTask AckStatus = 3
+	// AckWrongBit: the report is for a bit the server did not assign.
+	AckWrongBit AckStatus = 4
+	// AckConflict: the client already reported a different value.
+	AckConflict AckStatus = 5
+)
+
+// String returns the metrics/log spelling of the status.
+func (a AckStatus) String() string {
+	switch a {
+	case AckAccepted:
+		return "accepted"
+	case AckDuplicate:
+		return "duplicate"
+	case AckInvalidValue:
+		return "invalid_value"
+	case AckNoTask:
+		return "no_task"
+	case AckWrongBit:
+		return "wrong_bit"
+	case AckConflict:
+		return "conflict"
+	}
+	return fmt.Sprintf("AckStatus(%d)", uint8(a))
+}
+
+// OK reports whether the status is a success (accepted or duplicate),
+// mirroring ReportAck.Accepted on the JSON path.
+func (a AckStatus) OK() bool { return a == AckAccepted || a == AckDuplicate }
+
+// ReportView is one decoded record of a batch frame. Client aliases the
+// frame buffer — copy it before the buffer is reused.
+type ReportView struct {
+	Client []byte
+	Bit    int
+	Value  uint64
+}
+
+// BatchWriter builds a batch frame incrementally, reusing its buffer
+// across Reset calls so a steady-state submitter allocates nothing.
+type BatchWriter struct {
+	buf   []byte
+	count uint32
+}
+
+// Reset drops any buffered records and starts a new frame.
+func (w *BatchWriter) Reset() {
+	if cap(w.buf) < batchHeaderLen {
+		w.buf = make([]byte, batchHeaderLen, 512)
+	}
+	w.buf = w.buf[:batchHeaderLen]
+	copy(w.buf, reportMagic[:])
+	w.count = 0
+}
+
+// Count returns the records added since Reset.
+func (w *BatchWriter) Count() int { return int(w.count) }
+
+// Add appends one report record. The value byte carries the report
+// verbatim (semantic validation — value must be a bit — stays with the
+// server, exactly as on the JSON path).
+func (w *BatchWriter) Add(clientID string, bit int, value uint64) error {
+	if len(w.buf) < batchHeaderLen {
+		w.Reset()
+	}
+	if len(clientID) > MaxClientIDBytes {
+		return fmt.Errorf("%w: client id is %d bytes (max %d)", ErrFrameOversize, len(clientID), MaxClientIDBytes)
+	}
+	if bit < 0 || bit > 0xffff {
+		return fmt.Errorf("%w: bit %d does not fit the uint16 record field", ErrFrameOversize, bit)
+	}
+	if value > 0xff {
+		return fmt.Errorf("%w: value %d does not fit the uint8 record field", ErrFrameOversize, value)
+	}
+	if w.count >= MaxBatchReports {
+		return fmt.Errorf("%w: batch already holds %d records (max %d)", ErrFrameOversize, w.count, MaxBatchReports)
+	}
+	n := reportPayloadFixed + len(clientID)
+	var hdr [recordHeaderLen + reportPayloadFixed]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(bit))
+	hdr[10] = byte(value)
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, clientID...)
+	// CRC covers the payload (fixed fields plus client id), checksummed in
+	// place so encoding a string id never copies it.
+	payload := w.buf[len(w.buf)-n:]
+	binary.LittleEndian.PutUint32(w.buf[len(w.buf)-n-4:], crc32.Checksum(payload, crcTable))
+	w.count++
+	return nil
+}
+
+// Bytes returns the finished frame; valid until the next Reset or Add.
+func (w *BatchWriter) Bytes() []byte {
+	if len(w.buf) < batchHeaderLen {
+		w.Reset()
+	}
+	binary.LittleEndian.PutUint32(w.buf[4:], w.count)
+	return w.buf
+}
+
+// AppendReportBatch encodes reports as one batch frame appended to dst.
+func AppendReportBatch(dst []byte, reports []Report) ([]byte, error) {
+	var w BatchWriter
+	w.Reset()
+	for _, rep := range reports {
+		if err := w.Add(rep.ClientID, rep.Bit, rep.Value); err != nil {
+			return dst, err
+		}
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// BatchReader decodes a batch frame in place with no allocation: Reset
+// validates the header, Next yields records until the declared count is
+// consumed. Every read is bounds-checked against the buffer, so a lying
+// length prefix fails typed instead of over-reading.
+type BatchReader struct {
+	buf   []byte
+	count int
+	read  int
+	off   int
+}
+
+// Reset points the reader at a frame buffer and validates its header.
+func (r *BatchReader) Reset(buf []byte) error {
+	r.buf, r.count, r.read, r.off = nil, 0, 0, 0
+	if len(buf) < batchHeaderLen {
+		return fmt.Errorf("%w: %d bytes is shorter than the batch header", ErrFrameTruncated, len(buf))
+	}
+	if [4]byte(buf[:4]) != reportMagic {
+		return fmt.Errorf("%w: got %q, want %q", ErrFrameMagic, buf[:4], reportMagic[:])
+	}
+	count := binary.LittleEndian.Uint32(buf[4:])
+	if count > MaxBatchReports {
+		return fmt.Errorf("%w: %d records declared (max %d)", ErrFrameOversize, count, MaxBatchReports)
+	}
+	if int(count)*recordHeaderLen > len(buf)-batchHeaderLen {
+		return fmt.Errorf("%w: %d records declared but only %d bytes follow the header",
+			ErrFrameTruncated, count, len(buf)-batchHeaderLen)
+	}
+	r.buf = buf
+	r.count = int(count)
+	r.off = batchHeaderLen
+	return nil
+}
+
+// Count returns the record count the frame header declares.
+func (r *BatchReader) Count() int { return r.count }
+
+// Next decodes the next record into v. It returns (false, nil) at a clean
+// end of frame; any framing violation returns a typed error and poisons
+// the reader until the next Reset.
+func (r *BatchReader) Next(v *ReportView) (bool, error) {
+	if r.read >= r.count {
+		if r.off != len(r.buf) {
+			return false, fmt.Errorf("%w: %d bytes after the %d declared records",
+				ErrFrameTrailing, len(r.buf)-r.off, r.count)
+		}
+		return false, nil
+	}
+	if len(r.buf)-r.off < recordHeaderLen {
+		return false, fmt.Errorf("%w: record %d header needs %d bytes, %d remain",
+			ErrFrameTruncated, r.read, recordHeaderLen, len(r.buf)-r.off)
+	}
+	n := binary.LittleEndian.Uint32(r.buf[r.off:])
+	crc := binary.LittleEndian.Uint32(r.buf[r.off+4:])
+	if n < reportPayloadFixed || n > MaxReportRecordBytes {
+		return false, fmt.Errorf("%w: record %d declares %d payload bytes (want %d..%d)",
+			ErrFrameOversize, r.read, n, reportPayloadFixed, MaxReportRecordBytes)
+	}
+	if uint32(len(r.buf)-r.off-recordHeaderLen) < n {
+		return false, fmt.Errorf("%w: record %d declares %d payload bytes, %d remain",
+			ErrFrameTruncated, r.read, n, len(r.buf)-r.off-recordHeaderLen)
+	}
+	payload := r.buf[r.off+recordHeaderLen : r.off+recordHeaderLen+int(n)]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return false, fmt.Errorf("%w: record %d", ErrFrameChecksum, r.read)
+	}
+	v.Bit = int(binary.LittleEndian.Uint16(payload))
+	v.Value = uint64(payload[2])
+	v.Client = payload[reportPayloadFixed:]
+	r.off += recordHeaderLen + int(n)
+	r.read++
+	return true, nil
+}
+
+// AppendAckFrame encodes one status byte per report onto dst.
+func AppendAckFrame(dst []byte, statuses []AckStatus) []byte {
+	var hdr [ackHeaderLen]byte
+	copy(hdr[:], ackMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(statuses)))
+	dst = append(dst, hdr[:]...)
+	base := len(dst) - ackHeaderLen
+	for _, st := range statuses {
+		dst = append(dst, byte(st))
+	}
+	binary.LittleEndian.PutUint32(dst[base+8:], crc32.Checksum(dst[base+ackHeaderLen:], crcTable))
+	return dst
+}
+
+// DecodeAckFrame parses an ack frame, appending the statuses to dst
+// (pass a reused slice to avoid allocation).
+func DecodeAckFrame(buf []byte, dst []AckStatus) ([]AckStatus, error) {
+	if len(buf) < ackHeaderLen {
+		return dst, fmt.Errorf("%w: %d bytes is shorter than the ack header", ErrFrameTruncated, len(buf))
+	}
+	if [4]byte(buf[:4]) != ackMagic {
+		return dst, fmt.Errorf("%w: got %q, want %q", ErrFrameMagic, buf[:4], ackMagic[:])
+	}
+	count := binary.LittleEndian.Uint32(buf[4:])
+	crc := binary.LittleEndian.Uint32(buf[8:])
+	if count > MaxBatchReports {
+		return dst, fmt.Errorf("%w: %d acks declared (max %d)", ErrFrameOversize, count, MaxBatchReports)
+	}
+	body := buf[ackHeaderLen:]
+	if uint32(len(body)) < count {
+		return dst, fmt.Errorf("%w: %d acks declared, %d bytes remain", ErrFrameTruncated, count, len(body))
+	}
+	if uint32(len(body)) > count {
+		return dst, fmt.Errorf("%w: %d bytes after the %d declared acks", ErrFrameTrailing, uint32(len(body))-count, count)
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return dst, fmt.Errorf("%w: ack statuses", ErrFrameChecksum)
+	}
+	for _, b := range body {
+		dst = append(dst, AckStatus(b))
+	}
+	return dst, nil
+}

@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustBatch(t *testing.T, reports []Report) []byte {
+	t.Helper()
+	buf, err := AppendReportBatch(nil, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func decodeAll(buf []byte) ([]Report, error) {
+	var r BatchReader
+	if err := r.Reset(buf); err != nil {
+		return nil, err
+	}
+	var out []Report
+	var v ReportView
+	for {
+		ok, err := r.Next(&v)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, Report{ClientID: string(v.Client), Bit: v.Bit, Value: v.Value})
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	reports := []Report{
+		{ClientID: "c1", Bit: 0, Value: 1},
+		{ClientID: "a-much-longer-client-identifier-0123456789", Bit: 65535, Value: 0},
+		{ClientID: "", Bit: 7, Value: 1}, // empty id is legal framing; the server rejects it semantically
+		{ClientID: "c2", Bit: 3, Value: 200},
+	}
+	buf := mustBatch(t, reports)
+	got, err := decodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reports) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(reports))
+	}
+	for i := range reports {
+		if got[i] != reports[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], reports[i])
+		}
+	}
+}
+
+func TestBatchWriterReuse(t *testing.T) {
+	var w BatchWriter
+	for round := 0; round < 3; round++ {
+		w.Reset()
+		if err := w.Add("client", round, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeAll(w.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Bit != round {
+			t.Fatalf("round %d decoded %+v", round, got)
+		}
+	}
+}
+
+func TestBatchEmptyFrame(t *testing.T) {
+	got, err := decodeAll(mustBatch(t, nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch = %v records, err %v", len(got), err)
+	}
+}
+
+func TestBatchWriterLimits(t *testing.T) {
+	var w BatchWriter
+	w.Reset()
+	if err := w.Add(strings.Repeat("x", MaxClientIDBytes+1), 0, 1); !errors.Is(err, ErrFrameOversize) {
+		t.Errorf("oversize client id error = %v, want ErrFrameOversize", err)
+	}
+	if err := w.Add("c", -1, 1); !errors.Is(err, ErrFrameOversize) {
+		t.Errorf("negative bit error = %v, want ErrFrameOversize", err)
+	}
+	if err := w.Add("c", 1<<16, 1); !errors.Is(err, ErrFrameOversize) {
+		t.Errorf("wide bit error = %v, want ErrFrameOversize", err)
+	}
+	if err := w.Add("c", 0, 256); !errors.Is(err, ErrFrameOversize) {
+		t.Errorf("wide value error = %v, want ErrFrameOversize", err)
+	}
+	w.Reset()
+	for i := 0; i < MaxBatchReports; i++ {
+		if err := w.Add("c", 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Add("c", 0, 1); !errors.Is(err, ErrFrameOversize) {
+		t.Errorf("over-count error = %v, want ErrFrameOversize", err)
+	}
+}
+
+// TestBatchDecodeFailures drives every typed decode failure: wrong magic,
+// truncations at each boundary, corrupt checksum, lying length prefixes,
+// inflated counts and trailing garbage.
+func TestBatchDecodeFailures(t *testing.T) {
+	valid := mustBatch(t, []Report{{ClientID: "c1", Bit: 3, Value: 1}, {ClientID: "c2", Bit: 1, Value: 0}})
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrFrameTruncated},
+		{"short header", func(b []byte) []byte { return b[:4] }, ErrFrameTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrFrameMagic},
+		{"count over cap", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], MaxBatchReports+1)
+			return b
+		}, ErrFrameOversize},
+		{"count past buffer", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 1000)
+			return b
+		}, ErrFrameTruncated},
+		{"truncated record header", func(b []byte) []byte { return b[:len(b)-len(b)+8+4] }, ErrFrameTruncated},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrFrameTruncated},
+		{"oversize length prefix", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], MaxReportRecordBytes+1)
+			return b
+		}, ErrFrameOversize},
+		{"undersize length prefix", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 1)
+			return b
+		}, ErrFrameOversize},
+		{"length past buffer", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], MaxReportRecordBytes)
+			return b
+		}, ErrFrameTruncated},
+		{"corrupt payload", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, ErrFrameChecksum},
+		{"corrupt crc", func(b []byte) []byte { b[12] ^= 0xff; return b }, ErrFrameChecksum},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xaa) }, ErrFrameTrailing},
+	}
+	for _, c := range cases {
+		buf := c.mut(append([]byte(nil), valid...))
+		if _, err := decodeAll(buf); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBatchReaderAllocs(t *testing.T) {
+	buf := mustBatch(t, []Report{
+		{ClientID: "c1", Bit: 3, Value: 1},
+		{ClientID: "c2", Bit: 1, Value: 0},
+		{ClientID: "c3", Bit: 0, Value: 1},
+	})
+	var r BatchReader
+	var v ReportView
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := r.Reset(buf); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ok, err := r.Next(&v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("decoding a warm batch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAckFrameRoundTrip(t *testing.T) {
+	statuses := []AckStatus{AckAccepted, AckDuplicate, AckConflict, AckNoTask, AckWrongBit, AckInvalidValue}
+	frame := AppendAckFrame(nil, statuses)
+	got, err := DecodeAckFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(statuses) {
+		t.Fatalf("decoded %d acks, want %d", len(got), len(statuses))
+	}
+	for i := range statuses {
+		if got[i] != statuses[i] {
+			t.Errorf("ack %d = %v, want %v", i, got[i], statuses[i])
+		}
+	}
+	// Success classification matches the JSON ReportAck convention.
+	for st, ok := range map[AckStatus]bool{
+		AckAccepted: true, AckDuplicate: true,
+		AckInvalidValue: false, AckNoTask: false, AckWrongBit: false, AckConflict: false,
+	} {
+		if st.OK() != ok {
+			t.Errorf("%v.OK() = %v, want %v", st, st.OK(), ok)
+		}
+	}
+}
+
+func TestAckFrameFailures(t *testing.T) {
+	frame := AppendAckFrame(nil, []AckStatus{AckAccepted, AckDuplicate})
+	if _, err := DecodeAckFrame(frame[:8], nil); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("short header err = %v", err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, err := DecodeAckFrame(bad, nil); !errors.Is(err, ErrFrameMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	bad = append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := DecodeAckFrame(bad, nil); !errors.Is(err, ErrFrameChecksum) {
+		t.Errorf("corrupt status err = %v", err)
+	}
+	if _, err := DecodeAckFrame(append(frame, 0), nil); !errors.Is(err, ErrFrameTrailing) {
+		t.Errorf("trailing err = %v", err)
+	}
+	if _, err := DecodeAckFrame(frame[:len(frame)-1], nil); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("missing status err = %v", err)
+	}
+}
+
+// FuzzBatchReader holds the decoder to its contract on arbitrary bytes:
+// it never panics, never reads past the buffer (the runtime would panic
+// if it did), terminates, and fails only with the typed framing errors.
+// Frames the fuzzer mutates into validity must round-trip consistently.
+func FuzzBatchReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FNR1"))
+	seed, _ := AppendReportBatch(nil, []Report{
+		{ClientID: "c1", Bit: 3, Value: 1},
+		{ClientID: "another-client", Bit: 65535, Value: 0},
+	})
+	f.Add(seed)
+	empty, _ := AppendReportBatch(nil, nil)
+	f.Add(empty)
+	truncated := append([]byte(nil), seed...)
+	f.Add(truncated[:len(truncated)-3])
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)-1] ^= 0x55
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r BatchReader
+		var v ReportView
+		if err := r.Reset(data); err != nil {
+			requireTyped(t, err)
+			return
+		}
+		decoded := 0
+		for {
+			ok, err := r.Next(&v)
+			if err != nil {
+				requireTyped(t, err)
+				return
+			}
+			if !ok {
+				break
+			}
+			if v.Bit < 0 || v.Bit > 0xffff || v.Value > 0xff || len(v.Client) > MaxClientIDBytes {
+				t.Fatalf("decoded record outside field ranges: %+v", v)
+			}
+			decoded++
+			if decoded > MaxBatchReports {
+				t.Fatal("decoded more records than the batch cap allows")
+			}
+		}
+		if decoded != r.Count() {
+			t.Fatalf("clean decode yielded %d records, header declared %d", decoded, r.Count())
+		}
+	})
+}
+
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, want := range []error{ErrFrameMagic, ErrFrameTruncated, ErrFrameChecksum, ErrFrameOversize, ErrFrameTrailing} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("decode failed with untyped error: %v", err)
+}
